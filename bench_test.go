@@ -1,0 +1,263 @@
+// Benchmark entry points: one testing.B benchmark per figure/table of the
+// paper's evaluation, so `go test -bench=. -benchmem` regenerates every
+// result. The bench harness in internal/bench holds the logic; these
+// wrappers report per-operation costs in the standard Go benchmark format,
+// and `go run ./cmd/wedgebench -all` prints the paper-style tables.
+package wedge_test
+
+import (
+	"runtime"
+	"testing"
+
+	"wedge/internal/bench"
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// bootBench boots an app with a realistic (1 MiB) pre-main image, like
+// the Figure 7 harness.
+func bootBench(b *testing.B) (*sthread.App, *sthread.Sthread) {
+	b.Helper()
+	app := sthread.Boot(kernel.New())
+	app.Premain(func(init *kernel.Task) {
+		base, err := init.Mmap(1<<20, vm.PermRW)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for off := 0; off < 1<<20; off += vm.PageSize {
+			init.AS.Store64(base+vm.Addr(off), uint64(off))
+		}
+	})
+	var root *sthread.Sthread
+	ready := make(chan struct{})
+	go app.Main(func(r *sthread.Sthread) {
+		root = r
+		close(ready)
+		select {} // hold the root sthread open for the benchmark body
+	})
+	<-ready
+	return app, root
+}
+
+// ---- Figure 7: primitive latencies -------------------------------------------
+
+func BenchmarkFig7_Pthread(b *testing.B) {
+	_, root := bootBench(b)
+	runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := root.Task.SpawnPthread(func(*kernel.Task) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Wait()
+	}
+}
+
+func BenchmarkFig7_Recycled(b *testing.B) {
+	_, root := bootBench(b)
+	gate := sthread.GateFunc(func(*sthread.Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 })
+	rec, err := root.NewRecycled("noop", policy.New(), gate, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rec.Close()
+	runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rec.Call(root, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7_Sthread(b *testing.B) {
+	_, root := bootBench(b)
+	body := func(*sthread.Sthread, vm.Addr) vm.Addr { return 0 }
+	runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := root.Create(policy.New(), body, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root.Join(c)
+	}
+}
+
+func BenchmarkFig7_Callgate(b *testing.B) {
+	_, root := bootBench(b)
+	gate := sthread.GateFunc(func(*sthread.Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 })
+	sc := policy.New()
+	sc.GateAdd(gate, policy.New(), 0, "noop")
+	spec := sc.Gates[0]
+	done := make(chan struct{})
+	caller, err := root.Create(sc, func(s *sthread.Sthread, _ vm.Addr) vm.Addr {
+		runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.CallGate(spec, nil, 0); err != nil {
+				b.Error(err)
+				break
+			}
+		}
+		b.StopTimer()
+		close(done)
+		return 0
+	}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	root.Join(caller)
+}
+
+func BenchmarkFig7_Fork(b *testing.B) {
+	_, root := bootBench(b)
+	runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := root.Task.Fork(func(*kernel.Task) {})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Wait()
+	}
+}
+
+// ---- Figure 8: memory calls ----------------------------------------------------
+
+func BenchmarkFig8_Malloc(b *testing.B) {
+	_, root := bootBench(b)
+	runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := root.Malloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root.Free(a)
+	}
+}
+
+func BenchmarkFig8_TagNewWarm(b *testing.B) {
+	_, root := bootBench(b)
+	reg := root.App().Tags
+	tg, err := reg.TagNew(root.Task)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg.TagDelete(tg)
+	runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg, err := reg.TagNew(root.Task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg.TagDelete(tg)
+	}
+}
+
+func BenchmarkFig8_TagNewCold(b *testing.B) {
+	_, root := bootBench(b)
+	reg := tags.NewRegistry()
+	reg.CacheEnabled = false
+	runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg, err := reg.TagNew(root.Task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg.TagDelete(tg)
+	}
+}
+
+func BenchmarkFig8_Mmap(b *testing.B) {
+	_, root := bootBench(b)
+	runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := root.Task.Mmap(tags.DefaultRegionSize, vm.PermRW)
+		if err != nil {
+			b.Fatal(err)
+		}
+		root.Task.Munmap(a, tags.DefaultRegionSize)
+	}
+}
+
+// ---- Figure 9: instrumentation overhead -------------------------------------------
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Fig9(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Table 2: end-to-end application performance -----------------------------------
+
+func benchmarkApache(b *testing.B, variant string, cached bool) {
+	b.Helper()
+	rps, err := bench.Table2Apache(variant, cached, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(rps, "req/s")
+}
+
+func BenchmarkTable2_ApacheVanillaCached(b *testing.B)  { benchmarkApache(b, "vanilla", true) }
+func BenchmarkTable2_ApacheVanilla(b *testing.B)        { benchmarkApache(b, "vanilla", false) }
+func BenchmarkTable2_ApacheWedgeCached(b *testing.B)    { benchmarkApache(b, "wedge", true) }
+func BenchmarkTable2_ApacheWedge(b *testing.B)          { benchmarkApache(b, "wedge", false) }
+func BenchmarkTable2_ApacheRecycledCached(b *testing.B) { benchmarkApache(b, "recycled", true) }
+func BenchmarkTable2_ApacheRecycled(b *testing.B)       { benchmarkApache(b, "recycled", false) }
+
+func benchmarkSSH(b *testing.B, variant string) {
+	b.Helper()
+	var loginTotal, scpTotal float64
+	for i := 0; i < b.N; i++ {
+		login, scp, err := bench.Table2SSH(variant, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loginTotal += login.Seconds()
+		scpTotal += scp.Seconds()
+	}
+	b.ReportMetric(loginTotal/float64(b.N)*1e3, "login-ms")
+	b.ReportMetric(scpTotal/float64(b.N)*1e3, "scp-ms/MiB")
+}
+
+func BenchmarkTable2_SSHVanilla(b *testing.B) { benchmarkSSH(b, "vanilla") }
+func BenchmarkTable2_SSHWedge(b *testing.B)   { benchmarkSSH(b, "wedge") }
+
+// Ablation benches for the design choices DESIGN.md §7 calls out: the
+// deleted-tag cache (§4.1, paper: +20% Apache throughput) and ephemeral
+// per-connection RSA keys (§5.1.1, paper: "high computational cost").
+
+func BenchmarkAblation_TagCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on, off, err := bench.AblationTagCache(12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(on, "cache-on-req/s")
+		b.ReportMetric(off, "cache-off-req/s")
+	}
+}
+
+func BenchmarkAblation_EphemeralRSA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		static, eph, err := bench.AblationEphemeralRSA(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(static, "static-hs/s")
+		b.ReportMetric(eph, "ephemeral-hs/s")
+	}
+}

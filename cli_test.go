@@ -1,0 +1,137 @@
+package wedge_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the four CLI tools once into a temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"cblog", "cbanalyze", "cbstatic", "wedgebench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives the paper's two-phase Crowbar workflow plus the
+// cb-static extension through the real binaries: trace two workloads,
+// aggregate by concatenation (§3.4), run every cbanalyze query type, lift
+// to a static model and diff.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	apacheTrace := filepath.Join(dir, "apache.trace")
+	sshTrace := filepath.Join(dir, "ssh.trace")
+
+	// cblog: list and trace.
+	if list := run(t, filepath.Join(bin, "cblog"), "-list"); !strings.Contains(list, "apache") ||
+		!strings.Contains(list, "perlbench") {
+		t.Fatalf("cblog -list missing workloads:\n%s", list)
+	}
+	run(t, filepath.Join(bin, "cblog"), "-workload", "apache", "-o", apacheTrace)
+	run(t, filepath.Join(bin, "cblog"), "-workload", "ssh", "-o", sshTrace)
+
+	// Aggregation by concatenation (§3.4).
+	a, err := os.ReadFile(apacheTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := os.ReadFile(sshTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allTrace := filepath.Join(dir, "all.trace")
+	if err := os.WriteFile(allTrace, append(a, s...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// cbanalyze: all four query types over the aggregate.
+	cba := filepath.Join(bin, "cbanalyze")
+	if out := run(t, cba, "-accessed-by", "ap_process_request", allTrace); !strings.Contains(out, "server_conf") {
+		t.Fatalf("query 1 lost server_conf:\n%s", out)
+	}
+	if out := run(t, cba, "-users-of", "global:server_conf", allTrace); !strings.Contains(out, "ap_run_handler") {
+		t.Fatalf("query 2 lost ap_run_handler:\n%s", out)
+	}
+	if out := run(t, cba, "-writes-by", "ap_send_response", allTrace); !strings.Contains(out, "scoreboard") {
+		t.Fatalf("query 3 lost scoreboard:\n%s", out)
+	}
+	if out := run(t, cba, "-offsets-of", "global:scoreboard", allTrace); !strings.Contains(out, "+0") {
+		t.Fatalf("offset query empty:\n%s", out)
+	}
+	// The aggregate answers ssh questions too.
+	if out := run(t, cba, "-accessed-by", "auth_password", allTrace); !strings.Contains(out, "options") {
+		t.Fatalf("aggregated ssh query failed:\n%s", out)
+	}
+
+	// cbstatic: dump, extend, report the over-grant.
+	cbs := filepath.Join(bin, "cbstatic")
+	model := run(t, cbs, "-dump-model", apacheTrace)
+	if !strings.Contains(model, "call apache_main ap_process_request") {
+		t.Fatalf("lifted model missing call edge:\n%.400s", model)
+	}
+	extra := filepath.Join(dir, "extra.model")
+	if err := os.WriteFile(extra,
+		[]byte("call ap_process_request ap_die\nread ap_die global:ssl_private_key\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, cbs, "-model", extra, "-accessed-by", "ap_process_request", apacheTrace)
+	if !strings.Contains(out, "global:ssl_private_key (never touched at run time)") {
+		t.Fatalf("static over-grant not reported:\n%s", out)
+	}
+}
+
+// TestCLIWedgebench regenerates the fast figures with reduced iteration
+// counts and checks paper values appear beside measurements.
+func TestCLIWedgebench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	wb := filepath.Join(bin, "wedgebench")
+
+	out := run(t, wb, "-fig", "7", "-iters", "40")
+	for _, want := range []string{"== fig7 ==", "pthread", "recycled", "sthread", "callgate", "fork", "(paper:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig7 output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, wb, "-fig", "8", "-iters", "200")
+	for _, want := range []string{"== fig8 ==", "malloc", "tag_new (reuse)", "mmap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig8 output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, wb, "-table", "2", "-conns", "6", "-scp", "65536")
+	for _, want := range []string{"== table2 ==", "apache vanilla cached", "ssh wedge login"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table2 output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, wb, "-metrics")
+	for _, want := range []string{"== metrics ==", "callgate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

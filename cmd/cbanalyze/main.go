@@ -1,0 +1,100 @@
+// Command cbanalyze is Crowbar's analysis tool (§3.4, §4.2). It reads one
+// or more cblog trace files (concatenated traces aggregate, per §3.4) and
+// answers the three query types the paper supports:
+//
+//	cbanalyze -accessed-by ap_process_request trace1 [trace2 ...]
+//	    memory items the procedure and its call-graph descendants touch,
+//	    with access modes — what an sthread policy must grant;
+//
+//	cbanalyze -users-of global:key_material trace...
+//	    procedures that directly use the items — what belongs in a
+//	    callgate;
+//
+//	cbanalyze -writes-by generate_key trace...
+//	    where a sensitive-data generator writes — what the callgate must
+//	    keep private.
+//
+//	cbanalyze -items trace...
+//	    inventory of every distinct memory item in the trace;
+//
+//	cbanalyze -offsets-of global:server_conf trace...
+//	    every offset accessed within one item, with modes and direct
+//	    users — the §4.2 aid for identifying which struct member an
+//	    access touches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wedge/internal/crowbar"
+)
+
+func main() {
+	accessedBy := flag.String("accessed-by", "", "query 1: items accessed by a procedure and its descendants")
+	usersOf := flag.String("users-of", "", "query 2: procedures using the given comma-separated item keys")
+	writesBy := flag.String("writes-by", "", "query 3: items written by a procedure and its descendants")
+	items := flag.Bool("items", false, "list all distinct memory items")
+	offsetsOf := flag.String("offsets-of", "", "offsets accessed within the given item key")
+	flag.Parse()
+
+	queries := 0
+	for _, set := range []bool{*accessedBy != "", *usersOf != "", *writesBy != "", *items, *offsetsOf != ""} {
+		if set {
+			queries++
+		}
+	}
+	if queries != 1 || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var readers []io.Reader
+	var closers []io.Closer
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cbanalyze:", err)
+			os.Exit(1)
+		}
+		readers = append(readers, f)
+		closers = append(closers, f)
+	}
+	trace, err := crowbar.ReadTrace(io.MultiReader(readers...))
+	for _, c := range closers {
+		c.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cbanalyze:", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *accessedBy != "":
+		fmt.Print(trace.Report(*accessedBy))
+	case *usersOf != "":
+		keys := strings.Split(*usersOf, ",")
+		users := trace.UsersOf(keys)
+		fmt.Printf("procedures using %v (%d):\n", keys, len(users))
+		for _, u := range users {
+			fmt.Println(" ", u)
+		}
+	case *writesBy != "":
+		written := trace.WritesBy(*writesBy)
+		fmt.Printf("items written by %s and descendants (%d):\n", *writesBy, len(written))
+		for _, it := range written {
+			fmt.Println(" ", it)
+		}
+	case *items:
+		all := trace.Items()
+		fmt.Printf("distinct memory items (%d):\n", len(all))
+		for _, it := range all {
+			fmt.Printf("  %-40s key=%s\n", it.String(), it.Key)
+		}
+	case *offsetsOf != "":
+		fmt.Print(trace.OffsetReport(*offsetsOf))
+	}
+}

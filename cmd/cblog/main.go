@@ -1,0 +1,76 @@
+// Command cblog is Crowbar's run-time instrumentation tool (§4.2) for the
+// simulated workloads: it executes a named workload under full access
+// logging and writes the trace as text, one record per access, to stdout
+// or -o.
+//
+//	cblog -workload apache -o apache.trace
+//	cblog -list
+//
+// The output is consumed by cbanalyze, mirroring the paper's two-phase
+// cb-log / cb-analyze workflow. Multiple traces can be concatenated to
+// aggregate workloads (§3.4).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"wedge/internal/crowbar"
+	"wedge/internal/pin"
+	"wedge/internal/spec"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload to trace (see -list)")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list available workloads")
+	flag.Parse()
+
+	if *list {
+		for _, w := range spec.Extended() {
+			fmt.Println(w.Name())
+		}
+		return
+	}
+	if *workload == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w, err := spec.ByNameExtended(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cblog:", err)
+		os.Exit(1)
+	}
+	p, err := pin.NewProc(pin.ModeCBLog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cblog:", err)
+		os.Exit(1)
+	}
+	logger := crowbar.NewLogger()
+	p.Attach(logger)
+	if _, err := w.Run(p); err != nil {
+		fmt.Fprintln(os.Stderr, "cblog:", err)
+		os.Exit(1)
+	}
+
+	f := os.Stdout
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cblog:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+	bw := bufio.NewWriter(f)
+	defer bw.Flush()
+	if err := logger.Trace().Serialize(bw); err != nil {
+		fmt.Fprintln(os.Stderr, "cblog:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cblog: %d records, %d items (%s)\n",
+		logger.Trace().Len(), len(logger.Trace().Items()), *workload)
+}

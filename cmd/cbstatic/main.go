@@ -1,0 +1,88 @@
+// Command cbstatic is the static-analysis counterpart to cbanalyze that §7
+// of the paper sketches as future work. It lifts one or more cblog traces
+// into a static call-graph skeleton, optionally extends the skeleton with
+// a hand-written model of the paths no innocuous workload exercises, and
+// reports the exhaustive permission superset for a procedure — alongside
+// the over-grants relative to what the traces justify dynamically.
+//
+//	cbstatic -accessed-by ap_process_request trace1 [trace2 ...]
+//	    static permission superset for the procedure, with the
+//	    over-grant diff against the dynamic answer;
+//
+//	cbstatic -model extra.model -accessed-by proc trace...
+//	    extend the lifted skeleton with declarations from a model file
+//	    ("call f g" / "read f item" / "write f item" lines);
+//
+//	cbstatic -dump-model trace...
+//	    print the lifted skeleton in model-file format, for hand editing.
+//
+// The output demonstrates the paper's §7 trade-off: static permissions
+// never cause a protection violation, but they can include privileges for
+// sensitive data an exploit could then leak; dynamic traces grant only
+// what an innocuous run needs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wedge/internal/crowbar"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cbstatic:", err)
+	os.Exit(1)
+}
+
+func main() {
+	accessedBy := flag.String("accessed-by", "", "report the static permission superset for a procedure")
+	modelPath := flag.String("model", "", "extend the lifted skeleton with a static model file")
+	dumpModel := flag.Bool("dump-model", false, "print the lifted skeleton in model-file format")
+	flag.Parse()
+
+	if (*accessedBy == "") == !*dumpModel || flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var readers []io.Reader
+	var closers []io.Closer
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		readers = append(readers, f)
+		closers = append(closers, f)
+	}
+	trace, err := crowbar.ReadTrace(io.MultiReader(readers...))
+	for _, c := range closers {
+		c.Close()
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	prog := crowbar.FromTrace(trace)
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fail(err)
+		}
+		err = crowbar.ParseModel(prog, f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if *dumpModel {
+		if err := crowbar.WriteModel(prog, os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Print(crowbar.StaticReport(prog, trace, *accessedBy))
+}

@@ -1,0 +1,110 @@
+// Command wedgebench regenerates the paper's evaluation (§6) from the
+// command line:
+//
+//	wedgebench -fig 7          # primitive-creation latencies (Figure 7)
+//	wedgebench -fig 8          # memory-call costs (Figure 8)
+//	wedgebench -fig 9          # cb-log overhead (Figure 9)
+//	wedgebench -table 2        # Apache throughput + OpenSSH latency
+//	wedgebench -metrics        # §5 partitioning metrics + object census
+//	wedgebench -ablations      # tag-cache and ephemeral-RSA ablations
+//	wedgebench -all            # everything
+//
+// Every row is printed next to the paper's reported value where one
+// exists. -conns and -scp scale the Table 2 work for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wedge/internal/bench"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "regenerate figure 7, 8 or 9")
+	table := flag.Int("table", 0, "regenerate table 2")
+	metrics := flag.Bool("metrics", false, "partitioning metrics and object census")
+	ablations := flag.Bool("ablations", false, "design-choice ablations (tag cache, ephemeral RSA)")
+	all := flag.Bool("all", false, "run every experiment")
+	iters := flag.Int("iters", 0, "iterations for figures 7/8 (0 = default)")
+	conns := flag.Int("conns", bench.Table2Conns, "timed connections per Table 2 Apache cell")
+	scp := flag.Int("scp", bench.ScpSize, "scp upload size in bytes for Table 2")
+	flag.Parse()
+
+	if !*all && *fig == 0 && *table == 0 && !*metrics && !*ablations {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var results []bench.Result
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "wedgebench:", err)
+		os.Exit(1)
+	}
+
+	if *all || *fig == 7 {
+		r, err := bench.Fig7(*iters)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+	}
+	if *all || *fig == 8 {
+		r, err := bench.Fig8(*iters)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+	}
+	if *all || *fig == 9 {
+		rows, r, err := bench.Fig9()
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+		fmt.Println("figure 9 detail (native / pin / crowbar, best of 3):")
+		for _, row := range rows {
+			fmt.Printf("  %-8s %10v %12v %12v   %5.1fx   %d records\n",
+				row.Workload, row.Native, row.Pin, row.CBLog, row.Ratio, row.TraceRecords)
+		}
+		fmt.Println()
+	}
+	if *all || *table == 2 {
+		r, err := bench.Table2(*conns, *scp)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+	}
+	if *all || *metrics {
+		_, r, err := bench.Metrics()
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+		r, err = bench.ObjectCensus()
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+	}
+	if *all || *ablations {
+		on, off, err := bench.AblationTagCache(*conns)
+		if err != nil {
+			fail(err)
+		}
+		static, eph, err := bench.AblationEphemeralRSA(*conns)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results,
+			bench.Result{Experiment: "ablations", Name: "apache wedge, tag cache on", Value: on, Unit: "req/s"},
+			bench.Result{Experiment: "ablations", Name: "apache wedge, tag cache off", Value: off, Unit: "req/s"},
+			bench.Result{Experiment: "ablations", Name: "monolithic ssl, static key", Value: static, Unit: "hs/s"},
+			bench.Result{Experiment: "ablations", Name: "monolithic ssl, ephemeral keys", Value: eph, Unit: "hs/s"},
+		)
+	}
+
+	fmt.Print(bench.Format(results))
+}

@@ -1,0 +1,56 @@
+// The Crowbar workflow (§3.4): trace a workload under cb-log, then answer
+// the three cb-analyze query types a programmer uses to design a
+// partitioning — what a compartment needs, what should go in a callgate,
+// and what a sensitive generator touches.
+//
+//	go run ./examples/crowbar
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wedge/internal/crowbar"
+	"wedge/internal/pin"
+	"wedge/internal/spec"
+)
+
+func main() {
+	// Phase 1: cb-log. Run the Apache-shaped workload fully instrumented.
+	p, err := pin.NewProc(pin.ModeCBLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	logger := crowbar.NewLogger()
+	p.Attach(logger)
+	w, err := spec.ByName("apache")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.Run(p); err != nil {
+		log.Fatal(err)
+	}
+	trace := logger.Trace()
+	fmt.Printf("cb-log: %d access records, %d distinct memory items\n\n",
+		trace.Len(), len(trace.Items()))
+
+	// Phase 2: cb-analyze.
+	// Query 1 — what must an sthread running ap_process_request be granted?
+	fmt.Println(trace.Report("ap_process_request"))
+
+	// Query 2 — who uses the server configuration? (Candidates for a
+	// callgate protecting it.)
+	users := trace.UsersOf([]string{"global:server_conf"})
+	fmt.Printf("procedures using global:server_conf (%d):\n", len(users))
+	for _, u := range users {
+		fmt.Println("  ", u)
+	}
+	fmt.Println()
+
+	// Query 3 — where does the response writer put data?
+	written := trace.WritesBy("ap_send_response")
+	fmt.Printf("items written by ap_send_response and descendants (%d):\n", len(written))
+	for _, it := range written {
+		fmt.Println("  ", it)
+	}
+}

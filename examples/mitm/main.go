@@ -1,0 +1,132 @@
+// The §5.1.2 man-in-the-middle experiment, end to end, against both
+// partitionings:
+//
+//  1. Against the Figure 2 (Simple) partitioning: the attacker interposes
+//     passively on the wire and exploits the worker sthread, which holds
+//     the session key by design. Combining the recording with the leaked
+//     master secret recovers the victim's cleartext.
+//
+//  2. Against the Figures 3-5 (MITM) partitioning: the same attacker
+//     exploits the handshake sthread, which holds nothing; the recording
+//     stays ciphertext.
+//
+//     go run ./examples/mitm
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wedge/internal/attack"
+	"wedge/internal/httpd"
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+)
+
+func runScenario(variant string) {
+	fmt.Printf("---- attacking the %s partitioning ----\n", variant)
+	k := kernel.New()
+	priv, err := minissl.GenerateServerKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpd.SetupDocroot(k, "/var/www", 256)
+
+	// The attacker's opening move: a passive man in the middle recording
+	// both directions.
+	rec := attack.Passive(k.Net, "apache:443")
+
+	// The exploit: injected into the network-facing compartment, it
+	// scrapes whatever the compartment's own memory holds at the offset
+	// where the Simple variant's gate deposits the master secret.
+	leak := make(chan [minissl.MasterLen]byte, 1)
+	hooks := httpd.Hooks{Worker: func(s *sthread.Sthread, c *httpd.ConnContext) {
+		go func() {
+			var got [minissl.MasterLen]byte
+			buf := make([]byte, minissl.MasterLen)
+			for i := 0; i < 20000; i++ {
+				if err := s.TryRead(c.ArgAddr+112, buf); err != nil {
+					break
+				}
+				copy(got[:], buf)
+				var zero [minissl.MasterLen]byte
+				if got != zero {
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			leak <- got
+		}()
+	}}
+
+	app := sthread.Boot(k)
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			var serve func(*netsim.Conn) error
+			switch variant {
+			case "simple":
+				srv, err := httpd.NewSimple(root, "/var/www", priv, false, hooks)
+				if err != nil {
+					log.Fatal(err)
+				}
+				serve = srv.ServeConn
+			case "mitm":
+				srv, err := httpd.NewMITM(root, "/var/www", priv, false, hooks)
+				if err != nil {
+					log.Fatal(err)
+				}
+				serve = srv.ServeConn
+			}
+			l, err := root.Task.Listen("apache:443")
+			if err != nil {
+				log.Fatal(err)
+			}
+			close(ready)
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			serve(c)
+		})
+	}()
+	<-ready
+
+	// The victim: a legitimate client whose traffic flows through the
+	// attacker's relay.
+	conn, err := k.Net.Dial("apache:443")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &priv.PublicKey})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc.Write([]byte("GET /index.html"))
+	cc.ReadRecord()
+	conn.Close()
+	<-done
+
+	// The attack's offline phase.
+	master := <-leak
+	keys, err := rec.KeysFromLeakedMaster(master)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plain, err := attack.DecryptAppData(rec, keys)
+	if err != nil {
+		fmt.Println("attacker: recording did NOT decrypt —", err)
+	} else {
+		fmt.Printf("attacker: recovered victim cleartext: %q\n", plain[0])
+	}
+	fmt.Println()
+}
+
+func main() {
+	runScenario("simple")
+	runScenario("mitm")
+}

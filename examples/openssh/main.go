@@ -1,0 +1,119 @@
+// The Wedge-partitioned login server (Figure 6, §5.2): password and S/Key
+// logins, an scp upload landing in the user's (chrooted) home, and an
+// injected exploit demonstrating that the worker can neither read the
+// host key nor probe for usernames.
+//
+//	go run ./examples/openssh
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/sshd"
+	"wedge/internal/sthread"
+	"wedge/internal/vfs"
+)
+
+func main() {
+	k := kernel.New()
+	hostKey, err := minissl.GenerateServerKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed := []byte("alice-otp-seed")
+	if err := sshd.SetupUsers(k, []sshd.User{
+		{Name: "alice", Password: "sesame", UID: 1000, SKeySeed: seed, SKeyN: 50},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	app := sthread.Boot(k)
+
+	hooks := sshd.WedgeHooks{Worker: func(s *sthread.Sthread, ctx *sshd.WedgeConnContext) {
+		if err := s.TryRead(ctx.HostKeyAddr, make([]byte, 16)); err != nil {
+			fmt.Println("exploit in worker: reading host key ->", err)
+		}
+		fmt.Printf("exploit in worker: uid=%d (unprivileged until a gate promotes us)\n", s.Task.UID)
+	}}
+
+	const conns = 2
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := sshd.NewWedge(root, sshd.ServerConfig{HostKey: hostKey}, hooks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				log.Fatal(err)
+			}
+			close(ready)
+			for i := 0; i < conns; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				if err := srv.ServeConn(c); err != nil {
+					log.Println("server:", err)
+				}
+			}
+		})
+	}()
+	<-ready
+
+	// Session 1: password login plus an upload.
+	conn, err := k.Net.Dial("sshd:22")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := sshd.NewClient(conn, &hostKey.PublicKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.AuthPassword("alice", "sesame"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: logged in as uid %d\n", c.UID)
+	if err := c.ScpPut("notes.txt", []byte("uploaded through the promoted worker")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("client: scp upload ok")
+	c.Exit()
+	conn.Close()
+
+	// Session 2: S/Key one-time-password login.
+	conn2, err := k.Net.Dial("sshd:22")
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2, err := sshd.NewClient(conn2, &hostKey.PublicKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chal, err := c2.SKeyChallenge("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("client: S/Key challenge n=%d\n", chal)
+	if err := c2.SKeyRespond(sshd.SKeyChain(seed, chal-1)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("client: S/Key login ok (chain stepped down)")
+	c2.Exit()
+	conn2.Close()
+
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+
+	// The upload really landed in alice's home, owned by alice.
+	st, err := k.FS.StatPath(vfs.Cred{UID: 0}, k.FS.Root(), "/home/alice/notes.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server fs: /home/alice/notes.txt exists, uid=%d, %d bytes\n", st.UID, st.Size)
+}

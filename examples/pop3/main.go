@@ -1,0 +1,102 @@
+// The paper's motivating example (§2, Figure 1): a partitioned POP3
+// server, a legitimate client session, and an injected exploit that tries
+// — and fails — to read the password database from the client-handler
+// compartment.
+//
+//	go run ./examples/pop3
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"strings"
+
+	"wedge/internal/kernel"
+	"wedge/internal/pop3"
+	"wedge/internal/sthread"
+)
+
+func main() {
+	k := kernel.New()
+	app := sthread.Boot(k)
+
+	boxes := []pop3.Mailbox{
+		{User: "alice", Password: "sesame", UID: 1000,
+			Messages: []string{"From: bob\nSubject: hi\n\nlunch tomorrow?"}},
+	}
+
+	// The exploit: runs inside the client handler with its privileges.
+	hooks := pop3.Hooks{Handler: func(s *sthread.Sthread, ctx *pop3.ConnContext) {
+		if err := s.TryRead(ctx.PwdAddr, make([]byte, 16)); err != nil {
+			fmt.Println("exploit: reading password db ->", err)
+		} else {
+			fmt.Println("exploit: READ THE PASSWORD DB (partitioning failed!)")
+		}
+		if err := s.TryWrite(ctx.UIDAddr, []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+			fmt.Println("exploit: forging the uid cell ->", err)
+		}
+	}}
+
+	done := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := pop3.New(root, boxes, hooks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			l, err := root.Task.Listen("pop3:110")
+			if err != nil {
+				log.Fatal(err)
+			}
+			close(ready)
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			if err := srv.ServeConn(conn); err != nil {
+				log.Println("server:", err)
+			}
+		})
+	}()
+	<-ready
+
+	// A legitimate client session.
+	conn, err := k.Net.Dial("pop3:110")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	cmd := func(line string) string {
+		if line != "" {
+			conn.Write([]byte(line + "\r\n"))
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			log.Fatal(err)
+		}
+		return strings.TrimRight(resp, "\r\n")
+	}
+	fmt.Println("server:", cmd(""))
+	fmt.Println("server:", cmd("USER alice"))
+	fmt.Println("server:", cmd("PASS sesame"))
+	fmt.Println("server:", cmd("STAT"))
+	fmt.Println("server:", cmd("RETR 1"))
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "." {
+			break
+		}
+		fmt.Println("  |", line)
+	}
+	fmt.Println("server:", cmd("QUIT"))
+
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}

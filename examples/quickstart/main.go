@@ -1,0 +1,89 @@
+// Quickstart: the three Wedge primitives in one page.
+//
+// A secret is placed in tagged memory; an unprivileged sthread proves it
+// cannot read the secret directly; a callgate computes with the secret on
+// the sthread's behalf. This is the POP3 shape of §2 reduced to its core.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wedge"
+)
+
+func main() {
+	sys := wedge.NewSystem()
+	err := sys.Main(func(main *wedge.Sthread) {
+		// 1. Tagged memory: allocate the secret under its own tag.
+		secretTag, err := sys.TagNew(main)
+		if err != nil {
+			log.Fatal(err)
+		}
+		secret, err := main.Smalloc(secretTag, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		main.WriteString(secret, "hunter2: the master password")
+		fmt.Printf("secret stored at %#x under tag %d\n", uint64(secret), secretTag)
+
+		// 2. A callgate that may read the secret. The trusted argument —
+		// the secret's address — is fixed at creation and tamper-proof.
+		gateSC := wedge.NewSC()
+		gateSC.MemAdd(secretTag, wedge.PermRead)
+		var checkPassword wedge.GateFunc = func(g *wedge.Sthread, guess, trusted wedge.Addr) wedge.Addr {
+			stored := g.ReadString(trusted, 64)
+			supplied := g.ReadString(guess, 64)
+			if supplied == stored[:len("hunter2")] {
+				return 1
+			}
+			return 0
+		}
+
+		// 3. An sthread with default-deny privileges: a scratch tag for
+		// its argument buffer, the gate, and nothing else.
+		argTag, _ := sys.TagNew(main)
+		workerSC := wedge.NewSC()
+		workerSC.MemAdd(argTag, wedge.PermRW)
+		workerSC.GateAdd(checkPassword, gateSC, secret, "check_password")
+		spec := workerSC.Gates[0]
+
+		worker, err := main.CreateNamed("worker", workerSC, func(w *wedge.Sthread, _ wedge.Addr) wedge.Addr {
+			// Direct access faults: the tag was never granted.
+			if err := w.TryRead(secret, make([]byte, 8)); err != nil {
+				fmt.Println("worker: direct read of the secret ->", err)
+			}
+			// But the gate answers the one question it is allowed to.
+			// The caller passes extra permissions so the gate can read
+			// the argument buffer — they must be a subset of the
+			// caller's own (the paper's cgate(cb, perms, arg)).
+			guess, _ := w.Smalloc(argTag, 64)
+			perms := wedge.NewSC()
+			perms.MemAdd(argTag, wedge.PermRead)
+
+			w.WriteString(guess, "hunter2")
+			ok, err := w.CallGate(spec, perms, guess)
+			if err != nil {
+				return 0
+			}
+			fmt.Println("worker: gate verdict for 'hunter2' ->", ok)
+
+			w.WriteString(guess, "wrong-password")
+			ok, _ = w.CallGate(spec, perms, guess)
+			fmt.Println("worker: gate verdict for 'wrong-password' ->", ok)
+			return 1
+		}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ret, fault := main.Join(worker); fault != nil || ret != 1 {
+			log.Fatalf("worker failed: ret=%d fault=%v", ret, fault)
+		}
+		fmt.Println("done: the secret never left its compartment")
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package attack implements the adversaries of §5.1's two threat models
+// as reusable drivers:
+//
+//   - an eavesdropper that records entire connections off the simulated
+//     wire (netsim taps);
+//   - offline decryption machinery that, given recorded traffic plus
+//     whatever key material an exploit managed to leak, recovers the
+//     victim's cleartext — or fails to, which is the measurable security
+//     outcome the partitionings differ on;
+//   - a passive man-in-the-middle (via netsim.Interpose) for the §5.1.2
+//     scenario where the attacker relays traffic untouched and waits for
+//     an exploited server compartment to leak the session key.
+//
+// An "exploit" in this model is attacker code injected into a server
+// compartment via the servers' hook points, running with exactly that
+// compartment's privileges. What it can exfiltrate — and whether that
+// suffices to decrypt the recording — is the experiment.
+package attack
+
+import (
+	"bytes"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+)
+
+// ErrNoKey is returned when decryption fails for every recorded record.
+var ErrNoKey = errors.New("attack: recorded ciphertext did not yield to the leaked material")
+
+// Recording accumulates both directions of tapped connections.
+type Recording struct {
+	mu sync.Mutex
+	// c2s and s2c are the reassembled byte streams.
+	c2s bytes.Buffer
+	s2c bytes.Buffer
+}
+
+// NewRecorder returns a recording and the tap to install with
+// netsim.Network.Tap (or to pass to netsim.PassiveMITM).
+func NewRecorder() (*Recording, netsim.TapFunc) {
+	r := &Recording{}
+	return r, func(dir netsim.Direction, data []byte) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if dir == netsim.ClientToServer {
+			r.c2s.Write(data)
+		} else {
+			r.s2c.Write(data)
+		}
+	}
+}
+
+// ClientBytes returns the recorded client-to-server stream.
+func (r *Recording) ClientBytes() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.c2s.Bytes()...)
+}
+
+// ServerBytes returns the recorded server-to-client stream.
+func (r *Recording) ServerBytes() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]byte(nil), r.s2c.Bytes()...)
+}
+
+// Randoms extracts the client and server randoms from the recorded
+// handshake — both cross the wire in cleartext, so the eavesdropper always
+// has them (§5.1.1).
+func (r *Recording) Randoms() (clientRandom, serverRandom [minissl.RandomLen]byte, err error) {
+	cr := bytes.NewReader(r.ClientBytes())
+	chBody, err := minissl.ExpectMsg(cr, minissl.MsgClientHello)
+	if err != nil {
+		return clientRandom, serverRandom, fmt.Errorf("attack: no ClientHello in recording: %w", err)
+	}
+	clientRandom, _, err = minissl.ParseClientHello(chBody)
+	if err != nil {
+		return clientRandom, serverRandom, err
+	}
+	sr := bytes.NewReader(r.ServerBytes())
+	shBody, err := minissl.ExpectMsg(sr, minissl.MsgServerHello)
+	if err != nil {
+		return clientRandom, serverRandom, fmt.Errorf("attack: no ServerHello in recording: %w", err)
+	}
+	serverRandom, _, _, err = minissl.ParseServerHello(shBody)
+	return clientRandom, serverRandom, err
+}
+
+// KeysFromLeakedMaster turns a leaked master secret plus the recorded
+// (public) randoms into the record-layer keys.
+func (r *Recording) KeysFromLeakedMaster(master [minissl.MasterLen]byte) (minissl.Keys, error) {
+	cr, sr, err := r.Randoms()
+	if err != nil {
+		return minissl.Keys{}, err
+	}
+	return minissl.KeyBlock(master, cr, sr), nil
+}
+
+// DecryptAppData replays the recording against the given keys and returns
+// every application-data record it can open, from both directions. The
+// Finished records consume sequence number zero on each side, exactly as
+// the protocol did live.
+func DecryptAppData(rec *Recording, keys minissl.Keys) ([][]byte, error) {
+	var out [][]byte
+	// To open client->server traffic we act as the server; and vice
+	// versa.
+	out = append(out, decryptDirection(rec.ClientBytes(), keys, minissl.ServerSide)...)
+	out = append(out, decryptDirection(rec.ServerBytes(), keys, minissl.ClientSide)...)
+	if len(out) == 0 {
+		return nil, ErrNoKey
+	}
+	return out, nil
+}
+
+func decryptDirection(stream []byte, keys minissl.Keys, side minissl.Side) [][]byte {
+	var out [][]byte
+	rc := minissl.NewRecordCoder(keys, side)
+	r := bytes.NewReader(stream)
+	for {
+		typ, body, err := minissl.ReadMsg(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return out
+			}
+			return out
+		}
+		switch typ {
+		case minissl.MsgFinished:
+			rc.Open(minissl.MsgFinished, body) // consume sequence 0
+		case minissl.MsgAppData:
+			if plain, err := rc.Open(minissl.MsgAppData, body); err == nil {
+				out = append(out, plain)
+			}
+		}
+	}
+}
+
+// Passive installs a recording man-in-the-middle on addr: traffic is
+// relayed untouched while being recorded. This is the §5.1.2 opening move:
+// "the attacker ... then passively passes messages as-is between the
+// client and server" while the real work happens via an exploit inside the
+// server.
+func Passive(net *netsim.Network, addr string) *Recording {
+	rec, tap := NewRecorder()
+	net.Interpose(addr, netsim.PassiveMITM(tap))
+	return rec
+}
+
+// Eavesdrop installs a passive wire tap (the §5.1.1 threat model: the
+// attacker "can eavesdrop on entire SSL connections" but not interpose).
+func Eavesdrop(net *netsim.Network, addr string) *Recording {
+	rec, tap := NewRecorder()
+	net.Tap(addr, tap)
+	return rec
+}
+
+// OfflineDecrypt plays the §5.1.1 long-term-key-compromise attacker
+// end-to-end: given a recorded full handshake and the server's long-lived
+// private key (obtained after the fact, e.g. by exploiting an
+// unpartitioned server), recover the premaster from the recorded
+// ClientKeyExchange, derive the session keys from the cleartext randoms,
+// and decrypt the application data.
+//
+// Against a static-key server this succeeds — the reason the partitioned
+// servers guard the private key so tightly. Against a server using
+// ephemeral per-connection keys it fails: the recorded ClientKeyExchange
+// is sealed under an ephemeral key whose private half was discarded at
+// handshake end, so even the long-lived key opens nothing (forward
+// secrecy).
+func OfflineDecrypt(rec *Recording, longterm *rsa.PrivateKey) ([][]byte, error) {
+	clientRandom, serverRandom, err := rec.Randoms()
+	if err != nil {
+		return nil, err
+	}
+	// Walk the client stream to the ClientKeyExchange.
+	cr := bytes.NewReader(rec.ClientBytes())
+	if _, err := minissl.ExpectMsg(cr, minissl.MsgClientHello); err != nil {
+		return nil, err
+	}
+	ckeBody, err := minissl.ExpectMsg(cr, minissl.MsgClientKeyExchange)
+	if err != nil {
+		return nil, fmt.Errorf("attack: no ClientKeyExchange in recording (resumed session?): %w", err)
+	}
+	premaster, err := minissl.DecryptPremaster(longterm, ckeBody)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoKey, err)
+	}
+	master := minissl.DeriveMaster(premaster, clientRandom, serverRandom)
+	keys := minissl.KeyBlock(master, clientRandom, serverRandom)
+
+	// Validate the recovered keys against the recorded client Finished
+	// before claiming success: with ephemeral keys the premaster decrypt
+	// above produces garbage (or errors), and the Finished MAC exposes it.
+	rc := minissl.NewRecordCoder(keys, minissl.ServerSide)
+	cfBody, err := minissl.ExpectMsg(cr, minissl.MsgFinished)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rc.Open(minissl.MsgFinished, cfBody); err != nil {
+		return nil, fmt.Errorf("%w: recovered keys fail the Finished check", ErrNoKey)
+	}
+	return DecryptAppData(rec, keys)
+}

@@ -1,0 +1,79 @@
+package attack
+
+import (
+	"errors"
+	"testing"
+
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+)
+
+// recordSession runs one full SSL session with a wire tap and returns the
+// recording.
+func recordSession(t *testing.T, opts minissl.ServerOpts) *Recording {
+	t.Helper()
+	net := netsim.New()
+	rec := Eavesdrop(net, "victim:443")
+	l, err := net.Listen("victim:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		srv, err := minissl.ServerHandshakeOpts(c, serverKey(t), nil, opts)
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = srv.ReadRecord()
+		done <- err
+	}()
+	conn, err := net.Dial("victim:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &serverKey(t).PublicKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Write([]byte("users' cleartext")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestOfflineDecryptStaticKey: §5.1.1's premise as an executable — the
+// long-lived key opens any recorded static-key session.
+func TestOfflineDecryptStaticKey(t *testing.T) {
+	rec := recordSession(t, minissl.ServerOpts{})
+	plain, err := OfflineDecrypt(rec, serverKey(t))
+	if err != nil {
+		t.Fatalf("static-key recording resisted the long-term key: %v", err)
+	}
+	found := false
+	for _, p := range plain {
+		if string(p) == "users' cleartext" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("request cleartext not recovered: %q", plain)
+	}
+}
+
+// TestOfflineDecryptEphemeral: with per-connection keys the identical
+// attack yields ErrNoKey — forward secrecy.
+func TestOfflineDecryptEphemeral(t *testing.T) {
+	rec := recordSession(t, minissl.ServerOpts{Ephemeral: true})
+	if plain, err := OfflineDecrypt(rec, serverKey(t)); !errors.Is(err, ErrNoKey) {
+		t.Fatalf("ephemeral recording decrypted: %q, err=%v", plain, err)
+	}
+}

@@ -1,0 +1,178 @@
+// Ablations for the design choices DESIGN.md calls out.
+//
+// Tag free-list cache (§4.1): the paper credits caching and reusing
+// deleted tags — instead of paying the mmap path on every per-connection
+// tag_new — with improving partitioned Apache's throughput by 20%.
+// AblationTagCache measures the partitioned server with the cache on and
+// off. (The recycled-vs-standard callgate ablation is Table 2 itself:
+// compare the "wedge" and "recycled" rows.)
+//
+// Ephemeral RSA (§5.1.1): the paper sets per-connection RSA keys aside
+// because "they are rarely used in practice because of their high
+// computational cost". AblationEphemeralRSA puts a number on that cost:
+// full-handshake throughput of the monolithic server with a static key
+// versus with per-connection ephemeral keys.
+
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"wedge/internal/httpd"
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+)
+
+// AblationTagCache measures MITM-partitioned Apache throughput with the
+// deleted-tag cache enabled and disabled, returning (cached, uncachedReqS)
+// requests/second.
+func AblationTagCache(conns int) (withCache, withoutCache float64, err error) {
+	if conns <= 0 {
+		conns = Table2Conns
+	}
+	run := func(cacheEnabled bool) (float64, error) {
+		k := kernel.New()
+		priv, err := minissl.GenerateServerKey()
+		if err != nil {
+			return 0, err
+		}
+		if err := httpd.SetupDocroot(k, "/var/www", 1024); err != nil {
+			return 0, err
+		}
+		app := sthread.Boot(k)
+		app.Tags.CacheEnabled = cacheEnabled
+
+		ready := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- app.Main(func(root *sthread.Sthread) {
+				srv, err := httpd.NewMITM(root, "/var/www", priv, false, httpd.Hooks{})
+				if err != nil {
+					panic(err)
+				}
+				l, err := root.Task.Listen("apache:443")
+				if err != nil {
+					panic(err)
+				}
+				close(ready)
+				for i := 0; i < conns; i++ {
+					c, err := l.Accept()
+					if err != nil {
+						return
+					}
+					srv.ServeConn(c)
+				}
+			})
+		}()
+		<-ready
+		start := time.Now()
+		for i := 0; i < conns; i++ {
+			conn, err := k.Net.Dial("apache:443")
+			if err != nil {
+				return 0, err
+			}
+			cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &priv.PublicKey})
+			if err != nil {
+				return 0, err
+			}
+			if _, err := cc.Write([]byte("GET /index.html")); err != nil {
+				return 0, err
+			}
+			if _, err := cc.ReadRecord(); err != nil {
+				return 0, err
+			}
+			conn.Close()
+		}
+		elapsed := time.Since(start)
+		if err := <-done; err != nil {
+			return 0, err
+		}
+		return float64(conns) / elapsed.Seconds(), nil
+	}
+	if withCache, err = run(true); err != nil {
+		return 0, 0, fmt.Errorf("cache on: %w", err)
+	}
+	if withoutCache, err = run(false); err != nil {
+		return 0, 0, fmt.Errorf("cache off: %w", err)
+	}
+	return withCache, withoutCache, nil
+}
+
+// AblationEphemeralRSA measures full (uncached) handshakes/second of the
+// monolithic SSL server with the long-lived key alone versus with
+// ephemeral per-connection keys, quantifying the forward-secrecy cost
+// §5.1.1 cites as the reason ephemeral keys were rarely deployed.
+func AblationEphemeralRSA(conns int) (static, ephemeral float64, err error) {
+	if conns <= 0 {
+		conns = Table2Conns
+	}
+	priv, err := minissl.GenerateServerKey()
+	if err != nil {
+		return 0, 0, err
+	}
+	run := func(opts minissl.ServerOpts) (float64, error) {
+		net := netsim.New()
+		l, err := net.Listen("srv:443")
+		if err != nil {
+			return 0, err
+		}
+		done := make(chan error, 1)
+		go func() {
+			for i := 0; i < conns; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					done <- err
+					return
+				}
+				srv, err := minissl.ServerHandshakeOpts(c, priv, nil, opts)
+				if err != nil {
+					done <- err
+					return
+				}
+				if _, err := srv.ReadRecord(); err != nil {
+					done <- err
+					return
+				}
+				if _, err := srv.Write([]byte("ok")); err != nil {
+					done <- err
+					return
+				}
+				c.Close()
+			}
+			done <- nil
+		}()
+		start := time.Now()
+		for i := 0; i < conns; i++ {
+			conn, err := net.Dial("srv:443")
+			if err != nil {
+				return 0, err
+			}
+			cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &priv.PublicKey})
+			if err != nil {
+				return 0, err
+			}
+			if _, err := cc.Write([]byte("GET /")); err != nil {
+				return 0, err
+			}
+			if _, err := cc.ReadRecord(); err != nil {
+				return 0, err
+			}
+			conn.Close()
+		}
+		elapsed := time.Since(start)
+		if err := <-done; err != nil {
+			return 0, err
+		}
+		return float64(conns) / elapsed.Seconds(), nil
+	}
+	if static, err = run(minissl.ServerOpts{}); err != nil {
+		return 0, 0, fmt.Errorf("static key: %w", err)
+	}
+	if ephemeral, err = run(minissl.ServerOpts{Ephemeral: true}); err != nil {
+		return 0, 0, fmt.Errorf("ephemeral keys: %w", err)
+	}
+	return static, ephemeral, nil
+}

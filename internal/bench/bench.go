@@ -1,0 +1,79 @@
+// Package bench regenerates every figure and table of the paper's
+// evaluation (§6) against the simulated substrate:
+//
+//	Figure 7 — creation/invocation latency of pthread, recycled callgate,
+//	           sthread, callgate, and fork;
+//	Figure 8 — malloc vs tag_new (warm and cold) vs mmap;
+//	Figure 9 — native vs Pin vs cb-log run time for nine workloads;
+//	Table 2  — Apache throughput (vanilla / Wedge / recycled callgates,
+//	           with and without session caching) and OpenSSH latency
+//	           (login and a 10 MB scp), vanilla vs Wedge;
+//	§5 notes — partitioning metrics (privileged vs unprivileged code).
+//
+// Absolute numbers differ from the paper's 2008 testbed — the substrate
+// is a simulator — but each experiment preserves the mechanical source of
+// its result, so the orderings, ratios, and crossovers are comparable.
+// EXPERIMENTS.md records paper-vs-measured for every row.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Result is one measured value.
+type Result struct {
+	Experiment string  // "fig7", "fig8", "fig9", "table2", "metrics"
+	Name       string  // row/bar label
+	Value      float64 // measured value
+	Unit       string  // "us", "ns", "ms", "req/s", "s", "lines", "ratio"
+	// PaperValue is the figure the paper reports for the same label, for
+	// side-by-side display. Zero when the paper gives no number.
+	PaperValue float64
+	PaperUnit  string
+}
+
+func (r Result) String() string {
+	s := fmt.Sprintf("%-10s %-28s %12.3f %-6s", r.Experiment, r.Name, r.Value, r.Unit)
+	if r.PaperValue != 0 {
+		s += fmt.Sprintf("   (paper: %g %s)", r.PaperValue, r.PaperUnit)
+	}
+	return s
+}
+
+// Format renders a result set as an aligned table, grouped by experiment.
+func Format(results []Result) string {
+	sorted := append([]Result(nil), results...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Experiment < sorted[j].Experiment })
+	var b strings.Builder
+	last := ""
+	for _, r := range sorted {
+		if r.Experiment != last {
+			if last != "" {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "== %s ==\n", r.Experiment)
+			last = r.Experiment
+		}
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// timeOp runs op n times and returns the per-iteration duration.
+func timeOp(n int, op func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		op()
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+// us converts a duration to float microseconds.
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// ns converts a duration to float nanoseconds.
+func ns(d time.Duration) float64 { return float64(d.Nanoseconds()) }

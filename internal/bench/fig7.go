@@ -1,0 +1,131 @@
+// Figure 7: the cost of creating and running each primitive, measured as
+// the paper measures it — "the time elapsed between requesting the
+// creation of an sthread whose code immediately calls exit and the
+// continuation of execution in the sthread's parent", with the
+// originating process of minimal size.
+//
+// The paper's shape: pthread cheapest; recycled callgates close to
+// pthreads (two futex operations); sthread, callgate and fork clustered
+// together, roughly 8x a pthread; recycled roughly 8x cheaper than a full
+// callgate.
+
+package bench
+
+import (
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// Fig7Iters is the default measurement iteration count.
+const Fig7Iters = 300
+
+// Fig7 measures the five bars.
+func Fig7(iters int) ([]Result, error) {
+	if iters <= 0 {
+		iters = Fig7Iters
+	}
+	var results []Result
+	app := sthread.Boot(kernel.New())
+	// Give the process a realistic pre-main image: the pristine snapshot
+	// of a dynamically linked server holds loader and library state, and
+	// duplicating its page-table entries is precisely the cost Figure 7
+	// charges to sthread creation and fork (§4.1). An empty image would
+	// make sthreads artificially cheap.
+	app.Premain(func(init *kernel.Task) {
+		base, err := init.Mmap(1<<20, vm.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		for off := 0; off < 1<<20; off += vm.PageSize {
+			init.AS.Store64(base+vm.Addr(off), uint64(off)) // touch every page
+		}
+	})
+	err := app.Main(func(root *sthread.Sthread) {
+		noopBody := func(*sthread.Sthread, vm.Addr) vm.Addr { return 0 }
+		noopGate := sthread.GateFunc(func(*sthread.Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 })
+
+		// pthread: shared address space, no resource copying.
+		d := timeOp(iters, func() {
+			t, err := root.Task.SpawnPthread(func(*kernel.Task) {})
+			if err != nil {
+				panic(err)
+			}
+			t.Wait()
+		})
+		results = append(results, Result{
+			Experiment: "fig7", Name: "pthread", Value: us(d), Unit: "us",
+			PaperValue: 8, PaperUnit: "us",
+		})
+
+		// recycled callgate: one futex round trip per call.
+		rec, err := root.NewRecycled("noop", policy.New(), noopGate, 0)
+		if err != nil {
+			panic(err)
+		}
+		d = timeOp(iters, func() {
+			if _, err := rec.Call(root, 0); err != nil {
+				panic(err)
+			}
+		})
+		rec.Close()
+		results = append(results, Result{
+			Experiment: "fig7", Name: "recycled", Value: us(d), Unit: "us",
+			PaperValue: 8, PaperUnit: "us",
+		})
+
+		// sthread: pristine COW clone plus policy-driven grants.
+		d = timeOp(iters, func() {
+			c, err := root.Create(policy.New(), noopBody, 0)
+			if err != nil {
+				panic(err)
+			}
+			root.Join(c)
+		})
+		results = append(results, Result{
+			Experiment: "fig7", Name: "sthread", Value: us(d), Unit: "us",
+			PaperValue: 65, PaperUnit: "us",
+		})
+
+		// callgate: sthread creation per invocation, measured from a
+		// caller sthread that holds the gate.
+		callerSC := policy.New()
+		callerSC.GateAdd(noopGate, policy.New(), 0, "noop")
+		spec := callerSC.Gates[0]
+		var perCall vm.Addr
+		caller, err := root.Create(callerSC, func(s *sthread.Sthread, _ vm.Addr) vm.Addr {
+			d := timeOp(iters, func() {
+				if _, err := s.CallGate(spec, nil, 0); err != nil {
+					panic(err)
+				}
+			})
+			return vm.Addr(d.Nanoseconds())
+		}, 0)
+		if err != nil {
+			panic(err)
+		}
+		perCall, fault := root.Join(caller)
+		if fault != nil {
+			panic(fault)
+		}
+		results = append(results, Result{
+			Experiment: "fig7", Name: "callgate", Value: float64(perCall) / 1e3, Unit: "us",
+			PaperValue: 65, PaperUnit: "us",
+		})
+
+		// fork: full page-table and descriptor-table duplication.
+		d = timeOp(iters, func() {
+			t, err := root.Task.Fork(func(*kernel.Task) {})
+			if err != nil {
+				panic(err)
+			}
+			t.Wait()
+		})
+		results = append(results, Result{
+			Experiment: "fig7", Name: "fork", Value: us(d), Unit: "us",
+			PaperValue: 65, PaperUnit: "us",
+		})
+	})
+	return results, err
+}

@@ -1,0 +1,92 @@
+// Figure 8: memory-call costs. The paper's shape: smalloc costs roughly
+// the same as malloc; warm tag_new (free-list reuse plus scrub-by-remap)
+// is about 4x malloc; mmap — and therefore cold tag_new — is about 22x
+// malloc.
+
+package bench
+
+import (
+	"wedge/internal/kernel"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// Fig8Iters is the default iteration count.
+const Fig8Iters = 2000
+
+// Fig8 measures malloc, tag_new (warm), mmap, and the tag_new cold path
+// ablation.
+func Fig8(iters int) ([]Result, error) {
+	if iters <= 0 {
+		iters = Fig8Iters
+	}
+	var results []Result
+	app := sthread.Boot(kernel.New())
+	err := app.Main(func(root *sthread.Sthread) {
+		// malloc: allocator hit on the private heap.
+		d := timeOp(iters, func() {
+			a, err := root.Malloc(64)
+			if err != nil {
+				panic(err)
+			}
+			root.Free(a)
+		})
+		results = append(results, Result{
+			Experiment: "fig8", Name: "malloc", Value: ns(d), Unit: "ns",
+			PaperValue: 50, PaperUnit: "ns",
+		})
+
+		// tag_new warm: pop the userland cache, scrub by zero-remap,
+		// reseed the header. Prime the cache first.
+		reg := root.App().Tags
+		tg, err := reg.TagNew(root.Task)
+		if err != nil {
+			panic(err)
+		}
+		reg.TagDelete(tg)
+		d = timeOp(iters, func() {
+			tg, err := reg.TagNew(root.Task)
+			if err != nil {
+				panic(err)
+			}
+			reg.TagDelete(tg)
+		})
+		results = append(results, Result{
+			Experiment: "fig8", Name: "tag_new (reuse)", Value: ns(d), Unit: "ns",
+			PaperValue: 200, PaperUnit: "ns",
+		})
+
+		// mmap: fresh zeroed pages every time.
+		d = timeOp(iters, func() {
+			a, err := root.Task.Mmap(tags.DefaultRegionSize, vm.PermRW)
+			if err != nil {
+				panic(err)
+			}
+			if err := root.Task.Munmap(a, tags.DefaultRegionSize); err != nil {
+				panic(err)
+			}
+		})
+		results = append(results, Result{
+			Experiment: "fig8", Name: "mmap", Value: ns(d), Unit: "ns",
+			PaperValue: 1100, PaperUnit: "ns",
+		})
+
+		// tag_new cold (ablation): cache disabled, every tag_new pays
+		// the mmap path plus header initialization.
+		cold := tags.NewRegistry()
+		cold.CacheEnabled = false
+		d = timeOp(iters, func() {
+			tg, err := cold.TagNew(root.Task)
+			if err != nil {
+				panic(err)
+			}
+			cold.TagDelete(tg)
+		})
+		results = append(results, Result{
+			Experiment: "fig8", Name: "tag_new (cold)", Value: ns(d), Unit: "ns",
+			PaperValue: 1100, PaperUnit: "ns",
+		})
+	})
+	return results, err
+}

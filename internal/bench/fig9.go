@@ -1,0 +1,104 @@
+// Figure 9: cb-log overhead. Each workload runs three ways — native,
+// under the translation engine alone (Pin), and under full access logging
+// (cb-log) — and the figure reports the three times plus the
+// cb-log-over-Pin ratio printed above each group of bars in the paper
+// (ssh 2.4x ... h264ref 90x).
+
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"wedge/internal/crowbar"
+	"wedge/internal/pin"
+	"wedge/internal/spec"
+)
+
+// Fig9Row is the full measurement for one workload.
+type Fig9Row struct {
+	Workload string
+	Native   time.Duration
+	Pin      time.Duration
+	CBLog    time.Duration
+	// Ratio is cb-log over Pin, the number the paper prints above the
+	// bars.
+	Ratio float64
+	// TraceRecords is the number of access records cb-log captured.
+	TraceRecords int
+}
+
+// paperRatios are the cb-log/Pin ratios printed in the paper's Figure 9.
+var paperRatios = map[string]float64{
+	"ssh": 2.4, "mcf": 7.1, "gobmk": 8.7, "apache": 8.8, "quantum": 29,
+	"hmmer": 42, "sjeng": 51, "bzip2": 53, "h264ref": 90,
+}
+
+// Fig9 runs all nine workloads in the three modes.
+func Fig9() ([]Fig9Row, []Result, error) {
+	var rows []Fig9Row
+	var results []Result
+	// Each (workload, mode) cell is run several times and the minimum
+	// elapsed time kept: the workloads complete in microseconds to
+	// milliseconds, where scheduler and allocator noise would otherwise
+	// swamp the ratios.
+	const reps = 3
+	for _, w := range spec.All() {
+		row := Fig9Row{Workload: w.Name()}
+		var checksums [3]uint64
+		for i, mode := range []pin.Mode{pin.ModeNative, pin.ModePin, pin.ModeCBLog} {
+			var best time.Duration
+			var records int
+			var sum uint64
+			for rep := 0; rep < reps; rep++ {
+				p, err := pin.NewProc(mode)
+				if err != nil {
+					return nil, nil, err
+				}
+				var logger *crowbar.Logger
+				if mode == pin.ModeCBLog {
+					logger = crowbar.NewLogger()
+					p.Attach(logger)
+				}
+				start := time.Now()
+				s, err := w.Run(p)
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s under %s: %w", w.Name(), mode, err)
+				}
+				sum = s
+				if rep == 0 || elapsed < best {
+					best = elapsed
+				}
+				if logger != nil {
+					records = logger.Trace().Len()
+				}
+			}
+			checksums[i] = sum
+			switch mode {
+			case pin.ModeNative:
+				row.Native = best
+			case pin.ModePin:
+				row.Pin = best
+			case pin.ModeCBLog:
+				row.CBLog = best
+				row.TraceRecords = records
+			}
+		}
+		if checksums[0] != checksums[1] || checksums[1] != checksums[2] {
+			return nil, nil, fmt.Errorf("%s: checksum diverged across modes", w.Name())
+		}
+		if row.Pin > 0 {
+			row.Ratio = float64(row.CBLog) / float64(row.Pin)
+		}
+		rows = append(rows, row)
+		results = append(results,
+			Result{Experiment: "fig9", Name: w.Name() + " native", Value: float64(row.Native.Microseconds()) / 1e3, Unit: "ms"},
+			Result{Experiment: "fig9", Name: w.Name() + " pin", Value: float64(row.Pin.Microseconds()) / 1e3, Unit: "ms"},
+			Result{Experiment: "fig9", Name: w.Name() + " crowbar", Value: float64(row.CBLog.Microseconds()) / 1e3, Unit: "ms"},
+			Result{Experiment: "fig9", Name: w.Name() + " ratio", Value: row.Ratio, Unit: "x",
+				PaperValue: paperRatios[w.Name()], PaperUnit: "x"},
+		)
+	}
+	return rows, results, nil
+}

@@ -1,0 +1,288 @@
+// Table 2: end-to-end application performance.
+//
+// Top half — maximum sustained throughput of the SSL web server, in
+// requests per second, for vanilla Apache (pooled workers, no isolation),
+// Wedge-partitioned Apache (the Figures 3-5 two-phase partitioning), and
+// the recycled-callgate build; each with an all-sessions-cached workload
+// and an uncached one. The paper's shape: vanilla fastest; Wedge pays the
+// most on the cached workload (where per-request primitives dominate the
+// cheap resumed handshake) and least on the uncached one (where the RSA
+// operation dominates); recycled callgates claw back a large fraction.
+//
+// Bottom half — OpenSSH interactive latency: one login, and one 10 MB scp
+// upload, vanilla vs Wedge. The paper's result: negligible difference.
+
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"wedge/internal/httpd"
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/sshd"
+	"wedge/internal/sthread"
+)
+
+// Table2Conns is the default number of timed connections per cell.
+const Table2Conns = 30
+
+// ScpSize is the upload size of the scp row.
+const ScpSize = 10 << 20
+
+// Table2Apache measures one Apache cell: requests/second for the given
+// variant ("vanilla", "wedge", "recycled") and workload.
+func Table2Apache(variant string, cached bool, conns int) (float64, error) {
+	if conns <= 0 {
+		conns = Table2Conns
+	}
+	k := kernel.New()
+	priv, err := minissl.GenerateServerKey()
+	if err != nil {
+		return 0, err
+	}
+	if err := httpd.SetupDocroot(k, "/var/www", 1024); err != nil {
+		return 0, err
+	}
+	app := sthread.Boot(k)
+
+	total := conns
+	if cached {
+		total++ // one untimed warm-up connection fills the cache
+	}
+
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			var serve func(*netsim.Conn) error
+			switch variant {
+			case "vanilla":
+				srv, err := httpd.NewMonolithic(root, "/var/www", priv, cached, httpd.Hooks{})
+				if err != nil {
+					panic(err)
+				}
+				serve = srv.ServeConn
+			case "wedge":
+				srv, err := httpd.NewMITM(root, "/var/www", priv, cached, httpd.Hooks{})
+				if err != nil {
+					panic(err)
+				}
+				serve = srv.ServeConn
+			case "recycled":
+				srv, err := httpd.NewRecycled(root, "/var/www", priv, cached, httpd.Hooks{})
+				if err != nil {
+					panic(err)
+				}
+				defer srv.Close()
+				serve = srv.ServeConn
+			default:
+				panic("unknown variant " + variant)
+			}
+			l, err := root.Task.Listen("apache:443")
+			if err != nil {
+				panic(err)
+			}
+			close(ready)
+			for i := 0; i < total; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				serve(c)
+			}
+		})
+	}()
+	<-ready
+
+	request := func(sess *minissl.ClientSession) (*minissl.ClientSession, error) {
+		conn, err := k.Net.Dial("apache:443")
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{
+			ServerPub: &priv.PublicKey, Session: sess,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := cc.Write([]byte("GET /index.html")); err != nil {
+			return nil, err
+		}
+		if _, err := cc.ReadRecord(); err != nil {
+			return nil, err
+		}
+		return &cc.Session, nil
+	}
+
+	var sess *minissl.ClientSession
+	if cached {
+		if sess, err = request(nil); err != nil { // warm-up, untimed
+			return 0, fmt.Errorf("warm-up: %w", err)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < conns; i++ {
+		var use *minissl.ClientSession
+		if cached {
+			use = sess
+		}
+		if _, err := request(use); err != nil {
+			return 0, fmt.Errorf("conn %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	return float64(conns) / elapsed.Seconds(), nil
+}
+
+// Table2SSH measures the bottom half for one variant ("vanilla" = the
+// pre-privilege-separation monolithic server, "wedge" = Figure 6),
+// returning the login delay and the 10 MB scp delay.
+func Table2SSH(variant string, scpSize int) (login, scp time.Duration, err error) {
+	if scpSize <= 0 {
+		scpSize = ScpSize
+	}
+	k := kernel.New()
+	hostKey, err := minissl.GenerateServerKey()
+	if err != nil {
+		return 0, 0, err
+	}
+	users := []sshd.User{{Name: "alice", Password: "sesame", UID: 1000}}
+	if err := sshd.SetupUsers(k, users); err != nil {
+		return 0, 0, err
+	}
+	cfg := sshd.ServerConfig{HostKey: hostKey}
+	app := sthread.Boot(k)
+
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			var serve func(*netsim.Conn) error
+			switch variant {
+			case "vanilla":
+				serve = sshd.NewMonolithic(root, cfg, sshd.MonoHooks{}).ServeConn
+			case "wedge":
+				srv, err := sshd.NewWedge(root, cfg, sshd.WedgeHooks{})
+				if err != nil {
+					panic(err)
+				}
+				serve = srv.ServeConn
+			default:
+				panic("unknown variant " + variant)
+			}
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				panic(err)
+			}
+			close(ready)
+			for i := 0; i < 2; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				serve(c)
+			}
+		})
+	}()
+	<-ready
+
+	// Login delay: dial, host auth, password auth.
+	start := time.Now()
+	conn, err := k.Net.Dial("sshd:22")
+	if err != nil {
+		return 0, 0, err
+	}
+	c, err := sshd.NewClient(conn, &hostKey.PublicKey)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := c.AuthPassword("alice", "sesame"); err != nil {
+		return 0, 0, err
+	}
+	login = time.Since(start)
+	c.Exit()
+	conn.Close()
+
+	// scp delay: login (untimed for the row) then one timed upload.
+	conn2, err := k.Net.Dial("sshd:22")
+	if err != nil {
+		return 0, 0, err
+	}
+	c2, err := sshd.NewClient(conn2, &hostKey.PublicKey)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := c2.AuthPassword("alice", "sesame"); err != nil {
+		return 0, 0, err
+	}
+	payload := make([]byte, scpSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start = time.Now()
+	if err := c2.ScpPut("bigfile", payload); err != nil {
+		return 0, 0, err
+	}
+	scp = time.Since(start)
+	c2.Exit()
+	conn2.Close()
+
+	if err := <-done; err != nil {
+		return 0, 0, err
+	}
+	return login, scp, nil
+}
+
+// Table2 runs every cell and returns display results. conns and scpSize
+// scale the work for quick runs.
+func Table2(conns, scpSize int) ([]Result, error) {
+	var results []Result
+	paper := map[string]float64{
+		"vanilla cached":    1238,
+		"wedge cached":      238,
+		"recycled cached":   339,
+		"vanilla uncached":  247,
+		"wedge uncached":    132,
+		"recycled uncached": 170,
+	}
+	for _, cached := range []bool{true, false} {
+		for _, variant := range []string{"vanilla", "wedge", "recycled"} {
+			rps, err := Table2Apache(variant, cached, conns)
+			if err != nil {
+				return nil, fmt.Errorf("apache %s cached=%v: %w", variant, cached, err)
+			}
+			label := variant + " uncached"
+			if cached {
+				label = variant + " cached"
+			}
+			results = append(results, Result{
+				Experiment: "table2", Name: "apache " + label, Value: rps, Unit: "req/s",
+				PaperValue: paper[label], PaperUnit: "req/s",
+			})
+		}
+	}
+	paperSSH := map[string]float64{
+		"vanilla login": 0.145, "wedge login": 0.148,
+		"vanilla scp": 0.376, "wedge scp": 0.370,
+	}
+	for _, variant := range []string{"vanilla", "wedge"} {
+		login, scp, err := Table2SSH(variant, scpSize)
+		if err != nil {
+			return nil, fmt.Errorf("ssh %s: %w", variant, err)
+		}
+		results = append(results,
+			Result{Experiment: "table2", Name: "ssh " + variant + " login", Value: login.Seconds(), Unit: "s",
+				PaperValue: paperSSH[variant+" login"], PaperUnit: "s"},
+			Result{Experiment: "table2", Name: "ssh " + variant + " scp", Value: scp.Seconds(), Unit: "s",
+				PaperValue: paperSSH[variant+" scp"], PaperUnit: "s"},
+		)
+	}
+	return results, nil
+}

@@ -1,0 +1,115 @@
+// cb-log: the run-time instrumentation half of Crowbar (§4.2). Logger
+// implements pin.Tool, turning the engine's events into Trace records. It
+// also imports violation logs from the sthread emulation library, so that
+// a programmer who refactors a partitioned application can run it under
+// emulation and query the would-be protection violations with the same
+// cb-analyze machinery (§3.4).
+
+package crowbar
+
+import (
+	"fmt"
+
+	"wedge/internal/pin"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// Logger is cb-log: attach it to a pin.Proc running in ModeCBLog and every
+// memory access lands in its Trace with a full backtrace.
+type Logger struct {
+	trace *Trace
+
+	// curBT caches the interned id of the live backtrace between
+	// function entries and exits, so the per-access logging cost does
+	// not depend on stack depth (accesses vastly outnumber calls).
+	curBT      int32
+	curBTValid bool
+
+	// Accesses counts events received (for overhead accounting).
+	Accesses uint64
+	// Mallocs counts allocation events.
+	Mallocs uint64
+}
+
+// NewLogger returns a logger recording into a fresh trace.
+func NewLogger() *Logger {
+	return &Logger{trace: NewTrace()}
+}
+
+// Trace returns the trace built so far.
+func (l *Logger) Trace() *Trace { return l.trace }
+
+// itemFor maps a pin segment to a trace item.
+func itemFor(seg *pin.Segment) *Item {
+	if seg == nil {
+		return &Item{Kind: pin.SegHeap, Name: "untracked", Key: "untracked"}
+	}
+	switch seg.Kind {
+	case pin.SegGlobal:
+		return &Item{Kind: pin.SegGlobal, Name: seg.Name, Key: "global:" + seg.Name}
+	case pin.SegStack:
+		return &Item{Kind: pin.SegStack, Name: seg.Name, Key: "stack:" + seg.Name}
+	default:
+		// Heap items are identified by the full allocation backtrace.
+		key := "heap:" + btKey(seg.AllocSite)
+		return &Item{Kind: pin.SegHeap, Name: seg.Name, AllocSite: seg.AllocSite, Key: key}
+	}
+}
+
+// OnEnter implements pin.Tool: the cached backtrace id is invalidated.
+func (l *Logger) OnEnter(*pin.Proc, []pin.Frame) { l.curBTValid = false }
+
+// OnExit implements pin.Tool.
+func (l *Logger) OnExit(*pin.Proc, []pin.Frame) { l.curBTValid = false }
+
+// OnAccess implements pin.Tool: one record per load/store, with the
+// segment classification and offset cb-log reports. The backtrace is
+// interned once per call region rather than per access.
+func (l *Logger) OnAccess(_ *pin.Proc, access vm.Access, _ vm.Addr, _ int, seg *pin.Segment, off uint64, bt []pin.Frame) {
+	l.Accesses++
+	t := l.trace
+	t.mu.Lock()
+	if !l.curBTValid {
+		l.curBT = t.internBT(bt)
+		l.curBTValid = true
+	}
+	t.records = append(t.records, record{
+		item:   t.internItem(itemFor(seg)),
+		bt:     l.curBT,
+		access: access,
+		offset: uint32(off),
+	})
+	t.mu.Unlock()
+}
+
+// OnMalloc implements pin.Tool; allocation sites become known before the
+// first access so that heap items exist even for never-touched buffers.
+func (l *Logger) OnMalloc(_ *pin.Proc, seg *pin.Segment, _ []pin.Frame) {
+	l.Mallocs++
+	l.trace.mu.Lock()
+	l.trace.internItem(itemFor(seg))
+	l.trace.mu.Unlock()
+}
+
+// OnFree implements pin.Tool. Item identity is the allocation site, which
+// outlives the buffer; nothing to do.
+func (l *Logger) OnFree(*pin.Proc, *pin.Segment) {}
+
+// ImportViolations folds an emulation-library violation log into the
+// trace, one record per violation, attributed to the violating sthread as
+// a single-frame backtrace and to a per-tag pseudo-item. cb-log "supports
+// the sthread emulation library, by logging any memory accesses by an
+// sthread for which insufficient permissions would normally have caused a
+// protection violation" (§4.2).
+func (l *Logger) ImportViolations(vs []sthread.Violation) {
+	for _, v := range vs {
+		it := &Item{
+			Kind: pin.SegHeap,
+			Name: fmt.Sprintf("tag:%d", v.Tag),
+			Key:  fmt.Sprintf("violation:tag:%d", v.Tag),
+		}
+		bt := []pin.Frame{{Func: v.Sthread}}
+		l.trace.add(it, bt, v.Access, uint64(v.Addr))
+	}
+}

@@ -1,0 +1,393 @@
+// Package crowbar implements Wedge's partitioning-assistance tools (§3.4,
+// §4.2): cb-log, which records which memory items are used by which code
+// with what modes of access and where each item was allocated; and
+// cb-analyze, which answers the three query types the paper supports:
+//
+//  1. Given a procedure, what memory items do it and all its descendants
+//     in the execution call graph access, and with what modes?
+//  2. Given a list of data items, which procedures use any of them?
+//  3. Given a procedure known to generate sensitive data, where do it and
+//     its descendants write?
+//
+// Traces from multiple innocuous workloads can be aggregated (§3.4), and
+// violations logged by the sthread emulation library can be imported so
+// that the same queries work over them.
+package crowbar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wedge/internal/pin"
+	"wedge/internal/vm"
+)
+
+// Item is one distinct memory item: a global variable, a function's stack
+// frame, or a heap allocation site. Heap items are identified by the full
+// backtrace of the original malloc (§4.2), so two allocations from the
+// same call path are the same item — which is exactly the granularity at
+// which a programmer converts malloc calls to smalloc.
+type Item struct {
+	Kind pin.SegKind
+	// Name is the cb-log display name: variable, frame function, or
+	// allocation-site summary.
+	Name string
+	// AllocSite is the original allocation backtrace for heap items.
+	AllocSite []pin.Frame
+	// Key uniquely identifies the item within a trace.
+	Key string
+}
+
+// String renders the item as cb-analyze reports it.
+func (it *Item) String() string {
+	return fmt.Sprintf("%s %s", it.Kind, it.Name)
+}
+
+// Access summarizes the modes with which something touched an item.
+type Access struct {
+	Read  bool
+	Write bool
+}
+
+// Mode renders "r", "w" or "rw".
+func (a Access) Mode() string {
+	switch {
+	case a.Read && a.Write:
+		return "rw"
+	case a.Write:
+		return "w"
+	case a.Read:
+		return "r"
+	}
+	return "-"
+}
+
+// record is one logged access, with interned item and backtrace ids.
+type record struct {
+	item   int32
+	bt     int32
+	access vm.Access
+	offset uint32
+}
+
+// Trace is the queryable result of one or more cb-log runs.
+type Trace struct {
+	mu sync.Mutex
+
+	items   []*Item
+	itemIdx map[string]int32
+
+	backtraces []string // interned "f1<f2<f3" paths, innermost last
+	btIdx      map[string]int32
+
+	records []record
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{
+		itemIdx: make(map[string]int32),
+		btIdx:   make(map[string]int32),
+	}
+}
+
+// Len returns the number of access records.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.records)
+}
+
+// Items returns all distinct items seen, sorted by key for stable output.
+func (t *Trace) Items() []*Item {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]*Item(nil), t.items...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// ItemCount returns how many distinct items of each kind the trace saw —
+// the numbers behind the paper's "222 heap objects and 389 globals".
+func (t *Trace) ItemCount() map[pin.SegKind]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[pin.SegKind]int)
+	for _, it := range t.items {
+		out[it.Kind]++
+	}
+	return out
+}
+
+func (t *Trace) internItem(it *Item) int32 {
+	if id, ok := t.itemIdx[it.Key]; ok {
+		return id
+	}
+	id := int32(len(t.items))
+	t.items = append(t.items, it)
+	t.itemIdx[it.Key] = id
+	return id
+}
+
+func btKey(bt []pin.Frame) string {
+	var b strings.Builder
+	for i, f := range bt {
+		if i > 0 {
+			b.WriteByte('<')
+		}
+		b.WriteString(f.Func)
+	}
+	return b.String()
+}
+
+func (t *Trace) internBT(bt []pin.Frame) int32 {
+	k := btKey(bt)
+	if id, ok := t.btIdx[k]; ok {
+		return id
+	}
+	id := int32(len(t.backtraces))
+	t.backtraces = append(t.backtraces, k)
+	t.btIdx[k] = id
+	return id
+}
+
+// add appends one record.
+func (t *Trace) add(it *Item, bt []pin.Frame, access vm.Access, offset uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.records = append(t.records, record{
+		item:   t.internItem(it),
+		bt:     t.internBT(bt),
+		access: access,
+		offset: uint32(offset),
+	})
+}
+
+// Merge folds other into t (trace aggregation across workloads, §3.4).
+func (t *Trace) Merge(other *Trace) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range other.records {
+		it := other.items[r.item]
+		id := t.internItem(it)
+		bt := other.backtraces[r.bt]
+		btID, ok := t.btIdx[bt]
+		if !ok {
+			btID = int32(len(t.backtraces))
+			t.backtraces = append(t.backtraces, bt)
+			t.btIdx[bt] = btID
+		}
+		t.records = append(t.records, record{item: id, bt: btID, access: r.access, offset: r.offset})
+	}
+}
+
+// ---- cb-analyze queries -------------------------------------------------------
+
+// btContains reports whether fn appears anywhere in the interned path.
+func btContains(path, fn string) bool {
+	for len(path) > 0 {
+		i := strings.IndexByte(path, '<')
+		var head string
+		if i < 0 {
+			head, path = path, ""
+		} else {
+			head, path = path[:i], path[i+1:]
+		}
+		if head == fn {
+			return true
+		}
+	}
+	return false
+}
+
+func btInnermost(path string) string {
+	if i := strings.LastIndexByte(path, '<'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// AccessedBy answers query type 1: the memory items accessed by proc and
+// all its descendants in the execution call graph, with modes. The result
+// is keyed by item key; use Items for display order.
+func (t *Trace) AccessedBy(proc string) map[string]Access {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Precompute which interned backtraces contain proc.
+	inScope := make([]bool, len(t.backtraces))
+	for i, bt := range t.backtraces {
+		inScope[i] = btContains(bt, proc)
+	}
+	out := make(map[string]Access)
+	for _, r := range t.records {
+		if !inScope[r.bt] {
+			continue
+		}
+		key := t.items[r.item].Key
+		a := out[key]
+		if r.access == vm.AccessRead {
+			a.Read = true
+		} else {
+			a.Write = true
+		}
+		out[key] = a
+	}
+	return out
+}
+
+// UsersOf answers query type 2: which procedures directly access any of
+// the given items (identified by key). "Directly" means the innermost
+// frame of the access backtrace, which is the procedure whose code issued
+// the instruction — the set a programmer moves into a callgate.
+func (t *Trace) UsersOf(itemKeys []string) []string {
+	want := make(map[int32]bool, len(itemKeys))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, k := range itemKeys {
+		if id, ok := t.itemIdx[k]; ok {
+			want[id] = true
+		}
+	}
+	seen := make(map[string]bool)
+	for _, r := range t.records {
+		if want[r.item] {
+			seen[btInnermost(t.backtraces[r.bt])] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for fn := range seen {
+		out = append(out, fn)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritesBy answers query type 3: the items written by proc and its
+// descendants — the data that "may warrant protection with callgates"
+// when proc generates sensitive data.
+func (t *Trace) WritesBy(proc string) []*Item {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	inScope := make([]bool, len(t.backtraces))
+	for i, bt := range t.backtraces {
+		inScope[i] = btContains(bt, proc)
+	}
+	seen := make(map[int32]bool)
+	for _, r := range t.records {
+		if r.access == vm.AccessWrite && inScope[r.bt] {
+			seen[r.item] = true
+		}
+	}
+	out := make([]*Item, 0, len(seen))
+	for id := range seen {
+		out = append(out, t.items[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Item returns the item with the given key, if present.
+func (t *Trace) Item(key string) (*Item, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, ok := t.itemIdx[key]
+	if !ok {
+		return nil, false
+	}
+	return t.items[id], true
+}
+
+// Report renders query 1's result as the cb-analyze CLI prints it.
+func (t *Trace) Report(proc string) string {
+	acc := t.AccessedBy(proc)
+	keys := make([]string, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "memory items accessed by %s and descendants (%d):\n", proc, len(keys))
+	for _, k := range keys {
+		it, _ := t.Item(k)
+		fmt.Fprintf(&b, "  %-2s %s\n", acc[k].Mode(), it)
+		if it.Kind == pin.SegHeap && len(it.AllocSite) > 0 {
+			fmt.Fprintf(&b, "       allocated at:")
+			for _, f := range it.AllocSite {
+				fmt.Fprintf(&b, " %s", f)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// OffsetUse summarizes accesses to one offset within an item: the modes
+// seen and which procedures issued them. The paper logs "the offset being
+// accessed within the segment" so the programmer can "calculate and
+// determine the member of a global or heap structure being accessed"
+// (§4.2); this query aggregates those records per offset.
+type OffsetUse struct {
+	Offset uint32
+	Access Access
+	// Procs are the innermost frames that touched this offset, sorted.
+	Procs []string
+}
+
+// OffsetsOf returns, for the item with the given key, every distinct
+// offset accessed during the trace with its modes and direct users,
+// ordered by offset. An unknown key yields an empty slice.
+func (t *Trace) OffsetsOf(itemKey string) []OffsetUse {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, ok := t.itemIdx[itemKey]
+	if !ok {
+		return nil
+	}
+	type agg struct {
+		access Access
+		procs  map[string]bool
+	}
+	byOff := make(map[uint32]*agg)
+	for _, r := range t.records {
+		if r.item != id {
+			continue
+		}
+		a := byOff[r.offset]
+		if a == nil {
+			a = &agg{procs: make(map[string]bool)}
+			byOff[r.offset] = a
+		}
+		if r.access == vm.AccessRead {
+			a.access.Read = true
+		} else {
+			a.access.Write = true
+		}
+		a.procs[btInnermost(t.backtraces[r.bt])] = true
+	}
+	out := make([]OffsetUse, 0, len(byOff))
+	for off, a := range byOff {
+		procs := make([]string, 0, len(a.procs))
+		for p := range a.procs {
+			procs = append(procs, p)
+		}
+		sort.Strings(procs)
+		out = append(out, OffsetUse{Offset: off, Access: a.access, Procs: procs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offset < out[j].Offset })
+	return out
+}
+
+// OffsetReport renders OffsetsOf as the cbanalyze CLI prints it.
+func (t *Trace) OffsetReport(itemKey string) string {
+	uses := t.OffsetsOf(itemKey)
+	var b strings.Builder
+	fmt.Fprintf(&b, "offsets accessed within %s (%d):\n", itemKey, len(uses))
+	for _, u := range uses {
+		fmt.Fprintf(&b, "  +%-6d %-2s by %s\n", u.Offset, u.Access.Mode(), strings.Join(u.Procs, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,345 @@
+package crowbar
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wedge/internal/pin"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// runSample executes a small instrumented program with a known call graph:
+//
+//	main
+//	 ├─ handle_request            reads global config, r/w heap buf (alloc in handle_request)
+//	 │   └─ parse                 writes heap buf, reads global config
+//	 └─ generate_key              writes global key_material, writes heap secret
+func runSample(t *testing.T) (*Logger, *pin.Proc) {
+	t.Helper()
+	p, err := pin.NewProc(pin.ModeCBLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLogger()
+	p.Attach(l)
+
+	config, err := p.DeclareGlobal("config", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyMaterial, err := p.DeclareGlobal("key_material", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.Call("main", "main.c", 10, func() {
+		p.Store64(config, 0xC0FFEE) // main initializes config
+
+		var buf vm.Addr
+		p.Call("handle_request", "req.c", 42, func() {
+			buf, _ = p.Malloc(128)
+			p.Load64(config)
+			p.Store64(buf, 1)
+			p.Call("parse", "parse.c", 7, func() {
+				p.Load64(config)
+				p.Store64(buf+8, 2)
+			})
+			p.Load64(buf)
+		})
+
+		p.Call("generate_key", "key.c", 99, func() {
+			p.Store64(keyMaterial, 0x5EC4E7)
+			secret, _ := p.Malloc(32)
+			p.Store64(secret, 0xDEAD)
+		})
+	})
+	return l, p
+}
+
+func TestQueryAccessedBy(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+
+	acc := tr.AccessedBy("handle_request")
+	if len(acc) != 2 {
+		t.Fatalf("handle_request touches %d items (%v), want 2", len(acc), acc)
+	}
+	if a, ok := acc["global:config"]; !ok || a.Mode() != "r" {
+		t.Fatalf("config access = %+v, want read-only", a)
+	}
+	var heapKey string
+	for k := range acc {
+		if strings.HasPrefix(k, "heap:") {
+			heapKey = k
+		}
+	}
+	if heapKey == "" {
+		t.Fatalf("no heap item in %v", acc)
+	}
+	if acc[heapKey].Mode() != "rw" {
+		t.Fatalf("heap buf mode = %s, want rw", acc[heapKey].Mode())
+	}
+
+	// Descendants included: parse's write to buf is attributed to
+	// handle_request's scope too. Verify via parse scope itself.
+	accParse := tr.AccessedBy("parse")
+	if accParse[heapKey].Mode() != "w" {
+		t.Fatalf("parse's buf mode = %s, want w", accParse[heapKey].Mode())
+	}
+	if accParse["global:config"].Mode() != "r" {
+		t.Fatal("parse's config read missing")
+	}
+
+	// generate_key's items must NOT appear under handle_request.
+	if _, ok := acc["global:key_material"]; ok {
+		t.Fatal("key_material leaked into handle_request scope")
+	}
+}
+
+func TestQueryUsersOf(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+	users := tr.UsersOf([]string{"global:config"})
+	want := map[string]bool{"main": true, "handle_request": true, "parse": true}
+	if len(users) != len(want) {
+		t.Fatalf("UsersOf(config) = %v", users)
+	}
+	for _, u := range users {
+		if !want[u] {
+			t.Fatalf("unexpected user %q", u)
+		}
+	}
+
+	users = tr.UsersOf([]string{"global:key_material"})
+	if len(users) != 1 || users[0] != "generate_key" {
+		t.Fatalf("UsersOf(key_material) = %v", users)
+	}
+
+	if got := tr.UsersOf([]string{"global:nonexistent"}); len(got) != 0 {
+		t.Fatalf("UsersOf(nonexistent) = %v", got)
+	}
+}
+
+func TestQueryWritesBy(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+	writes := tr.WritesBy("generate_key")
+	if len(writes) != 2 {
+		t.Fatalf("WritesBy(generate_key) = %v, want key_material + secret heap", writes)
+	}
+	names := map[string]bool{}
+	for _, it := range writes {
+		names[it.Kind.String()+":"+it.Name] = true
+	}
+	if !names["global:key_material"] {
+		t.Fatalf("key_material missing from %v", names)
+	}
+
+	// main's writes include everything written anywhere beneath it.
+	all := tr.WritesBy("main")
+	if len(all) != 4 { // config, buf, key_material, secret
+		t.Fatalf("WritesBy(main) = %d items (%v), want 4", len(all), all)
+	}
+}
+
+func TestHeapItemsKeyedByAllocSite(t *testing.T) {
+	p, _ := pin.NewProc(pin.ModeCBLog)
+	l := NewLogger()
+	p.Attach(l)
+	// Two allocations from the same call path: one item. One from a
+	// different path: a second item.
+	p.Call("a", "a.c", 1, func() {
+		for i := 0; i < 2; i++ {
+			buf, _ := p.Malloc(16)
+			p.Store8(buf, 1)
+			p.Free(buf)
+		}
+	})
+	p.Call("b", "b.c", 1, func() {
+		buf, _ := p.Malloc(16)
+		p.Store8(buf, 1)
+	})
+	counts := l.Trace().ItemCount()
+	if counts[pin.SegHeap] != 2 {
+		t.Fatalf("heap items = %d, want 2 (keyed by alloc site)", counts[pin.SegHeap])
+	}
+}
+
+func TestStackClassification(t *testing.T) {
+	p, _ := pin.NewProc(pin.ModeCBLog)
+	l := NewLogger()
+	p.Attach(l)
+	p.Call("f", "f.c", 1, func() {
+		v, _ := p.StackVar(16)
+		p.Store64(v, 7)
+		p.FreeStackVar(v)
+	})
+	acc := l.Trace().AccessedBy("f")
+	if _, ok := acc["stack:f"]; !ok {
+		t.Fatalf("stack access not classified to frame: %v", acc)
+	}
+}
+
+func TestMergeAggregatesWorkloads(t *testing.T) {
+	l1, _ := runSample(t)
+	// Second workload touches a new global.
+	p, _ := pin.NewProc(pin.ModeCBLog)
+	l2 := NewLogger()
+	p.Attach(l2)
+	g, _ := p.DeclareGlobal("session_cache", 64)
+	p.Call("main", "main.c", 10, func() {
+		p.Call("lookup_session", "sess.c", 5, func() {
+			p.Load64(g)
+		})
+	})
+
+	tr := l1.Trace()
+	before := tr.Len()
+	tr.Merge(l2.Trace())
+	if tr.Len() != before+l2.Trace().Len() {
+		t.Fatal("merge lost records")
+	}
+	acc := tr.AccessedBy("main")
+	if _, ok := acc["global:session_cache"]; !ok {
+		t.Fatal("merged workload's item not queryable")
+	}
+	if _, ok := acc["global:config"]; !ok {
+		t.Fatal("original workload's item lost")
+	}
+}
+
+func TestImportViolations(t *testing.T) {
+	l := NewLogger()
+	l.ImportViolations([]sthread.Violation{
+		{Sthread: "worker", Addr: 0x5000, Access: vm.AccessRead, Tag: 3},
+		{Sthread: "worker", Addr: 0x5008, Access: vm.AccessWrite, Tag: 3},
+		{Sthread: "gate", Addr: 0x9000, Access: vm.AccessRead, Tag: 7},
+	})
+	tr := l.Trace()
+	acc := tr.AccessedBy("worker")
+	if a, ok := acc["violation:tag:3"]; !ok || a.Mode() != "rw" {
+		t.Fatalf("worker violations = %v", acc)
+	}
+	users := tr.UsersOf([]string{"violation:tag:7"})
+	if len(users) != 1 || users[0] != "gate" {
+		t.Fatalf("UsersOf(tag 7 violations) = %v", users)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	l, _ := runSample(t)
+	rep := l.Trace().Report("handle_request")
+	for _, want := range []string{"handle_request", "global config", "rw", "allocated at"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestNativeModeRecordsNothing(t *testing.T) {
+	p, _ := pin.NewProc(pin.ModeNative)
+	l := NewLogger()
+	p.Attach(l)
+	g, _ := p.DeclareGlobal("g", 8)
+	p.Call("f", "f.c", 1, func() { p.Store64(g, 1) })
+	if l.Accesses != 0 {
+		t.Fatalf("native mode delivered %d access events", l.Accesses)
+	}
+	if l.Trace().Len() != 0 {
+		t.Fatal("native mode produced trace records")
+	}
+}
+
+func TestPinModeTranslatesOnce(t *testing.T) {
+	p, _ := pin.NewProc(pin.ModePin)
+	for i := 0; i < 10; i++ {
+		p.Call("hot", "h.c", 1, func() {})
+	}
+	if p.Translated != 1 {
+		t.Fatalf("hot function translated %d times, want 1", p.Translated)
+	}
+	if p.Calls != 10 {
+		t.Fatalf("calls = %d", p.Calls)
+	}
+}
+
+// TestOffsetsOf: the §4.2 offset log lets the programmer see which struct
+// members of an item each procedure touches.
+func TestOffsetsOf(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+
+	uses := tr.OffsetsOf("global:config")
+	if len(uses) != 1 || uses[0].Offset != 0 {
+		t.Fatalf("config offsets = %+v, want single offset 0", uses)
+	}
+	if uses[0].Access.Mode() != "rw" { // main writes, handle_request/parse read
+		t.Fatalf("config offset mode = %s", uses[0].Access.Mode())
+	}
+	wantProcs := map[string]bool{"main": true, "handle_request": true, "parse": true}
+	if len(uses[0].Procs) != len(wantProcs) {
+		t.Fatalf("config offset procs = %v", uses[0].Procs)
+	}
+	for _, p := range uses[0].Procs {
+		if !wantProcs[p] {
+			t.Fatalf("unexpected proc %q", p)
+		}
+	}
+
+	// The heap buffer is touched at offsets 0 (handle_request write+read)
+	// and 8 (parse write).
+	var heapKey string
+	for k := range tr.AccessedBy("handle_request") {
+		if strings.HasPrefix(k, "heap:") {
+			heapKey = k
+		}
+	}
+	uses = tr.OffsetsOf(heapKey)
+	if len(uses) != 2 {
+		t.Fatalf("heap offsets = %+v, want 2", uses)
+	}
+	if uses[0].Offset != 0 || uses[1].Offset != 8 {
+		t.Fatalf("heap offsets = %+v", uses)
+	}
+	if uses[1].Access.Mode() != "w" || len(uses[1].Procs) != 1 || uses[1].Procs[0] != "parse" {
+		t.Fatalf("offset 8 = %+v, want write by parse", uses[1])
+	}
+
+	if got := tr.OffsetsOf("global:nonexistent"); len(got) != 0 {
+		t.Fatalf("unknown key yields %v", got)
+	}
+
+	report := tr.OffsetReport(heapKey)
+	for _, want := range []string{"offsets accessed within", "+0", "+8", "parse"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestOffsetsSurviveSerialization: offsets round-trip through the trace
+// file format, so the offline cbanalyze sees them.
+func TestOffsetsSurviveSerialization(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+	var buf bytes.Buffer
+	if err := tr.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.OffsetsOf("global:config")
+	have := got.OffsetsOf("global:config")
+	if len(want) != len(have) {
+		t.Fatalf("offsets lost in serialization: %v vs %v", want, have)
+	}
+	for i := range want {
+		if want[i].Offset != have[i].Offset || want[i].Access != have[i].Access {
+			t.Fatalf("offset %d mismatch: %+v vs %+v", i, want[i], have[i])
+		}
+	}
+}

@@ -1,0 +1,183 @@
+// Text serialization of traces, for the cblog / cbanalyze CLI pair. The
+// format is line-oriented and concatenation-friendly: appending one
+// trace's text to another's and re-reading yields the aggregated trace
+// (§3.4's "running cb-analyze on the aggregation of these traces").
+//
+//	item\t<kind>\t<key>\t<name>\t<allocsite>
+//	bt\t<path>
+//	rec\t<itemIndex>\t<btIndex>\t<r|w>\t<offset>
+//
+// Indices are file-local (offset by the items/backtraces already read),
+// which is what makes concatenation work.
+
+package crowbar
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"wedge/internal/pin"
+	"wedge/internal/vm"
+)
+
+// Serialize emits the trace in text form. The leading "trace" line marks
+// a file boundary so concatenated traces re-read correctly.
+func (t *Trace) Serialize(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "trace")
+	for _, it := range t.items {
+		site := make([]string, 0, len(it.AllocSite))
+		for _, f := range it.AllocSite {
+			site = append(site, fmt.Sprintf("%s|%s|%d", f.Func, f.File, f.Line))
+		}
+		fmt.Fprintf(bw, "item\t%d\t%s\t%s\t%s\n", int(it.Kind), escape(it.Key), escape(it.Name),
+			escape(strings.Join(site, "<")))
+	}
+	for _, bt := range t.backtraces {
+		fmt.Fprintf(bw, "bt\t%s\n", escape(bt))
+	}
+	for _, r := range t.records {
+		mode := "r"
+		if r.access == vm.AccessWrite {
+			mode = "w"
+		}
+		fmt.Fprintf(bw, "rec\t%d\t%d\t%s\t%d\n", r.item, r.bt, mode, r.offset)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses one or more concatenated serialized traces into a
+// single aggregated trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t := NewTrace()
+	// Per-file index remapping: reset at each file boundary is
+	// unnecessary because indices are written in one monotone stream per
+	// file; we track the mapping from (file-local index) as offsets.
+	var itemMap []int32
+	var btMap []int32
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) == 0 || fields[0] == "" {
+			continue
+		}
+		switch fields[0] {
+		case "trace":
+			// File boundary: subsequent indices are local to the new file.
+			itemMap = itemMap[:0]
+			btMap = btMap[:0]
+		case "item":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("crowbar: line %d: malformed item", line)
+			}
+			kind, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			it := &Item{Kind: pin.SegKind(kind), Key: unescape(fields[2]), Name: unescape(fields[3])}
+			if site := unescape(fields[4]); site != "" {
+				for _, fs := range strings.Split(site, "<") {
+					parts := strings.Split(fs, "|")
+					if len(parts) != 3 {
+						continue
+					}
+					ln, _ := strconv.Atoi(parts[2])
+					it.AllocSite = append(it.AllocSite, pin.Frame{Func: parts[0], File: parts[1], Line: ln})
+				}
+			}
+			t.mu.Lock()
+			itemMap = append(itemMap, t.internItem(it))
+			t.mu.Unlock()
+		case "bt":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("crowbar: line %d: malformed bt", line)
+			}
+			path := unescape(fields[1])
+			t.mu.Lock()
+			id, ok := t.btIdx[path]
+			if !ok {
+				id = int32(len(t.backtraces))
+				t.backtraces = append(t.backtraces, path)
+				t.btIdx[path] = id
+			}
+			btMap = append(btMap, id)
+			t.mu.Unlock()
+		case "rec":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("crowbar: line %d: malformed rec", line)
+			}
+			it, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, err
+			}
+			bt, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			off, err := strconv.Atoi(fields[4])
+			if err != nil {
+				return nil, err
+			}
+			if it < 0 || it >= len(itemMap) || bt < 0 || bt >= len(btMap) {
+				return nil, fmt.Errorf("crowbar: line %d: index out of range", line)
+			}
+			access := vm.AccessRead
+			if fields[3] == "w" {
+				access = vm.AccessWrite
+			}
+			t.mu.Lock()
+			t.records = append(t.records, record{
+				item: itemMap[it], bt: btMap[bt], access: access, offset: uint32(off),
+			})
+			t.mu.Unlock()
+		default:
+			return nil, fmt.Errorf("crowbar: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	return t, sc.Err()
+}
+
+func escape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString("\\\\")
+		case '\t':
+			b.WriteString("\\t")
+		case '\n':
+			b.WriteString("\\n")
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(s[i])
+			}
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package crowbar
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	l, _ := runSample(t)
+	orig := l.Trace()
+
+	var buf bytes.Buffer
+	if err := orig.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("records = %d, want %d", got.Len(), orig.Len())
+	}
+	if len(got.Items()) != len(orig.Items()) {
+		t.Fatalf("items = %d, want %d", len(got.Items()), len(orig.Items()))
+	}
+	// The queries must answer identically.
+	for _, proc := range []string{"main", "handle_request", "parse", "generate_key"} {
+		a := orig.AccessedBy(proc)
+		b := got.AccessedBy(proc)
+		if len(a) != len(b) {
+			t.Fatalf("AccessedBy(%s): %d vs %d items", proc, len(a), len(b))
+		}
+		for k, acc := range a {
+			if b[k] != acc {
+				t.Fatalf("AccessedBy(%s)[%s] = %v vs %v", proc, k, b[k], acc)
+			}
+		}
+	}
+	// Alloc sites survive.
+	acc := got.AccessedBy("handle_request")
+	for k := range acc {
+		it, ok := got.Item(k)
+		if !ok {
+			t.Fatalf("item %s missing", k)
+		}
+		if it.Kind.String() == "heap" && len(it.AllocSite) == 0 {
+			t.Fatalf("heap item %s lost its alloc site", k)
+		}
+	}
+}
+
+// TestSerializeConcatAggregates: concatenated trace files aggregate, the
+// §3.4 multi-workload workflow.
+func TestSerializeConcatAggregates(t *testing.T) {
+	l1, _ := runSample(t)
+	l2, _ := runSample(t)
+
+	var buf bytes.Buffer
+	if err := l1.Trace().Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Trace().Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	agg, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() != l1.Trace().Len()+l2.Trace().Len() {
+		t.Fatalf("aggregated records = %d, want %d",
+			agg.Len(), l1.Trace().Len()+l2.Trace().Len())
+	}
+	// Same item universe (the runs are identical), so item count must not
+	// double.
+	if len(agg.Items()) != len(l1.Trace().Items()) {
+		t.Fatalf("aggregated items = %d, want %d", len(agg.Items()), len(l1.Trace().Items()))
+	}
+}
+
+func TestReadTraceMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"item\t1\tonly-three",
+		"rec\t0\t0\tr\t0", // rec without item/bt declared
+		"bogus\tline",
+		"rec\tnot-a-number\t0\tr\t0",
+	} {
+		if _, err := ReadTrace(bytes.NewBufferString(bad + "\n")); err == nil {
+			t.Fatalf("malformed input %q accepted", bad)
+		}
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	for _, s := range []string{"plain", "with\ttab", "with\nnewline", "back\\slash", "m\\t\\nix"} {
+		if got := unescape(escape(s)); got != s {
+			t.Fatalf("escape roundtrip %q -> %q", s, got)
+		}
+	}
+}

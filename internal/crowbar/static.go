@@ -1,0 +1,344 @@
+// Static permission analysis — the §7 "future work" alternative to
+// Crowbar's trace-driven analysis, built here as an extension.
+//
+// The paper's discussion: "Static analysis will yield a superset of the
+// required permissions for an sthread, as some code paths may never
+// execute in practice. Static analysis would report the exhaustive set of
+// permissions for an sthread not to encounter a protection violation. Yet
+// these permissions could well include privileges for sensitive data that
+// could allow an exploit to leak that data."
+//
+// This file implements exactly that trade-off so it can be measured. A
+// StaticProgram is a source-level model of an application: its call graph
+// (every call site, whether or not a given workload exercises it) and the
+// memory items each function's own code names. StaticAccessedBy computes
+// the transitive closure — the permission set a sound static analyzer
+// must grant a compartment rooted at a procedure. DiffPolicies compares
+// that superset against what a dynamic trace justifies, surfacing the
+// over-grants §7 warns about.
+//
+// FromTrace lifts a dynamic trace into the static skeleton it witnesses
+// (call edges from backtrace adjacency, accesses attributed to the frame
+// that issued them); a front-end or the programmer then declares the
+// statically visible but dynamically unexercised parts — error paths,
+// dead branches, configuration-dependent code.
+
+package crowbar
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wedge/internal/vm"
+)
+
+// StaticFunc is one function in the source-level model: its call sites and
+// the memory items its own body (not its callees) reads and writes.
+type StaticFunc struct {
+	Name   string
+	calls  map[string]bool
+	reads  map[string]bool
+	writes map[string]bool
+}
+
+// Call records call sites from this function to each callee. Indirect
+// calls are modelled by listing every candidate target, as a conservative
+// points-to analysis would.
+func (f *StaticFunc) Call(callees ...string) *StaticFunc {
+	for _, c := range callees {
+		f.calls[c] = true
+	}
+	return f
+}
+
+// Read records that the function's body reads the given item keys.
+func (f *StaticFunc) Read(items ...string) *StaticFunc {
+	for _, it := range items {
+		f.reads[it] = true
+	}
+	return f
+}
+
+// Write records that the function's body writes the given item keys.
+func (f *StaticFunc) Write(items ...string) *StaticFunc {
+	for _, it := range items {
+		f.writes[it] = true
+	}
+	return f
+}
+
+// Callees returns the function's call targets, sorted.
+func (f *StaticFunc) Callees() []string {
+	out := make([]string, 0, len(f.calls))
+	for c := range f.calls {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StaticProgram is the call graph + per-function access summaries a static
+// analyzer recovers from source.
+type StaticProgram struct {
+	funcs map[string]*StaticFunc
+}
+
+// NewStaticProgram returns an empty model.
+func NewStaticProgram() *StaticProgram {
+	return &StaticProgram{funcs: make(map[string]*StaticFunc)}
+}
+
+// Func returns the model for name, creating it on first use.
+func (p *StaticProgram) Func(name string) *StaticFunc {
+	f, ok := p.funcs[name]
+	if !ok {
+		f = &StaticFunc{
+			Name:   name,
+			calls:  make(map[string]bool),
+			reads:  make(map[string]bool),
+			writes: make(map[string]bool),
+		}
+		p.funcs[name] = f
+	}
+	return f
+}
+
+// Funcs returns every function name in the model, sorted.
+func (p *StaticProgram) Funcs() []string {
+	out := make([]string, 0, len(p.funcs))
+	for n := range p.funcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reachable returns root plus every function transitively callable from it.
+// Unknown callees (calls into functions the model never defines, e.g.
+// binary-only library code) appear in the result so the caller can see
+// where the analysis loses precision.
+func (p *StaticProgram) Reachable(root string) []string {
+	seen := map[string]bool{root: true}
+	work := []string{root}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		f, ok := p.funcs[fn]
+		if !ok {
+			continue
+		}
+		for callee := range f.calls {
+			if !seen[callee] {
+				seen[callee] = true
+				work = append(work, callee)
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StaticAccessedBy computes the static analogue of cb-analyze's query 1:
+// every item proc or anything it may transitively call can touch, with
+// modes. This is the exhaustive permission set under which the sthread can
+// never hit a protection violation — and it includes privileges for every
+// path that exists in the source, executed or not (§7).
+func (p *StaticProgram) StaticAccessedBy(proc string) map[string]Access {
+	out := make(map[string]Access)
+	for _, fn := range p.Reachable(proc) {
+		f, ok := p.funcs[fn]
+		if !ok {
+			continue
+		}
+		for it := range f.reads {
+			a := out[it]
+			a.Read = true
+			out[it] = a
+		}
+		for it := range f.writes {
+			a := out[it]
+			a.Write = true
+			out[it] = a
+		}
+	}
+	return out
+}
+
+// FromTrace lifts a dynamic trace into the static skeleton it witnesses:
+// each interned backtrace f1<f2<...<fn contributes call edges f1→f2,
+// …, f(n-1)→fn, and each access record is attributed to the innermost
+// frame of its backtrace. Any sound static model of the program contains
+// at least these edges and accesses, so the lifted skeleton is the floor
+// the programmer extends with unexercised paths.
+func FromTrace(t *Trace) *StaticProgram {
+	p := NewStaticProgram()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, bt := range t.backtraces {
+		frames := strings.Split(bt, "<")
+		for i := 0; i+1 < len(frames); i++ {
+			p.Func(frames[i]).Call(frames[i+1])
+		}
+		if len(frames) > 0 {
+			p.Func(frames[len(frames)-1]) // ensure leaf exists
+		}
+	}
+	for _, r := range t.records {
+		fn := btInnermost(t.backtraces[r.bt])
+		key := t.items[r.item].Key
+		if r.access == vm.AccessWrite {
+			p.Func(fn).Write(key)
+		} else {
+			p.Func(fn).Read(key)
+		}
+	}
+	return p
+}
+
+// OverGrant is one permission the static superset contains beyond what a
+// dynamic trace justifies: either an item the workload never touched at
+// all, or a stronger mode (e.g. static rw where the trace shows only r).
+type OverGrant struct {
+	ItemKey string
+	Static  Access
+	Dynamic Access // zero-valued if the trace never touched the item
+}
+
+func (o OverGrant) String() string {
+	if !o.Dynamic.Read && !o.Dynamic.Write {
+		return fmt.Sprintf("%-2s %s (never touched at run time)", o.Static.Mode(), o.ItemKey)
+	}
+	return fmt.Sprintf("%-2s %s (trace needs only %s)", o.Static.Mode(), o.ItemKey, o.Dynamic.Mode())
+}
+
+// DiffPolicies compares a static permission set against a dynamic one for
+// the same root procedure. over lists static grants the trace does not
+// justify; missing lists dynamic permissions absent from the static set —
+// a sound static model yields none, so a non-empty missing list means the
+// model is incomplete (tests assert the superset property with it).
+func DiffPolicies(static, dynamic map[string]Access) (over []OverGrant, missing []string) {
+	for key, sa := range static {
+		da, ok := dynamic[key]
+		if !ok {
+			over = append(over, OverGrant{ItemKey: key, Static: sa})
+			continue
+		}
+		if (sa.Read && !da.Read) || (sa.Write && !da.Write) {
+			over = append(over, OverGrant{ItemKey: key, Static: sa, Dynamic: da})
+		}
+	}
+	for key, da := range dynamic {
+		sa, ok := static[key]
+		if !ok || (da.Read && !sa.Read) || (da.Write && !sa.Write) {
+			missing = append(missing, key)
+		}
+	}
+	sort.Slice(over, func(i, j int) bool { return over[i].ItemKey < over[j].ItemKey })
+	sort.Strings(missing)
+	return over, missing
+}
+
+// StaticReport renders the static permission set for proc alongside the
+// over-grants relative to a dynamic trace, the comparison §7 sketches.
+func StaticReport(p *StaticProgram, t *Trace, proc string) string {
+	static := p.StaticAccessedBy(proc)
+	dynamic := t.AccessedBy(proc)
+	over, missing := DiffPolicies(static, dynamic)
+
+	keys := make([]string, 0, len(static))
+	for k := range static {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "static permission superset for %s (%d items):\n", proc, len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-2s %s\n", static[k].Mode(), k)
+	}
+	fmt.Fprintf(&b, "dynamic trace justifies %d items; static analysis over-grants %d:\n",
+		len(dynamic), len(over))
+	for _, o := range over {
+		fmt.Fprintf(&b, "  + %s\n", o)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(&b, "WARNING: static model missing %d dynamically-used permissions (model incomplete):\n", len(missing))
+		for _, m := range missing {
+			fmt.Fprintf(&b, "  - %s\n", m)
+		}
+	}
+	return b.String()
+}
+
+// ---- model files -----------------------------------------------------------
+
+// ParseModel reads static-model declarations, one per line:
+//
+//	call <caller> <callee>
+//	read <func> <item-key>
+//	write <func> <item-key>
+//
+// Blank lines and lines starting with '#' are ignored. The declarations
+// extend prog in place (typically a FromTrace skeleton) with the
+// statically visible paths no innocuous workload exercises.
+func ParseModel(prog *StaticProgram, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return fmt.Errorf("crowbar: model line %d: want 3 fields, got %d", line, len(fields))
+		}
+		switch fields[0] {
+		case "call":
+			prog.Func(fields[1]).Call(fields[2])
+		case "read":
+			prog.Func(fields[1]).Read(fields[2])
+		case "write":
+			prog.Func(fields[1]).Write(fields[2])
+		default:
+			return fmt.Errorf("crowbar: model line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	return sc.Err()
+}
+
+// WriteModel serializes prog in ParseModel's format, sorted for stable
+// output, so a lifted skeleton can be dumped, hand-edited, and re-read.
+func WriteModel(prog *StaticProgram, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range prog.Funcs() {
+		f := prog.funcs[name]
+		for _, c := range f.Callees() {
+			fmt.Fprintf(bw, "call %s %s\n", name, c)
+		}
+		for _, it := range sortedKeys(f.reads) {
+			fmt.Fprintf(bw, "read %s %s\n", name, it)
+		}
+		for _, it := range sortedKeys(f.writes) {
+			fmt.Fprintf(bw, "write %s %s\n", name, it)
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

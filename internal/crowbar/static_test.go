@@ -1,0 +1,259 @@
+package crowbar
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wedge/internal/pin"
+	"wedge/internal/vm"
+)
+
+// liftedFuncs collects every function name appearing in a trace's
+// backtraces.
+func liftedFuncs(tr *Trace) []string {
+	seen := map[string]bool{}
+	tr.mu.Lock()
+	for _, bt := range tr.backtraces {
+		for _, f := range strings.Split(bt, "<") {
+			seen[f] = true
+		}
+	}
+	tr.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestFromTraceSuperset: the skeleton lifted from a dynamic trace grants,
+// for every procedure, at least the permissions the dynamic query
+// justifies (the soundness floor of §7's static analysis).
+func TestFromTraceSuperset(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+	prog := FromTrace(tr)
+	for _, fn := range liftedFuncs(tr) {
+		static := prog.StaticAccessedBy(fn)
+		dynamic := tr.AccessedBy(fn)
+		if _, missing := DiffPolicies(static, dynamic); len(missing) != 0 {
+			t.Errorf("%s: lifted static model missing %v", fn, missing)
+		}
+	}
+}
+
+// TestStaticOverGrantsSensitiveData reproduces §7's warning: a statically
+// visible but never-executed path (an error handler that dumps state)
+// forces the static permission set for the network-facing procedure to
+// include the sensitive key material the dynamic trace proves unnecessary.
+func TestStaticOverGrantsSensitiveData(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+	prog := FromTrace(tr)
+
+	// The source contains an error path the innocuous workload never
+	// exercises: handle_request -> debug_dump, which reads key_material.
+	prog.Func("handle_request").Call("debug_dump")
+	prog.Func("debug_dump").Read("global:key_material")
+
+	dynamic := tr.AccessedBy("handle_request")
+	if _, ok := dynamic["global:key_material"]; ok {
+		t.Fatal("dynamic policy already includes key_material; sample broken")
+	}
+	static := prog.StaticAccessedBy("handle_request")
+	if a, ok := static["global:key_material"]; !ok || !a.Read {
+		t.Fatalf("static superset lacks key_material read: %v", static)
+	}
+
+	over, missing := DiffPolicies(static, dynamic)
+	if len(missing) != 0 {
+		t.Fatalf("static model became unsound: missing %v", missing)
+	}
+	found := false
+	for _, o := range over {
+		if o.ItemKey == "global:key_material" && o.Static.Read && !o.Dynamic.Read {
+			found = true
+			if !strings.Contains(o.String(), "never touched") {
+				t.Errorf("OverGrant string = %q", o.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("over-grants %v do not include key_material", over)
+	}
+
+	report := StaticReport(prog, tr, "handle_request")
+	for _, want := range []string{"static permission superset", "over-grants", "global:key_material"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// TestStaticModeWidening: static analysis that sees a write on a path the
+// trace never took must widen r to rw, and the diff reports the widening
+// rather than a fresh item.
+func TestStaticModeWidening(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+	prog := FromTrace(tr)
+
+	// Statically, parse can also write config (a config-reload branch).
+	prog.Func("parse").Write("global:config")
+
+	static := prog.StaticAccessedBy("handle_request")
+	if static["global:config"].Mode() != "rw" {
+		t.Fatalf("config static mode = %s, want rw", static["global:config"].Mode())
+	}
+	over, missing := DiffPolicies(static, tr.AccessedBy("handle_request"))
+	if len(missing) != 0 {
+		t.Fatalf("missing %v", missing)
+	}
+	for _, o := range over {
+		if o.ItemKey == "global:config" {
+			if o.Dynamic.Mode() != "r" || o.Static.Mode() != "rw" {
+				t.Fatalf("widening diff = %+v", o)
+			}
+			if !strings.Contains(o.String(), "trace needs only r") {
+				t.Errorf("widening string = %q", o.String())
+			}
+			return
+		}
+	}
+	t.Fatalf("no widening over-grant for config: %v", over)
+}
+
+// TestDiffPoliciesMissing: a static model that omits a dynamically-used
+// permission (an unsound model) is reported via missing.
+func TestDiffPoliciesMissing(t *testing.T) {
+	static := map[string]Access{"global:a": {Read: true}}
+	dynamic := map[string]Access{
+		"global:a": {Read: true, Write: true}, // mode too weak statically
+		"global:b": {Read: true},              // absent statically
+	}
+	_, missing := DiffPolicies(static, dynamic)
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want 2 entries", missing)
+	}
+}
+
+// TestReachableIncludesUnknownCallees: calls into functions the model does
+// not define (binary-only libraries) still appear in the closure.
+func TestReachableIncludesUnknownCallees(t *testing.T) {
+	prog := NewStaticProgram()
+	prog.Func("main").Call("lib_opaque", "helper")
+	prog.Func("helper").Call("main") // cycle must terminate
+
+	got := prog.Reachable("main")
+	want := []string{"helper", "lib_opaque", "main"}
+	if len(got) != len(want) {
+		t.Fatalf("Reachable = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Reachable = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestModelRoundTrip: WriteModel then ParseModel reproduces the same
+// permission supersets for every function.
+func TestModelRoundTrip(t *testing.T) {
+	l, _ := runSample(t)
+	tr := l.Trace()
+	prog := FromTrace(tr)
+	prog.Func("handle_request").Call("debug_dump")
+	prog.Func("debug_dump").Read("global:key_material").Write("heap:dump:1")
+
+	var buf bytes.Buffer
+	if err := WriteModel(prog, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got := NewStaticProgram()
+	if err := ParseModel(got, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Funcs()) != len(prog.Funcs()) {
+		t.Fatalf("funcs %v != %v", got.Funcs(), prog.Funcs())
+	}
+	for _, fn := range prog.Funcs() {
+		a, b := prog.StaticAccessedBy(fn), got.StaticAccessedBy(fn)
+		if len(a) != len(b) {
+			t.Fatalf("%s: %v != %v", fn, a, b)
+		}
+		for k, v := range a {
+			if b[k] != v {
+				t.Fatalf("%s %s: %v != %v", fn, k, v, b[k])
+			}
+		}
+	}
+}
+
+// TestParseModelErrors: malformed model lines are rejected with the line
+// number.
+func TestParseModelErrors(t *testing.T) {
+	cases := []string{
+		"call a",         // too few fields
+		"jump a b",       // unknown directive
+		"read a b extra", // too many fields
+	}
+	for _, c := range cases {
+		err := ParseModel(NewStaticProgram(), strings.NewReader(c))
+		if err == nil {
+			t.Errorf("ParseModel(%q) accepted", c)
+		}
+	}
+	// Comments and blanks are fine.
+	ok := "# comment\n\ncall a b\nread b global:x\nwrite b global:y\n"
+	prog := NewStaticProgram()
+	if err := ParseModel(prog, strings.NewReader(ok)); err != nil {
+		t.Fatalf("ParseModel(ok) = %v", err)
+	}
+	if got := prog.StaticAccessedBy("a"); got["global:x"].Mode() != "r" || got["global:y"].Mode() != "w" {
+		t.Fatalf("parsed model closure = %v", got)
+	}
+}
+
+// TestFromTraceSupersetProperty: for randomly generated traces, the lifted
+// static skeleton is a superset of the dynamic answer for every function —
+// the soundness property, checked with testing/quick over random call
+// paths and access patterns.
+func TestFromTraceSupersetProperty(t *testing.T) {
+	names := []string{"f0", "f1", "f2", "f3", "f4", "f5"}
+	items := []*Item{
+		{Kind: pin.SegGlobal, Name: "g0", Key: "global:g0"},
+		{Kind: pin.SegGlobal, Name: "g1", Key: "global:g1"},
+		{Kind: pin.SegHeap, Name: "h0", Key: "heap:h0"},
+		{Kind: pin.SegStack, Name: "s0", Key: "stack:s0"},
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := NewTrace()
+		for rec := 0; rec < 30; rec++ {
+			depth := 1 + rng.Intn(4)
+			bt := make([]pin.Frame, depth)
+			for i := range bt {
+				bt[i] = pin.Frame{Func: names[rng.Intn(len(names))]}
+			}
+			acc := vm.AccessRead
+			if rng.Intn(2) == 1 {
+				acc = vm.AccessWrite
+			}
+			tr.add(items[rng.Intn(len(items))], bt, acc, uint64(rng.Intn(256)))
+		}
+		prog := FromTrace(tr)
+		for _, fn := range names {
+			if _, missing := DiffPolicies(prog.StaticAccessedBy(fn), tr.AccessedBy(fn)); len(missing) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

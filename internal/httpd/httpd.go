@@ -1,0 +1,211 @@
+// Package httpd reproduces the Apache/OpenSSL application study (§5.1):
+// an SSL web server built four ways over the same minissl protocol code.
+//
+//   - Monolithic: the vanilla baseline. Private key, session keys and
+//     request parsing share one compartment, served by a pool of reused
+//     workers — fast, and exploitable.
+//   - Simple (Figure 2): per-connection worker sthreads with the RSA
+//     private key behind a setup_session_key callgate that generates the
+//     server random itself. Protects the private key and prevents session
+//     key biasing under the eavesdropper threat model (§5.1.1).
+//   - MITM (Figures 3-5): the finer two-phase partitioning that also
+//     resists a man in the middle who exploits the network-facing
+//     compartment (§5.1.2). The SSL handshake sthread can neither read
+//     the session key nor use encryption/decryption oracles; the client
+//     handler never touches the network directly.
+//   - Recycled: the Simple partitioning with a recycled callgate, the
+//     throughput optimization of Table 2, including its documented
+//     isolation trade-off.
+//
+// The request protocol above the record layer is a one-request HTTP/1.0
+// subset: "GET <path>" in a single application-data record, the file
+// contents (or an error line) back in a single record.
+package httpd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/sthread"
+	"wedge/internal/vfs"
+	"wedge/internal/vm"
+)
+
+// Errors.
+var (
+	ErrHandshakeFailed = errors.New("httpd: handshake failed")
+	ErrBadRequest      = errors.New("httpd: malformed request")
+)
+
+// Stats counts server activity across variants.
+type Stats struct {
+	Requests   atomic.Uint64
+	Errors     atomic.Uint64
+	Resumed    atomic.Uint64
+	FullHS     atomic.Uint64
+	GateCalls  atomic.Uint64 // callgate invocations issued per variant
+	SthreadsHS atomic.Uint64 // sthreads created per request path
+}
+
+// Hooks lets the attack driver inject "exploit" code into specific
+// compartments: the function runs with exactly the privileges of the
+// compartment it is injected into, which is the paper's threat model for
+// a subverted network-facing component.
+type Hooks struct {
+	// Worker runs inside the unprivileged network-facing compartment
+	// (worker sthread in the Simple variant, SSL handshake sthread in
+	// the MITM variant, pool worker in Monolithic) once per connection,
+	// before request processing.
+	Worker func(s *sthread.Sthread, c *ConnContext)
+	// ClientHandler runs inside the MITM variant's second-phase
+	// compartment.
+	ClientHandler func(s *sthread.Sthread, c *ConnContext)
+}
+
+// ConnContext is what injected code plausibly knows about the process: the
+// address-space layout and descriptor numbers. Knowing an address conveys
+// no right to access it — that is the MMU's job.
+type ConnContext struct {
+	FD          int     // network descriptor number (this compartment's view)
+	PrivKeyAddr vm.Addr // where the private key lives
+	PrivKeyLen  int
+	SessionAddr vm.Addr // where session-key material lives
+	SessionLen  int
+	ArgAddr     vm.Addr // the gate argument buffer, if any
+
+	// Gates the compartment may invoke (for oracle-abuse attempts).
+	Gates map[string]*GateRef
+}
+
+// GateRef packages a gate spec with the sthread API needed to invoke it.
+type GateRef struct {
+	Spec  any // *policy.GateSpec, kept loose to avoid import cycles in attacks
+	Perms any // *policy.SC extra perms that a legitimate caller would pass
+}
+
+// fdStream adapts a task file descriptor to io.ReadWriter so the minissl
+// framing functions work inside compartments; every byte moves through the
+// kernel's descriptor permission checks.
+type fdStream struct {
+	s  *sthread.Sthread
+	fd int
+}
+
+func (f fdStream) Read(p []byte) (int, error)  { return f.s.Task.ReadFD(f.fd, p) }
+func (f fdStream) Write(p []byte) (int, error) { return f.s.Task.WriteFD(f.fd, p) }
+
+// Stream returns an io.ReadWriter over fd in compartment s.
+func Stream(s *sthread.Sthread, fd int) io.ReadWriter { return fdStream{s, fd} }
+
+// ServeStatic resolves a one-line request against the docroot and returns
+// the response payload. It runs in whatever compartment the variant
+// assigns request processing to.
+func ServeStatic(s *sthread.Sthread, docroot, request string) []byte {
+	request = strings.TrimRight(request, "\r\n")
+	path, ok := strings.CutPrefix(request, "GET ")
+	if !ok || path == "" || strings.Contains(path, "..") {
+		return []byte("400 Bad Request\n")
+	}
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	fs := s.Task.Kernel().FS
+	data, err := fs.ReadFile(s.Task.Cred(), s.Task.Root, docroot+path)
+	if err != nil {
+		return []byte("404 Not Found\n")
+	}
+	return append([]byte("200 OK\n"), data...)
+}
+
+// SetupDocroot populates the simulated filesystem with a docroot
+// containing index.html and a few assets, world-readable.
+func SetupDocroot(k *kernel.Kernel, docroot string, pageSize int) error {
+	cred := vfs.Cred{UID: 0}
+	if err := k.FS.MkdirAll(cred, k.FS.Root(), docroot, 0o755); err != nil {
+		return err
+	}
+	page := make([]byte, pageSize)
+	for i := range page {
+		page[i] = byte('a' + i%26)
+	}
+	if err := k.FS.WriteFile(cred, k.FS.Root(), docroot+"/index.html", page, 0o644); err != nil {
+		return err
+	}
+	return k.FS.WriteFile(cred, k.FS.Root(), docroot+"/about.html", []byte("<h1>about</h1>"), 0o644)
+}
+
+// ---- shared compartment memory layouts ----------------------------------------
+
+// Gate argument buffer layout (Simple and Recycled variants). The buffer
+// lives in a tag shared read-write between the worker and the setup gate.
+const (
+	argOp           = 0   // 1=hello 2=kex
+	argConnID       = 8   // recycled variant: session demultiplexer
+	argClientRandom = 16  // 32 bytes, worker writes
+	argSessionIDLen = 48  // worker writes on resume offer
+	argSessionID    = 56  // 16 bytes
+	argServerRandom = 72  // 32 bytes, gate writes (public value)
+	argResumed      = 104 // gate writes 1 when resuming
+	argMaster       = 112 // 48 bytes, gate writes (Simple/Recycled only)
+	argKeys         = 160 // 96 bytes, gate writes (Simple/Recycled only)
+	argDataLen      = 264 // premaster ciphertext length
+	argData         = 272 // premaster ciphertext (<= 256 bytes)
+	argSessionIDOut = 768 // 16 bytes, gate-assigned session id
+	argSize         = 1024
+
+	opHello = 1
+	opKex   = 2
+)
+
+// Session region layout (MITM variant): all key material and record
+// sequence state, readable only by the callgates granted the session tag.
+const (
+	sessMaster       = 0   // 48 bytes
+	sessKeys         = 48  // 96 bytes
+	sessClientRandom = 144 // 32
+	sessServerRandom = 176 // 32
+	sessReadSeq      = 208
+	sessWriteSeq     = 216
+	sessEstablished  = 224
+	sessSize         = 256
+)
+
+// Finished-state region layout (MITM variant): written by
+// receive_finished, read by send_finished, invisible to the handshake
+// sthread (§5.1.2).
+const (
+	finValid   = 0
+	finPayload = 8 // 32 bytes
+	finSize    = 64
+)
+
+// User-data region layout (MITM variant phase 2).
+const (
+	userLen  = 0
+	userData = 8
+	userSize = 16 * 1024
+)
+
+// loadCoderState reads keys and one direction's sequence counter out of a
+// session region and builds a record coder positioned at those sequences.
+func loadCoderState(s *sthread.Sthread, sess vm.Addr) (minissl.Keys, uint64, uint64, error) {
+	kb := make([]byte, 96)
+	if err := s.TryRead(sess+sessKeys, kb); err != nil {
+		return minissl.Keys{}, 0, 0, err
+	}
+	keys, err := minissl.UnmarshalKeys(kb)
+	if err != nil {
+		return minissl.Keys{}, 0, 0, err
+	}
+	return keys, s.Load64(sess + sessReadSeq), s.Load64(sess + sessWriteSeq), nil
+}
+
+// fmtErr wraps an error with the variant and phase for diagnosability.
+func fmtErr(variant, phase string, err error) error {
+	return fmt.Errorf("httpd/%s: %s: %w", variant, phase, err)
+}

@@ -1,0 +1,355 @@
+// The Simple partitioning (Figure 2, §5.1.1): one worker sthread per
+// connection, terminating after a single request so successive requests
+// are isolated from one another; the RSA private key in tagged memory
+// reachable only through the setup_session_key callgate; and the server
+// random generated inside that callgate, so an exploited worker cannot
+// bias session key generation. The callgate returns the established
+// session key to the worker — sufficient under the eavesdropper threat
+// model, and exactly the gap the MITM partitioning closes.
+
+package httpd
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"io"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// Simple is the Figure 2 server.
+type Simple struct {
+	Stats Stats
+
+	root    *sthread.Sthread
+	docroot string
+
+	privTag  tags.Tag
+	privAddr vm.Addr
+	pubTag   tags.Tag
+	pubAddr  vm.Addr
+
+	cache *minissl.SessionCache
+	hooks Hooks
+}
+
+// NewSimple builds the Figure 2 server: the private key is copied into its
+// own tag, the public key into another (workers may read the latter only).
+func NewSimple(root *sthread.Sthread, docroot string, priv *rsa.PrivateKey, cache bool, hooks Hooks) (*Simple, error) {
+	s := &Simple{root: root, docroot: docroot, hooks: hooks}
+	if cache {
+		s.cache = minissl.NewSessionCache()
+	}
+	var err error
+	if s.privTag, s.privAddr, err = placeBlob(root, minissl.MarshalPrivateKey(priv)); err != nil {
+		return nil, err
+	}
+	if s.pubTag, s.pubAddr, err = placeBlob(root, minissl.MarshalPublicKey(&priv.PublicKey)); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// placeBlob stores a length-prefixed blob in a fresh tag and returns the
+// tag and the blob's base address.
+func placeBlob(root *sthread.Sthread, blob []byte) (tags.Tag, vm.Addr, error) {
+	tag, err := root.App().Tags.TagNew(root.Task)
+	if err != nil {
+		return 0, 0, err
+	}
+	addr, err := root.Smalloc(tag, 8+len(blob))
+	if err != nil {
+		return 0, 0, err
+	}
+	root.Store64(addr, uint64(len(blob)))
+	root.Write(addr+8, blob)
+	return tag, addr, nil
+}
+
+// readBlob loads a placeBlob blob from a compartment that has read access.
+func readBlob(s *sthread.Sthread, addr vm.Addr) []byte {
+	n := s.Load64(addr)
+	out := make([]byte, n)
+	s.Read(addr+8, out)
+	return out
+}
+
+// setupGateState is the per-connection privileged state the callgate
+// closure keeps between its two invocations. It lives on the privileged
+// side of the boundary; the worker cannot name it.
+type setupGateState struct {
+	clientRandom [minissl.RandomLen]byte
+	serverRandom [minissl.RandomLen]byte
+	resumed      bool
+}
+
+// makeSetupGate builds the setup_session_key entry point for one
+// connection. The trusted argument is the private-key blob address; the
+// untrusted argument is the worker-shared buffer.
+func (s *Simple) makeSetupGate(state *setupGateState) sthread.GateFunc {
+	cache := s.cache
+	stats := &s.Stats
+	return func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+		switch g.Load64(arg + argOp) {
+		case opHello:
+			g.Read(arg+argClientRandom, state.clientRandom[:])
+			// The server random is generated here, inside the gate:
+			// the worker may neither supply nor predict it (§5.1.1).
+			sr, err := minissl.NewRandom(cryptoRand{})
+			if err != nil {
+				return 0
+			}
+			state.serverRandom = sr
+			g.Write(arg+argServerRandom, sr[:])
+
+			// Session resumption: look the offered id up in the cache.
+			idLen := g.Load64(arg + argSessionIDLen)
+			if cache != nil && idLen > 0 && idLen <= minissl.SessionIDLen {
+				id := make([]byte, idLen)
+				g.Read(arg+argSessionID, id)
+				if master, ok := cache.Get(id); ok {
+					state.resumed = true
+					g.Store64(arg+argResumed, 1)
+					g.Write(arg+argSessionIDOut, id)
+					keys := minissl.KeyBlock(master, state.clientRandom, sr)
+					g.Write(arg+argMaster, master[:])
+					g.Write(arg+argKeys, keys.Marshal())
+					return 1
+				}
+			}
+			g.Store64(arg+argResumed, 0)
+			id, err := minissl.NewSessionID(cryptoRand{})
+			if err != nil {
+				return 0
+			}
+			g.Write(arg+argSessionIDOut, id)
+			return 1
+
+		case opKex:
+			if state.resumed {
+				return 0 // protocol violation
+			}
+			der := readBlob(g, trusted)
+			priv, err := minissl.UnmarshalPrivateKey(der)
+			if err != nil {
+				return 0
+			}
+			n := g.Load64(arg + argDataLen)
+			if n == 0 || n > 256 {
+				return 0
+			}
+			ct := make([]byte, n)
+			g.Read(arg+argData, ct)
+			premaster, err := minissl.DecryptPremaster(priv, ct)
+			if err != nil {
+				return 0
+			}
+			master := minissl.DeriveMaster(premaster, state.clientRandom, state.serverRandom)
+			keys := minissl.KeyBlock(master, state.clientRandom, state.serverRandom)
+			g.Write(arg+argMaster, master[:])
+			g.Write(arg+argKeys, keys.Marshal())
+			if cache != nil {
+				id := make([]byte, minissl.SessionIDLen)
+				g.Read(arg+argSessionIDOut, id)
+				cache.Put(id, master)
+			}
+			stats.GateCalls.Add(0) // counted by caller
+			return 1
+		}
+		return 0
+	}
+}
+
+// ServeConn partitions one connection per Figure 2 and blocks until the
+// worker exits.
+func (s *Simple) ServeConn(conn *netsim.Conn) error {
+	root := s.root
+	fd := root.Task.InstallFD(conn, kernel.FDRW)
+	defer root.Task.CloseFD(fd)
+
+	connTag, err := root.App().Tags.TagNew(root.Task)
+	if err != nil {
+		return err
+	}
+	defer root.App().Tags.TagDelete(connTag)
+	argBuf, err := root.Smalloc(connTag, argSize)
+	if err != nil {
+		return err
+	}
+
+	state := &setupGateState{}
+	gateSC := policy.New().
+		MustMemAdd(s.privTag, vm.PermRead).
+		MustMemAdd(connTag, vm.PermRW)
+
+	workerSC := policy.New().
+		MustMemAdd(connTag, vm.PermRW).
+		MustMemAdd(s.pubTag, vm.PermRead).
+		FDAdd(fd, kernel.FDRW)
+	workerSC.GateAdd(s.makeSetupGate(state), gateSC, s.privAddr, "setup_session_key")
+	setupSpec := workerSC.Gates[0]
+
+	worker, err := root.CreateNamed("worker", workerSC, func(w *sthread.Sthread, arg vm.Addr) vm.Addr {
+		if s.hooks.Worker != nil {
+			s.hooks.Worker(w, &ConnContext{
+				FD:          fd,
+				PrivKeyAddr: s.privAddr,
+				PrivKeyLen:  8 + 1024,
+				ArgAddr:     arg,
+				Gates:       map[string]*GateRef{"setup_session_key": {Spec: setupSpec}},
+			})
+		}
+		return s.workerBody(w, fd, arg, setupSpec)
+	}, argBuf)
+	if err != nil {
+		return err
+	}
+	s.Stats.SthreadsHS.Add(1)
+	ret, fault := root.Join(worker)
+	if fault != nil {
+		s.Stats.Errors.Add(1)
+		return fmtErr("simple", "worker", fault)
+	}
+	if ret != 1 {
+		s.Stats.Errors.Add(1)
+		return fmtErr("simple", "worker", ErrHandshakeFailed)
+	}
+	s.Stats.Requests.Add(1)
+	return nil
+}
+
+// workerBody is the unprivileged per-connection code: the bulk of
+// Apache/OpenSSL, running with access to exactly the connection fd, the
+// shared argument buffer, the public key, and the setup gate.
+func (s *Simple) workerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup *policy.GateSpec) vm.Addr {
+	stream := Stream(w, fd)
+	var transcript minissl.Transcript
+
+	// ClientHello.
+	chBody, err := minissl.ExpectMsg(stream, minissl.MsgClientHello)
+	if err != nil {
+		return 0
+	}
+	transcript.Add(minissl.MsgClientHello, chBody)
+	clientRandom, offeredID, err := minissl.ParseClientHello(chBody)
+	if err != nil {
+		return 0
+	}
+
+	// Gate invocation 1: hello. The worker passes the public inputs and
+	// receives the (public) server random plus the resumption verdict.
+	w.Store64(arg+argOp, opHello)
+	w.Write(arg+argClientRandom, clientRandom[:])
+	w.Store64(arg+argSessionIDLen, uint64(len(offeredID)))
+	if len(offeredID) > 0 {
+		w.Write(arg+argSessionID, offeredID)
+	}
+	s.Stats.GateCalls.Add(1)
+	if ret, err := w.CallGate(setup, nil, arg); err != nil || ret != 1 {
+		return 0
+	}
+	var serverRandom [minissl.RandomLen]byte
+	w.Read(arg+argServerRandom, serverRandom[:])
+	resumed := w.Load64(arg+argResumed) == 1
+	sessionID := make([]byte, minissl.SessionIDLen)
+	w.Read(arg+argSessionIDOut, sessionID)
+
+	sh := minissl.BuildServerHello(serverRandom, sessionID, resumed)
+	if err := minissl.WriteMsg(stream, minissl.MsgServerHello, sh); err != nil {
+		return 0
+	}
+	transcript.Add(minissl.MsgServerHello, sh)
+
+	if !resumed {
+		cert := readBlob(w, s.pubAddr)
+		if err := minissl.WriteMsg(stream, minissl.MsgCertificate, cert); err != nil {
+			return 0
+		}
+		transcript.Add(minissl.MsgCertificate, cert)
+
+		ckeBody, err := minissl.ExpectMsg(stream, minissl.MsgClientKeyExchange)
+		if err != nil {
+			return 0
+		}
+		transcript.Add(minissl.MsgClientKeyExchange, ckeBody)
+
+		// Gate invocation 2: key exchange.
+		w.Store64(arg+argOp, opKex)
+		w.Store64(arg+argDataLen, uint64(len(ckeBody)))
+		w.Write(arg+argData, ckeBody)
+		s.Stats.GateCalls.Add(1)
+		if ret, err := w.CallGate(setup, nil, arg); err != nil || ret != 1 {
+			minissl.SendAlert(stream, "bad key exchange")
+			return 0
+		}
+	}
+
+	// Figure 2: the worker holds the established session key (and the
+	// master secret, needed to verify Finished messages).
+	var master [minissl.MasterLen]byte
+	w.Read(arg+argMaster, master[:])
+	kb := make([]byte, 96)
+	w.Read(arg+argKeys, kb)
+	keys, err := minissl.UnmarshalKeys(kb)
+	if err != nil {
+		return 0
+	}
+	rc := minissl.NewRecordCoder(keys, minissl.ServerSide)
+
+	// Finished exchange, verified by the worker itself.
+	cfBody, err := minissl.ExpectMsg(stream, minissl.MsgFinished)
+	if err != nil {
+		return 0
+	}
+	cfPayload, err := rc.Open(minissl.MsgFinished, cfBody)
+	if err != nil {
+		minissl.SendAlert(stream, "bad finished")
+		return 0
+	}
+	want := minissl.FinishedPayload(master, transcript.Sum(), "client finished")
+	if string(cfPayload) != string(want[:]) {
+		minissl.SendAlert(stream, "bad finished")
+		return 0
+	}
+	transcript.Add(minissl.MsgFinished, cfPayload)
+	sf := minissl.FinishedPayload(master, transcript.Sum(), "server finished")
+	sealed, err := rc.Seal(minissl.MsgFinished, sf[:])
+	if err != nil {
+		return 0
+	}
+	if err := minissl.WriteMsg(stream, minissl.MsgFinished, sealed); err != nil {
+		return 0
+	}
+
+	// One request, one response, then the worker exits (per-request
+	// isolation).
+	reqBody, err := minissl.ExpectMsg(stream, minissl.MsgAppData)
+	if err != nil {
+		return 0
+	}
+	req, err := rc.Open(minissl.MsgAppData, reqBody)
+	if err != nil {
+		return 0
+	}
+	resp := ServeStatic(w, s.docroot, string(req))
+	out, err := rc.Seal(minissl.MsgAppData, resp)
+	if err != nil {
+		return 0
+	}
+	if err := minissl.WriteMsg(stream, minissl.MsgAppData, out); err != nil {
+		return 0
+	}
+	return 1
+}
+
+// cryptoRand adapts crypto/rand for the gate closures without importing it
+// in every file.
+type cryptoRand struct{}
+
+func (cryptoRand) Read(p []byte) (int, error) { return io.ReadFull(rand.Reader, p) }

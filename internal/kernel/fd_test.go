@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// countingFile tracks Close calls, to pin down open-file-description
+// refcounting semantics.
+type countingFile struct {
+	closed atomic.Int32
+}
+
+func (f *countingFile) Read(p []byte) (int, error)  { return 0, errors.New("eof") }
+func (f *countingFile) Write(p []byte) (int, error) { return len(p), nil }
+func (f *countingFile) Close() error                { f.closed.Add(1); return nil }
+
+func TestFDCloseOnlyOnLastRef(t *testing.T) {
+	k := New()
+	parent := k.NewInitTask()
+	f := &countingFile{}
+	fd := parent.InstallFD(f, FDRW)
+
+	child, err := parent.Fork(func(tk *Task) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child.Wait() // child exit drops its reference
+	if f.closed.Load() != 0 {
+		t.Fatal("child exit closed the parent's file")
+	}
+	if err := parent.CloseFD(fd); err != nil {
+		t.Fatal(err)
+	}
+	if f.closed.Load() != 1 {
+		t.Fatalf("close count = %d, want 1", f.closed.Load())
+	}
+}
+
+func TestShareFDToSemantics(t *testing.T) {
+	k := New()
+	parent := k.NewInitTask()
+	f := &countingFile{}
+	fd := parent.InstallFD(f, FDRW)
+	target := k.newTask(parent, parent.AS.CloneCOW(), false)
+
+	// Escalation beyond the holder's mode is refused.
+	if err := parent.ShareFDTo(target, 99, FDRead); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("sharing unknown fd: %v", err)
+	}
+
+	if err := parent.ShareFDTo(target, fd, FDRead); err != nil {
+		t.Fatal(err)
+	}
+	// The target holds it read-only.
+	if _, err := target.WriteFD(fd, []byte("x")); !errors.Is(err, ErrPermission) {
+		t.Fatalf("write through read grant: %v", err)
+	}
+	// Target's exit must not close the parent's description.
+	target.Run(func(*Task) {})
+	if f.closed.Load() != 0 {
+		t.Fatal("target exit closed the shared file")
+	}
+	parent.CloseFD(fd)
+	if f.closed.Load() != 1 {
+		t.Fatalf("close count = %d", f.closed.Load())
+	}
+}
+
+func TestShareFDModeSubset(t *testing.T) {
+	k := New()
+	parent := k.NewInitTask()
+	f := &countingFile{}
+	fd := parent.InstallFD(f, FDRead)
+	target := k.newTask(parent, parent.AS.CloneCOW(), false)
+	if err := parent.ShareFDTo(target, fd, FDRW); !errors.Is(err, ErrPermission) {
+		t.Fatalf("escalating share: %v", err)
+	}
+}
+
+func TestInstallFDAtReplacesAndReleases(t *testing.T) {
+	k := New()
+	task := k.NewInitTask()
+	f1 := &countingFile{}
+	f2 := &countingFile{}
+	task.InstallFDAt(5, f1, FDRW)
+	task.InstallFDAt(5, f2, FDRW) // replaces f1
+	if f1.closed.Load() != 1 {
+		t.Fatal("replaced file not released")
+	}
+	if f2.closed.Load() != 0 {
+		t.Fatal("new file spuriously closed")
+	}
+}
+
+func TestPthreadSharesDescriptions(t *testing.T) {
+	k := New()
+	parent := k.NewInitTask()
+	f := &countingFile{}
+	fd := parent.InstallFD(f, FDRW)
+	th, err := parent.SpawnPthread(func(tk *Task) {
+		if _, err := tk.WriteFD(fd, []byte("hello")); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Wait()
+	if f.closed.Load() != 0 {
+		t.Fatal("pthread exit closed the shared file")
+	}
+}

@@ -1,0 +1,98 @@
+package kernel
+
+import (
+	"fmt"
+
+	"wedge/internal/vm"
+)
+
+// Futexes are keyed by physical location (frame id + offset) rather than
+// virtual address, so that two tasks sharing a tagged-memory page can wait
+// and wake each other even when the mapping appears at different points in
+// their policies. Recycled callgates are built on exactly this mechanism
+// (§4.1): "one copies arguments to memory shared between the caller and
+// underlying sthread, wakes the sthread through a futex, and waits on a
+// futex for the sthread to indicate completion."
+type futexKey struct {
+	frame uint64
+	off   uint64
+}
+
+func (t *Task) futexKeyFor(addr vm.Addr) (futexKey, error) {
+	pte, ok := t.AS.Lookup(addr)
+	if !ok {
+		return futexKey{}, &vm.Fault{Addr: addr, Access: vm.AccessRead, Mapped: false}
+	}
+	return futexKey{frame: pte.Frame.ID, off: addr.PageOff()}, nil
+}
+
+// FutexWait atomically checks that the 32-bit word at addr still holds val
+// and, if so, blocks until woken. If the word has changed it returns
+// ErrAgain immediately, mirroring FUTEX_WAIT semantics.
+func (t *Task) FutexWait(addr vm.Addr) error {
+	return t.FutexWaitVal(addr, 0)
+}
+
+// FutexWaitVal is FutexWait with an explicit expected value.
+func (t *Task) FutexWaitVal(addr vm.Addr, val uint32) error {
+	k := t.k
+	key, err := t.futexKeyFor(addr)
+	if err != nil {
+		return err
+	}
+	k.futexMu.Lock()
+	cur, err := t.AS.Load32(addr)
+	if err != nil {
+		k.futexMu.Unlock()
+		return err
+	}
+	if cur != val {
+		k.futexMu.Unlock()
+		return fmt.Errorf("%w: futex value %d != expected %d", ErrAgain, cur, val)
+	}
+	ch := make(chan struct{})
+	k.futexes[key] = append(k.futexes[key], ch)
+	k.futexMu.Unlock()
+
+	select {
+	case <-ch:
+		return nil
+	case <-t.killed:
+		// Remove our waiter so a later wake isn't lost on a dead task.
+		k.futexMu.Lock()
+		q := k.futexes[key]
+		for i, w := range q {
+			if w == ch {
+				k.futexes[key] = append(q[:i], q[i+1:]...)
+				break
+			}
+		}
+		k.futexMu.Unlock()
+		return ErrKilled
+	}
+}
+
+// FutexWake wakes up to n waiters on the word at addr, returning how many
+// were woken.
+func (t *Task) FutexWake(addr vm.Addr, n int) (int, error) {
+	k := t.k
+	key, err := t.futexKeyFor(addr)
+	if err != nil {
+		return 0, err
+	}
+	k.futexMu.Lock()
+	defer k.futexMu.Unlock()
+	q := k.futexes[key]
+	woken := 0
+	for woken < n && len(q) > 0 {
+		close(q[0])
+		q = q[1:]
+		woken++
+	}
+	if len(q) == 0 {
+		delete(k.futexes, key)
+	} else {
+		k.futexes[key] = q
+	}
+	return woken, nil
+}

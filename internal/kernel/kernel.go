@@ -1,0 +1,637 @@
+// Package kernel implements the simulated operating-system layer beneath
+// the Wedge primitives: tasks (processes and pthread-style threads), file
+// descriptor tables, user ids and per-task filesystem roots, SELinux checks
+// on system calls, futexes, and fork with copy-on-write address spaces.
+//
+// The package corresponds to the stock Linux 2.6.19 process machinery that
+// the paper's kernel patch extends. The sthread package builds sthreads and
+// callgates on top of the Task abstraction defined here, exactly as the
+// paper implements sthreads "as a variant of Linux processes" (§4.1).
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"wedge/internal/netsim"
+	"wedge/internal/selinux"
+	"wedge/internal/vfs"
+	"wedge/internal/vm"
+)
+
+// Common kernel errors.
+var (
+	ErrBadFD      = errors.New("kernel: bad file descriptor")
+	ErrPermission = errors.New("kernel: operation not permitted")
+	ErrAgain      = errors.New("kernel: try again") // futex value mismatch
+	ErrKilled     = errors.New("kernel: task killed")
+)
+
+// Kernel is one simulated machine: a filesystem, a network interface, an
+// SELinux policy, and a task table.
+type Kernel struct {
+	FS     *vfs.FS
+	Net    *netsim.Network
+	Policy *selinux.Policy
+
+	mu      sync.Mutex
+	nextPID int
+	tasks   map[int]*Task
+
+	futexMu sync.Mutex
+	futexes map[futexKey][]chan struct{}
+}
+
+// New boots a simulated machine with an empty filesystem and network and a
+// deny-by-default SELinux policy.
+func New() *Kernel {
+	return &Kernel{
+		FS:      vfs.New(),
+		Net:     netsim.New(),
+		Policy:  selinux.NewPolicy(),
+		tasks:   make(map[int]*Task),
+		futexes: make(map[futexKey][]chan struct{}),
+	}
+}
+
+// TaskCount returns the number of live tasks (for leak tests).
+func (k *Kernel) TaskCount() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.tasks)
+}
+
+// FileLike is anything installable in a file descriptor table. Both
+// vfs.File and netsim.Conn satisfy it.
+type FileLike interface {
+	io.Reader
+	io.Writer
+	Close() error
+}
+
+// FDPerm restricts what a task may do with a file descriptor. Wedge
+// security policies grant descriptors to sthreads with these modes (§3.1).
+type FDPerm uint8
+
+const (
+	// FDRead permits reads.
+	FDRead FDPerm = 1 << iota
+	// FDWrite permits writes.
+	FDWrite
+)
+
+// FDRW permits both.
+const FDRW = FDRead | FDWrite
+
+func (p FDPerm) String() string {
+	switch p {
+	case FDRead:
+		return "r"
+	case FDWrite:
+		return "w"
+	case FDRW:
+		return "rw"
+	}
+	return "-"
+}
+
+// openFile is an open file description shared by every descriptor that
+// refers to it (across fork, pthread spawn, and sthread grants). The
+// underlying file closes only when the last referencing descriptor goes
+// away, matching POSIX semantics: a child sthread exiting must not yank a
+// connection out from under its parent (§4.1: "closing a file descriptor,
+// and exiting do not affect the parent").
+type openFile struct {
+	file FileLike
+	refs atomic.Int32
+}
+
+func newOpenFile(f FileLike) *openFile {
+	of := &openFile{file: f}
+	of.refs.Store(1)
+	return of
+}
+
+func (of *openFile) ref() { of.refs.Add(1) }
+
+func (of *openFile) unref() error {
+	if of.refs.Add(-1) == 0 {
+		return of.file.Close()
+	}
+	return nil
+}
+
+// fdEntry is one slot in a task's descriptor table.
+type fdEntry struct {
+	of   *openFile
+	perm FDPerm
+}
+
+// TaskState tracks a task through its lifecycle.
+type TaskState int
+
+const (
+	// TaskRunning means the task's function is executing.
+	TaskRunning TaskState = iota
+	// TaskExited means the task ended (normally or by fault).
+	TaskExited
+)
+
+// Task is a simulated kernel task: a thread of control plus credentials,
+// an address space (private, or shared for pthread-style threads), and a
+// descriptor table.
+type Task struct {
+	K   *Task // unused; reserved
+	k   *Kernel
+	PID int
+
+	AS       *vm.AddressSpace
+	sharedAS bool
+
+	mu     sync.Mutex
+	fds    map[int]*fdEntry
+	nextFD int
+
+	UID  int
+	Root *vfs.Inode
+	Ctx  selinux.Context
+
+	parent *Task
+
+	done     chan struct{}
+	exitOnce sync.Once
+	status   int
+	fault    error // non-nil if the task died on a protection fault
+
+	killed chan struct{}
+}
+
+// NewInitTask creates the first task: pid 1, uid 0, the filesystem's true
+// root, unconfined SELinux context, and an empty address space.
+func (k *Kernel) NewInitTask() *Task {
+	return k.newTask(nil, vm.NewAddressSpace(), false)
+}
+
+func (k *Kernel) newTask(parent *Task, as *vm.AddressSpace, shared bool) *Task {
+	k.mu.Lock()
+	k.nextPID++
+	t := &Task{
+		k:        k,
+		PID:      k.nextPID,
+		AS:       as,
+		sharedAS: shared,
+		fds:      make(map[int]*fdEntry),
+		Root:     k.FS.Root(),
+		done:     make(chan struct{}),
+		killed:   make(chan struct{}),
+		parent:   parent,
+	}
+	if parent != nil {
+		t.UID = parent.UID
+		t.Root = parent.Root
+		t.Ctx = parent.Ctx
+	}
+	k.tasks[t.PID] = t
+	k.mu.Unlock()
+	return t
+}
+
+// Kernel returns the kernel this task belongs to.
+func (t *Task) Kernel() *Kernel { return t.k }
+
+// Cred returns the task's vfs credentials.
+func (t *Task) Cred() vfs.Cred { return vfs.Cred{UID: t.UID} }
+
+// checkSyscall consults the SELinux policy for a syscall in the given
+// class. All syscalls "retain the standard in-kernel privilege checks"
+// (§3.1); this is the SELinux part, uid checks happen per-object.
+func (t *Task) checkSyscall(class selinux.Class, perm string) error {
+	return t.k.Policy.Check(t.Ctx, class, perm)
+}
+
+// ---- task lifecycle ------------------------------------------------------
+
+// Start runs fn as this task's thread of control in a new goroutine. A
+// panic carrying a *vm.Fault is converted into death-by-protection-fault,
+// the simulated SIGSEGV. Any other panic propagates (it is a program bug).
+func (t *Task) Start(fn func(*Task)) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if f, ok := r.(*vm.Fault); ok {
+					t.exitWith(139, f) // 128+SIGSEGV, as the shell reports it
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn(t)
+		t.exitWith(0, nil)
+	}()
+}
+
+// Run executes fn on the caller's goroutine (used for init tasks driving a
+// scenario synchronously).
+func (t *Task) Run(fn func(*Task)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(*vm.Fault); ok {
+				t.exitWith(139, f)
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn(t)
+	t.exitWith(0, nil)
+}
+
+// Exit terminates the task with the given status from inside its function.
+func (t *Task) Exit(status int) {
+	t.exitWith(status, nil)
+}
+
+func (t *Task) exitWith(status int, fault error) {
+	t.exitOnce.Do(func() {
+		t.mu.Lock()
+		for fd, e := range t.fds {
+			e.of.unref()
+			delete(t.fds, fd)
+		}
+		t.mu.Unlock()
+		if !t.sharedAS {
+			t.AS.Release()
+		}
+		t.status = status
+		t.fault = fault
+		t.k.mu.Lock()
+		delete(t.k.tasks, t.PID)
+		t.k.mu.Unlock()
+		close(t.done)
+	})
+}
+
+// Wait blocks until the task exits, returning its status and, if it died on
+// a protection fault, that fault.
+func (t *Task) Wait() (int, error) {
+	<-t.done
+	return t.status, t.fault
+}
+
+// Done returns a channel closed when the task exits.
+func (t *Task) Done() <-chan struct{} { return t.done }
+
+// Kill requests asynchronous termination; the task observes it via Killed.
+func (t *Task) Kill() {
+	select {
+	case <-t.killed:
+	default:
+		close(t.killed)
+	}
+}
+
+// Killed returns a channel closed once the task has been killed.
+func (t *Task) Killed() <-chan struct{} { return t.killed }
+
+// Status returns exit status and fault after the task has exited.
+func (t *Task) Status() (int, error) {
+	select {
+	case <-t.done:
+		return t.status, t.fault
+	default:
+		return -1, errors.New("kernel: task still running")
+	}
+}
+
+// ---- process-style syscalls ----------------------------------------------
+
+// Fork creates a child task with a copy-on-write duplicate of the entire
+// address space and a duplicate of the whole descriptor table — the
+// default-allow inheritance Wedge exists to avoid (§1). The per-entry
+// copying here is the mechanical cost Figure 7 charges to fork.
+func (t *Task) Fork(fn func(*Task)) (*Task, error) {
+	if err := t.checkSyscall(selinux.ClassProcess, "fork"); err != nil {
+		return nil, err
+	}
+	child := t.k.newTask(t, t.AS.CloneCOW(), false)
+	t.mu.Lock()
+	for fd, e := range t.fds {
+		e.of.ref()
+		child.fds[fd] = &fdEntry{of: e.of, perm: e.perm}
+		if fd >= child.nextFD {
+			child.nextFD = fd + 1
+		}
+	}
+	t.mu.Unlock()
+	child.Start(fn)
+	return child, nil
+}
+
+// SpawnPthread creates a thread sharing this task's address space and
+// descriptor table reference semantics (a new table holding the same
+// files, as CLONE_FILES would). It is the cheap, isolation-free baseline
+// in Figure 7.
+func (t *Task) SpawnPthread(fn func(*Task)) (*Task, error) {
+	if err := t.checkSyscall(selinux.ClassProcess, "thread"); err != nil {
+		return nil, err
+	}
+	child := t.k.newTask(t, t.AS, true)
+	t.mu.Lock()
+	for fd, e := range t.fds {
+		e.of.ref()
+		child.fds[fd] = &fdEntry{of: e.of, perm: e.perm}
+		if fd >= child.nextFD {
+			child.nextFD = fd + 1
+		}
+	}
+	t.mu.Unlock()
+	child.Start(fn)
+	return child, nil
+}
+
+// SpawnTask creates a task with the given, caller-assembled address space
+// and empty fd table, then runs fn. It is the primitive sthread_create
+// builds on: the sthread layer decides exactly which mappings and
+// descriptors the child receives before starting it.
+func (t *Task) SpawnTask(as *vm.AddressSpace, fn func(*Task)) (*Task, error) {
+	if err := t.checkSyscall(selinux.ClassProcess, "sthread"); err != nil {
+		return nil, err
+	}
+	child := t.k.newTask(t, as, false)
+	child.Start(fn)
+	return child, nil
+}
+
+// NewChildTask creates a not-yet-started task for callers that must install
+// fds before the child runs. Call Start on the result.
+func (t *Task) NewChildTask(as *vm.AddressSpace) (*Task, error) {
+	if err := t.checkSyscall(selinux.ClassProcess, "sthread"); err != nil {
+		return nil, err
+	}
+	return t.k.newTask(t, as, false), nil
+}
+
+// SetUID changes the task's uid. Only root may do so, per Unix semantics;
+// Wedge relies on this when a parent confines a child sthread (§3.1) and
+// when an authentication callgate promotes a worker (§5.2).
+func (t *Task) SetUID(uid int) error {
+	if t.UID != 0 {
+		return ErrPermission
+	}
+	t.UID = uid
+	return nil
+}
+
+// SetUIDOn lets a privileged task change another task's uid. The
+// authentication callgate idiom of §5.2 ("the callgate, upon successful
+// authentication, changes the worker's user ID and filesystem root").
+func (t *Task) SetUIDOn(target *Task, uid int) error {
+	if t.UID != 0 {
+		return ErrPermission
+	}
+	target.UID = uid
+	return nil
+}
+
+// Chroot changes the task's filesystem root. Only root may call it.
+func (t *Task) Chroot(path string) error {
+	if t.UID != 0 {
+		return ErrPermission
+	}
+	if err := t.checkSyscall(selinux.ClassDir, "chroot"); err != nil {
+		return err
+	}
+	ino, err := t.k.FS.Lookup(t.Cred(), t.Root, path)
+	if err != nil {
+		return err
+	}
+	t.Root = ino
+	return nil
+}
+
+// ChrootOn changes another task's root (callgate promotion idiom).
+func (t *Task) ChrootOn(target *Task, path string) error {
+	if t.UID != 0 {
+		return ErrPermission
+	}
+	ino, err := t.k.FS.Lookup(t.Cred(), t.Root, path)
+	if err != nil {
+		return err
+	}
+	target.Root = ino
+	return nil
+}
+
+// SetContext transitions the task to a new SELinux context if the policy
+// allows the domain transition.
+func (t *Task) SetContext(ctx selinux.Context) error {
+	if !t.k.Policy.CanTransition(t.Ctx, ctx) {
+		return fmt.Errorf("%w: selinux transition %s -> %s", ErrPermission, t.Ctx, ctx)
+	}
+	t.Ctx = ctx
+	return nil
+}
+
+// ---- memory syscalls ------------------------------------------------------
+
+// Mmap maps fresh anonymous memory (ClassMemory check + zeroed frames).
+func (t *Task) Mmap(length int, perm vm.Perm) (vm.Addr, error) {
+	if err := t.checkSyscall(selinux.ClassMemory, "mmap"); err != nil {
+		return 0, err
+	}
+	return t.AS.MapAnon(length, perm)
+}
+
+// Munmap removes a mapping.
+func (t *Task) Munmap(base vm.Addr, length int) error {
+	if err := t.checkSyscall(selinux.ClassMemory, "munmap"); err != nil {
+		return err
+	}
+	return t.AS.Unmap(base, length)
+}
+
+// Mprotect changes mapping permissions.
+func (t *Task) Mprotect(base vm.Addr, length int, perm vm.Perm) error {
+	if err := t.checkSyscall(selinux.ClassMemory, "mprotect"); err != nil {
+		return err
+	}
+	return t.AS.Protect(base, length, perm)
+}
+
+// ---- file-descriptor syscalls ----------------------------------------------
+
+// Open opens a path relative to the task's filesystem root.
+func (t *Task) Open(path string, flags int, mode vfs.Mode) (int, error) {
+	if err := t.checkSyscall(selinux.ClassFile, "open"); err != nil {
+		return -1, err
+	}
+	f, err := t.k.FS.Open(t.Cred(), t.Root, path, flags, mode)
+	if err != nil {
+		return -1, err
+	}
+	perm := FDPerm(0)
+	if f.Readable() {
+		perm |= FDRead
+	}
+	if f.Writable() {
+		perm |= FDWrite
+	}
+	return t.InstallFD(f, perm), nil
+}
+
+// InstallFD places a file into the descriptor table with the given
+// permission, returning the new fd. Used by Open, Accept, and by the
+// sthread layer when granting descriptors to children.
+func (t *Task) InstallFD(f FileLike, perm FDPerm) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fd := t.nextFD
+	t.nextFD++
+	t.fds[fd] = &fdEntry{of: newOpenFile(f), perm: perm}
+	return fd
+}
+
+// InstallFDAt places a file at a specific descriptor number, replacing any
+// previous entry. The sthread layer uses it so that descriptors granted to
+// a child keep the numbers the policy named them by.
+func (t *Task) InstallFDAt(fd int, f FileLike, perm FDPerm) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.fds[fd]; ok {
+		old.of.unref()
+	}
+	t.fds[fd] = &fdEntry{of: newOpenFile(f), perm: perm}
+	if fd >= t.nextFD {
+		t.nextFD = fd + 1
+	}
+}
+
+// ShareFDTo grants target a descriptor referring to the same open file
+// description as t's fd, at the same number, restricted to perm. The
+// sthread layer uses it for policy fd grants: the child's exit must not
+// close the parent's descriptor.
+func (t *Task) ShareFDTo(target *Task, fd int, perm FDPerm) error {
+	t.mu.Lock()
+	e, ok := t.fds[fd]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if e.perm&perm != perm {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: fd %d lacks %s", ErrPermission, fd, perm)
+	}
+	e.of.ref()
+	t.mu.Unlock()
+
+	target.mu.Lock()
+	defer target.mu.Unlock()
+	if old, ok := target.fds[fd]; ok {
+		old.of.unref()
+	}
+	target.fds[fd] = &fdEntry{of: e.of, perm: perm}
+	if fd >= target.nextFD {
+		target.nextFD = fd + 1
+	}
+	return nil
+}
+
+// FD returns the file behind fd if the task holds it with at least perm.
+func (t *Task) FD(fd int, perm FDPerm) (FileLike, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.fds[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	if e.perm&perm != perm {
+		return nil, fmt.Errorf("%w: fd %d lacks %s", ErrPermission, fd, perm)
+	}
+	return e.of.file, nil
+}
+
+// FDEntryPerm reports the permission the task holds on fd.
+func (t *Task) FDEntryPerm(fd int) (FDPerm, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.fds[fd]
+	if !ok {
+		return 0, false
+	}
+	return e.perm, true
+}
+
+// ReadFD reads from a descriptor, enforcing its grant mode.
+func (t *Task) ReadFD(fd int, buf []byte) (int, error) {
+	f, err := t.FD(fd, FDRead)
+	if err != nil {
+		return 0, err
+	}
+	return f.Read(buf)
+}
+
+// WriteFD writes to a descriptor, enforcing its grant mode.
+func (t *Task) WriteFD(fd int, buf []byte) (int, error) {
+	f, err := t.FD(fd, FDWrite)
+	if err != nil {
+		return 0, err
+	}
+	return f.Write(buf)
+}
+
+// CloseFD removes fd from this task's table. Like POSIX close, it does not
+// affect other tasks holding the same file.
+func (t *Task) CloseFD(fd int) error {
+	t.mu.Lock()
+	e, ok := t.fds[fd]
+	delete(t.fds, fd)
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return e.of.unref()
+}
+
+// FDCount returns the number of open descriptors.
+func (t *Task) FDCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.fds)
+}
+
+// ---- network syscalls -------------------------------------------------------
+
+// Listen binds a network address.
+func (t *Task) Listen(addr string) (*netsim.Listener, error) {
+	if err := t.checkSyscall(selinux.ClassSocket, "listen"); err != nil {
+		return nil, err
+	}
+	return t.k.Net.Listen(addr)
+}
+
+// Accept takes the next connection and installs it as a descriptor.
+func (t *Task) Accept(l *netsim.Listener, perm FDPerm) (int, error) {
+	if err := t.checkSyscall(selinux.ClassSocket, "accept"); err != nil {
+		return -1, err
+	}
+	c, err := l.Accept()
+	if err != nil {
+		return -1, err
+	}
+	return t.InstallFD(c, perm), nil
+}
+
+// Dial connects to addr and installs the connection as a descriptor.
+func (t *Task) Dial(addr string) (int, error) {
+	if err := t.checkSyscall(selinux.ClassSocket, "connect"); err != nil {
+		return -1, err
+	}
+	c, err := t.k.Net.Dial(addr)
+	if err != nil {
+		return -1, err
+	}
+	return t.InstallFD(c, FDRW), nil
+}

@@ -1,0 +1,430 @@
+package kernel
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"wedge/internal/selinux"
+	"wedge/internal/vfs"
+	"wedge/internal/vm"
+)
+
+func bootUnconfined(t *testing.T) (*Kernel, *Task) {
+	t.Helper()
+	k := New()
+	init := k.NewInitTask()
+	return k, init
+}
+
+func TestForkCOWInheritance(t *testing.T) {
+	_, init := bootUnconfined(t)
+	base, err := init.Mmap(vm.PageSize, vm.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("parent secret")
+	if err := init.AS.Write(base, secret); err != nil {
+		t.Fatal(err)
+	}
+	leak := make(chan string, 1)
+	child, err := init.Fork(func(c *Task) {
+		// The child can read everything the parent had — this implicit
+		// privilege grant is what motivates Wedge (§1).
+		buf := make([]byte, len(secret))
+		if err := c.AS.Read(base, buf); err != nil {
+			leak <- "fault"
+			return
+		}
+		leak <- string(buf)
+		// And child writes don't corrupt the parent.
+		c.AS.Write(base, []byte("child scribble"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-leak; got != string(secret) {
+		t.Fatalf("fork child read %q", got)
+	}
+	if _, err := child.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(secret))
+	if err := init.AS.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(secret) {
+		t.Fatalf("parent memory corrupted: %q", got)
+	}
+}
+
+func TestForkCopiesFDTable(t *testing.T) {
+	k, init := bootUnconfined(t)
+	if err := k.FS.WriteFile(vfs.Root, k.FS.Root(), "/f", []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := init.Open("/f", vfs.ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	child, _ := init.Fork(func(c *Task) {
+		buf := make([]byte, 4)
+		_, err := c.ReadFD(fd, buf)
+		got <- err
+		// Child close must not close the parent's descriptor.
+		c.CloseFD(fd)
+	})
+	if err := <-got; err != nil {
+		t.Fatalf("child read of inherited fd: %v", err)
+	}
+	child.Wait()
+	buf := make([]byte, 4)
+	if _, err := init.ReadFD(fd, buf); err != nil && !errors.Is(err, io.EOF) {
+		t.Fatalf("parent fd after child close: %v", err)
+	}
+}
+
+func TestPthreadSharesMemory(t *testing.T) {
+	_, init := bootUnconfined(t)
+	base, _ := init.Mmap(vm.PageSize, vm.PermRW)
+	th, err := init.SpawnPthread(func(c *Task) {
+		c.AS.Store32(base, 777)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.Wait()
+	v, err := init.AS.Load32(base)
+	if err != nil || v != 777 {
+		t.Fatalf("Load32 = %d, %v", v, err)
+	}
+}
+
+func TestSpawnTaskDefaultDeny(t *testing.T) {
+	_, init := bootUnconfined(t)
+	base, _ := init.Mmap(vm.PageSize, vm.PermRW)
+	init.AS.Write(base, []byte("sensitive"))
+
+	// A task spawned with a fresh address space sees nothing.
+	faulted := make(chan bool, 1)
+	child, err := init.SpawnTask(vm.NewAddressSpace(), func(c *Task) {
+		err := c.AS.Read(base, make([]byte, 9))
+		var f *vm.Fault
+		faulted <- errors.As(err, &f)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !<-faulted {
+		t.Fatal("fresh task could read parent memory")
+	}
+	child.Wait()
+}
+
+func TestTaskFaultDeath(t *testing.T) {
+	_, init := bootUnconfined(t)
+	child, err := init.SpawnTask(vm.NewAddressSpace(), func(c *Task) {
+		// Simulated code that dereferences unmapped memory panics with the
+		// fault, which the task runner converts to death-by-SIGSEGV.
+		if err := c.AS.Read(0x4000, make([]byte, 1)); err != nil {
+			panic(err.(*vm.Fault))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, ferr := child.Wait()
+	if status != 139 {
+		t.Fatalf("status = %d, want 139", status)
+	}
+	var f *vm.Fault
+	if !errors.As(ferr, &f) {
+		t.Fatalf("want fault, got %v", ferr)
+	}
+}
+
+func TestExitStatus(t *testing.T) {
+	_, init := bootUnconfined(t)
+	child, _ := init.SpawnTask(vm.NewAddressSpace(), func(c *Task) {
+		c.Exit(42)
+	})
+	status, err := child.Wait()
+	if err != nil || status != 42 {
+		t.Fatalf("Wait = %d, %v", status, err)
+	}
+	if s, _ := child.Status(); s != 42 {
+		t.Fatalf("Status = %d", s)
+	}
+}
+
+func TestStatusWhileRunning(t *testing.T) {
+	_, init := bootUnconfined(t)
+	block := make(chan struct{})
+	child, _ := init.SpawnTask(vm.NewAddressSpace(), func(c *Task) { <-block })
+	if _, err := child.Status(); err == nil {
+		t.Fatal("Status of running task should error")
+	}
+	close(block)
+	child.Wait()
+}
+
+func TestSetUIDRules(t *testing.T) {
+	_, init := bootUnconfined(t)
+	if err := init.SetUID(1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := init.SetUID(0); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-root setuid(0): %v", err)
+	}
+}
+
+func TestChrootAndConfinement(t *testing.T) {
+	k, init := bootUnconfined(t)
+	if err := k.FS.MkdirAll(vfs.Root, k.FS.Root(), "/jail", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.FS.WriteFile(vfs.Root, k.FS.Root(), "/secret", []byte("top"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := init.Chroot("/jail"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := init.Open("/secret", vfs.ORdonly, 0); err == nil {
+		t.Fatal("chrooted task opened host file")
+	}
+	if _, err := init.Open("/../secret", vfs.ORdonly, 0); err == nil {
+		t.Fatal("chrooted task escaped via ..")
+	}
+	// Non-root cannot chroot.
+	init.SetUID(1000)
+	if err := init.Chroot("/"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-root chroot: %v", err)
+	}
+}
+
+func TestFDPermissions(t *testing.T) {
+	k, init := bootUnconfined(t)
+	if err := k.FS.WriteFile(vfs.Root, k.FS.Root(), "/f", []byte("abc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := k.FS.Open(vfs.Root, k.FS.Root(), "/f", vfs.ORdwr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install with read-only grant despite the file being open rdwr: the
+	// fd-grant mode is what Wedge policies control (§3.1).
+	fd := init.InstallFD(f, FDRead)
+	if _, err := init.ReadFD(fd, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := init.WriteFD(fd, []byte("x")); !errors.Is(err, ErrPermission) {
+		t.Fatalf("write on read-only fd grant: %v", err)
+	}
+	if perm, ok := init.FDEntryPerm(fd); !ok || perm != FDRead {
+		t.Fatalf("FDEntryPerm = %v, %v", perm, ok)
+	}
+}
+
+func TestBadFD(t *testing.T) {
+	_, init := bootUnconfined(t)
+	if _, err := init.ReadFD(99, make([]byte, 1)); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("read bad fd: %v", err)
+	}
+	if err := init.CloseFD(99); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("close bad fd: %v", err)
+	}
+}
+
+func TestSELinuxConfinement(t *testing.T) {
+	k, init := bootUnconfined(t)
+	k.Policy.Allow("worker_t", selinux.ClassSocket, "connect")
+	worker := selinux.MustParseContext("sys:r:worker_t")
+	if err := init.SetContext(worker); err != nil {
+		t.Fatal(err)
+	}
+	// fork is not in the policy for worker_t.
+	if _, err := init.Fork(func(*Task) {}); err == nil {
+		t.Fatal("confined task forked without permission")
+	}
+	// mmap neither.
+	if _, err := init.Mmap(vm.PageSize, vm.PermRW); err == nil {
+		t.Fatal("confined task mmapped without permission")
+	}
+}
+
+func TestSELinuxTransitionEnforced(t *testing.T) {
+	k, init := bootUnconfined(t)
+	k.Policy.AllowAll("master_t")
+	k.Policy.AllowAll("worker_t")
+	master := selinux.MustParseContext("sys:r:master_t")
+	worker := selinux.MustParseContext("sys:r:worker_t")
+	if err := init.SetContext(master); err != nil {
+		t.Fatal(err)
+	}
+	if err := init.SetContext(worker); err == nil {
+		t.Fatal("transition without policy rule succeeded")
+	}
+	k.Policy.AllowTransition("master_t", "worker_t")
+	if err := init.SetContext(worker); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkSyscalls(t *testing.T) {
+	_, init := bootUnconfined(t)
+	l, err := init.Listen("echo:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvDone := make(chan struct{})
+	go func() {
+		defer close(srvDone)
+		fd, err := init.Accept(l, FDRW)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		buf := make([]byte, 4)
+		init.ReadFD(fd, buf)
+		init.WriteFD(fd, buf)
+		init.CloseFD(fd)
+	}()
+	fd, err := init.Dial("echo:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := init.WriteFD(fd, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := init.ReadFD(fd, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo got %q", buf)
+	}
+	<-srvDone
+}
+
+func TestFutexWakeup(t *testing.T) {
+	_, init := bootUnconfined(t)
+	base, _ := init.Mmap(vm.PageSize, vm.PermRW)
+
+	var woken atomic.Int32
+	waiterDone := make(chan struct{})
+	waiter, _ := init.SpawnPthread(func(c *Task) {
+		// Either outcome is FUTEX_WAIT-correct: we block and get woken,
+		// or the word has already been flipped and we return ErrAgain
+		// immediately.
+		err := c.FutexWaitVal(base, 0)
+		if err != nil && !errors.Is(err, ErrAgain) {
+			t.Errorf("futex wait: %v", err)
+		}
+		woken.Store(1)
+		close(waiterDone)
+	})
+	init.AS.Store32(base, 1)
+	// Wake until the waiter has observed the flip, whichever path it
+	// took; FutexWake returns 0 while no one is parked.
+	for woken.Load() == 0 {
+		if _, err := init.FutexWake(base, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-waiterDone
+	waiter.Wait()
+	if woken.Load() != 1 {
+		t.Fatal("waiter never completed")
+	}
+}
+
+func TestFutexValueMismatch(t *testing.T) {
+	_, init := bootUnconfined(t)
+	base, _ := init.Mmap(vm.PageSize, vm.PermRW)
+	init.AS.Store32(base, 5)
+	if err := init.FutexWaitVal(base, 0); !errors.Is(err, ErrAgain) {
+		t.Fatalf("futex wait on changed value: %v", err)
+	}
+}
+
+func TestFutexCrossAddressSpace(t *testing.T) {
+	_, init := bootUnconfined(t)
+	base, _ := init.Mmap(vm.PageSize, vm.PermRW)
+
+	// Child task with only this page shared (like a recycled callgate's
+	// argument area).
+	childAS := vm.NewAddressSpace()
+	if err := init.AS.ShareInto(childAS, base, vm.PageSize, vm.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	child, _ := init.SpawnTask(childAS, func(c *Task) {
+		done <- c.FutexWaitVal(base, 0)
+	})
+	// Wake from the parent's address space: keyed on the frame, so the
+	// cross-AS wake must be delivered.
+	for {
+		n, err := init.FutexWake(base, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 1 {
+			break
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	child.Wait()
+}
+
+func TestKillInterruptsFutex(t *testing.T) {
+	_, init := bootUnconfined(t)
+	base, _ := init.Mmap(vm.PageSize, vm.PermRW)
+	done := make(chan error, 1)
+	child, _ := init.SpawnPthread(func(c *Task) {
+		done <- c.FutexWaitVal(base, 0)
+	})
+	child.Kill()
+	if err := <-done; !errors.Is(err, ErrKilled) {
+		t.Fatalf("killed futex waiter got %v", err)
+	}
+	child.Wait()
+}
+
+func TestTaskTableCleanup(t *testing.T) {
+	k, init := bootUnconfined(t)
+	before := k.TaskCount()
+	var kids []*Task
+	for i := 0; i < 10; i++ {
+		c, err := init.SpawnTask(vm.NewAddressSpace(), func(c *Task) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kids = append(kids, c)
+	}
+	for _, c := range kids {
+		c.Wait()
+	}
+	if after := k.TaskCount(); after != before {
+		t.Fatalf("task leak: %d -> %d", before, after)
+	}
+}
+
+func TestExitClosesFDs(t *testing.T) {
+	k, init := bootUnconfined(t)
+	if err := k.FS.WriteFile(vfs.Root, k.FS.Root(), "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	child, _ := init.SpawnTask(vm.NewAddressSpace(), func(c *Task) {
+		if _, err := c.Open("/f", vfs.ORdonly, 0); err != nil {
+			t.Errorf("open: %v", err)
+		}
+	})
+	child.Wait()
+	if child.FDCount() != 0 {
+		t.Fatalf("fds leaked: %d", child.FDCount())
+	}
+}

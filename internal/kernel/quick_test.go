@@ -1,0 +1,346 @@
+// Property-based tests over the descriptor-table semantics the sthread
+// layer builds its fd grants on (§3.1, §4.1).
+
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wedge/internal/vm"
+)
+
+// memFile is an in-memory FileLike tracking whether it was closed.
+type memFile struct {
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (f *memFile) Read(p []byte) (int, error)  { return f.buf.Read(p) }
+func (f *memFile) Write(p []byte) (int, error) { return f.buf.Write(p) }
+func (f *memFile) Close() error                { f.closed = true; return nil }
+
+func permFromSeed(seed uint8) FDPerm {
+	switch seed % 3 {
+	case 0:
+		return FDRead
+	case 1:
+		return FDWrite
+	default:
+		return FDRW
+	}
+}
+
+// TestShareFDToMonotonicProperty: sharing a descriptor to another task
+// succeeds exactly when the requested permission is a subset of what the
+// holder has, and the receiver ends up with exactly the requested
+// permission — grants never widen.
+func TestShareFDToMonotonicProperty(t *testing.T) {
+	prop := func(heldSeed, reqSeed uint8) bool {
+		k := New()
+		parent := k.NewInitTask()
+		child := k.newTask(parent, vm.NewAddressSpace(), false)
+		held := permFromSeed(heldSeed)
+		req := permFromSeed(reqSeed)
+		fd := parent.InstallFD(&memFile{}, held)
+
+		err := parent.ShareFDTo(child, fd, req)
+		wantOK := held&req == req
+		if wantOK != (err == nil) {
+			return false
+		}
+		if err != nil {
+			_, ok := child.FDEntryPerm(fd)
+			return !ok // denied share must install nothing
+		}
+		got, ok := child.FDEntryPerm(fd)
+		return ok && got == req
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFDRefcountProperty: for any number of sharers, the underlying file
+// closes exactly when the last holder closes it — a child sthread's exit
+// must never yank a descriptor out from under its parent (§4.1).
+func TestFDRefcountProperty(t *testing.T) {
+	prop := func(nSeed uint8) bool {
+		k := New()
+		parent := k.NewInitTask()
+		f := &memFile{}
+		fd := parent.InstallFD(f, FDRW)
+
+		n := int(nSeed)%6 + 1
+		children := make([]*Task, n)
+		for i := range children {
+			children[i] = k.newTask(parent, vm.NewAddressSpace(), false)
+			if err := parent.ShareFDTo(children[i], fd, FDRead); err != nil {
+				return false
+			}
+		}
+		// Children close in arbitrary (here: creation) order; file stays
+		// open while the parent still holds it.
+		for _, c := range children {
+			if err := c.CloseFD(fd); err != nil {
+				return false
+			}
+			if f.closed {
+				return false
+			}
+		}
+		if err := parent.CloseFD(fd); err != nil {
+			return false
+		}
+		return f.closed
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFDTableSequenceProperty: random install/close sequences keep the
+// table consistent: FDCount matches live installs, closed fds stay
+// invalid, and double closes error.
+func TestFDTableSequenceProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		k := New()
+		task := k.NewInitTask()
+		live := map[int]bool{}
+		var fds []int
+		for _, op := range ops {
+			if op%2 == 0 || len(fds) == 0 {
+				fd := task.InstallFD(&memFile{}, FDRW)
+				if live[fd] {
+					return false // fd numbers must not repeat while live
+				}
+				live[fd] = true
+				fds = append(fds, fd)
+			} else {
+				fd := fds[int(op/2)%len(fds)]
+				err := task.CloseFD(fd)
+				if live[fd] != (err == nil) {
+					return false
+				}
+				live[fd] = false
+			}
+			count := 0
+			for _, ok := range live {
+				if ok {
+					count++
+				}
+			}
+			if task.FDCount() != count {
+				return false
+			}
+		}
+		// Every closed fd must be unusable.
+		for fd, ok := range live {
+			_, err := task.FD(fd, FDRead)
+			if ok != (err == nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForkTableIndependence: after fork, closing descriptors in the child
+// leaves the parent's table intact, and vice versa; the shared open-file
+// stays alive until both close it.
+func TestForkTableIndependence(t *testing.T) {
+	k := New()
+	parent := k.NewInitTask()
+	f := &memFile{}
+	fd := parent.InstallFD(f, FDRW)
+
+	started := make(chan *Task, 1)
+	release := make(chan struct{})
+	child, err := parent.Fork(func(c *Task) {
+		started <- c
+		<-release
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := <-started
+	if c != child {
+		t.Fatal("child task identity mismatch")
+	}
+	if _, err := child.FD(fd, FDRW); err != nil {
+		t.Fatalf("child lacks inherited fd: %v", err)
+	}
+	if err := child.CloseFD(fd); err != nil {
+		t.Fatal(err)
+	}
+	if f.closed {
+		t.Fatal("child close destroyed the parent's file")
+	}
+	if _, err := parent.FD(fd, FDRW); err != nil {
+		t.Fatalf("parent lost fd after child close: %v", err)
+	}
+	close(release)
+	if _, err := child.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.CloseFD(fd); err != nil {
+		t.Fatal(err)
+	}
+	if !f.closed {
+		t.Fatal("file not closed after last holder closed")
+	}
+}
+
+// TestWriteFDPermissionDenied: a descriptor granted read-only rejects
+// writes with ErrPermission and vice versa.
+func TestWriteFDPermissionDenied(t *testing.T) {
+	k := New()
+	task := k.NewInitTask()
+	rfd := task.InstallFD(&memFile{}, FDRead)
+	wfd := task.InstallFD(&memFile{}, FDWrite)
+
+	if _, err := task.WriteFD(rfd, []byte("x")); !errors.Is(err, ErrPermission) {
+		t.Fatalf("write on read-only fd: %v", err)
+	}
+	if _, err := task.ReadFD(wfd, make([]byte, 1)); !errors.Is(err, ErrPermission) {
+		t.Fatalf("read on write-only fd: %v", err)
+	}
+}
+
+// TestFutexCrossMapping: futexes are keyed by physical frame, so two
+// tasks sharing one page wake each other even through different virtual
+// addresses — the recycled-callgate substrate (§4.1).
+func TestFutexCrossMapping(t *testing.T) {
+	k := New()
+	a := k.NewInitTask()
+	b := k.newTask(a, vm.NewAddressSpace(), false)
+
+	// One shared page, mapped into both address spaces.
+	addr, err := a.AS.MapAnon(vm.PageSize, vm.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AS.ShareInto(b.AS, addr, vm.PageSize, vm.PermRW); err != nil {
+		t.Fatal(err)
+	}
+
+	// ErrAgain when the value moved before the wait.
+	if err := a.AS.Store32(addr, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FutexWaitVal(addr, 0); !errors.Is(err, ErrAgain) {
+		t.Fatalf("stale wait: %v", err)
+	}
+
+	woke := make(chan error, 1)
+	go func() {
+		woke <- a.FutexWaitVal(addr, 7)
+	}()
+	// Wake from the *other* task; re-wake until the waiter has queued
+	// (the goroutine may not have parked yet).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		n, err := b.FutexWake(addr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := <-woke; err != nil {
+		t.Fatalf("cross-mapping wake: %v", err)
+	}
+
+	// Waiting on an unmapped address faults rather than hanging.
+	if err := a.FutexWaitVal(vm.Addr(0xF00D0000), 0); err == nil {
+		t.Fatal("futex on unmapped address accepted")
+	}
+}
+
+// TestFutexKilledTaskUnblocks: a kill releases a futex waiter with
+// ErrKilled, so exploited compartments cannot park forever.
+func TestFutexKilledTaskUnblocks(t *testing.T) {
+	k := New()
+	task := k.NewInitTask()
+	addr, err := task.AS.MapAnon(vm.PageSize, vm.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- task.FutexWaitVal(addr, 0)
+	}()
+	task.Kill()
+	if err := <-done; !errors.Is(err, ErrKilled) {
+		t.Fatalf("killed waiter returned %v", err)
+	}
+}
+
+// TestMemorySyscalls: Mmap/Mprotect/Munmap enforce SELinux class checks
+// and map/protect/unmap real pages.
+func TestMemorySyscalls(t *testing.T) {
+	k := New()
+	task := k.NewInitTask()
+	a, err := task.Mmap(2*vm.PageSize, vm.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := task.AS.Write(a, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Mprotect(a, vm.PageSize, vm.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.AS.Write(a, []byte("y")); err == nil {
+		t.Fatal("write through read-only protection")
+	}
+	if err := task.Munmap(a, 2*vm.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.AS.Read(a, make([]byte, 1)); err == nil {
+		t.Fatal("read of unmapped page succeeded")
+	}
+}
+
+// TestCredentialSyscallsOnTarget: SetUIDOn/ChrootOn implement the
+// §5.2 promotion idiom and demand root.
+func TestCredentialSyscallsOnTarget(t *testing.T) {
+	k := New()
+	root := k.NewInitTask()
+	if err := k.FS.Mkdir(root.Cred(), root.Root, "/home", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	worker := k.newTask(root, vm.NewAddressSpace(), false)
+
+	if err := root.SetUIDOn(worker, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if worker.UID != 1000 {
+		t.Fatalf("uid = %d", worker.UID)
+	}
+	if err := root.ChrootOn(worker, "/home"); err != nil {
+		t.Fatal(err)
+	}
+	// The demoted worker can do neither to anyone.
+	other := k.newTask(root, vm.NewAddressSpace(), false)
+	if err := worker.SetUIDOn(other, 0); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-root SetUIDOn: %v", err)
+	}
+	if err := worker.ChrootOn(other, "/"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-root ChrootOn: %v", err)
+	}
+	if err := worker.Chroot("/"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-root Chroot: %v", err)
+	}
+}

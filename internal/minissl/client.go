@@ -1,0 +1,246 @@
+// The SSL client used by benchmarks, tests and the attack drivers. It
+// performs the full RSA handshake or an abbreviated (resumed) one, then
+// exchanges application data over the record layer.
+
+package minissl
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"io"
+)
+
+// ClientSession is the client-side cache entry enabling resumption.
+type ClientSession struct {
+	ID     []byte
+	Master [MasterLen]byte
+}
+
+// ClientConfig parameterizes a client handshake.
+type ClientConfig struct {
+	// ServerPub pins the server's public key (the simulated testbed's
+	// stand-in for certificate verification).
+	ServerPub *rsa.PublicKey
+	// Session, when non-nil, attempts an abbreviated handshake.
+	Session *ClientSession
+	// Rand supplies randomness; nil means crypto/rand.
+	Rand io.Reader
+}
+
+func (c *ClientConfig) rand() io.Reader {
+	if c.Rand != nil {
+		return c.Rand
+	}
+	return rand.Reader
+}
+
+// ClientConn is an established client-side SSL connection.
+type ClientConn struct {
+	conn    io.ReadWriter
+	rc      *RecordCoder
+	Session ClientSession
+	// Resumed reports whether the abbreviated handshake was used.
+	Resumed bool
+	// Master is retained for test assertions about key secrecy.
+	Master [MasterLen]byte
+}
+
+// clientHello is the wire body: random || idLen || sessionID.
+func buildClientHello(random [RandomLen]byte, sessionID []byte) []byte {
+	out := make([]byte, 0, RandomLen+1+len(sessionID))
+	out = append(out, random[:]...)
+	out = append(out, byte(len(sessionID)))
+	out = append(out, sessionID...)
+	return out
+}
+
+// ParseClientHello splits a ClientHello body.
+func ParseClientHello(b []byte) (random [RandomLen]byte, sessionID []byte, err error) {
+	if len(b) < RandomLen+1 {
+		return random, nil, ErrBadMessage
+	}
+	copy(random[:], b[:RandomLen])
+	n := int(b[RandomLen])
+	rest := b[RandomLen+1:]
+	if len(rest) != n {
+		return random, nil, ErrBadMessage
+	}
+	return random, append([]byte(nil), rest...), nil
+}
+
+// BuildServerHello mirrors buildClientHello plus a resumed flag.
+func BuildServerHello(random [RandomLen]byte, sessionID []byte, resumed bool) []byte {
+	var flags byte
+	if resumed {
+		flags |= HelloFlagResumed
+	}
+	return BuildServerHelloFlags(random, sessionID, flags)
+}
+
+// BuildServerHelloFlags builds a ServerHello with an explicit flag
+// bitfield (HelloFlagResumed, HelloFlagEphemeral).
+func BuildServerHelloFlags(random [RandomLen]byte, sessionID []byte, flags byte) []byte {
+	out := make([]byte, 0, RandomLen+2+len(sessionID))
+	out = append(out, random[:]...)
+	out = append(out, flags, byte(len(sessionID)))
+	out = append(out, sessionID...)
+	return out
+}
+
+// ParseServerHello splits a ServerHello body, reporting resumption only.
+func ParseServerHello(b []byte) (random [RandomLen]byte, sessionID []byte, resumed bool, err error) {
+	random, sessionID, flags, err := ParseServerHelloFlags(b)
+	return random, sessionID, flags&HelloFlagResumed != 0, err
+}
+
+// ParseServerHelloFlags splits a ServerHello body with the full flag byte.
+func ParseServerHelloFlags(b []byte) (random [RandomLen]byte, sessionID []byte, flags byte, err error) {
+	if len(b) < RandomLen+2 {
+		return random, nil, 0, ErrBadMessage
+	}
+	copy(random[:], b[:RandomLen])
+	flags = b[RandomLen]
+	n := int(b[RandomLen+1])
+	rest := b[RandomLen+2:]
+	if len(rest) != n {
+		return random, nil, 0, ErrBadMessage
+	}
+	return random, append([]byte(nil), rest...), flags, nil
+}
+
+// ClientHandshake runs the client side of the handshake over conn.
+func ClientHandshake(conn io.ReadWriter, cfg *ClientConfig) (*ClientConn, error) {
+	var transcript Transcript
+
+	clientRandom, err := NewRandom(cfg.rand())
+	if err != nil {
+		return nil, err
+	}
+	var offerID []byte
+	if cfg.Session != nil {
+		offerID = cfg.Session.ID
+	}
+	ch := buildClientHello(clientRandom, offerID)
+	if err := WriteMsg(conn, MsgClientHello, ch); err != nil {
+		return nil, err
+	}
+	transcript.Add(MsgClientHello, ch)
+
+	shBody, err := ExpectMsg(conn, MsgServerHello)
+	if err != nil {
+		return nil, err
+	}
+	transcript.Add(MsgServerHello, shBody)
+	serverRandom, sessionID, flags, err := ParseServerHelloFlags(shBody)
+	if err != nil {
+		return nil, err
+	}
+	resumed := flags&HelloFlagResumed != 0
+
+	var master [MasterLen]byte
+	if resumed {
+		if cfg.Session == nil {
+			return nil, fmt.Errorf("%w: unsolicited resumption", ErrBadMessage)
+		}
+		master = cfg.Session.Master
+	} else {
+		certBody, err := ExpectMsg(conn, MsgCertificate)
+		if err != nil {
+			return nil, err
+		}
+		transcript.Add(MsgCertificate, certBody)
+		pub, err := UnmarshalPublicKey(certBody)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ServerPub != nil && (pub.N.Cmp(cfg.ServerPub.N) != 0 || pub.E != cfg.ServerPub.E) {
+			return nil, fmt.Errorf("minissl: server key mismatch (possible interposition)")
+		}
+
+		encryptKey := pub
+		if flags&HelloFlagEphemeral != 0 {
+			skeBody, err := ExpectMsg(conn, MsgServerKeyExchange)
+			if err != nil {
+				return nil, err
+			}
+			transcript.Add(MsgServerKeyExchange, skeBody)
+			ephPub, err := VerifyServerKeyExchange(pub, skeBody, clientRandom, serverRandom)
+			if err != nil {
+				return nil, err
+			}
+			encryptKey = ephPub
+		}
+
+		premaster, err := NewPremaster(cfg.rand())
+		if err != nil {
+			return nil, err
+		}
+		cke, err := EncryptPremaster(encryptKey, premaster)
+		if err != nil {
+			return nil, err
+		}
+		if err := WriteMsg(conn, MsgClientKeyExchange, cke); err != nil {
+			return nil, err
+		}
+		transcript.Add(MsgClientKeyExchange, cke)
+		master = DeriveMaster(premaster, clientRandom, serverRandom)
+	}
+
+	keys := KeyBlock(master, clientRandom, serverRandom)
+	rc := NewRecordCoder(keys, ClientSide)
+
+	// Client Finished: MAC over the transcript so far, sealed.
+	cfPayload := FinishedPayload(master, transcript.Sum(), "client finished")
+	sealed, err := rc.Seal(MsgFinished, cfPayload[:])
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteMsg(conn, MsgFinished, sealed); err != nil {
+		return nil, err
+	}
+	transcript.Add(MsgFinished, cfPayload[:])
+
+	// Server Finished: verify against the updated transcript.
+	sfBody, err := ExpectMsg(conn, MsgFinished)
+	if err != nil {
+		return nil, err
+	}
+	sfPayload, err := rc.Open(MsgFinished, sfBody)
+	if err != nil {
+		return nil, err
+	}
+	want := FinishedPayload(master, transcript.Sum(), "server finished")
+	if string(sfPayload) != string(want[:]) {
+		return nil, ErrBadFinished
+	}
+
+	return &ClientConn{
+		conn:    conn,
+		rc:      rc,
+		Session: ClientSession{ID: sessionID, Master: master},
+		Resumed: resumed,
+		Master:  master,
+	}, nil
+}
+
+// Write sends one application-data record.
+func (c *ClientConn) Write(p []byte) (int, error) {
+	sealed, err := c.rc.Seal(MsgAppData, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteMsg(c.conn, MsgAppData, sealed); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ReadRecord receives one application-data record.
+func (c *ClientConn) ReadRecord() ([]byte, error) {
+	body, err := ExpectMsg(c.conn, MsgAppData)
+	if err != nil {
+		return nil, err
+	}
+	return c.rc.Open(MsgAppData, body)
+}

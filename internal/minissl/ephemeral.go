@@ -1,0 +1,97 @@
+// Ephemeral per-connection RSA keys — the forward-secrecy option §5.1.1
+// mentions and sets aside: "ephemeral, per-connection RSA keys, which
+// provide forward secrecy ... are rarely used in practice because of
+// their high computational cost." This file implements them so that both
+// halves of that sentence are checkable: the forward-secrecy property is
+// an executable test (holding the long-lived private key no longer
+// decrypts recorded sessions) and the computational cost is an ablation
+// benchmark (per-connection key generation dominates the handshake).
+//
+// The mechanism follows the SSL ephemeral-RSA ("server key exchange")
+// design of the paper's era: the server generates a short-lived RSA key
+// pair for the connection, signs it with its long-lived key (binding the
+// signature to both hello randoms to prevent replay), and the client
+// encrypts the premaster under the ephemeral key. The long-lived key is
+// thereby used only for signing; compromise of it later reveals nothing
+// about the premaster of a recorded connection, whose ephemeral private
+// key was discarded at handshake end.
+
+package minissl
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// MsgServerKeyExchange carries the signed ephemeral public key. It is sent
+// between Certificate and ClientKeyExchange when the server enables
+// ephemeral keys, and announced by the ServerHello ephemeral flag.
+const MsgServerKeyExchange byte = 8
+
+// ServerHello flag bits. The ServerHello flag byte was a plain 0/1 resumed
+// marker; it is now a bitfield with resumption in bit 0, so old peers
+// interoperate with non-ephemeral servers unchanged.
+const (
+	// HelloFlagResumed marks an abbreviated handshake.
+	HelloFlagResumed byte = 1 << 0
+	// HelloFlagEphemeral announces a ServerKeyExchange message.
+	HelloFlagEphemeral byte = 1 << 1
+)
+
+// EphemeralKeyBits sizes per-connection keys. 512-bit keys match the
+// export-grade ephemeral RSA of the SSLv3 era; the generation cost is the
+// point — it is paid per connection.
+const EphemeralKeyBits = 512
+
+// GenerateEphemeralKey creates one connection's short-lived key pair.
+func GenerateEphemeralKey() (*rsa.PrivateKey, error) {
+	return rsa.GenerateKey(rand.Reader, EphemeralKeyBits)
+}
+
+// ephemeralSigHash binds the ephemeral key to this handshake's randoms, so
+// a signed key observed on one connection cannot be replayed on another.
+func ephemeralSigHash(clientRandom, serverRandom [RandomLen]byte, pubBytes []byte) []byte {
+	h := sha256.New()
+	h.Write(clientRandom[:])
+	h.Write(serverRandom[:])
+	h.Write(pubBytes)
+	return h.Sum(nil)
+}
+
+// BuildServerKeyExchange serializes and signs the ephemeral public key
+// with the server's long-lived key: u16 publen || pub || sig.
+func BuildServerKeyExchange(longterm *rsa.PrivateKey, ephPub *rsa.PublicKey, clientRandom, serverRandom [RandomLen]byte) ([]byte, error) {
+	pubBytes := MarshalPublicKey(ephPub)
+	digest := ephemeralSigHash(clientRandom, serverRandom, pubBytes)
+	sig, err := rsa.SignPKCS1v15(rand.Reader, longterm, crypto.SHA256, digest)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 2, 2+len(pubBytes)+len(sig))
+	binary.BigEndian.PutUint16(out, uint16(len(pubBytes)))
+	out = append(out, pubBytes...)
+	return append(out, sig...), nil
+}
+
+// VerifyServerKeyExchange checks the long-lived key's signature over the
+// ephemeral key and this handshake's randoms, returning the ephemeral
+// public key the premaster must be encrypted under.
+func VerifyServerKeyExchange(serverPub *rsa.PublicKey, body []byte, clientRandom, serverRandom [RandomLen]byte) (*rsa.PublicKey, error) {
+	if len(body) < 2 {
+		return nil, ErrBadMessage
+	}
+	n := int(binary.BigEndian.Uint16(body))
+	if len(body) < 2+n {
+		return nil, ErrBadMessage
+	}
+	pubBytes, sig := body[2:2+n], body[2+n:]
+	digest := ephemeralSigHash(clientRandom, serverRandom, pubBytes)
+	if err := rsa.VerifyPKCS1v15(serverPub, crypto.SHA256, digest, sig); err != nil {
+		return nil, fmt.Errorf("minissl: ephemeral key signature invalid: %w", err)
+	}
+	return UnmarshalPublicKey(pubBytes)
+}

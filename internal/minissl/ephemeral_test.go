@@ -1,0 +1,282 @@
+package minissl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"wedge/internal/netsim"
+)
+
+// runEphemeralPair completes one handshake with the given server options
+// over an in-memory connection, returning both ends.
+func runEphemeralPair(t *testing.T, opts ServerOpts, sess *ClientSession, cache *SessionCache) (*ClientConn, *ServerConn) {
+	t.Helper()
+	net := netsim.New()
+	l, err := net.Listen("srv:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv := serverKey(t)
+
+	var srv *ServerConn
+	var srvErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			srvErr = err
+			return
+		}
+		srv, srvErr = ServerHandshakeOpts(c, priv, cache, opts)
+	}()
+
+	conn, err := net.Dial("srv:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := ClientHandshake(conn, &ClientConfig{ServerPub: &priv.PublicKey, Session: sess})
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	<-done
+	if srvErr != nil {
+		t.Fatalf("server handshake: %v", srvErr)
+	}
+	return cc, srv
+}
+
+// TestEphemeralHandshake: the ephemeral variant completes, both sides
+// agree on the master secret, and application data flows.
+func TestEphemeralHandshake(t *testing.T) {
+	cc, srv := runEphemeralPair(t, ServerOpts{Ephemeral: true}, nil, nil)
+	if !srv.Ephemeral {
+		t.Fatal("server did not use the ephemeral exchange")
+	}
+	if cc.Master != srv.Master {
+		t.Fatal("master secrets disagree")
+	}
+	go func() {
+		if _, err := cc.Write([]byte("hello")); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := srv.ReadRecord()
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadRecord = %q, %v", got, err)
+	}
+}
+
+// TestEphemeralResumptionSkipsKeyExchange: a session established
+// ephemerally resumes with the abbreviated handshake — no key exchange of
+// either kind.
+func TestEphemeralResumptionSkipsKeyExchange(t *testing.T) {
+	cache := NewSessionCache()
+	cc, _ := runEphemeralPair(t, ServerOpts{Ephemeral: true}, nil, cache)
+	cc2, srv2 := runEphemeralPair(t, ServerOpts{Ephemeral: true}, &cc.Session, cache)
+	if !cc2.Resumed || !srv2.Resumed {
+		t.Fatal("second handshake did not resume")
+	}
+	if srv2.Ephemeral {
+		t.Fatal("resumed handshake claims ephemeral exchange")
+	}
+	if cc2.Master != cc.Master {
+		t.Fatal("resumed master differs")
+	}
+}
+
+// recordingConn captures everything both sides send, playing the
+// paper's eavesdropper: "the attacker can eavesdrop on entire SSL
+// connections" (§5.1).
+type recordingConn struct {
+	inner io.ReadWriter
+	mu    *sync.Mutex
+	// tape sees the concatenated handshake in wire order for one
+	// direction at a time; a real tap keeps both directions, and so do
+	// we: c2s for client writes, s2c for server writes.
+	tape *bytes.Buffer
+}
+
+func (r *recordingConn) Read(p []byte) (int, error) { return r.inner.Read(p) }
+
+func (r *recordingConn) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	r.tape.Write(p)
+	r.mu.Unlock()
+	return r.inner.Write(p)
+}
+
+// runRecorded performs one full handshake plus one app-data record from
+// the client, recording each direction's bytes.
+func runRecorded(t *testing.T, opts ServerOpts) (c2s, s2c *bytes.Buffer) {
+	t.Helper()
+	net := netsim.New()
+	l, err := net.Listen("srv:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv := serverKey(t)
+	var mu sync.Mutex
+	c2s, s2c = new(bytes.Buffer), new(bytes.Buffer)
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		srv, err := ServerHandshakeOpts(&recordingConn{inner: c, mu: &mu, tape: s2c}, priv, nil, opts)
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = srv.ReadRecord()
+		done <- err
+	}()
+
+	conn, err := net.Dial("srv:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := ClientHandshake(&recordingConn{inner: conn, mu: &mu, tape: c2s}, &ClientConfig{ServerPub: &priv.PublicKey})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Write([]byte("secret request")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	return c2s, s2c
+}
+
+// offlineDecrypt plays the §5.1.1 attacker: given a recorded connection
+// and the server's long-lived private key (obtained later, e.g. by
+// exploit), recover the client's application data. It returns the
+// plaintext, or an error if the recorded traffic cannot be decrypted.
+func offlineDecrypt(t *testing.T, c2s, s2c *bytes.Buffer) ([]byte, error) {
+	t.Helper()
+	priv := serverKey(t)
+
+	chBody, err := ExpectMsg(c2s, MsgClientHello)
+	if err != nil {
+		return nil, err
+	}
+	clientRandom, _, err := ParseClientHello(chBody)
+	if err != nil {
+		return nil, err
+	}
+	shBody, err := ExpectMsg(s2c, MsgServerHello)
+	if err != nil {
+		return nil, err
+	}
+	serverRandom, _, flags, err := ParseServerHelloFlags(shBody)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ExpectMsg(s2c, MsgCertificate); err != nil {
+		return nil, err
+	}
+	if flags&HelloFlagEphemeral != 0 {
+		// The tape contains the signed ephemeral key, but its private
+		// half never traversed the network and was discarded.
+		if _, err := ExpectMsg(s2c, MsgServerKeyExchange); err != nil {
+			return nil, err
+		}
+	}
+	ckeBody, err := ExpectMsg(c2s, MsgClientKeyExchange)
+	if err != nil {
+		return nil, err
+	}
+	// The attack step: decrypt the recorded ClientKeyExchange with the
+	// server's long-lived private key.
+	premaster, err := DecryptPremaster(priv, ckeBody)
+	if err != nil {
+		return nil, err
+	}
+	master := DeriveMaster(premaster, clientRandom, serverRandom)
+	keys := KeyBlock(master, clientRandom, serverRandom)
+
+	// Skip the Finished pair, then open the client's app-data record.
+	rc := NewRecordCoder(keys, ServerSide)
+	cfBody, err := ExpectMsg(c2s, MsgFinished)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := rc.Open(MsgFinished, cfBody); err != nil {
+		return nil, err
+	}
+	appBody, err := ExpectMsg(c2s, MsgAppData)
+	if err != nil {
+		return nil, err
+	}
+	return rc.Open(MsgAppData, appBody)
+}
+
+// TestLongTermKeyDecryptsRecordedSession is the §5.1.1 premise: without
+// ephemeral keys, "holding this key would allow the attacker to recover
+// the session key for any eavesdropped session, past or future."
+func TestLongTermKeyDecryptsRecordedSession(t *testing.T) {
+	c2s, s2c := runRecorded(t, ServerOpts{})
+	plain, err := offlineDecrypt(t, c2s, s2c)
+	if err != nil {
+		t.Fatalf("offline decryption should succeed against the static-key server: %v", err)
+	}
+	if string(plain) != "secret request" {
+		t.Fatalf("recovered %q", plain)
+	}
+}
+
+// TestEphemeralKeysGiveForwardSecrecy is the other half: with ephemeral
+// per-connection keys, the same long-lived-key compromise recovers
+// nothing from the recorded session.
+func TestEphemeralKeysGiveForwardSecrecy(t *testing.T) {
+	c2s, s2c := runRecorded(t, ServerOpts{Ephemeral: true})
+	plain, err := offlineDecrypt(t, c2s, s2c)
+	if err == nil {
+		t.Fatalf("offline decryption succeeded against the ephemeral server: %q", plain)
+	}
+}
+
+// TestServerKeyExchangeTamper: a bit flipped anywhere in the signed
+// ephemeral key is rejected by the client.
+func TestServerKeyExchangeTamper(t *testing.T) {
+	priv := serverKey(t)
+	eph, err := GenerateEphemeralKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr, sr [RandomLen]byte
+	cr[0], sr[0] = 1, 2
+	body, err := BuildServerKeyExchange(priv, &eph.PublicKey, cr, sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyServerKeyExchange(&priv.PublicKey, body, cr, sr); err != nil {
+		t.Fatalf("pristine body rejected: %v", err)
+	}
+	for _, i := range []int{0, 1, 2, len(body) / 2, len(body) - 1} {
+		bad := append([]byte(nil), body...)
+		bad[i] ^= 0x40
+		if _, err := VerifyServerKeyExchange(&priv.PublicKey, bad, cr, sr); err == nil {
+			t.Errorf("flip at %d accepted", i)
+		}
+	}
+	// Replay on a different handshake (other randoms) must fail too.
+	var cr2 [RandomLen]byte
+	cr2[0] = 3
+	if _, err := VerifyServerKeyExchange(&priv.PublicKey, body, cr2, sr); err == nil {
+		t.Error("signed key replayed across handshakes")
+	}
+	// Truncation must not panic.
+	for _, n := range []int{0, 1, 2, 3} {
+		if _, err := VerifyServerKeyExchange(&priv.PublicKey, body[:n], cr, sr); !errors.Is(err, ErrBadMessage) {
+			t.Errorf("truncated body (%d bytes): %v", n, err)
+		}
+	}
+}

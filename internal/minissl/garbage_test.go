@@ -1,0 +1,100 @@
+// Failure injection against the handshake state machines: arbitrary bytes
+// in place of a well-formed peer must produce an error — never a panic, a
+// hang, or a spuriously "established" connection.
+
+package minissl
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// garbageConn replays a fixed byte stream as the peer and discards writes.
+type garbageConn struct {
+	r io.Reader
+}
+
+func (g *garbageConn) Read(p []byte) (int, error)  { return g.r.Read(p) }
+func (g *garbageConn) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestServerHandshakeGarbageProperty: the server-side handshake fed
+// arbitrary bytes always errors.
+func TestServerHandshakeGarbageProperty(t *testing.T) {
+	priv := serverKey(t)
+	prop := func(garbage []byte) bool {
+		conn := &garbageConn{r: bytes.NewReader(garbage)}
+		sc, err := ServerHandshake(conn, priv, NewSessionCache())
+		return sc == nil && err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientHandshakeGarbageProperty: the client-side handshake fed
+// arbitrary bytes always errors, with or without a resumption offer.
+func TestClientHandshakeGarbageProperty(t *testing.T) {
+	priv := serverKey(t)
+	prop := func(garbage []byte, offerSession bool) bool {
+		var sess *ClientSession
+		if offerSession {
+			sess = &ClientSession{ID: []byte("0123456789abcdef")}
+		}
+		conn := &garbageConn{r: bytes.NewReader(garbage)}
+		cc, err := ClientHandshake(conn, &ClientConfig{ServerPub: &priv.PublicKey, Session: sess})
+		return cc == nil && err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerHandshakeValidPrefixGarbage: a well-formed ClientHello
+// followed by garbage still errors — the state machine does not stop
+// validating after the first message.
+func TestServerHandshakeValidPrefixGarbage(t *testing.T) {
+	priv := serverKey(t)
+	prop := func(garbage []byte) bool {
+		var stream bytes.Buffer
+		random, err := NewRandom(bytes.NewReader(bytes.Repeat([]byte{7}, RandomLen)))
+		if err != nil {
+			return false
+		}
+		if err := WriteMsg(&stream, MsgClientHello, buildClientHello(random, nil)); err != nil {
+			return false
+		}
+		stream.Write(garbage)
+		conn := &garbageConn{r: &stream}
+		sc, err := ServerHandshake(conn, priv, nil)
+		return sc == nil && err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCKECorruptionNeverEstablishes: flipping any byte of the recorded
+// ClientKeyExchange prevents the handshake from completing (the server's
+// premaster decrypt or the Finished check fails), so a man-in-the-middle
+// cannot partially influence key agreement by mangling that message.
+func TestCKECorruptionNeverEstablishes(t *testing.T) {
+	priv := serverKey(t)
+	premaster, err := NewPremaster(bytes.NewReader(bytes.Repeat([]byte{9}, PremasterLen)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cke, err := EncryptPremaster(&priv.PublicKey, premaster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, len(cke) / 2, len(cke) - 1} {
+		bad := append([]byte(nil), cke...)
+		bad[i] ^= 0x01
+		got, err := DecryptPremaster(priv, bad)
+		if err == nil && got == premaster {
+			t.Fatalf("corrupted CKE at byte %d still decrypts to the premaster", i)
+		}
+	}
+}

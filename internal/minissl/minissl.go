@@ -1,0 +1,499 @@
+// Package minissl implements the SSL-shaped protocol substrate for the
+// Apache/OpenSSL reproduction (§5.1). It follows the structure of an
+// SSLv3/TLS RSA handshake exactly where the paper's partitioning depends
+// on that structure:
+//
+//   - the session key derives from three inputs that traverse the network:
+//     a server random, a client random (both cleartext), and a client
+//     premaster secret encrypted with the server's RSA public key;
+//   - the handshake ends with Finished messages in both directions, each
+//     a MAC over a running transcript hash, encrypted under the session
+//     keys — so verifying or producing a Finished is the only handshake
+//     step that needs the session key;
+//   - application data flows over an encrypted-and-MACed record layer;
+//   - a session cache allows abbreviated handshakes that skip the RSA
+//     operation (session resumption).
+//
+// The package is deliberately composable: each handshake step is a free
+// function over explicit state, so the partitioned servers in
+// internal/httpd can place each step in a different compartment (worker
+// sthread, setup_session_key callgate, receive_finished / send_finished
+// callgates, SSL_read / SSL_write callgates) without this package knowing
+// about Wedge at all. The monolithic baseline server and the test client
+// use the same functions.
+//
+// This is an offline, stdlib-only protocol for a simulated testbed — not
+// transport security for real networks.
+package minissl
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+)
+
+// Protocol constants.
+const (
+	// RandomLen is the length of the client and server randoms.
+	RandomLen = 32
+	// PremasterLen is the length of the client's premaster secret.
+	PremasterLen = 48
+	// MasterLen is the length of the derived master secret.
+	MasterLen = 48
+	// SessionIDLen is the length of server-assigned session ids.
+	SessionIDLen = 16
+	// KeyLen is the AES-128 key length used by the record layer.
+	KeyLen = 16
+	// MACLen is the record MAC length (truncated HMAC-SHA256).
+	MACLen = 32
+	// MaxRecord is the maximum record payload.
+	MaxRecord = 1 << 14
+)
+
+// Handshake message types.
+const (
+	MsgClientHello       byte = 1
+	MsgServerHello       byte = 2
+	MsgCertificate       byte = 3
+	MsgClientKeyExchange byte = 4
+	MsgFinished          byte = 5
+	MsgAppData           byte = 6
+	MsgAlert             byte = 7
+)
+
+// Errors.
+var (
+	ErrBadMAC       = errors.New("minissl: record MAC verification failed")
+	ErrBadFinished  = errors.New("minissl: finished verification failed")
+	ErrBadMessage   = errors.New("minissl: malformed handshake message")
+	ErrRecordTooBig = errors.New("minissl: oversized record")
+	ErrAlert        = errors.New("minissl: peer sent alert")
+)
+
+// ---- message framing ----------------------------------------------------------
+
+// WriteMsg frames one protocol message: type byte, u24 length, payload.
+func WriteMsg(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > 1<<24-1 {
+		return ErrRecordTooBig
+	}
+	hdr := []byte{typ, byte(len(payload) >> 16), byte(len(payload) >> 8), byte(len(payload))}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadMsg reads one framed message.
+func ReadMsg(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n > MaxRecord+MACLen+64 {
+		return 0, nil, ErrRecordTooBig
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// ExpectMsg reads a message and requires the given type. An alert from the
+// peer surfaces as ErrAlert.
+func ExpectMsg(r io.Reader, typ byte) ([]byte, error) {
+	got, payload, err := ReadMsg(r)
+	if err != nil {
+		return nil, err
+	}
+	if got == MsgAlert {
+		return nil, fmt.Errorf("%w: %q", ErrAlert, payload)
+	}
+	if got != typ {
+		return nil, fmt.Errorf("%w: got type %d, want %d", ErrBadMessage, got, typ)
+	}
+	return payload, nil
+}
+
+// SendAlert notifies the peer of a fatal handshake failure.
+func SendAlert(w io.Writer, reason string) {
+	WriteMsg(w, MsgAlert, []byte(reason))
+}
+
+// ---- key material ---------------------------------------------------------------
+
+// NewRandom fills a fresh handshake random.
+func NewRandom(r io.Reader) ([RandomLen]byte, error) {
+	var out [RandomLen]byte
+	_, err := io.ReadFull(r, out[:])
+	return out, err
+}
+
+// NewPremaster generates the client's premaster secret.
+func NewPremaster(r io.Reader) ([PremasterLen]byte, error) {
+	var out [PremasterLen]byte
+	_, err := io.ReadFull(r, out[:])
+	return out, err
+}
+
+// DeriveMaster computes the master secret from the premaster and the two
+// randoms. Because it is a cryptographic hash over three inputs, one of
+// which (the server random) is generated inside a privileged compartment,
+// an attacker who controls the unprivileged handshake code "cannot
+// usefully influence the generated session key" (§5.1.1).
+func DeriveMaster(premaster [PremasterLen]byte, clientRandom, serverRandom [RandomLen]byte) [MasterLen]byte {
+	h := hmac.New(sha256.New, premaster[:])
+	h.Write([]byte("master secret"))
+	h.Write(clientRandom[:])
+	h.Write(serverRandom[:])
+	a := h.Sum(nil)
+	h.Reset()
+	h.Write(a)
+	h.Write([]byte("expand"))
+	b := h.Sum(nil)
+	var out [MasterLen]byte
+	copy(out[:32], a)
+	copy(out[32:], b)
+	return out
+}
+
+// Keys is one direction-pair of record-layer keys derived from the master
+// secret: the session key of §5.1, including the MAC keys.
+type Keys struct {
+	ClientWriteKey [KeyLen]byte
+	ServerWriteKey [KeyLen]byte
+	ClientMACKey   [32]byte
+	ServerMACKey   [32]byte
+}
+
+// KeyBlock expands the master secret into record-layer keys.
+func KeyBlock(master [MasterLen]byte, clientRandom, serverRandom [RandomLen]byte) Keys {
+	h := hmac.New(sha256.New, master[:])
+	h.Write([]byte("key expansion"))
+	h.Write(serverRandom[:])
+	h.Write(clientRandom[:])
+	block := h.Sum(nil) // 32 bytes
+	h.Reset()
+	h.Write(block)
+	block = append(block, h.Sum(nil)...) // 64
+	h.Reset()
+	h.Write(block[32:])
+	block = append(block, h.Sum(nil)...) // 96
+
+	var k Keys
+	copy(k.ClientWriteKey[:], block[0:16])
+	copy(k.ServerWriteKey[:], block[16:32])
+	copy(k.ClientMACKey[:], block[32:64])
+	copy(k.ServerMACKey[:], block[64:96])
+	return k
+}
+
+// Marshal serializes the key block (for placement into tagged memory).
+func (k *Keys) Marshal() []byte {
+	out := make([]byte, 0, 96)
+	out = append(out, k.ClientWriteKey[:]...)
+	out = append(out, k.ServerWriteKey[:]...)
+	out = append(out, k.ClientMACKey[:]...)
+	out = append(out, k.ServerMACKey[:]...)
+	return out
+}
+
+// UnmarshalKeys parses a serialized key block.
+func UnmarshalKeys(b []byte) (Keys, error) {
+	var k Keys
+	if len(b) != 96 {
+		return k, fmt.Errorf("%w: key block length %d", ErrBadMessage, len(b))
+	}
+	copy(k.ClientWriteKey[:], b[0:16])
+	copy(k.ServerWriteKey[:], b[16:32])
+	copy(k.ClientMACKey[:], b[32:64])
+	copy(k.ServerMACKey[:], b[64:96])
+	return k, nil
+}
+
+// ---- RSA key exchange -------------------------------------------------------------
+
+// GenerateServerKey creates the server's long-lived RSA key pair. 1024-bit
+// keys match the paper's era and keep the simulated handshake cost in
+// proportion.
+func GenerateServerKey() (*rsa.PrivateKey, error) {
+	return rsa.GenerateKey(rand.Reader, 1024)
+}
+
+// EncryptPremaster seals the premaster under the server's public key
+// (ClientKeyExchange body).
+func EncryptPremaster(pub *rsa.PublicKey, premaster [PremasterLen]byte) ([]byte, error) {
+	return rsa.EncryptPKCS1v15(rand.Reader, pub, premaster[:])
+}
+
+// DecryptPremaster opens the ClientKeyExchange body with the private key.
+// In the partitioned servers only the setup_session_key callgate may run
+// this function, because only it can read the private-key tag.
+func DecryptPremaster(priv *rsa.PrivateKey, ciphertext []byte) ([PremasterLen]byte, error) {
+	var out [PremasterLen]byte
+	plain, err := rsa.DecryptPKCS1v15(nil, priv, ciphertext)
+	if err != nil {
+		return out, err
+	}
+	if len(plain) != PremasterLen {
+		return out, fmt.Errorf("%w: premaster length %d", ErrBadMessage, len(plain))
+	}
+	copy(out[:], plain)
+	return out, nil
+}
+
+// MarshalPublicKey serializes an RSA public key for the Certificate
+// message.
+func MarshalPublicKey(pub *rsa.PublicKey) []byte {
+	n := pub.N.Bytes()
+	out := make([]byte, 4+4+len(n))
+	binary.BigEndian.PutUint32(out[0:], uint32(pub.E))
+	binary.BigEndian.PutUint32(out[4:], uint32(len(n)))
+	copy(out[8:], n)
+	return out
+}
+
+// UnmarshalPublicKey parses a Certificate body.
+func UnmarshalPublicKey(b []byte) (*rsa.PublicKey, error) {
+	if len(b) < 8 {
+		return nil, ErrBadMessage
+	}
+	e := binary.BigEndian.Uint32(b[0:])
+	n := binary.BigEndian.Uint32(b[4:])
+	if int(n) != len(b)-8 {
+		return nil, ErrBadMessage
+	}
+	pub := &rsa.PublicKey{E: int(e)}
+	pub.N = new(big.Int).SetBytes(b[8:])
+	return pub, nil
+}
+
+// ---- transcript and Finished --------------------------------------------------------
+
+// Transcript accumulates the hash over all handshake messages exchanged so
+// far; each Finished message is a MAC over this hash (§5.1.2).
+type Transcript struct {
+	h  [32]byte
+	ok bool
+}
+
+// Add folds one handshake message into the transcript.
+func (t *Transcript) Add(typ byte, payload []byte) {
+	h := sha256.New()
+	if t.ok {
+		h.Write(t.h[:])
+	}
+	h.Write([]byte{typ})
+	h.Write(payload)
+	copy(t.h[:], h.Sum(nil))
+	t.ok = true
+}
+
+// Sum returns the current transcript hash.
+func (t *Transcript) Sum() [32]byte { return t.h }
+
+// ResumeTranscript builds a transcript positioned at a known hash. The
+// receive_finished callgate uses it: the untrusted handshake compartment
+// supplies the hash of all past messages, and the gate folds in the
+// verified client Finished cleartext to derive the server Finished payload
+// (§5.1.2) — the hash function's non-invertibility is what stops an
+// attacker from choosing what send_finished will encrypt.
+func ResumeTranscript(h [32]byte) Transcript { return Transcript{h: h, ok: true} }
+
+// FinishedPayload computes the cleartext body of a Finished message: a MAC
+// over the transcript hash under the master secret, labelled by sender.
+func FinishedPayload(master [MasterLen]byte, transcript [32]byte, sender string) [32]byte {
+	h := hmac.New(sha256.New, master[:])
+	h.Write([]byte(sender))
+	h.Write(transcript[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ---- record layer --------------------------------------------------------------------
+
+// Side selects which key half a record processor uses for writing.
+type Side int
+
+const (
+	// ClientSide writes with the client keys.
+	ClientSide Side = iota
+	// ServerSide writes with the server keys.
+	ServerSide
+)
+
+// RecordCoder seals and opens records for one side of a connection. Not
+// safe for concurrent use; each compartment holding one builds it from the
+// serialized key block it was granted.
+type RecordCoder struct {
+	keys     Keys
+	side     Side
+	writeSeq uint64
+	readSeq  uint64
+}
+
+// NewRecordCoder builds a coder for the given side.
+func NewRecordCoder(keys Keys, side Side) *RecordCoder {
+	return &RecordCoder{keys: keys, side: side}
+}
+
+// SetSeqs positions the coder at explicit sequence numbers. Compartments
+// that persist record state in tagged memory (the partitioned servers)
+// rebuild their coder from stored sequences on each callgate invocation.
+func (rc *RecordCoder) SetSeqs(readSeq, writeSeq uint64) {
+	rc.readSeq = readSeq
+	rc.writeSeq = writeSeq
+}
+
+// ReadSeq returns the next expected inbound sequence number.
+func (rc *RecordCoder) ReadSeq() uint64 { return rc.readSeq }
+
+// WriteSeq returns the next outbound sequence number.
+func (rc *RecordCoder) WriteSeq() uint64 { return rc.writeSeq }
+
+func (rc *RecordCoder) writeKeys() ([KeyLen]byte, [32]byte) {
+	if rc.side == ClientSide {
+		return rc.keys.ClientWriteKey, rc.keys.ClientMACKey
+	}
+	return rc.keys.ServerWriteKey, rc.keys.ServerMACKey
+}
+
+func (rc *RecordCoder) readKeys() ([KeyLen]byte, [32]byte) {
+	if rc.side == ClientSide {
+		return rc.keys.ServerWriteKey, rc.keys.ServerMACKey
+	}
+	return rc.keys.ClientWriteKey, rc.keys.ClientMACKey
+}
+
+// ctr builds the AES-CTR stream for a sequence number: the IV is the
+// big-endian sequence number in the counter block's top half.
+func ctr(key [KeyLen]byte, seq uint64) (cipher.Stream, error) {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	var iv [aes.BlockSize]byte
+	binary.BigEndian.PutUint64(iv[:8], seq)
+	return cipher.NewCTR(block, iv[:]), nil
+}
+
+func recordMAC(macKey [32]byte, seq uint64, typ byte, ciphertext []byte) [MACLen]byte {
+	h := hmac.New(sha256.New, macKey[:])
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	h.Write(s[:])
+	h.Write([]byte{typ})
+	h.Write(ciphertext)
+	var out [MACLen]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Seal encrypts and MACs one record payload of the given type, returning
+// the wire body (ciphertext || MAC) and advancing the write sequence.
+func (rc *RecordCoder) Seal(typ byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxRecord {
+		return nil, ErrRecordTooBig
+	}
+	key, macKey := rc.writeKeys()
+	stream, err := ctr(key, rc.writeSeq)
+	if err != nil {
+		return nil, err
+	}
+	ct := make([]byte, len(payload))
+	stream.XORKeyStream(ct, payload)
+	mac := recordMAC(macKey, rc.writeSeq, typ, ct)
+	rc.writeSeq++
+	return append(ct, mac[:]...), nil
+}
+
+// Open verifies and decrypts one record body, advancing the read sequence.
+// A MAC failure leaves the sequence unchanged, so injected garbage does
+// not desynchronize an honest peer (§5.1.2: "data injected by the attacker
+// will be rejected ... because the MAC will fail").
+func (rc *RecordCoder) Open(typ byte, body []byte) ([]byte, error) {
+	if len(body) < MACLen {
+		return nil, ErrBadMessage
+	}
+	ct, mac := body[:len(body)-MACLen], body[len(body)-MACLen:]
+	key, macKey := rc.readKeys()
+	want := recordMAC(macKey, rc.readSeq, typ, ct)
+	if !hmac.Equal(mac, want[:]) {
+		return nil, ErrBadMAC
+	}
+	stream, err := ctr(key, rc.readSeq)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(ct))
+	stream.XORKeyStream(out, ct)
+	rc.readSeq++
+	return out, nil
+}
+
+// ---- session cache ----------------------------------------------------------------------
+
+// SessionCache stores master secrets by session id for abbreviated
+// handshakes (§5.1: "our implementation fully supports SSL session
+// caching").
+type SessionCache struct {
+	mu sync.Mutex
+	m  map[string][MasterLen]byte
+
+	// Hits and Misses count lookups, for the Table 2 cached/uncached
+	// workloads.
+	Hits   uint64
+	Misses uint64
+}
+
+// NewSessionCache returns an empty cache.
+func NewSessionCache() *SessionCache {
+	return &SessionCache{m: make(map[string][MasterLen]byte)}
+}
+
+// Put stores a master secret under a session id.
+func (c *SessionCache) Put(id []byte, master [MasterLen]byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[string(id)] = master
+}
+
+// Get looks a session up.
+func (c *SessionCache) Get(id []byte) ([MasterLen]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	master, ok := c.m[string(id)]
+	if ok {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+	return master, ok
+}
+
+// Len returns the number of cached sessions.
+func (c *SessionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// NewSessionID allocates a fresh session id.
+func NewSessionID(r io.Reader) ([]byte, error) {
+	id := make([]byte, SessionIDLen)
+	_, err := io.ReadFull(r, id)
+	return id, err
+}

@@ -1,0 +1,78 @@
+// Private-key serialization. The partitioned servers keep the server's RSA
+// private key in tagged simulated memory — the whole point of §5.1 — so it
+// must round-trip through bytes. The format is a simple length-prefixed
+// big-integer sequence (N, E, D, P, Q); offline simulation only.
+
+package minissl
+
+import (
+	"crypto/rsa"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+func appendInt(out []byte, x *big.Int) []byte {
+	b := x.Bytes()
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
+	out = append(out, l[:]...)
+	return append(out, b...)
+}
+
+func readInt(b []byte) (*big.Int, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, ErrBadMessage
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return nil, nil, ErrBadMessage
+	}
+	return new(big.Int).SetBytes(b[:n]), b[n:], nil
+}
+
+// MarshalPrivateKey serializes an RSA private key for placement in tagged
+// memory.
+func MarshalPrivateKey(priv *rsa.PrivateKey) []byte {
+	out := appendInt(nil, priv.N)
+	out = appendInt(out, big.NewInt(int64(priv.E)))
+	out = appendInt(out, priv.D)
+	out = appendInt(out, priv.Primes[0])
+	out = appendInt(out, priv.Primes[1])
+	return out
+}
+
+// UnmarshalPrivateKey parses MarshalPrivateKey's output.
+func UnmarshalPrivateKey(b []byte) (*rsa.PrivateKey, error) {
+	n, b, err := readInt(b)
+	if err != nil {
+		return nil, err
+	}
+	e, b, err := readInt(b)
+	if err != nil {
+		return nil, err
+	}
+	d, b, err := readInt(b)
+	if err != nil {
+		return nil, err
+	}
+	p, b, err := readInt(b)
+	if err != nil {
+		return nil, err
+	}
+	q, _, err := readInt(b)
+	if err != nil {
+		return nil, err
+	}
+	priv := &rsa.PrivateKey{
+		PublicKey: rsa.PublicKey{N: n, E: int(e.Int64())},
+		D:         d,
+		Primes:    []*big.Int{p, q},
+	}
+	priv.Precompute()
+	if err := priv.Validate(); err != nil {
+		return nil, fmt.Errorf("minissl: invalid private key: %w", err)
+	}
+	return priv, nil
+}

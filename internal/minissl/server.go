@@ -1,0 +1,190 @@
+// The monolithic server-side handshake: every step in one trust domain,
+// exactly like unpartitioned Apache/OpenSSL. The partitioned servers in
+// internal/httpd do NOT use this function — they re-compose the same
+// primitive steps across compartments — but the baseline and the unit
+// tests do.
+
+package minissl
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"io"
+)
+
+// ServerConn is an established server-side SSL connection.
+type ServerConn struct {
+	conn io.ReadWriter
+	rc   *RecordCoder
+	// Master and Keys retained for test assertions (this is the
+	// monolithic server: everything is in one trust domain anyway).
+	Master  [MasterLen]byte
+	Keys    Keys
+	Resumed bool
+	// Ephemeral reports whether the premaster travelled under a
+	// per-connection key.
+	Ephemeral bool
+}
+
+// ServerOpts selects handshake variants.
+type ServerOpts struct {
+	// Ephemeral enables per-connection RSA keys (forward secrecy, at the
+	// per-connection key-generation cost §5.1.1 cites). Resumed
+	// handshakes are unaffected: they perform no key exchange at all.
+	Ephemeral bool
+}
+
+// ServerHandshake runs the complete server side monolithically: private
+// key, premaster, master secret and session keys all live in the one
+// address space, which is precisely the exposure Wedge removes.
+func ServerHandshake(conn io.ReadWriter, priv *rsa.PrivateKey, cache *SessionCache) (*ServerConn, error) {
+	return ServerHandshakeOpts(conn, priv, cache, ServerOpts{})
+}
+
+// ServerHandshakeOpts is ServerHandshake with variant selection.
+func ServerHandshakeOpts(conn io.ReadWriter, priv *rsa.PrivateKey, cache *SessionCache, opts ServerOpts) (*ServerConn, error) {
+	var transcript Transcript
+
+	chBody, err := ExpectMsg(conn, MsgClientHello)
+	if err != nil {
+		return nil, err
+	}
+	transcript.Add(MsgClientHello, chBody)
+	clientRandom, offeredID, err := ParseClientHello(chBody)
+	if err != nil {
+		return nil, err
+	}
+
+	serverRandom, err := NewRandom(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+
+	var master [MasterLen]byte
+	var sessionID []byte
+	resumed := false
+	if cache != nil && len(offeredID) > 0 {
+		if m, ok := cache.Get(offeredID); ok {
+			master = m
+			sessionID = offeredID
+			resumed = true
+		}
+	}
+	if !resumed {
+		sessionID, err = NewSessionID(rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var flags byte
+	if resumed {
+		flags |= HelloFlagResumed
+	}
+	ephemeral := opts.Ephemeral && !resumed
+	if ephemeral {
+		flags |= HelloFlagEphemeral
+	}
+	sh := BuildServerHelloFlags(serverRandom, sessionID, flags)
+	if err := WriteMsg(conn, MsgServerHello, sh); err != nil {
+		return nil, err
+	}
+	transcript.Add(MsgServerHello, sh)
+
+	if !resumed {
+		cert := MarshalPublicKey(&priv.PublicKey)
+		if err := WriteMsg(conn, MsgCertificate, cert); err != nil {
+			return nil, err
+		}
+		transcript.Add(MsgCertificate, cert)
+
+		decryptKey := priv
+		if ephemeral {
+			eph, err := GenerateEphemeralKey()
+			if err != nil {
+				return nil, err
+			}
+			ske, err := BuildServerKeyExchange(priv, &eph.PublicKey, clientRandom, serverRandom)
+			if err != nil {
+				return nil, err
+			}
+			if err := WriteMsg(conn, MsgServerKeyExchange, ske); err != nil {
+				return nil, err
+			}
+			transcript.Add(MsgServerKeyExchange, ske)
+			decryptKey = eph
+		}
+
+		ckeBody, err := ExpectMsg(conn, MsgClientKeyExchange)
+		if err != nil {
+			return nil, err
+		}
+		transcript.Add(MsgClientKeyExchange, ckeBody)
+		premaster, err := DecryptPremaster(decryptKey, ckeBody)
+		if err != nil {
+			SendAlert(conn, "bad key exchange")
+			return nil, err
+		}
+		master = DeriveMaster(premaster, clientRandom, serverRandom)
+		// The ephemeral private key goes out of scope here; nothing
+		// retains it past the handshake, which is the forward-secrecy
+		// property.
+	}
+
+	keys := KeyBlock(master, clientRandom, serverRandom)
+	rc := NewRecordCoder(keys, ServerSide)
+
+	// Client Finished.
+	cfBody, err := ExpectMsg(conn, MsgFinished)
+	if err != nil {
+		return nil, err
+	}
+	cfPayload, err := rc.Open(MsgFinished, cfBody)
+	if err != nil {
+		SendAlert(conn, "bad finished")
+		return nil, err
+	}
+	want := FinishedPayload(master, transcript.Sum(), "client finished")
+	if string(cfPayload) != string(want[:]) {
+		SendAlert(conn, "bad finished")
+		return nil, ErrBadFinished
+	}
+	transcript.Add(MsgFinished, cfPayload)
+
+	// Server Finished.
+	sfPayload := FinishedPayload(master, transcript.Sum(), "server finished")
+	sealed, err := rc.Seal(MsgFinished, sfPayload[:])
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteMsg(conn, MsgFinished, sealed); err != nil {
+		return nil, err
+	}
+
+	if cache != nil && !resumed {
+		cache.Put(sessionID, master)
+	}
+
+	return &ServerConn{conn: conn, rc: rc, Master: master, Keys: keys, Resumed: resumed, Ephemeral: ephemeral}, nil
+}
+
+// Write sends one application-data record.
+func (s *ServerConn) Write(p []byte) (int, error) {
+	sealed, err := s.rc.Seal(MsgAppData, p)
+	if err != nil {
+		return 0, err
+	}
+	if err := WriteMsg(s.conn, MsgAppData, sealed); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// ReadRecord receives one application-data record.
+func (s *ServerConn) ReadRecord() ([]byte, error) {
+	body, err := ExpectMsg(s.conn, MsgAppData)
+	if err != nil {
+		return nil, err
+	}
+	return s.rc.Open(MsgAppData, body)
+}

@@ -1,0 +1,320 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestDialListen(t *testing.T) {
+	n := New()
+	l, err := n.Listen("server:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(s, buf); err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := s.Write(bytes.ToUpper(buf)); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+		s.Close()
+	}()
+	c, err := n.Dial("server:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "HELLO" {
+		t.Fatalf("got %q", got)
+	}
+	<-done
+}
+
+func TestDialRefused(t *testing.T) {
+	n := New()
+	if _, err := n.Dial("nobody:1"); !errors.Is(err, ErrConnRefused) {
+		t.Fatalf("want refused, got %v", err)
+	}
+}
+
+func TestAddrInUse(t *testing.T) {
+	n := New()
+	if _, err := n.Listen("a:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a:1"); !errors.Is(err, ErrAddrInUse) {
+		t.Fatalf("want in-use, got %v", err)
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("a:1")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errc <- err
+	}()
+	l.Close()
+	if err := <-errc; !errors.Is(err, ErrListenerDown) {
+		t.Fatalf("accept after close: %v", err)
+	}
+	// Address is released.
+	if _, err := n.Listen("a:1"); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	// Double close is fine.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEOFAfterClose(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("a:1")
+	go func() {
+		s, _ := l.Accept()
+		s.Write([]byte("bye"))
+		s.Close()
+	}()
+	c, err := n.Dial("a:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "bye" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		// Write after peer closed read side: allowed to fail lazily, but
+		// a second write must fail once close has propagated.
+		c.Close()
+		if _, err := c.Write([]byte("y")); err == nil {
+			t.Fatal("write after close succeeded")
+		}
+	}
+}
+
+func TestAddrs(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("srv:80")
+	go func() {
+		s, _ := l.Accept()
+		if s.LocalAddr() != "srv:80" {
+			t.Errorf("server local = %q", s.LocalAddr())
+		}
+		s.Close()
+	}()
+	c, _ := n.Dial("srv:80")
+	if c.RemoteAddr() != "srv:80" {
+		t.Fatalf("client remote = %q", c.RemoteAddr())
+	}
+	c.Close()
+}
+
+func TestTapSeesTraffic(t *testing.T) {
+	n := New()
+	var mu sync.Mutex
+	var c2s, s2c []byte
+	n.Tap("srv:443", func(dir Direction, data []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if dir == ClientToServer {
+			c2s = append(c2s, data...)
+		} else {
+			s2c = append(s2c, data...)
+		}
+	})
+	l, _ := n.Listen("srv:443")
+	go func() {
+		s, _ := l.Accept()
+		buf := make([]byte, 7)
+		io.ReadFull(s, buf)
+		s.Write([]byte("response"))
+		s.Close()
+	}()
+	c, _ := n.Dial("srv:443")
+	c.Write([]byte("request"))
+	io.ReadAll(c)
+	c.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if string(c2s) != "request" || string(s2c) != "response" {
+		t.Fatalf("tap saw %q / %q", c2s, s2c)
+	}
+}
+
+func TestPassiveMITMForwardsAndRecords(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("srv:443")
+	go func() {
+		for {
+			s, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4)
+				if _, err := io.ReadFull(s, buf); err == nil {
+					s.Write(append([]byte("ok:"), buf...))
+				}
+				s.Close()
+			}()
+		}
+	}()
+
+	var mu sync.Mutex
+	var recorded []byte
+	n.Interpose("srv:443", PassiveMITM(func(dir Direction, b []byte) {
+		mu.Lock()
+		recorded = append(recorded, b...)
+		mu.Unlock()
+	}))
+
+	c, err := n.Dial("srv:443")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("ping"))
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ok:ping" {
+		t.Fatalf("through MITM got %q", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Contains(recorded, []byte("ping")) || !bytes.Contains(recorded, []byte("ok:ping")) {
+		t.Fatalf("MITM failed to record traffic: %q", recorded)
+	}
+}
+
+func TestActiveMITMModifies(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("srv:80")
+	go func() {
+		s, _ := l.Accept()
+		buf := make([]byte, 5)
+		io.ReadFull(s, buf)
+		s.Write(buf)
+		s.Close()
+	}()
+	// An interposer that flips the payload to demonstrate injection.
+	n.Interpose("srv:80", func(clientLeg *Conn, dialServer func() (*Conn, error)) {
+		serverLeg, err := dialServer()
+		if err != nil {
+			clientLeg.Close()
+			return
+		}
+		go Relay(serverLeg, clientLeg, nil)
+		Relay(clientLeg, serverLeg, func(b []byte) []byte {
+			return bytes.ToUpper(b)
+		})
+		clientLeg.Close()
+		serverLeg.Close()
+	})
+	c, _ := n.Dial("srv:80")
+	c.Write([]byte("quiet"))
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "QUIET" {
+		t.Fatalf("MITM injection not observed: %q", got)
+	}
+}
+
+func TestInterposeRemoval(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("srv:80")
+	go func() {
+		for {
+			s, err := l.Accept()
+			if err != nil {
+				return
+			}
+			s.Write([]byte("direct"))
+			s.Close()
+		}
+	}()
+	n.Interpose("srv:80", PassiveMITM(nil))
+	n.Interpose("srv:80", nil) // remove
+	c, _ := n.Dial("srv:80")
+	got, _ := io.ReadAll(c)
+	if string(got) != "direct" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLargeTransfer(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("bulk:1")
+	const size = 1 << 20
+	go func() {
+		s, _ := l.Accept()
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		s.Write(data)
+		s.Close()
+	}()
+	c, _ := n.Dial("bulk:1")
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != size {
+		t.Fatalf("got %d bytes, want %d", len(got), size)
+	}
+	for i := 0; i < size; i += 4099 {
+		if got[i] != byte(i) {
+			t.Fatalf("corrupt byte at %d", i)
+		}
+	}
+}
+
+func TestHalfClose(t *testing.T) {
+	n := New()
+	l, _ := n.Listen("hc:1")
+	go func() {
+		s, _ := l.Accept()
+		// Echo everything until EOF, then close.
+		data, _ := io.ReadAll(s)
+		s.Write(data)
+		s.Close()
+	}()
+	c, _ := n.Dial("hc:1")
+	c.Write([]byte("all of it"))
+	c.CloseWrite()
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "all of it" {
+		t.Fatalf("got %q", got)
+	}
+}

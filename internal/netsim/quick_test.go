@@ -1,0 +1,190 @@
+// Property-based tests over the simulated network: stream integrity under
+// arbitrary chunkings, tap completeness, and close semantics.
+
+package netsim
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestStreamIntegrityProperty: bytes written as arbitrary chunks on one
+// end arrive intact, in order, and exactly once on the other end,
+// regardless of chunk boundaries — both directions at once.
+func TestStreamIntegrityProperty(t *testing.T) {
+	prop := func(c2s, s2c [][]byte) bool {
+		net := New()
+		l, err := net.Listen("peer:1")
+		if err != nil {
+			return false
+		}
+		defer l.Close()
+
+		accepted := make(chan *Conn, 1)
+		go func() {
+			c, err := l.Accept()
+			if err == nil {
+				accepted <- c
+			}
+		}()
+		client, err := net.Dial("peer:1")
+		if err != nil {
+			return false
+		}
+		server := <-accepted
+
+		var want1, want2 bytes.Buffer
+		for _, c := range c2s {
+			want1.Write(c)
+		}
+		for _, c := range s2c {
+			want2.Write(c)
+		}
+
+		var wg sync.WaitGroup
+		var got1, got2 []byte
+		var err1, err2 error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, chunk := range c2s {
+				if _, err := client.Write(chunk); err != nil {
+					err1 = err
+					return
+				}
+			}
+			client.CloseWrite()
+		}()
+		go func() {
+			defer wg.Done()
+			for _, chunk := range s2c {
+				if _, err := server.Write(chunk); err != nil {
+					err2 = err
+					return
+				}
+			}
+			server.CloseWrite()
+		}()
+		got1, rerr1 := io.ReadAll(server)
+		got2, rerr2 := io.ReadAll(client)
+		wg.Wait()
+		client.Close()
+		server.Close()
+		return err1 == nil && err2 == nil && rerr1 == nil && rerr2 == nil &&
+			bytes.Equal(got1, want1.Bytes()) && bytes.Equal(got2, want2.Bytes())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTapSeesEverythingProperty: a tap installed on the listen address
+// observes exactly the bytes each side sent, per direction — the
+// eavesdropper premise of §5.1's threat model.
+func TestTapSeesEverythingProperty(t *testing.T) {
+	prop := func(c2s, s2c []byte) bool {
+		net := New()
+		l, err := net.Listen("tapped:443")
+		if err != nil {
+			return false
+		}
+		defer l.Close()
+
+		var mu sync.Mutex
+		var sawC2S, sawS2C bytes.Buffer
+		net.Tap("tapped:443", func(dir Direction, data []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			if dir == ClientToServer {
+				sawC2S.Write(data)
+			} else {
+				sawS2C.Write(data)
+			}
+		})
+
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, c) // drain client bytes
+			c.Write(s2c)
+			c.Close()
+		}()
+		client, err := net.Dial("tapped:443")
+		if err != nil {
+			return false
+		}
+		client.Write(c2s)
+		client.CloseWrite()
+		io.Copy(io.Discard, client)
+		client.Close()
+		<-done
+
+		mu.Lock()
+		defer mu.Unlock()
+		return bytes.Equal(sawC2S.Bytes(), c2s) && bytes.Equal(sawS2C.Bytes(), s2c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadAfterPeerClose: reads drain buffered data before reporting EOF.
+func TestReadAfterPeerClose(t *testing.T) {
+	net := New()
+	l, err := net.Listen("drain:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("last words"))
+		c.Close()
+	}()
+	client, err := net.Dial("drain:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "last words" {
+		t.Fatalf("drained %q", got)
+	}
+	if n, err := client.Read(make([]byte, 1)); n != 0 || err != io.EOF {
+		t.Fatalf("after drain: n=%d err=%v", n, err)
+	}
+}
+
+// TestWriteAfterCloseErrors: writing on a closed connection fails rather
+// than silently dropping data.
+func TestWriteAfterCloseErrors(t *testing.T) {
+	net := New()
+	l, err := net.Listen("closed:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if c, err := l.Accept(); err == nil {
+			c.Close()
+		}
+	}()
+	client, err := net.Dial("closed:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Close()
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+}

@@ -1,0 +1,476 @@
+// Package pin is the dynamic-instrumentation substrate standing in for
+// Intel Pin (§4.2). Simulated programs execute against a Proc, which plays
+// the role of the instrumented process: it owns the program's simulated
+// memory, tracks the live call stack by instrumenting "every function entry
+// and exit point", and exposes load/store/malloc/free events to tools such
+// as Crowbar's cb-log.
+//
+// Three run modes reproduce the three bars of Figure 9:
+//
+//   - ModeNative: events are dispatched to no one; only the program's own
+//     work runs.
+//   - ModePin: each function body is "translated" the first time it is
+//     fetched (the basic-block compilation cost Pin pays once) and every
+//     subsequent execution pays a small dispatch overhead. No per-access
+//     work is done. This models Pin with no instrumentation.
+//   - ModeCBLog: as ModePin, plus every memory load and store invokes the
+//     attached tool's callbacks with a full backtrace, the per-access cost
+//     that dominates cb-log's 27x-over-Pin mean slowdown.
+//
+// The relative costs are mechanical: programs with high memory-access
+// density per function call (tight kernels like h264ref's motion search)
+// see large cb-log/Pin ratios; call- and I/O-heavy programs (ssh) see
+// small ones — the same mechanism the paper reports.
+package pin
+
+import (
+	"fmt"
+	"sync"
+
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// Mode selects the instrumentation level.
+type Mode int
+
+const (
+	// ModeNative runs the program without any instrumentation.
+	ModeNative Mode = iota
+	// ModePin runs under the translation engine with no tool attached.
+	ModePin
+	// ModeCBLog runs with a tool receiving every memory access.
+	ModeCBLog
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModePin:
+		return "pin"
+	case ModeCBLog:
+		return "crowbar"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// SegKind classifies a memory item the way cb-log reports it (§4.2):
+// globals by variable name, stack by owning function, heap by allocation
+// backtrace.
+type SegKind int
+
+const (
+	// SegGlobal is a global variable.
+	SegGlobal SegKind = iota
+	// SegStack is a function's stack frame.
+	SegStack
+	// SegHeap is a heap allocation.
+	SegHeap
+)
+
+func (k SegKind) String() string {
+	switch k {
+	case SegGlobal:
+		return "global"
+	case SegStack:
+		return "stack"
+	case SegHeap:
+		return "heap"
+	}
+	return "?"
+}
+
+// Frame is one entry of the tracked backtrace: function name plus the
+// source coordinates of its call site, as a debugger would recover from
+// saved frame pointers.
+type Frame struct {
+	Func string
+	File string
+	Line int
+}
+
+func (f Frame) String() string { return fmt.Sprintf("%s (%s:%d)", f.Func, f.File, f.Line) }
+
+// Tool receives instrumentation events. cb-log implements it; tests may
+// implement lighter ones.
+type Tool interface {
+	// OnEnter fires at function entry, after the frame is pushed.
+	OnEnter(p *Proc, bt []Frame)
+	// OnExit fires at function exit, before the frame is popped.
+	OnExit(p *Proc, bt []Frame)
+	// OnAccess fires for every load and store with the live backtrace,
+	// the segment the address falls in (nil if unknown), and the offset
+	// within it.
+	OnAccess(p *Proc, access vm.Access, addr vm.Addr, size int, seg *Segment, off uint64, bt []Frame)
+	// OnMalloc fires after an allocation, with the allocation backtrace.
+	OnMalloc(p *Proc, seg *Segment, bt []Frame)
+	// OnFree fires before a heap segment is retired.
+	OnFree(p *Proc, seg *Segment)
+}
+
+// Segment is one tracked memory item: a global, a live stack frame, or a
+// heap allocation. cb-log keeps "a list of segments (base and limit)" and
+// reports the segment plus offset for each access.
+type Segment struct {
+	Kind SegKind
+	// Name is the variable name for globals and the function name for
+	// stack frames; for heap segments it is a short label derived from
+	// the allocation site.
+	Name string
+	Base vm.Addr
+	Size int
+	// AllocSite is the full backtrace of the original malloc, recorded
+	// for heap segments (§4.2).
+	AllocSite []Frame
+}
+
+// Contains reports whether addr falls inside the segment.
+func (s *Segment) Contains(addr vm.Addr) bool {
+	return addr >= s.Base && addr < s.Base+vm.Addr(s.Size)
+}
+
+// Describe renders the segment the way cb-log names items: globals by
+// name, stack by frame, heap by allocation site.
+func (s *Segment) Describe() string {
+	switch s.Kind {
+	case SegGlobal:
+		return "global:" + s.Name
+	case SegStack:
+		return "stack:" + s.Name
+	default:
+		return "heap:" + s.Name
+	}
+}
+
+// Proc is one simulated instrumented process.
+type Proc struct {
+	Mode Mode
+
+	// AS is the program's memory. Workloads allocate from a private heap
+	// carved out of it.
+	AS *vm.AddressSpace
+
+	tool Tool
+
+	mu       sync.Mutex
+	stack    []Frame
+	segments []*Segment // sorted by Base
+	heapBase vm.Addr
+
+	// translated tracks which functions the translation engine has
+	// already compiled; first execution pays translationWork.
+	translated map[string]struct{}
+
+	// Counters for tests and the Figure 9 harness.
+	Calls       uint64
+	Loads       uint64
+	Stores      uint64
+	Translated  uint64
+	InstrETotal uint64 // total instrumentation events delivered
+
+	// sink absorbs the simulated translation/dispatch work so the
+	// compiler cannot elide it.
+	sink uint64
+}
+
+// Work factors for the translation engine. They are deliberately simple
+// spin loops: the point is that the engine's costs scale with the same
+// quantities Pin's do (translations once per function, dispatch per call,
+// tool work per access).
+const (
+	translationWork = 5000 // first-fetch compilation of a function body
+	dispatchWork    = 600  // per-call overhead of running translated code
+)
+
+// heapSize is the arena carved for each Proc's program heap.
+const heapSize = 8 << 20
+
+// NewProc creates an instrumented process in the given mode with an empty
+// address space and a private program heap.
+func NewProc(mode Mode) (*Proc, error) {
+	as := vm.NewAddressSpace()
+	base, err := as.MapAnon(heapSize, vm.PermRW)
+	if err != nil {
+		return nil, err
+	}
+	if err := tags.InitHeap(as, base, heapSize); err != nil {
+		return nil, err
+	}
+	return &Proc{
+		Mode:       mode,
+		AS:         as,
+		heapBase:   base,
+		translated: make(map[string]struct{}),
+	}, nil
+}
+
+// Attach connects a tool (cb-log). Only ModeCBLog delivers access events;
+// enter/exit/malloc events are delivered in any mode with a tool attached,
+// which the trace-driven tests use.
+func (p *Proc) Attach(t Tool) { p.tool = t }
+
+// Backtrace returns a copy of the live backtrace, innermost frame last.
+func (p *Proc) Backtrace() []Frame {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Frame(nil), p.stack...)
+}
+
+// spin performs n units of simulated engine work.
+func (p *Proc) spin(n int) {
+	s := p.sink
+	for i := 0; i < n; i++ {
+		s = s*1664525 + 1013904223
+	}
+	p.sink = s
+}
+
+// Call executes body as the function fn declared at file:line: the entry
+// and exit instrumentation of §4.2. In instrumented modes, the first
+// execution of fn pays the translation cost and every execution pays the
+// dispatch cost.
+func (p *Proc) Call(fn, file string, line int, body func()) {
+	p.Calls++
+	if p.Mode != ModeNative {
+		if _, ok := p.translated[fn]; !ok {
+			p.translated[fn] = struct{}{}
+			p.Translated++
+			p.spin(translationWork)
+		}
+		p.spin(dispatchWork)
+	}
+	frame := Frame{Func: fn, File: file, Line: line}
+	p.mu.Lock()
+	p.stack = append(p.stack, frame)
+	bt := p.stack
+	p.mu.Unlock()
+
+	if p.tool != nil {
+		p.tool.OnEnter(p, bt)
+		p.InstrETotal++
+	}
+	// Stack frame segment: created on entry, retired on exit, so stack
+	// accesses classify to "the function in whose stack frame the access
+	// falls".
+	defer func() {
+		if p.tool != nil {
+			p.mu.Lock()
+			bt := p.stack
+			p.mu.Unlock()
+			p.tool.OnExit(p, bt)
+			p.InstrETotal++
+		}
+		p.mu.Lock()
+		p.stack = p.stack[:len(p.stack)-1]
+		p.mu.Unlock()
+	}()
+	body()
+}
+
+// DeclareGlobal registers a named global variable of the given size,
+// allocating backing memory for it. Crowbar identifies global accesses "by
+// variable name and source code location" via debugging symbols; this is
+// the simulated equivalent of that symbol table entry.
+func (p *Proc) DeclareGlobal(name string, size int) (vm.Addr, error) {
+	n := size
+	if n < 1 {
+		n = 1
+	}
+	base, err := p.AS.MapAnon((n+vm.PageSize-1)&^(vm.PageSize-1), vm.PermRW)
+	if err != nil {
+		return 0, err
+	}
+	p.addSegment(&Segment{Kind: SegGlobal, Name: name, Base: base, Size: n})
+	return base, nil
+}
+
+// StackVar allocates size bytes attributed to the current function's stack
+// frame. (Simulated stacks are carved from the heap arena but classified
+// as stack segments named after the owning function.)
+func (p *Proc) StackVar(size int) (vm.Addr, error) {
+	a, err := tags.HeapAlloc(p.AS, p.heapBase, size)
+	if err != nil {
+		return 0, err
+	}
+	fn := "?"
+	p.mu.Lock()
+	if len(p.stack) > 0 {
+		fn = p.stack[len(p.stack)-1].Func
+	}
+	p.mu.Unlock()
+	p.addSegment(&Segment{Kind: SegStack, Name: fn, Base: a, Size: size})
+	return a, nil
+}
+
+// FreeStackVar retires a stack variable at function exit.
+func (p *Proc) FreeStackVar(a vm.Addr) error {
+	p.removeSegment(a)
+	return tags.HeapFree(p.AS, p.heapBase, a)
+}
+
+// Malloc allocates from the program heap, instrumented as §4.2 requires:
+// "we instrument every malloc and free, and create a segment for each
+// allocated buffer", remembering the full allocation backtrace.
+func (p *Proc) Malloc(size int) (vm.Addr, error) {
+	a, err := tags.HeapAlloc(p.AS, p.heapBase, size)
+	if err != nil {
+		return 0, err
+	}
+	bt := p.Backtrace()
+	name := "anon"
+	if len(bt) > 0 {
+		f := bt[len(bt)-1]
+		name = fmt.Sprintf("%s:%d", f.Func, f.Line)
+	}
+	seg := &Segment{Kind: SegHeap, Name: name, Base: a, Size: size, AllocSite: bt}
+	p.addSegment(seg)
+	if p.tool != nil {
+		p.tool.OnMalloc(p, seg, bt)
+		p.InstrETotal++
+	}
+	return a, nil
+}
+
+// Free releases a Malloc'd buffer and retires its segment.
+func (p *Proc) Free(a vm.Addr) error {
+	p.mu.Lock()
+	var seg *Segment
+	for _, s := range p.segments {
+		if s.Base == a && s.Kind == SegHeap {
+			seg = s
+			break
+		}
+	}
+	p.mu.Unlock()
+	if seg != nil && p.tool != nil {
+		p.tool.OnFree(p, seg)
+		p.InstrETotal++
+	}
+	p.removeSegment(a)
+	return tags.HeapFree(p.AS, p.heapBase, a)
+}
+
+func (p *Proc) addSegment(s *Segment) {
+	p.mu.Lock()
+	p.segments = append(p.segments, s)
+	p.mu.Unlock()
+}
+
+func (p *Proc) removeSegment(base vm.Addr) {
+	p.mu.Lock()
+	for i, s := range p.segments {
+		if s.Base == base {
+			p.segments = append(p.segments[:i], p.segments[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// findSegment locates the segment containing addr, if tracked.
+func (p *Proc) findSegment(addr vm.Addr) *Segment {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := len(p.segments) - 1; i >= 0; i-- {
+		if p.segments[i].Contains(addr) {
+			return p.segments[i]
+		}
+	}
+	return nil
+}
+
+// access dispatches one load/store event in ModeCBLog.
+func (p *Proc) access(acc vm.Access, addr vm.Addr, size int) {
+	if p.Mode == ModeCBLog && p.tool != nil {
+		seg := p.findSegment(addr)
+		var off uint64
+		if seg != nil {
+			off = uint64(addr - seg.Base)
+		}
+		p.mu.Lock()
+		bt := p.stack
+		p.mu.Unlock()
+		p.tool.OnAccess(p, acc, addr, size, seg, off, bt)
+		p.InstrETotal++
+	}
+}
+
+// Load8 reads one byte.
+func (p *Proc) Load8(a vm.Addr) byte {
+	p.Loads++
+	p.access(vm.AccessRead, a, 1)
+	v, err := p.AS.Load8(a)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Store8 writes one byte.
+func (p *Proc) Store8(a vm.Addr, v byte) {
+	p.Stores++
+	p.access(vm.AccessWrite, a, 1)
+	if err := p.AS.Store8(a, v); err != nil {
+		panic(err)
+	}
+}
+
+// Load32 reads a 32-bit word.
+func (p *Proc) Load32(a vm.Addr) uint32 {
+	p.Loads++
+	p.access(vm.AccessRead, a, 4)
+	v, err := p.AS.Load32(a)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Store32 writes a 32-bit word.
+func (p *Proc) Store32(a vm.Addr, v uint32) {
+	p.Stores++
+	p.access(vm.AccessWrite, a, 4)
+	if err := p.AS.Store32(a, v); err != nil {
+		panic(err)
+	}
+}
+
+// Load64 reads a 64-bit word.
+func (p *Proc) Load64(a vm.Addr) uint64 {
+	p.Loads++
+	p.access(vm.AccessRead, a, 8)
+	v, err := p.AS.Load64(a)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Store64 writes a 64-bit word.
+func (p *Proc) Store64(a vm.Addr, v uint64) {
+	p.Stores++
+	p.access(vm.AccessWrite, a, 8)
+	if err := p.AS.Store64(a, v); err != nil {
+		panic(err)
+	}
+}
+
+// ReadBytes reads a byte range (counted as one access of len(buf) bytes,
+// as a rep-mov would be).
+func (p *Proc) ReadBytes(a vm.Addr, buf []byte) {
+	p.Loads++
+	p.access(vm.AccessRead, a, len(buf))
+	if err := p.AS.Read(a, buf); err != nil {
+		panic(err)
+	}
+}
+
+// WriteBytes writes a byte range.
+func (p *Proc) WriteBytes(a vm.Addr, buf []byte) {
+	p.Stores++
+	p.access(vm.AccessWrite, a, len(buf))
+	if err := p.AS.Write(a, buf); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,171 @@
+package pin
+
+import (
+	"testing"
+
+	"wedge/internal/vm"
+)
+
+// recorder captures events for assertions.
+type recorder struct {
+	enters, exits int
+	accesses      []string
+	mallocs       int
+	frees         int
+	lastBT        []Frame
+}
+
+func (r *recorder) OnEnter(_ *Proc, bt []Frame) { r.enters++; r.lastBT = append([]Frame(nil), bt...) }
+func (r *recorder) OnExit(_ *Proc, bt []Frame)  { r.exits++ }
+func (r *recorder) OnAccess(_ *Proc, a vm.Access, _ vm.Addr, _ int, seg *Segment, _ uint64, _ []Frame) {
+	d := "nil"
+	if seg != nil {
+		d = seg.Describe()
+	}
+	r.accesses = append(r.accesses, a.String()+" "+d)
+}
+func (r *recorder) OnMalloc(*Proc, *Segment, []Frame) { r.mallocs++ }
+func (r *recorder) OnFree(*Proc, *Segment)            { r.frees++ }
+
+func TestBacktraceTracking(t *testing.T) {
+	p, err := NewProc(ModeCBLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recorder{}
+	p.Attach(rec)
+
+	var depth2 []Frame
+	p.Call("outer", "o.c", 1, func() {
+		p.Call("inner", "i.c", 2, func() {
+			depth2 = p.Backtrace()
+		})
+	})
+	if len(depth2) != 2 || depth2[0].Func != "outer" || depth2[1].Func != "inner" {
+		t.Fatalf("backtrace = %v", depth2)
+	}
+	if got := p.Backtrace(); len(got) != 0 {
+		t.Fatalf("stack not unwound: %v", got)
+	}
+	if rec.enters != 2 || rec.exits != 2 {
+		t.Fatalf("enters=%d exits=%d", rec.enters, rec.exits)
+	}
+}
+
+func TestSegmentClassification(t *testing.T) {
+	p, _ := NewProc(ModeCBLog)
+	rec := &recorder{}
+	p.Attach(rec)
+
+	g, _ := p.DeclareGlobal("counter", 8)
+	var h vm.Addr
+	p.Call("f", "f.c", 1, func() {
+		h, _ = p.Malloc(32)
+		p.Store64(g, 1)
+		p.Store64(h, 2)
+		sv, _ := p.StackVar(8)
+		p.Load64(sv)
+		p.FreeStackVar(sv)
+	})
+	want := []string{"write global:counter", "write heap:f:1", "read stack:f"}
+	if len(rec.accesses) != len(want) {
+		t.Fatalf("accesses = %v", rec.accesses)
+	}
+	for i, w := range want {
+		if rec.accesses[i] != w {
+			t.Fatalf("access %d = %q, want %q", i, rec.accesses[i], w)
+		}
+	}
+	if rec.mallocs != 1 {
+		t.Fatalf("mallocs = %d", rec.mallocs)
+	}
+	if err := p.Free(h); err != nil {
+		t.Fatal(err)
+	}
+	if rec.frees != 1 {
+		t.Fatalf("frees = %d", rec.frees)
+	}
+}
+
+func TestFreedSegmentNoLongerClassified(t *testing.T) {
+	p, _ := NewProc(ModeCBLog)
+	rec := &recorder{}
+	p.Attach(rec)
+	h, _ := p.Malloc(16)
+	p.Free(h)
+	if seg := p.findSegment(h); seg != nil {
+		t.Fatalf("freed segment still tracked: %v", seg.Describe())
+	}
+}
+
+func TestMemoryRoundTrips(t *testing.T) {
+	p, _ := NewProc(ModeNative)
+	a, err := p.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Store8(a, 0xAB)
+	if v := p.Load8(a); v != 0xAB {
+		t.Fatalf("Load8 = %#x", v)
+	}
+	p.Store32(a+4, 0xDEADBEEF)
+	if v := p.Load32(a + 4); v != 0xDEADBEEF {
+		t.Fatalf("Load32 = %#x", v)
+	}
+	p.Store64(a+8, 0x0123456789ABCDEF)
+	if v := p.Load64(a + 8); v != 0x0123456789ABCDEF {
+		t.Fatalf("Load64 = %#x", v)
+	}
+	buf := []byte("hello")
+	p.WriteBytes(a+16, buf)
+	got := make([]byte, 5)
+	p.ReadBytes(a+16, got)
+	if string(got) != "hello" {
+		t.Fatalf("ReadBytes = %q", got)
+	}
+	if p.Loads != 4 || p.Stores != 4 {
+		t.Fatalf("Loads=%d Stores=%d", p.Loads, p.Stores)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeNative.String() != "native" || ModePin.String() != "pin" || ModeCBLog.String() != "crowbar" {
+		t.Fatal("mode strings")
+	}
+	if SegGlobal.String() != "global" || SegStack.String() != "stack" || SegHeap.String() != "heap" {
+		t.Fatal("segkind strings")
+	}
+}
+
+// TestInstrumentationOverheadOrdering is the mechanical heart of Figure 9:
+// for the same program, native < pin < cblog in instrumentation work.
+func TestInstrumentationOverheadOrdering(t *testing.T) {
+	run := func(mode Mode) *Proc {
+		p, _ := NewProc(mode)
+		if mode == ModeCBLog {
+			p.Attach(&recorder{})
+		}
+		g, _ := p.DeclareGlobal("state", 4096)
+		for i := 0; i < 50; i++ {
+			p.Call("kernel", "k.c", 1, func() {
+				for j := 0; j < 100; j++ {
+					p.Store64(g+vm.Addr(j*8%4000), uint64(j))
+					p.Load64(g + vm.Addr(j*8%4000))
+				}
+			})
+		}
+		return p
+	}
+	native := run(ModeNative)
+	pinp := run(ModePin)
+	cblog := run(ModeCBLog)
+	if native.Translated != 0 {
+		t.Fatal("native translated code")
+	}
+	if pinp.Translated == 0 {
+		t.Fatal("pin mode translated nothing")
+	}
+	if cblog.InstrETotal <= pinp.InstrETotal {
+		t.Fatalf("cblog events (%d) not above pin (%d)", cblog.InstrETotal, pinp.InstrETotal)
+	}
+}

@@ -1,0 +1,301 @@
+// Package policy implements Wedge security policies: the sc_t structure a
+// programmer assembles and attaches to a new sthread (§3.1, Table 1). A
+// policy enumerates, explicitly and exhaustively, everything the sthread
+// may touch — memory tags with per-tag permissions, file descriptors with
+// per-descriptor modes, callgates it may invoke — plus the Unix user id,
+// filesystem root, and SELinux context it runs under. Everything not named
+// is denied; that is the default-deny model the paper argues for.
+//
+// The package also encodes the monotonicity rule of §3.1: an sthread can
+// only create a child with equal or lesser privileges than its own. The
+// subset checks here are the kernel-side validation that enforces it.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wedge/internal/kernel"
+	"wedge/internal/selinux"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// Errors returned by policy validation.
+var (
+	// ErrEscalation is returned when a child policy requests privileges
+	// its creator does not hold.
+	ErrEscalation = errors.New("policy: child privileges exceed parent's")
+	// ErrWriteOnly is returned for write-only memory grants, which Wedge
+	// rejects because most CPUs cannot express them (§3.1).
+	ErrWriteOnly = errors.New("policy: write-only memory permissions are not supported")
+	// ErrBadPerm is returned for malformed permission bits.
+	ErrBadPerm = errors.New("policy: invalid permission bits")
+)
+
+// InheritUID is the sentinel for "keep the creator's user id".
+const InheritUID = -1
+
+// GateSpec is one callgate authorization inside a policy: the entry point,
+// the permissions the callgate will run with, and the trusted argument its
+// creator supplies. The sthread layer interprets Entry; policy treats it as
+// opaque. Wedge stores all three in the kernel at sthread-creation time so
+// the (potentially compromised) child cannot tamper with them (§4.1).
+type GateSpec struct {
+	Entry any
+	SC    *SC
+	Arg   vm.Addr
+	Name  string // diagnostic label
+}
+
+// SC is a security policy (the paper's sc_t). The zero value grants
+// nothing; use New.
+type SC struct {
+	// Mem maps memory tags to the page permissions granted for the
+	// tag's segment (read, read-write, or copy-on-write).
+	Mem map[tags.Tag]vm.Perm
+	// FDs maps file descriptor numbers (in the creator's table) to the
+	// modes granted on them.
+	FDs map[int]kernel.FDPerm
+	// Gates lists the callgates the sthread may invoke.
+	Gates []*GateSpec
+	// UID is the Unix user id the sthread runs as, or InheritUID.
+	UID int
+	// Root is the filesystem path (resolved in the creator's namespace)
+	// that becomes the sthread's root, or "" to inherit.
+	Root string
+	// Ctx is the SELinux context the sthread runs in; the zero Context
+	// inherits the creator's.
+	Ctx selinux.Context
+	// MemPages, when non-zero, caps how many additional pages the sthread
+	// may map beyond what its policy granted at creation — a
+	// resource-exhaustion mitigation extending the paper, which notes
+	// (§7) Wedge has no direct DoS defense. Like an rlimit, 0 inherits
+	// the creator's cap (unlimited if no ancestor set one), and a child's
+	// explicit cap may tighten but never exceed its parent's.
+	MemPages int
+}
+
+// New returns an empty policy: no memory, no descriptors, no callgates,
+// inherited uid/root/context. This emptiness is the point — a fresh sthread
+// "holds no access rights by default" (§3.1).
+func New() *SC {
+	return &SC{
+		Mem: make(map[tags.Tag]vm.Perm),
+		FDs: make(map[int]kernel.FDPerm),
+		UID: InheritUID,
+	}
+}
+
+// MemAdd grants perm on the segment named by tag (the paper's sc_mem_add).
+// Write-only grants are rejected.
+func (sc *SC) MemAdd(tag tags.Tag, perm vm.Perm) error {
+	if err := checkMemPerm(perm); err != nil {
+		return err
+	}
+	sc.Mem[tag] |= perm
+	return nil
+}
+
+// MustMemAdd is MemAdd for statically correct permissions.
+func (sc *SC) MustMemAdd(tag tags.Tag, perm vm.Perm) *SC {
+	if err := sc.MemAdd(tag, perm); err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// FDAdd grants perm on descriptor fd of the creator's table (sc_fd_add).
+func (sc *SC) FDAdd(fd int, perm kernel.FDPerm) *SC {
+	sc.FDs[fd] |= perm
+	return sc
+}
+
+// GateAdd authorizes invocation of a callgate with the given permissions
+// and trusted argument (sc_cgate_add).
+func (sc *SC) GateAdd(entry any, gateSC *SC, arg vm.Addr, name string) *SC {
+	sc.Gates = append(sc.Gates, &GateSpec{Entry: entry, SC: gateSC, Arg: arg, Name: name})
+	return sc
+}
+
+// SELContext sets the SELinux context (sc_sel_context). The sid must parse
+// as user:role:type.
+func (sc *SC) SELContext(sid string) error {
+	ctx, err := selinux.ParseContext(sid)
+	if err != nil {
+		return err
+	}
+	sc.Ctx = ctx
+	return nil
+}
+
+// SetUID requests that the sthread run as uid.
+func (sc *SC) SetUID(uid int) *SC { sc.UID = uid; return sc }
+
+// SetRoot requests that the sthread be chrooted to path.
+func (sc *SC) SetRoot(path string) *SC { sc.Root = path; return sc }
+
+// SetMemPages caps the sthread's additional page mappings (0 = unlimited).
+func (sc *SC) SetMemPages(n int) *SC { sc.MemPages = n; return sc }
+
+// Clone returns a deep copy. Gate specs are shared (they are immutable
+// after creation).
+func (sc *SC) Clone() *SC {
+	c := New()
+	for tag, p := range sc.Mem {
+		c.Mem[tag] = p
+	}
+	for fd, p := range sc.FDs {
+		c.FDs[fd] = p
+	}
+	c.Gates = append([]*GateSpec(nil), sc.Gates...)
+	c.UID = sc.UID
+	c.Root = sc.Root
+	c.Ctx = sc.Ctx
+	c.MemPages = sc.MemPages
+	return c
+}
+
+// checkMemPerm rejects write-only and unknown bits.
+func checkMemPerm(perm vm.Perm) error {
+	if perm&^(vm.PermRead|vm.PermWrite|vm.PermCOW) != 0 {
+		return ErrBadPerm
+	}
+	if perm&vm.PermWrite != 0 && perm&vm.PermRead == 0 {
+		return ErrWriteOnly
+	}
+	if perm == vm.PermNone {
+		return ErrBadPerm
+	}
+	return nil
+}
+
+// PermSubset reports whether a grant of child is covered by a holding of
+// parent. Shared-write requires the parent to hold shared write;
+// copy-on-write requires only that the parent can read the frames it would
+// privately duplicate.
+func PermSubset(child, parent vm.Perm) bool {
+	if child.CanRead() && !parent.CanRead() {
+		return false
+	}
+	if child&vm.PermWrite != 0 && parent&vm.PermWrite == 0 {
+		return false
+	}
+	if child&vm.PermCOW != 0 && !parent.CanRead() {
+		return false
+	}
+	return true
+}
+
+// FDPermSubset reports whether child's descriptor mode is covered by
+// parent's.
+func FDPermSubset(child, parent kernel.FDPerm) bool {
+	return child&parent == child
+}
+
+// CheckSubsetOf validates the monotonicity rule: every privilege in sc must
+// be covered by parent. A nil parent is the fully privileged root sthread
+// (the pre-main process), which may grant anything it holds. Descriptor
+// existence and uid/root/SELinux transitions are checked by the sthread
+// layer against the live parent task; this function checks the pure
+// policy-vs-policy part.
+func (sc *SC) CheckSubsetOf(parent *SC) error {
+	if parent == nil {
+		return nil
+	}
+	for tag, perm := range sc.Mem {
+		held, ok := parent.Mem[tag]
+		if !ok || !PermSubset(perm, held) {
+			return fmt.Errorf("%w: memory tag %d wants %s, parent holds %s",
+				ErrEscalation, tag, perm, held)
+		}
+	}
+	for fd, perm := range sc.FDs {
+		held, ok := parent.FDs[fd]
+		if !ok || !FDPermSubset(perm, held) {
+			return fmt.Errorf("%w: fd %d wants %s, parent holds %s",
+				ErrEscalation, fd, perm, held)
+		}
+	}
+	authorized := make(map[*GateSpec]bool, len(parent.Gates))
+	for _, g := range parent.Gates {
+		authorized[g] = true
+	}
+	for _, g := range sc.Gates {
+		if !authorized[g] {
+			return fmt.Errorf("%w: callgate %q not held by parent", ErrEscalation, g.Name)
+		}
+	}
+	// Rlimit semantics for the memory quota: 0 inherits the parent's cap,
+	// a non-zero cap may tighten but never loosen it.
+	if parent.MemPages > 0 && sc.MemPages > parent.MemPages {
+		return fmt.Errorf("%w: memory quota %d pages exceeds parent's %d",
+			ErrEscalation, sc.MemPages, parent.MemPages)
+	}
+	return nil
+}
+
+// EffectiveMemPages resolves the rlimit-style inheritance: a policy with
+// no explicit quota inherits the parent's. Zero means unlimited all the
+// way up.
+func (sc *SC) EffectiveMemPages(parent *SC) int {
+	if sc.MemPages != 0 || parent == nil {
+		return sc.MemPages
+	}
+	return parent.MemPages
+}
+
+// Validate performs internal consistency checks on the policy itself.
+func (sc *SC) Validate() error {
+	if sc.MemPages < 0 {
+		return fmt.Errorf("policy: negative memory quota %d", sc.MemPages)
+	}
+	for tag, perm := range sc.Mem {
+		if tag == tags.NoTag {
+			return fmt.Errorf("policy: grant names the zero tag")
+		}
+		if err := checkMemPerm(perm); err != nil {
+			return fmt.Errorf("tag %d: %w", tag, err)
+		}
+	}
+	return nil
+}
+
+// String renders the policy for diagnostics and cb-analyze style reports.
+func (sc *SC) String() string {
+	var parts []string
+	memTags := make([]int, 0, len(sc.Mem))
+	for tag := range sc.Mem {
+		memTags = append(memTags, int(tag))
+	}
+	sort.Ints(memTags)
+	for _, tag := range memTags {
+		parts = append(parts, fmt.Sprintf("mem:%d=%s", tag, sc.Mem[tags.Tag(tag)]))
+	}
+	fds := make([]int, 0, len(sc.FDs))
+	for fd := range sc.FDs {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	for _, fd := range fds {
+		parts = append(parts, fmt.Sprintf("fd:%d=%s", fd, sc.FDs[fd]))
+	}
+	for _, g := range sc.Gates {
+		parts = append(parts, "gate:"+g.Name)
+	}
+	if sc.UID != InheritUID {
+		parts = append(parts, fmt.Sprintf("uid:%d", sc.UID))
+	}
+	if sc.Root != "" {
+		parts = append(parts, "root:"+sc.Root)
+	}
+	if !sc.Ctx.IsZero() {
+		parts = append(parts, "sel:"+sc.Ctx.String())
+	}
+	if len(parts) == 0 {
+		return "sc{}"
+	}
+	return "sc{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,319 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wedge/internal/kernel"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	sc := New()
+	if len(sc.Mem) != 0 || len(sc.FDs) != 0 || len(sc.Gates) != 0 {
+		t.Fatal("fresh policy is not empty")
+	}
+	if sc.UID != InheritUID {
+		t.Fatalf("fresh UID = %d, want InheritUID", sc.UID)
+	}
+}
+
+func TestMemAddRejectsWriteOnly(t *testing.T) {
+	sc := New()
+	if err := sc.MemAdd(tags.Tag(1), vm.PermWrite); !errors.Is(err, ErrWriteOnly) {
+		t.Fatalf("write-only grant: err = %v, want ErrWriteOnly", err)
+	}
+	if err := sc.MemAdd(tags.Tag(1), vm.PermNone); !errors.Is(err, ErrBadPerm) {
+		t.Fatalf("empty grant: err = %v, want ErrBadPerm", err)
+	}
+}
+
+func TestMemAddAccumulates(t *testing.T) {
+	sc := New()
+	if err := sc.MemAdd(tags.Tag(1), vm.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.MemAdd(tags.Tag(1), vm.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Mem[tags.Tag(1)] != vm.PermRW {
+		t.Fatalf("accumulated perm = %s, want rw", sc.Mem[tags.Tag(1)])
+	}
+}
+
+func TestSELContext(t *testing.T) {
+	sc := New()
+	if err := sc.SELContext("system_u:system_r:httpd_t"); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Ctx.Type != "httpd_t" {
+		t.Fatalf("Ctx.Type = %q", sc.Ctx.Type)
+	}
+	if err := sc.SELContext("notacontext"); err == nil {
+		t.Fatal("malformed context accepted")
+	}
+}
+
+func TestSubsetMemory(t *testing.T) {
+	parent := New()
+	parent.MustMemAdd(tags.Tag(1), vm.PermRW)
+	parent.MustMemAdd(tags.Tag(2), vm.PermRead)
+
+	ok := New().MustMemAdd(tags.Tag(1), vm.PermRead)
+	if err := ok.CheckSubsetOf(parent); err != nil {
+		t.Fatalf("read from rw parent: %v", err)
+	}
+
+	esc := New().MustMemAdd(tags.Tag(2), vm.PermRW)
+	if err := esc.CheckSubsetOf(parent); !errors.Is(err, ErrEscalation) {
+		t.Fatalf("rw from read-only parent: err = %v, want escalation", err)
+	}
+
+	unknown := New().MustMemAdd(tags.Tag(9), vm.PermRead)
+	if err := unknown.CheckSubsetOf(parent); !errors.Is(err, ErrEscalation) {
+		t.Fatalf("unheld tag: err = %v, want escalation", err)
+	}
+}
+
+func TestSubsetCOWNeedsOnlyRead(t *testing.T) {
+	parent := New()
+	parent.MustMemAdd(tags.Tag(1), vm.PermRead)
+	child := New().MustMemAdd(tags.Tag(1), vm.PermRead|vm.PermCOW)
+	if err := child.CheckSubsetOf(parent); err != nil {
+		t.Fatalf("COW from read parent: %v", err)
+	}
+}
+
+func TestSubsetFDs(t *testing.T) {
+	parent := New()
+	parent.FDAdd(3, kernel.FDRead)
+	okc := New().FDAdd(3, kernel.FDRead)
+	if err := okc.CheckSubsetOf(parent); err != nil {
+		t.Fatal(err)
+	}
+	bad := New().FDAdd(3, kernel.FDRW)
+	if err := bad.CheckSubsetOf(parent); !errors.Is(err, ErrEscalation) {
+		t.Fatalf("fd escalation: err = %v", err)
+	}
+	missing := New().FDAdd(7, kernel.FDRead)
+	if err := missing.CheckSubsetOf(parent); !errors.Is(err, ErrEscalation) {
+		t.Fatalf("unheld fd: err = %v", err)
+	}
+}
+
+func TestSubsetGates(t *testing.T) {
+	gate := &GateSpec{Name: "login"}
+	parent := New()
+	parent.Gates = append(parent.Gates, gate)
+
+	okc := New()
+	okc.Gates = append(okc.Gates, gate)
+	if err := okc.CheckSubsetOf(parent); err != nil {
+		t.Fatal(err)
+	}
+
+	other := New()
+	other.Gates = append(other.Gates, &GateSpec{Name: "login"}) // same name, different identity
+	if err := other.CheckSubsetOf(parent); !errors.Is(err, ErrEscalation) {
+		t.Fatalf("forged gate spec: err = %v, want escalation", err)
+	}
+}
+
+func TestNilParentIsUnrestricted(t *testing.T) {
+	sc := New().MustMemAdd(tags.Tag(55), vm.PermRW).FDAdd(3, kernel.FDRW)
+	if err := sc.CheckSubsetOf(nil); err != nil {
+		t.Fatalf("root parent: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	sc := New().MustMemAdd(tags.Tag(1), vm.PermRead).FDAdd(0, kernel.FDRead)
+	c := sc.Clone()
+	c.MustMemAdd(tags.Tag(2), vm.PermRead)
+	c.FDAdd(1, kernel.FDWrite)
+	if _, ok := sc.Mem[tags.Tag(2)]; ok {
+		t.Fatal("clone shares Mem map")
+	}
+	if _, ok := sc.FDs[1]; ok {
+		t.Fatal("clone shares FDs map")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	sc := New()
+	sc.Mem[tags.NoTag] = vm.PermRead // bypass MemAdd deliberately
+	if err := sc.Validate(); err == nil {
+		t.Fatal("zero-tag grant validated")
+	}
+	sc2 := New().MustMemAdd(tags.Tag(1), vm.PermRead)
+	if err := sc2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	sc := New().
+		MustMemAdd(tags.Tag(2), vm.PermRead).
+		MustMemAdd(tags.Tag(1), vm.PermRW).
+		FDAdd(0, kernel.FDRead).
+		SetUID(33).
+		SetRoot("/var/empty")
+	s := sc.String()
+	for _, want := range []string{"mem:1=rw-", "mem:2=r--", "fd:0=r", "uid:33", "root:/var/empty"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	// Tags must be sorted for stable output.
+	if strings.Index(s, "mem:1") > strings.Index(s, "mem:2") {
+		t.Fatalf("String() unsorted: %q", s)
+	}
+	if got := New().String(); got != "sc{}" {
+		t.Fatalf("empty String() = %q", got)
+	}
+}
+
+// Property: CheckSubsetOf is transitive along arbitrary derivation chains —
+// if each generation passes the kernel check against its parent, the last
+// generation is a subset of the first. This is the invariant that makes
+// "equal or lesser privileges" (§3.1) hold over any depth of nesting.
+func TestPropertySubsetTransitive(t *testing.T) {
+	perms := []vm.Perm{vm.PermRead, vm.PermRW, vm.PermRead | vm.PermCOW}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := New()
+		for tag := 1; tag <= 8; tag++ {
+			root.MustMemAdd(tags.Tag(tag), perms[rng.Intn(len(perms))])
+		}
+		for fd := 0; fd < 4; fd++ {
+			root.FDAdd(fd, kernel.FDPerm(1+rng.Intn(3)))
+		}
+		chain := []*SC{root}
+		cur := root
+		for depth := 0; depth < 6; depth++ {
+			child := New()
+			for tag, held := range cur.Mem {
+				if rng.Intn(2) == 0 {
+					continue // drop the privilege
+				}
+				// Weaken: rw -> maybe read; read -> read; keep COW as COW or read.
+				p := held
+				if rng.Intn(2) == 0 {
+					p = vm.PermRead
+				}
+				child.MustMemAdd(tag, p)
+			}
+			for fd, held := range cur.FDs {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				p := held
+				if rng.Intn(2) == 0 && held&kernel.FDRead != 0 {
+					p = kernel.FDRead
+				}
+				child.FDAdd(fd, p)
+			}
+			if err := child.CheckSubsetOf(cur); err != nil {
+				t.Logf("seed %d: legitimate derivation rejected: %v", seed, err)
+				return false
+			}
+			chain = append(chain, child)
+			cur = child
+		}
+		last := chain[len(chain)-1]
+		if err := last.CheckSubsetOf(root); err != nil {
+			t.Logf("seed %d: transitivity violated: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PermSubset is reflexive and antisymmetric up to equivalence on
+// the meaningful permission lattice.
+func TestPropertyPermSubsetLattice(t *testing.T) {
+	all := []vm.Perm{
+		vm.PermRead,
+		vm.PermRW,
+		vm.PermRead | vm.PermCOW,
+		vm.PermRW | vm.PermCOW,
+	}
+	for _, p := range all {
+		if !PermSubset(p, p) {
+			t.Fatalf("PermSubset(%s, %s) = false; not reflexive", p, p)
+		}
+	}
+	for _, a := range all {
+		for _, b := range all {
+			for _, c := range all {
+				if PermSubset(a, b) && PermSubset(b, c) && !PermSubset(a, c) {
+					t.Fatalf("not transitive: %s <= %s <= %s", a, b, c)
+				}
+			}
+		}
+	}
+	if PermSubset(vm.PermRW, vm.PermRead) {
+		t.Fatal("rw fits under read")
+	}
+}
+
+// TestQuotaSubset: the MemPages monotonicity rule — a quota-bound parent
+// cannot produce an unbounded or looser-bounded child.
+func TestQuotaSubset(t *testing.T) {
+	cases := []struct {
+		parent, child int
+		ok            bool
+	}{
+		{0, 0, true},   // unlimited parent, unlimited child
+		{0, 5, true},   // unlimited parent, bounded child
+		{10, 10, true}, // equal
+		{10, 3, true},  // tighter
+		{10, 0, true},  // unset child inherits the parent's cap
+		{10, 11, false},
+	}
+	for _, c := range cases {
+		parent := New().SetMemPages(c.parent)
+		child := New().SetMemPages(c.child)
+		err := child.CheckSubsetOf(parent)
+		if c.ok != (err == nil) {
+			t.Errorf("parent=%d child=%d: err=%v, want ok=%v", c.parent, c.child, err, c.ok)
+		}
+	}
+}
+
+// TestQuotaValidate: negative quotas are rejected and Clone preserves the
+// quota.
+func TestQuotaValidate(t *testing.T) {
+	if err := New().SetMemPages(-1).Validate(); err == nil {
+		t.Fatal("negative quota validated")
+	}
+	sc := New().SetMemPages(7)
+	if got := sc.Clone().MemPages; got != 7 {
+		t.Fatalf("Clone dropped quota: %d", got)
+	}
+}
+
+// TestEffectiveMemPages: rlimit-style resolution — unset inherits, set
+// stands on its own.
+func TestEffectiveMemPages(t *testing.T) {
+	parent := New().SetMemPages(10)
+	if got := New().EffectiveMemPages(parent); got != 10 {
+		t.Fatalf("inherit: %d", got)
+	}
+	if got := New().SetMemPages(3).EffectiveMemPages(parent); got != 3 {
+		t.Fatalf("tighten: %d", got)
+	}
+	if got := New().EffectiveMemPages(nil); got != 0 {
+		t.Fatalf("root: %d", got)
+	}
+	if got := New().SetMemPages(5).EffectiveMemPages(nil); got != 5 {
+		t.Fatalf("explicit under root: %d", got)
+	}
+}

@@ -1,0 +1,459 @@
+// Package pop3 implements the paper's motivating example (§2, Figure 1):
+// a POP3 server split into a client-handler compartment that parses
+// untrusted network input, a login callgate with access to the password
+// database, and an e-mail retriever callgate that only returns mail for
+// the uid the login gate recorded.
+//
+// Because of this partitioning, "an exploit within the client handler
+// cannot reveal any passwords or e-mails, since it has no access to them.
+// Authentication cannot be skipped since the e-mail retriever will only
+// read e-mails of the user id specified in uid, and this can only be set
+// by the login component." Both properties are executable tests here.
+//
+// A monolithic variant exists for contrast: one compartment, passwords
+// and mailboxes in plain reach of the parser.
+package pop3
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// Mailbox is one user's account: credentials plus stored messages.
+type Mailbox struct {
+	User     string
+	Password string
+	UID      int
+	Messages []string
+}
+
+// Shared-argument-buffer offsets (client handler <-> gates).
+const (
+	p3Op     = 0 // 1=login 2=stat 3=retr
+	p3StrLen = 8
+	p3Str    = 16  // user\x00pass for login
+	p3MsgNum = 256 // RETR argument
+	p3OutLen = 264 // gate output length
+	p3Out    = 272 // gate output bytes (<= 1.5 KiB)
+	p3Size   = 2048
+
+	p3OpLogin = 1
+	p3OpStat  = 2
+	p3OpRetr  = 3
+)
+
+// Stats counts server activity.
+type Stats struct {
+	Logins    atomic.Uint64
+	Fails     atomic.Uint64
+	Retrieved atomic.Uint64
+}
+
+// Hooks injects exploit code into the client-handler compartment.
+type Hooks struct {
+	Handler func(s *sthread.Sthread, ctx *ConnContext)
+}
+
+// ConnContext is the injected code's knowledge of the process layout.
+type ConnContext struct {
+	FD        int
+	PwdAddr   vm.Addr // password database location (tagged)
+	MailAddr  vm.Addr // mail store location (tagged)
+	UIDAddr   vm.Addr // the uid cell the login gate writes
+	ArgAddr   vm.Addr
+	LoginSpec *policy.GateSpec
+	StatSpec  *policy.GateSpec
+	RetrSpec  *policy.GateSpec
+}
+
+// Server is the partitioned POP3 server of Figure 1.
+type Server struct {
+	Stats Stats
+
+	// HandlerMemPages, when non-zero, caps each client handler's
+	// additional memory mappings (policy.SC.MemPages) — the DoS
+	// mitigation extending §7: an exploited parser cannot exhaust server
+	// memory.
+	HandlerMemPages int
+
+	root  *sthread.Sthread
+	boxes []Mailbox
+	hooks Hooks
+
+	pwdTag  tags.Tag
+	pwdAddr vm.Addr
+	mailTag tags.Tag
+	// mailIndex maps (uid, msg) to the smalloc'd message address.
+	mailAddrs map[int][]vm.Addr
+	mailBase  vm.Addr
+}
+
+// New provisions the password database and mail store into tagged memory.
+func New(root *sthread.Sthread, boxes []Mailbox, hooks Hooks) (*Server, error) {
+	s := &Server{root: root, boxes: boxes, hooks: hooks, mailAddrs: make(map[int][]vm.Addr)}
+	var err error
+	if s.pwdTag, err = root.App().Tags.TagNew(root.Task); err != nil {
+		return nil, err
+	}
+	// Password database: "user:pass:uid\n" lines in one block.
+	var db strings.Builder
+	for _, b := range boxes {
+		fmt.Fprintf(&db, "%s:%s:%d\n", b.User, b.Password, b.UID)
+	}
+	if s.pwdAddr, err = root.Smalloc(s.pwdTag, 8+db.Len()); err != nil {
+		return nil, err
+	}
+	root.Store64(s.pwdAddr, uint64(db.Len()))
+	root.Write(s.pwdAddr+8, []byte(db.String()))
+
+	if s.mailTag, err = root.App().Tags.TagNew(root.Task); err != nil {
+		return nil, err
+	}
+	for _, b := range boxes {
+		for _, msg := range b.Messages {
+			addr, err := root.Smalloc(s.mailTag, 8+len(msg))
+			if err != nil {
+				return nil, err
+			}
+			root.Store64(addr, uint64(len(msg)))
+			root.Write(addr+8, []byte(msg))
+			s.mailAddrs[b.UID] = append(s.mailAddrs[b.UID], addr)
+			if s.mailBase == 0 {
+				s.mailBase = addr
+			}
+		}
+	}
+	return s, nil
+}
+
+// loginGate checks credentials against the password database (trusted
+// argument) and records the authenticated uid in the uid cell. Only this
+// gate can write the cell.
+func (s *Server) loginGate(uidCell vm.Addr) sthread.GateFunc {
+	stats := &s.Stats
+	return func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+		n := g.Load64(arg + p3StrLen)
+		if n == 0 || n > 200 {
+			return 0
+		}
+		buf := make([]byte, n)
+		g.Read(arg+p3Str, buf)
+		user, pass, ok := strings.Cut(string(buf), "\x00")
+		if !ok {
+			return 0
+		}
+		dbLen := g.Load64(trusted)
+		db := make([]byte, dbLen)
+		g.Read(trusted+8, db)
+		for _, line := range strings.Split(strings.TrimSpace(string(db)), "\n") {
+			f := strings.Split(line, ":")
+			if len(f) != 3 || f[0] != user || f[1] != pass {
+				continue
+			}
+			var uid int
+			fmt.Sscanf(f[2], "%d", &uid)
+			g.Store64(uidCell, uint64(uid))
+			stats.Logins.Add(1)
+			return 1
+		}
+		stats.Fails.Add(1)
+		return 0
+	}
+}
+
+// statGate returns the message count for the authenticated uid.
+func (s *Server) statGate(uidCell vm.Addr) sthread.GateFunc {
+	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+		uid := int(g.Load64(uidCell))
+		if uid == 0 {
+			return 0
+		}
+		return vm.Addr(len(s.mailAddrs[uid]))
+	}
+}
+
+// retrGate copies one message of the authenticated uid into the shared
+// output area. The uid comes from the cell only the login gate can set —
+// authentication cannot be skipped.
+func (s *Server) retrGate(uidCell vm.Addr) sthread.GateFunc {
+	stats := &s.Stats
+	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+		uid := int(g.Load64(uidCell))
+		if uid == 0 {
+			return 0
+		}
+		num := int(g.Load64(arg + p3MsgNum))
+		msgs := s.mailAddrs[uid]
+		if num < 1 || num > len(msgs) {
+			return 0
+		}
+		addr := msgs[num-1]
+		n := g.Load64(addr)
+		if n > p3Size-p3Out {
+			return 0
+		}
+		body := make([]byte, n)
+		g.Read(addr+8, body)
+		g.Store64(arg+p3OutLen, n)
+		g.Write(arg+p3Out, body)
+		stats.Retrieved.Add(1)
+		return 1
+	}
+}
+
+// ServeConn runs one POP3 session in a fresh client-handler sthread.
+func (s *Server) ServeConn(conn *netsim.Conn) error {
+	root := s.root
+	fd := root.Task.InstallFD(conn, kernel.FDRW)
+	defer root.Task.CloseFD(fd)
+
+	connTag, err := root.App().Tags.TagNew(root.Task)
+	if err != nil {
+		return err
+	}
+	defer root.App().Tags.TagDelete(connTag)
+	argBuf, err := root.Smalloc(connTag, p3Size)
+	if err != nil {
+		return err
+	}
+
+	uidTag, err := root.App().Tags.TagNew(root.Task)
+	if err != nil {
+		return err
+	}
+	defer root.App().Tags.TagDelete(uidTag)
+	uidCell, err := root.Smalloc(uidTag, 8)
+	if err != nil {
+		return err
+	}
+	root.Store64(uidCell, 0)
+
+	loginSC := policy.New().
+		MustMemAdd(s.pwdTag, vm.PermRead).
+		MustMemAdd(uidTag, vm.PermRW).
+		MustMemAdd(connTag, vm.PermRW)
+	mailSC := policy.New().
+		MustMemAdd(s.mailTag, vm.PermRead).
+		MustMemAdd(uidTag, vm.PermRead).
+		MustMemAdd(connTag, vm.PermRW)
+
+	chSC := policy.New().
+		MustMemAdd(connTag, vm.PermRW).
+		FDAdd(fd, kernel.FDRW).
+		SetMemPages(s.HandlerMemPages)
+	chSC.GateAdd(s.loginGate(uidCell), loginSC, s.pwdAddr, "login")
+	chSC.GateAdd(s.statGate(uidCell), mailSC.Clone(), 0, "stat")
+	chSC.GateAdd(s.retrGate(uidCell), mailSC.Clone(), 0, "retr")
+	loginSpec, statSpec, retrSpec := chSC.Gates[0], chSC.Gates[1], chSC.Gates[2]
+
+	handler, err := root.CreateNamed("client-handler", chSC, func(h *sthread.Sthread, arg vm.Addr) vm.Addr {
+		if s.hooks.Handler != nil {
+			s.hooks.Handler(h, &ConnContext{
+				FD:      fd,
+				PwdAddr: s.pwdAddr, MailAddr: s.mailBase, UIDAddr: uidCell,
+				ArgAddr:   arg,
+				LoginSpec: loginSpec, StatSpec: statSpec, RetrSpec: retrSpec,
+			})
+		}
+		return s.handlerBody(h, fd, arg, loginSpec, statSpec, retrSpec)
+	}, argBuf)
+	if err != nil {
+		return err
+	}
+	_, fault := root.Join(handler)
+	return fault
+}
+
+// handlerBody parses POP3 commands (the risky code of §2) and mediates
+// every privileged operation through the gates.
+func (s *Server) handlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
+	loginSpec, statSpec, retrSpec *policy.GateSpec) vm.Addr {
+	raw := fdRW{h, fd}
+	r := bufio.NewReader(raw)
+
+	say := func(line string) bool {
+		_, err := raw.Write([]byte(line + "\r\n"))
+		return err == nil
+	}
+	if !say("+OK minipop3 ready") {
+		return 0
+	}
+
+	var pendingUser string
+	authed := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return 1 // client went away
+		}
+		line = strings.TrimRight(line, "\r\n")
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "USER":
+			pendingUser = rest
+			say("+OK")
+		case "PASS":
+			payload := pendingUser + "\x00" + rest
+			h.Store64(arg+p3StrLen, uint64(len(payload)))
+			h.Write(arg+p3Str, []byte(payload))
+			ret, err := h.CallGate(loginSpec, nil, arg)
+			if err == nil && ret == 1 {
+				authed = true
+				say("+OK logged in")
+			} else {
+				say("-ERR auth failed")
+			}
+		case "STAT":
+			if !authed {
+				say("-ERR not authenticated")
+				continue
+			}
+			n, err := h.CallGate(statSpec, nil, arg)
+			if err != nil {
+				say("-ERR")
+				continue
+			}
+			say(fmt.Sprintf("+OK %d messages", n))
+		case "RETR":
+			var num int
+			fmt.Sscanf(rest, "%d", &num)
+			h.Store64(arg+p3MsgNum, uint64(num))
+			ret, err := h.CallGate(retrSpec, nil, arg)
+			if err != nil || ret != 1 {
+				say("-ERR no such message")
+				continue
+			}
+			n := h.Load64(arg + p3OutLen)
+			body := make([]byte, n)
+			h.Read(arg+p3Out, body)
+			say("+OK " + fmt.Sprint(n) + " octets")
+			raw.Write(body)
+			raw.Write([]byte("\r\n.\r\n"))
+		case "QUIT":
+			say("+OK bye")
+			return 1
+		default:
+			say("-ERR unknown command")
+		}
+	}
+}
+
+// fdRW adapts a compartment descriptor to io.ReadWriter.
+type fdRW struct {
+	s  *sthread.Sthread
+	fd int
+}
+
+func (f fdRW) Read(p []byte) (int, error)  { return f.s.Task.ReadFD(f.fd, p) }
+func (f fdRW) Write(p []byte) (int, error) { return f.s.Task.WriteFD(f.fd, p) }
+
+// ---- monolithic contrast ---------------------------------------------------------
+
+// Monolithic serves POP3 with everything in the root compartment: the
+// parser, passwords, and mail share one address space.
+type Monolithic struct {
+	Stats Stats
+
+	root    *sthread.Sthread
+	boxes   []Mailbox
+	PwdAddr vm.Addr // plain memory, reachable by any exploit
+	hooks   Hooks
+}
+
+// NewMonolithic provisions the same data without isolation.
+func NewMonolithic(root *sthread.Sthread, boxes []Mailbox, hooks Hooks) (*Monolithic, error) {
+	m := &Monolithic{root: root, boxes: boxes, hooks: hooks}
+	var db strings.Builder
+	for _, b := range boxes {
+		fmt.Fprintf(&db, "%s:%s:%d\n", b.User, b.Password, b.UID)
+	}
+	addr, err := root.Malloc(8 + db.Len())
+	if err != nil {
+		return nil, err
+	}
+	root.Store64(addr, uint64(db.Len()))
+	root.Write(addr+8, []byte(db.String()))
+	m.PwdAddr = addr
+	return m, nil
+}
+
+// ServeConn parses commands in the privileged compartment.
+func (m *Monolithic) ServeConn(conn *netsim.Conn) error {
+	s := m.root
+	fd := s.Task.InstallFD(conn, kernel.FDRW)
+	defer s.Task.CloseFD(fd)
+	if m.hooks.Handler != nil {
+		m.hooks.Handler(s, &ConnContext{FD: fd, PwdAddr: m.PwdAddr})
+	}
+	raw := fdRW{s, fd}
+	r := bufio.NewReader(raw)
+	say := func(line string) { raw.Write([]byte(line + "\r\n")) }
+	say("+OK minipop3 ready")
+
+	var user string
+	var box *Mailbox
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return nil
+		}
+		line = strings.TrimRight(line, "\r\n")
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "USER":
+			user = rest
+			say("+OK")
+		case "PASS":
+			box = nil
+			for i := range m.boxes {
+				if m.boxes[i].User == user && m.boxes[i].Password == rest {
+					box = &m.boxes[i]
+					break
+				}
+			}
+			if box != nil {
+				m.Stats.Logins.Add(1)
+				say("+OK logged in")
+			} else {
+				m.Stats.Fails.Add(1)
+				say("-ERR auth failed")
+			}
+		case "STAT":
+			if box == nil {
+				say("-ERR not authenticated")
+				continue
+			}
+			say(fmt.Sprintf("+OK %d messages", len(box.Messages)))
+		case "RETR":
+			if box == nil {
+				say("-ERR not authenticated")
+				continue
+			}
+			var num int
+			fmt.Sscanf(rest, "%d", &num)
+			if num < 1 || num > len(box.Messages) {
+				say("-ERR no such message")
+				continue
+			}
+			m.Stats.Retrieved.Add(1)
+			msg := box.Messages[num-1]
+			say(fmt.Sprintf("+OK %d octets", len(msg)))
+			raw.Write([]byte(msg))
+			raw.Write([]byte("\r\n.\r\n"))
+		case "QUIT":
+			say("+OK bye")
+			return nil
+		default:
+			say("-ERR unknown command")
+		}
+	}
+}

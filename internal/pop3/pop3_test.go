@@ -1,0 +1,371 @@
+package pop3
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+func testBoxes() []Mailbox {
+	return []Mailbox{
+		{User: "alice", Password: "sesame", UID: 1000,
+			Messages: []string{"From: bob\n\nhi alice", "From: carol\n\nlunch?"}},
+		{User: "bob", Password: "hunter2", UID: 1001,
+			Messages: []string{"From: alice\n\nhi bob"}},
+	}
+}
+
+// popClient is a minimal line client.
+type popClient struct {
+	conn *netsim.Conn
+	r    *bufio.Reader
+}
+
+func (c *popClient) cmd(t *testing.T, line string) string {
+	t.Helper()
+	if _, err := c.conn.Write([]byte(line + "\r\n")); err != nil {
+		t.Fatalf("%s: %v", line, err)
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("%s: %v", line, err)
+	}
+	return strings.TrimRight(resp, "\r\n")
+}
+
+func (c *popClient) readBody(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimRight(line, "\r\n") == "." {
+			return b.String()
+		}
+		b.WriteString(line)
+	}
+}
+
+// serve boots a system running the given variant for nConns connections.
+func serve(t *testing.T, partitioned bool, nConns int, hooks Hooks) (dial func() *popClient, wait func()) {
+	t.Helper()
+	k := kernel.New()
+	app := sthread.Boot(k)
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			var serveConn func(*netsim.Conn) error
+			if partitioned {
+				srv, err := New(root, testBoxes(), hooks)
+				if err != nil {
+					t.Error(err)
+					close(ready)
+					return
+				}
+				serveConn = srv.ServeConn
+			} else {
+				srv, err := NewMonolithic(root, testBoxes(), hooks)
+				if err != nil {
+					t.Error(err)
+					close(ready)
+					return
+				}
+				serveConn = srv.ServeConn
+			}
+			l, err := root.Task.Listen("pop3:110")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			close(ready)
+			for i := 0; i < nConns; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				serveConn(c)
+			}
+		})
+	}()
+	<-ready
+	dial = func() *popClient {
+		conn, err := k.Net.Dial("pop3:110")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &popClient{conn: conn, r: bufio.NewReader(conn)}
+		if greet, err := c.r.ReadString('\n'); err != nil || !strings.HasPrefix(greet, "+OK") {
+			t.Fatalf("greeting: %q %v", greet, err)
+		}
+		return c
+	}
+	wait = func() {
+		if err := <-done; err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	}
+	return dial, wait
+}
+
+func TestSessionBothVariants(t *testing.T) {
+	for _, partitioned := range []bool{false, true} {
+		name := "monolithic"
+		if partitioned {
+			name = "partitioned"
+		}
+		t.Run(name, func(t *testing.T) {
+			dial, wait := serve(t, partitioned, 1, Hooks{})
+			c := dial()
+			if got := c.cmd(t, "USER alice"); !strings.HasPrefix(got, "+OK") {
+				t.Fatal(got)
+			}
+			if got := c.cmd(t, "PASS sesame"); !strings.HasPrefix(got, "+OK") {
+				t.Fatal(got)
+			}
+			if got := c.cmd(t, "STAT"); got != "+OK 2 messages" {
+				t.Fatal(got)
+			}
+			if got := c.cmd(t, "RETR 1"); !strings.HasPrefix(got, "+OK") {
+				t.Fatal(got)
+			}
+			if body := c.readBody(t); !strings.Contains(body, "hi alice") {
+				t.Fatalf("body = %q", body)
+			}
+			if got := c.cmd(t, "RETR 9"); !strings.HasPrefix(got, "-ERR") {
+				t.Fatal(got)
+			}
+			if got := c.cmd(t, "QUIT"); !strings.HasPrefix(got, "+OK") {
+				t.Fatal(got)
+			}
+			wait()
+		})
+	}
+}
+
+func TestAuthRequiredForMail(t *testing.T) {
+	dial, wait := serve(t, true, 1, Hooks{})
+	c := dial()
+	if got := c.cmd(t, "STAT"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("STAT before auth: %s", got)
+	}
+	// RETR before login: the retriever gate sees uid 0 and refuses.
+	if got := c.cmd(t, "RETR 1"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("RETR before auth: %s", got)
+	}
+	if got := c.cmd(t, "USER alice"); !strings.HasPrefix(got, "+OK") {
+		t.Fatal(got)
+	}
+	if got := c.cmd(t, "PASS wrong"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatal(got)
+	}
+	if got := c.cmd(t, "RETR 1"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("RETR after failed auth: %s", got)
+	}
+	c.cmd(t, "QUIT")
+	wait()
+}
+
+// TestExploitCannotReadSecrets is Figure 1's security claim: code injected
+// into the client handler cannot read passwords or mail directly.
+func TestExploitCannotReadSecrets(t *testing.T) {
+	probes := make(chan [2]error, 1)
+	hooks := Hooks{Handler: func(s *sthread.Sthread, ctx *ConnContext) {
+		pwdErr := s.TryRead(ctx.PwdAddr, make([]byte, 8))
+		mailErr := s.TryRead(ctx.MailAddr, make([]byte, 8))
+		probes <- [2]error{pwdErr, mailErr}
+	}}
+	dial, wait := serve(t, true, 1, hooks)
+	c := dial()
+	c.cmd(t, "QUIT")
+	wait()
+	got := <-probes
+	if got[0] == nil {
+		t.Fatal("exploit read the password database")
+	}
+	if got[1] == nil {
+		t.Fatal("exploit read the mail store")
+	}
+}
+
+// TestExploitMonolithicReadsSecrets is the contrast: the same probe
+// succeeds against the monolithic server.
+func TestExploitMonolithicReadsSecrets(t *testing.T) {
+	probe := make(chan error, 1)
+	hooks := Hooks{Handler: func(s *sthread.Sthread, ctx *ConnContext) {
+		probe <- s.TryRead(ctx.PwdAddr, make([]byte, 8))
+	}}
+	dial, wait := serve(t, false, 1, hooks)
+	c := dial()
+	c.cmd(t, "QUIT")
+	wait()
+	if err := <-probe; err != nil {
+		t.Fatalf("monolithic probe failed: %v", err)
+	}
+}
+
+// TestExploitCannotForgeUID: the uid cell is writable only by the login
+// gate; an exploited handler cannot set it and then fetch someone's mail.
+func TestExploitCannotForgeUID(t *testing.T) {
+	result := make(chan error, 1)
+	hooks := Hooks{Handler: func(s *sthread.Sthread, ctx *ConnContext) {
+		// Try to write uid=1000 directly into the cell.
+		err := s.TryWrite(ctx.UIDAddr, []byte{0xE8, 3, 0, 0, 0, 0, 0, 0})
+		result <- err
+	}}
+	dial, wait := serve(t, true, 1, hooks)
+	c := dial()
+	// Even after the forgery attempt, unauthenticated RETR must fail.
+	if got := c.cmd(t, "RETR 1"); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("RETR after uid forgery attempt: %s", got)
+	}
+	c.cmd(t, "QUIT")
+	wait()
+	err := <-result
+	if err == nil {
+		t.Fatal("handler wrote the uid cell directly")
+	}
+	var f *vm.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("forgery failed with %v, want a protection fault", err)
+	}
+}
+
+// TestUsersIsolated: logging in as bob never yields alice's mail.
+func TestUsersIsolated(t *testing.T) {
+	dial, wait := serve(t, true, 1, Hooks{})
+	c := dial()
+	c.cmd(t, "USER bob")
+	if got := c.cmd(t, "PASS hunter2"); !strings.HasPrefix(got, "+OK") {
+		t.Fatal(got)
+	}
+	if got := c.cmd(t, "STAT"); got != "+OK 1 messages" {
+		t.Fatal(got)
+	}
+	c.cmd(t, "RETR 1")
+	if body := c.readBody(t); strings.Contains(body, "alice,") || strings.Contains(body, "lunch?") {
+		t.Fatalf("bob saw alice's mail: %q", body)
+	}
+	c.cmd(t, "QUIT")
+	wait()
+}
+
+// TestHandlerMemQuotaContainsRunawayExploit: the §7 extension in an
+// application setting. An exploit in the client handler allocates memory
+// in a loop; with HandlerMemPages set, the quota stops it after a bounded
+// number of regions, the handler keeps running, and the next connection
+// is served normally.
+func TestHandlerMemQuotaContainsRunawayExploit(t *testing.T) {
+	k := kernel.New()
+	app := sthread.Boot(k)
+	quotaRegions := 3
+	hooks := Hooks{Handler: func(s *sthread.Sthread, ctx *ConnContext) {
+		// The exploit: grab memory until the kernel says no.
+		n := 0
+		for ; n < 1000; n++ {
+			if _, err := s.Task.Mmap(tags.DefaultRegionSize, vm.PermRW); err != nil {
+				break
+			}
+		}
+		// Exfiltrate the count over the connection (the handler may
+		// write its fd); the client reads it in place of the greeting.
+		f, err := s.Task.FD(ctx.FD, kernel.FDWrite)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(f, "EXPLOIT %d\r\n", n)
+	}}
+
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := New(root, testBoxes(), hooks)
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			srv.HandlerMemPages = quotaRegions * tags.DefaultRegionSize / vm.PageSize
+			l, err := root.Task.Listen("pop3:110")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			close(ready)
+			for i := 0; i < 2; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				srv.ServeConn(c)
+			}
+		})
+	}()
+	<-ready
+
+	conn, err := k.Net.Dial("pop3:110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &popClient{conn: conn, r: bufio.NewReader(conn)}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if _, err := fmt.Sscanf(line, "EXPLOIT %d", &got); err != nil {
+		t.Fatalf("exploit report = %q: %v", line, err)
+	}
+	if got != quotaRegions {
+		t.Fatalf("exploit mapped %d regions before the quota fired, want %d", got, quotaRegions)
+	}
+	// The handler survives the denial and serves the session.
+	if greet, err := c.r.ReadString('\n'); err != nil || !strings.HasPrefix(greet, "+OK") {
+		t.Fatalf("greeting after exploit: %q %v", greet, err)
+	}
+	if got := c.cmd(t, "QUIT"); !strings.HasPrefix(got, "+OK") {
+		t.Fatal(got)
+	}
+	conn.Close()
+
+	// A second, clean connection gets its own fresh quota and works.
+	conn2, err := k.Net.Dial("pop3:110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := &popClient{conn: conn2, r: bufio.NewReader(conn2)}
+	if _, err := c2.r.ReadString('\n'); err != nil { // exploit line again (hook runs per conn)
+		t.Fatal(err)
+	}
+	if greet, err := c2.r.ReadString('\n'); err != nil || !strings.HasPrefix(greet, "+OK") {
+		t.Fatalf("second connection greeting: %q %v", greet, err)
+	}
+	if got := c2.cmd(t, "USER alice"); !strings.HasPrefix(got, "+OK") {
+		t.Fatal(got)
+	}
+	if got := c2.cmd(t, "PASS sesame"); !strings.HasPrefix(got, "+OK") {
+		t.Fatal(got)
+	}
+	if got := c2.cmd(t, "STAT"); got != "+OK 2 messages" {
+		t.Fatal(got)
+	}
+	if got := c2.cmd(t, "QUIT"); !strings.HasPrefix(got, "+OK") {
+		t.Fatal(got)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package selinux implements the small slice of SELinux semantics that
+// Wedge depends on (§3.1): security contexts of the form user:role:type,
+// type-enforcement allow rules over syscall classes, and explicit domain
+// transitions. Wedge attaches a context to each sthread so that the set of
+// system calls an sthread may invoke can be confined; a child sthread may
+// only change context along a transition the system-wide policy permits.
+package selinux
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Class is a kernel object class against which permissions are checked.
+type Class string
+
+// The syscall classes the simulated kernel checks. They mirror the SELinux
+// object classes most relevant to a network server.
+const (
+	ClassProcess Class = "process" // fork, sthread_create, exec, kill
+	ClassFile    Class = "file"    // open, read, write, unlink
+	ClassDir     Class = "dir"     // mkdir, chroot, search
+	ClassSocket  Class = "socket"  // connect, accept, send, recv
+	ClassMemory  Class = "memory"  // mmap, tag_new, mprotect
+	ClassGate    Class = "gate"    // callgate invocation
+)
+
+// Classes lists every class the kernel checks, in stable order.
+func Classes() []Class {
+	return []Class{ClassProcess, ClassFile, ClassDir, ClassSocket, ClassMemory, ClassGate}
+}
+
+// Context is a parsed SELinux security identifier (SID): user:role:type.
+// The type field (the "domain" for processes) is what allow rules match.
+type Context struct {
+	User string
+	Role string
+	Type string
+}
+
+// ParseContext parses "user:role:type".
+func ParseContext(sid string) (Context, error) {
+	parts := strings.Split(sid, ":")
+	if len(parts) != 3 {
+		return Context{}, fmt.Errorf("selinux: malformed context %q (want user:role:type)", sid)
+	}
+	for _, p := range parts {
+		if p == "" {
+			return Context{}, fmt.Errorf("selinux: empty component in context %q", sid)
+		}
+	}
+	return Context{User: parts[0], Role: parts[1], Type: parts[2]}, nil
+}
+
+// MustParseContext is ParseContext for statically known contexts.
+func MustParseContext(sid string) Context {
+	c, err := ParseContext(sid)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c Context) String() string { return c.User + ":" + c.Role + ":" + c.Type }
+
+// IsZero reports whether the context is unset (unconfined).
+func (c Context) IsZero() bool { return c == Context{} }
+
+// Denial is the error returned when the policy denies an access.
+type Denial struct {
+	Domain Context
+	Class  Class
+	Perm   string
+}
+
+func (d *Denial) Error() string {
+	return fmt.Sprintf("selinux: denied { %s } for class %s to domain %s", d.Perm, d.Class, d.Domain)
+}
+
+type ruleKey struct {
+	domain string
+	class  Class
+}
+
+// Policy is a system-wide type-enforcement policy: allow rules keyed by
+// (domain type, class) to permission sets, plus permitted domain
+// transitions. The zero value denies everything except unconfined contexts.
+type Policy struct {
+	mu          sync.RWMutex
+	allow       map[ruleKey]map[string]bool
+	transitions map[[2]string]bool
+	unconfined  map[string]bool
+}
+
+// NewPolicy returns an empty (deny-all) policy.
+func NewPolicy() *Policy {
+	return &Policy{
+		allow:       make(map[ruleKey]map[string]bool),
+		transitions: make(map[[2]string]bool),
+		unconfined:  make(map[string]bool),
+	}
+}
+
+// Allow adds an allow rule: domain may exercise perms on class.
+func (p *Policy) Allow(domainType string, class Class, perms ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := ruleKey{domainType, class}
+	set := p.allow[k]
+	if set == nil {
+		set = make(map[string]bool)
+		p.allow[k] = set
+	}
+	for _, perm := range perms {
+		set[perm] = true
+	}
+}
+
+// AllowAll marks a domain unconfined: every check succeeds. Wedge's
+// applications in §5 run with SELinux policies that "explicitly grant
+// access to all system calls", focusing the evaluation on memory privileges.
+func (p *Policy) AllowAll(domainType string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.unconfined[domainType] = true
+}
+
+// AllowTransition permits a child sthread to run in domain "to" when its
+// creator runs in domain "from".
+func (p *Policy) AllowTransition(from, to string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.transitions[[2]string{from, to}] = true
+}
+
+// Check returns nil if ctx may exercise perm on class. An unset context is
+// unconfined, matching a kernel with SELinux in permissive mode for
+// unlabeled processes.
+func (p *Policy) Check(ctx Context, class Class, perm string) error {
+	if ctx.IsZero() {
+		return nil
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.unconfined[ctx.Type] {
+		return nil
+	}
+	if set := p.allow[ruleKey{ctx.Type, class}]; set != nil && (set[perm] || set["*"]) {
+		return nil
+	}
+	return &Denial{Domain: ctx, Class: class, Perm: perm}
+}
+
+// CanTransition reports whether a task in domain from may create a task in
+// domain to. Remaining in the same domain is always permitted; entering or
+// leaving the unconfined (zero) context is not a transition the policy can
+// grant — a confined parent can never mint an unconfined child.
+func (p *Policy) CanTransition(from, to Context) bool {
+	if from.Type == to.Type {
+		return true
+	}
+	if from.IsZero() {
+		return true // unconfined parents may confine children freely
+	}
+	if to.IsZero() {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.transitions[[2]string{from.Type, to.Type}]
+}
+
+// Rules returns a human-readable dump of the policy, for cb-analyze style
+// reporting and tests.
+func (p *Policy) Rules() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []string
+	for d := range p.unconfined {
+		out = append(out, fmt.Sprintf("allow %s *:*", d))
+	}
+	for k, set := range p.allow {
+		var perms []string
+		for perm := range set {
+			perms = append(perms, perm)
+		}
+		sort.Strings(perms)
+		out = append(out, fmt.Sprintf("allow %s %s:{%s}", k.domain, k.class, strings.Join(perms, " ")))
+	}
+	for t := range p.transitions {
+		out = append(out, fmt.Sprintf("transition %s -> %s", t[0], t[1]))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package selinux
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseContext(t *testing.T) {
+	c, err := ParseContext("system_u:system_r:httpd_t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.User != "system_u" || c.Role != "system_r" || c.Type != "httpd_t" {
+		t.Fatalf("parsed %+v", c)
+	}
+	if c.String() != "system_u:system_r:httpd_t" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestParseContextErrors(t *testing.T) {
+	for _, bad := range []string{"", "a:b", "a:b:c:d", "a::c", ":b:c"} {
+		if _, err := ParseContext(bad); err == nil {
+			t.Errorf("ParseContext(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestMustParseContextPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseContext of bad sid did not panic")
+		}
+	}()
+	MustParseContext("nope")
+}
+
+func TestDenyByDefault(t *testing.T) {
+	p := NewPolicy()
+	ctx := MustParseContext("u:r:worker_t")
+	err := p.Check(ctx, ClassFile, "read")
+	if err == nil {
+		t.Fatal("empty policy must deny confined domain")
+	}
+	var d *Denial
+	if !errors.As(err, &d) {
+		t.Fatalf("want Denial, got %T", err)
+	}
+	if d.Class != ClassFile || d.Perm != "read" {
+		t.Fatalf("denial detail: %+v", d)
+	}
+	if !strings.Contains(d.Error(), "worker_t") {
+		t.Fatalf("denial message should name the domain: %s", d.Error())
+	}
+}
+
+func TestAllowRule(t *testing.T) {
+	p := NewPolicy()
+	ctx := MustParseContext("u:r:worker_t")
+	p.Allow("worker_t", ClassSocket, "send", "recv")
+	if err := p.Check(ctx, ClassSocket, "send"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Check(ctx, ClassSocket, "listen"); err == nil {
+		t.Fatal("unlisted perm must be denied")
+	}
+	if err := p.Check(ctx, ClassFile, "read"); err == nil {
+		t.Fatal("unlisted class must be denied")
+	}
+}
+
+func TestWildcardPerm(t *testing.T) {
+	p := NewPolicy()
+	ctx := MustParseContext("u:r:gate_t")
+	p.Allow("gate_t", ClassFile, "*")
+	if err := p.Check(ctx, ClassFile, "unlink"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnconfined(t *testing.T) {
+	p := NewPolicy()
+	p.AllowAll("init_t")
+	ctx := MustParseContext("u:r:init_t")
+	for _, class := range Classes() {
+		if err := p.Check(ctx, class, "anything"); err != nil {
+			t.Fatalf("unconfined domain denied on %s: %v", class, err)
+		}
+	}
+}
+
+func TestZeroContextUnconfined(t *testing.T) {
+	p := NewPolicy()
+	if err := p.Check(Context{}, ClassProcess, "fork"); err != nil {
+		t.Fatal("zero context must be unconfined")
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	p := NewPolicy()
+	master := MustParseContext("u:r:master_t")
+	worker := MustParseContext("u:r:worker_t")
+	other := MustParseContext("u:r:other_t")
+
+	if !p.CanTransition(master, master) {
+		t.Fatal("same-domain transition must always be allowed")
+	}
+	if p.CanTransition(master, worker) {
+		t.Fatal("transition must be denied before AllowTransition")
+	}
+	p.AllowTransition("master_t", "worker_t")
+	if !p.CanTransition(master, worker) {
+		t.Fatal("allowed transition denied")
+	}
+	if p.CanTransition(master, other) {
+		t.Fatal("unrelated transition allowed")
+	}
+	// Asymmetry: worker cannot transition back up.
+	if p.CanTransition(worker, master) {
+		t.Fatal("reverse transition must not be implied")
+	}
+}
+
+func TestConfinedCannotBecomeUnconfined(t *testing.T) {
+	p := NewPolicy()
+	worker := MustParseContext("u:r:worker_t")
+	if p.CanTransition(worker, Context{}) {
+		t.Fatal("confined domain escaped to unconfined context")
+	}
+	if !p.CanTransition(Context{}, worker) {
+		t.Fatal("unconfined parent should be able to confine a child")
+	}
+}
+
+func TestRulesDump(t *testing.T) {
+	p := NewPolicy()
+	p.AllowAll("init_t")
+	p.Allow("worker_t", ClassSocket, "send", "recv")
+	p.AllowTransition("master_t", "worker_t")
+	rules := p.Rules()
+	joined := strings.Join(rules, "\n")
+	for _, want := range []string{"init_t", "worker_t", "socket", "master_t -> worker_t"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("rules dump missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// Property: Check is monotone in rule addition — adding rules never revokes
+// a previously allowed access.
+func TestQuickAllowMonotone(t *testing.T) {
+	type op struct {
+		Domain uint8
+		Class  uint8
+		Perm   uint8
+	}
+	domains := []string{"a_t", "b_t", "c_t"}
+	perms := []string{"read", "write", "exec"}
+	classes := Classes()
+	f := func(ops []op, probe op) bool {
+		p := NewPolicy()
+		ctx := MustParseContext("u:r:" + domains[int(probe.Domain)%len(domains)])
+		class := classes[int(probe.Class)%len(classes)]
+		perm := perms[int(probe.Perm)%len(perms)]
+		allowedBefore := p.Check(ctx, class, perm) == nil
+		for _, o := range ops {
+			p.Allow(domains[int(o.Domain)%len(domains)], classes[int(o.Class)%len(classes)], perms[int(o.Perm)%len(perms)])
+			if allowedBefore && p.Check(ctx, class, perm) != nil {
+				return false
+			}
+			allowedBefore = p.Check(ctx, class, perm) == nil
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,625 @@
+// Package spec provides the nine instrumentable workloads behind Figure 9:
+// miniature versions of the C-language SPECint2006 programs the paper
+// traces under cb-log (mcf, gobmk, libquantum, hmmer, sjeng, bzip2,
+// h264ref), plus protocol-skeleton stand-ins for OpenSSH and Apache.
+//
+// Each workload follows the algorithmic skeleton of its namesake and runs
+// entirely against a pin.Proc, so the same program can execute natively,
+// under the translation engine (Pin), or under full access logging
+// (cb-log). What Figure 9 needs from these programs is not their absolute
+// speed but their *shape*: tight kernels that re-execute the same basic
+// blocks with dense memory traffic (h264ref, bzip2) sit at one end, and
+// call-diverse, access-sparse protocol code (ssh) at the other. The ratio
+// between cb-log and Pin run times emerges mechanically from that shape.
+package spec
+
+import (
+	"fmt"
+
+	"wedge/internal/pin"
+	"wedge/internal/vm"
+)
+
+// Workload is one Figure 9 program.
+type Workload interface {
+	// Name matches the paper's x-axis label.
+	Name() string
+	// Run executes the workload against the instrumented process and
+	// returns a checksum (so results can be asserted identical across
+	// instrumentation modes).
+	Run(p *pin.Proc) (uint64, error)
+}
+
+// All returns the nine workloads in the paper's presentation order.
+func All() []Workload {
+	return []Workload{
+		SSH{}, MCF{}, Gobmk{}, Apache{}, Quantum{}, Hmmer{}, Sjeng{}, Bzip2{}, H264Ref{},
+	}
+}
+
+// ByName finds a workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("spec: unknown workload %q", name)
+}
+
+// lcg is the deterministic random source workloads share; it lives in
+// simulated memory so its state updates are themselves memory traffic,
+// as rand() calls are in the originals.
+func lcgNext(p *pin.Proc, cell vm.Addr) uint64 {
+	v := p.Load64(cell)
+	v = v*6364136223846793005 + 1442695040888963407
+	p.Store64(cell, v)
+	return v
+}
+
+// ---- mcf: successive-shortest-path min-cost flow --------------------------------
+
+// MCF mimics 429.mcf: repeated Bellman-Ford-style relaxation over an
+// adjacency structure with pointer-chasing access patterns.
+type MCF struct{}
+
+// Name implements Workload.
+func (MCF) Name() string { return "mcf" }
+
+// Run implements Workload.
+func (MCF) Run(p *pin.Proc) (uint64, error) {
+	const nodes = 96
+	const arcsPerNode = 4
+	var sum uint64
+	p.Call("mcf_main", "mcf.c", 10, func() {
+		// dist[] and arc tables as globals, like mcf's network struct.
+		dist, err := p.DeclareGlobal("dist", nodes*8)
+		if err != nil {
+			return
+		}
+		arcs, err := p.DeclareGlobal("arcs", nodes*arcsPerNode*16)
+		if err != nil {
+			return
+		}
+		rng, _ := p.DeclareGlobal("rng_state", 8)
+		p.Store64(rng, 42)
+
+		p.Call("build_network", "mcf.c", 40, func() {
+			for i := 0; i < nodes; i++ {
+				p.Store64(dist+vm.Addr(i*8), 1<<40)
+				for a := 0; a < arcsPerNode; a++ {
+					off := vm.Addr((i*arcsPerNode + a) * 16)
+					to := lcgNext(p, rng) % nodes
+					cost := lcgNext(p, rng)%100 + 1
+					p.Store64(arcs+off, to)
+					p.Store64(arcs+off+8, cost)
+				}
+			}
+			p.Store64(dist, 0)
+		})
+
+		p.Call("price_out_impl", "implicit.c", 120, func() {
+			for round := 0; round < nodes; round++ {
+				changed := false
+				for i := 0; i < nodes; i++ {
+					di := p.Load64(dist + vm.Addr(i*8))
+					if di >= 1<<40 {
+						continue
+					}
+					for a := 0; a < arcsPerNode; a++ {
+						off := vm.Addr((i*arcsPerNode + a) * 16)
+						to := p.Load64(arcs + off)
+						cost := p.Load64(arcs + off + 8)
+						if di+cost < p.Load64(dist+vm.Addr(to*8)) {
+							p.Store64(dist+vm.Addr(to*8), di+cost)
+							changed = true
+						}
+					}
+				}
+				if !changed {
+					break
+				}
+			}
+		})
+
+		p.Call("checksum", "mcf.c", 200, func() {
+			for i := 0; i < nodes; i++ {
+				sum += p.Load64(dist + vm.Addr(i*8))
+			}
+		})
+	})
+	return sum, nil
+}
+
+// ---- gobmk: Monte-Carlo playouts on a small board ---------------------------------
+
+// Gobmk mimics 445.gobmk: board-state updates driven by pattern lookups,
+// with moderate block reuse.
+type Gobmk struct{}
+
+// Name implements Workload.
+func (Gobmk) Name() string { return "gobmk" }
+
+// Run implements Workload.
+func (Gobmk) Run(p *pin.Proc) (uint64, error) {
+	const size = 9
+	const playouts = 60
+	var sum uint64
+	p.Call("gobmk_main", "gobmk.c", 10, func() {
+		board, err := p.DeclareGlobal("board", size*size)
+		if err != nil {
+			return
+		}
+		rng, _ := p.DeclareGlobal("rng_state", 8)
+		p.Store64(rng, 7)
+
+		for g := 0; g < playouts; g++ {
+			p.Call("play_game", "play.c", 55, func() {
+				// Clear board.
+				for i := 0; i < size*size; i++ {
+					p.Store8(board+vm.Addr(i), 0)
+				}
+				color := byte(1)
+				for mv := 0; mv < size*size/2; mv++ {
+					p.Call("genmove", "genmove.c", 80, func() {
+						pos := lcgNext(p, rng) % (size * size)
+						if p.Load8(board+vm.Addr(pos)) == 0 {
+							p.Store8(board+vm.Addr(pos), color)
+						}
+					})
+					color = 3 - color
+				}
+				p.Call("count_territory", "score.c", 30, func() {
+					for i := 0; i < size*size; i++ {
+						sum += uint64(p.Load8(board + vm.Addr(i)))
+					}
+				})
+			})
+		}
+	})
+	return sum, nil
+}
+
+// ---- libquantum: gate simulation over a state vector --------------------------------
+
+// Quantum mimics 462.libquantum: long passes over a quantum register's
+// amplitude array applying Hadamard-like and CNOT-like transforms in
+// fixed-point arithmetic.
+type Quantum struct{}
+
+// Name implements Workload.
+func (Quantum) Name() string { return "quantum" }
+
+// Run implements Workload.
+func (Quantum) Run(p *pin.Proc) (uint64, error) {
+	const qubits = 11
+	const n = 1 << qubits
+	var sum uint64
+	p.Call("quantum_main", "libquantum.c", 10, func() {
+		amps, err := p.DeclareGlobal("amplitudes", n*8)
+		if err != nil {
+			return
+		}
+		gateCount, _ := p.DeclareGlobal("gate_count", 8)
+		p.Call("quantum_new_qureg", "qureg.c", 25, func() {
+			p.Store64(amps, 1<<16) // |0..0> with unit fixed-point amplitude
+			for i := 1; i < n; i++ {
+				p.Store64(amps+vm.Addr(i*8), 0)
+			}
+		})
+		for q := 0; q < qubits; q++ {
+			p.Call("quantum_hadamard", "gates.c", 90, func() {
+				p.Store64(gateCount, p.Load64(gateCount)+1)
+				stride := 1 << q
+				for i := 0; i < n; i += 2 * stride {
+					for j := 0; j < stride; j++ {
+						a := p.Load64(amps + vm.Addr((i+j)*8))
+						b := p.Load64(amps + vm.Addr((i+j+stride)*8))
+						// (a+b)/sqrt2, (a-b)/sqrt2 in Q16: *46341>>16.
+						na := (a + b) * 46341 >> 16
+						nb := (a - b) * 46341 >> 16
+						p.Store64(amps+vm.Addr((i+j)*8), na)
+						p.Store64(amps+vm.Addr((i+j+stride)*8), nb)
+					}
+				}
+			})
+		}
+		p.Call("quantum_measure", "measure.c", 40, func() {
+			for i := 0; i < n; i++ {
+				sum += p.Load64(amps + vm.Addr(i*8))
+			}
+		})
+	})
+	return sum, nil
+}
+
+// ---- hmmer: profile HMM Viterbi --------------------------------------------------------
+
+// Hmmer mimics 456.hmmer: the P7Viterbi dynamic-programming kernel, a
+// dense doubly-indexed table walk.
+type Hmmer struct{}
+
+// Name implements Workload.
+func (Hmmer) Name() string { return "hmmer" }
+
+// Run implements Workload.
+func (Hmmer) Run(p *pin.Proc) (uint64, error) {
+	const states = 32
+	const seqLen = 64
+	var sum uint64
+	p.Call("hmmer_main", "hmmer.c", 10, func() {
+		trans, err := p.DeclareGlobal("transitions", states*states*4)
+		if err != nil {
+			return
+		}
+		emit, _ := p.DeclareGlobal("emissions", states*4*4)
+		dp, _ := p.DeclareGlobal("dp_matrix", 2*states*4)
+		rng, _ := p.DeclareGlobal("rng_state", 8)
+		p.Store64(rng, 1234)
+
+		p.Call("build_profile", "profile.c", 33, func() {
+			for i := 0; i < states*states; i++ {
+				p.Store32(trans+vm.Addr(i*4), uint32(lcgNext(p, rng)%64))
+			}
+			for i := 0; i < states*4; i++ {
+				p.Store32(emit+vm.Addr(i*4), uint32(lcgNext(p, rng)%64))
+			}
+		})
+
+		p.Call("P7Viterbi", "fast_algorithms.c", 140, func() {
+			for i := 0; i < states; i++ {
+				p.Store32(dp+vm.Addr(i*4), 0)
+			}
+			for t := 1; t <= seqLen; t++ {
+				sym := lcgNext(p, rng) % 4
+				cur := (t % 2) * states
+				prev := ((t + 1) % 2) * states
+				for j := 0; j < states; j++ {
+					best := uint32(0)
+					for i := 0; i < states; i++ {
+						score := p.Load32(dp+vm.Addr((prev+i)*4)) +
+							p.Load32(trans+vm.Addr((i*states+j)*4))
+						if score > best {
+							best = score
+						}
+					}
+					best += p.Load32(emit + vm.Addr((j*4+int(sym))*4))
+					p.Store32(dp+vm.Addr((cur+j)*4), best)
+				}
+			}
+			for j := 0; j < states; j++ {
+				sum += uint64(p.Load32(dp + vm.Addr(((seqLen%2)*states+j)*4)))
+			}
+		})
+	})
+	return sum, nil
+}
+
+// ---- sjeng: alpha-beta game-tree search ---------------------------------------------------
+
+// Sjeng mimics 458.sjeng: recursive alpha-beta with an evaluation loop
+// over a board array; deep call stacks with moderate memory traffic.
+type Sjeng struct{}
+
+// Name implements Workload.
+func (Sjeng) Name() string { return "sjeng" }
+
+// Run implements Workload.
+func (Sjeng) Run(p *pin.Proc) (uint64, error) {
+	const cells = 64
+	var sum uint64
+	p.Call("sjeng_main", "sjeng.c", 10, func() {
+		board, err := p.DeclareGlobal("board", cells*4)
+		if err != nil {
+			return
+		}
+		rng, _ := p.DeclareGlobal("rng_state", 8)
+		p.Store64(rng, 99)
+		for i := 0; i < cells; i++ {
+			p.Store32(board+vm.Addr(i*4), uint32(lcgNext(p, rng)%16))
+		}
+
+		var search func(depth int, negate bool) uint64
+		search = func(depth int, negate bool) uint64 {
+			var best uint64
+			p.Call("search", "search.c", 77, func() {
+				if depth == 0 {
+					p.Call("std_eval", "eval.c", 120, func() {
+						// Material, mobility, king safety, pawn structure,
+						// and piece-square passes: the evaluation reads the
+						// board many times per leaf, as sjeng's does.
+						for pass := 0; pass < 8; pass++ {
+							for i := 0; i < cells; i++ {
+								best += uint64(p.Load32(board+vm.Addr(i*4))) >> uint(pass)
+							}
+						}
+					})
+					return
+				}
+				for mv := 0; mv < 3; mv++ {
+					cell := lcgNext(p, rng) % cells
+					old := p.Load32(board + vm.Addr(cell*4))
+					p.Store32(board+vm.Addr(cell*4), old+1)
+					score := search(depth-1, !negate)
+					if negate {
+						score = ^score
+					}
+					if score > best {
+						best = score
+					}
+					p.Store32(board+vm.Addr(cell*4), old)
+				}
+			})
+			return best
+		}
+		sum = search(4, false)
+	})
+	return sum, nil
+}
+
+// ---- bzip2: BWT blocks --------------------------------------------------------------------
+
+// Bzip2 mimics 401.bzip2: block-sorting compression — rotation sorting
+// followed by move-to-front and run-length passes, all byte-granular.
+type Bzip2 struct{}
+
+// Name implements Workload.
+func (Bzip2) Name() string { return "bzip2" }
+
+// Run implements Workload.
+func (Bzip2) Run(p *pin.Proc) (uint64, error) {
+	const block = 160
+	var sum uint64
+	p.Call("bzip2_main", "bzip2.c", 10, func() {
+		data, err := p.DeclareGlobal("block", block)
+		if err != nil {
+			return
+		}
+		idx, _ := p.DeclareGlobal("rot_index", block*4)
+		mtf, _ := p.DeclareGlobal("mtf_table", 256)
+		rng, _ := p.DeclareGlobal("rng_state", 8)
+		p.Store64(rng, 5)
+
+		p.Call("fill_block", "blocksort.c", 20, func() {
+			for i := 0; i < block; i++ {
+				p.Store8(data+vm.Addr(i), byte(lcgNext(p, rng)%8+'a'))
+			}
+		})
+
+		p.Call("block_sort", "blocksort.c", 90, func() {
+			for i := 0; i < block; i++ {
+				p.Store32(idx+vm.Addr(i*4), uint32(i))
+			}
+			// Insertion sort of rotations compared byte-by-byte.
+			for i := 1; i < block; i++ {
+				for j := i; j > 0; j-- {
+					a := p.Load32(idx + vm.Addr(j*4))
+					b := p.Load32(idx + vm.Addr((j-1)*4))
+					less := false
+					for k := 0; k < 16; k++ {
+						ca := p.Load8(data + vm.Addr((int(a)+k)%block))
+						cb := p.Load8(data + vm.Addr((int(b)+k)%block))
+						if ca != cb {
+							less = ca < cb
+							break
+						}
+					}
+					if !less {
+						break
+					}
+					p.Store32(idx+vm.Addr(j*4), b)
+					p.Store32(idx+vm.Addr((j-1)*4), a)
+				}
+			}
+		})
+
+		p.Call("mtf_and_rle", "compress.c", 60, func() {
+			for i := 0; i < 256; i++ {
+				p.Store8(mtf+vm.Addr(i), byte(i))
+			}
+			for i := 0; i < block; i++ {
+				rot := p.Load32(idx + vm.Addr(i*4))
+				last := p.Load8(data + vm.Addr((int(rot)+block-1)%block))
+				// Find and front-move.
+				for j := 0; j < 256; j++ {
+					if p.Load8(mtf+vm.Addr(j)) == last {
+						for k := j; k > 0; k-- {
+							p.Store8(mtf+vm.Addr(k), p.Load8(mtf+vm.Addr(k-1)))
+						}
+						p.Store8(mtf, last)
+						sum += uint64(j)
+						break
+					}
+				}
+			}
+		})
+	})
+	return sum, nil
+}
+
+// ---- h264ref: SAD motion search --------------------------------------------------------------
+
+// H264Ref mimics 464.h264ref's motion estimation: for each macroblock,
+// exhaustive sum-of-absolute-differences over a search window — the
+// densest memory traffic per function call of the set, which is why it
+// tops the paper's slowdown ratios (90x).
+type H264Ref struct{}
+
+// Name implements Workload.
+func (H264Ref) Name() string { return "h264ref" }
+
+// Run implements Workload.
+func (H264Ref) Run(p *pin.Proc) (uint64, error) {
+	const w, h = 64, 48
+	const mb = 8     // macroblock
+	const window = 4 // search radius
+	var sum uint64
+	p.Call("h264_main", "lencod.c", 10, func() {
+		ref, err := p.DeclareGlobal("ref_frame", w*h)
+		if err != nil {
+			return
+		}
+		cur, _ := p.DeclareGlobal("cur_frame", w*h)
+		rng, _ := p.DeclareGlobal("rng_state", 8)
+		p.Store64(rng, 11)
+
+		p.Call("read_frames", "input.c", 30, func() {
+			for i := 0; i < w*h; i++ {
+				v := byte(lcgNext(p, rng))
+				p.Store8(ref+vm.Addr(i), v)
+				p.Store8(cur+vm.Addr(i), v+byte(i%3))
+			}
+		})
+
+		p.Call("motion_search", "mv_search.c", 200, func() {
+			for by := 0; by+mb <= h; by += mb {
+				for bx := 0; bx+mb <= w; bx += mb {
+					best := uint64(1 << 60)
+					for dy := -window; dy <= window; dy++ {
+						for dx := -window; dx <= window; dx++ {
+							if bx+dx < 0 || by+dy < 0 || bx+dx+mb > w || by+dy+mb > h {
+								continue
+							}
+							var sad uint64
+							for y := 0; y < mb; y++ {
+								for x := 0; x < mb; x++ {
+									c := p.Load8(cur + vm.Addr((by+y)*w+bx+x))
+									r := p.Load8(ref + vm.Addr((by+dy+y)*w+bx+dx+x))
+									if c > r {
+										sad += uint64(c - r)
+									} else {
+										sad += uint64(r - c)
+									}
+								}
+							}
+							if sad < best {
+								best = sad
+							}
+						}
+					}
+					sum += best
+				}
+			}
+		})
+	})
+	return sum, nil
+}
+
+// ---- ssh and apache protocol skeletons -----------------------------------------------------
+
+// SSH mimics the OpenSSH trace shape: many distinct functions (protocol
+// steps) each executed once or twice, sparse memory traffic — the lowest
+// cb-log/Pin ratio of the set (2.4x in the paper).
+type SSH struct{}
+
+// Name implements Workload.
+func (SSH) Name() string { return "ssh" }
+
+// Run implements Workload.
+func (SSH) Run(p *pin.Proc) (uint64, error) {
+	var sum uint64
+	steps := []string{
+		"ssh_connect", "exchange_identification", "kex_setup", "kexinit_send",
+		"kexinit_recv", "choose_kex", "dh_gen_key", "derive_shared", "kex_derive_keys",
+		"newkeys_send", "newkeys_recv", "userauth_banner", "userauth_request",
+		"auth_password", "getpwnamallow", "auth2_challenge", "session_open",
+		"channel_setup", "pty_allocate", "do_exec", "packet_send", "packet_read",
+		"channel_close", "session_close", "cleanup_exit",
+	}
+	p.Call("sshd_main", "sshd.c", 10, func() {
+		opts, err := p.DeclareGlobal("options", 64)
+		if err != nil {
+			return
+		}
+		for i := 0; i < 64; i++ {
+			p.Store8(opts+vm.Addr(i), byte(i))
+		}
+		buf, err := p.Malloc(512)
+		if err != nil {
+			return
+		}
+		for session := 0; session < 4; session++ {
+			for si, step := range steps {
+				p.Call(step, "ssh.c", 100+si, func() {
+					// A handful of accesses per step: header parse, copy.
+					for i := 0; i < 12; i++ {
+						p.Store8(buf+vm.Addr((si*12+i)%512), byte(si+i))
+						sum += uint64(p.Load8(buf+vm.Addr((si*7+i)%512))) +
+							uint64(p.Load8(opts+vm.Addr((si+i)%64)))
+					}
+				})
+			}
+		}
+		p.Free(buf)
+	})
+	return sum, nil
+}
+
+// Apache mimics an Apache request trace: more block reuse than ssh (the
+// request loop) but far less than the SPEC kernels.
+type Apache struct{}
+
+// Name implements Workload.
+func (Apache) Name() string { return "apache" }
+
+// Run implements Workload.
+func (Apache) Run(p *pin.Proc) (uint64, error) {
+	var sum uint64
+	const requests = 24
+	p.Call("apache_main", "httpd.c", 10, func() {
+		// The globals a real Apache request path consults: the server
+		// config, per-module config vectors, the mime table, scoreboard
+		// and log state. Crowbar's value is exactly that it enumerates
+		// items like these for the programmer (§5.1).
+		conf, err := p.DeclareGlobal("server_conf", 256)
+		if err != nil {
+			return
+		}
+		moduleConf, _ := p.DeclareGlobal("module_conf", 128)
+		mimeTable, _ := p.DeclareGlobal("mime_table", 128)
+		scoreboard, _ := p.DeclareGlobal("scoreboard", 64)
+		logState, _ := p.DeclareGlobal("log_state", 32)
+		for i := 0; i < 256; i++ {
+			p.Store8(conf+vm.Addr(i), byte(i))
+		}
+		for i := 0; i < 128; i++ {
+			p.Store8(moduleConf+vm.Addr(i), byte(i*3))
+			p.Store8(mimeTable+vm.Addr(i), byte(i*5))
+		}
+		for r := 0; r < requests; r++ {
+			p.Call("ap_process_request", "http_request.c", 50, func() {
+				req, _ := p.Malloc(256)
+				var headers, brigade vm.Addr
+				p.Call("ap_read_request", "protocol.c", 80, func() {
+					headers, _ = p.Malloc(128) // distinct allocation site
+					for i := 0; i < 64; i++ {
+						p.Store8(req+vm.Addr(i), byte('A'+i%26))
+						p.Store8(headers+vm.Addr(i), byte(':'))
+					}
+				})
+				p.Call("ap_run_handler", "config.c", 120, func() {
+					brigade, _ = p.Malloc(192) // another site
+					for i := 0; i < 64; i++ {
+						sum += uint64(p.Load8(req+vm.Addr(i))) +
+							uint64(p.Load8(conf+vm.Addr(i))) +
+							uint64(p.Load8(moduleConf+vm.Addr(i))) +
+							uint64(p.Load8(mimeTable+vm.Addr(i)))
+						p.Store8(brigade+vm.Addr(i), byte(sum))
+					}
+				})
+				p.Call("ap_send_response", "http_protocol.c", 200, func() {
+					for i := 0; i < 32; i++ {
+						p.Store8(req+vm.Addr(128+i), byte(sum>>uint(i%8)))
+						sum += uint64(p.Load8(brigade + vm.Addr(i)))
+					}
+					p.Store8(scoreboard+vm.Addr(r%64), 1)
+					p.Store8(logState+vm.Addr(r%32), byte(r))
+				})
+				p.Free(brigade)
+				p.Free(headers)
+				p.Free(req)
+			})
+		}
+	})
+	return sum, nil
+}

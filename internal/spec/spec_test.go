@@ -1,0 +1,151 @@
+package spec
+
+import (
+	"testing"
+
+	"wedge/internal/crowbar"
+	"wedge/internal/pin"
+)
+
+// TestDeterministicAcrossModes: each workload must compute the identical
+// checksum in all three instrumentation modes — instrumentation observes,
+// it must never perturb.
+func TestDeterministicAcrossModes(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name(), func(t *testing.T) {
+			var sums [3]uint64
+			for i, mode := range []pin.Mode{pin.ModeNative, pin.ModePin, pin.ModeCBLog} {
+				p, err := pin.NewProc(mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mode == pin.ModeCBLog {
+					p.Attach(crowbar.NewLogger())
+				}
+				sum, err := w.Run(p)
+				if err != nil {
+					t.Fatalf("%s under %s: %v", w.Name(), mode, err)
+				}
+				sums[i] = sum
+			}
+			if sums[0] != sums[1] || sums[1] != sums[2] {
+				t.Fatalf("checksums diverge across modes: %v", sums)
+			}
+			if sums[0] == 0 {
+				t.Fatalf("%s computed a zero checksum; workload is degenerate", w.Name())
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("mcf")
+	if err != nil || w.Name() != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", w, err)
+	}
+	if _, err := ByName("gcc"); err == nil {
+		t.Fatal("unknown workload found")
+	}
+}
+
+func TestAllNamesMatchPaper(t *testing.T) {
+	want := []string{"ssh", "mcf", "gobmk", "apache", "quantum", "hmmer", "sjeng", "bzip2", "h264ref"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("workload count = %d", len(all))
+	}
+	for i, w := range all {
+		if w.Name() != want[i] {
+			t.Fatalf("workload %d = %q, want %q", i, w.Name(), want[i])
+		}
+	}
+}
+
+// TestAccessDensityOrdering: the mechanism behind Figure 9's ratios. The
+// per-call memory-access density must be lowest for ssh and highest for
+// h264ref, with the other workloads in between.
+func TestAccessDensityOrdering(t *testing.T) {
+	density := func(w Workload) float64 {
+		p, _ := pin.NewProc(pin.ModeNative)
+		if _, err := w.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if p.Calls == 0 {
+			t.Fatalf("%s made no calls", w.Name())
+		}
+		return float64(p.Loads+p.Stores) / float64(p.Calls)
+	}
+	ssh, _ := ByName("ssh")
+	h264, _ := ByName("h264ref")
+	dSSH, dH264 := density(ssh), density(h264)
+	if dSSH >= dH264 {
+		t.Fatalf("ssh density %.1f !< h264ref density %.1f", dSSH, dH264)
+	}
+	// And h264ref must be the global maximum.
+	for _, w := range All() {
+		if w.Name() == "h264ref" {
+			continue
+		}
+		if d := density(w); d >= dH264 {
+			t.Fatalf("%s density %.1f >= h264ref %.1f; Figure 9 shape broken", w.Name(), d, dH264)
+		}
+	}
+}
+
+// TestCrowbarTraceNonTrivial: under cb-log every workload yields a
+// queryable trace with multiple distinct items.
+func TestCrowbarTraceNonTrivial(t *testing.T) {
+	for _, w := range All() {
+		p, _ := pin.NewProc(pin.ModeCBLog)
+		l := crowbar.NewLogger()
+		p.Attach(l)
+		if _, err := w.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		if l.Trace().Len() == 0 {
+			t.Fatalf("%s produced an empty trace", w.Name())
+		}
+		if len(l.Trace().Items()) < 2 {
+			t.Fatalf("%s touched fewer than 2 items", w.Name())
+		}
+	}
+}
+
+// TestExtendedWorkloads: the omitted SPEC programs (perlbench, gcc) run in
+// all three modes with identical checksums, like the Figure 9 nine.
+func TestExtendedWorkloads(t *testing.T) {
+	if len(Extended()) != len(All())+2 {
+		t.Fatalf("Extended has %d workloads", len(Extended()))
+	}
+	for _, name := range []string{"perlbench", "gcc"} {
+		w, err := ByNameExtended(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sums []uint64
+		for _, mode := range []pin.Mode{pin.ModeNative, pin.ModePin, pin.ModeCBLog} {
+			p, err := pin.NewProc(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := w.Run(p)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", name, mode, err)
+			}
+			if p.Loads == 0 || p.Stores == 0 {
+				t.Fatalf("%s under %v: no memory traffic", name, mode)
+			}
+			sums = append(sums, sum)
+		}
+		if sums[0] != sums[1] || sums[1] != sums[2] {
+			t.Fatalf("%s checksums diverge across modes: %v", name, sums)
+		}
+	}
+	// The figure list must stay the paper's nine.
+	if _, err := ByName("perlbench"); err == nil {
+		t.Fatal("perlbench leaked into the Figure 9 set")
+	}
+	if _, err := ByNameExtended("nonesuch"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

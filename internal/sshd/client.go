@@ -1,0 +1,164 @@
+// The SSH client used by tests, benchmarks, and the examples.
+
+package sshd
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+	"io"
+
+	"wedge/internal/minissl"
+)
+
+// Client drives the MINISSH protocol against any of the server variants.
+type Client struct {
+	conn    io.ReadWriter
+	HostPub *rsa.PublicKey // learned from the server, verified if Pinned
+	Pinned  *rsa.PublicKey // expected host key, nil to trust first use
+	Nonce   []byte         // session nonce, signed by the host key
+	UID     int            // granted uid after successful auth
+}
+
+// NewClient performs the version/hostkey/signature exchange.
+func NewClient(conn io.ReadWriter, pinned *rsa.PublicKey) (*Client, error) {
+	c := &Client{conn: conn, Pinned: pinned}
+
+	banner, err := ExpectFrame(conn, MsgVersion)
+	if err != nil {
+		return nil, err
+	}
+	if string(banner) != Version {
+		return nil, fmt.Errorf("%w: banner %q", ErrProtocol, banner)
+	}
+	keyBody, err := ExpectFrame(conn, MsgHostKey)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := minissl.UnmarshalPublicKey(keyBody)
+	if err != nil {
+		return nil, err
+	}
+	if pinned != nil && (pub.N.Cmp(pinned.N) != 0 || pub.E != pinned.E) {
+		return nil, fmt.Errorf("sshd: host key mismatch")
+	}
+	c.HostPub = pub
+
+	// Host authentication: the server proves possession of the host key
+	// by signing our nonce.
+	c.Nonce = make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, c.Nonce); err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, MsgSignReq, c.Nonce); err != nil {
+		return nil, err
+	}
+	sig, err := ExpectFrame(conn, MsgSignResp)
+	if err != nil {
+		return nil, err
+	}
+	if err := VerifyHash(pub, c.Nonce, sig); err != nil {
+		return nil, fmt.Errorf("sshd: host signature invalid: %w", err)
+	}
+	return c, nil
+}
+
+// AuthPassword attempts password authentication.
+func (c *Client) AuthPassword(user, password string) error {
+	if err := WriteFrame(c.conn, MsgAuthPass, []byte(user+"\x00"+password)); err != nil {
+		return err
+	}
+	return c.readAuthResult()
+}
+
+// AuthPubkey attempts public-key authentication: the client signs its
+// session nonce with its user key.
+func (c *Client) AuthPubkey(user string, key *rsa.PrivateKey) error {
+	sig, err := SignHash(key, append([]byte("pubkey:"+user+":"), c.Nonce...))
+	if err != nil {
+		return err
+	}
+	if err := WriteFrame(c.conn, MsgAuthPub, append([]byte(user+"\x00"), sig...)); err != nil {
+		return err
+	}
+	return c.readAuthResult()
+}
+
+// AuthSKey performs S/Key challenge-response with the chain seed.
+func (c *Client) AuthSKey(user string, seed []byte) error {
+	chal, err := c.SKeyChallenge(user)
+	if err != nil {
+		return err
+	}
+	// Respond with hash^(n-1)(seed).
+	return c.SKeyRespond(SKeyChain(seed, chal-1))
+}
+
+// SKeyChallenge requests the S/Key challenge for a user, returning the
+// chain position n. Exposed separately so the username-probe tests can
+// observe the challenge behaviour directly.
+func (c *Client) SKeyChallenge(user string) (int, error) {
+	if err := WriteFrame(c.conn, MsgAuthSKey, []byte(user)); err != nil {
+		return 0, err
+	}
+	typ, body, err := ReadFrame(c.conn)
+	if err != nil {
+		return 0, err
+	}
+	switch typ {
+	case MsgSKeyChal:
+		if len(body) != 4 {
+			return 0, ErrProtocol
+		}
+		return int(body[0])<<24 | int(body[1])<<16 | int(body[2])<<8 | int(body[3]), nil
+	case MsgAuthFail:
+		return 0, fmt.Errorf("%w: %s", ErrAuthFailed, body)
+	}
+	return 0, ErrProtocol
+}
+
+// SKeyRespond sends the chain response.
+func (c *Client) SKeyRespond(resp []byte) error {
+	if err := WriteFrame(c.conn, MsgSKeyReply, resp); err != nil {
+		return err
+	}
+	return c.readAuthResult()
+}
+
+func (c *Client) readAuthResult() error {
+	typ, body, err := ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case MsgAuthOK:
+		fmt.Sscanf(string(body), "uid=%d", &c.UID)
+		return nil
+	case MsgAuthFail:
+		return fmt.Errorf("%w: %s", ErrAuthFailed, body)
+	}
+	return ErrProtocol
+}
+
+// ScpPut uploads a file into the authenticated user's home directory.
+func (c *Client) ScpPut(name string, data []byte) error {
+	if err := WriteFrame(c.conn, MsgScpPut, []byte(name)); err != nil {
+		return err
+	}
+	if err := WriteFrame(c.conn, MsgScpData, data); err != nil {
+		return err
+	}
+	typ, body, err := ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if typ != MsgScpOK {
+		return fmt.Errorf("%w: scp: %s", ErrProtocol, body)
+	}
+	return nil
+}
+
+// Exit ends the session.
+func (c *Client) Exit() error {
+	return WriteFrame(c.conn, MsgExit, nil)
+}

@@ -1,0 +1,321 @@
+// Provos-style privilege separation ([13] in the paper): a privileged
+// monitor and an unprivileged slave created by fork, talking over a narrow
+// request interface. This is "today's privilege-separated OpenSSH" that
+// §5.2 compares Wedge against, and it reproduces both of the paper's
+// lessons:
+//
+//   - The monitor's getpwnam reply distinguishes valid usernames from
+//     invalid ones ("either returns NULL if that username does not exist,
+//     or the passwd structure"), so an exploited slave can probe the user
+//     database — the vulnerability the paper notes "remains in today's
+//     portable OpenSSH 4.7".
+//   - fork-based slaves inherit a clone of the parent's memory, so
+//     scratch data left behind by earlier library calls (the PAM bug) is
+//     readable after exploitation, because scrubbing-by-hand is brittle.
+
+package sshd
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+	"wedge/internal/vfs"
+	"wedge/internal/vm"
+)
+
+// monReq is one IPC request from slave to monitor; the narrow interface of
+// privilege separation.
+type monReq struct {
+	op    string // "getpwnam" | "checkpass" | "sign" | "skeychal" | "skeyverify"
+	user  string
+	pass  string
+	nonce []byte
+	resp  chan monResp
+}
+
+type monResp struct {
+	pw    *Passwd // nil when the user does not exist — the information leak
+	ok    bool
+	sig   []byte
+	chalN int
+}
+
+// PrivsepStats counts privsep server activity.
+type PrivsepStats struct {
+	Logins      atomic.Uint64
+	Fails       atomic.Uint64
+	MonitorMsgs atomic.Uint64
+}
+
+// Privsep is the monitor+slave server.
+type Privsep struct {
+	Stats PrivsepStats
+
+	root  *sthread.Sthread
+	cfg   ServerConfig
+	hooks PrivsepHooks
+
+	// pamResidueAddr marks PAM scratch left in the monitor's memory
+	// before forking, inherited by every slave.
+	pamResidueAddr vm.Addr
+	pamResidueLen  int
+}
+
+// PrivsepHooks injects exploit code into the slave.
+type PrivsepHooks struct {
+	// Slave runs inside the forked slave with its privileges, receiving
+	// the monitor query function (the attack surface an exploited slave
+	// actually has) and the inherited PAM residue location.
+	Slave func(t *kernel.Task, query func(monReq) monResp, residue vm.Addr, n int)
+}
+
+// NewPrivsep builds the server. warmPassword simulates a PAM conversation
+// that happened in the parent before forking (e.g. a prior login), leaving
+// scratch residue that forked children inherit.
+func NewPrivsep(root *sthread.Sthread, cfg ServerConfig, warmPassword string, hooks PrivsepHooks) (*Privsep, error) {
+	p := &Privsep{root: root, cfg: cfg, hooks: hooks}
+	if warmPassword != "" {
+		scratch, err := root.Malloc(len(warmPassword) + 1)
+		if err != nil {
+			return nil, err
+		}
+		root.WriteString(scratch, warmPassword)
+		// Not scrubbed: the point of the exercise.
+		p.pamResidueAddr = scratch
+		p.pamResidueLen = len(warmPassword)
+	}
+	return p, nil
+}
+
+// monitor answers one slave request with full privileges.
+func (p *Privsep) monitor(req monReq) monResp {
+	p.Stats.MonitorMsgs.Add(1)
+	s := p.root
+	switch req.op {
+	case "getpwnam":
+		entries, err := readShadow(s)
+		if err != nil {
+			return monResp{}
+		}
+		entry, found := LookupShadow(entries, req.user)
+		if !found {
+			return monResp{pw: nil} // the username-probe leak
+		}
+		return monResp{pw: &Passwd{Name: entry.Name, UID: entry.UID, Home: entry.Home}}
+	case "checkpass":
+		entries, err := readShadow(s)
+		if err != nil {
+			return monResp{}
+		}
+		entry, found := LookupShadow(entries, req.user)
+		if !found {
+			return monResp{ok: false}
+		}
+		ok, _, _ := pamCheck(s, entry, req.pass)
+		return monResp{ok: ok}
+	case "sign":
+		sig, err := SignHash(p.cfg.HostKey, req.nonce)
+		if err != nil {
+			return monResp{}
+		}
+		return monResp{sig: sig}
+	case "skeychal":
+		db, err := readSKeyDB(s)
+		if err != nil {
+			return monResp{}
+		}
+		for i := range db {
+			if db[i].Name == req.user {
+				return monResp{ok: true, chalN: db[i].N}
+			}
+		}
+		return monResp{ok: false} // existence leak again
+	case "skeyverify":
+		db, err := readSKeyDB(s)
+		if err != nil {
+			return monResp{}
+		}
+		for i := range db {
+			if db[i].Name == req.user {
+				if VerifySKey(&db[i], req.nonce) {
+					writeSKeyDB(s, db)
+					return monResp{ok: true}
+				}
+				return monResp{ok: false}
+			}
+		}
+		return monResp{ok: false}
+	}
+	return monResp{}
+}
+
+// ServeConn forks an unprivileged slave for the connection; the monitor
+// (this task) serves its IPC requests until the slave exits.
+func (p *Privsep) ServeConn(conn *netsim.Conn) error {
+	s := p.root
+	fd := s.Task.InstallFD(conn, kernel.FDRW)
+	defer s.Task.CloseFD(fd)
+
+	reqs := make(chan monReq)
+	query := func(r monReq) monResp {
+		r.resp = make(chan monResp, 1)
+		reqs <- r
+		return <-r.resp
+	}
+
+	residue, residueLen := p.pamResidueAddr, p.pamResidueLen
+	hooks := p.hooks
+	cfg := p.cfg
+	stats := &p.Stats
+	slave, err := s.Task.Fork(func(t *kernel.Task) {
+		// Drop privileges, as the OpenSSH slave does.
+		t.SetUID(99)
+		if hooks.Slave != nil {
+			hooks.Slave(t, query, residue, residueLen)
+		}
+		slaveBody(t, fd, cfg, query, stats)
+	})
+	if err != nil {
+		close(reqs)
+		return err
+	}
+
+	go func() {
+		<-slave.Done()
+		close(reqs)
+	}()
+	for r := range reqs {
+		r.resp <- p.monitor(r)
+	}
+	_, fault := slave.Wait()
+	return fault
+}
+
+// taskStream adapts a raw task fd (outside any sthread) to io.ReadWriter.
+type taskStream struct {
+	t  *kernel.Task
+	fd int
+}
+
+func (f taskStream) Read(p []byte) (int, error)  { return f.t.ReadFD(f.fd, p) }
+func (f taskStream) Write(p []byte) (int, error) { return f.t.WriteFD(f.fd, p) }
+
+// slaveBody is the unprivileged, network-facing half.
+func slaveBody(t *kernel.Task, fd int, cfg ServerConfig, query func(monReq) monResp, stats *PrivsepStats) {
+	stream := taskStream{t, fd}
+
+	if err := WriteFrame(stream, MsgVersion, []byte(Version)); err != nil {
+		return
+	}
+	if err := WriteFrame(stream, MsgHostKey, minissl.MarshalPublicKey(&cfg.HostKey.PublicKey)); err != nil {
+		return
+	}
+	nonce, err := ExpectFrame(stream, MsgSignReq)
+	if err != nil {
+		return
+	}
+	resp := query(monReq{op: "sign", nonce: nonce})
+	if resp.sig == nil {
+		return
+	}
+	if err := WriteFrame(stream, MsgSignResp, resp.sig); err != nil {
+		return
+	}
+
+	var authed *Passwd
+	for authed == nil {
+		typ, body, err := ReadFrame(stream)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgAuthPass:
+			user, pass, ok := strings.Cut(string(body), "\x00")
+			if !ok {
+				return
+			}
+			// Two-step protocol, as in portable OpenSSH: first getpwnam,
+			// then the password check.
+			pw := query(monReq{op: "getpwnam", user: user}).pw
+			if pw == nil {
+				stats.Fails.Add(1)
+				WriteFrame(stream, MsgAuthFail, []byte("permission denied"))
+				continue
+			}
+			if query(monReq{op: "checkpass", user: user, pass: pass}).ok {
+				authed = pw
+				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", pw.UID)))
+			} else {
+				stats.Fails.Add(1)
+				WriteFrame(stream, MsgAuthFail, []byte("permission denied"))
+			}
+
+		case MsgAuthSKey:
+			user := string(body)
+			ch := query(monReq{op: "skeychal", user: user})
+			if !ch.ok {
+				stats.Fails.Add(1)
+				WriteFrame(stream, MsgAuthFail, []byte("no such user"))
+				continue
+			}
+			chal := []byte{byte(ch.chalN >> 24), byte(ch.chalN >> 16), byte(ch.chalN >> 8), byte(ch.chalN)}
+			WriteFrame(stream, MsgSKeyChal, chal)
+			respBytes, err := ExpectFrame(stream, MsgSKeyReply)
+			if err != nil {
+				return
+			}
+			if query(monReq{op: "skeyverify", user: user, nonce: respBytes}).ok {
+				pw := query(monReq{op: "getpwnam", user: user}).pw
+				if pw != nil {
+					authed = pw
+					WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", pw.UID)))
+					continue
+				}
+			}
+			stats.Fails.Add(1)
+			WriteFrame(stream, MsgAuthFail, []byte("permission denied"))
+
+		case MsgExit:
+			return
+		default:
+			return
+		}
+	}
+	stats.Logins.Add(1)
+
+	// Post-auth: the real OpenSSH re-execs with the user's privileges;
+	// here the slave performs uploads through the monitor-granted uid.
+	fs := t.Kernel().FS
+	for {
+		typ, body, err := ReadFrame(stream)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgScpPut:
+			name := string(body)
+			data, err := ExpectFrame(stream, MsgScpData)
+			if err != nil {
+				return
+			}
+			if strings.ContainsAny(name, "/\x00") {
+				WriteFrame(stream, MsgAuthFail, []byte("bad name"))
+				continue
+			}
+			if err := fs.WriteFile(vfs.Cred{UID: authed.UID}, t.Root, authed.Home+"/"+name, data, 0o644); err != nil {
+				WriteFrame(stream, MsgAuthFail, []byte(err.Error()))
+				continue
+			}
+			WriteFrame(stream, MsgScpOK, nil)
+		case MsgExit:
+			return
+		default:
+			return
+		}
+	}
+}

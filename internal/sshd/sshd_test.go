@@ -1,0 +1,633 @@
+package sshd
+
+import (
+	"crypto/rsa"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+	"wedge/internal/vfs"
+	"wedge/internal/vm"
+)
+
+var (
+	hostKeyOnce sync.Once
+	hostKey     *rsa.PrivateKey
+	userKeyOnce sync.Once
+	userKey     *rsa.PrivateKey
+)
+
+func testHostKey(t testing.TB) *rsa.PrivateKey {
+	t.Helper()
+	hostKeyOnce.Do(func() {
+		k, err := minissl.GenerateServerKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostKey = k
+	})
+	return hostKey
+}
+
+func testUserKey(t testing.TB) *rsa.PrivateKey {
+	t.Helper()
+	userKeyOnce.Do(func() {
+		k, err := GenerateUserKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		userKey = k
+	})
+	return userKey
+}
+
+var testSeed = []byte("alice-skey-seed")
+
+func testUsers(t testing.TB) []User {
+	return []User{
+		{Name: "alice", Password: "sesame", UID: 1000, PubKey: &testUserKey(t).PublicKey,
+			SKeySeed: testSeed, SKeyN: 99},
+		{Name: "bob", Password: "hunter2", UID: 1001},
+	}
+}
+
+// runServer boots a system with the given variant ("mono", "privsep",
+// "wedge"), serves nConns connections, and hands the test a dial helper.
+func runServer(t *testing.T, variant string, nConns int, monoHooks MonoHooks,
+	psHooks PrivsepHooks, wHooks WedgeHooks, warmPassword string,
+	drive func(dial func() *Client)) {
+	t.Helper()
+	k := kernel.New()
+	if err := SetupUsers(k, testUsers(t)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServerConfig{HostKey: testHostKey(t), Options: "PasswordAuthentication yes"}
+	app := sthread.Boot(k)
+
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			var serve func(*netsim.Conn) error
+			switch variant {
+			case "mono":
+				serve = NewMonolithic(root, cfg, monoHooks).ServeConn
+			case "privsep":
+				srv, err := NewPrivsep(root, cfg, warmPassword, psHooks)
+				if err != nil {
+					t.Error(err)
+					close(ready)
+					return
+				}
+				serve = srv.ServeConn
+			case "wedge":
+				srv, err := NewWedge(root, cfg, wHooks)
+				if err != nil {
+					t.Error(err)
+					close(ready)
+					return
+				}
+				serve = srv.ServeConn
+			}
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			close(ready)
+			for i := 0; i < nConns; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				serve(c)
+			}
+		})
+	}()
+	<-ready
+
+	dial := func() *Client {
+		conn, err := k.Net.Dial("sshd:22")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewClient(conn, &testHostKey(t).PublicKey)
+		if err != nil {
+			t.Fatalf("client setup: %v", err)
+		}
+		return c
+	}
+	drive(dial)
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+func allVariants(t *testing.T, fn func(t *testing.T, variant string)) {
+	for _, v := range []string{"mono", "privsep", "wedge"} {
+		t.Run(v, func(t *testing.T) { fn(t, v) })
+	}
+}
+
+func TestPasswordLoginAndScp(t *testing.T) {
+	allVariants(t, func(t *testing.T, variant string) {
+		runServer(t, variant, 1, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+			c := dial()
+			if err := c.AuthPassword("alice", "sesame"); err != nil {
+				t.Fatalf("login: %v", err)
+			}
+			if c.UID != 1000 {
+				t.Fatalf("uid = %d", c.UID)
+			}
+			payload := []byte("hello from scp")
+			if err := c.ScpPut("notes.txt", payload); err != nil {
+				t.Fatalf("scp: %v", err)
+			}
+			c.Exit()
+		})
+	})
+}
+
+func TestWrongPasswordThenRightPassword(t *testing.T) {
+	allVariants(t, func(t *testing.T, variant string) {
+		runServer(t, variant, 1, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+			c := dial()
+			if err := c.AuthPassword("alice", "wrong"); !errors.Is(err, ErrAuthFailed) {
+				t.Fatalf("wrong password: %v", err)
+			}
+			if err := c.AuthPassword("alice", "sesame"); err != nil {
+				t.Fatalf("right password after failure: %v", err)
+			}
+			c.Exit()
+		})
+	})
+}
+
+func TestPubkeyLogin(t *testing.T) {
+	for _, variant := range []string{"mono", "wedge"} {
+		t.Run(variant, func(t *testing.T) {
+			runServer(t, variant, 1, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+				c := dial()
+				if err := c.AuthPubkey("alice", testUserKey(t)); err != nil {
+					t.Fatalf("pubkey login: %v", err)
+				}
+				c.Exit()
+			})
+		})
+	}
+}
+
+func TestPubkeyWrongKeyFails(t *testing.T) {
+	wrong, err := GenerateUserKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runServer(t, "wedge", 1, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+		c := dial()
+		if err := c.AuthPubkey("alice", wrong); !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("wrong key: %v", err)
+		}
+		c.Exit()
+	})
+}
+
+func TestSKeyLoginStepsChain(t *testing.T) {
+	allVariants(t, func(t *testing.T, variant string) {
+		runServer(t, variant, 2, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+			c := dial()
+			chal, err := c.SKeyChallenge("alice")
+			if err != nil {
+				t.Fatalf("challenge: %v", err)
+			}
+			if chal != 99 {
+				t.Fatalf("challenge n = %d, want 99", chal)
+			}
+			if err := c.SKeyRespond(SKeyChain(testSeed, chal-1)); err != nil {
+				t.Fatalf("respond: %v", err)
+			}
+			c.Exit()
+
+			// Second login: the chain stepped down to 98.
+			c2 := dial()
+			chal2, err := c2.SKeyChallenge("alice")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chal2 != 98 {
+				t.Fatalf("second challenge n = %d, want 98", chal2)
+			}
+			if err := c2.SKeyRespond(SKeyChain(testSeed, chal2-1)); err != nil {
+				t.Fatalf("second respond: %v", err)
+			}
+			c2.Exit()
+		})
+	})
+}
+
+func TestSKeyReplayRejected(t *testing.T) {
+	runServer(t, "wedge", 2, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+		c := dial()
+		chal, err := c.SKeyChallenge("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		otp := SKeyChain(testSeed, chal-1)
+		if err := c.SKeyRespond(otp); err != nil {
+			t.Fatal(err)
+		}
+		c.Exit()
+
+		// Replaying the same OTP must fail: the chain moved on.
+		c2 := dial()
+		if _, err := c2.SKeyChallenge("alice"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c2.SKeyRespond(otp); !errors.Is(err, ErrAuthFailed) {
+			t.Fatalf("replay: %v", err)
+		}
+		c2.Exit()
+	})
+}
+
+// TestSKeyUsernameProbe reproduces the [14] information leak in the
+// baselines and its absence under Wedge: the baselines answer "no such
+// user" for unknown names, while the Wedge S/Key gate issues a dummy
+// challenge indistinguishable in shape from a real one.
+func TestSKeyUsernameProbe(t *testing.T) {
+	for _, tc := range []struct {
+		variant string
+		leaks   bool
+	}{
+		{"mono", true},
+		{"privsep", true},
+		{"wedge", false},
+	} {
+		t.Run(tc.variant, func(t *testing.T) {
+			runServer(t, tc.variant, 1, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+				c := dial()
+				_, err := c.SKeyChallenge("nonexistent-user")
+				if tc.leaks {
+					if err == nil {
+						t.Fatal("expected the existence leak in the baseline")
+					}
+					if !strings.Contains(err.Error(), "no such user") {
+						t.Fatalf("leak error = %v", err)
+					}
+				} else {
+					if err != nil {
+						t.Fatalf("wedge variant leaked user existence: %v", err)
+					}
+					// The dummy challenge still leads to auth failure.
+					if err := c.SKeyRespond([]byte("anything")); !errors.Is(err, ErrAuthFailed) {
+						t.Fatalf("dummy challenge verdict: %v", err)
+					}
+				}
+				c.Exit()
+			})
+		})
+	}
+}
+
+// TestPrivsepMonitorUsernameProbe shows the first §5.2 lesson from the
+// exploit's point of view: code injected into the privsep slave can ask
+// the monitor getpwnam and distinguish valid from invalid usernames.
+func TestPrivsepMonitorUsernameProbe(t *testing.T) {
+	probe := make(chan [2]bool, 1)
+	hooks := PrivsepHooks{Slave: func(_ *kernel.Task, query func(monReq) monResp, _ vm.Addr, _ int) {
+		alice := query(monReq{op: "getpwnam", user: "alice"}).pw != nil
+		nobody := query(monReq{op: "getpwnam", user: "nobody-here"}).pw != nil
+		probe <- [2]bool{alice, nobody}
+	}}
+	runServer(t, "privsep", 1, MonoHooks{}, hooks, WedgeHooks{}, "", func(dial func() *Client) {
+		c := dial()
+		c.AuthPassword("alice", "sesame")
+		c.Exit()
+	})
+	got := <-probe
+	if !got[0] || got[1] {
+		t.Fatalf("probe results = %v, want [true false]", got)
+	}
+	// The leak: the two answers differ, so usernames are enumerable.
+	if got[0] == got[1] {
+		t.Fatal("no distinguishable answers; test broken")
+	}
+}
+
+// TestWedgePasswordGateDummyPasswd shows the fix: the worker-visible reply
+// for an unknown user has the same shape as for a known one.
+func TestWedgePasswordGateDummyPasswd(t *testing.T) {
+	type reply struct {
+		found uint64
+		okLen bool
+	}
+	replies := make(chan reply, 2)
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		// The "exploit" invokes the password gate directly for a known
+		// and an unknown user, comparing the reply shapes.
+		for _, user := range []string{"alice", "definitely-not-a-user"} {
+			payload := user + "\x00guess"
+			s.Store64(ctx.ArgAddr+sshArgOp, sshOpPassword)
+			s.Store64(ctx.ArgAddr+sshArgStrLen, uint64(len(payload)))
+			s.Write(ctx.ArgAddr+sshArgStr, []byte(payload))
+			if ret, err := s.CallGate(ctx.Gates["auth_password"], nil, ctx.ArgAddr); err != nil || ret != 1 {
+				replies <- reply{}
+				continue
+			}
+			home := s.ReadString(ctx.ArgAddr+sshArgPwHome, 64)
+			replies <- reply{
+				found: s.Load64(ctx.ArgAddr + sshArgPwFound),
+				okLen: len(home) > 0,
+			}
+		}
+	}}
+	runServer(t, "wedge", 1, MonoHooks{}, PrivsepHooks{}, hooks, "", func(dial func() *Client) {
+		c := dial()
+		c.AuthPassword("alice", "sesame")
+		c.Exit()
+	})
+	known := <-replies
+	unknown := <-replies
+	if known.found != 1 || unknown.found != 1 {
+		t.Fatalf("found flags: known=%d unknown=%d; both must be 1 (dummy passwd)", known.found, unknown.found)
+	}
+	if !known.okLen || !unknown.okLen {
+		t.Fatal("home strings must be populated in both replies")
+	}
+}
+
+// TestPAMScratchLeak reproduces the second §5.2 lesson. In the monolithic
+// server the PAM scratch (holding the cleartext password) is readable by
+// later exploit code in the same compartment. In the privsep server, the
+// pre-fork residue is inherited by the slave. Under Wedge the scratch
+// lives and dies inside the callgate.
+func TestPAMScratchLeakMonolithic(t *testing.T) {
+	leaked := make(chan string, 1)
+	hooks := MonoHooks{PostAuth: func(s *sthread.Sthread, scratch vm.Addr, n int) {
+		if scratch == 0 {
+			leaked <- ""
+			return
+		}
+		leaked <- s.ReadString(scratch, n)
+	}}
+	runServer(t, "mono", 1, hooks, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+		c := dial()
+		c.AuthPassword("alice", "sesame")
+		c.Exit()
+	})
+	if got := <-leaked; got != "sesame" {
+		t.Fatalf("monolithic PAM scratch read %q, want the cleartext password", got)
+	}
+}
+
+func TestPAMScratchLeakPrivsep(t *testing.T) {
+	leaked := make(chan string, 1)
+	hooks := PrivsepHooks{Slave: func(tk *kernel.Task, _ func(monReq) monResp, residue vm.Addr, n int) {
+		buf := make([]byte, n)
+		if err := tk.AS.Read(residue, buf); err != nil {
+			leaked <- "FAULT"
+			return
+		}
+		leaked <- string(buf)
+	}}
+	runServer(t, "privsep", 1, MonoHooks{}, hooks, WedgeHooks{}, "cached-password", func(dial func() *Client) {
+		c := dial()
+		c.AuthPassword("alice", "sesame")
+		c.Exit()
+	})
+	if got := <-leaked; got != "cached-password" {
+		t.Fatalf("slave read %q, want the fork-inherited PAM residue", got)
+	}
+}
+
+// TestWedgeWorkerCannotReadHostKey: the headline goal of §5.2.
+func TestWedgeWorkerCannotReadHostKey(t *testing.T) {
+	probed := make(chan error, 1)
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		probed <- s.TryRead(ctx.HostKeyAddr, make([]byte, 16))
+	}}
+	runServer(t, "wedge", 1, MonoHooks{}, PrivsepHooks{}, hooks, "", func(dial func() *Client) {
+		c := dial()
+		c.AuthPassword("alice", "sesame")
+		c.Exit()
+	})
+	if err := <-probed; err == nil {
+		t.Fatal("worker read the host private key")
+	}
+}
+
+// TestWedgeAuthUnbypassable: an exploited worker that skips the auth gates
+// remains uid 99 and chrooted to /var/empty; it cannot write into a user's
+// home by any direct means.
+func TestWedgeAuthUnbypassable(t *testing.T) {
+	result := make(chan error, 1)
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		if s.Task.UID != WorkerUID {
+			result <- errors.New("worker not unprivileged")
+			return
+		}
+		// Try to write into alice's home without authenticating. The
+		// chroot means the path does not even resolve; and uid 99 owns
+		// nothing.
+		fs := s.Task.Kernel().FS
+		err := fs.WriteFile(s.Task.Cred(), s.Task.Root, "/home/alice/owned", []byte("x"), 0o644)
+		if err == nil {
+			result <- errors.New("unauthenticated write succeeded")
+			return
+		}
+		// And uid cannot be self-upgraded.
+		if err := s.Task.SetUID(0); err == nil {
+			result <- errors.New("worker set uid 0")
+			return
+		}
+		result <- nil
+	}}
+	runServer(t, "wedge", 1, MonoHooks{}, PrivsepHooks{}, hooks, "", func(dial func() *Client) {
+		c := dial()
+		c.AuthPassword("alice", "sesame")
+		c.Exit()
+	})
+	if err := <-result; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWedgeScpWritesAsUser: after authentication the worker writes files
+// owned by the authenticated uid inside the (chrooted) home.
+func TestWedgeScpWritesAsUser(t *testing.T) {
+	k := kernel.New()
+	if err := SetupUsers(k, testUsers(t)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServerConfig{HostKey: testHostKey(t)}
+	app := sthread.Boot(k)
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := NewWedge(root, cfg, WedgeHooks{})
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			close(ready)
+			c, _ := l.Accept()
+			srv.ServeConn(c)
+		})
+	}()
+	<-ready
+	conn, _ := k.Net.Dial("sshd:22")
+	c, err := NewClient(conn, &testHostKey(t).PublicKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AuthPassword("alice", "sesame"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScpPut("upload.bin", []byte("data!")); err != nil {
+		t.Fatal(err)
+	}
+	c.Exit()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.FS.StatPath(vfs.Cred{UID: 0}, k.FS.Root(), "/home/alice/upload.bin"); err != nil {
+		t.Fatalf("uploaded file missing: %v", err)
+	}
+}
+
+func TestHostKeyMismatchDetected(t *testing.T) {
+	other, err := minissl.GenerateServerKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New()
+	if err := SetupUsers(k, testUsers(t)); err != nil {
+		t.Fatal(err)
+	}
+	app := sthread.Boot(k)
+	ready := make(chan struct{})
+	go func() {
+		app.Main(func(root *sthread.Sthread) {
+			srv := NewMonolithic(root, ServerConfig{HostKey: testHostKey(t)}, MonoHooks{})
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			close(ready)
+			c, _ := l.Accept()
+			srv.ServeConn(c)
+		})
+	}()
+	<-ready
+	conn, err := k.Net.Dial("sshd:22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClient(conn, &other.PublicKey); err == nil {
+		t.Fatal("client accepted mismatched host key")
+	}
+	conn.Close()
+}
+
+func TestShadowRoundTrip(t *testing.T) {
+	entries := []ShadowEntry{
+		{Name: "a", Salt: "s", Hash: HashPassword("s", "pw"), UID: 1, Home: "/home/a"},
+		{Name: "b", Salt: "t", Hash: HashPassword("t", "pw2"), UID: 2, Home: "/home/b"},
+	}
+	parsed, err := ParseShadow(FormatShadow(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 2 || parsed[0] != entries[0] || parsed[1] != entries[1] {
+		t.Fatalf("roundtrip mismatch: %+v", parsed)
+	}
+	if _, err := ParseShadow([]byte("malformed line")); err == nil {
+		t.Fatal("malformed shadow accepted")
+	}
+}
+
+func TestSKeyChainProperties(t *testing.T) {
+	seed := []byte("seed")
+	e := SKeyEntry{Name: "u", N: 10, Last: SKeyChain(seed, 10)}
+	// Correct response: hash^9(seed).
+	if !VerifySKey(&e, SKeyChain(seed, 9)) {
+		t.Fatal("valid response rejected")
+	}
+	if e.N != 9 {
+		t.Fatalf("chain position = %d", e.N)
+	}
+	// Wrong response rejected, state unchanged.
+	if VerifySKey(&e, []byte("wrong")) {
+		t.Fatal("garbage accepted")
+	}
+	if e.N != 9 {
+		t.Fatal("failed verify mutated state")
+	}
+	// Chain exhaustion.
+	e.N = 1
+	if VerifySKey(&e, SKeyChain(seed, 0)) {
+		t.Fatal("exhausted chain accepted")
+	}
+}
+
+func TestSKeyDBRoundTrip(t *testing.T) {
+	entries := []SKeyEntry{{Name: "a", N: 50, Last: SKeyHash([]byte("x"))}}
+	parsed, err := ParseSKey(FormatSKey(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 1 || parsed[0].Name != "a" || parsed[0].N != 50 ||
+		string(parsed[0].Last) != string(entries[0].Last) {
+		t.Fatalf("roundtrip mismatch: %+v", parsed)
+	}
+}
+
+func TestSignHashIsHashBound(t *testing.T) {
+	key := testHostKey(t)
+	data := []byte("stream of data to be signed")
+	sig, err := SignHash(key, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHash(&key.PublicKey, data, sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyHash(&key.PublicKey, []byte("other data"), sig); err == nil {
+		t.Fatal("signature verified for different data")
+	}
+}
+
+// TestAuthSKeyHelper: the one-call client helper performs the whole
+// challenge-response exchange.
+func TestAuthSKeyHelper(t *testing.T) {
+	runServer(t, "wedge", 2, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+		c := dial()
+		if err := c.AuthSKey("alice", testSeed); err != nil {
+			t.Fatalf("AuthSKey: %v", err)
+		}
+		c.Exit()
+
+		// The wrong seed computes a response off the chain and fails.
+		c2 := dial()
+		if err := c2.AuthSKey("alice", []byte("wrong seed")); err == nil {
+			t.Fatal("AuthSKey with the wrong seed succeeded")
+		}
+		c2.Exit()
+	})
+}

@@ -1,0 +1,562 @@
+// The Wedge partitioning of OpenSSH (Figure 6, §5.2).
+//
+// Per connection, the master spawns one worker sthread that:
+//   - runs as an unprivileged uid with its filesystem root set to an
+//     empty directory;
+//   - holds read access to the server's public key and configuration
+//     options, and read-write access to the connection descriptor;
+//   - can reach the host private key only through the sign callgate,
+//     which signs a hash it computes itself (no signing/decryption
+//     oracle);
+//   - can reach the user database only through the three authentication
+//     callgates (password, public-key, S/Key), each of which reads
+//     /etc/shadow or the S/Key database directly from disk with the
+//     *creator's* filesystem root, and, on success, changes the worker's
+//     uid and filesystem root — the only way the worker ever becomes a
+//     logged-in user.
+//
+// Both of the paper's lessons are implemented: the password callgate
+// returns a dummy passwd structure for unknown usernames (no probe
+// oracle), and PAM-style scratch allocations happen inside the callgate's
+// private memory, which evaporates with the gate (no fork inheritance).
+
+package sshd
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// WorkerUID is the unprivileged uid workers start as.
+const WorkerUID = 99
+
+// Argument-buffer offsets for the auth gates (in the per-connection tag).
+const (
+	sshArgOp      = 0 // 1=password 2=pubkey 3=skey-chal 4=skey-verify 5=sign
+	sshArgStrLen  = 8
+	sshArgStr     = 16  // user\x00pass, or user, or data to sign
+	sshArgSigLen  = 528 // gate output: signature length
+	sshArgSig     = 536 // gate output: signature bytes
+	sshArgPwFound = 800 // gate output: passwd struct (dummy on unknown user)
+	sshArgPwUID   = 808
+	sshArgPwHome  = 816 // NUL-terminated, <= 64 bytes
+	sshArgAuthOK  = 896 // gate output: authentication verdict
+	sshArgChalN   = 904 // gate output: S/Key challenge
+	sshArgSize    = 1024
+
+	sshOpPassword   = 1
+	sshOpPubkey     = 2
+	sshOpSKeyChal   = 3
+	sshOpSKeyVerify = 4
+	sshOpSign       = 5
+)
+
+// WedgeStats counts Wedge-variant activity.
+type WedgeStats struct {
+	Logins    atomic.Uint64
+	Fails     atomic.Uint64
+	GateCalls atomic.Uint64
+	Workers   atomic.Uint64
+}
+
+// WedgeHooks injects exploit code into the worker compartment.
+type WedgeHooks struct {
+	// Worker runs inside the worker sthread before the protocol starts.
+	Worker func(s *sthread.Sthread, ctx *WedgeConnContext)
+}
+
+// WedgeConnContext is the compartment knowledge an injected exploit has.
+type WedgeConnContext struct {
+	FD          int
+	HostKeyAddr vm.Addr // tagged; not granted to the worker
+	ArgAddr     vm.Addr
+	Gates       map[string]*policy.GateSpec
+}
+
+// Wedge is the Figure 6 server.
+type Wedge struct {
+	Stats WedgeStats
+
+	root *sthread.Sthread
+	cfg  ServerConfig
+
+	hostTag  tags.Tag
+	hostAddr vm.Addr
+	pubTag   tags.Tag
+	pubAddr  vm.Addr
+	optTag   tags.Tag
+	optAddr  vm.Addr
+
+	hooks WedgeHooks
+}
+
+// NewWedge builds the partitioned server: host key, public key, and
+// options each land in their own tag.
+func NewWedge(root *sthread.Sthread, cfg ServerConfig, hooks WedgeHooks) (*Wedge, error) {
+	w := &Wedge{root: root, cfg: cfg, hooks: hooks}
+	place := func(blob []byte) (tags.Tag, vm.Addr, error) {
+		tag, err := root.App().Tags.TagNew(root.Task)
+		if err != nil {
+			return 0, 0, err
+		}
+		addr, err := root.Smalloc(tag, 8+len(blob))
+		if err != nil {
+			return 0, 0, err
+		}
+		root.Store64(addr, uint64(len(blob)))
+		root.Write(addr+8, blob)
+		return tag, addr, nil
+	}
+	var err error
+	if w.hostTag, w.hostAddr, err = place(minissl.MarshalPrivateKey(cfg.HostKey)); err != nil {
+		return nil, err
+	}
+	if w.pubTag, w.pubAddr, err = place(minissl.MarshalPublicKey(&cfg.HostKey.PublicKey)); err != nil {
+		return nil, err
+	}
+	if w.optTag, w.optAddr, err = place([]byte(cfg.Options)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func loadBlob(s *sthread.Sthread, addr vm.Addr) []byte {
+	n := s.Load64(addr)
+	out := make([]byte, n)
+	s.Read(addr+8, out)
+	return out
+}
+
+// signGate signs sha256(data) with the host key. The hash is computed by
+// the gate over the caller-supplied bytes; only the hash is signed.
+func (w *Wedge) signGate(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	priv, err := minissl.UnmarshalPrivateKey(loadBlob(g, trusted))
+	if err != nil {
+		return 0
+	}
+	n := g.Load64(arg + sshArgStrLen)
+	if n == 0 || n > 256 {
+		return 0
+	}
+	data := make([]byte, n)
+	g.Read(arg+sshArgStr, data)
+	sig, err := SignHash(priv, data)
+	if err != nil {
+		return 0
+	}
+	g.Store64(arg+sshArgSigLen, uint64(len(sig)))
+	g.Write(arg+sshArgSig, sig)
+	return 1
+}
+
+// promote changes the worker's uid and filesystem root from inside a gate
+// (creator credentials: uid 0, true root) — the Privtrans idiom the paper
+// adopts. The worker has no other path to privilege.
+func promote(g *sthread.Sthread, worker *sthread.Sthread, uid int, home string) bool {
+	if err := g.Task.ChrootOn(worker.Task, home); err != nil {
+		return false
+	}
+	if err := g.Task.SetUIDOn(worker.Task, uid); err != nil {
+		return false
+	}
+	return true
+}
+
+// passwordGate authenticates a username/password pair against /etc/shadow
+// (read with the gate's disk credentials) and, on success, promotes the
+// worker. For unknown usernames it fabricates a dummy passwd structure so
+// the worker-visible reply shape is identical (§5.2's first lesson).
+func (w *Wedge) passwordGate(worker **sthread.Sthread) sthread.GateFunc {
+	stats := &w.Stats
+	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+		n := g.Load64(arg + sshArgStrLen)
+		if n == 0 || n > 512 {
+			return 0
+		}
+		buf := make([]byte, n)
+		g.Read(arg+sshArgStr, buf)
+		user, pass, ok := strings.Cut(string(buf), "\x00")
+		if !ok {
+			return 0
+		}
+		entries, err := readShadow(g)
+		if err != nil {
+			return 0
+		}
+		entry, found := LookupShadow(entries, user)
+		if !found {
+			// Dummy passwd: same shape, nothing learnable.
+			g.Store64(arg+sshArgPwFound, 1)
+			g.Store64(arg+sshArgPwUID, uint64(WorkerUID))
+			g.WriteString(arg+sshArgPwHome, "/nonexistent")
+			g.Store64(arg+sshArgAuthOK, 0)
+			return 1
+		}
+		g.Store64(arg+sshArgPwFound, 1)
+		g.Store64(arg+sshArgPwUID, uint64(entry.UID))
+		g.WriteString(arg+sshArgPwHome, entry.Home)
+
+		// The PAM-style scratch lives in the gate's private heap and
+		// dies with the gate: the §5.2 second lesson.
+		passOK, _, _ := pamCheck(g, entry, pass)
+		if passOK && promote(g, *worker, entry.UID, entry.Home) {
+			g.Store64(arg+sshArgAuthOK, 1)
+			stats.Logins.Add(1)
+		} else {
+			g.Store64(arg+sshArgAuthOK, 0)
+			stats.Fails.Add(1)
+		}
+		return 1
+	}
+}
+
+// pubkeyGate verifies a signature over the session nonce against the
+// user's authorized key and promotes on success.
+func (w *Wedge) pubkeyGate(worker **sthread.Sthread, nonce *[]byte) sthread.GateFunc {
+	stats := &w.Stats
+	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+		n := g.Load64(arg + sshArgStrLen)
+		if n == 0 || n > 512 {
+			return 0
+		}
+		buf := make([]byte, n)
+		g.Read(arg+sshArgStr, buf)
+		user, sig, ok := strings.Cut(string(buf), "\x00")
+		if !ok {
+			return 0
+		}
+		g.Store64(arg+sshArgAuthOK, 0)
+		entries, err := readShadow(g)
+		if err != nil {
+			return 1
+		}
+		entry, found := LookupShadow(entries, user)
+		if !found {
+			stats.Fails.Add(1)
+			return 1
+		}
+		keyData, err := g.Task.Kernel().FS.ReadFile(g.Task.Cred(), g.Task.Root,
+			entry.Home+"/.ssh/authorized_keys")
+		if err != nil {
+			stats.Fails.Add(1)
+			return 1
+		}
+		pub, err := minissl.UnmarshalPublicKey(keyData)
+		if err != nil {
+			stats.Fails.Add(1)
+			return 1
+		}
+		if VerifyHash(pub, append([]byte("pubkey:"+user+":"), *nonce...), []byte(sig)) != nil {
+			stats.Fails.Add(1)
+			return 1
+		}
+		if promote(g, *worker, entry.UID, entry.Home) {
+			g.Store64(arg+sshArgAuthOK, 1)
+			stats.Logins.Add(1)
+		}
+		return 1
+	}
+}
+
+// skeyGate serves S/Key challenges and verifications. Unknown usernames
+// receive a deterministic dummy challenge rather than an error — fixing
+// the information leak of [14] with the same mechanism as the password
+// gate's dummy passwd.
+func (w *Wedge) skeyGate(worker **sthread.Sthread, pending *string) sthread.GateFunc {
+	stats := &w.Stats
+	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+		switch g.Load64(arg + sshArgOp) {
+		case sshOpSKeyChal:
+			n := g.Load64(arg + sshArgStrLen)
+			if n == 0 || n > 128 {
+				return 0
+			}
+			buf := make([]byte, n)
+			g.Read(arg+sshArgStr, buf)
+			user := string(buf)
+			db, err := readSKeyDB(g)
+			if err != nil {
+				return 0
+			}
+			for i := range db {
+				if db[i].Name == user {
+					*pending = user
+					g.Store64(arg+sshArgChalN, uint64(db[i].N))
+					return 1
+				}
+			}
+			// Dummy challenge: plausible chain position derived from the
+			// username so repeated probes are consistent.
+			*pending = ""
+			g.Store64(arg+sshArgChalN, uint64(50+len(user)%50))
+			return 1
+
+		case sshOpSKeyVerify:
+			g.Store64(arg+sshArgAuthOK, 0)
+			user := *pending
+			if user == "" {
+				stats.Fails.Add(1)
+				return 1 // dummy-challenged: always fails, same shape
+			}
+			n := g.Load64(arg + sshArgStrLen)
+			if n == 0 || n > 128 {
+				return 0
+			}
+			resp := make([]byte, n)
+			g.Read(arg+sshArgStr, resp)
+			db, err := readSKeyDB(g)
+			if err != nil {
+				return 1
+			}
+			for i := range db {
+				if db[i].Name == user {
+					if VerifySKey(&db[i], resp) {
+						writeSKeyDB(g, db)
+						entries, _ := readShadow(g)
+						if entry, found := LookupShadow(entries, user); found &&
+							promote(g, *worker, entry.UID, entry.Home) {
+							g.Store64(arg+sshArgPwUID, uint64(entry.UID))
+							g.WriteString(arg+sshArgPwHome, entry.Home)
+							g.Store64(arg+sshArgAuthOK, 1)
+							stats.Logins.Add(1)
+							return 1
+						}
+					}
+					stats.Fails.Add(1)
+					return 1
+				}
+			}
+			stats.Fails.Add(1)
+			return 1
+		}
+		return 0
+	}
+}
+
+// ServeConn spawns the per-connection worker (Figure 6) and blocks until
+// it exits.
+func (w *Wedge) ServeConn(conn *netsim.Conn) error {
+	root := w.root
+	fd := root.Task.InstallFD(conn, kernel.FDRW)
+	defer root.Task.CloseFD(fd)
+
+	connTag, err := root.App().Tags.TagNew(root.Task)
+	if err != nil {
+		return err
+	}
+	defer root.App().Tags.TagDelete(connTag)
+	argBuf, err := root.Smalloc(connTag, sshArgSize)
+	if err != nil {
+		return err
+	}
+
+	var workerRef *sthread.Sthread
+	var nonce []byte
+	var pendingSKey string
+
+	diskSC := func() *policy.SC { return policy.New().MustMemAdd(connTag, vm.PermRW) }
+	signSC := policy.New().
+		MustMemAdd(w.hostTag, vm.PermRead).
+		MustMemAdd(connTag, vm.PermRW)
+
+	workerSC := policy.New().
+		MustMemAdd(connTag, vm.PermRW).
+		MustMemAdd(w.pubTag, vm.PermRead).
+		MustMemAdd(w.optTag, vm.PermRead).
+		FDAdd(fd, kernel.FDRW).
+		SetUID(WorkerUID).
+		SetRoot("/var/empty")
+	workerSC.GateAdd(sthread.GateFunc(w.signGate), signSC, w.hostAddr, "sign")
+	workerSC.GateAdd(w.passwordGate(&workerRef), diskSC(), 0, "auth_password")
+	workerSC.GateAdd(w.pubkeyGate(&workerRef, &nonce), diskSC(), 0, "auth_pubkey")
+	workerSC.GateAdd(w.skeyGate(&workerRef, &pendingSKey), diskSC(), 0, "auth_skey")
+	signSpec := workerSC.Gates[0]
+	passSpec := workerSC.Gates[1]
+	pubSpec := workerSC.Gates[2]
+	skeySpec := workerSC.Gates[3]
+
+	worker, err := root.CreateNamed("ssh-worker", workerSC, func(s *sthread.Sthread, arg vm.Addr) vm.Addr {
+		if w.hooks.Worker != nil {
+			w.hooks.Worker(s, &WedgeConnContext{
+				FD:          fd,
+				HostKeyAddr: w.hostAddr,
+				ArgAddr:     arg,
+				Gates: map[string]*policy.GateSpec{
+					"sign":          signSpec,
+					"auth_password": passSpec,
+					"auth_pubkey":   pubSpec,
+					"auth_skey":     skeySpec,
+				},
+			})
+		}
+		return w.workerBody(s, fd, arg, &nonce, signSpec, passSpec, pubSpec, skeySpec)
+	}, argBuf)
+	if err != nil {
+		return err
+	}
+	workerRef = worker
+	w.Stats.Workers.Add(1)
+	_, fault := root.Join(worker)
+	return fault
+}
+
+// workerBody is the unprivileged network-facing code of Figure 6.
+func (w *Wedge) workerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
+	signSpec, passSpec, pubSpec, skeySpec *policy.GateSpec) vm.Addr {
+	stream := fdStream{s, fd}
+
+	// The banner and host public key come from memory the worker may
+	// read (§5.2: "the worker needs access to the public key in order to
+	// reveal its identity to the client" and to the options for version
+	// strings).
+	if err := WriteFrame(stream, MsgVersion, []byte(Version)); err != nil {
+		return 0
+	}
+	if err := WriteFrame(stream, MsgHostKey, loadBlob(s, w.pubAddr)); err != nil {
+		return 0
+	}
+	clientNonce, err := ExpectFrame(stream, MsgSignReq)
+	if err != nil {
+		return 0
+	}
+	*noncePtr = clientNonce
+
+	// Host authentication through the sign gate.
+	s.Store64(arg+sshArgOp, sshOpSign)
+	s.Store64(arg+sshArgStrLen, uint64(len(clientNonce)))
+	s.Write(arg+sshArgStr, clientNonce)
+	w.Stats.GateCalls.Add(1)
+	if ret, err := s.CallGate(signSpec, nil, arg); err != nil || ret != 1 {
+		return 0
+	}
+	sigLen := s.Load64(arg + sshArgSigLen)
+	if sigLen == 0 || sigLen > 256 {
+		return 0
+	}
+	sig := make([]byte, sigLen)
+	s.Read(arg+sshArgSig, sig)
+	if err := WriteFrame(stream, MsgSignResp, sig); err != nil {
+		return 0
+	}
+
+	// Authentication loop: each attempt is one or two gate calls. The
+	// worker learns only the verdict; promotion happens behind its back.
+	authed := false
+	var uid int
+	for !authed {
+		typ, body, err := ReadFrame(stream)
+		if err != nil {
+			return 0
+		}
+		switch typ {
+		case MsgAuthPass:
+			s.Store64(arg+sshArgOp, sshOpPassword)
+			s.Store64(arg+sshArgStrLen, uint64(len(body)))
+			s.Write(arg+sshArgStr, body)
+			w.Stats.GateCalls.Add(1)
+			if ret, err := s.CallGate(passSpec, nil, arg); err != nil || ret != 1 {
+				return 0
+			}
+			if s.Load64(arg+sshArgAuthOK) == 1 {
+				authed = true
+				uid = int(s.Load64(arg + sshArgPwUID))
+				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", uid)))
+			} else {
+				WriteFrame(stream, MsgAuthFail, []byte("permission denied"))
+			}
+
+		case MsgAuthPub:
+			s.Store64(arg+sshArgOp, sshOpPubkey)
+			s.Store64(arg+sshArgStrLen, uint64(len(body)))
+			s.Write(arg+sshArgStr, body)
+			w.Stats.GateCalls.Add(1)
+			if ret, err := s.CallGate(pubSpec, nil, arg); err != nil || ret != 1 {
+				return 0
+			}
+			if s.Load64(arg+sshArgAuthOK) == 1 {
+				authed = true
+				uid = s.Task.UID
+				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", uid)))
+			} else {
+				WriteFrame(stream, MsgAuthFail, []byte("permission denied"))
+			}
+
+		case MsgAuthSKey:
+			s.Store64(arg+sshArgOp, sshOpSKeyChal)
+			s.Store64(arg+sshArgStrLen, uint64(len(body)))
+			s.Write(arg+sshArgStr, body)
+			w.Stats.GateCalls.Add(1)
+			if ret, err := s.CallGate(skeySpec, nil, arg); err != nil || ret != 1 {
+				return 0
+			}
+			n := s.Load64(arg + sshArgChalN)
+			chal := []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+			WriteFrame(stream, MsgSKeyChal, chal)
+			resp, err := ExpectFrame(stream, MsgSKeyReply)
+			if err != nil {
+				return 0
+			}
+			s.Store64(arg+sshArgOp, sshOpSKeyVerify)
+			s.Store64(arg+sshArgStrLen, uint64(len(resp)))
+			s.Write(arg+sshArgStr, resp)
+			w.Stats.GateCalls.Add(1)
+			if ret, err := s.CallGate(skeySpec, nil, arg); err != nil || ret != 1 {
+				return 0
+			}
+			if s.Load64(arg+sshArgAuthOK) == 1 {
+				authed = true
+				uid = s.Task.UID
+				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", uid)))
+			} else {
+				WriteFrame(stream, MsgAuthFail, []byte("permission denied"))
+			}
+
+		case MsgExit:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	// Post-auth session: the worker now runs as the user, chrooted to the
+	// user's home by the gate. Uploads land relative to that root with
+	// the promoted uid — no ambient authority involved.
+	_ = uid
+	fs := s.Task.Kernel().FS
+	for {
+		typ, body, err := ReadFrame(stream)
+		if err != nil {
+			return 0
+		}
+		switch typ {
+		case MsgScpPut:
+			name := string(body)
+			data, err := ExpectFrame(stream, MsgScpData)
+			if err != nil {
+				return 0
+			}
+			if strings.ContainsAny(name, "/\x00") {
+				WriteFrame(stream, MsgAuthFail, []byte("bad name"))
+				continue
+			}
+			if err := fs.WriteFile(s.Task.Cred(), s.Task.Root, "/"+name, data, 0o644); err != nil {
+				WriteFrame(stream, MsgAuthFail, []byte(err.Error()))
+				continue
+			}
+			WriteFrame(stream, MsgScpOK, nil)
+		case MsgExit:
+			return 1
+		default:
+			return 0
+		}
+	}
+}

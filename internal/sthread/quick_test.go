@@ -1,0 +1,209 @@
+// Property-based tests over the sthread layer's privilege monotonicity:
+// no chain of sthread creations can widen access to a tag beyond what the
+// chain's narrowest policy granted (§3.1: "an sthread can only create a
+// child sthread with equal or lesser privileges than its own").
+
+package sthread
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wedge/internal/policy"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// permLadder orders grants by strength for the derivation walk.
+var permLadder = []vm.Perm{0, vm.PermRead, vm.PermRead | vm.PermCOW, vm.PermRW}
+
+// weaker returns a random permission no stronger than p.
+func weaker(rng *rand.Rand, p vm.Perm) vm.Perm {
+	var candidates []vm.Perm
+	for _, c := range permLadder {
+		switch c {
+		case 0:
+			candidates = append(candidates, c)
+		case vm.PermRead:
+			if p.CanRead() {
+				candidates = append(candidates, c)
+			}
+		case vm.PermRead | vm.PermCOW:
+			if p.CanRead() {
+				candidates = append(candidates, c)
+			}
+		case vm.PermRW:
+			if p == vm.PermRW {
+				candidates = append(candidates, c)
+			}
+		}
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// TestCreationChainMonotonicProperty: derive a random chain of policies,
+// each a random weakening of its parent, create the sthreads, and verify
+// at the leaf that actual access matches the leaf policy exactly — a tag
+// dropped or weakened anywhere up the chain can never come back.
+func TestCreationChainMonotonicProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ok := true
+		boot(t, func(root *Sthread) {
+			const nTags = 3
+			tagList := make([]tags.Tag, nTags)
+			bufs := make([]vm.Addr, nTags)
+			for i := range tagList {
+				tg, err := root.App().Tags.TagNew(root.Task)
+				if err != nil {
+					ok = false
+					return
+				}
+				tagList[i] = tg
+				b, err := root.Smalloc(tg, 16)
+				if err != nil {
+					ok = false
+					return
+				}
+				root.Store64(b, 0xF00D)
+				bufs[i] = b
+			}
+
+			// Walk a chain of 1-3 derivations, weakening at random.
+			depth := 1 + rng.Intn(3)
+			perms := make([]vm.Perm, nTags)
+			for i := range perms {
+				perms[i] = permLadder[rng.Intn(len(permLadder))]
+			}
+			cur := root
+			for d := 0; d < depth; d++ {
+				if d > 0 {
+					for i := range perms {
+						perms[i] = weaker(rng, perms[i])
+					}
+				}
+				sc := policy.New()
+				for i, p := range perms {
+					if p != 0 {
+						if err := sc.MemAdd(tagList[i], p); err != nil {
+							ok = false
+							return
+						}
+					}
+				}
+				// The leaf checks every tag against the leaf policy.
+				if d == depth-1 {
+					leafPerms := append([]vm.Perm(nil), perms...)
+					child, err := cur.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+						for i, p := range leafPerms {
+							var b [8]byte
+							rErr := s.TryRead(bufs[i], b[:])
+							if p.CanRead() != (rErr == nil) {
+								return 0
+							}
+							wErr := s.TryWrite(bufs[i], []byte("w"))
+							if p.CanWrite() != (wErr == nil) {
+								return 0
+							}
+						}
+						return 1
+					}, 0)
+					if err != nil {
+						ok = false
+						return
+					}
+					ret, fault := cur.Join(child)
+					if fault != nil || ret != 1 {
+						ok = false
+					}
+					return
+				}
+				// Interior node: spawn a child, hand its *Sthread back to
+				// the walk, and park it until the chain below has been
+				// created and joined. Derived creations check subsets
+				// against this child's policy.
+				resCh := make(chan *Sthread, 1)
+				child, err := cur.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+					resCh <- s
+					<-s.Task.Killed()
+					return 1
+				}, 0)
+				if err != nil {
+					ok = false
+					return
+				}
+				cur = <-resCh
+				defer func(c *Sthread) {
+					c.Task.Kill()
+					c.Task.Wait()
+				}(child)
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEscalationAlwaysRejected: for any tag the parent holds read-only (or
+// not at all), attempting to create a child with a stronger grant fails at
+// creation time.
+func TestEscalationAlwaysRejected(t *testing.T) {
+	prop := func(parentSeed, childSeed uint8) bool {
+		parentPerm := permLadder[int(parentSeed)%len(permLadder)]
+		childPerm := permLadder[int(childSeed)%len(permLadder)]
+		// A child grant escalates if it needs a right the parent lacks.
+		// Note COW only requires parent *read*: the private copy never
+		// reaches the parent's data (see policy.CheckSubsetOf).
+		stronger := (childPerm.CanRead() && !parentPerm.CanRead()) ||
+			(childPerm&vm.PermWrite != 0 && parentPerm&vm.PermWrite == 0)
+		ok := true
+		boot(t, func(root *Sthread) {
+			tg, err := root.App().Tags.TagNew(root.Task)
+			if err != nil {
+				ok = false
+				return
+			}
+			if _, err := root.Smalloc(tg, 8); err != nil {
+				ok = false
+				return
+			}
+
+			midSC := policy.New()
+			if parentPerm != 0 {
+				if err := midSC.MemAdd(tg, parentPerm); err != nil {
+					ok = false
+					return
+				}
+			}
+			childSC := policy.New()
+			if childPerm != 0 {
+				if err := childSC.MemAdd(tg, childPerm); err != nil {
+					ok = false
+					return
+				}
+			}
+			mid, err := root.Create(midSC, func(s *Sthread, _ vm.Addr) vm.Addr {
+				_, err := s.Create(childSC, func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0)
+				if stronger != (err != nil) {
+					return 0
+				}
+				return 1
+			}, 0)
+			if err != nil {
+				ok = false
+				return
+			}
+			ret, fault := root.Join(mid)
+			if fault != nil || ret != 1 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

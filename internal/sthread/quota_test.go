@@ -1,0 +1,224 @@
+// Tests for the per-sthread memory quota — the resource-exhaustion
+// mitigation extending §7's observation that "an exploited sthread may
+// maliciously consume CPU and memory" with no defense in Wedge proper.
+
+package sthread
+
+import (
+	"errors"
+	"testing"
+
+	"wedge/internal/policy"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// TestMemQuotaStopsRunawaySthread: an exploited sthread allocating in a
+// loop hits the quota instead of exhausting the machine; the parent and
+// siblings are unaffected.
+func TestMemQuotaStopsRunawaySthread(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		quota := 4 * tags.DefaultRegionSize / vm.PageSize // four heap regions' worth
+		sc := policy.New().SetMemPages(quota)
+
+		child, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			// The "exploit": map regions until something gives.
+			for i := 0; i < 1000; i++ {
+				if _, err := s.Task.Mmap(tags.DefaultRegionSize, vm.PermRW); err != nil {
+					if errors.Is(err, vm.ErrMemLimit) {
+						return vm.Addr(i)
+					}
+					return 0
+				}
+			}
+			return 0xBAD // quota never fired
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil {
+			t.Fatal(fault)
+		}
+		if ret == 0 || ret == 0xBAD {
+			t.Fatalf("runaway loop result %#x; quota did not stop it cleanly", ret)
+		}
+		if int(ret) != 4 {
+			t.Fatalf("quota fired after %d regions, want 4", ret)
+		}
+
+		// The parent can still allocate freely.
+		if _, err := root.Task.Mmap(tags.DefaultRegionSize, vm.PermRW); err != nil {
+			t.Fatalf("parent allocation blocked: %v", err)
+		}
+	})
+}
+
+// TestMemQuotaCountsPolicyGrantsAsFree: the quota bounds pages mapped
+// beyond the policy grants; the granted tags themselves never count
+// against it.
+func TestMemQuotaCountsPolicyGrantsAsFree(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tg, err := root.App().Tags.TagNew(root.Task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := root.Smalloc(tg, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Store64(buf, 42)
+
+		sc := policy.New().SetMemPages(tags.DefaultRegionSize / vm.PageSize)
+		if err := sc.MemAdd(tg, vm.PermRead); err != nil {
+			t.Fatal(err)
+		}
+		child, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			if s.Load64(buf) != 42 {
+				return 0
+			}
+			// One full region fits exactly within the quota.
+			if _, err := s.Task.Mmap(tags.DefaultRegionSize, vm.PermRW); err != nil {
+				return 0
+			}
+			// The next page does not.
+			if _, err := s.Task.Mmap(vm.PageSize, vm.PermRW); !errors.Is(err, vm.ErrMemLimit) {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("quota-with-grants child: ret=%d fault=%v", ret, fault)
+		}
+	})
+}
+
+// TestMemQuotaUnmapReturnsBudget: unmapping returns pages to the quota.
+func TestMemQuotaUnmapReturnsBudget(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		sc := policy.New().SetMemPages(2)
+		child, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			for i := 0; i < 10; i++ {
+				a, err := s.Task.Mmap(2*vm.PageSize, vm.PermRW)
+				if err != nil {
+					return 0
+				}
+				if err := s.Task.Munmap(a, 2*vm.PageSize); err != nil {
+					return 0
+				}
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("map/unmap cycling under quota: ret=%d fault=%v", ret, fault)
+		}
+	})
+}
+
+// TestMemQuotaMonotonicity: rlimit semantics — a quota-bound sthread's
+// children inherit its cap when they set none, may tighten it, and can
+// never loosen it.
+func TestMemQuotaMonotonicity(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		quota := 2 * tags.DefaultRegionSize / vm.PageSize
+		parentSC := policy.New().SetMemPages(quota)
+		child, err := root.Create(parentSC, func(s *Sthread, _ vm.Addr) vm.Addr {
+			// Looser: must be rejected.
+			if _, err := s.Create(policy.New().SetMemPages(quota+1), func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0); err == nil {
+				return 0
+			}
+			// Unset: inherited — the grandchild is still bounded at the
+			// parent's cap.
+			g, err := s.Create(policy.New(), func(g *Sthread, _ vm.Addr) vm.Addr {
+				n := 0
+				for ; n < 100; n++ {
+					if _, err := g.Task.Mmap(tags.DefaultRegionSize, vm.PermRW); err != nil {
+						break
+					}
+				}
+				return vm.Addr(n)
+			}, 0)
+			if err != nil {
+				return 0
+			}
+			ret, fault := s.Join(g)
+			if fault != nil || int(ret) != 2 {
+				return 0
+			}
+			// Equal and tighter: allowed.
+			g2, err := s.Create(policy.New().SetMemPages(quota/2), func(*Sthread, vm.Addr) vm.Addr { return 7 }, 0)
+			if err != nil {
+				return 0
+			}
+			ret, fault = s.Join(g2)
+			if fault != nil || ret != 7 {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("quota monotonicity: ret=%d fault=%v", ret, fault)
+		}
+	})
+}
+
+// TestMemQuotaGateUnaffectedByCallerQuota: a quota-bound worker's callgate
+// invocations run under the gate creator's (unbounded) quota — the worker
+// cannot starve the privileged path, and CallGate's implicit
+// argument-perms policy is not mistaken for an escalation.
+func TestMemQuotaGateUnaffectedByCallerQuota(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tg, err := root.App().Tags.TagNew(root.Task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arg, err := root.Smalloc(tg, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Store64(arg, 5)
+
+		gateSC := policy.New().MustMemAdd(tg, vm.PermRead)
+		var gate GateFunc = func(g *Sthread, a, _ vm.Addr) vm.Addr {
+			// The gate allocates more than the caller's quota allows —
+			// and must succeed, because quotas follow the creator.
+			if _, err := g.Task.Mmap(4*tags.DefaultRegionSize, vm.PermRW); err != nil {
+				return 0
+			}
+			return vm.Addr(g.Load64(a) + 1)
+		}
+
+		workerSC := policy.New().
+			MustMemAdd(tg, vm.PermRead).
+			SetMemPages(tags.DefaultRegionSize / vm.PageSize)
+		workerSC.GateAdd(gate, gateSC, 0, "gate")
+		spec := workerSC.Gates[0]
+
+		worker, err := root.Create(workerSC, func(w *Sthread, _ vm.Addr) vm.Addr {
+			ret, err := w.CallGate(spec, nil, arg)
+			if err != nil {
+				return 0
+			}
+			return ret
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(worker)
+		if fault != nil || ret != 6 {
+			t.Fatalf("gate under quota-bound caller: ret=%d fault=%v", ret, fault)
+		}
+	})
+}

@@ -1,0 +1,195 @@
+// Recycled callgates (§3.3, §4.1): long-lived sthreads that amortize
+// creation cost over many invocations. Invocation copies arguments into
+// memory shared between caller and gate, wakes the gate through a futex,
+// and waits on a second futex for completion — two futex operations instead
+// of an sthread creation, which is what makes them roughly the cost of
+// pthread creation in Figure 7.
+//
+// As the paper warns, recycling trades isolation for performance: the gate
+// sthread's memory persists across invocations, so an exploited recycled
+// gate serving multiple principals can leak one caller's arguments to
+// another. NewRecycled documents this; callers choose.
+
+package sthread
+
+import (
+	"fmt"
+	"sync"
+
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// Control-page word offsets. The control page lives in a dedicated tag
+// shared read-write between the caller-facing handle and the gate sthread.
+const (
+	rcGen  = 0  // generation counter: odd = request pending
+	rcArg  = 8  // untrusted argument
+	rcRet  = 16 // return value
+	rcDone = 24 // completion counter
+	rcStop = 32 // nonzero requests shutdown
+)
+
+// Recycled is a reusable callgate. It is created by a privileged sthread
+// and can be invoked by any sthread that was granted its invocation spec.
+type Recycled struct {
+	Name string
+
+	app     *App
+	gate    *Sthread
+	ctlTag  tags.Tag
+	ctl     vm.Addr
+	creator *Sthread
+
+	// mu serializes invocations: a recycled gate is one sthread and can
+	// serve one caller at a time, as in the paper's futex protocol.
+	mu sync.Mutex
+
+	closed bool
+}
+
+// NewRecycled creates a long-lived callgate sthread running with policy
+// gateSC (plus read-write access to an internal control tag), entered at
+// fn for every invocation with the kernel-held trusted argument.
+func (s *Sthread) NewRecycled(name string, gateSC *policy.SC, fn GateFunc, trusted vm.Addr) (*Recycled, error) {
+	if gateSC == nil {
+		gateSC = policy.New()
+	}
+	if err := gateSC.CheckSubsetOf(s.SC); err != nil {
+		return nil, fmt.Errorf("recycled %q: %w", name, err)
+	}
+
+	// The control page: a dedicated tag so the grant is precise.
+	ctlTag, err := s.app.Tags.TagNew(s.Task)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := s.app.Tags.Lookup(ctlTag)
+	if err != nil {
+		return nil, err
+	}
+	ctl := reg.Base + vm.Addr(vm.PageSize) // skip the allocator header page
+
+	eff := gateSC.Clone()
+	if err := eff.MemAdd(ctlTag, vm.PermRW); err != nil {
+		return nil, err
+	}
+
+	gate, err := s.prepareGate(name, eff, s)
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Recycled{
+		Name:    name,
+		app:     s.app,
+		gate:    gate,
+		ctlTag:  ctlTag,
+		ctl:     ctl,
+		creator: s,
+	}
+
+	gate.Task.Start(func(*kernel.Task) {
+		r.serve(gate, fn, trusted)
+	})
+	return r, nil
+}
+
+// serve is the gate sthread's loop: wait for a request generation, run the
+// entry point, publish the return value, bump the completion counter.
+func (r *Recycled) serve(g *Sthread, fn GateFunc, trusted vm.Addr) {
+	var lastGen uint64
+	for {
+		// Wait until the caller bumps the generation past what we saw.
+		for {
+			gen := g.Load64(r.ctl + rcGen)
+			if gen != lastGen {
+				lastGen = gen
+				break
+			}
+			if g.Load64(r.ctl+rcStop) != 0 {
+				return
+			}
+			g.Task.FutexWaitVal(r.ctl+rcGen, uint32(gen))
+		}
+		if g.Load64(r.ctl+rcStop) != 0 {
+			return
+		}
+		arg := vm.Addr(g.Load64(r.ctl + rcArg))
+		ret := fn(g, arg, trusted)
+		g.Store64(r.ctl+rcRet, uint64(ret))
+		g.Store64(r.ctl+rcDone, lastGen)
+		g.Task.FutexWake(r.ctl+rcDone, 1)
+	}
+}
+
+// Call invokes the recycled gate on behalf of caller: copy the argument
+// word into shared memory, wake the gate, wait for completion. The paper's
+// futex protocol, verbatim (§4.1).
+func (r *Recycled) Call(caller *Sthread, arg vm.Addr) (vm.Addr, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, ErrGateExited
+	}
+	select {
+	case <-r.gate.Task.Done():
+		return 0, ErrGateExited
+	default:
+	}
+	r.app.Stats.RecycledCalls.Add(1)
+
+	as := r.creator.Task.AS // the control page is mapped in the creator
+	gen, err := as.Load64(r.ctl + rcGen)
+	if err != nil {
+		return 0, err
+	}
+	next := gen + 1
+	if err := as.Store64(r.ctl+rcArg, uint64(arg)); err != nil {
+		return 0, err
+	}
+	if err := as.Store64(r.ctl+rcGen, next); err != nil {
+		return 0, err
+	}
+	r.creator.Task.FutexWake(r.ctl+rcGen, 1)
+
+	for {
+		done, err := as.Load64(r.ctl + rcDone)
+		if err != nil {
+			return 0, err
+		}
+		if done == next {
+			break
+		}
+		select {
+		case <-r.gate.Task.Done():
+			return 0, ErrGateExited
+		default:
+		}
+		r.creator.Task.FutexWaitVal(r.ctl+rcDone, uint32(done))
+	}
+	ret, err := as.Load64(r.ctl + rcRet)
+	if err != nil {
+		return 0, err
+	}
+	return vm.Addr(ret), nil
+}
+
+// Close shuts the gate sthread down and retires its control tag.
+func (r *Recycled) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	as := r.creator.Task.AS
+	if err := as.Store64(r.ctl+rcStop, 1); err != nil {
+		return err
+	}
+	r.creator.Task.FutexWake(r.ctl+rcGen, 1)
+	<-r.gate.Task.Done()
+	return r.app.Tags.TagDelete(r.ctlTag)
+}

@@ -1,0 +1,939 @@
+// Package sthread implements Wedge's compartment primitives (§3.1, §3.3,
+// §4.1): sthreads — threads of control bound to default-deny security
+// policies — and callgates, privilege-switching entry points implemented as
+// separate sthreads, including the recycled (long-lived, futex-driven)
+// variant used by throughput-critical applications.
+//
+// An App is one Wedge application instance. Booting it captures the
+// "pristine snapshot" of the process image taken just before main: every
+// sthread receives a private copy-on-write view of that snapshot (shared
+// library state, loader state, non-sensitive globals) plus exactly the
+// memory tags, file descriptors, and callgates its policy names. Nothing
+// else.
+package sthread
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// Errors.
+var (
+	ErrNotBooted    = errors.New("sthread: application not booted (call Main)")
+	ErrGateDenied   = errors.New("sthread: callgate not authorized for this sthread")
+	ErrBadGate      = errors.New("sthread: invalid callgate entry")
+	ErrUIDEscalate  = errors.New("sthread: only root may change uid or filesystem root")
+	ErrSELTransit   = errors.New("sthread: selinux domain transition not allowed")
+	ErrGateExited   = errors.New("sthread: recycled callgate has terminated")
+	ErrAfterPremain = errors.New("sthread: operation only valid before Main")
+)
+
+// Body is the code an sthread runs: the paper's cb_t. It receives the
+// sthread handle (for memory access and further partitioning) and the
+// untrusted argument, and its return value is collected by sthread_join.
+type Body func(s *Sthread, arg vm.Addr) vm.Addr
+
+// GateFunc is a callgate entry point. It additionally receives the trusted
+// argument its creator registered, which the kernel stores and the caller
+// can never influence (§3.3).
+type GateFunc func(g *Sthread, arg, trusted vm.Addr) vm.Addr
+
+// Stats counts primitive operations, used by the Figure 7 benchmarks and
+// by tests asserting the per-request primitive budget of Table 2.
+type Stats struct {
+	SthreadsCreated atomic.Uint64
+	GatesInvoked    atomic.Uint64
+	RecycledCalls   atomic.Uint64
+	Violations      atomic.Uint64
+}
+
+// Violation records one denied memory access observed under the emulation
+// library (§3.4), where protection violations are logged instead of fatal.
+type Violation struct {
+	Sthread string
+	Addr    vm.Addr
+	Access  vm.Access
+	Tag     tags.Tag // owning tag if the address is tagged, else NoTag
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s %#x (tag %d)", v.Sthread, v.Access, uint64(v.Addr), v.Tag)
+}
+
+// App is one Wedge application: the kernel it runs on, its tag registry,
+// the pristine pre-main snapshot, and bookkeeping shared by its sthreads.
+type App struct {
+	K    *kernel.Kernel
+	Tags *tags.Registry
+	// Init is the application's first task, whose address space the
+	// pristine snapshot is taken from.
+	Init *kernel.Task
+
+	Stats Stats
+
+	mu         sync.Mutex
+	pristine   *vm.AddressSpace
+	booted     bool
+	boundaries map[int]*boundarySection
+	violations []Violation
+}
+
+// boundarySection is the page-aligned ELF-section stand-in that backs
+// BOUNDARY_VAR globals sharing one integer ID (§3.2, §4.1).
+type boundarySection struct {
+	base vm.Addr
+	size int
+	used int
+	tag  tags.Tag // assigned lazily by BoundaryTag
+}
+
+// Boot creates an application on the kernel: an init task with an empty
+// address space, ready for pre-main initialization.
+func Boot(k *kernel.Kernel) *App {
+	return &App{
+		K:          k,
+		Tags:       tags.NewRegistry(),
+		Init:       k.NewInitTask(),
+		boundaries: make(map[int]*boundarySection),
+	}
+}
+
+// Premain runs initialization code in the init task, before the snapshot.
+// It simulates everything that happens before the C entry point: dynamic
+// loader relocation, library constructors, static data. Memory written here
+// is part of the pristine image every sthread later inherits copy-on-write —
+// which is exactly why the paper stresses that it "does not typically
+// contain any sensitive data, since the application's code has yet to
+// execute" (§4.1).
+func (a *App) Premain(fn func(t *kernel.Task)) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.booted {
+		return ErrAfterPremain
+	}
+	fn(a.Init)
+	return nil
+}
+
+// BoundaryVar appends a statically initialized global to the page-aligned
+// section for id, creating the section on first use, and returns the
+// global's address (the BOUNDARY_VAR macro). Must be called before Main.
+func (a *App) BoundaryVar(id int, def []byte) (vm.Addr, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.booted {
+		return 0, ErrAfterPremain
+	}
+	sec, ok := a.boundaries[id]
+	if !ok {
+		size := vm.PageSize * 4
+		for size < len(def) {
+			size *= 2
+		}
+		base, err := a.Init.AS.MapAnon(size, vm.PermRW)
+		if err != nil {
+			return 0, err
+		}
+		sec = &boundarySection{base: base, size: size}
+		a.boundaries[id] = sec
+	}
+	if sec.used+len(def) > sec.size {
+		return 0, fmt.Errorf("sthread: boundary section %d full", id)
+	}
+	addr := sec.base + vm.Addr(sec.used)
+	if err := a.Init.AS.Write(addr, def); err != nil {
+		return 0, err
+	}
+	// Keep declarations 16-byte aligned like the ELF section would.
+	sec.used += (len(def) + 15) &^ 15
+	return addr, nil
+}
+
+// BoundaryTag returns the unique tag for the boundary section with the
+// given ID, allocating it on first call (the BOUNDARY_TAG macro). Policies
+// use the tag to grant sthreads access to the section's globals.
+func (a *App) BoundaryTag(id int) (tags.Tag, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sec, ok := a.boundaries[id]
+	if !ok {
+		return tags.NoTag, fmt.Errorf("sthread: no boundary section with id %d", id)
+	}
+	if sec.tag == tags.NoTag {
+		sec.tag = a.Tags.Adopt(a.Init.AS, sec.base, sec.size)
+	}
+	return sec.tag, nil
+}
+
+// Main takes the pristine snapshot and runs fn as the application's root
+// sthread on the calling goroutine. The root sthread is the fully
+// privileged pre-partitioning process: its policy is unrestricted and its
+// address space is the live init address space.
+//
+// Boundary-variable sections are removed from the snapshot, so sthreads
+// "do not obtain access to them by default" (§4.1); they become reachable
+// only through an explicit BOUNDARY_TAG grant.
+func (a *App) Main(fn func(root *Sthread)) error {
+	a.mu.Lock()
+	if a.booted {
+		a.mu.Unlock()
+		return errors.New("sthread: Main called twice")
+	}
+	a.booted = true
+	a.pristine = a.Init.AS.CloneCOW()
+	for _, sec := range a.boundaries {
+		if err := a.pristine.Unmap(sec.base, sec.size); err != nil {
+			a.mu.Unlock()
+			return fmt.Errorf("sthread: carving boundary section: %w", err)
+		}
+	}
+	a.mu.Unlock()
+
+	root := &Sthread{app: a, Task: a.Init, Name: "main"}
+	var err error
+	a.Init.Run(func(*kernel.Task) {
+		fn(root)
+	})
+	if _, fault := a.Init.Wait(); fault != nil {
+		err = fault
+	}
+	return err
+}
+
+// clonePristine duplicates the pristine snapshot under the app lock
+// (CloneCOW mutates the source's PTE permissions on first use).
+func (a *App) clonePristine() (*vm.AddressSpace, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.booted {
+		return nil, ErrNotBooted
+	}
+	return a.pristine.CloneCOW(), nil
+}
+
+// Violations returns the violations logged by emulated sthreads so far, in
+// order of occurrence. The programmer runs a complete program execution
+// under emulation and uses this report (optionally via Crowbar) to learn
+// which permissions a refactored sthread is missing (§3.4).
+func (a *App) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Violation(nil), a.violations...)
+}
+
+func (a *App) logViolation(v Violation) {
+	a.mu.Lock()
+	a.violations = append(a.violations, v)
+	a.mu.Unlock()
+	a.Stats.Violations.Add(1)
+}
+
+// gateInstance is the kernel-held state of one instantiated callgate: the
+// entry point, permissions and trusted argument are "stored in the kernel,
+// so that the user may not tamper with them" (§4.1).
+type gateInstance struct {
+	spec    *policy.GateSpec
+	entry   GateFunc
+	sc      *policy.SC
+	trusted vm.Addr
+	creator *Sthread // supplies uid and filesystem root (§3.3)
+}
+
+// Sthread is a compartment: a kernel task bound to a security policy.
+type Sthread struct {
+	app  *App
+	Task *kernel.Task
+	Name string
+
+	// SC is the policy the sthread was created with; nil for the root.
+	SC     *policy.SC
+	parent *Sthread
+
+	// gates maps authorized gate specs to their kernel-held instances.
+	gates map[*policy.GateSpec]*gateInstance
+
+	// ret is the body's return value, collected by Join.
+	ret vm.Addr
+
+	// emul is non-nil when this sthread runs under the emulation library:
+	// accesses are checked against the policy in software and violations
+	// are logged instead of faulting.
+	emul     *emulState
+	emulDone chan struct{}
+
+	// smallocTag, when non-zero, redirects Malloc to smalloc with that
+	// tag (smalloc_on/smalloc_off §3.2). Per-sthread, as in the paper.
+	smallocTag tags.Tag
+
+	// privHeap is the base of the sthread's private, untagged heap,
+	// lazily created on first Malloc.
+	privHeapMu sync.Mutex
+	privHeap   vm.Addr
+}
+
+// emulState tracks what an emulated sthread would have been allowed to
+// touch, page by page, and holds its private copies of copy-on-write
+// pages.
+type emulState struct {
+	mu    sync.Mutex
+	perms map[uint64]vm.Perm
+
+	// shadow maps page number to this emulated sthread's private copy of
+	// a page it wrote under a copy-on-write grant. The paper's emulation
+	// library "does not yet support copy-on-write memory permissions for
+	// emulated sthreads" (§4.2); this extension closes the gap: a write
+	// to a COW page copies the shared frame here and diverts the write,
+	// so the creator (whose address space the emulated sthread otherwise
+	// shares) never observes it — the same semantics a strict sthread
+	// gets from the MMU.
+	shadow map[uint64][]byte
+}
+
+// App returns the application this sthread belongs to.
+func (s *Sthread) App() *App { return s.app }
+
+// IsRoot reports whether this is the fully privileged root sthread.
+func (s *Sthread) IsRoot() bool { return s.SC == nil }
+
+// ---- sthread creation -------------------------------------------------------
+
+// Create spawns a child sthread running body(arg) under policy sc: the
+// paper's sthread_create. The child receives a COW view of the pristine
+// snapshot, the named tag segments, copies of the named descriptors, and
+// instances of the named callgates — and nothing else.
+func (s *Sthread) Create(sc *policy.SC, body Body, arg vm.Addr) (*Sthread, error) {
+	return s.CreateNamed("sthread", sc, body, arg)
+}
+
+// CreateNamed is Create with a diagnostic name.
+func (s *Sthread) CreateNamed(name string, sc *policy.SC, body Body, arg vm.Addr) (*Sthread, error) {
+	child, err := s.prepare(name, sc)
+	if err != nil {
+		return nil, err
+	}
+	s.app.Stats.SthreadsCreated.Add(1)
+	child.Task.Start(func(*kernel.Task) {
+		child.ret = body(child, arg)
+	})
+	return child, nil
+}
+
+// Join blocks until the child exits and returns the body's return value:
+// the paper's sthread_join. If the child died on a protection fault, the
+// fault is returned.
+func (s *Sthread) Join(child *Sthread) (vm.Addr, error) {
+	_, fault := child.Task.Wait()
+	return child.ret, fault
+}
+
+// prepare validates sc against this sthread's privileges and assembles the
+// child: address space, descriptor table, credentials, gate instances.
+func (s *Sthread) prepare(name string, sc *policy.SC) (*Sthread, error) {
+	if sc == nil {
+		return nil, errors.New("sthread: nil policy (use policy.New for an empty one)")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.CheckSubsetOf(s.SC); err != nil {
+		return nil, err
+	}
+
+	// Unix semantics: only root may confine uid or filesystem root (§3.1).
+	if (sc.UID != policy.InheritUID || sc.Root != "") && s.Task.UID != 0 {
+		return nil, ErrUIDEscalate
+	}
+	// SELinux: any change of domain must be an allowed transition.
+	childCtx := s.Task.Ctx
+	if !sc.Ctx.IsZero() {
+		if !s.app.K.Policy.CanTransition(s.Task.Ctx, sc.Ctx) {
+			return nil, fmt.Errorf("%w: %s -> %s", ErrSELTransit, s.Task.Ctx, sc.Ctx)
+		}
+		childCtx = sc.Ctx
+	}
+
+	// Validate gate specs: each gate's permissions must be a subset of the
+	// *creating* sthread's (§3.3), and its entry must be a GateFunc.
+	for _, spec := range sc.Gates {
+		if _, ok := spec.Entry.(GateFunc); !ok {
+			return nil, fmt.Errorf("%w: %q entry is %T", ErrBadGate, spec.Name, spec.Entry)
+		}
+		if spec.SC != nil {
+			if err := spec.SC.CheckSubsetOf(s.SC); err != nil {
+				return nil, fmt.Errorf("callgate %q: %w", spec.Name, err)
+			}
+		}
+	}
+
+	// Assemble the address space: pristine snapshot + granted tags.
+	as, err := s.app.clonePristine()
+	if err != nil {
+		return nil, err
+	}
+	for tag, perm := range sc.Mem {
+		reg, err := s.app.Tags.Lookup(tag)
+		if err != nil {
+			as.Release()
+			return nil, err
+		}
+		share := perm
+		if share&vm.PermCOW != 0 {
+			share = (share &^ vm.PermWrite) | vm.PermRead | vm.PermCOW
+		}
+		if err := reg.Owner.ShareInto(as, reg.Base, reg.Size, share); err != nil {
+			as.Release()
+			return nil, err
+		}
+	}
+
+	// Apply the memory quota after the policy-granted mappings, so the
+	// quota bounds what the sthread can map *beyond* its grants. Like an
+	// rlimit it is inherited when the child's policy leaves it unset.
+	if quota := sc.EffectiveMemPages(s.SC); quota > 0 {
+		as.SetPageLimit(as.Pages() + quota)
+	}
+
+	task, err := s.Task.NewChildTask(as)
+	if err != nil {
+		as.Release()
+		return nil, err
+	}
+
+	// Share exactly the granted descriptors, preserving their numbers.
+	for fd, perm := range sc.FDs {
+		if err := s.Task.ShareFDTo(task, fd, perm); err != nil {
+			return nil, fmt.Errorf("sthread: granting fd %d: %w", fd, err)
+		}
+	}
+
+	// Credentials.
+	task.Ctx = childCtx
+	if sc.Root != "" {
+		if err := s.Task.ChrootOn(task, sc.Root); err != nil {
+			return nil, err
+		}
+	}
+	if sc.UID != policy.InheritUID {
+		if err := s.Task.SetUIDOn(task, sc.UID); err != nil {
+			return nil, err
+		}
+	}
+
+	child := &Sthread{
+		app:    s.app,
+		Task:   task,
+		Name:   name,
+		SC:     sc,
+		parent: s,
+		gates:  make(map[*policy.GateSpec]*gateInstance, len(sc.Gates)),
+	}
+
+	// Instantiate the callgates: "implicitly instantiated when the parent
+	// binds that security policy to a newly created sthread" (§4.1). The
+	// creator recorded is this sthread, whose uid and root the gate runs
+	// with.
+	for _, spec := range sc.Gates {
+		gateSC := spec.SC
+		if gateSC == nil {
+			gateSC = policy.New()
+		}
+		child.gates[spec] = &gateInstance{
+			spec:    spec,
+			entry:   spec.Entry.(GateFunc),
+			sc:      gateSC.Clone(),
+			trusted: spec.Arg,
+			creator: s,
+		}
+	}
+	return child, nil
+}
+
+// ---- callgate invocation ----------------------------------------------------
+
+// CallGate invokes an authorized callgate (the paper's cgate call). perms
+// carries the additional grants the gate needs to read the caller-supplied
+// argument; the kernel validates they are a subset of the caller's own
+// permissions. The caller blocks until the gate terminates.
+func (s *Sthread) CallGate(spec *policy.GateSpec, perms *policy.SC, arg vm.Addr) (vm.Addr, error) {
+	inst, ok := s.gates[spec]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrGateDenied, spec.Name)
+	}
+	if perms == nil {
+		perms = policy.New()
+	}
+	// The argument-accessing permissions must be a subset of the caller's
+	// current permissions (§4.1).
+	if err := perms.CheckSubsetOf(s.SC); err != nil {
+		return 0, fmt.Errorf("callgate %q argument perms: %w", spec.Name, err)
+	}
+
+	// Effective gate policy: the kernel-held permissions plus the
+	// caller's argument grants.
+	eff := inst.sc.Clone()
+	for tag, perm := range perms.Mem {
+		eff.Mem[tag] |= perm
+	}
+	for fd, perm := range perms.FDs {
+		eff.FDs[fd] |= perm
+	}
+
+	// The gate runs as a fresh sthread created on behalf of the gate's
+	// creator: it inherits the creator's uid and filesystem root, not the
+	// caller's (§3.3), and the caller cannot tamper with its memory map.
+	gate, err := inst.creator.prepareGate(spec.Name, eff, s)
+	if err != nil {
+		return 0, err
+	}
+	s.app.Stats.GatesInvoked.Add(1)
+	s.app.Stats.SthreadsCreated.Add(1)
+	trusted := inst.trusted
+	entry := inst.entry
+	gate.Task.Start(func(*kernel.Task) {
+		gate.ret = entry(gate, arg, trusted)
+	})
+	return s.Join(gate)
+}
+
+// prepareGate assembles a gate sthread. It differs from prepare in two
+// ways: descriptor grants in the effective policy may name descriptors of
+// either the creator or the caller (argument descriptors), and the
+// subset check against the creator was already performed at instantiation.
+func (s *Sthread) prepareGate(name string, eff *policy.SC, caller *Sthread) (*Sthread, error) {
+	as, err := s.app.clonePristine()
+	if err != nil {
+		return nil, err
+	}
+	for tag, perm := range eff.Mem {
+		reg, err := s.app.Tags.Lookup(tag)
+		if err != nil {
+			as.Release()
+			return nil, err
+		}
+		share := perm
+		if share&vm.PermCOW != 0 {
+			share = (share &^ vm.PermWrite) | vm.PermRead | vm.PermCOW
+		}
+		if err := reg.Owner.ShareInto(as, reg.Base, reg.Size, share); err != nil {
+			as.Release()
+			return nil, err
+		}
+	}
+	// The memory quota follows the same inheritance as uid and root: from
+	// the gate's creator, not its caller. A quota-bound worker therefore
+	// cannot starve the privileged gates it calls, and a quota set on the
+	// gate's own policy still binds it.
+	if quota := eff.EffectiveMemPages(s.SC); quota > 0 {
+		as.SetPageLimit(as.Pages() + quota)
+	}
+	task, err := s.Task.NewChildTask(as)
+	if err != nil {
+		as.Release()
+		return nil, err
+	}
+	for fd, perm := range eff.FDs {
+		if err := s.Task.ShareFDTo(task, fd, perm); err != nil {
+			// Argument descriptor: fall back to the caller's table.
+			if err := caller.Task.ShareFDTo(task, fd, perm); err != nil {
+				return nil, fmt.Errorf("sthread: gate fd %d: %w", fd, err)
+			}
+		}
+	}
+	// Gates inherit the creator's credentials wholesale.
+	task.Ctx = s.Task.Ctx
+
+	gate := &Sthread{
+		app:    s.app,
+		Task:   task,
+		Name:   name,
+		SC:     eff,
+		parent: s,
+		gates:  make(map[*policy.GateSpec]*gateInstance, len(eff.Gates)),
+	}
+	for _, spec := range eff.Gates {
+		entry, ok := spec.Entry.(GateFunc)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrBadGate, spec.Name)
+		}
+		gateSC := spec.SC
+		if gateSC == nil {
+			gateSC = policy.New()
+		}
+		gate.gates[spec] = &gateInstance{
+			spec:    spec,
+			entry:   entry,
+			sc:      gateSC.Clone(),
+			trusted: spec.Arg,
+			creator: s,
+		}
+	}
+	return gate, nil
+}
+
+// ---- memory access ----------------------------------------------------------
+
+// Read copies simulated memory into buf, faulting (panic with *vm.Fault,
+// terminating the sthread) on a protection violation — or logging it and
+// reading through when running under the emulation library.
+func (s *Sthread) Read(a vm.Addr, buf []byte) {
+	if s.emul != nil {
+		s.emulCheck(a, len(buf), vm.AccessRead)
+		s.emulRead(a, buf)
+		return
+	}
+	if err := s.Task.AS.Read(a, buf); err != nil {
+		panicFault(err)
+	}
+}
+
+// Write copies buf into simulated memory, with the same fault semantics as
+// Read.
+func (s *Sthread) Write(a vm.Addr, buf []byte) {
+	if s.emul != nil {
+		s.emulCheck(a, len(buf), vm.AccessWrite)
+		s.emulWrite(a, buf)
+		return
+	}
+	if err := s.Task.AS.Write(a, buf); err != nil {
+		panicFault(err)
+	}
+}
+
+// TryRead is Read returning the fault instead of terminating.
+func (s *Sthread) TryRead(a vm.Addr, buf []byte) error {
+	if s.emul != nil {
+		s.emulCheck(a, len(buf), vm.AccessRead)
+		return s.emul.read(s, a, buf)
+	}
+	return s.Task.AS.Read(a, buf)
+}
+
+// TryWrite is Write returning the fault instead of terminating.
+func (s *Sthread) TryWrite(a vm.Addr, buf []byte) error {
+	if s.emul != nil {
+		s.emulCheck(a, len(buf), vm.AccessWrite)
+		return s.emul.write(s, a, buf)
+	}
+	return s.Task.AS.Write(a, buf)
+}
+
+// Load64 reads a little-endian 64-bit word.
+func (s *Sthread) Load64(a vm.Addr) uint64 {
+	var b [8]byte
+	s.Read(a, b[:])
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Store64 writes a little-endian 64-bit word.
+func (s *Sthread) Store64(a vm.Addr, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	s.Write(a, b[:])
+}
+
+// ReadString reads a NUL-terminated string of at most max bytes.
+func (s *Sthread) ReadString(a vm.Addr, max int) string {
+	buf := make([]byte, 0, 64)
+	var one [1]byte
+	for i := 0; i < max; i++ {
+		s.Read(a+vm.Addr(i), one[:])
+		if one[0] == 0 {
+			break
+		}
+		buf = append(buf, one[0])
+	}
+	return string(buf)
+}
+
+// WriteString writes str plus a NUL terminator.
+func (s *Sthread) WriteString(a vm.Addr, str string) {
+	s.Write(a, append([]byte(str), 0))
+}
+
+func panicFault(err error) {
+	var f *vm.Fault
+	if errors.As(err, &f) {
+		panic(f)
+	}
+	panic(err)
+}
+
+// ---- smalloc_on / smalloc_off and the private heap ---------------------------
+
+// SmallocOn redirects subsequent Malloc calls in this sthread to smalloc
+// with the given tag (§3.2). Like the paper's per-sthread flag it does not
+// nest; calling it twice simply replaces the tag.
+func (s *Sthread) SmallocOn(tag tags.Tag) { s.smallocTag = tag }
+
+// SmallocOff restores Malloc to the private untagged heap.
+func (s *Sthread) SmallocOff() { s.smallocTag = tags.NoTag }
+
+// SmallocState returns the active redirection tag (for save/restore in
+// signal handlers, as §4.1 advises).
+func (s *Sthread) SmallocState() tags.Tag { return s.smallocTag }
+
+// Smalloc allocates size bytes tagged with tag.
+func (s *Sthread) Smalloc(tag tags.Tag, size int) (vm.Addr, error) {
+	return s.app.Tags.Smalloc(s.Task.AS, tag, size)
+}
+
+// Sfree frees an smalloc'd block.
+func (s *Sthread) Sfree(a vm.Addr) error {
+	return s.app.Tags.Sfree(s.Task.AS, a)
+}
+
+// Malloc models the standard C malloc: untagged memory from the sthread's
+// private heap, unreachable by any policy — unless smalloc_on is active, in
+// which case the allocation is transparently redirected to tagged memory,
+// which is how legacy allocation sites are retrofitted (§3.2).
+func (s *Sthread) Malloc(size int) (vm.Addr, error) {
+	if tag := s.smallocTag; tag != tags.NoTag {
+		return s.app.Tags.Smalloc(s.Task.AS, tag, size)
+	}
+	s.privHeapMu.Lock()
+	defer s.privHeapMu.Unlock()
+	if s.privHeap == 0 {
+		base, err := s.Task.AS.MapAnon(tags.DefaultRegionSize, vm.PermRW)
+		if err != nil {
+			return 0, err
+		}
+		if err := tags.InitHeap(s.Task.AS, base, tags.DefaultRegionSize); err != nil {
+			return 0, err
+		}
+		s.privHeap = base
+		if s.emul != nil {
+			// An emulated sthread's own allocations are legitimately its
+			// to touch; register them so they are not reported.
+			s.emul.mu.Lock()
+			for pn := base.PageNum(); pn < (base+tags.DefaultRegionSize-1).PageNum()+1; pn++ {
+				s.emul.perms[pn] = vm.PermRW
+			}
+			s.emul.mu.Unlock()
+		}
+	}
+	return tags.HeapAlloc(s.Task.AS, s.privHeap, size)
+}
+
+// Free releases a Malloc'd block, routing tagged addresses to sfree as the
+// LD_PRELOAD shim does.
+func (s *Sthread) Free(a vm.Addr) error {
+	if s.app.Tags.TagOf(a) != tags.NoTag {
+		return s.app.Tags.Sfree(s.Task.AS, a)
+	}
+	s.privHeapMu.Lock()
+	base := s.privHeap
+	s.privHeapMu.Unlock()
+	if base == 0 {
+		return tags.ErrBadFree
+	}
+	return tags.HeapFree(s.Task.AS, base, a)
+}
+
+// ---- emulation library --------------------------------------------------------
+
+// CreateEmulated spawns a child under the sthread emulation library
+// (§3.4): the child shares the parent's address space (the paper replaces
+// sthreads with pthreads), every access succeeds, and accesses the policy
+// would have denied are recorded in the application's violation log. The
+// programmer uses this after refactoring, to learn what a strict policy is
+// missing without crashing on each omission.
+func (s *Sthread) CreateEmulated(name string, sc *policy.SC, body Body, arg vm.Addr) (*Sthread, error) {
+	if sc == nil {
+		return nil, errors.New("sthread: nil policy")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sc.CheckSubsetOf(s.SC); err != nil {
+		return nil, err
+	}
+
+	// Compute the page permissions the strict policy would have granted:
+	// the pristine snapshot plus each granted tag.
+	perms := make(map[uint64]vm.Perm)
+	s.app.mu.Lock()
+	if !s.app.booted {
+		s.app.mu.Unlock()
+		return nil, ErrNotBooted
+	}
+	s.app.pristine.ForEachPage(func(pn uint64, p vm.Perm) {
+		// The private snapshot is readable and privately writable.
+		perms[pn] = vm.PermRead | vm.PermCOW
+	})
+	s.app.mu.Unlock()
+	for tag, perm := range sc.Mem {
+		reg, err := s.app.Tags.Lookup(tag)
+		if err != nil {
+			return nil, err
+		}
+		for pn := reg.Base.PageNum(); pn < (reg.End()-1).PageNum()+1; pn++ {
+			perms[pn] = perm
+		}
+	}
+
+	// The emulation library replaces the sthread with a pthread sharing
+	// the creator's address space and descriptor table (§4.2); no new
+	// kernel task is involved.
+	child := &Sthread{
+		app:    s.app,
+		Task:   s.Task,
+		Name:   name,
+		SC:     sc,
+		parent: s,
+		gates:  make(map[*policy.GateSpec]*gateInstance, len(sc.Gates)),
+		emul:   &emulState{perms: perms, shadow: make(map[uint64][]byte)},
+	}
+	for _, spec := range sc.Gates {
+		entry, ok := spec.Entry.(GateFunc)
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrBadGate, spec.Name)
+		}
+		gateSC := spec.SC
+		if gateSC == nil {
+			gateSC = policy.New()
+		}
+		child.gates[spec] = &gateInstance{
+			spec: spec, entry: entry, sc: gateSC.Clone(), trusted: spec.Arg, creator: s,
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		child.ret = body(child, arg)
+	}()
+	child.emulDone = done
+	return child, nil
+}
+
+// JoinEmulated waits for an emulated sthread.
+func (s *Sthread) JoinEmulated(child *Sthread) vm.Addr {
+	<-child.emulDone
+	return child.ret
+}
+
+// emulCheck logs a violation for any page of [a, a+n) the strict policy
+// would not permit for the access mode.
+func (s *Sthread) emulCheck(a vm.Addr, n int, access vm.Access) {
+	if n <= 0 {
+		n = 1
+	}
+	s.emul.mu.Lock()
+	defer s.emul.mu.Unlock()
+	for pn := a.PageNum(); pn <= (a + vm.Addr(n-1)).PageNum(); pn++ {
+		perm, ok := s.emul.perms[pn]
+		bad := !ok
+		if !bad {
+			if access == vm.AccessRead && !perm.CanRead() {
+				bad = true
+			}
+			if access == vm.AccessWrite && !perm.CanWrite() {
+				bad = true
+			}
+		}
+		if bad {
+			addr := vm.Addr(pn << vm.PageShift)
+			if pn == a.PageNum() {
+				addr = a
+			}
+			s.app.logViolation(Violation{
+				Sthread: s.Name,
+				Addr:    addr,
+				Access:  access,
+				Tag:     s.app.Tags.TagOf(addr),
+			})
+		}
+	}
+}
+
+// emulRead and emulWrite access the shared address space, registering any
+// fresh page the emulated sthread allocates as allowed.
+func (s *Sthread) emulRead(a vm.Addr, buf []byte) {
+	if err := s.emul.read(s, a, buf); err != nil {
+		panicFault(err)
+	}
+}
+
+func (s *Sthread) emulWrite(a vm.Addr, buf []byte) {
+	if err := s.emul.write(s, a, buf); err != nil {
+		panicFault(err)
+	}
+}
+
+// forEachPagePiece splits [a, a+len(buf)) into per-page pieces and calls
+// fn with the page number, the page-relative offset, and the buf slice
+// covering that piece.
+func forEachPagePiece(a vm.Addr, buf []byte, fn func(pn uint64, off int, piece []byte) error) error {
+	for len(buf) > 0 {
+		pn := a.PageNum()
+		off := int(a) & (vm.PageSize - 1)
+		n := vm.PageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if err := fn(pn, off, buf[:n]); err != nil {
+			return err
+		}
+		a += vm.Addr(n)
+		buf = buf[n:]
+	}
+	return nil
+}
+
+func (e *emulState) read(s *Sthread, a vm.Addr, buf []byte) error {
+	return forEachPagePiece(a, buf, func(pn uint64, off int, piece []byte) error {
+		e.mu.Lock()
+		page, ok := e.shadow[pn]
+		if ok {
+			copy(piece, page[off:off+len(piece)])
+		}
+		e.mu.Unlock()
+		if ok {
+			return nil
+		}
+		return s.Task.AS.Read(vm.Addr(pn<<vm.PageShift)+vm.Addr(off), piece)
+	})
+}
+
+func (e *emulState) write(s *Sthread, a vm.Addr, buf []byte) error {
+	return forEachPagePiece(a, buf, func(pn uint64, off int, piece []byte) error {
+		e.mu.Lock()
+		page, shadowed := e.shadow[pn]
+		cow := !shadowed && e.perms[pn]&vm.PermCOW != 0
+		e.mu.Unlock()
+		if cow {
+			// First write to a COW page: copy the shared frame privately,
+			// exactly what the MMU fault handler does for strict sthreads.
+			page = make([]byte, vm.PageSize)
+			if err := s.Task.AS.Read(vm.Addr(pn<<vm.PageShift), page); err != nil {
+				return err
+			}
+			e.mu.Lock()
+			// Another goroutine of the same emulated sthread may have
+			// raced the copy; keep whichever landed first.
+			if prior, ok := e.shadow[pn]; ok {
+				page = prior
+			} else {
+				e.shadow[pn] = page
+			}
+			e.mu.Unlock()
+			shadowed = true
+		}
+		if shadowed {
+			e.mu.Lock()
+			copy(page[off:off+len(piece)], piece)
+			e.mu.Unlock()
+			return nil
+		}
+		return s.Task.AS.Write(vm.Addr(pn<<vm.PageShift)+vm.Addr(off), piece)
+	})
+}

@@ -1,0 +1,1207 @@
+package sthread
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/tags"
+	"wedge/internal/vfs"
+	"wedge/internal/vm"
+)
+
+// boot spins up an app and runs fn as its root sthread.
+func boot(t *testing.T, fn func(root *Sthread)) *App {
+	t.Helper()
+	app := Boot(kernel.New())
+	if err := app.Main(fn); err != nil {
+		t.Fatalf("Main: %v", err)
+	}
+	return app
+}
+
+func TestMainRunsRoot(t *testing.T) {
+	ran := false
+	boot(t, func(root *Sthread) {
+		if !root.IsRoot() {
+			t.Error("root sthread is not root")
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("main body did not run")
+	}
+}
+
+func TestMainTwice(t *testing.T) {
+	app := Boot(kernel.New())
+	if err := app.Main(func(*Sthread) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Main(func(*Sthread) {}); err == nil {
+		t.Fatal("second Main succeeded")
+	}
+}
+
+func TestPremainAfterMainFails(t *testing.T) {
+	app := Boot(kernel.New())
+	app.Main(func(*Sthread) {})
+	if err := app.Premain(func(*kernel.Task) {}); !errors.Is(err, ErrAfterPremain) {
+		t.Fatalf("Premain after Main: %v", err)
+	}
+}
+
+// TestDefaultDeny is the core property of §3.1: a child sthread granted
+// nothing cannot read memory its parent allocated after the snapshot.
+func TestDefaultDeny(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, err := root.App().Tags.TagNew(root.Task)
+		if err != nil {
+			t.Fatalf("TagNew: %v", err)
+		}
+		secret, err := root.Smalloc(tag, 64)
+		if err != nil {
+			t.Fatalf("Smalloc: %v", err)
+		}
+		root.Write(secret, []byte("rsa-private-key"))
+
+		child, err := root.Create(policy.New(), func(s *Sthread, arg vm.Addr) vm.Addr {
+			var b [15]byte
+			s.Read(arg, b[:]) // must fault: tag not granted
+			return 1
+		}, secret)
+		if err != nil {
+			t.Fatalf("Create: %v", err)
+		}
+		ret, fault := root.Join(child)
+		if fault == nil {
+			t.Fatalf("child read ungranted memory (ret=%d)", ret)
+		}
+		var f *vm.Fault
+		if !errors.As(fault, &f) {
+			t.Fatalf("fault = %v, want *vm.Fault", fault)
+		}
+	})
+}
+
+func TestGrantedReadOnly(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		buf, _ := root.Smalloc(tag, 32)
+		root.Write(buf, []byte("hello"))
+
+		sc := policy.New()
+		if err := sc.MemAdd(tag, vm.PermRead); err != nil {
+			t.Fatal(err)
+		}
+		child, err := root.Create(sc, func(s *Sthread, arg vm.Addr) vm.Addr {
+			var b [5]byte
+			s.Read(arg, b[:])
+			if string(b[:]) != "hello" {
+				return 0
+			}
+			return 1
+		}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("granted read failed: ret=%d fault=%v", ret, fault)
+		}
+
+		// Writing through a read-only grant must fault.
+		child2, _ := root.Create(sc, func(s *Sthread, arg vm.Addr) vm.Addr {
+			s.Write(arg, []byte("x"))
+			return 1
+		}, buf)
+		if _, fault := root.Join(child2); fault == nil {
+			t.Fatal("write through read-only grant succeeded")
+		}
+	})
+}
+
+func TestGrantedReadWriteSharesBothWays(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		buf, _ := root.Smalloc(tag, 32)
+		sc := policy.New()
+		sc.MemAdd(tag, vm.PermRW)
+		child, err := root.Create(sc, func(s *Sthread, arg vm.Addr) vm.Addr {
+			s.Write(arg, []byte("from-child"))
+			return 0
+		}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, fault := root.Join(child); fault != nil {
+			t.Fatal(fault)
+		}
+		var b [10]byte
+		root.Read(buf, b[:])
+		if string(b[:]) != "from-child" {
+			t.Fatalf("parent sees %q, want child's write", b[:])
+		}
+	})
+}
+
+// TestCOWGrantIsolation: a COW grant lets the child read and privately
+// write; the parent never sees the child's writes.
+func TestCOWGrantIsolation(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		buf, _ := root.Smalloc(tag, 32)
+		root.Write(buf, []byte("original"))
+
+		sc := policy.New()
+		if err := sc.MemAdd(tag, vm.PermRead|vm.PermCOW); err != nil {
+			t.Fatal(err)
+		}
+		child, err := root.Create(sc, func(s *Sthread, arg vm.Addr) vm.Addr {
+			var b [8]byte
+			s.Read(arg, b[:])
+			if string(b[:]) != "original" {
+				return 0
+			}
+			s.Write(arg, []byte("mutated!"))
+			s.Read(arg, b[:])
+			if string(b[:]) != "mutated!" {
+				return 0
+			}
+			return 1
+		}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("COW child failed: ret=%d fault=%v", ret, fault)
+		}
+		var b [8]byte
+		root.Read(buf, b[:])
+		if string(b[:]) != "original" {
+			t.Fatalf("parent sees %q; COW write leaked", b[:])
+		}
+	})
+}
+
+// TestPristineSnapshotInherited: memory initialized before main is visible
+// to every sthread, copy-on-write.
+func TestPristineSnapshotInherited(t *testing.T) {
+	app := Boot(kernel.New())
+	var global vm.Addr
+	app.Premain(func(init *kernel.Task) {
+		a, err := init.Mmap(vm.PageSize, vm.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		init.AS.Write(a, []byte("loader-state"))
+		global = a
+	})
+	err := app.Main(func(root *Sthread) {
+		child, err := root.Create(policy.New(), func(s *Sthread, arg vm.Addr) vm.Addr {
+			var b [12]byte
+			s.Read(arg, b[:])
+			if string(b[:]) != "loader-state" {
+				return 0
+			}
+			// Private write: must not be seen by parent.
+			s.Write(arg, []byte("CHILD-STATE!"))
+			return 1
+		}, global)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("pristine read failed: ret=%d fault=%v", ret, fault)
+		}
+		var b [12]byte
+		root.Read(global, b[:])
+		if string(b[:]) != "loader-state" {
+			t.Fatalf("root sees %q; child's COW write leaked into parent", b[:])
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPostSnapshotParentMemoryInvisible: memory the parent maps after main
+// is NOT part of the pristine image and never appears in children.
+func TestPostSnapshotParentMemoryInvisible(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		a, err := root.Task.Mmap(vm.PageSize, vm.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Write(a, []byte("post-main secret"))
+		child, _ := root.Create(policy.New(), func(s *Sthread, arg vm.Addr) vm.Addr {
+			var b [16]byte
+			s.Read(arg, b[:])
+			return 1
+		}, a)
+		if _, fault := root.Join(child); fault == nil {
+			t.Fatal("child read parent's post-snapshot memory")
+		}
+	})
+}
+
+func TestMonotonicityEscalationRejected(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		scRead := policy.New().MustMemAdd(tag, vm.PermRead)
+		child, err := root.Create(scRead, func(s *Sthread, arg vm.Addr) vm.Addr {
+			// The read-only child tries to mint an rw grandchild.
+			scRW := policy.New().MustMemAdd(tags.Tag(tag), vm.PermRW)
+			if _, err := s.Create(scRW, func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0); err == nil {
+				return 0 // escalation succeeded: bad
+			}
+			// A read grandchild is fine.
+			g, err := s.Create(policy.New().MustMemAdd(tag, vm.PermRead),
+				func(*Sthread, vm.Addr) vm.Addr { return 7 }, 0)
+			if err != nil {
+				return 0
+			}
+			ret, fault := s.Join(g)
+			if fault != nil || ret != 7 {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("monotonicity test failed: ret=%d fault=%v", ret, fault)
+		}
+	})
+}
+
+func TestFDGrant(t *testing.T) {
+	k := kernel.New()
+	app := Boot(k)
+	err := app.Main(func(root *Sthread) {
+		// A file the root opens; the child gets fd read-only.
+		fs := root.Task.Kernel().FS
+		fs.MkdirAll(root.Task.Cred(), fs.Root(), "/etc", 0o755)
+		fs.WriteFile(root.Task.Cred(), fs.Root(), "/etc/motd", []byte("welcome"), 0o644)
+		fd, err := root.Task.Open("/etc/motd", vfs.ORdonly, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := policy.New().FDAdd(fd, kernel.FDRead)
+		child, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			var b [7]byte
+			if _, err := s.Task.ReadFD(fd, b[:]); err != nil {
+				return 0
+			}
+			if string(b[:]) != "welcome" {
+				return 0
+			}
+			// Writing through the read grant must fail.
+			if _, err := s.Task.WriteFD(fd, []byte("x")); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("fd grant failed: ret=%d fault=%v", ret, fault)
+		}
+
+		// Ungranted fds must not exist in the child at all.
+		child2, _ := root.Create(policy.New(), func(s *Sthread, _ vm.Addr) vm.Addr {
+			if _, err := s.Task.ReadFD(fd, make([]byte, 1)); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		ret, fault = root.Join(child2)
+		if fault != nil || ret != 1 {
+			t.Fatal("ungranted fd visible in child")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUIDAndChroot(t *testing.T) {
+	k := kernel.New()
+	app := Boot(k)
+	err := app.Main(func(root *Sthread) {
+		fs := k.FS
+		fs.MkdirAll(root.Task.Cred(), fs.Root(), "/var/empty", 0o755)
+		fs.WriteFile(root.Task.Cred(), fs.Root(), "/etc/shadow", []byte("secret"), 0o600)
+
+		sc := policy.New().SetUID(99).SetRoot("/var/empty")
+		child, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			if s.Task.UID != 99 {
+				return 0
+			}
+			// Shadow file unreachable: outside the chroot.
+			if _, err := s.Task.Open("/etc/shadow", vfs.ORdonly, 0); err == nil {
+				return 0
+			}
+			// And the child may not undo its uid.
+			if err := s.Task.SetUID(0); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("uid/chroot confinement failed: ret=%d fault=%v", ret, fault)
+		}
+
+		// A non-root child cannot create children with uid/root changes.
+		child2, _ := root.Create(policy.New().SetUID(99), func(s *Sthread, _ vm.Addr) vm.Addr {
+			if _, err := s.Create(policy.New().SetUID(0), func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0); !errors.Is(err, ErrUIDEscalate) {
+				return 0
+			}
+			return 1
+		}, 0)
+		ret, fault = root.Join(child2)
+		if fault != nil || ret != 1 {
+			t.Fatal("non-root uid change allowed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSELinuxTransition(t *testing.T) {
+	k := kernel.New()
+	k.Policy.AllowAll("worker_t")
+	app := Boot(k)
+	err := app.Main(func(root *Sthread) {
+		sc := policy.New()
+		if err := sc.SELContext("system_u:system_r:worker_t"); err != nil {
+			t.Fatal(err)
+		}
+		child, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			if s.Task.Ctx.Type != "worker_t" {
+				return 0
+			}
+			// worker_t has no transition to admin_t.
+			bad := policy.New()
+			bad.SELContext("system_u:system_r:admin_t")
+			if _, err := s.Create(bad, func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("selinux transition test failed: ret=%d fault=%v", ret, fault)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- callgates ---------------------------------------------------------------
+
+func TestCallgateBasics(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		keyTag, _ := root.App().Tags.TagNew(root.Task)
+		key, _ := root.Smalloc(keyTag, 16)
+		root.Write(key, []byte("private-rsa-key!"))
+
+		argTag, _ := root.App().Tags.TagNew(root.Task)
+
+		// The gate may read the key; it returns a value derived from it.
+		gateSC := policy.New().MustMemAdd(keyTag, vm.PermRead)
+		var sign GateFunc = func(g *Sthread, arg, trusted vm.Addr) vm.Addr {
+			var k [16]byte
+			g.Read(trusted, k[:])
+			var in [4]byte
+			g.Read(arg, in[:])
+			sum := vm.Addr(0)
+			for _, b := range k {
+				sum += vm.Addr(b)
+			}
+			for _, b := range in {
+				sum += vm.Addr(b)
+			}
+			return sum
+		}
+
+		workerSC := policy.New().MustMemAdd(argTag, vm.PermRW)
+		workerSC.GateAdd(sign, gateSC, key, "sign")
+		spec := workerSC.Gates[0]
+
+		child, err := root.Create(workerSC, func(s *Sthread, _ vm.Addr) vm.Addr {
+			arg, err := s.Smalloc(argTag, 4)
+			if err != nil {
+				return 0
+			}
+			s.Write(arg, []byte{1, 2, 3, 4})
+			perms := policy.New().MustMemAdd(argTag, vm.PermRead)
+			ret, err := s.CallGate(spec, perms, arg)
+			if err != nil {
+				return 0
+			}
+			return ret
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil {
+			t.Fatal(fault)
+		}
+		want := vm.Addr(0)
+		for _, b := range []byte("private-rsa-key!") {
+			want += vm.Addr(b)
+		}
+		want += 1 + 2 + 3 + 4
+		if ret != want {
+			t.Fatalf("gate returned %d, want %d", ret, want)
+		}
+	})
+}
+
+// TestCallgateDenied: an sthread without the gate in its policy cannot
+// invoke it.
+func TestCallgateDenied(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		var g GateFunc = func(*Sthread, vm.Addr, vm.Addr) vm.Addr { return 42 }
+		authorized := policy.New()
+		authorized.GateAdd(g, policy.New(), 0, "gate")
+		spec := authorized.Gates[0]
+
+		// Child created WITHOUT the gate grant.
+		child, _ := root.Create(policy.New(), func(s *Sthread, _ vm.Addr) vm.Addr {
+			if _, err := s.CallGate(spec, nil, 0); !errors.Is(err, ErrGateDenied) {
+				return 0
+			}
+			return 1
+		}, 0)
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatal("unauthorized gate invocation succeeded")
+		}
+	})
+}
+
+// TestCallgateCannotReadCallerPrivateMemory: the gate runs in its own
+// address space assembled from its own policy; the caller's private
+// allocations are not in it.
+func TestCallgateCannotReadCallerPrivateMemory(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		probeRet := make(chan error, 1)
+		var g GateFunc = func(gs *Sthread, arg, _ vm.Addr) vm.Addr {
+			probeRet <- gs.TryRead(arg, make([]byte, 8))
+			return 0
+		}
+		sc := policy.New()
+		sc.GateAdd(g, policy.New(), 0, "probe")
+		spec := sc.Gates[0]
+
+		child, _ := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			private, err := s.Malloc(64)
+			if err != nil {
+				return 0
+			}
+			s.Write(private, []byte("caller-secret"))
+			s.CallGate(spec, nil, private) // pass a pointer to private memory
+			return 1
+		}, 0)
+		if _, fault := root.Join(child); fault != nil {
+			t.Fatal(fault)
+		}
+		if err := <-probeRet; err == nil {
+			t.Fatal("gate read the caller's private memory")
+		}
+	})
+}
+
+// TestCallgateArgPermsMustBeCallersSubset: a caller cannot smuggle extra
+// privileges to a gate beyond its own.
+func TestCallgateArgPermsMustBeCallersSubset(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		secretTag, _ := root.App().Tags.TagNew(root.Task)
+		var g GateFunc = func(*Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 }
+		sc := policy.New()
+		sc.GateAdd(g, policy.New(), 0, "g")
+		spec := sc.Gates[0]
+		child, _ := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			perms := policy.New().MustMemAdd(secretTag, vm.PermRead) // not held by caller
+			if _, err := s.CallGate(spec, perms, 0); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatal("caller smuggled extra privileges into a gate")
+		}
+	})
+}
+
+// TestCallgateGatePermsMustBeCreatorsSubset: sc_cgate_add with privileges
+// the creator lacks is rejected at sthread creation (§3.3).
+func TestCallgateGatePermsMustBeCreatorsSubset(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		limited := policy.New() // no access to tag
+		child, _ := root.Create(limited, func(s *Sthread, _ vm.Addr) vm.Addr {
+			var g GateFunc = func(*Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 }
+			overSC := policy.New().MustMemAdd(tag, vm.PermRead)
+			childSC := policy.New()
+			childSC.GateAdd(g, overSC, 0, "over")
+			if _, err := s.Create(childSC, func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatal("gate with privileges beyond creator accepted")
+		}
+	})
+}
+
+// TestCallgateTrustedArgTamperproof: the trusted argument comes from the
+// kernel-held instantiation; the caller passes only the untrusted one.
+func TestCallgateTrustedArgTamperproof(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		cfgTag, _ := root.App().Tags.TagNew(root.Task)
+		trusted, _ := root.Smalloc(cfgTag, 8)
+		root.Write(trusted, []byte("TRUSTED!"))
+
+		got := make(chan string, 1)
+		var g GateFunc = func(gs *Sthread, arg, tr vm.Addr) vm.Addr {
+			var b [8]byte
+			gs.Read(tr, b[:])
+			got <- string(b[:])
+			return 0
+		}
+		gateSC := policy.New().MustMemAdd(cfgTag, vm.PermRead)
+		sc := policy.New()
+		sc.GateAdd(g, gateSC, trusted, "cfg")
+		spec := sc.Gates[0]
+
+		child, _ := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			// The caller passes garbage as the untrusted argument; the
+			// trusted one is beyond its reach.
+			s.CallGate(spec, nil, 0xDEAD)
+			return 1
+		}, 0)
+		if _, fault := root.Join(child); fault != nil {
+			t.Fatal(fault)
+		}
+		if s := <-got; s != "TRUSTED!" {
+			t.Fatalf("gate saw trusted arg %q", s)
+		}
+	})
+}
+
+// TestCallgateInheritsCreatorCredentials: §3.3 "a callgate also inherits
+// the filesystem root and user id of its creator", not of its caller.
+func TestCallgateInheritsCreatorCredentials(t *testing.T) {
+	k := kernel.New()
+	app := Boot(k)
+	err := app.Main(func(root *Sthread) {
+		k.FS.MkdirAll(root.Task.Cred(), k.FS.Root(), "/var/empty", 0o755)
+		uidSeen := make(chan int, 1)
+		var g GateFunc = func(gs *Sthread, _, _ vm.Addr) vm.Addr {
+			uidSeen <- gs.Task.UID
+			return 0
+		}
+		sc := policy.New().SetUID(99).SetRoot("/var/empty")
+		sc.GateAdd(g, policy.New(), 0, "whoami")
+		spec := sc.Gates[0]
+		child, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			s.CallGate(spec, nil, 0)
+			return 0
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Join(child)
+		if uid := <-uidSeen; uid != 0 {
+			t.Fatalf("gate ran with caller uid %d, want creator uid 0", uid)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuthCallgatePromotesWorker is the §5.2 idiom: the callgate, upon
+// successful authentication, changes the worker's user id.
+func TestAuthCallgatePromotesWorker(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		var workers []*Sthread
+		var auth GateFunc = func(gs *Sthread, arg, _ vm.Addr) vm.Addr {
+			if arg == 1 { // "correct password"
+				gs.Task.SetUIDOn(workers[0].Task, 1000)
+				return 1
+			}
+			return 0
+		}
+		sc := policy.New().SetUID(99)
+		sc.GateAdd(auth, policy.New(), 0, "auth")
+		spec := sc.Gates[0]
+		child, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			if s.Task.UID != 99 {
+				return 0
+			}
+			if ret, err := s.CallGate(spec, nil, 0); err != nil || ret != 0 {
+				return 0 // wrong password must not authenticate
+			}
+			if s.Task.UID != 99 {
+				return 0
+			}
+			if ret, err := s.CallGate(spec, nil, 1); err != nil || ret != 1 {
+				return 0
+			}
+			if s.Task.UID != 1000 {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, child)
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatalf("auth promotion failed: ret=%d fault=%v", ret, fault)
+		}
+	})
+}
+
+// ---- recycled callgates --------------------------------------------------------
+
+func TestRecycledBasic(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		var double GateFunc = func(_ *Sthread, arg, _ vm.Addr) vm.Addr { return arg * 2 }
+		r, err := root.NewRecycled("double", policy.New(), double, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		for i := vm.Addr(1); i <= 10; i++ {
+			ret, err := r.Call(root, i)
+			if err != nil {
+				t.Fatalf("call %d: %v", i, err)
+			}
+			if ret != i*2 {
+				t.Fatalf("call %d returned %d", i, ret)
+			}
+		}
+		if got := root.App().Stats.RecycledCalls.Load(); got != 10 {
+			t.Fatalf("RecycledCalls = %d, want 10", got)
+		}
+	})
+}
+
+// TestRecycledStateLeaks documents the isolation trade-off the paper warns
+// about: a recycled gate's memory persists across invocations.
+func TestRecycledStateLeaks(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		scratchTag, _ := root.App().Tags.TagNew(root.Task)
+		scratch, _ := root.Smalloc(scratchTag, 8)
+		gateSC := policy.New().MustMemAdd(scratchTag, vm.PermRW)
+		var fn GateFunc = func(g *Sthread, arg, _ vm.Addr) vm.Addr {
+			prev := g.Load64(scratch)
+			g.Store64(scratch, uint64(arg))
+			return vm.Addr(prev)
+		}
+		r, err := root.NewRecycled("leaky", gateSC, fn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		r.Call(root, 111)
+		prev, err := r.Call(root, 222)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != 111 {
+			t.Fatalf("second call saw %d; recycled gates should retain state (got fresh state instead)", prev)
+		}
+	})
+}
+
+func TestRecycledCloseThenCall(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		var fn GateFunc = func(_ *Sthread, arg, _ vm.Addr) vm.Addr { return arg }
+		r, err := root.NewRecycled("g", policy.New(), fn, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Call(root, 1); !errors.Is(err, ErrGateExited) {
+			t.Fatalf("call after close: %v", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("double close: %v", err)
+		}
+	})
+}
+
+// ---- boundary variables ---------------------------------------------------------
+
+func TestBoundaryVarExcludedFromSnapshot(t *testing.T) {
+	app := Boot(kernel.New())
+	addr, err := app.BoundaryVar(1, []byte("static-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = app.Main(func(root *Sthread) {
+		// Default child: the boundary section must be unmapped.
+		child, _ := root.Create(policy.New(), func(s *Sthread, a vm.Addr) vm.Addr {
+			s.Read(a, make([]byte, 13))
+			return 1
+		}, addr)
+		if _, fault := root.Join(child); fault == nil {
+			t.Fatal("boundary var visible without a grant")
+		}
+
+		// With a BOUNDARY_TAG grant it is readable.
+		btag, err := app.BoundaryTag(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := policy.New().MustMemAdd(btag, vm.PermRead)
+		child2, err := root.Create(sc, func(s *Sthread, a vm.Addr) vm.Addr {
+			var b [13]byte
+			s.Read(a, b[:])
+			if string(b[:]) != "static-secret" {
+				return 0
+			}
+			return 1
+		}, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child2)
+		if fault != nil || ret != 1 {
+			t.Fatalf("granted boundary read failed: ret=%d fault=%v", ret, fault)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundaryVarAfterMainFails(t *testing.T) {
+	app := Boot(kernel.New())
+	app.Main(func(*Sthread) {})
+	if _, err := app.BoundaryVar(1, []byte("x")); !errors.Is(err, ErrAfterPremain) {
+		t.Fatalf("BoundaryVar after Main: %v", err)
+	}
+}
+
+func TestBoundaryTagUnknownID(t *testing.T) {
+	app := Boot(kernel.New())
+	if _, err := app.BoundaryTag(42); err == nil {
+		t.Fatal("BoundaryTag of unknown id succeeded")
+	}
+}
+
+// ---- smalloc_on / smalloc_off -----------------------------------------------------
+
+func TestSmallocOnRedirectsMalloc(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+
+		// Untagged malloc first.
+		plain, err := root.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := root.App().Tags.TagOf(plain); got != tags.NoTag {
+			t.Fatalf("plain malloc landed in tag %d", got)
+		}
+
+		root.SmallocOn(tag)
+		tagged, err := root.Malloc(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := root.App().Tags.TagOf(tagged); got != tag {
+			t.Fatalf("redirected malloc landed in tag %d, want %d", got, tag)
+		}
+		root.SmallocOff()
+
+		plain2, _ := root.Malloc(32)
+		if got := root.App().Tags.TagOf(plain2); got != tags.NoTag {
+			t.Fatalf("malloc after smalloc_off landed in tag %d", got)
+		}
+
+		// Free must route correctly in both cases.
+		if err := root.Free(tagged); err != nil {
+			t.Fatalf("Free(tagged): %v", err)
+		}
+		if err := root.Free(plain); err != nil {
+			t.Fatalf("Free(plain): %v", err)
+		}
+	})
+}
+
+// ---- emulation library -------------------------------------------------------------
+
+func TestEmulationLogsViolations(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		okTag, _ := root.App().Tags.TagNew(root.Task)
+		secretTag, _ := root.App().Tags.TagNew(root.Task)
+		okBuf, _ := root.Smalloc(okTag, 32)
+		secret, _ := root.Smalloc(secretTag, 32)
+		root.Write(secret, []byte("shh"))
+
+		sc := policy.New().MustMemAdd(okTag, vm.PermRW)
+		child, err := root.CreateEmulated("refactored", sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			s.Write(okBuf, []byte("fine"))  // granted: no violation
+			s.Read(secret, make([]byte, 3)) // NOT granted: must be logged, not fatal
+			s.Write(secret, []byte("abc"))  // also logged
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret := root.JoinEmulated(child); ret != 1 {
+			t.Fatalf("emulated body did not complete: ret=%d", ret)
+		}
+		v := root.App().Violations()
+		if len(v) != 2 {
+			t.Fatalf("violations = %d (%v), want 2", len(v), v)
+		}
+		if v[0].Access != vm.AccessRead || v[0].Tag != secretTag {
+			t.Fatalf("violation 0 = %v", v[0])
+		}
+		if v[1].Access != vm.AccessWrite {
+			t.Fatalf("violation 1 = %v", v[1])
+		}
+	})
+}
+
+func TestEmulationAllowsPristine(t *testing.T) {
+	app := Boot(kernel.New())
+	var global vm.Addr
+	app.Premain(func(init *kernel.Task) {
+		global, _ = init.Mmap(vm.PageSize, vm.PermRW)
+	})
+	err := app.Main(func(root *Sthread) {
+		child, err := root.CreateEmulated("e", policy.New(), func(s *Sthread, _ vm.Addr) vm.Addr {
+			s.Read(global, make([]byte, 8))
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.JoinEmulated(child)
+		if n := len(root.App().Violations()); n != 0 {
+			t.Fatalf("pristine access logged %d violations", n)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- misc ---------------------------------------------------------------------------
+
+func TestReadWriteStringHelpers(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		a, _ := root.Malloc(64)
+		root.WriteString(a, "hello world")
+		if s := root.ReadString(a, 64); s != "hello world" {
+			t.Fatalf("ReadString = %q", s)
+		}
+		if s := root.ReadString(a, 5); s != "hello" {
+			t.Fatalf("truncated ReadString = %q", s)
+		}
+	})
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Sthread: "w", Addr: 0x1000, Access: vm.AccessRead, Tag: 3}
+	if !strings.Contains(v.String(), "w: read 0x1000") {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	app := boot(t, func(root *Sthread) {
+		for i := 0; i < 3; i++ {
+			c, _ := root.Create(policy.New(), func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0)
+			root.Join(c)
+		}
+	})
+	if got := app.Stats.SthreadsCreated.Load(); got != 3 {
+		t.Fatalf("SthreadsCreated = %d, want 3", got)
+	}
+}
+
+// TestEmulatedCOWGrantIsolation: the emulation-library extension beyond
+// the paper ("our current implementation does not yet support
+// copy-on-write memory permissions for emulated sthreads", §4.2). An
+// emulated sthread with a COW grant reads the shared contents, sees its
+// own writes, logs no violations for them — and the creator, whose
+// address space the emulated sthread shares, never observes the writes.
+// The semantics match TestCOWGrantIsolation's strict run exactly.
+func TestEmulatedCOWGrantIsolation(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		buf, _ := root.Smalloc(tag, 32)
+		root.Write(buf, []byte("original"))
+
+		sc := policy.New()
+		if err := sc.MemAdd(tag, vm.PermRead|vm.PermCOW); err != nil {
+			t.Fatal(err)
+		}
+		emu, err := root.CreateEmulated("cow-emul", sc, func(s *Sthread, arg vm.Addr) vm.Addr {
+			var b [8]byte
+			s.Read(arg, b[:])
+			if string(b[:]) != "original" {
+				return 0
+			}
+			s.Write(arg, []byte("mutated!"))
+			s.Read(arg, b[:])
+			if string(b[:]) != "mutated!" {
+				return 0
+			}
+			// A second write to the now-shadowed page must stay private
+			// too (the non-first-write path).
+			s.Write(arg+8, []byte("x"))
+			return 1
+		}, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret := root.JoinEmulated(emu); ret != 1 {
+			t.Fatal("emulated COW child failed")
+		}
+		if n := len(root.App().Violations()); n != 0 {
+			t.Fatalf("COW writes logged %d violations: %v", n, root.App().Violations())
+		}
+		var b [9]byte
+		root.Read(buf, b[:])
+		if string(b[:8]) != "original" || b[8] != 0 {
+			t.Fatalf("creator sees %q; emulated COW write leaked through the shared address space", b[:])
+		}
+	})
+}
+
+// TestEmulatedCOWSpanningPages: a COW write crossing a page boundary
+// shadows both pages; reads crossing the boundary stitch the pieces.
+func TestEmulatedCOWSpanningPages(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		// Allocate enough that the block spans a page boundary.
+		buf, err := root.Smalloc(tag, 3*vm.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Position a write across the first boundary inside the block.
+		cross := (buf &^ vm.Addr(vm.PageSize-1)) + vm.Addr(vm.PageSize) - 4
+
+		sc := policy.New()
+		if err := sc.MemAdd(tag, vm.PermRead|vm.PermCOW); err != nil {
+			t.Fatal(err)
+		}
+		emu, err := root.CreateEmulated("cow-span", sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			s.Write(cross, []byte("ABCDEFGH"))
+			var b [8]byte
+			s.Read(cross, b[:])
+			if string(b[:]) != "ABCDEFGH" {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret := root.JoinEmulated(emu); ret != 1 {
+			t.Fatal("spanning write misread")
+		}
+		var b [8]byte
+		root.Read(cross, b[:])
+		if string(b[:]) == "ABCDEFGH" {
+			t.Fatal("spanning COW write leaked to the creator")
+		}
+	})
+}
+
+// TestSfreeAndSmallocState: Sfree routes tagged blocks back to the tag
+// allocator, Free routes tagged addresses to sfree (the LD_PRELOAD shim
+// path), and SmallocState reports the active redirection.
+func TestSfreeAndSmallocState(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, err := root.App().Tags.TagNew(root.Task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := root.SmallocState(); got != tags.NoTag {
+			t.Fatalf("initial smalloc state = %v", got)
+		}
+		root.SmallocOn(tag)
+		if got := root.SmallocState(); got != tag {
+			t.Fatalf("smalloc state = %v, want %v", got, tag)
+		}
+		a, err := root.Malloc(64) // redirected to smalloc
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.SmallocOff()
+		if root.App().Tags.TagOf(a) != tag {
+			t.Fatalf("redirected allocation has tag %v", root.App().Tags.TagOf(a))
+		}
+		// Free on a tagged address must route to sfree and succeed.
+		if err := root.Free(a); err != nil {
+			t.Fatalf("Free(tagged): %v", err)
+		}
+		// Direct Smalloc/Sfree round trip.
+		b, err := root.Smalloc(tag, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := root.Sfree(b); err != nil {
+			t.Fatalf("Sfree: %v", err)
+		}
+		// Double sfree is rejected by the allocator.
+		if err := root.Sfree(b); err == nil {
+			t.Fatal("double Sfree accepted")
+		}
+	})
+}
+
+// TestGateFDFallbackToCaller: a gate policy may name a descriptor that
+// only the caller holds (the argument-descriptor path of prepareGate);
+// the gate receives it from the caller's table.
+func TestGateFDFallbackToCaller(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		// A connection-like object only the worker will hold.
+		l, err := root.Task.Kernel().Net.Listen("gate-fd:1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			c, err := root.Task.Kernel().Net.Dial("gate-fd:1")
+			if err == nil {
+				c.Write([]byte("ping"))
+				c.Close()
+			}
+		}()
+		conn, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := root.Task.InstallFD(conn, kernel.FDRW)
+
+		var gate GateFunc = func(g *Sthread, _, _ vm.Addr) vm.Addr {
+			buf := make([]byte, 4)
+			if _, err := g.Task.ReadFD(fd, buf); err != nil {
+				return 0
+			}
+			if string(buf) != "ping" {
+				return 0
+			}
+			return 1
+		}
+		// The gate's own policy names fd; the creating sthread (root)
+		// holds it, and so does the worker via its policy.
+		gateSC := policy.New().FDAdd(fd, kernel.FDRead)
+		workerSC := policy.New().FDAdd(fd, kernel.FDRead)
+		workerSC.GateAdd(gate, gateSC, 0, "reader")
+		spec := workerSC.Gates[0]
+
+		worker, err := root.Create(workerSC, func(w *Sthread, _ vm.Addr) vm.Addr {
+			ret, err := w.CallGate(spec, nil, 0)
+			if err != nil {
+				return 0
+			}
+			return ret
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(worker)
+		if fault != nil || ret != 1 {
+			t.Fatalf("gate fd read: ret=%d fault=%v", ret, fault)
+		}
+	})
+}
+
+// TestEmulatedTryReadWrite: Try variants under emulation return errors
+// for unmapped addresses instead of faulting, and succeed on granted
+// memory.
+func TestEmulatedTryReadWrite(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		buf, _ := root.Smalloc(tag, 16)
+		sc := policy.New().MustMemAdd(tag, vm.PermRW)
+		emu, err := root.CreateEmulated("try-emul", sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			if err := s.TryWrite(buf, []byte("ok")); err != nil {
+				return 0
+			}
+			b := make([]byte, 2)
+			if err := s.TryRead(buf, b); err != nil || string(b) != "ok" {
+				return 0
+			}
+			// An address in no mapping at all errors instead of killing
+			// the emulated sthread.
+			if err := s.TryRead(vm.Addr(0xDEAD0000), b); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret := root.JoinEmulated(emu); ret != 1 {
+			t.Fatal("emulated Try accessors misbehaved")
+		}
+	})
+}
+
+// TestCreateEmulatedValidation: the emulation library still validates the
+// policy — escalation and nil policies are rejected before anything runs.
+func TestCreateEmulatedValidation(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		tag, _ := root.App().Tags.TagNew(root.Task)
+		if _, err := root.Smalloc(tag, 8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := root.CreateEmulated("nil", nil, func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0); err == nil {
+			t.Fatal("nil policy accepted")
+		}
+		mid := policy.New().MustMemAdd(tag, vm.PermRead)
+		child, err := root.Create(mid, func(s *Sthread, _ vm.Addr) vm.Addr {
+			esc := policy.New().MustMemAdd(tag, vm.PermRW)
+			if _, err := s.CreateEmulated("esc", esc, func(*Sthread, vm.Addr) vm.Addr { return 0 }, 0); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := root.Join(child)
+		if fault != nil || ret != 1 {
+			t.Fatal("emulated escalation accepted")
+		}
+	})
+}

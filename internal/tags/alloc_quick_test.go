@@ -1,0 +1,267 @@
+// Property-based and failure-injection tests for the boundary-tag
+// allocator beneath smalloc (§4.1, derived from dlmalloc): alignment,
+// non-overlap, content integrity under random alloc/free interleavings,
+// full coalescing, and corrupt-free detection.
+
+package tags
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wedge/internal/vm"
+)
+
+// newArena maps and seeds a raw heap of the given size.
+func newArena(t *testing.T, size int) (*vm.AddressSpace, vm.Addr) {
+	t.Helper()
+	as := vm.NewAddressSpace()
+	base, err := as.MapAnon(size, vm.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := InitHeap(as, base, size); err != nil {
+		t.Fatal(err)
+	}
+	return as, base
+}
+
+// TestHeapAllocStressProperty drives random alloc/free sequences and
+// checks, at every step: 16-byte alignment, pairwise disjointness of live
+// payloads, and that every byte written to a block survives until its
+// free — the failure mode of overlap or header corruption.
+func TestHeapAllocStressProperty(t *testing.T) {
+	type block struct {
+		addr vm.Addr
+		size int
+		fill byte
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as, base := newArena(t, 1<<20)
+		var live []block
+		for step := 0; step < 300; step++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				size := 1 + rng.Intn(1200) // spans the exact bins and the large bin
+				a, err := HeapAlloc(as, base, size)
+				if err != nil {
+					if errors.Is(err, ErrNoMem) {
+						continue // arena full; keep freeing
+					}
+					t.Logf("seed %d: alloc: %v", seed, err)
+					return false
+				}
+				if a%16 != 0 {
+					t.Logf("seed %d: unaligned payload %#x", seed, uint64(a))
+					return false
+				}
+				for _, b := range live {
+					if a < b.addr+vm.Addr(b.size) && b.addr < a+vm.Addr(size) {
+						t.Logf("seed %d: overlap [%#x,+%d) with [%#x,+%d)",
+							seed, uint64(a), size, uint64(b.addr), b.size)
+						return false
+					}
+				}
+				fill := byte(rng.Intn(255) + 1)
+				buf := make([]byte, size)
+				for i := range buf {
+					buf[i] = fill
+				}
+				if err := as.Write(a, buf); err != nil {
+					return false
+				}
+				live = append(live, block{a, size, fill})
+			} else {
+				i := rng.Intn(len(live))
+				b := live[i]
+				got := make([]byte, b.size)
+				if err := as.Read(b.addr, got); err != nil {
+					return false
+				}
+				for j, v := range got {
+					if v != b.fill {
+						t.Logf("seed %d: block %#x byte %d = %#x, want %#x",
+							seed, uint64(b.addr), j, v, b.fill)
+						return false
+					}
+				}
+				if err := HeapFree(as, base, b.addr); err != nil {
+					t.Logf("seed %d: free %#x: %v", seed, uint64(b.addr), err)
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapFullCoalescingProperty: allocate many blocks, free them all in
+// a random order, and verify the allocator can then hand out one block
+// spanning nearly the whole arena — only full boundary-tag coalescing
+// makes that possible.
+func TestHeapFullCoalescingProperty(t *testing.T) {
+	const arena = 1 << 18
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as, base := newArena(t, arena)
+		var addrs []vm.Addr
+		for {
+			a, err := HeapAlloc(as, base, 512+rng.Intn(512))
+			if errors.Is(err, ErrNoMem) {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			addrs = append(addrs, a)
+		}
+		if len(addrs) < 100 {
+			t.Logf("seed %d: only %d blocks fit", seed, len(addrs))
+			return false
+		}
+		rng.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+		for _, a := range addrs {
+			if err := HeapFree(as, base, a); err != nil {
+				t.Logf("seed %d: free: %v", seed, err)
+				return false
+			}
+		}
+		// Nearly the whole arena must be allocatable as one block again.
+		big, err := HeapAlloc(as, base, arena*9/10)
+		if err != nil {
+			t.Logf("seed %d: post-coalesce big alloc: %v", seed, err)
+			return false
+		}
+		return HeapFree(as, base, big) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapMiddleBlockCoalescing: the classic three-way merge — freeing
+// the middle of three adjacent free-able blocks yields one chunk big
+// enough for their combined size.
+func TestHeapMiddleBlockCoalescing(t *testing.T) {
+	as, base := newArena(t, 1<<16)
+	const sz = 256
+	a, err := HeapAlloc(as, base, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := HeapAlloc(as, base, sz)
+	c, _ := HeapAlloc(as, base, sz)
+	// A sentinel keeps the trio away from the wilderness so the merge is
+	// chunk-to-chunk, not a top reset.
+	if _, err := HeapAlloc(as, base, sz); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []vm.Addr{a, c, b} { // middle last: coalesces both ways
+		if err := HeapFree(as, base, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One allocation of ~3x must fit in the merged chunk, at a's address.
+	big, err := HeapAlloc(as, base, 3*sz)
+	if err != nil {
+		t.Fatalf("merged alloc: %v", err)
+	}
+	if big != a {
+		t.Fatalf("merged block at %#x, want the trio's base %#x", uint64(big), uint64(a))
+	}
+}
+
+// TestHeapFreeFailureInjection: double frees, wild pointers, and frees
+// below the heap header are rejected with the distinct errors.
+func TestHeapFreeFailureInjection(t *testing.T) {
+	as, base := newArena(t, 1<<16)
+	a, err := HeapAlloc(as, base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := HeapFree(as, base, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := HeapFree(as, base, a); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("double free: %v", err)
+	}
+	if err := HeapFree(as, base, base+8); !errors.Is(err, ErrBadFree) {
+		t.Fatalf("free inside header: %v", err)
+	}
+	// A heap that was never initialised is refused outright.
+	raw, err := as.MapAnon(1<<14, vm.PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HeapAlloc(as, raw, 16); err == nil {
+		t.Fatal("alloc from uninitialised region accepted")
+	}
+	if err := HeapFree(as, raw, raw+64); err == nil {
+		t.Fatal("free into uninitialised region accepted")
+	}
+}
+
+// TestHeapExhaustionAndRecovery: ErrNoMem at the wilderness end, full
+// recovery after frees.
+func TestHeapExhaustionAndRecovery(t *testing.T) {
+	as, base := newArena(t, 1<<14)
+	var addrs []vm.Addr
+	for {
+		a, err := HeapAlloc(as, base, 1024)
+		if errors.Is(err, ErrNoMem) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	if len(addrs) == 0 {
+		t.Fatal("nothing fit")
+	}
+	for _, a := range addrs {
+		if err := HeapFree(as, base, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := HeapAlloc(as, base, 1024); err != nil {
+		t.Fatalf("alloc after recovery: %v", err)
+	}
+}
+
+// TestUsableSizeSmalloc: UsableSize reports at least the requested bytes
+// for live smalloc blocks and rejects freed ones.
+func TestUsableSizeSmalloc(t *testing.T) {
+	task := newTask(t)
+	as := task.AS
+	reg := NewRegistry()
+	tag, err := reg.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 16, 17, 255, 4096} {
+		a, err := reg.Smalloc(as, tag, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reg.UsableSize(as, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < size {
+			t.Fatalf("UsableSize(%d-byte block) = %d", size, got)
+		}
+		if err := reg.Sfree(as, a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.UsableSize(as, a); err == nil {
+			t.Fatal("UsableSize accepted a freed block")
+		}
+	}
+}

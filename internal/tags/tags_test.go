@@ -1,0 +1,477 @@
+package tags
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wedge/internal/kernel"
+	"wedge/internal/vm"
+)
+
+func newTask(t *testing.T) *kernel.Task {
+	t.Helper()
+	k := kernel.New()
+	return k.NewInitTask()
+}
+
+func TestTagNewAndSmalloc(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatalf("TagNew: %v", err)
+	}
+	if tag == NoTag {
+		t.Fatal("TagNew returned NoTag")
+	}
+	a, err := r.Smalloc(task.AS, tag, 100)
+	if err != nil {
+		t.Fatalf("Smalloc: %v", err)
+	}
+	reg, err := r.Lookup(tag)
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if !reg.Contains(a) {
+		t.Fatalf("allocation %#x outside segment [%#x,%#x)", uint64(a), uint64(reg.Base), uint64(reg.End()))
+	}
+	// The allocation must be writable end to end.
+	buf := make([]byte, 100)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := task.AS.Write(a, buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, 100)
+	if err := task.AS.Read(a, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for i := range got {
+		if got[i] != byte(i) {
+			t.Fatalf("byte %d = %d, want %d", i, got[i], byte(i))
+		}
+	}
+}
+
+func TestSmallocUnknownTag(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	if _, err := r.Smalloc(task.AS, Tag(42), 8); err == nil {
+		t.Fatal("Smalloc with unknown tag succeeded")
+	}
+}
+
+func TestTagDeleteThenLookupFails(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatalf("TagNew: %v", err)
+	}
+	if err := r.TagDelete(tag); err != nil {
+		t.Fatalf("TagDelete: %v", err)
+	}
+	if _, err := r.Lookup(tag); err == nil {
+		t.Fatal("Lookup after delete succeeded")
+	}
+	if err := r.TagDelete(tag); err == nil {
+		t.Fatal("double TagDelete succeeded")
+	}
+}
+
+func TestTagReuseHitsCache(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatalf("TagNew: %v", err)
+	}
+	reg1, _ := r.Lookup(tag)
+	if err := r.TagDelete(tag); err != nil {
+		t.Fatalf("TagDelete: %v", err)
+	}
+	if r.CacheLen() != 1 {
+		t.Fatalf("cache len = %d, want 1", r.CacheLen())
+	}
+	tag2, err := r.TagNew(task)
+	if err != nil {
+		t.Fatalf("TagNew(reuse): %v", err)
+	}
+	reg2, _ := r.Lookup(tag2)
+	if reg1.Base != reg2.Base {
+		t.Fatalf("reuse allocated a new segment: %#x vs %#x", uint64(reg1.Base), uint64(reg2.Base))
+	}
+	if r.Reuses != 1 {
+		t.Fatalf("Reuses = %d, want 1", r.Reuses)
+	}
+	if tag2 == tag {
+		t.Fatal("reused segment kept its old tag; tags must be fresh")
+	}
+}
+
+// TestTagReuseScrubs is the secrecy property of §4.1: no byte written under
+// the previous tag's lifetime may survive into the reused segment.
+func TestTagReuseScrubs(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatalf("TagNew: %v", err)
+	}
+	a, err := r.Smalloc(task.AS, tag, 4096)
+	if err != nil {
+		t.Fatalf("Smalloc: %v", err)
+	}
+	secret := make([]byte, 4096)
+	for i := range secret {
+		secret[i] = 0xAA
+	}
+	if err := task.AS.Write(a, secret); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := r.TagDelete(tag); err != nil {
+		t.Fatalf("TagDelete: %v", err)
+	}
+	tag2, err := r.TagNew(task)
+	if err != nil {
+		t.Fatalf("TagNew: %v", err)
+	}
+	reg, _ := r.Lookup(tag2)
+	// Scan the whole reusable area beyond the allocator header for 0xAA.
+	floor, _ := r.HeapFloor(tag2)
+	buf := make([]byte, reg.Size-int(floor-reg.Base))
+	if err := task.AS.Read(floor, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for i, b := range buf {
+		if b == 0xAA {
+			t.Fatalf("secret byte survived tag reuse at offset %d", i)
+		}
+	}
+}
+
+func TestCacheDisabledUnmaps(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	r.CacheEnabled = false
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatalf("TagNew: %v", err)
+	}
+	reg, _ := r.Lookup(tag)
+	if err := r.TagDelete(tag); err != nil {
+		t.Fatalf("TagDelete: %v", err)
+	}
+	if r.CacheLen() != 0 {
+		t.Fatalf("cache len = %d, want 0 with cache disabled", r.CacheLen())
+	}
+	if _, ok := task.AS.Lookup(reg.Base); ok {
+		t.Fatal("segment still mapped after uncached delete")
+	}
+}
+
+func TestSfreeAndReuseMemory(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, _ := r.TagNew(task)
+	a1, err := r.Smalloc(task.AS, tag, 64)
+	if err != nil {
+		t.Fatalf("Smalloc: %v", err)
+	}
+	if err := r.Sfree(task.AS, a1); err != nil {
+		t.Fatalf("Sfree: %v", err)
+	}
+	a2, err := r.Smalloc(task.AS, tag, 64)
+	if err != nil {
+		t.Fatalf("Smalloc 2: %v", err)
+	}
+	if a1 != a2 {
+		t.Fatalf("free block not reused: %#x then %#x", uint64(a1), uint64(a2))
+	}
+}
+
+func TestSfreeDoubleFree(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, _ := r.TagNew(task)
+	a, _ := r.Smalloc(task.AS, tag, 64)
+	if err := r.Sfree(task.AS, a); err != nil {
+		t.Fatalf("Sfree: %v", err)
+	}
+	if err := r.Sfree(task.AS, a); err == nil {
+		t.Fatal("double free succeeded")
+	}
+}
+
+func TestSfreeForeignAddress(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	if err := r.Sfree(task.AS, vm.Addr(0xdead000)); err == nil {
+		t.Fatal("Sfree of untagged address succeeded")
+	}
+}
+
+func TestSegmentExhaustion(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	r.RegionSize = 2 * vm.PageSize
+	tag, _ := r.TagNew(task)
+	var allocs []vm.Addr
+	for {
+		a, err := r.Smalloc(task.AS, tag, 256)
+		if err != nil {
+			break
+		}
+		allocs = append(allocs, a)
+	}
+	if len(allocs) == 0 {
+		t.Fatal("no allocations succeeded before exhaustion")
+	}
+	// Free everything; the wilderness must recover fully.
+	for _, a := range allocs {
+		if err := r.Sfree(task.AS, a); err != nil {
+			t.Fatalf("Sfree(%#x): %v", uint64(a), err)
+		}
+	}
+	top, err := r.HeapTop(task.AS, tag)
+	if err != nil {
+		t.Fatalf("HeapTop: %v", err)
+	}
+	floor, _ := r.HeapFloor(tag)
+	if top != floor {
+		t.Fatalf("heap did not fully coalesce: top %#x, floor %#x", uint64(top), uint64(floor))
+	}
+}
+
+func TestCoalescingMiddleFree(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, _ := r.TagNew(task)
+	a, _ := r.Smalloc(task.AS, tag, 64)
+	b, _ := r.Smalloc(task.AS, tag, 64)
+	c, _ := r.Smalloc(task.AS, tag, 64)
+	// Free a and c, then b: all three must merge back (b coalesces both ways
+	// and the whole run rejoins the wilderness).
+	for _, p := range []vm.Addr{a, c, b} {
+		if err := r.Sfree(task.AS, p); err != nil {
+			t.Fatalf("Sfree(%#x): %v", uint64(p), err)
+		}
+	}
+	top, _ := r.HeapTop(task.AS, tag)
+	floor, _ := r.HeapFloor(tag)
+	if top != floor {
+		t.Fatalf("top %#x != floor %#x after freeing all", uint64(top), uint64(floor))
+	}
+}
+
+func TestUsableSize(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, _ := r.TagNew(task)
+	a, _ := r.Smalloc(task.AS, tag, 100)
+	n, err := r.UsableSize(task.AS, a)
+	if err != nil {
+		t.Fatalf("UsableSize: %v", err)
+	}
+	if n < 100 {
+		t.Fatalf("UsableSize = %d, want >= 100", n)
+	}
+}
+
+func TestTagOf(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	t1, _ := r.TagNew(task)
+	t2, _ := r.TagNew(task)
+	a1, _ := r.Smalloc(task.AS, t1, 32)
+	a2, _ := r.Smalloc(task.AS, t2, 32)
+	if got := r.TagOf(a1); got != t1 {
+		t.Fatalf("TagOf(a1) = %d, want %d", got, t1)
+	}
+	if got := r.TagOf(a2); got != t2 {
+		t.Fatalf("TagOf(a2) = %d, want %d", got, t2)
+	}
+	if got := r.TagOf(vm.Addr(1)); got != NoTag {
+		t.Fatalf("TagOf(untagged) = %d, want NoTag", got)
+	}
+}
+
+func TestTagsListing(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	t1, _ := r.TagNew(task)
+	t2, _ := r.TagNew(task)
+	got := r.Tags()
+	if len(got) != 2 {
+		t.Fatalf("Tags() len = %d, want 2", len(got))
+	}
+	seen := map[Tag]bool{}
+	for _, tg := range got {
+		seen[tg] = true
+	}
+	if !seen[t1] || !seen[t2] {
+		t.Fatalf("Tags() = %v missing %d or %d", got, t1, t2)
+	}
+}
+
+// Property: allocations never overlap, are 16-byte aligned, and stay inside
+// the segment, across an arbitrary interleaving of mallocs and frees.
+func TestPropertyAllocatorNonOverlap(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, _ := r.TagNew(task)
+
+	type block struct {
+		addr vm.Addr
+		size int
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var live []block
+		for op := 0; op < 200; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				if err := r.Sfree(task.AS, live[i].addr); err != nil {
+					t.Logf("seed %d: Sfree: %v", seed, err)
+					return false
+				}
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := 1 + rng.Intn(900)
+			a, err := r.Smalloc(task.AS, tag, size)
+			if err != nil {
+				continue // exhaustion is fine
+			}
+			if uint64(a)%16 != 0 {
+				t.Logf("seed %d: unaligned alloc %#x", seed, uint64(a))
+				return false
+			}
+			reg, _ := r.Lookup(tag)
+			if a < reg.Base || a+vm.Addr(size) > reg.End() {
+				t.Logf("seed %d: alloc escapes segment", seed)
+				return false
+			}
+			for _, b := range live {
+				if a < b.addr+vm.Addr(b.size) && b.addr < a+vm.Addr(size) {
+					t.Logf("seed %d: overlap %#x+%d with %#x+%d", seed, uint64(a), size, uint64(b.addr), b.size)
+					return false
+				}
+			}
+			live = append(live, block{a, size})
+		}
+		for _, b := range live {
+			if err := r.Sfree(task.AS, b.addr); err != nil {
+				t.Logf("seed %d: final Sfree: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: data written to one allocation is never clobbered by activity in
+// other allocations of the same segment.
+func TestPropertyAllocatorIntegrity(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, _ := r.TagNew(task)
+
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type block struct {
+			addr vm.Addr
+			data []byte
+		}
+		var live []block
+		for op := 0; op < 120; op++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				r.Sfree(task.AS, live[i].addr)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			size := 1 + rng.Intn(300)
+			a, err := r.Smalloc(task.AS, tag, size)
+			if err != nil {
+				continue
+			}
+			data := make([]byte, size)
+			rng.Read(data)
+			if err := task.AS.Write(a, data); err != nil {
+				return false
+			}
+			live = append(live, block{a, data})
+		}
+		for _, b := range live {
+			got := make([]byte, len(b.data))
+			if err := task.AS.Read(b.addr, got); err != nil {
+				return false
+			}
+			for i := range got {
+				if got[i] != b.data[i] {
+					t.Logf("seed %d: corruption at %#x+%d", seed, uint64(b.addr), i)
+					return false
+				}
+			}
+			r.Sfree(task.AS, b.addr)
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSmalloc(b *testing.B) {
+	k := kernel.New()
+	task := k.NewInitTask()
+	r := NewRegistry()
+	r.RegionSize = 1 << 20
+	tag, _ := r.TagNew(task)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := r.Smalloc(task.AS, tag, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Sfree(task.AS, a)
+	}
+}
+
+func BenchmarkTagNewWarm(b *testing.B) {
+	k := kernel.New()
+	task := k.NewInitTask()
+	r := NewRegistry()
+	// Prime the cache.
+	tag, _ := r.TagNew(task)
+	r.TagDelete(tag)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg, err := r.TagNew(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.TagDelete(tg)
+	}
+}
+
+func BenchmarkTagNewCold(b *testing.B) {
+	k := kernel.New()
+	task := k.NewInitTask()
+	r := NewRegistry()
+	r.CacheEnabled = false
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg, err := r.TagNew(task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.TagDelete(tg)
+	}
+}

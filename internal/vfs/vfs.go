@@ -1,0 +1,466 @@
+// Package vfs is an in-memory Unix-like filesystem used by the simulated
+// kernel. It provides what the Wedge applications in §5 need from the VFS:
+// permission bits checked against a caller uid, per-task filesystem roots
+// (chroot) with ".." confined below the root, and ordinary file I/O for
+// shadow password files, web content, and mail spools.
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mode holds Unix-style permission bits (owner/group/other rwx). Group bits
+// are checked against "other" because the simulated kernel has no group
+// database; this matches how the paper's servers use permissions.
+type Mode uint16
+
+// FileType distinguishes regular files from directories.
+type FileType int
+
+const (
+	// TypeFile is a regular file.
+	TypeFile FileType = iota
+	// TypeDir is a directory.
+	TypeDir
+)
+
+// Sentinel errors, matching the kernel error surface.
+var (
+	ErrNotExist   = errors.New("vfs: no such file or directory")
+	ErrExist      = errors.New("vfs: file exists")
+	ErrPermission = errors.New("vfs: permission denied")
+	ErrNotDir     = errors.New("vfs: not a directory")
+	ErrIsDir      = errors.New("vfs: is a directory")
+	ErrBadFlags   = errors.New("vfs: bad open flags")
+)
+
+// Open flags.
+const (
+	ORdonly = 1 << iota
+	OWronly
+	OCreate
+	OTrunc
+	OAppend
+)
+
+// ORdwr opens for both reading and writing.
+const ORdwr = ORdonly | OWronly
+
+// Inode is a file or directory node.
+type Inode struct {
+	mu       sync.RWMutex
+	Type     FileType
+	Mode     Mode
+	UID      int
+	data     []byte
+	children map[string]*Inode
+	parent   *Inode // nil for a filesystem root
+}
+
+// Stat is a snapshot of inode metadata.
+type Stat struct {
+	Type FileType
+	Mode Mode
+	UID  int
+	Size int
+}
+
+// Cred identifies the caller for permission checks. UID 0 is root and
+// bypasses permission bits, as on Unix.
+type Cred struct {
+	UID int
+}
+
+// Root is Cred for uid 0.
+var Root = Cred{UID: 0}
+
+const (
+	permRead  = 4
+	permWrite = 2
+	permExec  = 1
+)
+
+// check verifies that cred may perform the access (a permRead/permWrite/
+// permExec bit) on the inode.
+func (ino *Inode) check(cred Cred, access Mode) error {
+	if cred.UID == 0 {
+		return nil
+	}
+	var bits Mode
+	if cred.UID == ino.UID {
+		bits = (ino.Mode >> 6) & 7
+	} else {
+		bits = ino.Mode & 7
+	}
+	if bits&access != access {
+		return ErrPermission
+	}
+	return nil
+}
+
+// StatNow returns a metadata snapshot.
+func (ino *Inode) StatNow() Stat {
+	ino.mu.RLock()
+	defer ino.mu.RUnlock()
+	return Stat{Type: ino.Type, Mode: ino.Mode, UID: ino.UID, Size: len(ino.data)}
+}
+
+// FS is a filesystem instance.
+type FS struct {
+	root *Inode
+}
+
+// New returns a filesystem with an empty root directory owned by root.
+func New() *FS {
+	return &FS{root: &Inode{Type: TypeDir, Mode: 0o755, children: make(map[string]*Inode)}}
+}
+
+// Root returns the filesystem's true root inode, used as the default task
+// filesystem root before any chroot.
+func (fs *FS) Root() *Inode { return fs.root }
+
+// resolve walks p starting from root, confining ".." beneath root exactly
+// as the kernel confines a chrooted process. It returns the final inode.
+// Every traversed directory requires search (execute) permission.
+func resolve(cred Cred, root *Inode, p string) (*Inode, error) {
+	cur := root
+	for _, comp := range splitPath(p) {
+		cur.mu.RLock()
+		if cur.Type != TypeDir {
+			cur.mu.RUnlock()
+			return nil, ErrNotDir
+		}
+		if err := cur.check(cred, permExec); err != nil {
+			cur.mu.RUnlock()
+			return nil, err
+		}
+		var next *Inode
+		switch comp {
+		case ".":
+			next = cur
+		case "..":
+			if cur == root || cur.parent == nil {
+				next = cur // confined: cannot escape the root
+			} else {
+				next = cur.parent
+			}
+		default:
+			next = cur.children[comp]
+		}
+		cur.mu.RUnlock()
+		if next == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, p)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// resolveParent resolves the directory containing the final component of p.
+func resolveParent(cred Cred, root *Inode, p string) (*Inode, string, error) {
+	comps := splitPath(p)
+	if len(comps) == 0 {
+		return nil, "", ErrExist
+	}
+	dir, err := resolve(cred, root, strings.Join(comps[:len(comps)-1], "/"))
+	if err != nil {
+		return nil, "", err
+	}
+	return dir, comps[len(comps)-1], nil
+}
+
+func splitPath(p string) []string {
+	p = path.Clean("/" + p)
+	if p == "/" {
+		return nil
+	}
+	return strings.Split(strings.TrimPrefix(p, "/"), "/")
+}
+
+// Mkdir creates a directory owned by cred's uid.
+func (fs *FS) Mkdir(cred Cred, root *Inode, p string, mode Mode) error {
+	dir, name, err := resolveParent(cred, root, p)
+	if err != nil {
+		return err
+	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	if dir.Type != TypeDir {
+		return ErrNotDir
+	}
+	if err := dir.check(cred, permWrite); err != nil {
+		return err
+	}
+	if _, ok := dir.children[name]; ok {
+		return ErrExist
+	}
+	dir.children[name] = &Inode{Type: TypeDir, Mode: mode, UID: cred.UID, children: make(map[string]*Inode), parent: dir}
+	return nil
+}
+
+// MkdirAll creates p and any missing parents.
+func (fs *FS) MkdirAll(cred Cred, root *Inode, p string, mode Mode) error {
+	comps := splitPath(p)
+	cur := ""
+	for _, c := range comps {
+		cur += "/" + c
+		if err := fs.Mkdir(cred, root, cur, mode); err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open opens p relative to root with the given flags, performing Unix-style
+// permission checks with cred.
+func (fs *FS) Open(cred Cred, root *Inode, p string, flags int, mode Mode) (*File, error) {
+	if flags&ORdwr == 0 {
+		return nil, ErrBadFlags
+	}
+	ino, err := resolve(cred, root, p)
+	if errors.Is(err, ErrNotExist) && flags&OCreate != 0 {
+		dir, name, perr := resolveParent(cred, root, p)
+		if perr != nil {
+			return nil, perr
+		}
+		dir.mu.Lock()
+		if dir.Type != TypeDir {
+			dir.mu.Unlock()
+			return nil, ErrNotDir
+		}
+		if cerr := dir.check(cred, permWrite); cerr != nil {
+			dir.mu.Unlock()
+			return nil, cerr
+		}
+		if _, ok := dir.children[name]; !ok {
+			dir.children[name] = &Inode{Type: TypeFile, Mode: mode, UID: cred.UID, parent: dir}
+		}
+		ino = dir.children[name]
+		dir.mu.Unlock()
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ino.Type == TypeDir {
+		return nil, ErrIsDir
+	}
+	if flags&ORdonly != 0 {
+		if err := ino.check(cred, permRead); err != nil {
+			return nil, err
+		}
+	}
+	if flags&OWronly != 0 {
+		if err := ino.check(cred, permWrite); err != nil {
+			return nil, err
+		}
+	}
+	f := &File{ino: ino, flags: flags}
+	if flags&OTrunc != 0 {
+		ino.mu.Lock()
+		ino.data = nil
+		ino.mu.Unlock()
+	}
+	if flags&OAppend != 0 {
+		f.pos = ino.StatNow().Size
+	}
+	return f, nil
+}
+
+// WriteFile creates (or truncates) p with the given contents and mode.
+func (fs *FS) WriteFile(cred Cred, root *Inode, p string, data []byte, mode Mode) error {
+	f, err := fs.Open(cred, root, p, OWronly|OCreate|OTrunc, mode)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// ReadFile returns the contents of p.
+func (fs *FS) ReadFile(cred Cred, root *Inode, p string) ([]byte, error) {
+	f, err := fs.Open(cred, root, p, ORdonly, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// StatPath returns metadata for p.
+func (fs *FS) StatPath(cred Cred, root *Inode, p string) (Stat, error) {
+	ino, err := resolve(cred, root, p)
+	if err != nil {
+		return Stat{}, err
+	}
+	return ino.StatNow(), nil
+}
+
+// Lookup resolves p to an inode (used by chroot).
+func (fs *FS) Lookup(cred Cred, root *Inode, p string) (*Inode, error) {
+	return resolve(cred, root, p)
+}
+
+// Readdir lists the names in directory p in sorted order.
+func (fs *FS) Readdir(cred Cred, root *Inode, p string) ([]string, error) {
+	ino, err := resolve(cred, root, p)
+	if err != nil {
+		return nil, err
+	}
+	ino.mu.RLock()
+	defer ino.mu.RUnlock()
+	if ino.Type != TypeDir {
+		return nil, ErrNotDir
+	}
+	if err := ino.check(cred, permRead); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ino.children))
+	for name := range ino.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes the file or empty directory at p.
+func (fs *FS) Remove(cred Cred, root *Inode, p string) error {
+	dir, name, err := resolveParent(cred, root, p)
+	if err != nil {
+		return err
+	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	child, ok := dir.children[name]
+	if !ok {
+		return ErrNotExist
+	}
+	if err := dir.check(cred, permWrite); err != nil {
+		return err
+	}
+	child.mu.RLock()
+	nonEmpty := child.Type == TypeDir && len(child.children) > 0
+	child.mu.RUnlock()
+	if nonEmpty {
+		return errors.New("vfs: directory not empty")
+	}
+	delete(dir.children, name)
+	return nil
+}
+
+// Chown changes the owner of p. Only root may do so.
+func (fs *FS) Chown(cred Cred, root *Inode, p string, uid int) error {
+	if cred.UID != 0 {
+		return ErrPermission
+	}
+	ino, err := resolve(cred, root, p)
+	if err != nil {
+		return err
+	}
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	ino.UID = uid
+	return nil
+}
+
+// Chmod changes the mode of p. Only root or the owner may do so.
+func (fs *FS) Chmod(cred Cred, root *Inode, p string, mode Mode) error {
+	ino, err := resolve(cred, root, p)
+	if err != nil {
+		return err
+	}
+	ino.mu.Lock()
+	defer ino.mu.Unlock()
+	if cred.UID != 0 && cred.UID != ino.UID {
+		return ErrPermission
+	}
+	ino.Mode = mode
+	return nil
+}
+
+// File is an open file handle with an offset.
+type File struct {
+	mu    sync.Mutex
+	ino   *Inode
+	pos   int
+	flags int
+}
+
+// Read implements io.Reader.
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.flags&ORdonly == 0 {
+		return 0, ErrPermission
+	}
+	f.ino.mu.RLock()
+	defer f.ino.mu.RUnlock()
+	if f.pos >= len(f.ino.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.ino.data[f.pos:])
+	f.pos += n
+	return n, nil
+}
+
+// Write implements io.Writer.
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.flags&OWronly == 0 {
+		return 0, ErrPermission
+	}
+	f.ino.mu.Lock()
+	defer f.ino.mu.Unlock()
+	if grow := f.pos + len(p) - len(f.ino.data); grow > 0 {
+		f.ino.data = append(f.ino.data, make([]byte, grow)...)
+	}
+	copy(f.ino.data[f.pos:], p)
+	f.pos += len(p)
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.pos
+	case io.SeekEnd:
+		base = f.ino.StatNow().Size
+	default:
+		return 0, errors.New("vfs: bad whence")
+	}
+	np := base + int(offset)
+	if np < 0 {
+		return 0, errors.New("vfs: negative seek")
+	}
+	f.pos = np
+	return int64(np), nil
+}
+
+// Size returns the current file size.
+func (f *File) Size() int { return f.ino.StatNow().Size }
+
+// Close releases the handle.
+func (f *File) Close() error { return nil }
+
+// Inode exposes the underlying inode, used by the kernel's fd layer.
+func (f *File) Inode() *Inode { return f.ino }
+
+// Readable reports whether the handle was opened with read access.
+func (f *File) Readable() bool { return f.flags&ORdonly != 0 }
+
+// Writable reports whether the handle was opened with write access.
+func (f *File) Writable() bool { return f.flags&OWronly != 0 }

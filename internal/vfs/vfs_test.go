@@ -1,0 +1,343 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadFile(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, fs.Root(), "/etc", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(Root, fs.Root(), "/etc/motd", []byte("welcome"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(Root, fs.Root(), "/etc/motd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "welcome" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestNotExist(t *testing.T) {
+	fs := New()
+	_, err := fs.ReadFile(Root, fs.Root(), "/nope")
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+func TestPermissionDenied(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(Root, fs.Root(), "/shadow", []byte("secret"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	alice := Cred{UID: 1000}
+	if _, err := fs.ReadFile(alice, fs.Root(), "/shadow"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("uid 1000 read of 0600 root file: %v, want ErrPermission", err)
+	}
+	// Root always may.
+	if _, err := fs.ReadFile(Root, fs.Root(), "/shadow"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOwnerBits(t *testing.T) {
+	fs := New()
+	alice := Cred{UID: 1000}
+	bob := Cred{UID: 1001}
+	if err := fs.Mkdir(Root, fs.Root(), "/home", 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(alice, fs.Root(), "/home/diary", []byte("dear diary"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(alice, fs.Root(), "/home/diary"); err != nil {
+		t.Fatalf("owner read: %v", err)
+	}
+	if _, err := fs.ReadFile(bob, fs.Root(), "/home/diary"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("bob read of alice 0600 file: %v", err)
+	}
+}
+
+func TestSearchPermission(t *testing.T) {
+	fs := New()
+	alice := Cred{UID: 1000}
+	if err := fs.Mkdir(Root, fs.Root(), "/private", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(Root, fs.Root(), "/private/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(alice, fs.Root(), "/private/f"); !errors.Is(err, ErrPermission) {
+		t.Fatalf("traversal through 0700 root dir by uid 1000: %v", err)
+	}
+}
+
+func TestChrootConfinement(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, fs.Root(), "/jail/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(Root, fs.Root(), "/etc-secret", []byte("host secret"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(Root, fs.Root(), "/jail/inside", []byte("jail data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jail, err := fs.Lookup(Root, fs.Root(), "/jail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ".." from the jail root must stay in the jail.
+	got, err := fs.ReadFile(Root, jail, "/../../inside")
+	if err != nil {
+		t.Fatalf("confined .. walk: %v", err)
+	}
+	if string(got) != "jail data" {
+		t.Fatalf("got %q", got)
+	}
+	if _, err := fs.ReadFile(Root, jail, "/../etc-secret"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("escaped chroot: %v", err)
+	}
+	// Absolute paths resolve relative to the jail.
+	if _, err := fs.ReadFile(Root, jail, "/etc-secret"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("jail sees host file: %v", err)
+	}
+}
+
+func TestEmptyChrootIsEmpty(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir(Root, fs.Root(), "/empty", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(Root, fs.Root(), "/etc-shadow", []byte("hashes"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	empty, _ := fs.Lookup(Root, fs.Root(), "/empty")
+	names, err := fs.Readdir(Root, empty, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("empty chroot lists %v", names)
+	}
+}
+
+func TestOpenFlags(t *testing.T) {
+	fs := New()
+	if _, err := fs.Open(Root, fs.Root(), "/f", 0, 0o644); !errors.Is(err, ErrBadFlags) {
+		t.Fatalf("flags=0: %v", err)
+	}
+	f, err := fs.Open(Root, fs.Root(), "/f", OWronly|OCreate, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	// Write-only handle cannot read.
+	if _, err := f.Read(make([]byte, 1)); !errors.Is(err, ErrPermission) {
+		t.Fatalf("read on write-only handle: %v", err)
+	}
+	// Append positions at end.
+	fa, err := fs.Open(Root, fs.Root(), "/f", OWronly|OAppend, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Write([]byte("!")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile(Root, fs.Root(), "/f")
+	if string(got) != "abcdef!" {
+		t.Fatalf("append result %q", got)
+	}
+	// Trunc resets.
+	if _, err := fs.Open(Root, fs.Root(), "/f", OWronly|OTrunc, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := fs.StatPath(Root, fs.Root(), "/f"); st.Size != 0 {
+		t.Fatalf("size after trunc = %d", st.Size)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile(Root, fs.Root(), "/f", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open(Root, fs.Root(), "/f", ORdonly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(4, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 2)
+	if _, err := f.Read(b); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "45" {
+		t.Fatalf("read after seek: %q", b)
+	}
+	if pos, _ := f.Seek(-2, io.SeekEnd); pos != 8 {
+		t.Fatalf("SeekEnd pos = %d", pos)
+	}
+	if _, err := f.Seek(-100, io.SeekCurrent); err == nil {
+		t.Fatal("negative seek allowed")
+	}
+}
+
+func TestReaddirSorted(t *testing.T) {
+	fs := New()
+	for _, name := range []string{"/c", "/a", "/b"} {
+		if err := fs.WriteFile(Root, fs.Root(), name, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fs.Readdir(Root, fs.Root(), "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("readdir %v", names)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll(Root, fs.Root(), "/d/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(Root, fs.Root(), "/d"); err == nil {
+		t.Fatal("removed non-empty directory")
+	}
+	if err := fs.Remove(Root, fs.Root(), "/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(Root, fs.Root(), "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.StatPath(Root, fs.Root(), "/d"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat after remove: %v", err)
+	}
+}
+
+func TestChownChmod(t *testing.T) {
+	fs := New()
+	alice := Cred{UID: 1000}
+	if err := fs.WriteFile(Root, fs.Root(), "/f", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chown(alice, fs.Root(), "/f", 1000); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-root chown: %v", err)
+	}
+	if err := fs.Chown(Root, fs.Root(), "/f", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chmod(alice, fs.Root(), "/f", 0o600); err != nil {
+		t.Fatalf("owner chmod: %v", err)
+	}
+	bob := Cred{UID: 1001}
+	if err := fs.Chmod(bob, fs.Root(), "/f", 0o777); !errors.Is(err, ErrPermission) {
+		t.Fatalf("non-owner chmod: %v", err)
+	}
+	st, _ := fs.StatPath(Root, fs.Root(), "/f")
+	if st.UID != 1000 || st.Mode != 0o600 {
+		t.Fatalf("stat %+v", st)
+	}
+}
+
+func TestMkdirExists(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir(Root, fs.Root(), "/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(Root, fs.Root(), "/d", 0o755); !errors.Is(err, ErrExist) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	if err := fs.MkdirAll(Root, fs.Root(), "/d/x/y", 0o755); err != nil {
+		t.Fatalf("MkdirAll over existing prefix: %v", err)
+	}
+}
+
+func TestOpenDirFails(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir(Root, fs.Root(), "/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open(Root, fs.Root(), "/d", ORdonly, 0); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir: %v", err)
+	}
+	if _, err := fs.ReadFile(Root, fs.Root(), "/d/f/deeper"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("path through missing file: %v", err)
+	}
+}
+
+// Property: WriteFile/ReadFile round-trips arbitrary contents at arbitrary
+// generated paths.
+func TestQuickFileRoundTrip(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir(Root, fs.Root(), "/q", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		p := "/q/file" + string(rune('a'+i%26))
+		if fs.WriteFile(Root, fs.Root(), p, data, 0o644) != nil {
+			return false
+		}
+		got, err := fs.ReadFile(Root, fs.Root(), p)
+		if err != nil {
+			return false
+		}
+		return string(got) == string(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sparse writes at arbitrary offsets produce a file whose
+// contents match a shadow model.
+func TestQuickSparseWrites(t *testing.T) {
+	type wr struct {
+		Off  uint16
+		Data []byte
+	}
+	f := func(writes []wr) bool {
+		fs := New()
+		file, err := fs.Open(Root, fs.Root(), "/f", ORdwr|OCreate, 0o644)
+		if err != nil {
+			return false
+		}
+		model := []byte{}
+		for _, w := range writes {
+			off := int(w.Off) % 8192
+			if _, err := file.Seek(int64(off), io.SeekStart); err != nil {
+				return false
+			}
+			if _, err := file.Write(w.Data); err != nil {
+				return false
+			}
+			if grow := off + len(w.Data) - len(model); grow > 0 {
+				model = append(model, make([]byte, grow)...)
+			}
+			copy(model[off:], w.Data)
+		}
+		got, err := fs.ReadFile(Root, fs.Root(), "/f")
+		if err != nil {
+			return false
+		}
+		return string(got) == string(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

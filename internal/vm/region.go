@@ -1,0 +1,99 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The simulated user virtual address range. The low guard region means a
+// nil simulated pointer always faults, like page zero on Linux.
+const (
+	regionBase  Addr = 0x0001_0000
+	regionLimit Addr = 0x7fff_0000
+)
+
+// regionAllocator hands out non-overlapping virtual address ranges, playing
+// the role of the kernel's vm_area bookkeeping. tag_new §4.1 notes that,
+// unlike mmap, tagged regions must never be merged with neighbours because
+// they live in different security contexts — so the allocator inserts a
+// one-page guard gap between consecutive allocations.
+type regionAllocator struct {
+	next  Addr
+	limit Addr
+	// free holds released regions for reuse, sorted by base.
+	free []regionSpan
+	// used tracks live regions so reserveExact can validate.
+	used map[Addr]int
+}
+
+type regionSpan struct {
+	base Addr
+	size int
+}
+
+func newRegionAllocator(base, limit Addr) *regionAllocator {
+	return &regionAllocator{next: base, limit: limit, used: make(map[Addr]int)}
+}
+
+// alloc returns a page-aligned region of exactly size bytes (size must be
+// page-aligned), reusing a released span when one fits.
+func (ra *regionAllocator) alloc(size int) (Addr, error) {
+	if size <= 0 || size%PageSize != 0 {
+		return 0, fmt.Errorf("vm: region size %d not page aligned", size)
+	}
+	// Best-fit search of the free list.
+	best := -1
+	for i, s := range ra.free {
+		if s.size >= size && (best == -1 || s.size < ra.free[best].size) {
+			best = i
+		}
+	}
+	if best != -1 {
+		s := ra.free[best]
+		ra.free = append(ra.free[:best], ra.free[best+1:]...)
+		if s.size > size {
+			ra.free = append(ra.free, regionSpan{base: s.base + Addr(size), size: s.size - size})
+		}
+		ra.used[s.base] = size
+		return s.base, nil
+	}
+	// Bump allocation with a one-page guard gap.
+	base := ra.next
+	end := base + Addr(size) + PageSize
+	if end > ra.limit {
+		return 0, fmt.Errorf("vm: out of simulated address space")
+	}
+	ra.next = end
+	ra.used[base] = size
+	return base, nil
+}
+
+// release returns a region to the allocator.
+func (ra *regionAllocator) release(base Addr, size int) {
+	delete(ra.used, base)
+	ra.free = append(ra.free, regionSpan{base: base, size: size})
+	sort.Slice(ra.free, func(i, j int) bool { return ra.free[i].base < ra.free[j].base })
+}
+
+// reserveExact records an externally imposed region (e.g. a shared tag
+// mapped at a fixed address by ShareInto). Overlap with the bump pointer is
+// prevented by advancing it.
+func (ra *regionAllocator) reserveExact(base Addr, size int) {
+	if _, ok := ra.used[base]; ok {
+		return
+	}
+	ra.used[base] = size
+	if end := base + Addr(size) + PageSize; end > ra.next {
+		ra.next = end
+	}
+}
+
+// clone duplicates the allocator state for CloneCOW.
+func (ra *regionAllocator) clone() *regionAllocator {
+	c := &regionAllocator{next: ra.next, limit: ra.limit, used: make(map[Addr]int, len(ra.used))}
+	c.free = append(c.free, ra.free...)
+	for k, v := range ra.used {
+		c.used[k] = v
+	}
+	return c
+}

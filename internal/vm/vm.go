@@ -1,0 +1,513 @@
+// Package vm implements the simulated memory-management substrate on which
+// the Wedge primitives are built: paged virtual address spaces with per-page
+// read/write/copy-on-write permissions, reference-counted physical frames,
+// and copy-on-write fault handling.
+//
+// In the paper, Wedge relies on the hardware MMU and the Linux mm subsystem
+// to enforce per-sthread memory policies. A Go runtime cannot hand out
+// page-protected views of its own heap, so this package plays the role of
+// the MMU: every load and store performed by simulated code goes through an
+// AddressSpace, which checks the page permissions exactly where hardware
+// would. Page-table copying costs (relevant to the fork-vs-sthread
+// comparison in Figure 7) are therefore mechanical, not modelled.
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// PageSize is the size of a simulated page in bytes. It matches the 4 KiB
+// pages of the x86 hardware the paper evaluated on.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Addr is a simulated virtual address.
+type Addr uint64
+
+// PageNum returns the page number containing a.
+func (a Addr) PageNum() uint64 { return uint64(a) >> PageShift }
+
+// PageOff returns the offset of a within its page.
+func (a Addr) PageOff() uint64 { return uint64(a) & (PageSize - 1) }
+
+// PageBase returns the address of the first byte of the page containing a.
+func (a Addr) PageBase() Addr { return Addr(uint64(a) &^ (PageSize - 1)) }
+
+// Perm is a page permission bit set.
+type Perm uint8
+
+const (
+	// PermNone grants no access.
+	PermNone Perm = 0
+	// PermRead grants read access.
+	PermRead Perm = 1 << iota
+	// PermWrite grants write access. The paper notes most CPUs cannot
+	// express write-only pages; callers should always pair PermWrite with
+	// PermRead, and Protect rejects write-only requests for the same
+	// reason Wedge does.
+	PermWrite
+	// PermCOW marks a page copy-on-write: reads go to the shared frame,
+	// the first write copies the frame privately and then succeeds.
+	PermCOW
+)
+
+// PermRW is the common read-write permission.
+const PermRW = PermRead | PermWrite
+
+// CanRead reports whether p allows reads.
+func (p Perm) CanRead() bool { return p&PermRead != 0 }
+
+// CanWrite reports whether p allows writes, possibly via a COW fault.
+func (p Perm) CanWrite() bool { return p&PermWrite != 0 || p&PermCOW != 0 }
+
+func (p Perm) String() string {
+	if p == PermNone {
+		return "---"
+	}
+	b := []byte("---")
+	if p.CanRead() {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermCOW != 0 {
+		b[2] = 'c'
+	}
+	return string(b)
+}
+
+// ErrMemLimit is returned when a mapping would exceed the address space's
+// page quota (SetPageLimit) — the simulated ENOMEM of the rlimit
+// extension.
+var ErrMemLimit = errors.New("vm: page quota exceeded")
+
+// Access describes the kind of access that caused a fault.
+type Access uint8
+
+const (
+	// AccessRead is a load.
+	AccessRead Access = iota
+	// AccessWrite is a store.
+	AccessWrite
+)
+
+func (a Access) String() string {
+	if a == AccessRead {
+		return "read"
+	}
+	return "write"
+}
+
+// Fault is the simulated protection fault delivered when code accesses
+// memory its address space does not permit. Under Wedge semantics an
+// unhandled Fault terminates the sthread; under the emulation library it is
+// logged and execution continues.
+type Fault struct {
+	Addr   Addr   // faulting address
+	Access Access // attempted access
+	Perm   Perm   // permissions actually held (PermNone if unmapped)
+	Mapped bool   // whether the page was mapped at all
+}
+
+func (f *Fault) Error() string {
+	if !f.Mapped {
+		return fmt.Sprintf("protection fault: %s of unmapped address %#x", f.Access, uint64(f.Addr))
+	}
+	return fmt.Sprintf("protection fault: %s of address %#x (page perm %s)", f.Access, uint64(f.Addr), f.Perm)
+}
+
+// frameIDCounter assigns unique ids to frames, used by tests and by the
+// kernel's accounting of shared frames.
+var frameIDCounter atomic.Uint64
+
+// Frame is a simulated physical page frame. Frames are shared between
+// address spaces by COW snapshots and by tagged-memory grants; the reference
+// count tracks how many page-table entries point at the frame.
+type Frame struct {
+	ID   uint64
+	Data [PageSize]byte
+	refs atomic.Int32
+}
+
+// NewFrame allocates a zeroed frame with a single reference.
+func NewFrame() *Frame {
+	f := &Frame{ID: frameIDCounter.Add(1)}
+	f.refs.Store(1)
+	return f
+}
+
+// Ref increments the frame's reference count.
+func (f *Frame) Ref() { f.refs.Add(1) }
+
+// Unref decrements the frame's reference count and reports whether the
+// frame is now unreferenced.
+func (f *Frame) Unref() bool { return f.refs.Add(-1) == 0 }
+
+// Refs returns the current reference count.
+func (f *Frame) Refs() int32 { return f.refs.Load() }
+
+// PTE is a page-table entry: a frame pointer plus permissions.
+type PTE struct {
+	Frame *Frame
+	Perm  Perm
+}
+
+// AddressSpace is a simulated per-task virtual address space. It is not
+// internally synchronised: like real memory, concurrent unsynchronised
+// access from multiple threads of control is the caller's responsibility.
+// The kernel serialises structural changes (Map/Unmap/Protect/clone).
+type AddressSpace struct {
+	pages   map[uint64]*PTE
+	regions *regionAllocator
+
+	// pageLimit, when non-zero, caps the number of mapped pages — the
+	// rlimit-style memory quota behind policy.SC.MemPages. It is an
+	// extension beyond the paper, which notes (§7) that "an exploited
+	// sthread may maliciously consume CPU and memory" with no direct
+	// defense.
+	pageLimit int
+
+	// Stats counted mechanically; used by the benchmarks and by tests.
+	cowFaults uint64
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	return &AddressSpace{
+		pages:   make(map[uint64]*PTE),
+		regions: newRegionAllocator(regionBase, regionLimit),
+	}
+}
+
+// Pages returns the number of mapped pages (page-table entries).
+func (as *AddressSpace) Pages() int { return len(as.pages) }
+
+// SetPageLimit caps the address space at n mapped pages (0 = unlimited).
+// Map calls that would exceed the cap fail with ErrMemLimit.
+func (as *AddressSpace) SetPageLimit(n int) { as.pageLimit = n }
+
+// PageLimit returns the current cap (0 = unlimited).
+func (as *AddressSpace) PageLimit() int { return as.pageLimit }
+
+// COWFaults returns the number of copy-on-write faults taken so far.
+func (as *AddressSpace) COWFaults() uint64 { return as.cowFaults }
+
+// pte returns the page-table entry for the page containing a, or nil.
+func (as *AddressSpace) pte(a Addr) *PTE { return as.pages[a.PageNum()] }
+
+// Lookup returns the PTE mapping a, if any. Primarily for tests and for
+// kernel bookkeeping; simulated code uses Read/Write.
+func (as *AddressSpace) Lookup(a Addr) (PTE, bool) {
+	p := as.pte(a)
+	if p == nil {
+		return PTE{}, false
+	}
+	return *p, true
+}
+
+// Reserve allocates a length-byte range of unused virtual addresses without
+// mapping any frames, returning the page-aligned base. It is the substrate
+// for mmap-like region creation.
+func (as *AddressSpace) Reserve(length int) (Addr, error) {
+	return as.regions.alloc(roundUpPages(length))
+}
+
+// Map maps n fresh zeroed frames starting at the page-aligned address base
+// with permission perm. It fails if any page in the range is already mapped.
+func (as *AddressSpace) Map(base Addr, length int, perm Perm) error {
+	if base.PageOff() != 0 {
+		return fmt.Errorf("vm: Map of unaligned base %#x", uint64(base))
+	}
+	if err := checkPerm(perm); err != nil {
+		return err
+	}
+	n := roundUpPages(length) / PageSize
+	if as.pageLimit > 0 && len(as.pages)+n > as.pageLimit {
+		return fmt.Errorf("%w: %d pages mapped, %d requested, limit %d",
+			ErrMemLimit, len(as.pages), n, as.pageLimit)
+	}
+	first := base.PageNum()
+	for i := 0; i < n; i++ {
+		if _, ok := as.pages[first+uint64(i)]; ok {
+			return fmt.Errorf("vm: Map overlaps existing mapping at page %#x", first+uint64(i))
+		}
+	}
+	for i := 0; i < n; i++ {
+		as.pages[first+uint64(i)] = &PTE{Frame: NewFrame(), Perm: perm}
+	}
+	return nil
+}
+
+// MapAnon reserves a region and maps fresh zero frames into it: the
+// equivalent of anonymous mmap. The cost of zeroing fresh frames is what
+// makes mmap the slow bar in Figure 8.
+func (as *AddressSpace) MapAnon(length int, perm Perm) (Addr, error) {
+	base, err := as.Reserve(length)
+	if err != nil {
+		return 0, err
+	}
+	if err := as.Map(base, length, perm); err != nil {
+		as.regions.release(base, roundUpPages(length))
+		return 0, err
+	}
+	return base, nil
+}
+
+// Unmap removes the mappings covering [base, base+length), dropping frame
+// references, and releases the region.
+func (as *AddressSpace) Unmap(base Addr, length int) error {
+	if base.PageOff() != 0 {
+		return fmt.Errorf("vm: Unmap of unaligned base %#x", uint64(base))
+	}
+	n := roundUpPages(length) / PageSize
+	first := base.PageNum()
+	for i := 0; i < n; i++ {
+		pte, ok := as.pages[first+uint64(i)]
+		if !ok {
+			continue
+		}
+		pte.Frame.Unref()
+		delete(as.pages, first+uint64(i))
+	}
+	as.regions.release(base, roundUpPages(length))
+	return nil
+}
+
+// Protect changes the permissions of all mapped pages in [base, base+length).
+// Unmapped pages in the range are skipped, matching mprotect-on-holes
+// semantics the tag layer relies on.
+func (as *AddressSpace) Protect(base Addr, length int, perm Perm) error {
+	if err := checkPerm(perm); err != nil {
+		return err
+	}
+	n := roundUpPages(length) / PageSize
+	first := base.PageNum()
+	for i := 0; i < n; i++ {
+		if pte, ok := as.pages[first+uint64(i)]; ok {
+			pte.Perm = perm
+		}
+	}
+	return nil
+}
+
+// checkPerm rejects write-only permissions, which Wedge disallows because
+// commodity MMUs cannot express them (§3.1).
+func checkPerm(perm Perm) error {
+	if perm&PermWrite != 0 && perm&PermRead == 0 {
+		return fmt.Errorf("vm: write-only permission not supported; grant read-write instead")
+	}
+	return nil
+}
+
+// Read copies len(buf) bytes from the simulated address a into buf,
+// enforcing read permission on every touched page.
+func (as *AddressSpace) Read(a Addr, buf []byte) error {
+	for len(buf) > 0 {
+		pte := as.pte(a)
+		if pte == nil {
+			return &Fault{Addr: a, Access: AccessRead, Mapped: false}
+		}
+		if !pte.Perm.CanRead() {
+			return &Fault{Addr: a, Access: AccessRead, Perm: pte.Perm, Mapped: true}
+		}
+		off := a.PageOff()
+		n := copy(buf, pte.Frame.Data[off:])
+		buf = buf[n:]
+		a += Addr(n)
+	}
+	return nil
+}
+
+// Write copies buf into the simulated address a, enforcing write permission
+// and performing copy-on-write frame duplication where required.
+func (as *AddressSpace) Write(a Addr, buf []byte) error {
+	for len(buf) > 0 {
+		pte := as.pte(a)
+		if pte == nil {
+			return &Fault{Addr: a, Access: AccessWrite, Mapped: false}
+		}
+		if !pte.Perm.CanWrite() {
+			return &Fault{Addr: a, Access: AccessWrite, Perm: pte.Perm, Mapped: true}
+		}
+		if pte.Perm&PermCOW != 0 {
+			as.cowBreak(pte)
+		}
+		off := a.PageOff()
+		n := copy(pte.Frame.Data[off:], buf)
+		buf = buf[n:]
+		a += Addr(n)
+	}
+	return nil
+}
+
+// cowBreak resolves a copy-on-write fault on pte: if the frame is shared it
+// is duplicated, and the COW bit is replaced by write permission.
+func (as *AddressSpace) cowBreak(pte *PTE) {
+	as.cowFaults++
+	if pte.Frame.Refs() > 1 {
+		nf := NewFrame()
+		nf.Data = pte.Frame.Data
+		pte.Frame.Unref()
+		pte.Frame = nf
+	}
+	pte.Perm = (pte.Perm &^ PermCOW) | PermRead | PermWrite
+}
+
+// Load8 reads one byte.
+func (as *AddressSpace) Load8(a Addr) (byte, error) {
+	var b [1]byte
+	if err := as.Read(a, b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// Store8 writes one byte.
+func (as *AddressSpace) Store8(a Addr, v byte) error {
+	b := [1]byte{v}
+	return as.Write(a, b[:])
+}
+
+// Load32 reads a little-endian uint32.
+func (as *AddressSpace) Load32(a Addr) (uint32, error) {
+	var b [4]byte
+	if err := as.Read(a, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// Store32 writes a little-endian uint32.
+func (as *AddressSpace) Store32(a Addr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return as.Write(a, b[:])
+}
+
+// Load64 reads a little-endian uint64.
+func (as *AddressSpace) Load64(a Addr) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(a, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// Store64 writes a little-endian uint64.
+func (as *AddressSpace) Store64(a Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return as.Write(a, b[:])
+}
+
+// CloneCOW produces a complete copy-on-write duplicate of the address
+// space: every mapped page is shared with the clone and both sides' PTEs
+// are downgraded to COW where writable. This is the mechanism behind fork
+// and behind the pristine pre-main snapshot sthreads receive (§4.1). The
+// per-entry loop is the mechanical cost that Figure 7 charges to fork.
+func (as *AddressSpace) CloneCOW() *AddressSpace {
+	clone := NewAddressSpace()
+	clone.regions = as.regions.clone()
+	for pn, pte := range as.pages {
+		pte.Frame.Ref()
+		perm := pte.Perm
+		if perm&PermWrite != 0 {
+			perm = (perm &^ PermWrite) | PermCOW | PermRead
+			pte.Perm = perm // parent side becomes COW too
+		}
+		clone.pages[pn] = &PTE{Frame: pte.Frame, Perm: perm}
+	}
+	return clone
+}
+
+// ShareInto maps the pages of [base, base+length) from as into dst at the
+// same virtual addresses with permission perm, sharing the underlying
+// frames. This is how tagged-memory grants appear in a child sthread's
+// address space. COW grants share the frame but mark the destination COW.
+func (as *AddressSpace) ShareInto(dst *AddressSpace, base Addr, length int, perm Perm) error {
+	if base.PageOff() != 0 {
+		return fmt.Errorf("vm: ShareInto of unaligned base %#x", uint64(base))
+	}
+	if err := checkPerm(perm); err != nil {
+		return err
+	}
+	n := roundUpPages(length) / PageSize
+	first := base.PageNum()
+	for i := 0; i < n; i++ {
+		pte, ok := as.pages[first+uint64(i)]
+		if !ok {
+			return fmt.Errorf("vm: ShareInto source page %#x not mapped", first+uint64(i))
+		}
+		if old, ok := dst.pages[first+uint64(i)]; ok {
+			old.Frame.Unref()
+		}
+		pte.Frame.Ref()
+		dst.pages[first+uint64(i)] = &PTE{Frame: pte.Frame, Perm: perm}
+	}
+	dst.regions.reserveExact(base, n*PageSize)
+	return nil
+}
+
+// zeroFrame is the global shared all-zeroes frame. Pages remapped to it are
+// marked copy-on-write, so the first store allocates a private copy. Its
+// reference count is kept artificially high and it is never freed.
+var zeroFrame = func() *Frame {
+	f := NewFrame()
+	f.refs.Store(1 << 30)
+	return f
+}()
+
+// RemapZero points every mapped page of [base, base+length) at the shared
+// zero frame with copy-on-write semantics, dropping the previous frames.
+// This is the scrub mechanism behind tag reuse (§4.1): the old contents
+// become unreachable in O(pages) page-table updates, with no memset, while
+// secrecy is preserved because subsequent reads observe zeroes.
+func (as *AddressSpace) RemapZero(base Addr, length int) error {
+	if base.PageOff() != 0 {
+		return fmt.Errorf("vm: RemapZero of unaligned base %#x", uint64(base))
+	}
+	n := roundUpPages(length) / PageSize
+	first := base.PageNum()
+	for i := 0; i < n; i++ {
+		pte, ok := as.pages[first+uint64(i)]
+		if !ok {
+			return fmt.Errorf("vm: RemapZero of unmapped page %#x", first+uint64(i))
+		}
+		pte.Frame.Unref()
+		zeroFrame.Ref()
+		pte.Frame = zeroFrame
+		pte.Perm = PermRead | PermCOW
+	}
+	return nil
+}
+
+// ForEachPage calls fn for every mapped page with its permission. Used by
+// the emulation library to precompute what a strict policy would allow.
+func (as *AddressSpace) ForEachPage(fn func(pageNum uint64, perm Perm)) {
+	for pn, pte := range as.pages {
+		fn(pn, pte.Perm)
+	}
+}
+
+// Release drops all frame references held by the address space. The kernel
+// calls it when a task exits.
+func (as *AddressSpace) Release() {
+	for pn, pte := range as.pages {
+		pte.Frame.Unref()
+		delete(as.pages, pn)
+	}
+}
+
+// roundUpPages rounds length up to a whole number of pages (minimum one).
+func roundUpPages(length int) int {
+	if length <= 0 {
+		length = 1
+	}
+	return (length + PageSize - 1) &^ (PageSize - 1)
+}

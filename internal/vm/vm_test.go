@@ -1,0 +1,529 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapReadWrite(t *testing.T) {
+	as := NewAddressSpace()
+	base, err := as.MapAnon(2*PageSize, PermRW)
+	if err != nil {
+		t.Fatalf("MapAnon: %v", err)
+	}
+	msg := []byte("hello, wedge")
+	if err := as.Write(base+10, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if err := as.Read(base+10, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip mismatch: %q != %q", got, msg)
+	}
+}
+
+func TestFreshFramesZeroed(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(PageSize, PermRW)
+	buf := make([]byte, PageSize)
+	if err := as.Read(base, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("fresh frame byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(3*PageSize, PermRW)
+	data := make([]byte, 2*PageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	// Straddle two page boundaries.
+	if err := as.Write(base+PageSize/2, data); err != nil {
+		t.Fatalf("cross-page write: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := as.Read(base+PageSize/2, got); err != nil {
+		t.Fatalf("cross-page read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip mismatch")
+	}
+}
+
+func TestUnmappedFault(t *testing.T) {
+	as := NewAddressSpace()
+	err := as.Read(0x5000, make([]byte, 1))
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want Fault, got %v", err)
+	}
+	if f.Mapped || f.Access != AccessRead {
+		t.Fatalf("unexpected fault detail: %+v", f)
+	}
+	if f.Error() == "" {
+		t.Fatal("empty fault message")
+	}
+}
+
+func TestReadOnlyFault(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(PageSize, PermRead)
+	if err := as.Read(base, make([]byte, 8)); err != nil {
+		t.Fatalf("read of read-only page: %v", err)
+	}
+	err := as.Write(base, []byte{1})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("want Fault on write, got %v", err)
+	}
+	if f.Access != AccessWrite || !f.Mapped {
+		t.Fatalf("unexpected fault detail: %+v", f)
+	}
+}
+
+func TestWriteOnlyRejected(t *testing.T) {
+	as := NewAddressSpace()
+	if _, err := as.MapAnon(PageSize, PermWrite); err == nil {
+		t.Fatal("write-only mapping must be rejected (§3.1)")
+	}
+	base, _ := as.MapAnon(PageSize, PermRW)
+	if err := as.Protect(base, PageSize, PermWrite); err == nil {
+		t.Fatal("write-only Protect must be rejected")
+	}
+}
+
+func TestProtect(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(PageSize, PermRW)
+	if err := as.Write(base, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Protect(base, PageSize, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(base, []byte{43}); err == nil {
+		t.Fatal("write after downgrade to read-only should fault")
+	}
+	b, err := as.Load8(base)
+	if err != nil || b != 42 {
+		t.Fatalf("Load8 = %d, %v; want 42, nil", b, err)
+	}
+}
+
+func TestUnmapFaultsAfter(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(PageSize, PermRW)
+	if err := as.Unmap(base, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Read(base, make([]byte, 1)); err == nil {
+		t.Fatal("read after unmap should fault")
+	}
+}
+
+func TestMapOverlapRejected(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(2*PageSize, PermRW)
+	if err := as.Map(base+PageSize, PageSize, PermRW); err == nil {
+		t.Fatal("overlapping Map must fail")
+	}
+}
+
+func TestCloneCOWIsolation(t *testing.T) {
+	parent := NewAddressSpace()
+	base, _ := parent.MapAnon(PageSize, PermRW)
+	if err := parent.Write(base, []byte("parent-data")); err != nil {
+		t.Fatal(err)
+	}
+	child := parent.CloneCOW()
+
+	// Child sees parent's data.
+	got := make([]byte, 11)
+	if err := child.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "parent-data" {
+		t.Fatalf("child sees %q", got)
+	}
+
+	// Child write does not affect parent.
+	if err := child.Write(base, []byte("child-write")); err != nil {
+		t.Fatalf("child COW write: %v", err)
+	}
+	if err := parent.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "parent-data" {
+		t.Fatalf("parent corrupted by child write: %q", got)
+	}
+
+	// Parent write after the child broke COW must not affect child.
+	if err := parent.Write(base, []byte("parent-upd8")); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "child-write" {
+		t.Fatalf("child corrupted by parent write: %q", got)
+	}
+	if child.COWFaults() == 0 {
+		t.Fatal("expected child to take a COW fault")
+	}
+}
+
+func TestCloneCOWPreservesReadOnly(t *testing.T) {
+	parent := NewAddressSpace()
+	base, _ := parent.MapAnon(PageSize, PermRead)
+	child := parent.CloneCOW()
+	pte, ok := child.Lookup(base)
+	if !ok {
+		t.Fatal("page not cloned")
+	}
+	if pte.Perm.CanWrite() {
+		t.Fatalf("read-only page became writable in clone: %s", pte.Perm)
+	}
+}
+
+func TestShareInto(t *testing.T) {
+	owner := NewAddressSpace()
+	base, _ := owner.MapAnon(PageSize, PermRW)
+	if err := owner.Write(base, []byte("shared!")); err != nil {
+		t.Fatal(err)
+	}
+
+	reader := NewAddressSpace()
+	if err := owner.ShareInto(reader, base, PageSize, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 7)
+	if err := reader.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared!" {
+		t.Fatalf("reader sees %q", got)
+	}
+	// Read-only grant: writes fault.
+	if err := reader.Write(base, []byte("x")); err == nil {
+		t.Fatal("read-only grant allowed a write")
+	}
+	// Writes by owner are visible to reader (true sharing, not a copy).
+	if err := owner.Write(base, []byte("SHARED!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "SHARED!" {
+		t.Fatalf("reader sees stale %q", got)
+	}
+}
+
+func TestShareIntoRWBidirectional(t *testing.T) {
+	owner := NewAddressSpace()
+	base, _ := owner.MapAnon(PageSize, PermRW)
+	peer := NewAddressSpace()
+	if err := owner.ShareInto(peer, base, PageSize, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Write(base, []byte("from-peer")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 9)
+	if err := owner.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "from-peer" {
+		t.Fatalf("owner sees %q", got)
+	}
+}
+
+func TestShareIntoUnmappedSource(t *testing.T) {
+	owner := NewAddressSpace()
+	dst := NewAddressSpace()
+	if err := owner.ShareInto(dst, 0x40000, PageSize, PermRead); err == nil {
+		t.Fatal("sharing unmapped source must fail")
+	}
+}
+
+func TestShareIntoCOWGrant(t *testing.T) {
+	owner := NewAddressSpace()
+	base, _ := owner.MapAnon(PageSize, PermRW)
+	if err := owner.Write(base, []byte("orig")); err != nil {
+		t.Fatal(err)
+	}
+	child := NewAddressSpace()
+	if err := owner.ShareInto(child, base, PageSize, PermRead|PermCOW); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Write(base, []byte("priv")); err != nil {
+		t.Fatalf("COW grant write: %v", err)
+	}
+	got := make([]byte, 4)
+	if err := owner.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "orig" {
+		t.Fatalf("owner corrupted by COW-grant child: %q", got)
+	}
+}
+
+func TestFrameRefcounting(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(PageSize, PermRW)
+	pte, _ := as.Lookup(base)
+	if pte.Frame.Refs() != 1 {
+		t.Fatalf("fresh frame refs = %d", pte.Frame.Refs())
+	}
+	clone := as.CloneCOW()
+	if pte.Frame.Refs() != 2 {
+		t.Fatalf("after clone refs = %d", pte.Frame.Refs())
+	}
+	clone.Release()
+	if pte.Frame.Refs() != 1 {
+		t.Fatalf("after release refs = %d", pte.Frame.Refs())
+	}
+	as.Release()
+	if pte.Frame.Refs() != 0 {
+		t.Fatalf("after full release refs = %d", pte.Frame.Refs())
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(PageSize, PermRW)
+	if err := as.Store32(base, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v32, err := as.Load32(base)
+	if err != nil || v32 != 0xdeadbeef {
+		t.Fatalf("Load32 = %#x, %v", v32, err)
+	}
+	if err := as.Store64(base+8, 0x0123456789abcdef); err != nil {
+		t.Fatal(err)
+	}
+	v64, err := as.Load64(base + 8)
+	if err != nil || v64 != 0x0123456789abcdef {
+		t.Fatalf("Load64 = %#x, %v", v64, err)
+	}
+	if err := as.Store8(base+16, 0x7f); err != nil {
+		t.Fatal(err)
+	}
+	v8, err := as.Load8(base + 16)
+	if err != nil || v8 != 0x7f {
+		t.Fatalf("Load8 = %#x, %v", v8, err)
+	}
+}
+
+func TestRegionsDoNotOverlap(t *testing.T) {
+	as := NewAddressSpace()
+	type span struct {
+		base Addr
+		size int
+	}
+	var spans []span
+	for i := 0; i < 200; i++ {
+		size := (i%5 + 1) * PageSize
+		base, err := as.MapAnon(size, PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans = append(spans, span{base, size})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.base < b.base+Addr(b.size) && b.base < a.base+Addr(a.size) {
+				t.Fatalf("regions overlap: %#x+%d and %#x+%d", a.base, a.size, b.base, b.size)
+			}
+		}
+	}
+}
+
+func TestRegionReuseAfterFree(t *testing.T) {
+	as := NewAddressSpace()
+	base, _ := as.MapAnon(4*PageSize, PermRW)
+	if err := as.Unmap(base, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	base2, err := as.MapAnon(4*PageSize, PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base2 != base {
+		t.Fatalf("expected freed region to be reused: %#x != %#x", base2, base)
+	}
+}
+
+func TestAddrHelpers(t *testing.T) {
+	a := Addr(3*PageSize + 17)
+	if a.PageNum() != 3 || a.PageOff() != 17 || a.PageBase() != 3*PageSize {
+		t.Fatalf("addr helpers wrong: %d %d %#x", a.PageNum(), a.PageOff(), uint64(a.PageBase()))
+	}
+}
+
+func TestPermString(t *testing.T) {
+	cases := map[Perm]string{
+		PermNone:           "---",
+		PermRead:           "r--",
+		PermRW:             "rw-",
+		PermRead | PermCOW: "r-c",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("Perm(%d).String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+// Property: a COW clone never observes writes made by its origin after the
+// clone, and vice versa, for arbitrary write sequences.
+func TestQuickCOWIsolation(t *testing.T) {
+	f := func(seed int64, nWrites uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parent := NewAddressSpace()
+		base, err := parent.MapAnon(4*PageSize, PermRW)
+		if err != nil {
+			return false
+		}
+		init := make([]byte, 4*PageSize)
+		rng.Read(init)
+		if parent.Write(base, init) != nil {
+			return false
+		}
+		child := parent.CloneCOW()
+
+		// Random interleaved writes to both sides.
+		pImg := append([]byte(nil), init...)
+		cImg := append([]byte(nil), init...)
+		for i := 0; i < int(nWrites); i++ {
+			off := rng.Intn(4*PageSize - 8)
+			var val [8]byte
+			rng.Read(val[:])
+			if rng.Intn(2) == 0 {
+				if parent.Write(base+Addr(off), val[:]) != nil {
+					return false
+				}
+				copy(pImg[off:], val[:])
+			} else {
+				if child.Write(base+Addr(off), val[:]) != nil {
+					return false
+				}
+				copy(cImg[off:], val[:])
+			}
+		}
+		gotP := make([]byte, 4*PageSize)
+		gotC := make([]byte, 4*PageSize)
+		if parent.Read(base, gotP) != nil || child.Read(base, gotC) != nil {
+			return false
+		}
+		return bytes.Equal(gotP, pImg) && bytes.Equal(gotC, cImg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reads and writes within a mapped RW region always round-trip,
+// regardless of offset/length straddling page boundaries.
+func TestQuickReadWriteRoundTrip(t *testing.T) {
+	as := NewAddressSpace()
+	const npages = 8
+	base, err := as.MapAnon(npages*PageSize, PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		o := int(off) % (npages*PageSize - 1)
+		if len(data) > npages*PageSize-o {
+			data = data[:npages*PageSize-o]
+		}
+		if len(data) == 0 {
+			return true
+		}
+		if as.Write(base+Addr(o), data) != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if as.Read(base+Addr(o), got) != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: region allocator never returns overlapping regions under random
+// alloc/free sequences.
+func TestQuickRegionAllocator(t *testing.T) {
+	f := func(ops []uint8) bool {
+		ra := newRegionAllocator(regionBase, regionLimit)
+		live := map[Addr]int{}
+		for _, op := range ops {
+			if op%3 == 0 && len(live) > 0 {
+				for b, s := range live {
+					ra.release(b, s)
+					delete(live, b)
+					break
+				}
+				continue
+			}
+			size := (int(op)%4 + 1) * PageSize
+			b, err := ra.alloc(size)
+			if err != nil {
+				return false
+			}
+			for ob, os := range live {
+				if b < ob+Addr(os) && ob < b+Addr(size) {
+					return false
+				}
+			}
+			live[b] = size
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPageLimitEnforced: the SetPageLimit quota rejects mappings past the
+// cap with ErrMemLimit and recovers budget on unmap.
+func TestPageLimitEnforced(t *testing.T) {
+	as := NewAddressSpace()
+	as.SetPageLimit(3)
+	a, err := as.MapAnon(2*PageSize, PermRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapAnon(2*PageSize, PermRW); !errors.Is(err, ErrMemLimit) {
+		t.Fatalf("over-quota map: %v", err)
+	}
+	// One more page still fits.
+	if _, err := as.MapAnon(PageSize, PermRW); err != nil {
+		t.Fatalf("within-quota map: %v", err)
+	}
+	// Releasing frees budget.
+	if err := as.Unmap(a, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapAnon(2*PageSize, PermRW); err != nil {
+		t.Fatalf("map after unmap: %v", err)
+	}
+	if as.PageLimit() != 3 {
+		t.Fatalf("limit drifted to %d", as.PageLimit())
+	}
+}

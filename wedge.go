@@ -1,0 +1,192 @@
+// Package wedge is a faithful, simulator-backed reproduction of the system
+// described in "Wedge: Splitting Applications into Reduced-Privilege
+// Compartments" (Bittau, Marchenko, Handley, Karp — NSDI 2008).
+//
+// Wedge lets a programmer split an application into compartments with
+// default-deny semantics. Its three primitives are:
+//
+//   - Sthreads: threads of control bound to an explicit security policy.
+//     A new sthread holds no privileges beyond a private copy-on-write
+//     view of the pristine pre-main process image.
+//   - Tagged memory: memory allocated under a tag, so that privileges can
+//     be granted to sthreads at tag granularity (read, read-write, or
+//     copy-on-write).
+//   - Callgates: privileged entry points implemented as fresh sthreads,
+//     with kernel-held permissions and a tamper-proof trusted argument.
+//     Recycled callgates amortize creation cost for hot paths.
+//
+// Because the Go runtime cannot page-protect slices of its own heap, this
+// reproduction runs application memory inside a simulated MMU
+// (internal/vm) on a simulated kernel (internal/kernel). Every load and
+// store performed by compartmentalized code is checked exactly where
+// hardware would check it. See DESIGN.md for the substitution argument.
+//
+// # Quickstart
+//
+//	sys := wedge.NewSystem()
+//	err := sys.Main(func(main *wedge.Sthread) {
+//		secretTag, _ := sys.TagNew(main)
+//		secret, _ := main.Smalloc(secretTag, 64)
+//		main.Write(secret, []byte("the private key"))
+//
+//		// A callgate that may read the secret.
+//		gateSC := wedge.NewSC()
+//		gateSC.MemAdd(secretTag, wedge.PermRead)
+//		var sign wedge.GateFunc = func(g *wedge.Sthread, arg, trusted wedge.Addr) wedge.Addr {
+//			... // compute using the secret
+//		}
+//
+//		// An unprivileged worker that can invoke the gate but never
+//		// read the secret directly.
+//		workerSC := wedge.NewSC()
+//		workerSC.GateAdd(sign, gateSC, secret, "sign")
+//		worker, _ := main.Create(workerSC, workerBody, 0)
+//		main.Join(worker)
+//	})
+//
+// The subpackages under internal implement the substrate; this package is
+// the supported public surface, mirroring the paper's Table 1.
+package wedge
+
+import (
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/policy"
+	"wedge/internal/selinux"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vfs"
+	"wedge/internal/vm"
+)
+
+// Core re-exported types. These aliases make the public API self-contained
+// while keeping one implementation of each concept.
+type (
+	// Addr is a simulated virtual address (the void* of the paper's API).
+	Addr = vm.Addr
+	// Perm is a page permission set for memory grants.
+	Perm = vm.Perm
+	// Fault is the protection fault terminating an sthread that oversteps.
+	Fault = vm.Fault
+	// Tag names a tagged-memory segment (tag_t).
+	Tag = tags.Tag
+	// SC is a security policy (sc_t).
+	SC = policy.SC
+	// GateSpec is a callgate authorization held inside a policy.
+	GateSpec = policy.GateSpec
+	// Sthread is a compartment (sthread_t plus its thread of control).
+	Sthread = sthread.Sthread
+	// Body is an sthread entry point (cb_t).
+	Body = sthread.Body
+	// GateFunc is a callgate entry point.
+	GateFunc = sthread.GateFunc
+	// Recycled is a long-lived, reusable callgate.
+	Recycled = sthread.Recycled
+	// Violation is one logged access denial from the emulation library.
+	Violation = sthread.Violation
+	// FDPerm is a file-descriptor grant mode.
+	FDPerm = kernel.FDPerm
+	// Task is the underlying kernel task of an sthread.
+	Task = kernel.Task
+)
+
+// Permission constants.
+const (
+	// PermRead grants read access to a tag's segment.
+	PermRead = vm.PermRead
+	// PermWrite grants write access (always paired with read).
+	PermWrite = vm.PermWrite
+	// PermRW grants read-write access.
+	PermRW = vm.PermRW
+	// PermCOW grants a private copy-on-write view.
+	PermCOW = vm.PermCOW
+
+	// FDRead grants reading a descriptor.
+	FDRead = kernel.FDRead
+	// FDWrite grants writing a descriptor.
+	FDWrite = kernel.FDWrite
+	// FDRW grants both.
+	FDRW = kernel.FDRW
+
+	// NoTag is the zero tag: unreachable, unnameable memory.
+	NoTag = tags.NoTag
+
+	// InheritUID keeps the creator's user id in a policy.
+	InheritUID = policy.InheritUID
+
+	// PageSize is the simulated page size.
+	PageSize = vm.PageSize
+)
+
+// ErrMemLimit is returned when an allocation would exceed an sthread's
+// memory quota (SC.SetMemPages) — the resource-exhaustion mitigation
+// extending the paper's §7 DoS discussion.
+var ErrMemLimit = vm.ErrMemLimit
+
+// NewSC returns an empty security policy granting nothing.
+func NewSC() *SC { return policy.New() }
+
+// System is one simulated machine booted with one Wedge application: the
+// kernel (filesystem, network, SELinux policy) plus the application's tag
+// registry and pristine snapshot.
+type System struct {
+	// K is the simulated kernel, exposed for scenario setup (populating
+	// the filesystem, installing SELinux rules, tapping the network).
+	K *kernel.Kernel
+	// App is the Wedge application instance.
+	App *sthread.App
+}
+
+// NewSystem boots a fresh simulated machine and application.
+func NewSystem() *System {
+	k := kernel.New()
+	return &System{K: k, App: sthread.Boot(k)}
+}
+
+// Premain runs initialization in the init task before the pristine
+// snapshot is taken; memory written here is inherited (copy-on-write) by
+// every sthread.
+func (sys *System) Premain(fn func(init *Task)) error { return sys.App.Premain(fn) }
+
+// BoundaryVar declares a statically initialized global in the page-aligned
+// section for id, returning its address (the BOUNDARY_VAR macro). Globals
+// declared this way are excluded from the pristine snapshot.
+func (sys *System) BoundaryVar(id int, def []byte) (Addr, error) {
+	return sys.App.BoundaryVar(id, def)
+}
+
+// BoundaryTag returns the tag covering the boundary section for id (the
+// BOUNDARY_TAG macro).
+func (sys *System) BoundaryTag(id int) (Tag, error) { return sys.App.BoundaryTag(id) }
+
+// Main takes the pristine snapshot and runs fn as the root sthread,
+// returning the fault if the root died on one.
+func (sys *System) Main(fn func(main *Sthread)) error { return sys.App.Main(fn) }
+
+// TagNew creates a fresh memory tag backed by a new segment in s's address
+// space (tag_new).
+func (sys *System) TagNew(s *Sthread) (Tag, error) { return sys.App.Tags.TagNew(s.Task) }
+
+// TagDelete retires a tag; its segment is scrubbed and cached for reuse
+// (tag_delete).
+func (sys *System) TagDelete(tag Tag) error { return sys.App.Tags.TagDelete(tag) }
+
+// TagOf reports which tag's segment contains addr, or NoTag.
+func (sys *System) TagOf(addr Addr) Tag { return sys.App.Tags.TagOf(addr) }
+
+// Violations returns the accesses denied-by-policy that emulated sthreads
+// performed (the emulation library of §3.4).
+func (sys *System) Violations() []Violation { return sys.App.Violations() }
+
+// Stats exposes primitive-operation counters.
+func (sys *System) Stats() *sthread.Stats { return &sys.App.Stats }
+
+// FS returns the simulated filesystem, for scenario setup.
+func (sys *System) FS() *vfs.FS { return sys.K.FS }
+
+// Net returns the simulated network, for clients and man-in-the-middle
+// interposition in tests.
+func (sys *System) Net() *netsim.Network { return sys.K.Net }
+
+// SEPolicy returns the system-wide SELinux policy.
+func (sys *System) SEPolicy() *selinux.Policy { return sys.K.Policy }

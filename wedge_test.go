@@ -1,0 +1,262 @@
+package wedge_test
+
+import (
+	"errors"
+	"testing"
+
+	"wedge"
+)
+
+// TestPOP3Partitioning drives the paper's motivating example (§2, Figure 1)
+// end to end through the public API: a client-handler sthread that parses
+// untrusted input, a login callgate with access to the password database,
+// and an e-mail retriever callgate keyed by the uid the login gate set.
+func TestPOP3Partitioning(t *testing.T) {
+	sys := wedge.NewSystem()
+	err := sys.Main(func(main *wedge.Sthread) {
+		// Privileged data: passwords and mail, in their own tags.
+		pwTag, _ := sys.TagNew(main)
+		mailTag, _ := sys.TagNew(main)
+		uidTag, _ := sys.TagNew(main)
+
+		passwords, _ := main.Smalloc(pwTag, 64)
+		main.WriteString(passwords, "alice:sesame")
+		mail, _ := main.Smalloc(mailTag, 64)
+		main.WriteString(mail, "alice-mail: hi!")
+		uidCell, _ := main.Smalloc(uidTag, 8)
+		main.Store64(uidCell, 0) // 0 = unauthenticated
+
+		// Login gate: reads the password db, writes uid on success.
+		loginSC := wedge.NewSC()
+		loginSC.MemAdd(pwTag, wedge.PermRead)
+		loginSC.MemAdd(uidTag, wedge.PermRW)
+		var login wedge.GateFunc = func(g *wedge.Sthread, arg, trusted wedge.Addr) wedge.Addr {
+			db := g.ReadString(trusted, 64)
+			supplied := g.ReadString(arg, 64)
+			if db == supplied {
+				g.Store64(uidCell, 1001)
+				return 1
+			}
+			return 0
+		}
+
+		// Retriever gate: reads mail for the uid in uidCell only.
+		retrSC := wedge.NewSC()
+		retrSC.MemAdd(mailTag, wedge.PermRead)
+		retrSC.MemAdd(uidTag, wedge.PermRead)
+		var retrieve wedge.GateFunc = func(g *wedge.Sthread, arg, trusted wedge.Addr) wedge.Addr {
+			if g.Load64(uidCell) != 1001 {
+				return 0 // not authenticated: no mail
+			}
+			return trusted // address of the mail, readable only by the gate... returned as a token
+		}
+
+		// The client handler: no direct access to any of the three tags.
+		argTag, _ := sys.TagNew(main)
+		chSC := wedge.NewSC()
+		chSC.MemAdd(argTag, wedge.PermRW)
+		chSC.GateAdd(login, loginSC, passwords, "login")
+		chSC.GateAdd(retrieve, retrSC, mail, "retrieve")
+		loginSpec, retrSpec := chSC.Gates[0], chSC.Gates[1]
+
+		handler, err := main.CreateNamed("client-handler", chSC, func(s *wedge.Sthread, _ wedge.Addr) wedge.Addr {
+			// 1. Direct reads of privileged data must fault -> probe with TryRead.
+			if err := s.TryRead(passwords, make([]byte, 1)); err == nil {
+				return 100
+			}
+			if err := s.TryRead(mail, make([]byte, 1)); err == nil {
+				return 101
+			}
+			// 2. Retrieval before login must fail.
+			perms := wedge.NewSC()
+			perms.MemAdd(argTag, wedge.PermRead)
+			if ret, _ := s.CallGate(retrSpec, nil, 0); ret != 0 {
+				return 102
+			}
+			// 3. Login with the wrong password must fail.
+			arg, _ := s.Smalloc(argTag, 64)
+			s.WriteString(arg, "alice:wrong")
+			if ret, _ := s.CallGate(loginSpec, perms, arg); ret != 0 {
+				return 103
+			}
+			// 4. Login with the right password succeeds.
+			s.WriteString(arg, "alice:sesame")
+			if ret, _ := s.CallGate(loginSpec, perms, arg); ret != 1 {
+				return 104
+			}
+			// 5. Now retrieval is allowed.
+			if ret, _ := s.CallGate(retrSpec, nil, 0); ret != mail {
+				return 105
+			}
+			return 0
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, fault := main.Join(handler)
+		if fault != nil {
+			t.Fatalf("handler faulted: %v", fault)
+		}
+		if ret != 0 {
+			t.Fatalf("handler failed check %d", ret)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExploitContainment: injected code in the client handler (arbitrary
+// code running with the handler's privileges) cannot read the password
+// database.
+func TestExploitContainment(t *testing.T) {
+	sys := wedge.NewSystem()
+	err := sys.Main(func(main *wedge.Sthread) {
+		pwTag, _ := sys.TagNew(main)
+		passwords, _ := main.Smalloc(pwTag, 64)
+		main.WriteString(passwords, "root:toor")
+
+		exploit := func(s *wedge.Sthread, _ wedge.Addr) wedge.Addr {
+			// The attacker's shellcode scans for the secret.
+			buf := make([]byte, 64)
+			s.Read(passwords, buf) // faults: tag never granted
+			return 1
+		}
+		compromised, err := main.Create(wedge.NewSC(), exploit, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, fault := main.Join(compromised)
+		if fault == nil {
+			t.Fatal("exploit read the password database")
+		}
+		var f *wedge.Fault
+		if !errors.As(fault, &f) {
+			t.Fatalf("fault type %T", fault)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTagReuseAcrossConnections exercises the per-client tag lifecycle the
+// paper's servers use: create, serve, delete, reuse.
+func TestTagReuseAcrossConnections(t *testing.T) {
+	sys := wedge.NewSystem()
+	err := sys.Main(func(main *wedge.Sthread) {
+		for conn := 0; conn < 50; conn++ {
+			tag, err := sys.TagNew(main)
+			if err != nil {
+				t.Fatalf("conn %d: %v", conn, err)
+			}
+			buf, err := main.Smalloc(tag, 512)
+			if err != nil {
+				t.Fatalf("conn %d: %v", conn, err)
+			}
+			main.Write(buf, []byte("per-connection state"))
+			if err := sys.TagDelete(tag); err != nil {
+				t.Fatalf("conn %d: %v", conn, err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := wedge.NewSystem()
+	if sys.FS() == nil || sys.Net() == nil || sys.SEPolicy() == nil || sys.Stats() == nil {
+		t.Fatal("nil accessor")
+	}
+	err := sys.Main(func(main *wedge.Sthread) {
+		tag, _ := sys.TagNew(main)
+		a, _ := main.Smalloc(tag, 8)
+		if sys.TagOf(a) != tag {
+			t.Error("TagOf mismatch")
+		}
+		if len(sys.Violations()) != 0 {
+			t.Error("spurious violations")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPremainAndBoundaryVars exercises the facade's pre-main
+// initialization path: memory written in Premain is inherited
+// copy-on-write by sthreads, while BOUNDARY_VAR globals are carved out of
+// the snapshot and only reachable through their BOUNDARY_TAG grant
+// (§3.2, §4.1).
+func TestPremainAndBoundaryVars(t *testing.T) {
+	sys := wedge.NewSystem()
+
+	var inherited wedge.Addr
+	err := sys.Premain(func(init *wedge.Task) {
+		a, err := init.Mmap(wedge.PageSize, wedge.PermRW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := init.AS.Write(a, []byte("loader state")); err != nil {
+			t.Fatal(err)
+		}
+		inherited = a
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	secret, err := sys.BoundaryVar(7, []byte("statically initialized key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaryTag, err := sys.BoundaryTag(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = sys.Main(func(main *wedge.Sthread) {
+		// An empty-policy child still reads the pre-main snapshot...
+		plain, err := main.Create(wedge.NewSC(), func(s *wedge.Sthread, _ wedge.Addr) wedge.Addr {
+			b := make([]byte, 12)
+			if err := s.TryRead(inherited, b); err != nil || string(b) != "loader state" {
+				return 0
+			}
+			// ...but not the boundary section.
+			if err := s.TryRead(secret, make([]byte, 8)); err == nil {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret, fault := main.Join(plain); fault != nil || ret != 1 {
+			t.Fatalf("snapshot/boundary child: ret=%d fault=%v", ret, fault)
+		}
+
+		// A child granted the boundary tag reads the static secret.
+		sc := wedge.NewSC()
+		if err := sc.MemAdd(boundaryTag, wedge.PermRead); err != nil {
+			t.Fatal(err)
+		}
+		granted, err := main.Create(sc, func(s *wedge.Sthread, _ wedge.Addr) wedge.Addr {
+			b := make([]byte, 10)
+			if err := s.TryRead(secret, b); err != nil || string(b) != "statically" {
+				return 0
+			}
+			return 1
+		}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ret, fault := main.Join(granted); fault != nil || ret != 1 {
+			t.Fatalf("boundary-granted child: ret=%d fault=%v", ret, fault)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
