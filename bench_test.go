@@ -97,7 +97,7 @@ func BenchmarkFig7_Callgate(b *testing.B) {
 	done := make(chan struct{})
 	caller, err := root.Create(sc, func(s *sthread.Sthread, _ vm.Addr) vm.Addr {
 		runtime.GC() // shed GC-assist debt left by earlier benchmarks (Fig9 allocates ~1.2GB)
-	b.ResetTimer()
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := s.CallGate(spec, nil, 0); err != nil {
 				b.Error(err)

@@ -7,10 +7,14 @@
 //	wedgebench -table 2        # Apache throughput + OpenSSH latency
 //	wedgebench -metrics        # §5 partitioning metrics + object census
 //	wedgebench -ablations      # tag-cache and ephemeral-RSA ablations
+//	wedgebench -pool           # gatepool scaling: mono/simple/recycled/pooled
+//	                           # throughput as concurrency grows 1..64
 //	wedgebench -all            # everything
 //
 // Every row is printed next to the paper's reported value where one
-// exists. -conns and -scp scale the Table 2 work for quick runs.
+// exists. -conns and -scp scale the Table 2 work for quick runs;
+// -poolconns and -poolsize scale the gatepool experiment (-poolsize 0
+// sizes each pool to the host parallelism).
 package main
 
 import (
@@ -26,13 +30,16 @@ func main() {
 	table := flag.Int("table", 0, "regenerate table 2")
 	metrics := flag.Bool("metrics", false, "partitioning metrics and object census")
 	ablations := flag.Bool("ablations", false, "design-choice ablations (tag cache, ephemeral RSA)")
+	pool := flag.Bool("pool", false, "gatepool scaling experiment (FigPool)")
+	poolSize := flag.Int("poolsize", 0, "gatepool slots (0 = host parallelism)")
+	poolConns := flag.Int("poolconns", bench.FigPoolConns, "timed connections per FigPool cell")
 	all := flag.Bool("all", false, "run every experiment")
 	iters := flag.Int("iters", 0, "iterations for figures 7/8 (0 = default)")
 	conns := flag.Int("conns", bench.Table2Conns, "timed connections per Table 2 Apache cell")
 	scp := flag.Int("scp", bench.ScpSize, "scp upload size in bytes for Table 2")
 	flag.Parse()
 
-	if !*all && *fig == 0 && *table == 0 && !*metrics && !*ablations {
+	if !*all && *fig == 0 && *table == 0 && !*metrics && !*ablations && !*pool {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -88,6 +95,27 @@ func main() {
 			fail(err)
 		}
 		results = append(results, r...)
+	}
+	if *all || *pool {
+		rows, r, err := bench.FigPool(*poolConns, nil, *poolSize)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+		fmt.Println("gatepool scaling detail (req/s by concurrent connections):")
+		byVariant := map[string][]bench.PoolRow{}
+		order := []string{"mono", "simple", "recycled", "pooled"}
+		for _, row := range rows {
+			byVariant[row.Variant] = append(byVariant[row.Variant], row)
+		}
+		for _, v := range order {
+			fmt.Printf("  %-9s", v)
+			for _, row := range byVariant[v] {
+				fmt.Printf(" c=%-3d %7.0f", row.Conns, row.RPS)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
 	}
 	if *all || *ablations {
 		on, off, err := bench.AblationTagCache(*conns)

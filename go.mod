@@ -1,0 +1,8 @@
+module wedge
+
+go 1.24
+
+// The forward-secrecy study uses 512-bit ephemeral RSA keys
+// (internal/minissl/ephemeral.go), matching the paper's ephemeral-RSA
+// cost argument; Go 1.24 rejects sub-1024-bit keys by default.
+godebug rsa1024min=0

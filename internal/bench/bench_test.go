@@ -11,6 +11,9 @@ import (
 // expensive cluster; recycled is several times cheaper than a full
 // callgate.
 func TestFig7Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing shape distorted by race-detector instrumentation")
+	}
 	results, err := Fig7(100)
 	if err != nil {
 		t.Fatal(err)
@@ -54,6 +57,9 @@ func TestFig7Shape(t *testing.T) {
 // TestFig8Shape: malloc < tag_new(warm) < mmap, and cold tag_new costs at
 // least as much as warm.
 func TestFig8Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing shape distorted by race-detector instrumentation")
+	}
 	results, err := Fig8(500)
 	if err != nil {
 		t.Fatal(err)
@@ -76,6 +82,9 @@ func TestFig8Shape(t *testing.T) {
 // TestFig9Shape: native < pin < cblog for every workload; ssh has the
 // smallest cb-log/Pin ratio and h264ref the largest.
 func TestFig9Shape(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing shape distorted by race-detector instrumentation")
+	}
 	if testing.Short() {
 		t.Skip("fig9 takes seconds")
 	}

@@ -1,0 +1,245 @@
+// FigPool: throughput of the four SSL-server builds as connection
+// concurrency grows — the experiment motivating the gatepool subsystem.
+// It extends Table 2's single-stream measurement: the paper's recycled
+// callgate removes the per-call sthread creation but leaves one gate
+// every connection serializes through, and still creates one worker
+// sthread per connection. The pooled build removes both: N slots, each a
+// recycled worker plus a recycled setup gate, sharded by principal.
+//
+// Expected shape: mono fastest (no isolation); simple slowest (two
+// sthread creations per connection); recycled above simple (gate
+// creation amortized); pooled above recycled at every concurrency level
+// (worker creation amortized too), with the gap widening as concurrency
+// grows and, on multicore hosts, the pool's parallel slots overlap RSA
+// work that the single recycled gate serializes.
+
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wedge/internal/httpd"
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// FigPoolConns is the default number of timed connections per cell.
+const FigPoolConns = 48
+
+// FigPoolLevels is the default concurrency ladder.
+var FigPoolLevels = []int{1, 2, 4, 8, 16, 32, 64}
+
+// figPoolImage is the pre-main process image (touched pages), matching
+// Fig7's realistic dynamically-linked-server image: an empty image would
+// make per-connection sthread creation artificially cheap and understate
+// what pooling amortizes away.
+const figPoolImage = 1 << 20
+
+// figPoolReps: each cell is measured this many times and the best run
+// kept, as Fig9 does, to damp scheduler noise. Within a rep the variants
+// run back-to-back (interleaved), so slow drift — CPU frequency, thermal
+// state — biases every variant of a level equally instead of skewing
+// whole-variant sweeps.
+const figPoolReps = 5
+
+// PoolRow is one measured cell.
+type PoolRow struct {
+	Variant string
+	Conns   int // concurrent connections
+	RPS     float64
+}
+
+// figPoolCell measures one variant at one concurrency level: total
+// connections served by a concurrently-dispatching accept loop, driven by
+// conns client goroutines, uncached (every handshake pays the RSA
+// operation, the load the pool spreads).
+func figPoolCell(variant string, conns, total, poolSlots int) (float64, error) {
+	k := kernel.New()
+	priv, err := minissl.GenerateServerKey()
+	if err != nil {
+		return 0, err
+	}
+	if err := httpd.SetupDocroot(k, "/var/www", 1024); err != nil {
+		return 0, err
+	}
+	app := sthread.Boot(k)
+	app.Premain(func(init *kernel.Task) {
+		base, err := init.Mmap(figPoolImage, vm.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		for off := 0; off < figPoolImage; off += vm.PageSize {
+			init.AS.Store64(base+vm.Addr(off), uint64(off))
+		}
+	})
+
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			var serve func(*netsim.Conn) error
+			switch variant {
+			case "mono":
+				srv, err := httpd.NewMonolithic(root, "/var/www", priv, false, httpd.Hooks{})
+				if err != nil {
+					panic(err)
+				}
+				serve = srv.ServeConn
+			case "simple":
+				srv, err := httpd.NewSimple(root, "/var/www", priv, false, httpd.Hooks{})
+				if err != nil {
+					panic(err)
+				}
+				serve = srv.ServeConn
+			case "recycled":
+				srv, err := httpd.NewRecycled(root, "/var/www", priv, false, httpd.Hooks{})
+				if err != nil {
+					panic(err)
+				}
+				defer srv.Close()
+				serve = srv.ServeConn
+			case "pooled":
+				srv, err := httpd.NewPooled(root, "/var/www", priv, false, poolSlots, httpd.Hooks{})
+				if err != nil {
+					panic(err)
+				}
+				defer srv.Close()
+				serve = srv.ServeConn
+			default:
+				panic("unknown variant " + variant)
+			}
+			l, err := root.Task.Listen("apache:443")
+			if err != nil {
+				panic(err)
+			}
+			close(ready)
+			var wg sync.WaitGroup
+			for i := 0; i < total; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					break
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					serve(c)
+				}()
+			}
+			wg.Wait()
+		})
+	}()
+	<-ready
+
+	request := func() error {
+		conn, err := k.Net.Dial("apache:443")
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &priv.PublicKey})
+		if err != nil {
+			return err
+		}
+		if _, err := cc.Write([]byte("GET /index.html")); err != nil {
+			return err
+		}
+		_, err = cc.ReadRecord()
+		return err
+	}
+
+	// Clients retry failed connections, as a load generator would: at high
+	// concurrency the recycled variant sheds load when its single shared
+	// argument tag (one 64 KB arena for every in-flight connection) fills,
+	// and the retries charge that shedding to its throughput instead of
+	// aborting the experiment.
+	perClient := total / conns
+	errs := make(chan error, conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				err := request()
+				for retry := 0; err != nil && retry < 8; retry++ {
+					err = request()
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, fmt.Errorf("%s c=%d: %w", variant, conns, err)
+	}
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// FigPool measures every variant across the concurrency ladder. conns is
+// the timed connection count per cell (0 = FigPoolConns; rounded up to a
+// multiple of the level), levels the ladder (nil = FigPoolLevels), and
+// poolSlots caps the pooled build's slot count (0 = size each cell's pool
+// to its concurrency level).
+func FigPool(conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error) {
+	if conns <= 0 {
+		conns = FigPoolConns
+	}
+	if len(levels) == 0 {
+		levels = FigPoolLevels
+	}
+	var rows []PoolRow
+	var results []Result
+	for _, level := range levels {
+		total := conns
+		if rem := total % level; rem != 0 {
+			total += level - rem
+		}
+		// Slots track available parallelism (httpd.DefaultPoolSlots), not
+		// the connection count, and never exceed the concurrency level —
+		// on a single-core host extra slots only add scheduling churn.
+		slots := poolSlots
+		if slots <= 0 {
+			slots = httpd.DefaultPoolSlots()
+		}
+		if slots > level {
+			slots = level
+		}
+		variants := []string{"mono", "simple", "recycled", "pooled"}
+		best := make(map[string]float64, len(variants))
+		for rep := 0; rep < figPoolReps; rep++ {
+			for _, variant := range variants {
+				r, err := figPoolCell(variant, level, total, slots)
+				if err != nil {
+					return nil, nil, err
+				}
+				if r > best[variant] {
+					best[variant] = r
+				}
+			}
+		}
+		for _, variant := range variants {
+			rows = append(rows, PoolRow{Variant: variant, Conns: level, RPS: best[variant]})
+			results = append(results, Result{
+				Experiment: "figpool",
+				Name:       fmt.Sprintf("%s c=%d", variant, level),
+				Value:      best[variant],
+				Unit:       "req/s",
+			})
+		}
+	}
+	return rows, results, nil
+}

@@ -1,0 +1,73 @@
+package bench
+
+import "testing"
+
+// TestFigPoolPooledBeatsRecycled is the acceptance property of the
+// gatepool subsystem: PooledServer throughput at least matches
+// RecycledServer with a single connection and exceeds it under
+// concurrency. Timing on a loaded host is noisy, so the comparison gets
+// three attempts; the property must hold within one attempt.
+func TestFigPoolPooledBeatsRecycled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing benchmark")
+	}
+	if raceEnabled {
+		t.Skip("timing shape distorted by race-detector instrumentation")
+	}
+	var lastErr string
+	for attempt := 0; attempt < 3; attempt++ {
+		rows, _, err := FigPool(64, []int{1, 8}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rps := make(map[string]float64)
+		for _, r := range rows {
+			rps[r.Variant+"@"+itoa(r.Conns)] = r.RPS
+		}
+		switch {
+		case rps["pooled@1"] < rps["recycled@1"]:
+			lastErr = "pooled below recycled at c=1"
+		case rps["pooled@8"] <= rps["recycled@8"]:
+			lastErr = "pooled not above recycled at c=8"
+		default:
+			t.Logf("c=1: pooled %.0f vs recycled %.0f req/s; c=8: pooled %.0f vs recycled %.0f req/s",
+				rps["pooled@1"], rps["recycled@1"], rps["pooled@8"], rps["recycled@8"])
+			return
+		}
+		t.Logf("attempt %d: %s (pooled@1=%.0f recycled@1=%.0f pooled@8=%.0f recycled@8=%.0f)",
+			attempt, lastErr, rps["pooled@1"], rps["recycled@1"], rps["pooled@8"], rps["recycled@8"])
+	}
+	t.Fatalf("after 3 attempts: %s", lastErr)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestFigPoolShape: a cheap smoke test (also run under -short via
+// FigPool's own machinery being exercised above): every variant reports a
+// positive rate and the row set is complete.
+func TestFigPoolShape(t *testing.T) {
+	rows, results, err := FigPool(8, []int{2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(results) != 4 {
+		t.Fatalf("rows=%d results=%d, want 4/4", len(rows), len(results))
+	}
+	for _, r := range rows {
+		if r.RPS <= 0 {
+			t.Fatalf("%s c=%d: non-positive rate %f", r.Variant, r.Conns, r.RPS)
+		}
+	}
+}

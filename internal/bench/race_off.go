@@ -1,0 +1,10 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is active. Timing-shape
+// tests skip themselves under the detector: its per-access
+// instrumentation multiplies the cost of small simulated memory
+// operations far more than large ones, distorting exactly the cost
+// ratios those tests assert.
+const raceEnabled = false

@@ -1,0 +1,645 @@
+// Package gatepool schedules a pool of recycled callgates (§3.3, §4.1).
+//
+// A single recycled callgate buys Table 2's throughput (+42% cached, +29%
+// uncached) at two costs the paper names: every caller serializes through
+// one gate sthread, and "should a recycled callgate be exploited, and
+// called by sthreads acting on behalf of different principals, sensitive
+// arguments from one caller may become visible to another" (§3.3). The
+// pool addresses both by partitioning the hot shared structure:
+//
+//   - N slots, each owning a private argument tag and one long-lived
+//     recycled gate per configured entry point. Callers leased different
+//     slots never share argument memory at all.
+//   - Sharded dispatch: a principal hashes (FNV-1a) to a home slot, so a
+//     returning principal reuses the slot still warm with its own
+//     residue. When the home slot is busy, dispatch steals an idle slot
+//     rather than queueing.
+//   - Inter-principal scrubbing: when a slot passes between principals,
+//     the pool zeroes the slot's argument block before the new principal
+//     can observe it, closing the §3.3 residue channel for argument
+//     memory. (A gate's sthread-private heap still persists — the PAM
+//     scratch lesson of §5.2 — which is why dispatch prefers principal
+//     affinity in the first place.)
+//
+// Slots can be added and retired at runtime (Resize), the pool can be
+// drained to quiescence, and every scheduling decision is counted and
+// exported by Stats.
+package gatepool
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// Errors.
+var (
+	ErrDraining = errors.New("gatepool: pool is draining")
+	ErrClosed   = errors.New("gatepool: pool is closed")
+	ErrNoGate   = errors.New("gatepool: no gate with that name")
+	ErrBadSize  = errors.New("gatepool: pool size out of range")
+)
+
+// DefaultArgSize is the per-slot argument block size when the config
+// leaves it zero.
+const DefaultArgSize = 1024
+
+// GateDef names one recycled entry point every slot instantiates. The
+// slot's argument tag is added read-write to SC, so each gate instance can
+// reach exactly its own slot's argument block.
+type GateDef struct {
+	Name    string
+	SC      *policy.SC // base policy; nil means no privileges beyond the arg tag
+	Entry   sthread.GateFunc
+	Trusted vm.Addr
+}
+
+// Config sizes and populates a pool.
+type Config struct {
+	Name     string // diagnostic prefix for gate sthread names
+	Slots    int    // initial slot count (default 1)
+	MaxSlots int    // Resize ceiling (default max(Slots, 64))
+	ArgSize  int    // bytes of per-slot argument block (default DefaultArgSize)
+	Gates    []GateDef
+
+	// NoScrub disables inter-principal argument scrubbing, reproducing
+	// the raw §3.3 exposure. It exists for tests and ablations — the
+	// residue tests prove scrubbing is what closes the leak — and should
+	// never be set in servers handling multiple principals.
+	NoScrub bool
+}
+
+// slot is one shard: an argument tag, its preallocated block, and a
+// long-lived recycled gate per GateDef.
+type slot struct {
+	index   int
+	argTag  tags.Tag
+	argBase vm.Addr
+	gates   map[string]*sthread.Recycled
+
+	busy      bool
+	retiring  bool   // close when released (pool shrank past this slot)
+	principal string // last principal leased; "" before first lease
+	waiters   int    // callers blocked with this slot as their home
+
+	// invocations is atomic so Lease.Call stays off the pool lock — it
+	// sits on the per-request hot path.
+	invocations atomic.Uint64
+	// Counters below are read and written under the pool lock.
+	scrubs   uint64
+	steals   uint64 // leases granted here to principals homed elsewhere
+	replaced uint64 // dead gates replaced by the liveness probe
+}
+
+// Pool is a sharded recycled-callgate scheduler. All methods are safe for
+// concurrent use.
+type Pool struct {
+	root *sthread.Sthread
+	cfg  Config
+
+	mu       sync.Mutex
+	freed    *sync.Cond // signaled whenever a lease is released
+	slots    []*slot
+	draining bool
+	closed   bool
+
+	// Pool-wide counters.
+	acquires     uint64
+	affinityHits uint64
+	steals       uint64
+	waits        uint64 // Acquire calls that had to block
+	scrubs       uint64
+	replaced     uint64
+	grown        uint64
+	shrunk       uint64
+}
+
+// Lease is exclusive use of one slot, from Acquire until Release. The
+// holder (and sthreads it creates) may read and write the slot's argument
+// block and invoke the slot's gates.
+type Lease struct {
+	Principal string
+	Slot      int      // slot index at acquisition
+	ArgTag    tags.Tag // grant this to the sthread that fills the block
+	Arg       vm.Addr  // base of the slot's argument block
+	Scrubbed  bool     // the block was zeroed because the principal changed
+	Stolen    bool     // dispatched off the home slot
+
+	pool *Pool
+	s    *slot
+	done bool
+}
+
+// New builds a pool on root: root creates every slot's tag and gates, so
+// each gate runs with root as its creator exactly as a hand-built recycled
+// gate would.
+func New(root *sthread.Sthread, cfg Config) (*Pool, error) {
+	if len(cfg.Gates) == 0 {
+		return nil, errors.New("gatepool: config needs at least one GateDef")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.MaxSlots < cfg.Slots {
+		cfg.MaxSlots = cfg.Slots
+		if cfg.MaxSlots < 64 {
+			cfg.MaxSlots = 64
+		}
+	}
+	if cfg.ArgSize <= 0 {
+		cfg.ArgSize = DefaultArgSize
+	}
+	if cfg.Name == "" {
+		cfg.Name = "gatepool"
+	}
+	p := &Pool{root: root, cfg: cfg}
+	p.freed = sync.NewCond(&p.mu)
+	for i := 0; i < cfg.Slots; i++ {
+		s, err := p.newSlot(i)
+		if err != nil {
+			p.mu.Lock()
+			p.closeSlotsLocked(p.slots)
+			p.slots = nil
+			p.mu.Unlock()
+			return nil, err
+		}
+		p.slots = append(p.slots, s)
+	}
+	return p, nil
+}
+
+// newSlot allocates one shard: a fresh tag, an argument block inside it,
+// and one recycled gate per def with the tag added read-write.
+func (p *Pool) newSlot(index int) (*slot, error) {
+	root := p.root
+	argTag, err := root.App().Tags.TagNew(root.Task)
+	if err != nil {
+		return nil, err
+	}
+	argBase, err := root.Smalloc(argTag, p.cfg.ArgSize)
+	if err != nil {
+		root.App().Tags.TagDelete(argTag)
+		return nil, err
+	}
+	s := &slot{index: index, argTag: argTag, argBase: argBase,
+		gates: make(map[string]*sthread.Recycled, len(p.cfg.Gates))}
+	for _, def := range p.cfg.Gates {
+		gate, err := p.newGate(s, def)
+		if err != nil {
+			for _, g := range s.gates {
+				g.Close()
+			}
+			root.App().Tags.TagDelete(argTag)
+			return nil, err
+		}
+		s.gates[def.Name] = gate
+	}
+	return s, nil
+}
+
+func (p *Pool) newGate(s *slot, def GateDef) (*sthread.Recycled, error) {
+	sc := def.SC
+	if sc == nil {
+		sc = policy.New()
+	}
+	eff := sc.Clone()
+	if err := eff.MemAdd(s.argTag, vm.PermRW); err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/%s-%d", p.cfg.Name, def.Name, s.index)
+	return p.root.NewRecycled(name, eff, def.Entry, def.Trusted)
+}
+
+// homeFor shards a principal: FNV-1a over the principal name, modulo the
+// current slot count.
+func homeFor(principal string, n int) int {
+	h := fnv.New64a()
+	h.Write([]byte(principal))
+	return int(h.Sum64() % uint64(n))
+}
+
+// Acquire leases a slot for principal, blocking while every eligible slot
+// is busy. Dispatch prefers the principal's home slot (shard affinity);
+// when the home slot is held it steals another idle slot, preferring one
+// this principal used before. The leased slot's gates are liveness-probed
+// and replaced if dead, and the argument block is scrubbed whenever the
+// slot changes hands between principals.
+func (p *Pool) Acquire(principal string) (*Lease, error) {
+	p.mu.Lock()
+	waitingOn := -1 // home slot index currently charged with our wait
+	for {
+		if p.closed {
+			p.unchargeWait(waitingOn)
+			p.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if p.draining {
+			p.unchargeWait(waitingOn)
+			p.mu.Unlock()
+			return nil, ErrDraining
+		}
+		s, stolen := p.selectLocked(principal)
+		if s != nil {
+			p.unchargeWait(waitingOn)
+			lease, err := p.leaseLocked(s, principal, stolen)
+			p.mu.Unlock()
+			return lease, err
+		}
+		// Every eligible slot is busy: block until a release, charging
+		// the wait to the principal's home slot so Stats can show where
+		// the queueing is.
+		if waitingOn == -1 {
+			p.waits++
+			if n := p.liveCountLocked(); n > 0 {
+				waitingOn = homeFor(principal, n)
+				if home := p.liveSlotLocked(waitingOn); home != nil {
+					home.waiters++
+				}
+			}
+		}
+		p.freed.Wait()
+	}
+}
+
+// unchargeWait drops the queue-depth charge taken while blocking.
+func (p *Pool) unchargeWait(waitingOn int) {
+	if waitingOn >= 0 {
+		if home := p.liveSlotLocked(waitingOn); home != nil && home.waiters > 0 {
+			home.waiters--
+		}
+	}
+}
+
+// liveCountLocked counts slots eligible for dispatch.
+func (p *Pool) liveCountLocked() int {
+	n := 0
+	for _, s := range p.slots {
+		if !s.retiring {
+			n++
+		}
+	}
+	return n
+}
+
+// liveSlotLocked returns the i-th non-retiring slot, or nil.
+func (p *Pool) liveSlotLocked(i int) *slot {
+	for _, s := range p.slots {
+		if s.retiring {
+			continue
+		}
+		if i == 0 {
+			return s
+		}
+		i--
+	}
+	return nil
+}
+
+// selectLocked picks a free slot for principal, or nil if all are busy.
+// The bool reports whether the pick was a steal (not the home slot).
+func (p *Pool) selectLocked(principal string) (*slot, bool) {
+	n := p.liveCountLocked()
+	if n == 0 {
+		return nil, false
+	}
+	home := p.liveSlotLocked(homeFor(principal, n))
+	if home != nil && !home.busy {
+		return home, false
+	}
+	// Steal: prefer an idle slot this principal already warmed, so the
+	// steal costs no scrub; otherwise any idle slot.
+	var idle *slot
+	for _, s := range p.slots {
+		if s.retiring || s.busy || s == home {
+			continue
+		}
+		if s.principal == principal {
+			return s, true
+		}
+		if idle == nil {
+			idle = s
+		}
+	}
+	if idle != nil {
+		return idle, true
+	}
+	return nil, false
+}
+
+// leaseLocked marks s busy for principal, probing gate liveness and
+// scrubbing the argument block on a principal change.
+func (p *Pool) leaseLocked(s *slot, principal string, stolen bool) (*Lease, error) {
+	// Liveness probe: replace any gate whose sthread died (its entry
+	// faulted on some earlier invocation).
+	for _, def := range p.cfg.Gates {
+		if g := s.gates[def.Name]; g != nil {
+			if g.Alive() {
+				continue
+			}
+			g.Close() // retire the dead gate's control tag
+		}
+		gate, err := p.newGate(s, def)
+		if err != nil {
+			return nil, fmt.Errorf("gatepool: replacing dead gate %q: %w", def.Name, err)
+		}
+		s.gates[def.Name] = gate
+		s.replaced++
+		p.replaced++
+	}
+
+	scrubbed := false
+	if s.principal != principal {
+		if !p.cfg.NoScrub {
+			if err := p.root.Zero(s.argBase, p.cfg.ArgSize); err != nil {
+				return nil, fmt.Errorf("gatepool: scrubbing slot %d: %w", s.index, err)
+			}
+			scrubbed = true
+			s.scrubs++
+			p.scrubs++
+		}
+		s.principal = principal
+	} else if s.principal == principal && principal != "" {
+		p.affinityHits++
+	}
+	if stolen {
+		s.steals++
+		p.steals++
+	}
+	s.busy = true
+	p.acquires++
+	return &Lease{
+		Principal: principal,
+		Slot:      s.index,
+		ArgTag:    s.argTag,
+		Arg:       s.argBase,
+		Scrubbed:  scrubbed,
+		Stolen:    stolen,
+		pool:      p,
+		s:         s,
+	}, nil
+}
+
+// Gate returns the leased slot's recycled gate with the given name, or nil.
+func (l *Lease) Gate(name string) *sthread.Recycled { return l.s.gates[name] }
+
+// Call invokes the leased slot's named gate on behalf of caller, counting
+// the invocation against the slot.
+func (l *Lease) Call(name string, caller *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
+	return l.invoke(name, func(g *sthread.Recycled) (vm.Addr, error) {
+		return g.Call(caller, arg)
+	})
+}
+
+// CallFD is Call with a per-invocation argument descriptor (see
+// sthread.Recycled.CallFD).
+func (l *Lease) CallFD(name string, caller *sthread.Sthread, arg vm.Addr, fd int, perm kernel.FDPerm) (vm.Addr, error) {
+	return l.invoke(name, func(g *sthread.Recycled) (vm.Addr, error) {
+		return g.CallFD(caller, arg, fd, perm)
+	})
+}
+
+func (l *Lease) invoke(name string, call func(*sthread.Recycled) (vm.Addr, error)) (vm.Addr, error) {
+	g := l.s.gates[name]
+	if g == nil {
+		return 0, fmt.Errorf("%w: %q", ErrNoGate, name)
+	}
+	l.s.invocations.Add(1)
+	return call(g)
+}
+
+// Release returns the slot to the pool. Releasing twice is a no-op. If the
+// pool shrank while the lease was held, the slot is closed instead of
+// returned.
+func (l *Lease) Release() {
+	p := l.pool
+	p.mu.Lock()
+	if l.done {
+		p.mu.Unlock()
+		return
+	}
+	l.done = true
+	l.s.busy = false
+	if l.s.retiring {
+		p.removeSlotLocked(l.s)
+	}
+	// One slot freed: one waiter can proceed. Drain also waits on freed,
+	// so wake it too once the pool falls idle.
+	p.freed.Signal()
+	if p.draining {
+		p.freed.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// Resize grows or shrinks the pool to n slots. Growth creates fresh slots
+// immediately; shrinking retires the highest-indexed slots, closing idle
+// ones now and busy ones when their leases are released.
+func (p *Pool) Resize(n int) error {
+	if n < 1 || n > p.cfg.MaxSlots {
+		return fmt.Errorf("%w: %d (max %d)", ErrBadSize, n, p.cfg.MaxSlots)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	// The slot count is recomputed under the lock on every iteration:
+	// newSlot runs unlocked (it creates tags and gate sthreads), so a
+	// concurrent Resize may have changed the pool meanwhile.
+	for p.liveCountLocked() < n {
+		idx := p.nextIndexLocked()
+		p.mu.Unlock()
+		s, err := p.newSlot(idx)
+		p.mu.Lock()
+		if err != nil {
+			return err
+		}
+		if p.closed || p.liveCountLocked() >= n {
+			p.closeSlotsLocked([]*slot{s})
+			if p.closed {
+				return ErrClosed
+			}
+			break
+		}
+		p.slots = append(p.slots, s)
+		p.grown++
+	}
+	for live := p.liveCountLocked(); live > n; live-- {
+		// Retire the last live slot.
+		var victim *slot
+		for _, s := range p.slots {
+			if !s.retiring {
+				victim = s
+			}
+		}
+		victim.retiring = true
+		p.shrunk++
+		if !victim.busy {
+			p.removeSlotLocked(victim)
+		}
+	}
+	p.freed.Broadcast()
+	return nil
+}
+
+// nextIndexLocked returns a slot index not currently in use (indices are
+// diagnostic; affinity uses position among live slots).
+func (p *Pool) nextIndexLocked() int {
+	max := -1
+	for _, s := range p.slots {
+		if s.index > max {
+			max = s.index
+		}
+	}
+	return max + 1
+}
+
+// removeSlotLocked closes a retiring slot's gates, frees its argument
+// block, retires its tag, and drops it from the slice.
+func (p *Pool) removeSlotLocked(victim *slot) {
+	for i, s := range p.slots {
+		if s == victim {
+			p.slots = append(p.slots[:i], p.slots[i+1:]...)
+			break
+		}
+	}
+	p.closeSlotsLocked([]*slot{victim})
+}
+
+// closeSlotsLocked tears down slots: gates first (their control tags go
+// with them), then the argument tags. Called with p.mu held; gate Close
+// blocks only on gates that are idle, which retired slots are.
+func (p *Pool) closeSlotsLocked(ss []*slot) {
+	for _, s := range ss {
+		for _, g := range s.gates {
+			g.Close()
+		}
+		p.root.Sfree(s.argBase)
+		p.root.App().Tags.TagDelete(s.argTag)
+	}
+}
+
+// Drain stops new acquisitions and blocks until every lease has been
+// released: the pool is quiescent when it returns. Acquire fails with
+// ErrDraining while a drain is in progress. Undrain re-opens the pool.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	p.draining = true
+	p.freed.Broadcast() // wake blocked Acquires so they observe the drain
+	for {
+		busy := 0
+		for _, s := range p.slots {
+			if s.busy {
+				busy++
+			}
+		}
+		if busy == 0 {
+			break
+		}
+		p.freed.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Undrain re-admits acquisitions after a Drain.
+func (p *Pool) Undrain() {
+	p.mu.Lock()
+	p.draining = false
+	p.mu.Unlock()
+	p.freed.Broadcast()
+}
+
+// Close drains the pool, shuts every gate down, and retires every tag.
+// The pool is unusable afterwards.
+func (p *Pool) Close() error {
+	p.Drain()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	ss := p.slots
+	p.slots = nil
+	p.closeSlotsLocked(ss)
+	p.freed.Broadcast()
+	p.mu.Unlock()
+	return nil
+}
+
+// GateStats is one slot's snapshot.
+type GateStats struct {
+	Slot        int
+	Busy        bool
+	Retiring    bool
+	Principal   string // last principal leased
+	QueueDepth  int    // callers currently blocked with this home slot
+	Invocations uint64
+	Scrubs      uint64
+	Steals      uint64
+	Replaced    uint64
+}
+
+// Stats is a point-in-time snapshot of the pool's scheduling counters.
+type Stats struct {
+	Slots    int // live (non-retiring) slots
+	Busy     int
+	Draining bool
+	Closed   bool
+
+	Acquires     uint64
+	AffinityHits uint64
+	Steals       uint64
+	Waits        uint64
+	Scrubs       uint64
+	Replaced     uint64
+	Grown        uint64
+	Shrunk       uint64
+
+	Gates []GateStats
+}
+
+// Stats returns a consistent snapshot of pool and per-slot counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Slots:    p.liveCountLocked(),
+		Draining: p.draining,
+		Closed:   p.closed,
+
+		Acquires:     p.acquires,
+		AffinityHits: p.affinityHits,
+		Steals:       p.steals,
+		Waits:        p.waits,
+		Scrubs:       p.scrubs,
+		Replaced:     p.replaced,
+		Grown:        p.grown,
+		Shrunk:       p.shrunk,
+	}
+	for _, s := range p.slots {
+		if s.busy {
+			st.Busy++
+		}
+		st.Gates = append(st.Gates, GateStats{
+			Slot:        s.index,
+			Busy:        s.busy,
+			Retiring:    s.retiring,
+			Principal:   s.principal,
+			QueueDepth:  s.waiters,
+			Invocations: s.invocations.Load(),
+			Scrubs:      s.scrubs,
+			Steals:      s.steals,
+			Replaced:    s.replaced,
+		})
+	}
+	return st
+}

@@ -1,0 +1,441 @@
+package gatepool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// withRoot boots a fresh system and runs fn as the root sthread.
+func withRoot(t *testing.T, fn func(root *sthread.Sthread)) {
+	t.Helper()
+	app := sthread.Boot(kernel.New())
+	if err := app.Main(fn); err != nil {
+		t.Fatalf("main: %v", err)
+	}
+}
+
+// echoGate increments the word at arg+0 into arg+8.
+func echoGate(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+	g.Store64(arg+8, g.Load64(arg)+1)
+	return 1
+}
+
+// probeGate attempts to read the address named at arg+0, reporting whether
+// the read was permitted. Used to show slots do not share argument memory.
+func probeGate(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+	target := vm.Addr(g.Load64(arg))
+	var b [8]byte
+	if err := g.TryRead(target, b[:]); err != nil {
+		return 0
+	}
+	return 1
+}
+
+// faultyGate faults (touches unmapped memory) when arg+0 holds 1,
+// terminating the gate sthread; otherwise behaves like echoGate.
+func faultyGate(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+	if g.Load64(arg) == 1 {
+		g.Load64(vm.Addr(8)) // unmapped: protection fault kills the gate
+	}
+	return echoGate(g, arg, 0)
+}
+
+func newTestPool(t *testing.T, root *sthread.Sthread, slots int, entry sthread.GateFunc, noScrub bool) *Pool {
+	t.Helper()
+	p, err := New(root, Config{
+		Name:    "test",
+		Slots:   slots,
+		Gates:   []GateDef{{Name: "gate", SC: policy.New(), Entry: entry}},
+		NoScrub: noScrub,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return p
+}
+
+func TestPoolCallRoundTrip(t *testing.T) {
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 2, echoGate, false)
+		defer p.Close()
+		l, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Store64(l.Arg, 41)
+		ret, err := l.Call("gate", root, l.Arg)
+		if err != nil || ret != 1 {
+			t.Fatalf("Call = %v, %v", ret, err)
+		}
+		if got := root.Load64(l.Arg + 8); got != 42 {
+			t.Fatalf("gate echoed %d, want 42", got)
+		}
+		l.Release()
+		st := p.Stats()
+		if st.Acquires != 1 || st.Slots != 2 {
+			t.Fatalf("stats = %+v", st)
+		}
+	})
+}
+
+// TestPoolAffinity: a returning principal lands on the same slot, counted
+// as an affinity hit, with no scrub after the first lease.
+func TestPoolAffinity(t *testing.T) {
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 4, echoGate, false)
+		defer p.Close()
+		first, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		slot := first.Slot
+		if !first.Scrubbed {
+			t.Error("first lease of a slot should scrub (principal changed from none)")
+		}
+		first.Release()
+		for i := 0; i < 3; i++ {
+			l, err := p.Acquire("alice")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Slot != slot {
+				t.Fatalf("lease %d landed on slot %d, want home slot %d", i, l.Slot, slot)
+			}
+			if l.Scrubbed || l.Stolen {
+				t.Fatalf("affinity lease scrubbed=%v stolen=%v", l.Scrubbed, l.Stolen)
+			}
+			l.Release()
+		}
+		st := p.Stats()
+		if st.AffinityHits != 3 || st.Steals != 0 {
+			t.Fatalf("affinity=%d steals=%d, want 3/0", st.AffinityHits, st.Steals)
+		}
+	})
+}
+
+// TestPoolSlotsShareNoArgumentMemory: each slot's argument block lives in
+// its own tag, so a gate leased to one principal cannot read another
+// slot's argument block even while both are live.
+func TestPoolSlotsShareNoArgumentMemory(t *testing.T) {
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 2, probeGate, false)
+		defer p.Close()
+		a, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b *Lease
+		for {
+			// Find the other slot regardless of where alice hashed.
+			if b, err = p.Acquire(fmt.Sprintf("bob-%d", a.Slot)); err != nil {
+				t.Fatal(err)
+			}
+			if b.Slot != a.Slot {
+				break
+			}
+			t.Fatal("two live leases on one slot")
+		}
+		if a.ArgTag == b.ArgTag {
+			t.Fatalf("slots share argument tag %d", a.ArgTag)
+		}
+		// Slot A's gate may read its own block...
+		root.Store64(a.Arg, uint64(a.Arg))
+		if ret, err := a.Call("gate", root, a.Arg); err != nil || ret != 1 {
+			t.Fatalf("self probe = %v, %v (want readable)", ret, err)
+		}
+		// ...but not slot B's.
+		root.Store64(a.Arg, uint64(b.Arg))
+		if ret, err := a.Call("gate", root, a.Arg); err != nil || ret != 0 {
+			t.Fatalf("cross-slot probe = %v, %v (want denied)", ret, err)
+		}
+		a.Release()
+		b.Release()
+	})
+}
+
+// TestPoolScrubBetweenPrincipals: the §3.3 residue channel. With
+// scrubbing, a principal leasing a slot another principal used sees only
+// zeroes; with NoScrub the stale argument bytes are still there.
+func TestPoolScrubBetweenPrincipals(t *testing.T) {
+	const secret = 0x5EC12E7
+	for _, noScrub := range []bool{false, true} {
+		name := "scrub"
+		if noScrub {
+			name = "noscrub"
+		}
+		t.Run(name, func(t *testing.T) {
+			withRoot(t, func(root *sthread.Sthread) {
+				p := newTestPool(t, root, 1, echoGate, noScrub)
+				defer p.Close()
+				a, err := p.Acquire("alice")
+				if err != nil {
+					t.Fatal(err)
+				}
+				root.Store64(a.Arg+16, secret) // sensitive argument residue
+				a.Release()
+
+				b, err := p.Acquire("mallory")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := root.Load64(b.Arg + 16)
+				if noScrub {
+					if b.Scrubbed || got != secret {
+						t.Fatalf("NoScrub lease scrubbed=%v residue=%#x, want raw §3.3 exposure", b.Scrubbed, got)
+					}
+				} else {
+					if !b.Scrubbed || got != 0 {
+						t.Fatalf("lease scrubbed=%v residue=%#x, want scrubbed zeroes", b.Scrubbed, got)
+					}
+				}
+				b.Release()
+			})
+		})
+	}
+}
+
+// TestPoolStealAndQueue: with the home slot held, a second lease for the
+// same principal steals an idle slot; with every slot held, Acquire blocks
+// and the wait is charged to the home slot's queue depth.
+func TestPoolStealAndQueue(t *testing.T) {
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 2, echoGate, false)
+		defer p.Close()
+		first, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !second.Stolen || second.Slot == first.Slot {
+			t.Fatalf("second lease stolen=%v slot=%d (first %d)", second.Stolen, second.Slot, first.Slot)
+		}
+
+		got := make(chan *Lease)
+		go func() {
+			l, err := p.Acquire("alice")
+			if err != nil {
+				t.Error(err)
+			}
+			got <- l
+		}()
+		// Wait until the blocked Acquire is visible in the stats.
+		for {
+			if st := p.Stats(); st.Waits >= 1 {
+				depth := 0
+				for _, g := range st.Gates {
+					depth += g.QueueDepth
+				}
+				if depth != 1 {
+					t.Fatalf("queue depth = %d, want 1", depth)
+				}
+				break
+			}
+		}
+		first.Release()
+		third := <-got
+		if third == nil {
+			t.Fatal("blocked acquire returned nil")
+		}
+		third.Release()
+		second.Release()
+	})
+}
+
+// TestPoolResize: growth adds live slots; shrinking retires them, closing
+// busy slots only once their leases release.
+func TestPoolResize(t *testing.T) {
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 1, echoGate, false)
+		defer p.Close()
+		if err := p.Resize(3); err != nil {
+			t.Fatal(err)
+		}
+		if st := p.Stats(); st.Slots != 3 || st.Grown != 2 {
+			t.Fatalf("after grow: %+v", st)
+		}
+
+		// Hold every slot, then shrink under the leases.
+		var leases []*Lease
+		for i := 0; i < 3; i++ {
+			l, err := p.Acquire(fmt.Sprintf("p%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			leases = append(leases, l)
+		}
+		if err := p.Resize(1); err != nil {
+			t.Fatal(err)
+		}
+		if st := p.Stats(); st.Slots != 1 || st.Shrunk != 2 {
+			t.Fatalf("after shrink: slots=%d shrunk=%d", st.Slots, st.Shrunk)
+		}
+		for _, l := range leases {
+			l.Release()
+		}
+		if st := p.Stats(); len(st.Gates) != 1 {
+			t.Fatalf("retired slots not closed: %d remain", len(st.Gates))
+		}
+		// The survivor still serves.
+		l, err := p.Acquire("after")
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Store64(l.Arg, 1)
+		if ret, err := l.Call("gate", root, l.Arg); err != nil || ret != 1 {
+			t.Fatalf("post-shrink call = %v, %v", ret, err)
+		}
+		l.Release()
+	})
+}
+
+// TestPoolDrainQuiesce: Drain blocks until leases release and rejects new
+// acquisitions until Undrain.
+func TestPoolDrainQuiesce(t *testing.T) {
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 2, echoGate, false)
+		defer p.Close()
+		l, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		drained := make(chan struct{})
+		go func() {
+			p.Drain()
+			close(drained)
+		}()
+		for {
+			if p.Stats().Draining {
+				break
+			}
+		}
+		if _, err := p.Acquire("bob"); err != ErrDraining {
+			t.Fatalf("Acquire during drain = %v, want ErrDraining", err)
+		}
+		select {
+		case <-drained:
+			t.Fatal("drain completed with a lease outstanding")
+		default:
+		}
+		l.Release()
+		<-drained
+		p.Undrain()
+		l2, err := p.Acquire("bob")
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2.Release()
+	})
+}
+
+// TestPoolReplacesDeadGate: the liveness probe. A gate whose entry faults
+// dies; the next lease of its slot replaces it transparently.
+func TestPoolReplacesDeadGate(t *testing.T) {
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 1, faultyGate, false)
+		defer p.Close()
+		l, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Store64(l.Arg, 1) // poison: the gate faults and dies
+		if _, err := l.Call("gate", root, l.Arg); err != sthread.ErrGateExited {
+			t.Fatalf("call on dying gate = %v, want ErrGateExited", err)
+		}
+		l.Release()
+
+		l2, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.Store64(l2.Arg, 40)
+		ret, err := l2.Call("gate", root, l2.Arg)
+		if err != nil || ret != 1 {
+			t.Fatalf("call on replaced gate = %v, %v", ret, err)
+		}
+		if got := root.Load64(l2.Arg + 8); got != 41 {
+			t.Fatalf("replaced gate echoed %d", got)
+		}
+		l2.Release()
+		if st := p.Stats(); st.Replaced != 1 {
+			t.Fatalf("replaced = %d, want 1", st.Replaced)
+		}
+	})
+}
+
+// TestPoolStress: many principals hammering a small pool from many
+// goroutines, with a resizer running underneath — the -race exercise for
+// the scheduler's locking.
+func TestPoolStress(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 25
+		principals = 5
+	)
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 3, echoGate, false)
+
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					l, err := p.Acquire(fmt.Sprintf("principal-%d", (g+i)%principals))
+					if err != nil {
+						t.Errorf("acquire: %v", err)
+						return
+					}
+					root.Store64(l.Arg, uint64(i))
+					ret, err := l.Call("gate", root, l.Arg)
+					if err != nil || ret != 1 {
+						t.Errorf("call: %v, %v", ret, err)
+					} else if got := root.Load64(l.Arg + 8); got != uint64(i)+1 {
+						t.Errorf("goroutine %d iter %d: echo %d", g, i, got)
+					}
+					l.Release()
+				}
+			}(g)
+		}
+		resizeDone := make(chan struct{})
+		go func() {
+			defer close(resizeDone)
+			for _, n := range []int{4, 2, 5, 3} {
+				if err := p.Resize(n); err != nil {
+					t.Errorf("resize %d: %v", n, err)
+				}
+				p.Stats()
+			}
+		}()
+		wg.Wait()
+		<-resizeDone
+
+		st := p.Stats()
+		if st.Acquires != goroutines*iters {
+			t.Fatalf("acquires = %d, want %d", st.Acquires, goroutines*iters)
+		}
+		var invocations uint64
+		for _, g := range st.Gates {
+			invocations += g.Invocations
+		}
+		// Invocations on slots retired mid-run are gone from the
+		// snapshot; the surviving slots must still account for most.
+		if invocations == 0 {
+			t.Fatal("no invocations recorded")
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Acquire("late"); err != ErrClosed {
+			t.Fatalf("acquire after close = %v, want ErrClosed", err)
+		}
+	})
+}

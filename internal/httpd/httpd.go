@@ -156,6 +156,7 @@ const (
 	argDataLen      = 264 // premaster ciphertext length
 	argData         = 272 // premaster ciphertext (<= 256 bytes)
 	argSessionIDOut = 768 // 16 bytes, gate-assigned session id
+	argPoolFD       = 984 // pooled variant: this connection's descriptor number
 	argSize         = 1024
 
 	opHello = 1

@@ -94,6 +94,15 @@ func runVariant(t *testing.T, variant string, cached bool, nConns int, hooks Hoo
 				}
 				serveConn = srv.ServeConn
 				closeSrv = func() { srv.Close() }
+			case "pooled":
+				srv, err := NewPooled(root, "/var/www", priv, cached, 2, hooks)
+				if err != nil {
+					t.Error(err)
+					close(ready)
+					return
+				}
+				serveConn = srv.ServeConn
+				closeSrv = func() { srv.Close() }
 			default:
 				t.Errorf("unknown variant %q", variant)
 				close(ready)
@@ -242,7 +251,7 @@ func TestRecycledSessionCache(t *testing.T) {
 // connection must still complete (the exploit is a read attempt via
 // TryRead, not a crash).
 func TestWorkerCannotReadPrivateKey(t *testing.T) {
-	for _, variant := range []string{"simple", "mitm", "recycled"} {
+	for _, variant := range []string{"simple", "mitm", "recycled", "pooled"} {
 		t.Run(variant, func(t *testing.T) {
 			probed := make(chan error, 1)
 			hooks := Hooks{Worker: func(s *sthread.Sthread, c *ConnContext) {

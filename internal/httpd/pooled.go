@@ -1,0 +1,296 @@
+// The pooled variant: the Recycled partitioning with its single shared
+// gate replaced by a gatepool — and the per-connection worker sthread
+// replaced by a per-slot recycled worker, the same amortization the paper
+// applies to callgates (§3.3) applied one layer up.
+//
+// Each pool slot owns a private argument tag and two long-lived recycled
+// sthreads instantiated against it:
+//
+//   - "worker": the unprivileged network-facing compartment. One
+//     invocation serves one connection; the connection's descriptor is
+//     passed as a per-invocation argument descriptor (CallFD) and revoked
+//     when the invocation completes.
+//   - "setup": the setup_session_key gate, holding the private-key tag.
+//
+// A connection's principal (its network address) shards it onto a home
+// slot; the pool steals an idle slot when the home slot is busy and
+// scrubs the slot's argument block whenever it passes between principals.
+// Relative to RecycledServer this removes both scaling bottlenecks: the
+// single gate every connection serialized through, and the sthread
+// creation still paid per connection. Relative isolation: connections
+// leased different slots share no argument memory at all (per-slot tags),
+// and the §3.3 cross-principal residue is scrubbed — but like any
+// recycled compartment, a slot's sthread-private heaps persist across the
+// principals sharded onto it (the PAM scratch lesson, §5.2). See
+// TestPooledCrossConnectionResidue for the contrast with the recycled
+// variant's shared-tag leak.
+
+package httpd
+
+import (
+	"crypto/rsa"
+	"runtime"
+	"sync"
+
+	"wedge/internal/gatepool"
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// DefaultPoolSlots sizes a PooledServer when the caller does not: twice
+// the host parallelism, floored at two. Slot count should track available
+// parallelism, not connection concurrency — slots beyond the cores that
+// can run them add scheduling churn without overlapping any work, while
+// admission control (Acquire blocking) absorbs the excess connections.
+func DefaultPoolSlots() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// PooledServer scales the recycled-callgate design across a gate pool.
+type PooledServer struct {
+	Stats Stats
+
+	root    *sthread.Sthread
+	docroot string
+
+	privTag  tags.Tag
+	privAddr vm.Addr
+	pubTag   tags.Tag
+	pubAddr  vm.Addr
+
+	pool  *gatepool.Pool
+	cache *minissl.SessionCache
+	hooks Hooks
+
+	// connStates demultiplexes gate-side handshake state by conn id, as
+	// in RecycledServer; it additionally carries the slot lease so the
+	// worker entry can reach its own slot's setup gate.
+	mu         sync.Mutex
+	nextConnID uint64
+	connStates map[uint64]*pooledConnState
+}
+
+type pooledConnState struct {
+	setupGateState
+	lease *gatepool.Lease
+	fd    int
+}
+
+// NewPooled builds the pooled server with the given number of slots
+// (DefaultPoolSlots() if slots <= 0); Resize adjusts it at runtime.
+func NewPooled(root *sthread.Sthread, docroot string, priv *rsa.PrivateKey, cache bool, slots int, hooks Hooks) (*PooledServer, error) {
+	if slots <= 0 {
+		slots = DefaultPoolSlots()
+	}
+	p := &PooledServer{root: root, docroot: docroot, hooks: hooks,
+		connStates: make(map[uint64]*pooledConnState)}
+	if cache {
+		p.cache = minissl.NewSessionCache()
+	}
+	var err error
+	if p.privTag, p.privAddr, err = placeBlob(root, minissl.MarshalPrivateKey(priv)); err != nil {
+		return nil, err
+	}
+	if p.pubTag, p.pubAddr, err = placeBlob(root, minissl.MarshalPublicKey(&priv.PublicKey)); err != nil {
+		return nil, err
+	}
+	p.pool, err = gatepool.New(root, gatepool.Config{
+		Name:    "httpd",
+		Slots:   slots,
+		ArgSize: argSize,
+		Gates: []gatepool.GateDef{
+			{
+				Name:  "worker",
+				SC:    policy.New().MustMemAdd(p.pubTag, vm.PermRead),
+				Entry: p.workerEntry,
+			},
+			{
+				Name:    "setup",
+				SC:      policy.New().MustMemAdd(p.privTag, vm.PermRead),
+				Entry:   p.setupEntry,
+				Trusted: p.privAddr,
+			},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Close drains the pool and retires every slot.
+func (p *PooledServer) Close() error { return p.pool.Close() }
+
+// Resize grows or shrinks the slot pool (see gatepool.Pool.Resize).
+func (p *PooledServer) Resize(slots int) error { return p.pool.Resize(slots) }
+
+// PoolStats snapshots the scheduler counters.
+func (p *PooledServer) PoolStats() gatepool.Stats { return p.pool.Stats() }
+
+// ServeConn handles one connection, sharding by the peer's network
+// address. It blocks while every slot is leased, which is the pool's
+// admission control.
+func (p *PooledServer) ServeConn(conn *netsim.Conn) error {
+	return p.ServeConnAs(conn, conn.RemoteAddr())
+}
+
+// ServeConnAs is ServeConn with an explicit principal, for callers that
+// know a better identity than the network address (an authenticated user,
+// a TLS client identity).
+func (p *PooledServer) ServeConnAs(conn *netsim.Conn, principal string) error {
+	root := p.root
+	fd := root.Task.InstallFD(conn, kernel.FDRW)
+	defer root.Task.CloseFD(fd)
+
+	lease, err := p.pool.Acquire(principal)
+	if err != nil {
+		return fmtErr("pooled", "acquire", err)
+	}
+	defer lease.Release()
+
+	p.mu.Lock()
+	p.nextConnID++
+	connID := p.nextConnID
+	p.connStates[connID] = &pooledConnState{lease: lease, fd: fd}
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		delete(p.connStates, connID)
+		p.mu.Unlock()
+	}()
+
+	root.Store64(lease.Arg+argConnID, connID)
+	root.Store64(lease.Arg+argPoolFD, uint64(fd))
+
+	// One recycled-worker invocation serves the whole connection; no
+	// sthread is created on this path.
+	ret, err := lease.CallFD("worker", root, lease.Arg, fd, kernel.FDRW)
+	if err != nil {
+		p.Stats.Errors.Add(1)
+		return fmtErr("pooled", "worker", err)
+	}
+	if ret != 1 {
+		p.Stats.Errors.Add(1)
+		return fmtErr("pooled", "worker", ErrHandshakeFailed)
+	}
+	p.Stats.Requests.Add(1)
+	return nil
+}
+
+// workerEntry is the per-slot recycled worker: one invocation per
+// connection, running with the slot's argument tag, the public key, and
+// the per-invocation argument descriptor — nothing else.
+func (p *PooledServer) workerEntry(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+	connID := w.Load64(arg + argConnID)
+	fd := int(w.Load64(arg + argPoolFD))
+	p.mu.Lock()
+	state := p.connStates[connID]
+	p.mu.Unlock()
+	if state == nil || state.fd != fd || state.lease.Arg != arg {
+		return 0
+	}
+	if p.hooks.Worker != nil {
+		p.hooks.Worker(w, &ConnContext{
+			FD:          fd,
+			PrivKeyAddr: p.privAddr,
+			ArgAddr:     arg,
+		})
+	}
+	lease := state.lease
+	setup := func(w *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
+		return lease.Call("setup", w, arg)
+	}
+	p.Stats.GateCalls.Add(1) // the worker invocation itself
+	return recycledWorkerBody(w, fd, arg, setup, &p.Stats, p.pubAddr, p.docroot)
+}
+
+// setupEntry is RecycledServer.gateBody against the pooled connection
+// state: hello and key-exchange operations demultiplexed by conn id, with
+// the private key reachable through the kernel-held trusted argument.
+func (p *PooledServer) setupEntry(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	connID := g.Load64(arg + argConnID)
+	p.mu.Lock()
+	state := p.connStates[connID]
+	p.mu.Unlock()
+	// The conn id is worker-supplied and therefore untrusted: a
+	// compromised worker could name another connection's id. The gate
+	// can only be invoked on its own slot's argument block (it holds no
+	// other slot's tag), so requiring the state to anchor at exactly
+	// this block pins the demux to the slot — cross-slot handshake
+	// state stays unreachable, as the pool's isolation story promises.
+	if state == nil || state.lease.Arg != arg {
+		return 0
+	}
+
+	switch g.Load64(arg + argOp) {
+	case opHello:
+		g.Read(arg+argClientRandom, state.clientRandom[:])
+		sr, err := minissl.NewRandom(cryptoRand{})
+		if err != nil {
+			return 0
+		}
+		state.serverRandom = sr
+		g.Write(arg+argServerRandom, sr[:])
+
+		idLen := g.Load64(arg + argSessionIDLen)
+		if p.cache != nil && idLen > 0 && idLen <= minissl.SessionIDLen {
+			id := make([]byte, idLen)
+			g.Read(arg+argSessionID, id)
+			if master, ok := p.cache.Get(id); ok {
+				state.resumed = true
+				g.Store64(arg+argResumed, 1)
+				g.Write(arg+argSessionIDOut, id)
+				keys := minissl.KeyBlock(master, state.clientRandom, sr)
+				g.Write(arg+argMaster, master[:])
+				g.Write(arg+argKeys, keys.Marshal())
+				return 1
+			}
+		}
+		g.Store64(arg+argResumed, 0)
+		id, err := minissl.NewSessionID(cryptoRand{})
+		if err != nil {
+			return 0
+		}
+		g.Write(arg+argSessionIDOut, id)
+		return 1
+
+	case opKex:
+		if state.resumed {
+			return 0
+		}
+		priv, err := minissl.UnmarshalPrivateKey(readBlob(g, trusted))
+		if err != nil {
+			return 0
+		}
+		n := g.Load64(arg + argDataLen)
+		if n == 0 || n > 256 {
+			return 0
+		}
+		ct := make([]byte, n)
+		g.Read(arg+argData, ct)
+		premaster, err := minissl.DecryptPremaster(priv, ct)
+		if err != nil {
+			return 0
+		}
+		master := minissl.DeriveMaster(premaster, state.clientRandom, state.serverRandom)
+		keys := minissl.KeyBlock(master, state.clientRandom, state.serverRandom)
+		g.Write(arg+argMaster, master[:])
+		g.Write(arg+argKeys, keys.Marshal())
+		if p.cache != nil {
+			id := make([]byte, minissl.SessionIDLen)
+			g.Read(arg+argSessionIDOut, id)
+			p.cache.Put(id, master)
+		}
+		return 1
+	}
+	return 0
+}

@@ -203,7 +203,7 @@ func (r *RecycledServer) ServeConn(conn *netsim.Conn) error {
 				ArgAddr:     arg,
 			})
 		}
-		return recycledWorkerBody(w, fd, arg, gate, stats, r.pubAddr, r.docroot)
+		return recycledWorkerBody(w, fd, arg, gate.Call, stats, r.pubAddr, r.docroot)
 	}, argBuf)
 	if err != nil {
 		return err
@@ -222,9 +222,13 @@ func (r *RecycledServer) ServeConn(conn *netsim.Conn) error {
 	return nil
 }
 
+// setupCall abstracts how a worker reaches its setup_session_key gate: a
+// recycled gate directly, or a gate-pool lease (the pooled variant).
+type setupCall func(w *sthread.Sthread, arg vm.Addr) (vm.Addr, error)
+
 // recycledWorkerBody mirrors Simple.workerBody with recycled-gate calls in
 // place of standard callgate invocations.
-func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, gate *sthread.Recycled,
+func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup setupCall,
 	stats *Stats, pubAddr vm.Addr, docroot string) vm.Addr {
 	stream := Stream(w, fd)
 	var transcript minissl.Transcript
@@ -246,7 +250,7 @@ func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, gate *sthread.R
 		w.Write(arg+argSessionID, offeredID)
 	}
 	stats.GateCalls.Add(1)
-	if ret, err := gate.Call(w, arg); err != nil || ret != 1 {
+	if ret, err := setup(w, arg); err != nil || ret != 1 {
 		return 0
 	}
 	var serverRandom [minissl.RandomLen]byte
@@ -277,7 +281,7 @@ func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, gate *sthread.R
 		w.Store64(arg+argDataLen, uint64(len(ckeBody)))
 		w.Write(arg+argData, ckeBody)
 		stats.GateCalls.Add(1)
-		if ret, err := gate.Call(w, arg); err != nil || ret != 1 {
+		if ret, err := setup(w, arg); err != nil || ret != 1 {
 			minissl.SendAlert(stream, "bad key exchange")
 			return 0
 		}

@@ -35,6 +35,16 @@ func (t *Task) FutexWait(addr vm.Addr) error {
 
 // FutexWaitVal is FutexWait with an explicit expected value.
 func (t *Task) FutexWaitVal(addr vm.Addr, val uint32) error {
+	return t.FutexWaitAbort(addr, val, nil)
+}
+
+// FutexWaitAbort is FutexWaitVal with an abort channel: the wait also ends
+// (without error) when abort is closed. Callers waiting on a peer task —
+// a recycled callgate's completion counter, say — pass the peer's Done
+// channel, so the peer dying between the caller's liveness check and the
+// sleep cannot strand the caller forever. Linux covers the same gap with
+// robust futexes.
+func (t *Task) FutexWaitAbort(addr vm.Addr, val uint32, abort <-chan struct{}) error {
 	k := t.k
 	key, err := t.futexKeyFor(addr)
 	if err != nil {
@@ -54,11 +64,8 @@ func (t *Task) FutexWaitVal(addr vm.Addr, val uint32) error {
 	k.futexes[key] = append(k.futexes[key], ch)
 	k.futexMu.Unlock()
 
-	select {
-	case <-ch:
-		return nil
-	case <-t.killed:
-		// Remove our waiter so a later wake isn't lost on a dead task.
+	dequeue := func() {
+		// Remove our waiter so a later wake isn't lost on a dead waiter.
 		k.futexMu.Lock()
 		q := k.futexes[key]
 		for i, w := range q {
@@ -68,6 +75,15 @@ func (t *Task) FutexWaitVal(addr vm.Addr, val uint32) error {
 			}
 		}
 		k.futexMu.Unlock()
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-abort:
+		dequeue()
+		return nil
+	case <-t.killed:
+		dequeue()
 		return ErrKilled
 	}
 }
@@ -95,4 +111,23 @@ func (t *Task) FutexWake(addr vm.Addr, n int) (int, error) {
 		k.futexes[key] = q
 	}
 	return woken, nil
+}
+
+// AtomicLoad64 and AtomicStore64 access a 64-bit word under the kernel's
+// futex lock. Userland synchronization protocols (the recycled-callgate
+// generation/completion/stop words) use them where real code would use
+// atomic instructions: two tasks spinning on a shared word must not race
+// at the memory-model level, and ordering the accesses with the futex
+// value checks closes the sleep/wake gap.
+func (t *Task) AtomicLoad64(addr vm.Addr) (uint64, error) {
+	t.k.futexMu.Lock()
+	defer t.k.futexMu.Unlock()
+	return t.AS.Load64(addr)
+}
+
+// AtomicStore64 is the store half of AtomicLoad64.
+func (t *Task) AtomicStore64(addr vm.Addr, v uint64) error {
+	t.k.futexMu.Lock()
+	defer t.k.futexMu.Unlock()
+	return t.AS.Store64(addr, v)
 }

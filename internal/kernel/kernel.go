@@ -218,6 +218,7 @@ func (t *Task) checkSyscall(class selinux.Class, perm string) error {
 // panic carrying a *vm.Fault is converted into death-by-protection-fault,
 // the simulated SIGSEGV. Any other panic propagates (it is a program bug).
 func (t *Task) Start(fn func(*Task)) {
+	t.AS.SetLive() // structural VM changes now preserve reader snapshots
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -236,6 +237,7 @@ func (t *Task) Start(fn func(*Task)) {
 // Run executes fn on the caller's goroutine (used for init tasks driving a
 // scenario synchronously).
 func (t *Task) Run(fn func(*Task)) {
+	t.AS.SetLive() // structural VM changes now preserve reader snapshots
 	defer func() {
 		if r := recover(); r != nil {
 			if f, ok := r.(*vm.Fault); ok {

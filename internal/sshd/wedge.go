@@ -25,6 +25,7 @@ package sshd
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"wedge/internal/kernel"
@@ -175,7 +176,7 @@ func promote(g *sthread.Sthread, worker *sthread.Sthread, uid int, home string) 
 // (read with the gate's disk credentials) and, on success, promotes the
 // worker. For unknown usernames it fabricates a dummy passwd structure so
 // the worker-visible reply shape is identical (§5.2's first lesson).
-func (w *Wedge) passwordGate(worker **sthread.Sthread) sthread.GateFunc {
+func (w *Wedge) passwordGate(worker func() *sthread.Sthread) sthread.GateFunc {
 	stats := &w.Stats
 	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
 		n := g.Load64(arg + sshArgStrLen)
@@ -208,7 +209,7 @@ func (w *Wedge) passwordGate(worker **sthread.Sthread) sthread.GateFunc {
 		// The PAM-style scratch lives in the gate's private heap and
 		// dies with the gate: the §5.2 second lesson.
 		passOK, _, _ := pamCheck(g, entry, pass)
-		if passOK && promote(g, *worker, entry.UID, entry.Home) {
+		if passOK && promote(g, worker(), entry.UID, entry.Home) {
 			g.Store64(arg+sshArgAuthOK, 1)
 			stats.Logins.Add(1)
 		} else {
@@ -221,7 +222,7 @@ func (w *Wedge) passwordGate(worker **sthread.Sthread) sthread.GateFunc {
 
 // pubkeyGate verifies a signature over the session nonce against the
 // user's authorized key and promotes on success.
-func (w *Wedge) pubkeyGate(worker **sthread.Sthread, nonce *[]byte) sthread.GateFunc {
+func (w *Wedge) pubkeyGate(worker func() *sthread.Sthread, nonce *[]byte) sthread.GateFunc {
 	stats := &w.Stats
 	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
 		n := g.Load64(arg + sshArgStrLen)
@@ -259,7 +260,7 @@ func (w *Wedge) pubkeyGate(worker **sthread.Sthread, nonce *[]byte) sthread.Gate
 			stats.Fails.Add(1)
 			return 1
 		}
-		if promote(g, *worker, entry.UID, entry.Home) {
+		if promote(g, worker(), entry.UID, entry.Home) {
 			g.Store64(arg+sshArgAuthOK, 1)
 			stats.Logins.Add(1)
 		}
@@ -271,7 +272,7 @@ func (w *Wedge) pubkeyGate(worker **sthread.Sthread, nonce *[]byte) sthread.Gate
 // receive a deterministic dummy challenge rather than an error — fixing
 // the information leak of [14] with the same mechanism as the password
 // gate's dummy passwd.
-func (w *Wedge) skeyGate(worker **sthread.Sthread, pending *string) sthread.GateFunc {
+func (w *Wedge) skeyGate(worker func() *sthread.Sthread, pending *string) sthread.GateFunc {
 	stats := &w.Stats
 	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
 		switch g.Load64(arg + sshArgOp) {
@@ -323,7 +324,7 @@ func (w *Wedge) skeyGate(worker **sthread.Sthread, pending *string) sthread.Gate
 						writeSKeyDB(g, db)
 						entries, _ := readShadow(g)
 						if entry, found := LookupShadow(entries, user); found &&
-							promote(g, *worker, entry.UID, entry.Home) {
+							promote(g, worker(), entry.UID, entry.Home) {
 							g.Store64(arg+sshArgPwUID, uint64(entry.UID))
 							g.WriteString(arg+sshArgPwHome, entry.Home)
 							g.Store64(arg+sshArgAuthOK, 1)
@@ -359,7 +360,12 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 		return err
 	}
 
-	var workerRef *sthread.Sthread
+	// The auth gates need the worker's handle to promote it on success,
+	// but the handle only exists once Create has already started the
+	// worker; hand it across with a first-use-blocking accessor so a
+	// gate invoked before this goroutine resumes still sees it.
+	workerCh := make(chan *sthread.Sthread, 1)
+	workerRef := sync.OnceValue(func() *sthread.Sthread { return <-workerCh })
 	var nonce []byte
 	var pendingSKey string
 
@@ -376,9 +382,9 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 		SetUID(WorkerUID).
 		SetRoot("/var/empty")
 	workerSC.GateAdd(sthread.GateFunc(w.signGate), signSC, w.hostAddr, "sign")
-	workerSC.GateAdd(w.passwordGate(&workerRef), diskSC(), 0, "auth_password")
-	workerSC.GateAdd(w.pubkeyGate(&workerRef, &nonce), diskSC(), 0, "auth_pubkey")
-	workerSC.GateAdd(w.skeyGate(&workerRef, &pendingSKey), diskSC(), 0, "auth_skey")
+	workerSC.GateAdd(w.passwordGate(workerRef), diskSC(), 0, "auth_password")
+	workerSC.GateAdd(w.pubkeyGate(workerRef, &nonce), diskSC(), 0, "auth_pubkey")
+	workerSC.GateAdd(w.skeyGate(workerRef, &pendingSKey), diskSC(), 0, "auth_skey")
 	signSpec := workerSC.Gates[0]
 	passSpec := workerSC.Gates[1]
 	pubSpec := workerSC.Gates[2]
@@ -403,7 +409,7 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 	if err != nil {
 		return err
 	}
-	workerRef = worker
+	workerCh <- worker
 	w.Stats.Workers.Add(1)
 	_, fault := root.Join(worker)
 	return fault

@@ -100,28 +100,54 @@ func (s *Sthread) NewRecycled(name string, gateSC *policy.SC, fn GateFunc, trust
 // serve is the gate sthread's loop: wait for a request generation, run the
 // entry point, publish the return value, bump the completion counter.
 func (r *Recycled) serve(g *Sthread, fn GateFunc, trusted vm.Addr) {
+	// The generation, stop and completion words are spun on from both
+	// sides of the gate, so they go through the kernel's atomic word
+	// accessors — the stand-in for the atomic instructions a real futex
+	// protocol uses. The argument and return words are plain accesses,
+	// ordered by the atomic words on either side.
 	var lastGen uint64
 	for {
 		// Wait until the caller bumps the generation past what we saw.
 		for {
-			gen := g.Load64(r.ctl + rcGen)
+			gen, err := g.Task.AtomicLoad64(r.ctl + rcGen)
+			if err != nil {
+				return
+			}
 			if gen != lastGen {
 				lastGen = gen
 				break
 			}
-			if g.Load64(r.ctl+rcStop) != 0 {
+			if stop, err := g.Task.AtomicLoad64(r.ctl + rcStop); err != nil || stop != 0 {
 				return
 			}
 			g.Task.FutexWaitVal(r.ctl+rcGen, uint32(gen))
 		}
-		if g.Load64(r.ctl+rcStop) != 0 {
+		if stop, err := g.Task.AtomicLoad64(r.ctl + rcStop); err != nil || stop != 0 {
 			return
 		}
 		arg := vm.Addr(g.Load64(r.ctl + rcArg))
 		ret := fn(g, arg, trusted)
 		g.Store64(r.ctl+rcRet, uint64(ret))
-		g.Store64(r.ctl+rcDone, lastGen)
+		g.Task.AtomicStore64(r.ctl+rcDone, lastGen)
 		g.Task.FutexWake(r.ctl+rcDone, 1)
+	}
+}
+
+// Alive reports whether the gate sthread is still serving invocations. A
+// recycled gate dies when its entry point faults; pool schedulers probe
+// liveness before dispatch so a dead gate can be replaced instead of
+// failing every caller sharded onto it.
+func (r *Recycled) Alive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	select {
+	case <-r.gate.Task.Done():
+		return false
+	default:
+		return true
 	}
 }
 
@@ -129,6 +155,21 @@ func (r *Recycled) serve(g *Sthread, fn GateFunc, trusted vm.Addr) {
 // word into shared memory, wake the gate, wait for completion. The paper's
 // futex protocol, verbatim (§4.1).
 func (r *Recycled) Call(caller *Sthread, arg vm.Addr) (vm.Addr, error) {
+	return r.call(caller, arg, -1, 0)
+}
+
+// CallFD is Call with an argument descriptor: fd is granted to the gate
+// sthread for the duration of the invocation and revoked when it
+// completes. Standard callgates receive argument descriptors at each
+// instantiation (§3.3); this is the recycled counterpart, the hook that
+// lets a long-lived gate serve a different connection's descriptor on
+// every invocation. The grant is kernel-mediated: the caller must itself
+// hold fd with at least perm.
+func (r *Recycled) CallFD(caller *Sthread, arg vm.Addr, fd int, perm kernel.FDPerm) (vm.Addr, error) {
+	return r.call(caller, arg, fd, perm)
+}
+
+func (r *Recycled) call(caller *Sthread, arg vm.Addr, fd int, perm kernel.FDPerm) (vm.Addr, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -139,9 +180,21 @@ func (r *Recycled) Call(caller *Sthread, arg vm.Addr) (vm.Addr, error) {
 		return 0, ErrGateExited
 	default:
 	}
+	if fd >= 0 {
+		if err := caller.Task.ShareFDTo(r.gate.Task, fd, perm); err != nil {
+			return 0, err
+		}
+		// Revoke the argument descriptor once the invocation is over, as
+		// a one-shot gate's exit would.
+		defer r.gate.Task.CloseFD(fd)
+	}
 	r.app.Stats.RecycledCalls.Add(1)
 
-	as := r.creator.Task.AS // the control page is mapped in the creator
+	// The control page is mapped in the creator; only callers (serialized
+	// by r.mu) write the generation word, so its read stays plain, while
+	// the words the gate spins on or writes are atomic.
+	ct := r.creator.Task
+	as := ct.AS
 	gen, err := as.Load64(r.ctl + rcGen)
 	if err != nil {
 		return 0, err
@@ -150,13 +203,13 @@ func (r *Recycled) Call(caller *Sthread, arg vm.Addr) (vm.Addr, error) {
 	if err := as.Store64(r.ctl+rcArg, uint64(arg)); err != nil {
 		return 0, err
 	}
-	if err := as.Store64(r.ctl+rcGen, next); err != nil {
+	if err := ct.AtomicStore64(r.ctl+rcGen, next); err != nil {
 		return 0, err
 	}
-	r.creator.Task.FutexWake(r.ctl+rcGen, 1)
+	ct.FutexWake(r.ctl+rcGen, 1)
 
 	for {
-		done, err := as.Load64(r.ctl + rcDone)
+		done, err := ct.AtomicLoad64(r.ctl + rcDone)
 		if err != nil {
 			return 0, err
 		}
@@ -168,7 +221,9 @@ func (r *Recycled) Call(caller *Sthread, arg vm.Addr) (vm.Addr, error) {
 			return 0, ErrGateExited
 		default:
 		}
-		r.creator.Task.FutexWaitVal(r.ctl+rcDone, uint32(done))
+		// Abort the sleep if the gate dies after the check above: a gate
+		// faulting mid-invocation must not strand its caller.
+		ct.FutexWaitAbort(r.ctl+rcDone, uint32(done), r.gate.Task.Done())
 	}
 	ret, err := as.Load64(r.ctl + rcRet)
 	if err != nil {
@@ -185,8 +240,7 @@ func (r *Recycled) Close() error {
 		return nil
 	}
 	r.closed = true
-	as := r.creator.Task.AS
-	if err := as.Store64(r.ctl+rcStop, 1); err != nil {
+	if err := r.creator.Task.AtomicStore64(r.ctl+rcStop, 1); err != nil {
 		return err
 	}
 	r.creator.Task.FutexWake(r.ctl+rcGen, 1)

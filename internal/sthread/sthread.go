@@ -378,16 +378,11 @@ func (s *Sthread) prepare(name string, sc *policy.SC) (*Sthread, error) {
 		return nil, err
 	}
 	for tag, perm := range sc.Mem {
-		reg, err := s.app.Tags.Lookup(tag)
-		if err != nil {
-			as.Release()
-			return nil, err
-		}
 		share := perm
 		if share&vm.PermCOW != 0 {
 			share = (share &^ vm.PermWrite) | vm.PermRead | vm.PermCOW
 		}
-		if err := reg.Owner.ShareInto(as, reg.Base, reg.Size, share); err != nil {
+		if err := s.app.Tags.Grant(as, tag, share); err != nil {
 			as.Release()
 			return nil, err
 		}
@@ -512,16 +507,11 @@ func (s *Sthread) prepareGate(name string, eff *policy.SC, caller *Sthread) (*St
 		return nil, err
 	}
 	for tag, perm := range eff.Mem {
-		reg, err := s.app.Tags.Lookup(tag)
-		if err != nil {
-			as.Release()
-			return nil, err
-		}
 		share := perm
 		if share&vm.PermCOW != 0 {
 			share = (share &^ vm.PermWrite) | vm.PermRead | vm.PermCOW
 		}
-		if err := reg.Owner.ShareInto(as, reg.Base, reg.Size, share); err != nil {
+		if err := s.app.Tags.Grant(as, tag, share); err != nil {
 			as.Release()
 			return nil, err
 		}
@@ -639,6 +629,27 @@ func (s *Sthread) Store64(a vm.Addr, v uint64) {
 		b[i] = byte(v >> (8 * i))
 	}
 	s.Write(a, b[:])
+}
+
+// Zero overwrites [a, a+n) with zero bytes through this sthread's view of
+// memory, enforcing write permission like any other store. It is the
+// argument-block reset behind inter-principal scrubbing: a pool scheduler
+// zeroes a recycled gate's argument memory before handing the gate to a
+// different principal, closing the §3.3 residue channel.
+func (s *Sthread) Zero(a vm.Addr, n int) error {
+	var zeros [vm.PageSize]byte
+	for n > 0 {
+		chunk := n
+		if chunk > len(zeros) {
+			chunk = len(zeros)
+		}
+		if err := s.TryWrite(a, zeros[:chunk]); err != nil {
+			return err
+		}
+		a += vm.Addr(chunk)
+		n -= chunk
+	}
+	return nil
 }
 
 // ReadString reads a NUL-terminated string of at most max bytes.

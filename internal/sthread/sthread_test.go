@@ -649,10 +649,13 @@ func TestCallgateInheritsCreatorCredentials(t *testing.T) {
 // successful authentication, changes the worker's user id.
 func TestAuthCallgatePromotesWorker(t *testing.T) {
 	boot(t, func(root *Sthread) {
-		var workers []*Sthread
+		// The gate needs the worker's handle, which only exists after
+		// Create has already started the worker; hand it over through a
+		// channel the gate drains on first use.
+		workerCh := make(chan *Sthread, 1)
 		var auth GateFunc = func(gs *Sthread, arg, _ vm.Addr) vm.Addr {
 			if arg == 1 { // "correct password"
-				gs.Task.SetUIDOn(workers[0].Task, 1000)
+				gs.Task.SetUIDOn((<-workerCh).Task, 1000)
 				return 1
 			}
 			return 0
@@ -681,7 +684,7 @@ func TestAuthCallgatePromotesWorker(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		workers = append(workers, child)
+		workerCh <- child
 		ret, fault := root.Join(child)
 		if fault != nil || ret != 1 {
 			t.Fatalf("auth promotion failed: ret=%d fault=%v", ret, fault)

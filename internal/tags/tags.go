@@ -123,8 +123,13 @@ func NewRegistry() *Registry {
 // (§3.2 step one). The warm path pops the userland cache, scrubs the
 // segment by remapping it to shared zero pages, and re-seeds the allocator
 // header — no system call. The cold path is an mmap-equivalent.
+// The registry lock is held across the structural address-space changes
+// (mmap, remap, unmap, grants): it is the application's mm lock, so tags
+// may be created and deleted while other threads of control concurrently
+// assemble sthread address spaces from them (Grant).
 func (r *Registry) TagNew(t *kernel.Task) (Tag, error) {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.CacheEnabled {
 		for i := len(r.cache) - 1; i >= 0; i-- {
 			reg := r.cache[i]
@@ -134,9 +139,12 @@ func (r *Registry) TagNew(t *kernel.Task) (Tag, error) {
 				reg.Tag = r.nextTag
 				r.regions[reg.Tag] = reg
 				r.Reuses++
-				r.mu.Unlock()
-				// Scrub for secrecy, then re-seed the header.
-				if err := t.AS.RemapZero(reg.Base, reg.Size); err != nil {
+				// Scrub for secrecy, then re-seed the header. Fresh
+				// frames rather than RemapZero: a reused segment may be
+				// granted read-write (recycled-gate control pages,
+				// pool argument blocks), which requires every sharer to
+				// land on the same writable frame.
+				if err := t.AS.RefreshZero(reg.Base, reg.Size); err != nil {
 					return NoTag, err
 				}
 				if err := initRegion(t.AS, reg.Base, reg.Size); err != nil {
@@ -147,7 +155,6 @@ func (r *Registry) TagNew(t *kernel.Task) (Tag, error) {
 		}
 	}
 	r.ColdNews++
-	r.mu.Unlock()
 
 	base, err := t.Mmap(r.RegionSize, vm.PermRW)
 	if err != nil {
@@ -156,11 +163,9 @@ func (r *Registry) TagNew(t *kernel.Task) (Tag, error) {
 	if err := initRegion(t.AS, base, r.RegionSize); err != nil {
 		return NoTag, err
 	}
-	r.mu.Lock()
 	r.nextTag++
 	tag := r.nextTag
 	r.regions[tag] = &Region{Tag: tag, Base: base, Size: r.RegionSize, Owner: t.AS}
-	r.mu.Unlock()
 	return tag, nil
 }
 
@@ -184,6 +189,21 @@ func (r *Registry) TagDelete(tag Tag) error {
 		reg.Owner.Unmap(reg.Base, reg.Size)
 	}
 	return nil
+}
+
+// Grant maps tag's segment into dst with permission perm, sharing the
+// underlying frames. The registry lock is held across the lookup and the
+// page-table walk, so grants serialize against TagNew and TagDelete:
+// sthreads can be assembled concurrently while tags come and go, which is
+// what lets a server handle connections in parallel.
+func (r *Registry) Grant(dst *vm.AddressSpace, tag Tag, perm vm.Perm) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg, ok := r.regions[tag]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrBadTag, tag)
+	}
+	return reg.Owner.ShareInto(dst, reg.Base, reg.Size, perm)
 }
 
 // Lookup returns the region for tag.

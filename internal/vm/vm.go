@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -158,13 +159,26 @@ type PTE struct {
 	Perm  Perm
 }
 
-// AddressSpace is a simulated per-task virtual address space. It is not
-// internally synchronised: like real memory, concurrent unsynchronised
-// access from multiple threads of control is the caller's responsibility.
-// The kernel serialises structural changes (Map/Unmap/Protect/clone).
+// AddressSpace is a simulated per-task virtual address space.
+//
+// The page table (the structure an MMU walks) supports lock-free lookup
+// — accesses, futex key resolution, and grant assembly read it without
+// taking a lock, as a hardware walker would. Structural changes (map,
+// unmap, scrub, clone) serialize on an internal mutex, the stand-in for
+// the kernel's per-mm lock; on a live address space they install a fresh
+// page-table snapshot rather than mutating the one readers may hold,
+// while an address space still under assembly (no task running on it)
+// is mutated in place. Tags can therefore be created and retired in a
+// live address space while other threads of control access memory.
+// Frame *data* is deliberately unsynchronised, like real memory:
+// threads sharing a writable page must synchronise through futexes,
+// exactly as the paper's compartments do.
 type AddressSpace struct {
-	pages   map[uint64]*PTE
-	regions *regionAllocator
+	mu        sync.Mutex // serializes structural changes and regions
+	pages     atomic.Pointer[map[uint64]*PTE]
+	live      atomic.Bool // a task has run on this address space
+	pageCount atomic.Int64
+	regions   *regionAllocator
 
 	// pageLimit, when non-zero, caps the number of mapped pages — the
 	// rlimit-style memory quota behind policy.SC.MemPages. It is an
@@ -174,32 +188,81 @@ type AddressSpace struct {
 	pageLimit int
 
 	// Stats counted mechanically; used by the benchmarks and by tests.
-	cowFaults uint64
+	cowFaults atomic.Uint64
 }
 
 // NewAddressSpace returns an empty address space.
 func NewAddressSpace() *AddressSpace {
-	return &AddressSpace{
-		pages:   make(map[uint64]*PTE),
+	as := &AddressSpace{
 		regions: newRegionAllocator(regionBase, regionLimit),
 	}
+	m := make(map[uint64]*PTE)
+	as.pages.Store(&m)
+	return as
+}
+
+// SetLive marks the address space as having a thread of control: from
+// now on structural changes go through snapshot replacement. The kernel
+// calls this when a task starts running.
+func (as *AddressSpace) SetLive() { as.live.Store(true) }
+
+// snapshot returns the current page table for lock-free reading.
+func (as *AddressSpace) snapshot() map[uint64]*PTE { return *as.pages.Load() }
+
+// mutable returns a page table the caller (holding as.mu) may mutate,
+// paired with a commit function. Pre-live, that is the current table and
+// commit is a no-op; live, it is a copy that commit installs.
+func (as *AddressSpace) mutable() (map[uint64]*PTE, func()) {
+	cur := *as.pages.Load()
+	if !as.live.Load() {
+		return cur, func() {}
+	}
+	m := make(map[uint64]*PTE, len(cur))
+	for k, v := range cur {
+		m[k] = v
+	}
+	return m, func() { as.pages.Store(&m) }
 }
 
 // Pages returns the number of mapped pages (page-table entries).
-func (as *AddressSpace) Pages() int { return len(as.pages) }
+func (as *AddressSpace) Pages() int { return int(as.pageCount.Load()) }
 
 // SetPageLimit caps the address space at n mapped pages (0 = unlimited).
 // Map calls that would exceed the cap fail with ErrMemLimit.
-func (as *AddressSpace) SetPageLimit(n int) { as.pageLimit = n }
+func (as *AddressSpace) SetPageLimit(n int) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	as.pageLimit = n
+}
 
 // PageLimit returns the current cap (0 = unlimited).
-func (as *AddressSpace) PageLimit() int { return as.pageLimit }
+func (as *AddressSpace) PageLimit() int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.pageLimit
+}
 
 // COWFaults returns the number of copy-on-write faults taken so far.
-func (as *AddressSpace) COWFaults() uint64 { return as.cowFaults }
+func (as *AddressSpace) COWFaults() uint64 { return as.cowFaults.Load() }
 
 // pte returns the page-table entry for the page containing a, or nil.
-func (as *AddressSpace) pte(a Addr) *PTE { return as.pages[a.PageNum()] }
+func (as *AddressSpace) pte(a Addr) *PTE { return as.snapshot()[a.PageNum()] }
+
+// setPTE installs a page-table entry in m, maintaining the page count.
+func (as *AddressSpace) setPTE(m map[uint64]*PTE, pn uint64, pte *PTE) {
+	if _, ok := m[pn]; !ok {
+		as.pageCount.Add(1)
+	}
+	m[pn] = pte
+}
+
+// dropPTE removes a page-table entry from m, maintaining the page count.
+func (as *AddressSpace) dropPTE(m map[uint64]*PTE, pn uint64) {
+	if _, ok := m[pn]; ok {
+		as.pageCount.Add(-1)
+		delete(m, pn)
+	}
+}
 
 // Lookup returns the PTE mapping a, if any. Primarily for tests and for
 // kernel bookkeeping; simulated code uses Read/Write.
@@ -215,6 +278,8 @@ func (as *AddressSpace) Lookup(a Addr) (PTE, bool) {
 // mapping any frames, returning the page-aligned base. It is the substrate
 // for mmap-like region creation.
 func (as *AddressSpace) Reserve(length int) (Addr, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	return as.regions.alloc(roundUpPages(length))
 }
 
@@ -227,20 +292,24 @@ func (as *AddressSpace) Map(base Addr, length int, perm Perm) error {
 	if err := checkPerm(perm); err != nil {
 		return err
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	n := roundUpPages(length) / PageSize
-	if as.pageLimit > 0 && len(as.pages)+n > as.pageLimit {
+	if as.pageLimit > 0 && as.Pages()+n > as.pageLimit {
 		return fmt.Errorf("%w: %d pages mapped, %d requested, limit %d",
-			ErrMemLimit, len(as.pages), n, as.pageLimit)
+			ErrMemLimit, as.Pages(), n, as.pageLimit)
 	}
 	first := base.PageNum()
+	m, commit := as.mutable()
 	for i := 0; i < n; i++ {
-		if _, ok := as.pages[first+uint64(i)]; ok {
+		if _, ok := m[first+uint64(i)]; ok {
 			return fmt.Errorf("vm: Map overlaps existing mapping at page %#x", first+uint64(i))
 		}
 	}
 	for i := 0; i < n; i++ {
-		as.pages[first+uint64(i)] = &PTE{Frame: NewFrame(), Perm: perm}
+		as.setPTE(m, first+uint64(i), &PTE{Frame: NewFrame(), Perm: perm})
 	}
+	commit()
 	return nil
 }
 
@@ -253,7 +322,9 @@ func (as *AddressSpace) MapAnon(length int, perm Perm) (Addr, error) {
 		return 0, err
 	}
 	if err := as.Map(base, length, perm); err != nil {
+		as.mu.Lock()
 		as.regions.release(base, roundUpPages(length))
+		as.mu.Unlock()
 		return 0, err
 	}
 	return base, nil
@@ -265,16 +336,20 @@ func (as *AddressSpace) Unmap(base Addr, length int) error {
 	if base.PageOff() != 0 {
 		return fmt.Errorf("vm: Unmap of unaligned base %#x", uint64(base))
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	n := roundUpPages(length) / PageSize
 	first := base.PageNum()
+	m, commit := as.mutable()
 	for i := 0; i < n; i++ {
-		pte, ok := as.pages[first+uint64(i)]
+		pte, ok := m[first+uint64(i)]
 		if !ok {
 			continue
 		}
 		pte.Frame.Unref()
-		delete(as.pages, first+uint64(i))
+		as.dropPTE(m, first+uint64(i))
 	}
+	commit()
 	as.regions.release(base, roundUpPages(length))
 	return nil
 }
@@ -286,13 +361,17 @@ func (as *AddressSpace) Protect(base Addr, length int, perm Perm) error {
 	if err := checkPerm(perm); err != nil {
 		return err
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	n := roundUpPages(length) / PageSize
 	first := base.PageNum()
+	m, commit := as.mutable()
 	for i := 0; i < n; i++ {
-		if pte, ok := as.pages[first+uint64(i)]; ok {
-			pte.Perm = perm
+		if pte, ok := m[first+uint64(i)]; ok {
+			m[first+uint64(i)] = &PTE{Frame: pte.Frame, Perm: perm}
 		}
 	}
+	commit()
 	return nil
 }
 
@@ -336,7 +415,13 @@ func (as *AddressSpace) Write(a Addr, buf []byte) error {
 			return &Fault{Addr: a, Access: AccessWrite, Perm: pte.Perm, Mapped: true}
 		}
 		if pte.Perm&PermCOW != 0 {
-			as.cowBreak(pte)
+			pte = as.cowBreak(a)
+			if pte == nil {
+				return &Fault{Addr: a, Access: AccessWrite, Mapped: false}
+			}
+			if !pte.Perm.CanWrite() {
+				return &Fault{Addr: a, Access: AccessWrite, Perm: pte.Perm, Mapped: true}
+			}
 		}
 		off := a.PageOff()
 		n := copy(pte.Frame.Data[off:], buf)
@@ -346,17 +431,32 @@ func (as *AddressSpace) Write(a Addr, buf []byte) error {
 	return nil
 }
 
-// cowBreak resolves a copy-on-write fault on pte: if the frame is shared it
-// is duplicated, and the COW bit is replaced by write permission.
-func (as *AddressSpace) cowBreak(pte *PTE) {
-	as.cowFaults++
-	if pte.Frame.Refs() > 1 {
-		nf := NewFrame()
-		nf.Data = pte.Frame.Data
-		pte.Frame.Unref()
-		pte.Frame = nf
+// cowBreak resolves a copy-on-write fault on the page containing a: if
+// the frame is shared it is duplicated, and the COW bit is replaced by
+// write permission. Like every structural change it runs under the
+// address-space mutex and replaces the page-table entry rather than
+// mutating it, so concurrent lock-free readers never observe a torn PTE
+// and two racing first-writers resolve the same fault exactly once.
+func (as *AddressSpace) cowBreak(a Addr) *PTE {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	m, commit := as.mutable()
+	pte := m[a.PageNum()]
+	if pte == nil || pte.Perm&PermCOW == 0 {
+		return pte // a racing writer already broke this page
 	}
-	pte.Perm = (pte.Perm &^ PermCOW) | PermRead | PermWrite
+	as.cowFaults.Add(1)
+	frame := pte.Frame
+	if frame.Refs() > 1 {
+		nf := NewFrame()
+		nf.Data = frame.Data
+		frame.Unref()
+		frame = nf
+	}
+	npte := &PTE{Frame: frame, Perm: (pte.Perm &^ PermCOW) | PermRead | PermWrite}
+	m[a.PageNum()] = npte
+	commit()
+	return npte
 }
 
 // Load8 reads one byte.
@@ -412,17 +512,24 @@ func (as *AddressSpace) Store64(a Addr, v uint64) error {
 // and behind the pristine pre-main snapshot sthreads receive (§4.1). The
 // per-entry loop is the mechanical cost that Figure 7 charges to fork.
 func (as *AddressSpace) CloneCOW() *AddressSpace {
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	clone := NewAddressSpace()
 	clone.regions = as.regions.clone()
-	for pn, pte := range as.pages {
+	m, commit := as.mutable()
+	cm := *clone.pages.Load()
+	for pn, pte := range m {
 		pte.Frame.Ref()
 		perm := pte.Perm
 		if perm&PermWrite != 0 {
 			perm = (perm &^ PermWrite) | PermCOW | PermRead
-			pte.Perm = perm // parent side becomes COW too
+			// The parent side becomes COW too: replace the entry so
+			// lock-free readers of a live parent never see a torn PTE.
+			m[pn] = &PTE{Frame: pte.Frame, Perm: perm}
 		}
-		clone.pages[pn] = &PTE{Frame: pte.Frame, Perm: perm}
+		clone.setPTE(cm, pn, &PTE{Frame: pte.Frame, Perm: perm})
 	}
+	commit()
 	return clone
 }
 
@@ -437,19 +544,24 @@ func (as *AddressSpace) ShareInto(dst *AddressSpace, base Addr, length int, perm
 	if err := checkPerm(perm); err != nil {
 		return err
 	}
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
 	n := roundUpPages(length) / PageSize
 	first := base.PageNum()
+	src := as.snapshot()
+	m, commit := dst.mutable()
 	for i := 0; i < n; i++ {
-		pte, ok := as.pages[first+uint64(i)]
-		if !ok {
+		pte := src[first+uint64(i)]
+		if pte == nil {
 			return fmt.Errorf("vm: ShareInto source page %#x not mapped", first+uint64(i))
 		}
-		if old, ok := dst.pages[first+uint64(i)]; ok {
+		if old, ok := m[first+uint64(i)]; ok {
 			old.Frame.Unref()
 		}
 		pte.Frame.Ref()
-		dst.pages[first+uint64(i)] = &PTE{Frame: pte.Frame, Perm: perm}
+		dst.setPTE(m, first+uint64(i), &PTE{Frame: pte.Frame, Perm: perm})
 	}
+	commit()
 	dst.regions.reserveExact(base, n*PageSize)
 	return nil
 }
@@ -472,25 +584,68 @@ func (as *AddressSpace) RemapZero(base Addr, length int) error {
 	if base.PageOff() != 0 {
 		return fmt.Errorf("vm: RemapZero of unaligned base %#x", uint64(base))
 	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	n := roundUpPages(length) / PageSize
 	first := base.PageNum()
+	m, commit := as.mutable()
 	for i := 0; i < n; i++ {
-		pte, ok := as.pages[first+uint64(i)]
+		pte, ok := m[first+uint64(i)]
 		if !ok {
 			return fmt.Errorf("vm: RemapZero of unmapped page %#x", first+uint64(i))
 		}
 		pte.Frame.Unref()
 		zeroFrame.Ref()
-		pte.Frame = zeroFrame
-		pte.Perm = PermRead | PermCOW
+		m[first+uint64(i)] = &PTE{Frame: zeroFrame, Perm: PermRead | PermCOW}
 	}
+	commit()
+	return nil
+}
+
+// RefreshZero replaces every mapped page of [base, base+length) with a
+// fresh zeroed frame, read-write, dropping the previous frames. It is the
+// scrub for segments that will be shared read-write after reuse: unlike
+// RemapZero it never leaves the owner on a copy-on-write zero page, so a
+// later ShareInto hands every grantee the same writable frame — which
+// futex keying (frame identity) and write-through visibility both depend
+// on. RemapZero-then-share-RW would let a grantee scribble on the global
+// zero frame while the owner's first write diverges onto a private copy.
+func (as *AddressSpace) RefreshZero(base Addr, length int) error {
+	if base.PageOff() != 0 {
+		return fmt.Errorf("vm: RefreshZero of unaligned base %#x", uint64(base))
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	n := roundUpPages(length) / PageSize
+	first := base.PageNum()
+	m, commit := as.mutable()
+	for i := 0; i < n; i++ {
+		pte, ok := m[first+uint64(i)]
+		if !ok {
+			return fmt.Errorf("vm: RefreshZero of unmapped page %#x", first+uint64(i))
+		}
+		// A frame this address space owns exclusively is zeroed in place
+		// — a memset, no allocation, and the frame keeps its identity
+		// for future shared-RW grants. A frame still shared with some
+		// other (possibly dead) address space is detached and replaced,
+		// so no stale sharer can observe or disturb the scrubbed
+		// segment.
+		if pte.Frame.Refs() == 1 {
+			clear(pte.Frame.Data[:])
+			m[first+uint64(i)] = &PTE{Frame: pte.Frame, Perm: PermRead | PermWrite}
+		} else {
+			pte.Frame.Unref()
+			m[first+uint64(i)] = &PTE{Frame: NewFrame(), Perm: PermRead | PermWrite}
+		}
+	}
+	commit()
 	return nil
 }
 
 // ForEachPage calls fn for every mapped page with its permission. Used by
 // the emulation library to precompute what a strict policy would allow.
 func (as *AddressSpace) ForEachPage(fn func(pageNum uint64, perm Perm)) {
-	for pn, pte := range as.pages {
+	for pn, pte := range as.snapshot() {
 		fn(pn, pte.Perm)
 	}
 }
@@ -498,9 +653,14 @@ func (as *AddressSpace) ForEachPage(fn func(pageNum uint64, perm Perm)) {
 // Release drops all frame references held by the address space. The kernel
 // calls it when a task exits.
 func (as *AddressSpace) Release() {
-	for pn, pte := range as.pages {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	old := *as.pages.Load()
+	empty := make(map[uint64]*PTE)
+	as.pages.Store(&empty)
+	as.pageCount.Store(0)
+	for _, pte := range old {
 		pte.Frame.Unref()
-		delete(as.pages, pn)
 	}
 }
 

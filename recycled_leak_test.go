@@ -85,6 +85,72 @@ func TestRecycledGateLeaksAcrossCallers(t *testing.T) {
 	}
 }
 
+// TestPooledGateScrubsAcrossPrincipals: the gatepool counterpart of the
+// recycled-gate leak. A gate that copies its sensitive argument into the
+// slot's shared argument block leaves residue there; when the slot passes
+// to a different principal, the pool scrubs the block, so the second
+// principal's probe reads zeroes. The same pool with scrubbing disabled
+// (the ablation toggle) reproduces the §3.3 exposure — proving it is the
+// scrub, not luck, that closes the leak.
+func TestPooledGateScrubsAcrossPrincipals(t *testing.T) {
+	for _, noScrub := range []bool{false, true} {
+		name := "scrubbed"
+		if noScrub {
+			name = "noscrub"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys := wedge.NewSystem()
+			err := sys.Main(func(main *wedge.Sthread) {
+				// The gate copies the word at arg+0 into the scratch slot
+				// arg+8 of its argument block and does not scrub it —
+				// PAM's bug (§5.2), recreated in shared argument memory.
+				gate := func(g *wedge.Sthread, arg, _ wedge.Addr) wedge.Addr {
+					g.Store64(arg+8, g.Load64(arg))
+					return 1
+				}
+				pool, err := wedge.NewGatePool(main, wedge.GatePoolConfig{
+					Name:    "leaky",
+					Slots:   1,
+					Gates:   []wedge.GateDef{{Name: "process", Entry: gate}},
+					NoScrub: noScrub,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pool.Close()
+
+				// Principal A processes its secret through the gate.
+				a, err := pool.Acquire("principal-a")
+				if err != nil {
+					t.Fatal(err)
+				}
+				main.Store64(a.Arg, scratchSecret)
+				if ret, err := a.Call("process", main, a.Arg); err != nil || ret != 1 {
+					t.Fatalf("processing call = %v, %v", ret, err)
+				}
+				a.Release()
+
+				// Principal B leases the same slot and scans the block.
+				b, err := pool.Acquire("principal-b")
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer b.Release()
+				got := main.Load64(b.Arg + 8)
+				if noScrub && got != scratchSecret {
+					t.Fatalf("without scrubbing the residue should leak; read %#x", got)
+				}
+				if !noScrub && got != 0 {
+					t.Fatalf("scrubbed slot leaked %#x across principals", got)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestStandardGateIsolatesCallers: the identical vulnerable gate code,
 // run as a standard (non-recycled) callgate, leaks nothing: each
 // invocation is a fresh sthread whose private heap starts from the

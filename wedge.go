@@ -49,6 +49,7 @@
 package wedge
 
 import (
+	"wedge/internal/gatepool"
 	"wedge/internal/kernel"
 	"wedge/internal/netsim"
 	"wedge/internal/policy"
@@ -88,7 +89,30 @@ type (
 	FDPerm = kernel.FDPerm
 	// Task is the underlying kernel task of an sthread.
 	Task = kernel.Task
+
+	// GatePool is a sharded pool of recycled callgates with per-principal
+	// affinity and inter-principal argument scrubbing.
+	GatePool = gatepool.Pool
+	// GatePoolConfig sizes and populates a GatePool.
+	GatePoolConfig = gatepool.Config
+	// GateDef names one recycled entry point every pool slot instantiates.
+	GateDef = gatepool.GateDef
+	// GateLease is exclusive use of one pool slot, Acquire to Release.
+	GateLease = gatepool.Lease
+	// GatePoolStats is a snapshot of a pool's scheduling counters.
+	GatePoolStats = gatepool.Stats
 )
+
+// NewGatePool builds a sharded recycled-callgate pool on the given
+// (typically root) sthread, which creates every slot's argument tag and
+// gates. Where a single recycled callgate trades §3.3 isolation for
+// throughput, the pool partitions the trade: slots never share argument
+// memory, principals shard onto slots by hash affinity with work stealing,
+// and argument blocks are scrubbed whenever a slot passes between
+// principals. See internal/gatepool for the scheduling policy.
+func NewGatePool(creator *Sthread, cfg GatePoolConfig) (*GatePool, error) {
+	return gatepool.New(creator, cfg)
+}
 
 // Permission constants.
 const (
