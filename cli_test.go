@@ -135,3 +135,37 @@ func TestCLIWedgebench(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIWedgebenchFlagValidation: negative sizes and counts are a usage
+// error (exit 2 with a message), not silently-misbehaving inputs.
+func TestCLIWedgebenchFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTools(t)
+	wb := filepath.Join(bin, "wedgebench")
+
+	cases := [][]string{
+		{"-pool", "-poolsize", "-1"},
+		{"-pool", "-poolconns", "-8"},
+		{"-fig", "7", "-iters", "-10"},
+		{"-table", "2", "-conns", "-3"},
+		{"-table", "2", "-scp", "-1"},
+		{"-pool", "-poollevels", "1,-4"},
+		{"-pool", "-app", "imap"},
+	}
+	for _, args := range cases {
+		cmd := exec.Command(wb, args...)
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("%v: expected a usage-error exit, got err=%v\n%s", args, err, out)
+		}
+		if code := ee.ExitCode(); code != 2 {
+			t.Fatalf("%v: exit %d, want 2\n%s", args, code, out)
+		}
+		if !strings.Contains(string(out), "wedgebench:") {
+			t.Fatalf("%v: no diagnostic printed:\n%s", args, out)
+		}
+	}
+}

@@ -6,24 +6,56 @@
 //	wedgebench -fig 9          # cb-log overhead (Figure 9)
 //	wedgebench -table 2        # Apache throughput + OpenSSH latency
 //	wedgebench -metrics        # §5 partitioning metrics + object census
-//	wedgebench -ablations      # tag-cache and ephemeral-RSA ablations
-//	wedgebench -pool           # gatepool scaling: mono/simple/recycled/pooled
-//	                           # throughput as concurrency grows 1..64
+//	wedgebench -ablations     # tag-cache and ephemeral-RSA ablations
+//	wedgebench -pool           # gatepool scaling: variant throughput as
+//	                           # concurrency grows 1..64
+//	wedgebench -pool -app sshd # same ladder for the sshd study
+//	wedgebench -pool -app pop3 # ... and the pop3 study
 //	wedgebench -all            # everything
 //
 // Every row is printed next to the paper's reported value where one
 // exists. -conns and -scp scale the Table 2 work for quick runs;
-// -poolconns and -poolsize scale the gatepool experiment (-poolsize 0
-// sizes each pool to the host parallelism).
+// -poolconns, -poolsize and -poollevels scale the gatepool experiment
+// (-poolsize 0 sizes each pool to the host parallelism; -poollevels is a
+// comma-separated concurrency ladder such as "1,8,64").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"wedge/internal/bench"
 )
+
+// usageError prints a message plus usage and exits with status 2, the
+// conventional flag-misuse status.
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wedgebench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+// parseLevels parses a comma-separated ladder of positive integers.
+func parseLevels(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q", part)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("level %d is not positive", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func main() {
 	fig := flag.Int("fig", 0, "regenerate figure 7, 8 or 9")
@@ -31,13 +63,48 @@ func main() {
 	metrics := flag.Bool("metrics", false, "partitioning metrics and object census")
 	ablations := flag.Bool("ablations", false, "design-choice ablations (tag cache, ephemeral RSA)")
 	pool := flag.Bool("pool", false, "gatepool scaling experiment (FigPool)")
+	poolApp := flag.String("app", "httpd", "gatepool experiment application: httpd, sshd or pop3")
 	poolSize := flag.Int("poolsize", 0, "gatepool slots (0 = host parallelism)")
 	poolConns := flag.Int("poolconns", bench.FigPoolConns, "timed connections per FigPool cell")
+	poolLevels := flag.String("poollevels", "", "comma-separated FigPool concurrency ladder (default 1,2,4,...,64)")
 	all := flag.Bool("all", false, "run every experiment")
 	iters := flag.Int("iters", 0, "iterations for figures 7/8 (0 = default)")
 	conns := flag.Int("conns", bench.Table2Conns, "timed connections per Table 2 Apache cell")
 	scp := flag.Int("scp", bench.ScpSize, "scp upload size in bytes for Table 2")
 	flag.Parse()
+
+	// Validate before any experiment runs: negative sizes and counts used
+	// to flow into the benchmarks and misbehave downstream (a negative
+	// -poolconns silently became the default; a negative -iters divided
+	// by zero). Zero keeps its documented "use the default" meaning.
+	if *poolSize < 0 {
+		usageError("-poolsize must be >= 0 (got %d)", *poolSize)
+	}
+	if *poolConns < 0 {
+		usageError("-poolconns must be >= 0 (got %d)", *poolConns)
+	}
+	if *iters < 0 {
+		usageError("-iters must be >= 0 (got %d)", *iters)
+	}
+	if *conns < 0 {
+		usageError("-conns must be >= 0 (got %d)", *conns)
+	}
+	if *scp < 0 {
+		usageError("-scp must be >= 0 (got %d)", *scp)
+	}
+	if *fig != 0 && *fig != 7 && *fig != 8 && *fig != 9 {
+		usageError("-fig must be 7, 8 or 9 (got %d)", *fig)
+	}
+	if *table != 0 && *table != 2 {
+		usageError("-table must be 2 (got %d)", *table)
+	}
+	levels, err := parseLevels(*poolLevels)
+	if err != nil {
+		usageError("-poollevels: %v", err)
+	}
+	if _, err := bench.FigPoolVariants(*poolApp); err != nil {
+		usageError("-app: %v", err)
+	}
 
 	if !*all && *fig == 0 && *table == 0 && !*metrics && !*ablations && !*pool {
 		flag.Usage()
@@ -97,14 +164,14 @@ func main() {
 		results = append(results, r...)
 	}
 	if *all || *pool {
-		rows, r, err := bench.FigPool(*poolConns, nil, *poolSize)
+		rows, r, err := bench.FigPoolApp(*poolApp, *poolConns, levels, *poolSize)
 		if err != nil {
 			fail(err)
 		}
 		results = append(results, r...)
-		fmt.Println("gatepool scaling detail (req/s by concurrent connections):")
+		order, _ := bench.FigPoolVariants(*poolApp)
+		fmt.Printf("gatepool scaling detail, app=%s (req/s by concurrent connections):\n", *poolApp)
 		byVariant := map[string][]bench.PoolRow{}
-		order := []string{"mono", "simple", "recycled", "pooled"}
 		for _, row := range rows {
 			byVariant[row.Variant] = append(byVariant[row.Variant], row)
 		}

@@ -17,15 +17,12 @@ package bench
 
 import (
 	"fmt"
-	"sync"
-	"time"
 
 	"wedge/internal/httpd"
 	"wedge/internal/kernel"
 	"wedge/internal/minissl"
 	"wedge/internal/netsim"
 	"wedge/internal/sthread"
-	"wedge/internal/vm"
 )
 
 // FigPoolConns is the default number of timed connections per cell.
@@ -54,147 +51,106 @@ type PoolRow struct {
 	RPS     float64
 }
 
-// figPoolCell measures one variant at one concurrency level: total
-// connections served by a concurrently-dispatching accept loop, driven by
-// conns client goroutines, uncached (every handshake pays the RSA
-// operation, the load the pool spreads).
+// figPoolCell measures one httpd variant at one concurrency level: total
+// connections served by a concurrently-dispatching accept loop, driven
+// by conns client goroutines, uncached (every handshake pays the RSA
+// operation, the load the pool spreads). Built on the shared
+// poolCellHarness (figpool_apps.go) like the sshd and pop3 cells.
 func figPoolCell(variant string, conns, total, poolSlots int) (float64, error) {
-	k := kernel.New()
 	priv, err := minissl.GenerateServerKey()
 	if err != nil {
 		return 0, err
 	}
-	if err := httpd.SetupDocroot(k, "/var/www", 1024); err != nil {
-		return 0, err
-	}
-	app := sthread.Boot(k)
-	app.Premain(func(init *kernel.Task) {
-		base, err := init.Mmap(figPoolImage, vm.PermRW)
-		if err != nil {
-			panic(err)
-		}
-		for off := 0; off < figPoolImage; off += vm.PageSize {
-			init.AS.Store64(base+vm.Addr(off), uint64(off))
-		}
-	})
-
-	ready := make(chan struct{})
-	done := make(chan error, 1)
-	go func() {
-		done <- app.Main(func(root *sthread.Sthread) {
-			var serve func(*netsim.Conn) error
+	rps, err := poolCellHarness(
+		func(k *kernel.Kernel) error { return httpd.SetupDocroot(k, "/var/www", 1024) },
+		func(root *sthread.Sthread) (func(*netsim.Conn) error, func(), error) {
 			switch variant {
 			case "mono":
 				srv, err := httpd.NewMonolithic(root, "/var/www", priv, false, httpd.Hooks{})
 				if err != nil {
-					panic(err)
+					return nil, nil, err
 				}
-				serve = srv.ServeConn
+				return srv.ServeConn, nil, nil
 			case "simple":
 				srv, err := httpd.NewSimple(root, "/var/www", priv, false, httpd.Hooks{})
 				if err != nil {
-					panic(err)
+					return nil, nil, err
 				}
-				serve = srv.ServeConn
+				return srv.ServeConn, nil, nil
 			case "recycled":
 				srv, err := httpd.NewRecycled(root, "/var/www", priv, false, httpd.Hooks{})
 				if err != nil {
-					panic(err)
+					return nil, nil, err
 				}
-				defer srv.Close()
-				serve = srv.ServeConn
+				return srv.ServeConn, func() { srv.Close() }, nil
 			case "pooled":
 				srv, err := httpd.NewPooled(root, "/var/www", priv, false, poolSlots, httpd.Hooks{})
 				if err != nil {
-					panic(err)
+					return nil, nil, err
 				}
-				defer srv.Close()
-				serve = srv.ServeConn
-			default:
-				panic("unknown variant " + variant)
+				return srv.ServeConn, func() { srv.Close() }, nil
 			}
-			l, err := root.Task.Listen("apache:443")
+			return nil, nil, fmt.Errorf("unknown httpd variant %q", variant)
+		},
+		"apache:443",
+		func(k *kernel.Kernel) error {
+			conn, err := k.Net.Dial("apache:443")
 			if err != nil {
-				panic(err)
+				return err
 			}
-			close(ready)
-			var wg sync.WaitGroup
-			for i := 0; i < total; i++ {
-				c, err := l.Accept()
-				if err != nil {
-					break
-				}
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					serve(c)
-				}()
+			defer conn.Close()
+			cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &priv.PublicKey})
+			if err != nil {
+				return err
 			}
-			wg.Wait()
-		})
-	}()
-	<-ready
-
-	request := func() error {
-		conn, err := k.Net.Dial("apache:443")
-		if err != nil {
-			return err
-		}
-		defer conn.Close()
-		cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &priv.PublicKey})
-		if err != nil {
-			return err
-		}
-		if _, err := cc.Write([]byte("GET /index.html")); err != nil {
-			return err
-		}
-		_, err = cc.ReadRecord()
-		return err
-	}
-
-	// Clients retry failed connections, as a load generator would: at high
-	// concurrency the recycled variant sheds load when its single shared
-	// argument tag (one 64 KB arena for every in-flight connection) fills,
-	// and the retries charge that shedding to its throughput instead of
-	// aborting the experiment.
-	perClient := total / conns
-	errs := make(chan error, conns)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < conns; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < perClient; i++ {
-				err := request()
-				for retry := 0; err != nil && retry < 8; retry++ {
-					err = request()
-				}
-				if err != nil {
-					errs <- err
-					return
-				}
+			if _, err := cc.Write([]byte("GET /index.html")); err != nil {
+				return err
 			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-	close(errs)
-	if err := <-errs; err != nil {
+			_, err = cc.ReadRecord()
+			return err
+		},
+		conns, total)
+	if err != nil {
 		return 0, fmt.Errorf("%s c=%d: %w", variant, conns, err)
 	}
-	if err := <-done; err != nil {
-		return 0, err
-	}
-	return float64(total) / elapsed.Seconds(), nil
+	return rps, nil
 }
 
-// FigPool measures every variant across the concurrency ladder. conns is
-// the timed connection count per cell (0 = FigPoolConns; rounded up to a
-// multiple of the level), levels the ladder (nil = FigPoolLevels), and
-// poolSlots caps the pooled build's slot count (0 = size each cell's pool
-// to its concurrency level).
+// FigPoolVariants returns the variant ladder measured for one app: the
+// httpd experiment keeps the paper's four builds; sshd and pop3 compare
+// the unpartitioned build, the per-connection partitioned build (whose
+// gates are created per connection — the cost recycling amortizes), and
+// the pooled build.
+func FigPoolVariants(app string) ([]string, error) {
+	switch app {
+	case "", "httpd":
+		return []string{"mono", "simple", "recycled", "pooled"}, nil
+	case "sshd", "pop3":
+		return []string{"mono", "wedge", "pooled"}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown FigPool app %q (want httpd, sshd or pop3)", app)
+}
+
+// FigPool measures every httpd variant across the concurrency ladder; see
+// FigPoolApp.
 func FigPool(conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error) {
+	return FigPoolApp("httpd", conns, levels, poolSlots)
+}
+
+// FigPoolApp measures every variant of the given app ("httpd", "sshd" or
+// "pop3") across the concurrency ladder. conns is the timed connection
+// count per cell (0 = FigPoolConns; rounded up to a multiple of the
+// level), levels the ladder (nil = FigPoolLevels), and poolSlots caps the
+// pooled build's slot count (0 = size each cell's pool to host
+// parallelism, never above its concurrency level).
+func FigPoolApp(app string, conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error) {
+	variants, err := FigPoolVariants(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	if app == "" {
+		app = "httpd"
+	}
 	if conns <= 0 {
 		conns = FigPoolConns
 	}
@@ -218,11 +174,19 @@ func FigPool(conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error
 		if slots > level {
 			slots = level
 		}
-		variants := []string{"mono", "simple", "recycled", "pooled"}
 		best := make(map[string]float64, len(variants))
 		for rep := 0; rep < figPoolReps; rep++ {
 			for _, variant := range variants {
-				r, err := figPoolCell(variant, level, total, slots)
+				var r float64
+				var err error
+				switch app {
+				case "httpd":
+					r, err = figPoolCell(variant, level, total, slots)
+				case "sshd":
+					r, err = sshdPoolCell(variant, level, total, slots)
+				case "pop3":
+					r, err = pop3PoolCell(variant, level, total, slots)
+				}
 				if err != nil {
 					return nil, nil, err
 				}
@@ -235,7 +199,7 @@ func FigPool(conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error
 			rows = append(rows, PoolRow{Variant: variant, Conns: level, RPS: best[variant]})
 			results = append(results, Result{
 				Experiment: "figpool",
-				Name:       fmt.Sprintf("%s c=%d", variant, level),
+				Name:       fmt.Sprintf("%s %s c=%d", app, variant, level),
 				Value:      best[variant],
 				Unit:       "req/s",
 			})

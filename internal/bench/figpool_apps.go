@@ -1,0 +1,307 @@
+// FigPool cells for the sshd and pop3 workloads: the gatepool scaling
+// experiment applied to the other two application studies. Each cell
+// serves `total` sessions with `conns` concurrent clients, exactly like
+// the httpd cell, so the three apps' ladders are comparable: mono (no
+// isolation), the per-connection partitioned build (one worker sthread
+// plus per-connection gate instantiations), and the pooled build (zero
+// sthread creations on the serving path).
+
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/pop3"
+	"wedge/internal/sshd"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// poolCellHarness runs one concurrently-dispatching server cell: boot a
+// kernel with the realistic pre-main image, serve connections until the
+// drivers are done, and drive total sessions with conns retrying
+// clients, returning sessions/second. The accept loop runs until the
+// listener is closed (after every client finishes) rather than counting
+// accepts: retried sessions consume extra accepts, and a fixed accept
+// budget would strand the retry — and hang the cell — whenever any
+// accepted session failed.
+func poolCellHarness(setup func(k *kernel.Kernel) error,
+	build func(root *sthread.Sthread) (func(*netsim.Conn) error, func(), error),
+	addr string, request func(k *kernel.Kernel) error,
+	conns, total int) (float64, error) {
+	k := kernel.New()
+	if err := setup(k); err != nil {
+		return 0, err
+	}
+	app := sthread.Boot(k)
+	app.Premain(func(init *kernel.Task) {
+		base, err := init.Mmap(figPoolImage, vm.PermRW)
+		if err != nil {
+			panic(err)
+		}
+		for off := 0; off < figPoolImage; off += vm.PageSize {
+			init.AS.Store64(base+vm.Addr(off), uint64(off))
+		}
+	})
+
+	ready := make(chan *netsim.Listener, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			serve, closeFn, err := build(root)
+			if err != nil {
+				panic(err)
+			}
+			if closeFn != nil {
+				defer closeFn()
+			}
+			l, err := root.Task.Listen(addr)
+			if err != nil {
+				panic(err)
+			}
+			ready <- l
+			var wg sync.WaitGroup
+			for {
+				c, err := l.Accept()
+				if err != nil {
+					break // listener closed: the drivers are done
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					serve(c)
+				}()
+			}
+			wg.Wait()
+		})
+	}()
+	l := <-ready
+
+	// Clients retry failed sessions, as a load generator would, so
+	// transient shedding charges the variant's throughput instead of
+	// aborting the experiment.
+	perClient := total / conns
+	errs := make(chan error, conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				err := request(k)
+				for retry := 0; err != nil && retry < 8; retry++ {
+					err = request(k)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	l.Close()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, err
+	}
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// sshdPoolCell measures one sshd variant: a session is the host-key
+// handshake (one RSA signature — the load the pool spreads), a password
+// login, and exit.
+func sshdPoolCell(variant string, conns, total, poolSlots int) (float64, error) {
+	hostKey, err := minissl.GenerateServerKey()
+	if err != nil {
+		return 0, err
+	}
+	users := []sshd.User{{Name: "alice", Password: "sesame", UID: 1000}}
+	cfg := sshd.ServerConfig{HostKey: hostKey}
+
+	rps, err := poolCellHarness(
+		func(k *kernel.Kernel) error { return sshd.SetupUsers(k, users) },
+		func(root *sthread.Sthread) (func(*netsim.Conn) error, func(), error) {
+			switch variant {
+			case "mono":
+				return sshd.NewMonolithic(root, cfg, sshd.MonoHooks{}).ServeConn, nil, nil
+			case "wedge":
+				srv, err := sshd.NewWedge(root, cfg, sshd.WedgeHooks{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return srv.ServeConn, nil, nil
+			case "pooled":
+				srv, err := sshd.NewPooledWedge(root, cfg, poolSlots, sshd.WedgeHooks{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return srv.ServeConn, func() { srv.Close() }, nil
+			}
+			return nil, nil, fmt.Errorf("unknown sshd variant %q", variant)
+		},
+		"sshd:22",
+		func(k *kernel.Kernel) error {
+			conn, err := k.Net.Dial("sshd:22")
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			c, err := sshd.NewClient(conn, &hostKey.PublicKey)
+			if err != nil {
+				return err
+			}
+			if err := c.AuthPassword("alice", "sesame"); err != nil {
+				return err
+			}
+			return c.Exit()
+		},
+		conns, total)
+	if err != nil {
+		return 0, fmt.Errorf("sshd %s c=%d: %w", variant, conns, err)
+	}
+	return rps, nil
+}
+
+// pop3PoolCell measures one pop3 variant: a session is login, one
+// retrieval, and quit. No RSA is involved, so the cell isolates the pure
+// partitioning overhead (sthread and gate creations per session) that
+// the pool amortizes.
+func pop3PoolCell(variant string, conns, total, poolSlots int) (float64, error) {
+	boxes := []pop3.Mailbox{
+		{User: "alice", Password: "sesame", UID: 1000,
+			Messages: []string{"From: bench\n\nmessage one", "From: bench\n\nmessage two"}},
+	}
+
+	rps, err := poolCellHarness(
+		func(k *kernel.Kernel) error { return nil },
+		func(root *sthread.Sthread) (func(*netsim.Conn) error, func(), error) {
+			switch variant {
+			case "mono":
+				srv, err := pop3.NewMonolithic(root, boxes, pop3.Hooks{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return srv.ServeConn, nil, nil
+			case "wedge":
+				srv, err := pop3.New(root, boxes, pop3.Hooks{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return srv.ServeConn, nil, nil
+			case "pooled":
+				srv, err := pop3.NewPooled(root, boxes, poolSlots, pop3.Hooks{})
+				if err != nil {
+					return nil, nil, err
+				}
+				return srv.ServeConn, func() { srv.Close() }, nil
+			}
+			return nil, nil, fmt.Errorf("unknown pop3 variant %q", variant)
+		},
+		"pop3:110",
+		func(k *kernel.Kernel) error { return pop3BenchSession(k) },
+		conns, total)
+	if err != nil {
+		return 0, fmt.Errorf("pop3 %s c=%d: %w", variant, conns, err)
+	}
+	return rps, nil
+}
+
+// pop3BenchSession drives one full POP3 session as a load-generator
+// client.
+func pop3BenchSession(k *kernel.Kernel) error {
+	conn, err := k.Net.Dial("pop3:110")
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := newLineReader(conn)
+	expect := func(prefix string) error {
+		line, err := r.line()
+		if err != nil {
+			return err
+		}
+		if len(line) < len(prefix) || line[:len(prefix)] != prefix {
+			return fmt.Errorf("pop3 bench: got %q, want %s...", line, prefix)
+		}
+		return nil
+	}
+	send := func(cmd string) error {
+		_, err := conn.Write([]byte(cmd + "\r\n"))
+		return err
+	}
+	if err := expect("+OK"); err != nil {
+		return err
+	}
+	if err := send("USER alice"); err != nil {
+		return err
+	}
+	if err := expect("+OK"); err != nil {
+		return err
+	}
+	if err := send("PASS sesame"); err != nil {
+		return err
+	}
+	if err := expect("+OK"); err != nil {
+		return err
+	}
+	if err := send("RETR 1"); err != nil {
+		return err
+	}
+	if err := expect("+OK"); err != nil {
+		return err
+	}
+	// Read the message body through the terminating ".".
+	for {
+		line, err := r.line()
+		if err != nil {
+			return err
+		}
+		if line == "." {
+			break
+		}
+	}
+	if err := send("QUIT"); err != nil {
+		return err
+	}
+	return expect("+OK")
+}
+
+// lineReader is a minimal CRLF line reader over a netsim connection.
+type lineReader struct {
+	conn *netsim.Conn
+	buf  []byte
+}
+
+func newLineReader(conn *netsim.Conn) *lineReader { return &lineReader{conn: conn} }
+
+func (l *lineReader) line() (string, error) {
+	for {
+		for i := 0; i < len(l.buf); i++ {
+			if l.buf[i] == '\n' {
+				line := string(l.buf[:i])
+				l.buf = l.buf[i+1:]
+				if n := len(line); n > 0 && line[n-1] == '\r' {
+					line = line[:n-1]
+				}
+				return line, nil
+			}
+		}
+		chunk := make([]byte, 512)
+		n, err := l.conn.Read(chunk)
+		if err != nil {
+			return "", err
+		}
+		l.buf = append(l.buf, chunk[:n]...)
+	}
+}

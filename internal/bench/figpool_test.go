@@ -71,3 +71,32 @@ func TestFigPoolShape(t *testing.T) {
 		}
 	}
 }
+
+// TestFigPoolAppsShape: the sshd and pop3 ladders report a complete,
+// positive row set for every variant (mono, wedge, pooled).
+func TestFigPoolAppsShape(t *testing.T) {
+	for _, app := range []string{"sshd", "pop3"} {
+		t.Run(app, func(t *testing.T) {
+			rows, results, err := FigPoolApp(app, 6, []int{2}, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != 3 || len(results) != 3 {
+				t.Fatalf("rows=%d results=%d, want 3/3", len(rows), len(results))
+			}
+			for _, r := range rows {
+				if r.RPS <= 0 {
+					t.Fatalf("%s %s c=%d: non-positive rate %f", app, r.Variant, r.Conns, r.RPS)
+				}
+			}
+		})
+	}
+}
+
+// TestFigPoolUnknownApp: the app argument is validated, not silently
+// treated as httpd.
+func TestFigPoolUnknownApp(t *testing.T) {
+	if _, _, err := FigPoolApp("imap", 4, []int{1}, 1); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,54 @@
+// ConnTable: the conn-id demultiplexer shared by the pool-serving
+// servers (httpd, sshd, pop3). A pooled server stores each connection's
+// gate-side state here, writes the issued id into the slot's argument
+// block, and a gate invocation looks the state back up by the id it
+// reads from the block.
+//
+// The id is worker-supplied and therefore untrusted: a compromised
+// worker can name any connection's id. The isolation argument — shared
+// by every user of this table — is the slot pin the caller must apply on
+// top of the lookup: a gate holds no argument tag but its own slot's, so
+// requiring the looked-up state to anchor at exactly the gate's argument
+// base (state's Lease.Arg == the invocation's arg) keeps cross-slot
+// state unreachable even under a forged id.
+
+package gatepool
+
+import "sync"
+
+// ConnTable issues connection ids and stores per-connection values of
+// type T. The zero value is ready to use. All methods are safe for
+// concurrent use.
+type ConnTable[T any] struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]T
+}
+
+// Put stores v under a fresh id and returns the id.
+func (c *ConnTable[T]) Put(v T) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[uint64]T)
+	}
+	c.next++
+	c.m[c.next] = v
+	return c.next
+}
+
+// Get returns the value stored under id. Callers must additionally pin
+// the result to the invoking slot (see the package comment above).
+func (c *ConnTable[T]) Get(id uint64) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[id]
+	return v, ok
+}
+
+// Delete drops the value stored under id.
+func (c *ConnTable[T]) Delete(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, id)
+}

@@ -441,7 +441,10 @@ func (l *Lease) Release() {
 
 // Resize grows or shrinks the pool to n slots. Growth creates fresh slots
 // immediately; shrinking retires the highest-indexed slots, closing idle
-// ones now and busy ones when their leases are released.
+// ones now and busy ones when their leases are released. A Resize during
+// a Drain fails with ErrDraining: Drain's contract is that the pool is
+// quiescent when it returns, and slots admitted while it blocks (or
+// between Drain and Undrain) would arrive live past that barrier.
 func (p *Pool) Resize(n int) error {
 	if n < 1 || n > p.cfg.MaxSlots {
 		return fmt.Errorf("%w: %d (max %d)", ErrBadSize, n, p.cfg.MaxSlots)
@@ -451,9 +454,13 @@ func (p *Pool) Resize(n int) error {
 	if p.closed {
 		return ErrClosed
 	}
+	if p.draining {
+		return ErrDraining
+	}
 	// The slot count is recomputed under the lock on every iteration:
 	// newSlot runs unlocked (it creates tags and gate sthreads), so a
-	// concurrent Resize may have changed the pool meanwhile.
+	// concurrent Resize — or a Drain barrier going up — may have changed
+	// the pool meanwhile.
 	for p.liveCountLocked() < n {
 		idx := p.nextIndexLocked()
 		p.mu.Unlock()
@@ -462,10 +469,13 @@ func (p *Pool) Resize(n int) error {
 		if err != nil {
 			return err
 		}
-		if p.closed || p.liveCountLocked() >= n {
+		if p.closed || p.draining || p.liveCountLocked() >= n {
 			p.closeSlotsLocked([]*slot{s})
 			if p.closed {
 				return ErrClosed
+			}
+			if p.draining {
+				return ErrDraining
 			}
 			break
 		}

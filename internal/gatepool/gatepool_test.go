@@ -2,6 +2,7 @@ package gatepool
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -436,6 +437,57 @@ func TestPoolStress(t *testing.T) {
 		}
 		if _, err := p.Acquire("late"); err != ErrClosed {
 			t.Fatalf("acquire after close = %v, want ErrClosed", err)
+		}
+	})
+}
+
+// TestResizeDuringDrainRejected: a Resize racing a Drain must not admit
+// fresh live slots past the drain barrier — Drain's contract is that the
+// pool is quiescent when it returns. Both the blocked-drain window (a
+// lease still out) and the drained-but-not-undrained window must reject
+// with ErrDraining, and the slot count must be unchanged afterwards.
+func TestResizeDuringDrainRejected(t *testing.T) {
+	withRoot(t, func(root *sthread.Sthread) {
+		p := newTestPool(t, root, 2, echoGate, false)
+		defer p.Close()
+
+		// Hold a lease so Drain blocks at its barrier.
+		l, err := p.Acquire("alice")
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainDone := make(chan struct{})
+		go func() {
+			p.Drain()
+			close(drainDone)
+		}()
+		// Wait until the drain barrier is up.
+		for !p.Stats().Draining {
+			runtime.Gosched()
+		}
+		if _, err := p.Acquire("bob"); err != ErrDraining {
+			t.Fatalf("Acquire during drain = %v, want ErrDraining", err)
+		}
+		if err := p.Resize(4); err != ErrDraining {
+			t.Fatalf("Resize during blocked Drain = %v, want ErrDraining", err)
+		}
+		l.Release()
+		<-drainDone
+
+		// Quiescent but still draining: Resize must still be rejected.
+		if err := p.Resize(4); err != ErrDraining {
+			t.Fatalf("Resize after Drain (before Undrain) = %v, want ErrDraining", err)
+		}
+		if got := p.Stats().Slots; got != 2 {
+			t.Fatalf("slots = %d after rejected resizes, want 2", got)
+		}
+
+		p.Undrain()
+		if err := p.Resize(4); err != nil {
+			t.Fatalf("Resize after Undrain: %v", err)
+		}
+		if got := p.Stats().Slots; got != 4 {
+			t.Fatalf("slots = %d after Undrain resize, want 4", got)
 		}
 	})
 }

@@ -30,8 +30,6 @@ package httpd
 import (
 	"crypto/rsa"
 	"runtime"
-	"sync"
-
 	"wedge/internal/gatepool"
 	"wedge/internal/kernel"
 	"wedge/internal/minissl"
@@ -71,12 +69,10 @@ type PooledServer struct {
 	cache *minissl.SessionCache
 	hooks Hooks
 
-	// connStates demultiplexes gate-side handshake state by conn id, as
-	// in RecycledServer; it additionally carries the slot lease so the
-	// worker entry can reach its own slot's setup gate.
-	mu         sync.Mutex
-	nextConnID uint64
-	connStates map[uint64]*pooledConnState
+	// conns demultiplexes gate-side handshake state by conn id, as in
+	// RecycledServer; each entry additionally carries the slot lease so
+	// the worker entry can reach its own slot's setup gate.
+	conns gatepool.ConnTable[*pooledConnState]
 }
 
 type pooledConnState struct {
@@ -91,8 +87,7 @@ func NewPooled(root *sthread.Sthread, docroot string, priv *rsa.PrivateKey, cach
 	if slots <= 0 {
 		slots = DefaultPoolSlots()
 	}
-	p := &PooledServer{root: root, docroot: docroot, hooks: hooks,
-		connStates: make(map[uint64]*pooledConnState)}
+	p := &PooledServer{root: root, docroot: docroot, hooks: hooks}
 	if cache {
 		p.cache = minissl.NewSessionCache()
 	}
@@ -157,16 +152,8 @@ func (p *PooledServer) ServeConnAs(conn *netsim.Conn, principal string) error {
 	}
 	defer lease.Release()
 
-	p.mu.Lock()
-	p.nextConnID++
-	connID := p.nextConnID
-	p.connStates[connID] = &pooledConnState{lease: lease, fd: fd}
-	p.mu.Unlock()
-	defer func() {
-		p.mu.Lock()
-		delete(p.connStates, connID)
-		p.mu.Unlock()
-	}()
+	connID := p.conns.Put(&pooledConnState{lease: lease, fd: fd})
+	defer p.conns.Delete(connID)
 
 	root.Store64(lease.Arg+argConnID, connID)
 	root.Store64(lease.Arg+argPoolFD, uint64(fd))
@@ -190,12 +177,9 @@ func (p *PooledServer) ServeConnAs(conn *netsim.Conn, principal string) error {
 // connection, running with the slot's argument tag, the public key, and
 // the per-invocation argument descriptor — nothing else.
 func (p *PooledServer) workerEntry(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-	connID := w.Load64(arg + argConnID)
 	fd := int(w.Load64(arg + argPoolFD))
-	p.mu.Lock()
-	state := p.connStates[connID]
-	p.mu.Unlock()
-	if state == nil || state.fd != fd || state.lease.Arg != arg {
+	state, ok := p.conns.Get(w.Load64(arg + argConnID))
+	if !ok || state.fd != fd || state.lease.Arg != arg {
 		return 0
 	}
 	if p.hooks.Worker != nil {
@@ -217,17 +201,13 @@ func (p *PooledServer) workerEntry(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
 // state: hello and key-exchange operations demultiplexed by conn id, with
 // the private key reachable through the kernel-held trusted argument.
 func (p *PooledServer) setupEntry(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
-	connID := g.Load64(arg + argConnID)
-	p.mu.Lock()
-	state := p.connStates[connID]
-	p.mu.Unlock()
-	// The conn id is worker-supplied and therefore untrusted: a
-	// compromised worker could name another connection's id. The gate
-	// can only be invoked on its own slot's argument block (it holds no
-	// other slot's tag), so requiring the state to anchor at exactly
-	// this block pins the demux to the slot — cross-slot handshake
-	// state stays unreachable, as the pool's isolation story promises.
-	if state == nil || state.lease.Arg != arg {
+	// The slot pin gatepool.ConnTable requires: the conn id is
+	// worker-supplied and untrusted, but the gate can only be invoked on
+	// its own slot's argument block, so anchoring the state at exactly
+	// this block keeps cross-slot handshake state unreachable, as the
+	// pool's isolation story promises.
+	state, ok := p.conns.Get(g.Load64(arg + argConnID))
+	if !ok || state.lease.Arg != arg {
 		return 0
 	}
 

@@ -1,0 +1,118 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/sthread"
+)
+
+// TestRecycledNoSheddingPastSixtyConnections: the ROADMAP bottleneck the
+// growable arena removes. The recycled variant backs every in-flight
+// connection's argument block with one shared tag; with the old fixed
+// 64 KiB arena, past ~60 concurrent connections Smalloc returned ENOMEM
+// and the server shed load (clients needed retries). With segment growth
+// every connection must be served on the first attempt — no retry loop
+// here, deliberately.
+func TestRecycledNoSheddingPastSixtyConnections(t *testing.T) {
+	const conns = 72 // past the ~60-connection cliff of the fixed arena
+	k := kernel.New()
+	priv := serverKey(t)
+	if err := SetupDocroot(k, "/var/www", 1024); err != nil {
+		t.Fatal(err)
+	}
+	app := sthread.Boot(k)
+
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := NewRecycled(root, "/var/www", priv, false, Hooks{})
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			defer srv.Close()
+			l, err := root.Task.Listen("apache:443")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			close(ready)
+			var wg sync.WaitGroup
+			for i := 0; i < conns; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := srv.ServeConn(c); err != nil {
+						t.Errorf("serve: %v", err)
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}()
+	<-ready
+
+	// A barrier holds every client back until all have dialed, so all
+	// conns argument blocks are live in the shared arena at once.
+	var start sync.WaitGroup
+	start.Add(conns)
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := k.Net.Dial("apache:443")
+			if err != nil {
+				start.Done()
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			start.Done()
+			start.Wait()
+			cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &priv.PublicKey})
+			if err != nil {
+				errs <- fmt.Errorf("handshake: %w", err)
+				return
+			}
+			if _, err := cc.Write([]byte("GET /index.html")); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := cc.ReadRecord()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !strings.HasPrefix(string(resp), "200 OK\n") {
+				errs <- fmt.Errorf("response %.30q", resp)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("shed connection (first attempt failed): %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	grows := app.Tags.GrowCount()
+	if grows == 0 {
+		t.Fatal("arena never grew despite 72 concurrent argument blocks")
+	}
+	t.Logf("arena grew %d segment(s) serving %d concurrent connections", grows, conns)
+}

@@ -1,0 +1,130 @@
+package pop3
+
+import (
+	"bufio"
+	"strings"
+	"sync"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// TestServeConnLeaksNothing is the kernel.TaskCount-based leak check
+// around Server.ServeConn's exit paths: a failed login, an abrupt
+// mid-session disconnect, a handler that faults on an exploit probe, and
+// a clean session must all return the kernel task table and the live tag
+// set to their pre-connection state. A leaked client-handler sthread
+// would accumulate per connection on a production server; a leaked tag
+// would pin its arena forever.
+func TestServeConnLeaksNothing(t *testing.T) {
+	k := kernel.New()
+	app := sthread.Boot(k)
+
+	var mu sync.Mutex
+	var faultArmed bool
+	hooks := Hooks{Handler: func(h *sthread.Sthread, ctx *ConnContext) {
+		mu.Lock()
+		armed := faultArmed
+		faultArmed = false
+		mu.Unlock()
+		if armed {
+			h.Read(vm.Addr(0x10), make([]byte, 8)) // unmapped: handler faults
+		}
+	}}
+
+	type scenario struct {
+		name  string
+		arm   bool // arm the faulting hook for this connection
+		drive func(t *testing.T, c *popClient)
+	}
+	scenarios := []scenario{
+		{name: "login failure then quit", drive: func(t *testing.T, c *popClient) {
+			c.cmd(t, "USER alice")
+			if got := c.cmd(t, "PASS wrong"); !strings.HasPrefix(got, "-ERR") {
+				t.Errorf("wrong password: %s", got)
+			}
+			c.cmd(t, "QUIT")
+		}},
+		{name: "abrupt disconnect before auth", drive: func(t *testing.T, c *popClient) {
+			c.conn.Close()
+		}},
+		{name: "abrupt disconnect mid-session", drive: func(t *testing.T, c *popClient) {
+			c.cmd(t, "USER alice")
+			c.cmd(t, "PASS sesame")
+			c.cmd(t, "STAT")
+			c.conn.Close()
+		}},
+		{name: "handler fault", arm: true, drive: func(t *testing.T, c *popClient) {
+			c.conn.Close()
+		}},
+		{name: "clean session", drive: func(t *testing.T, c *popClient) {
+			c.cmd(t, "USER alice")
+			c.cmd(t, "PASS sesame")
+			if got := c.cmd(t, "RETR 1"); strings.HasPrefix(got, "+OK") {
+				c.readBody(t)
+			}
+			c.cmd(t, "QUIT")
+		}},
+	}
+
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	connDone := make(chan struct{})
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := New(root, testBoxes(), hooks)
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			l, err := root.Task.Listen("pop3:110")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			close(ready)
+			baseTasks := k.TaskCount()
+			baseTags := len(app.Tags.Tags())
+			for range scenarios {
+				c, err := l.Accept()
+				if err != nil {
+					return
+				}
+				srv.ServeConn(c) // error returns are scenario-expected
+				if got, want := k.TaskCount(), baseTasks; got != want {
+					t.Errorf("task count after connection: %d, want %d", got, want)
+				}
+				if got, want := len(app.Tags.Tags()), baseTags; got != want {
+					t.Errorf("live tags after connection: %d, want %d", got, want)
+				}
+				connDone <- struct{}{}
+			}
+		})
+	}()
+	<-ready
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			mu.Lock()
+			faultArmed = sc.arm
+			mu.Unlock()
+			conn, err := k.Net.Dial("pop3:110")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := &popClient{conn: conn, r: bufio.NewReader(conn)}
+			if greet, err := c.r.ReadString('\n'); err == nil && !strings.HasPrefix(greet, "+OK") {
+				t.Fatalf("greeting: %q", greet)
+			}
+			sc.drive(t, c)
+			<-connDone // server finished ServeConn and ran the leak checks
+		})
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}

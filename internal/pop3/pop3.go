@@ -40,11 +40,19 @@ type Mailbox struct {
 const (
 	p3Op     = 0 // 1=login 2=stat 3=retr
 	p3StrLen = 8
-	p3Str    = 16  // user\x00pass for login
-	p3MsgNum = 256 // RETR argument
-	p3OutLen = 264 // gate output length
-	p3Out    = 272 // gate output bytes (<= 1.5 KiB)
+	p3Str    = 16   // user\x00pass for login
+	p3MsgNum = 256  // RETR argument
+	p3OutLen = 264  // gate output length
+	p3Out    = 272  // gate output bytes (<= 1.5 KiB)
+	p3ConnID = 1928 // pooled variant: session demultiplexer
+	p3PoolFD = 1936 // pooled variant: this connection's descriptor number
 	p3Size   = 2048
+
+	// p3OutMax bounds RETR output in both builds: the output area stops
+	// short of the pooled demux words, so a maximum-size message cannot
+	// overwrite the conn id mid-session — and a message the partitioned
+	// server delivers is never one the pooled server rejects.
+	p3OutMax = p3ConnID - p3Out
 
 	p3OpLogin = 1
 	p3OpStat  = 2
@@ -75,6 +83,137 @@ type ConnContext struct {
 	RetrSpec  *policy.GateSpec
 }
 
+// store is the provisioned privileged data shared by the partitioned and
+// pooled servers: the password database and the mail store, each in its
+// own tag.
+type store struct {
+	pwdTag  tags.Tag
+	pwdAddr vm.Addr
+	mailTag tags.Tag
+	// mailAddrs maps (uid, msg) to the smalloc'd message address.
+	mailAddrs map[int][]vm.Addr
+	mailBase  vm.Addr
+}
+
+// release retires the store's tags; used when a constructor fails after
+// provisioning, so retries do not accumulate stranded tags.
+func (st *store) release(root *sthread.Sthread) {
+	for _, t := range []tags.Tag{st.pwdTag, st.mailTag} {
+		if t != tags.NoTag {
+			root.App().Tags.TagDelete(t)
+		}
+	}
+}
+
+// newStore provisions the password database and mail store into tagged
+// memory. On failure nothing provisioned survives.
+func newStore(root *sthread.Sthread, boxes []Mailbox) (*store, error) {
+	st := &store{mailAddrs: make(map[int][]vm.Addr)}
+	var err error
+	if st.pwdTag, err = root.App().Tags.TagNew(root.Task); err != nil {
+		return nil, err
+	}
+	// Password database: "user:pass:uid\n" lines in one block.
+	var db strings.Builder
+	for _, b := range boxes {
+		fmt.Fprintf(&db, "%s:%s:%d\n", b.User, b.Password, b.UID)
+	}
+	if st.pwdAddr, err = root.Smalloc(st.pwdTag, 8+db.Len()); err != nil {
+		st.release(root)
+		return nil, err
+	}
+	root.Store64(st.pwdAddr, uint64(db.Len()))
+	root.Write(st.pwdAddr+8, []byte(db.String()))
+
+	if st.mailTag, err = root.App().Tags.TagNew(root.Task); err != nil {
+		st.release(root)
+		return nil, err
+	}
+	for _, b := range boxes {
+		for _, msg := range b.Messages {
+			addr, err := root.Smalloc(st.mailTag, 8+len(msg))
+			if err != nil {
+				st.release(root)
+				return nil, err
+			}
+			root.Store64(addr, uint64(len(msg)))
+			root.Write(addr+8, []byte(msg))
+			st.mailAddrs[b.UID] = append(st.mailAddrs[b.UID], addr)
+			if st.mailBase == 0 {
+				st.mailBase = addr
+			}
+		}
+	}
+	return st, nil
+}
+
+// checkLogin validates the credentials in the argument block against the
+// password database reachable through the trusted argument, returning the
+// authenticated uid. Shared by the per-connection login gate (which
+// records the uid in the tagged uid cell) and the pooled login gate
+// (which records it in the connection's gate-side state).
+func checkLogin(g *sthread.Sthread, arg, trusted vm.Addr, stats *Stats) (int, bool) {
+	n := g.Load64(arg + p3StrLen)
+	if n == 0 || n > 200 {
+		return 0, false
+	}
+	buf := make([]byte, n)
+	g.Read(arg+p3Str, buf)
+	user, pass, ok := strings.Cut(string(buf), "\x00")
+	if !ok {
+		return 0, false
+	}
+	dbLen := g.Load64(trusted)
+	db := make([]byte, dbLen)
+	g.Read(trusted+8, db)
+	for _, line := range strings.Split(strings.TrimSpace(string(db)), "\n") {
+		f := strings.Split(line, ":")
+		if len(f) != 3 || f[0] != user || f[1] != pass {
+			continue
+		}
+		var uid int
+		fmt.Sscanf(f[2], "%d", &uid)
+		stats.Logins.Add(1)
+		return uid, true
+	}
+	stats.Fails.Add(1)
+	return 0, false
+}
+
+// statFor returns the message count for the authenticated uid.
+func (st *store) statFor(uid int) vm.Addr {
+	if uid == 0 {
+		return 0
+	}
+	return vm.Addr(len(st.mailAddrs[uid]))
+}
+
+// retrFor copies one message of the authenticated uid into the shared
+// output area, refusing anything that would overflow limit bytes of
+// output. The uid comes from state only the login gate can set —
+// authentication cannot be skipped.
+func (st *store) retrFor(g *sthread.Sthread, arg vm.Addr, uid, limit int, stats *Stats) vm.Addr {
+	if uid == 0 {
+		return 0
+	}
+	num := int(g.Load64(arg + p3MsgNum))
+	msgs := st.mailAddrs[uid]
+	if num < 1 || num > len(msgs) {
+		return 0
+	}
+	addr := msgs[num-1]
+	n := g.Load64(addr)
+	if n > uint64(limit) {
+		return 0
+	}
+	body := make([]byte, n)
+	g.Read(addr+8, body)
+	g.Store64(arg+p3OutLen, n)
+	g.Write(arg+p3Out, body)
+	stats.Retrieved.Add(1)
+	return 1
+}
+
 // Server is the partitioned POP3 server of Figure 1.
 type Server struct {
 	Stats Stats
@@ -89,50 +228,16 @@ type Server struct {
 	boxes []Mailbox
 	hooks Hooks
 
-	pwdTag  tags.Tag
-	pwdAddr vm.Addr
-	mailTag tags.Tag
-	// mailIndex maps (uid, msg) to the smalloc'd message address.
-	mailAddrs map[int][]vm.Addr
-	mailBase  vm.Addr
+	*store
 }
 
 // New provisions the password database and mail store into tagged memory.
 func New(root *sthread.Sthread, boxes []Mailbox, hooks Hooks) (*Server, error) {
-	s := &Server{root: root, boxes: boxes, hooks: hooks, mailAddrs: make(map[int][]vm.Addr)}
-	var err error
-	if s.pwdTag, err = root.App().Tags.TagNew(root.Task); err != nil {
+	st, err := newStore(root, boxes)
+	if err != nil {
 		return nil, err
 	}
-	// Password database: "user:pass:uid\n" lines in one block.
-	var db strings.Builder
-	for _, b := range boxes {
-		fmt.Fprintf(&db, "%s:%s:%d\n", b.User, b.Password, b.UID)
-	}
-	if s.pwdAddr, err = root.Smalloc(s.pwdTag, 8+db.Len()); err != nil {
-		return nil, err
-	}
-	root.Store64(s.pwdAddr, uint64(db.Len()))
-	root.Write(s.pwdAddr+8, []byte(db.String()))
-
-	if s.mailTag, err = root.App().Tags.TagNew(root.Task); err != nil {
-		return nil, err
-	}
-	for _, b := range boxes {
-		for _, msg := range b.Messages {
-			addr, err := root.Smalloc(s.mailTag, 8+len(msg))
-			if err != nil {
-				return nil, err
-			}
-			root.Store64(addr, uint64(len(msg)))
-			root.Write(addr+8, []byte(msg))
-			s.mailAddrs[b.UID] = append(s.mailAddrs[b.UID], addr)
-			if s.mailBase == 0 {
-				s.mailBase = addr
-			}
-		}
-	}
-	return s, nil
+	return &Server{root: root, boxes: boxes, hooks: hooks, store: st}, nil
 }
 
 // loginGate checks credentials against the password database (trusted
@@ -141,43 +246,19 @@ func New(root *sthread.Sthread, boxes []Mailbox, hooks Hooks) (*Server, error) {
 func (s *Server) loginGate(uidCell vm.Addr) sthread.GateFunc {
 	stats := &s.Stats
 	return func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
-		n := g.Load64(arg + p3StrLen)
-		if n == 0 || n > 200 {
-			return 0
-		}
-		buf := make([]byte, n)
-		g.Read(arg+p3Str, buf)
-		user, pass, ok := strings.Cut(string(buf), "\x00")
+		uid, ok := checkLogin(g, arg, trusted, stats)
 		if !ok {
 			return 0
 		}
-		dbLen := g.Load64(trusted)
-		db := make([]byte, dbLen)
-		g.Read(trusted+8, db)
-		for _, line := range strings.Split(strings.TrimSpace(string(db)), "\n") {
-			f := strings.Split(line, ":")
-			if len(f) != 3 || f[0] != user || f[1] != pass {
-				continue
-			}
-			var uid int
-			fmt.Sscanf(f[2], "%d", &uid)
-			g.Store64(uidCell, uint64(uid))
-			stats.Logins.Add(1)
-			return 1
-		}
-		stats.Fails.Add(1)
-		return 0
+		g.Store64(uidCell, uint64(uid))
+		return 1
 	}
 }
 
 // statGate returns the message count for the authenticated uid.
 func (s *Server) statGate(uidCell vm.Addr) sthread.GateFunc {
 	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-		uid := int(g.Load64(uidCell))
-		if uid == 0 {
-			return 0
-		}
-		return vm.Addr(len(s.mailAddrs[uid]))
+		return s.statFor(int(g.Load64(uidCell)))
 	}
 }
 
@@ -187,26 +268,7 @@ func (s *Server) statGate(uidCell vm.Addr) sthread.GateFunc {
 func (s *Server) retrGate(uidCell vm.Addr) sthread.GateFunc {
 	stats := &s.Stats
 	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-		uid := int(g.Load64(uidCell))
-		if uid == 0 {
-			return 0
-		}
-		num := int(g.Load64(arg + p3MsgNum))
-		msgs := s.mailAddrs[uid]
-		if num < 1 || num > len(msgs) {
-			return 0
-		}
-		addr := msgs[num-1]
-		n := g.Load64(addr)
-		if n > p3Size-p3Out {
-			return 0
-		}
-		body := make([]byte, n)
-		g.Read(addr+8, body)
-		g.Store64(arg+p3OutLen, n)
-		g.Write(arg+p3Out, body)
-		stats.Retrieved.Add(1)
-		return 1
+		return s.retrFor(g, arg, int(g.Load64(uidCell)), p3OutMax, stats)
 	}
 }
 
@@ -264,7 +326,12 @@ func (s *Server) ServeConn(conn *netsim.Conn) error {
 				LoginSpec: loginSpec, StatSpec: statSpec, RetrSpec: retrSpec,
 			})
 		}
-		return s.handlerBody(h, fd, arg, loginSpec, statSpec, retrSpec)
+		viaGate := func(spec *policy.GateSpec) p3Call {
+			return func(h *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
+				return h.CallGate(spec, nil, arg)
+			}
+		}
+		return pop3HandlerBody(h, fd, arg, viaGate(loginSpec), viaGate(statSpec), viaGate(retrSpec))
 	}, argBuf)
 	if err != nil {
 		return err
@@ -273,10 +340,15 @@ func (s *Server) ServeConn(conn *netsim.Conn) error {
 	return fault
 }
 
-// handlerBody parses POP3 commands (the risky code of §2) and mediates
-// every privileged operation through the gates.
-func (s *Server) handlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
-	loginSpec, statSpec, retrSpec *policy.GateSpec) vm.Addr {
+// p3Call invokes one of the client handler's privileged entry points: a
+// one-shot callgate in the Figure 1 build, a pooled recycled gate in the
+// pooled build.
+type p3Call func(h *sthread.Sthread, arg vm.Addr) (vm.Addr, error)
+
+// pop3HandlerBody parses POP3 commands (the risky code of §2) and
+// mediates every privileged operation through the gates.
+func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
+	login, stat, retr p3Call) vm.Addr {
 	raw := fdRW{h, fd}
 	r := bufio.NewReader(raw)
 
@@ -305,7 +377,7 @@ func (s *Server) handlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 			payload := pendingUser + "\x00" + rest
 			h.Store64(arg+p3StrLen, uint64(len(payload)))
 			h.Write(arg+p3Str, []byte(payload))
-			ret, err := h.CallGate(loginSpec, nil, arg)
+			ret, err := login(h, arg)
 			if err == nil && ret == 1 {
 				authed = true
 				say("+OK logged in")
@@ -317,7 +389,7 @@ func (s *Server) handlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 				say("-ERR not authenticated")
 				continue
 			}
-			n, err := h.CallGate(statSpec, nil, arg)
+			n, err := stat(h, arg)
 			if err != nil {
 				say("-ERR")
 				continue
@@ -327,7 +399,7 @@ func (s *Server) handlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 			var num int
 			fmt.Sscanf(rest, "%d", &num)
 			h.Store64(arg+p3MsgNum, uint64(num))
-			ret, err := h.CallGate(retrSpec, nil, arg)
+			ret, err := retr(h, arg)
 			if err != nil || ret != 1 {
 				say("-ERR no such message")
 				continue

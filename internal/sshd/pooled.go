@@ -1,0 +1,254 @@
+// The pooled Wedge sshd: the Figure 6 partitioning with every
+// per-connection sthread creation amortized away by a gatepool, the same
+// treatment httpd.PooledServer gives the SSL server.
+//
+// Each pool slot owns a private argument tag and five long-lived recycled
+// sthreads instantiated against it:
+//
+//   - "worker": the unprivileged network-facing compartment, created
+//     confined (WorkerUID, chrooted to /var/empty). One invocation serves
+//     one connection; the connection's descriptor arrives as a
+//     per-invocation argument descriptor (CallFD) and is revoked when the
+//     invocation completes.
+//   - "sign", "auth_password", "auth_pubkey", "auth_skey": the Figure 6
+//     callgates, recycled. They hold exactly the memory their one-shot
+//     counterparts hold (host-key tag for sign, nothing but the slot's
+//     argument tag for the auth gates) and run with the creator's disk
+//     credentials, as §3.3 requires.
+//
+// Per-connection state that the one-shot build kept in per-connection Go
+// closures — the pubkey nonce, the pending S/Key user, and the worker
+// handle the auth gates promote — moves into a per-invocation connection
+// record, demultiplexed by the conn id in the slot's argument block and
+// pinned to the slot (state.lease.Arg must equal the gate's argument
+// base), so nothing carries over between principals on a reused slot.
+// Successful authentication promotes the slot's recycled worker exactly
+// as Figure 6 promotes a fresh one; the server demotes it back to
+// WorkerUID//var/empty before the slot can be released, so a recycled
+// worker never starts a connection with a previous principal's identity.
+
+package sshd
+
+import (
+	"fmt"
+	"wedge/internal/gatepool"
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/tags"
+	"wedge/internal/vm"
+)
+
+// PooledWedge serves SSH connections with zero sthread creations.
+type PooledWedge struct {
+	Stats WedgeStats
+
+	root *sthread.Sthread
+	cfg  ServerConfig
+
+	hostTag  tags.Tag
+	hostAddr vm.Addr
+	pubTag   tags.Tag
+	pubAddr  vm.Addr
+	optTag   tags.Tag
+	optAddr  vm.Addr
+
+	pool  *gatepool.Pool
+	hooks WedgeHooks
+
+	conns gatepool.ConnTable[*sshPoolConn]
+}
+
+// sshPoolConn is one connection's gate-side state: what the one-shot
+// build captured in per-connection closures.
+type sshPoolConn struct {
+	lease  *gatepool.Lease
+	fd     int
+	worker *sthread.Sthread // the slot's recycled worker, for promotion
+
+	nonce       []byte
+	pendingSKey string
+}
+
+// NewPooledWedge builds the pooled server with the given number of slots
+// (httpd.DefaultPoolSlots-style sizing is the caller's choice; slots <= 0
+// means one slot per host core pair is NOT assumed here — gatepool's
+// default of 1 applies). SetupUsers must have provisioned /var/empty.
+func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks WedgeHooks) (*PooledWedge, error) {
+	w := &PooledWedge{root: root, cfg: cfg, hooks: hooks}
+	var err error
+	if w.hostTag, w.hostAddr, err = placeSSHBlob(root, minissl.MarshalPrivateKey(cfg.HostKey)); err != nil {
+		return nil, err
+	}
+	if w.pubTag, w.pubAddr, err = placeSSHBlob(root, minissl.MarshalPublicKey(&cfg.HostKey.PublicKey)); err != nil {
+		releaseTags(root, w.hostTag)
+		return nil, err
+	}
+	if w.optTag, w.optAddr, err = placeSSHBlob(root, []byte(cfg.Options)); err != nil {
+		releaseTags(root, w.hostTag, w.pubTag)
+		return nil, err
+	}
+	stats := &w.Stats
+	w.pool, err = gatepool.New(root, gatepool.Config{
+		Name:    "sshd",
+		Slots:   slots,
+		ArgSize: sshArgSize,
+		Gates: []gatepool.GateDef{
+			{
+				Name: "worker",
+				SC: policy.New().
+					MustMemAdd(w.pubTag, vm.PermRead).
+					MustMemAdd(w.optTag, vm.PermRead).
+					SetUID(WorkerUID).
+					SetRoot("/var/empty"),
+				Entry: w.workerEntry,
+			},
+			{
+				Name:    "sign",
+				SC:      policy.New().MustMemAdd(w.hostTag, vm.PermRead),
+				Entry:   signGateEntry,
+				Trusted: w.hostAddr,
+			},
+			{
+				Name: "auth_password",
+				Entry: func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+					st := w.stateFor(g, arg)
+					if st == nil {
+						return 0
+					}
+					return passwordAuth(g, arg, func() *sthread.Sthread { return st.worker }, stats)
+				},
+			},
+			{
+				Name: "auth_pubkey",
+				Entry: func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+					st := w.stateFor(g, arg)
+					if st == nil {
+						return 0
+					}
+					return pubkeyAuth(g, arg, func() *sthread.Sthread { return st.worker }, &st.nonce, stats)
+				},
+			},
+			{
+				Name: "auth_skey",
+				Entry: func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+					st := w.stateFor(g, arg)
+					if st == nil {
+						return 0
+					}
+					return skeyAuth(g, arg, func() *sthread.Sthread { return st.worker }, &st.pendingSKey, stats)
+				},
+			},
+		},
+	})
+	if err != nil {
+		// A failed pool build (e.g. /var/empty not provisioned, so the
+		// confined worker cannot be created) must not strand the blob
+		// tags.
+		releaseTags(root, w.hostTag, w.pubTag, w.optTag)
+		return nil, err
+	}
+	return w, nil
+}
+
+// Close drains the pool and retires every slot.
+func (w *PooledWedge) Close() error { return w.pool.Close() }
+
+// Resize grows or shrinks the slot pool (see gatepool.Pool.Resize).
+// Freshly grown slots get their own confined recycled workers.
+func (w *PooledWedge) Resize(slots int) error { return w.pool.Resize(slots) }
+
+// PoolStats snapshots the scheduler counters.
+func (w *PooledWedge) PoolStats() gatepool.Stats { return w.pool.Stats() }
+
+// stateFor demultiplexes gate-side connection state by the conn id in
+// the argument block, applying the slot pin gatepool.ConnTable requires:
+// the state must anchor at exactly this invocation's argument block, so
+// a forged id cannot reach another slot's connection.
+func (w *PooledWedge) stateFor(g *sthread.Sthread, arg vm.Addr) *sshPoolConn {
+	st, ok := w.conns.Get(g.Load64(arg + sshArgConnID))
+	if !ok || st.lease.Arg != arg {
+		return nil
+	}
+	return st
+}
+
+// ServeConn handles one connection, sharding by the peer's network
+// address. It blocks while every slot is leased — the pool's admission
+// control.
+func (w *PooledWedge) ServeConn(conn *netsim.Conn) error {
+	return w.ServeConnAs(conn, conn.RemoteAddr())
+}
+
+// ServeConnAs is ServeConn with an explicit principal.
+func (w *PooledWedge) ServeConnAs(conn *netsim.Conn, principal string) error {
+	root := w.root
+	fd := root.Task.InstallFD(conn, kernel.FDRW)
+	defer root.Task.CloseFD(fd)
+
+	lease, err := w.pool.Acquire(principal)
+	if err != nil {
+		return fmt.Errorf("sshd pooled: acquire: %w", err)
+	}
+	defer lease.Release()
+
+	st := &sshPoolConn{lease: lease, fd: fd, worker: lease.Gate("worker").Sthread()}
+	// Demote runs before Release (deferred later, so it unwinds first):
+	// whatever this connection's authentication did to the recycled
+	// worker's identity is undone before another principal can lease the
+	// slot — and before the next connection of the *same* principal, too:
+	// an authenticated uid is per-connection state, not slot affinity.
+	defer w.demote(st.worker)
+
+	connID := w.conns.Put(st)
+	defer w.conns.Delete(connID)
+
+	root.Store64(lease.Arg+sshArgConnID, connID)
+	root.Store64(lease.Arg+sshArgPoolFD, uint64(fd))
+
+	// One recycled-worker invocation serves the whole connection; no
+	// sthread is created on this path.
+	_, err = lease.CallFD("worker", root, lease.Arg, fd, kernel.FDRW)
+	if err != nil {
+		return fmt.Errorf("sshd pooled: worker: %w", err)
+	}
+	return nil
+}
+
+// demote strips any promotion the auth gates performed on the slot's
+// recycled worker, restoring the confined identity it was created with.
+func (w *PooledWedge) demote(worker *sthread.Sthread) {
+	w.root.Task.ChrootOn(worker.Task, "/var/empty")
+	w.root.Task.SetUIDOn(worker.Task, WorkerUID)
+}
+
+// workerEntry is the per-slot recycled worker: one invocation per
+// connection, running with the slot's argument tag, the public key and
+// options, and the per-invocation connection descriptor — nothing else.
+func (w *PooledWedge) workerEntry(s *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+	st := w.stateFor(s, arg)
+	if st == nil {
+		return 0
+	}
+	fd := int(s.Load64(arg + sshArgPoolFD))
+	if st.fd != fd {
+		return 0
+	}
+	if w.hooks.Worker != nil {
+		w.hooks.Worker(s, &WedgeConnContext{
+			FD:          fd,
+			HostKeyAddr: w.hostAddr,
+			ArgAddr:     arg,
+		})
+	}
+	lease := st.lease
+	viaPool := func(name string) authCall {
+		return func(s *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
+			return lease.Call(name, s, arg)
+		}
+	}
+	return sshWorkerBody(s, fd, arg, &st.nonce, w.pubAddr, &w.Stats,
+		viaPool("sign"), viaPool("auth_password"), viaPool("auth_pubkey"), viaPool("auth_skey"))
+}

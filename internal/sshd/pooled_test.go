@@ -1,0 +1,305 @@
+package sshd
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// runPooled boots a system with a PooledWedge of the given slot count,
+// serves nConns connections concurrently, and hands the test a dial
+// helper plus the live server (for Resize and stats). The server is
+// resolved via a channel so the driver runs while the accept loop does.
+func runPooled(t *testing.T, slots, nConns int, hooks WedgeHooks,
+	drive func(dial func() *Client, srv *PooledWedge, app *sthread.App)) {
+	t.Helper()
+	k := kernel.New()
+	if err := SetupUsers(k, testUsers(t)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServerConfig{HostKey: testHostKey(t), Options: "PasswordAuthentication yes"}
+	app := sthread.Boot(k)
+
+	ready := make(chan *PooledWedge, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := NewPooledWedge(root, cfg, slots, hooks)
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			defer srv.Close()
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			ready <- srv
+			var wg sync.WaitGroup
+			for i := 0; i < nConns; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					srv.ServeConn(c)
+				}()
+			}
+			wg.Wait()
+		})
+	}()
+	srv := <-ready
+	if srv == nil {
+		t.FailNow()
+	}
+
+	dial := func() *Client {
+		conn, err := k.Net.Dial("sshd:22")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewClient(conn, &testHostKey(t).PublicKey)
+		if err != nil {
+			t.Fatalf("client setup: %v", err)
+		}
+		return c
+	}
+	drive(dial, srv, app)
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestPooledWedgeAllAuthMethods: the pooled build serves every Figure 6
+// authentication method — password (with scp afterwards), public key, and
+// S/Key — with zero sthread creations on the serving path.
+func TestPooledWedgeAllAuthMethods(t *testing.T) {
+	runPooled(t, 2, 3, WedgeHooks{}, func(dial func() *Client, srv *PooledWedge, app *sthread.App) {
+		created := app.Stats.SthreadsCreated.Load()
+
+		c := dial()
+		if err := c.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("password login: %v", err)
+		}
+		if c.UID != 1000 {
+			t.Fatalf("uid = %d, want 1000", c.UID)
+		}
+		if err := c.ScpPut("notes.txt", []byte("pooled scp")); err != nil {
+			t.Fatalf("scp: %v", err)
+		}
+		c.Exit()
+
+		c2 := dial()
+		if err := c2.AuthPubkey("alice", testUserKey(t)); err != nil {
+			t.Fatalf("pubkey login: %v", err)
+		}
+		c2.Exit()
+
+		c3 := dial()
+		if err := c3.AuthSKey("alice", testSeed); err != nil {
+			t.Fatalf("skey login: %v", err)
+		}
+		c3.Exit()
+
+		if got := app.Stats.SthreadsCreated.Load() - created; got != 0 {
+			t.Fatalf("%d sthreads created on the pooled serving path, want 0", got)
+		}
+		if got := srv.Stats.Logins.Load(); got != 3 {
+			t.Fatalf("logins = %d, want 3", got)
+		}
+	})
+}
+
+// TestPooledWedgeWrongPassword: a failed attempt stays failed and the
+// session can retry, as in the one-shot build.
+func TestPooledWedgeWrongPassword(t *testing.T) {
+	runPooled(t, 1, 1, WedgeHooks{}, func(dial func() *Client, srv *PooledWedge, app *sthread.App) {
+		c := dial()
+		if err := c.AuthPassword("alice", "wrong"); err == nil {
+			t.Fatal("wrong password accepted")
+		}
+		if err := c.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("retry: %v", err)
+		}
+		c.Exit()
+	})
+}
+
+// TestPooledWedgeResidue: principal A's password bytes land in the slot's
+// argument block (user\x00pass at sshArgStr); when the slot passes to
+// principal B — dialing from a different network address — the pool must
+// have scrubbed them. Runs the B-side probe both on the original slot and
+// on a slot leased after a Resize, since a resize must not skip the
+// scrub barrier either.
+func TestPooledWedgeResidue(t *testing.T) {
+	var mu sync.Mutex
+	var probes [][]byte
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		// Runs at the top of each worker invocation, before this
+		// connection writes anything beyond the conn id and fd: whatever
+		// sits at sshArgStr is residue (or the scrub's zeroes).
+		buf := make([]byte, 64)
+		s.Read(ctx.ArgAddr+sshArgStr, buf)
+		mu.Lock()
+		probes = append(probes, buf)
+		mu.Unlock()
+	}}
+	runPooled(t, 1, 4, hooks, func(dial func() *Client, srv *PooledWedge, app *sthread.App) {
+		// Principal A authenticates: the secret password crosses the block.
+		a := dial()
+		if err := a.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("A login: %v", err)
+		}
+		a.Exit()
+
+		// Principal B (different remote address) reuses the only slot.
+		b := dial()
+		b.Exit()
+
+		// Grow the pool, then two more principals; every lease — old slot
+		// or fresh — must still see a clean block.
+		if err := srv.Resize(2); err != nil {
+			t.Fatalf("resize: %v", err)
+		}
+		for i := 0; i < 2; i++ {
+			c := dial()
+			c.Exit()
+		}
+
+		mu.Lock()
+		defer mu.Unlock()
+		if len(probes) != 4 {
+			t.Fatalf("probes = %d, want 4", len(probes))
+		}
+		for i, p := range probes[1:] {
+			if strings.Contains(string(p), "sesame") {
+				t.Fatalf("probe %d read principal A's password from the reused slot", i+1)
+			}
+			for j, bb := range p {
+				if bb != 0 {
+					t.Fatalf("probe %d: argument block not scrubbed at +%d (%#x)", i+1, j, bb)
+				}
+			}
+		}
+	})
+}
+
+// TestPooledWedgeDemotesWorkerBetweenConnections: authentication promotes
+// the slot's recycled worker to the user's uid and home root; the next
+// connection on that slot must start back at WorkerUID with the empty
+// chroot, whoever it is — a recycled worker must never inherit a previous
+// principal's login.
+func TestPooledWedgeDemotesWorkerBetweenConnections(t *testing.T) {
+	var mu sync.Mutex
+	var uids []int
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		mu.Lock()
+		uids = append(uids, s.Task.UID)
+		mu.Unlock()
+	}}
+	runPooled(t, 1, 2, hooks, func(dial func() *Client, srv *PooledWedge, app *sthread.App) {
+		a := dial()
+		if err := a.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("A login: %v", err)
+		}
+		// A is now logged in: an scp write lands in alice's home.
+		if err := a.ScpPut("a.txt", []byte("A")); err != nil {
+			t.Fatalf("A scp: %v", err)
+		}
+		a.Exit()
+
+		// B's connection reuses the slot; its worker must be confined.
+		b := dial()
+		b.Exit()
+
+		mu.Lock()
+		defer mu.Unlock()
+		if len(uids) != 2 {
+			t.Fatalf("uids = %v, want 2 entries", uids)
+		}
+		for i, uid := range uids {
+			if uid != WorkerUID {
+				t.Fatalf("connection %d started with uid %d, want %d", i, uid, WorkerUID)
+			}
+		}
+	})
+}
+
+// TestPooledWedgeWorkerCannotReachHostKey: the recycled worker's policy
+// is as tight as the one-shot worker's — the host key tag is not granted,
+// so an exploited worker reading the host key faults (and the connection
+// fails cleanly rather than leaking the key).
+func TestPooledWedgeWorkerCannotReachHostKey(t *testing.T) {
+	var mu sync.Mutex
+	var readErr error
+	probed := false
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		mu.Lock()
+		defer mu.Unlock()
+		if probed {
+			return
+		}
+		probed = true
+		buf := make([]byte, 8)
+		readErr = s.TryRead(ctx.HostKeyAddr, buf)
+	}}
+	runPooled(t, 1, 2, hooks, func(dial func() *Client, srv *PooledWedge, app *sthread.App) {
+		c := dial()
+		if err := c.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("login after probe: %v", err)
+		}
+		c.Exit()
+		// Second connection proves the slot still serves.
+		c2 := dial()
+		c2.Exit()
+		mu.Lock()
+		defer mu.Unlock()
+		var f *vm.Fault
+		if readErr == nil {
+			t.Fatal("worker read the host key")
+		} else if !errors.As(readErr, &f) {
+			t.Fatalf("host-key probe failed with %v, want a protection fault", readErr)
+		}
+	})
+}
+
+// TestPooledWedgeConcurrent: several principals at once across a small
+// pool — admission control blocks the excess, everyone logs in.
+func TestPooledWedgeConcurrent(t *testing.T) {
+	const conns = 6
+	runPooled(t, 2, conns, WedgeHooks{}, func(dial func() *Client, srv *PooledWedge, app *sthread.App) {
+		var wg sync.WaitGroup
+		errs := make(chan error, conns)
+		for i := 0; i < conns; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := dial()
+				if err := c.AuthPassword("alice", "sesame"); err != nil {
+					errs <- err
+					return
+				}
+				c.Exit()
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Error(err)
+		}
+		if got := srv.Stats.Logins.Load(); got != conns {
+			t.Fatalf("logins = %d, want %d", got, conns)
+		}
+	})
+}

@@ -19,6 +19,11 @@
 // returns a dummy passwd structure for unknown usernames (no probe
 // oracle), and PAM-style scratch allocations happen inside the callgate's
 // private memory, which evaporates with the gate (no fork inheritance).
+//
+// The gate bodies and the worker protocol live in package-level functions
+// shared with the pooled variant (pooled.go), which replaces the
+// per-connection worker sthread and per-connection gate instantiations
+// with a gatepool of long-lived recycled equivalents.
 
 package sshd
 
@@ -40,7 +45,8 @@ import (
 // WorkerUID is the unprivileged uid workers start as.
 const WorkerUID = 99
 
-// Argument-buffer offsets for the auth gates (in the per-connection tag).
+// Argument-buffer offsets for the auth gates (in the per-connection tag,
+// or the slot's argument tag in the pooled variant).
 const (
 	sshArgOp      = 0 // 1=password 2=pubkey 3=skey-chal 4=skey-verify 5=sign
 	sshArgStrLen  = 8
@@ -52,6 +58,8 @@ const (
 	sshArgPwHome  = 816 // NUL-terminated, <= 64 bytes
 	sshArgAuthOK  = 896 // gate output: authentication verdict
 	sshArgChalN   = 904 // gate output: S/Key challenge
+	sshArgConnID  = 912 // pooled variant: session demultiplexer
+	sshArgPoolFD  = 920 // pooled variant: this connection's descriptor number
 	sshArgSize    = 1024
 
 	sshOpPassword   = 1
@@ -80,7 +88,7 @@ type WedgeConnContext struct {
 	FD          int
 	HostKeyAddr vm.Addr // tagged; not granted to the worker
 	ArgAddr     vm.Addr
-	Gates       map[string]*policy.GateSpec
+	Gates       map[string]*policy.GateSpec // nil in the pooled variant
 }
 
 // Wedge is the Figure 6 server.
@@ -100,31 +108,48 @@ type Wedge struct {
 	hooks WedgeHooks
 }
 
+// placeSSHBlob lands a length-prefixed blob in a fresh tag. On failure
+// no tag is left behind.
+func placeSSHBlob(root *sthread.Sthread, blob []byte) (tags.Tag, vm.Addr, error) {
+	tag, err := root.App().Tags.TagNew(root.Task)
+	if err != nil {
+		return 0, 0, err
+	}
+	addr, err := root.Smalloc(tag, 8+len(blob))
+	if err != nil {
+		root.App().Tags.TagDelete(tag)
+		return 0, 0, err
+	}
+	root.Store64(addr, uint64(len(blob)))
+	root.Write(addr+8, blob)
+	return tag, addr, nil
+}
+
+// releaseTags retires the tags a failed server constructor had already
+// provisioned, so a caller that retries after a transient failure does
+// not accumulate stranded tags.
+func releaseTags(root *sthread.Sthread, ts ...tags.Tag) {
+	for _, t := range ts {
+		if t != tags.NoTag {
+			root.App().Tags.TagDelete(t)
+		}
+	}
+}
+
 // NewWedge builds the partitioned server: host key, public key, and
 // options each land in their own tag.
 func NewWedge(root *sthread.Sthread, cfg ServerConfig, hooks WedgeHooks) (*Wedge, error) {
 	w := &Wedge{root: root, cfg: cfg, hooks: hooks}
-	place := func(blob []byte) (tags.Tag, vm.Addr, error) {
-		tag, err := root.App().Tags.TagNew(root.Task)
-		if err != nil {
-			return 0, 0, err
-		}
-		addr, err := root.Smalloc(tag, 8+len(blob))
-		if err != nil {
-			return 0, 0, err
-		}
-		root.Store64(addr, uint64(len(blob)))
-		root.Write(addr+8, blob)
-		return tag, addr, nil
-	}
 	var err error
-	if w.hostTag, w.hostAddr, err = place(minissl.MarshalPrivateKey(cfg.HostKey)); err != nil {
+	if w.hostTag, w.hostAddr, err = placeSSHBlob(root, minissl.MarshalPrivateKey(cfg.HostKey)); err != nil {
 		return nil, err
 	}
-	if w.pubTag, w.pubAddr, err = place(minissl.MarshalPublicKey(&cfg.HostKey.PublicKey)); err != nil {
+	if w.pubTag, w.pubAddr, err = placeSSHBlob(root, minissl.MarshalPublicKey(&cfg.HostKey.PublicKey)); err != nil {
+		releaseTags(root, w.hostTag)
 		return nil, err
 	}
-	if w.optTag, w.optAddr, err = place([]byte(cfg.Options)); err != nil {
+	if w.optTag, w.optAddr, err = placeSSHBlob(root, []byte(cfg.Options)); err != nil {
+		releaseTags(root, w.hostTag, w.pubTag)
 		return nil, err
 	}
 	return w, nil
@@ -137,9 +162,10 @@ func loadBlob(s *sthread.Sthread, addr vm.Addr) []byte {
 	return out
 }
 
-// signGate signs sha256(data) with the host key. The hash is computed by
-// the gate over the caller-supplied bytes; only the hash is signed.
-func (w *Wedge) signGate(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+// signGateEntry signs sha256(data) with the host key. The hash is
+// computed by the gate over the caller-supplied bytes; only the hash is
+// signed. Stateless, so the one-shot and pooled variants share it as-is.
+func signGateEntry(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
 	priv, err := minissl.UnmarshalPrivateKey(loadBlob(g, trusted))
 	if err != nil {
 		return 0
@@ -154,9 +180,29 @@ func (w *Wedge) signGate(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
 	if err != nil {
 		return 0
 	}
+	// Bound the write to the signature area (the worker rejects >256
+	// bytes anyway): an oversized host key must not let the gate scribble
+	// over the passwd/verdict words — or, in the pooled build, the
+	// conn-id demux words at sshArgConnID.
+	if len(sig) > 256 {
+		return 0
+	}
 	g.Store64(arg+sshArgSigLen, uint64(len(sig)))
 	g.Write(arg+sshArgSig, sig)
 	return 1
+}
+
+// writePwHome stores the home path into the passwd area of the argument
+// block, truncated to its documented 64-byte field (63 chars + NUL). The
+// write is informational for the worker; promotion always uses the full
+// path. Without the bound, a long provisioned home path would run past
+// sshArgAuthOK — and, in the pooled build, clobber the conn-id demux
+// words at sshArgConnID, wedging the rest of the session.
+func writePwHome(g *sthread.Sthread, arg vm.Addr, home string) {
+	if len(home) > 63 {
+		home = home[:63]
+	}
+	g.WriteString(arg+sshArgPwHome, home)
 }
 
 // promote changes the worker's uid and filesystem root from inside a gate
@@ -172,175 +218,167 @@ func promote(g *sthread.Sthread, worker *sthread.Sthread, uid int, home string) 
 	return true
 }
 
-// passwordGate authenticates a username/password pair against /etc/shadow
-// (read with the gate's disk credentials) and, on success, promotes the
-// worker. For unknown usernames it fabricates a dummy passwd structure so
-// the worker-visible reply shape is identical (§5.2's first lesson).
-func (w *Wedge) passwordGate(worker func() *sthread.Sthread) sthread.GateFunc {
-	stats := &w.Stats
-	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-		n := g.Load64(arg + sshArgStrLen)
-		if n == 0 || n > 512 {
-			return 0
-		}
-		buf := make([]byte, n)
-		g.Read(arg+sshArgStr, buf)
-		user, pass, ok := strings.Cut(string(buf), "\x00")
-		if !ok {
-			return 0
-		}
-		entries, err := readShadow(g)
-		if err != nil {
-			return 0
-		}
-		entry, found := LookupShadow(entries, user)
-		if !found {
-			// Dummy passwd: same shape, nothing learnable.
-			g.Store64(arg+sshArgPwFound, 1)
-			g.Store64(arg+sshArgPwUID, uint64(WorkerUID))
-			g.WriteString(arg+sshArgPwHome, "/nonexistent")
-			g.Store64(arg+sshArgAuthOK, 0)
-			return 1
-		}
-		g.Store64(arg+sshArgPwFound, 1)
-		g.Store64(arg+sshArgPwUID, uint64(entry.UID))
-		g.WriteString(arg+sshArgPwHome, entry.Home)
-
-		// The PAM-style scratch lives in the gate's private heap and
-		// dies with the gate: the §5.2 second lesson.
-		passOK, _, _ := pamCheck(g, entry, pass)
-		if passOK && promote(g, worker(), entry.UID, entry.Home) {
-			g.Store64(arg+sshArgAuthOK, 1)
-			stats.Logins.Add(1)
-		} else {
-			g.Store64(arg+sshArgAuthOK, 0)
-			stats.Fails.Add(1)
-		}
-		return 1
-	}
-}
-
-// pubkeyGate verifies a signature over the session nonce against the
-// user's authorized key and promotes on success.
-func (w *Wedge) pubkeyGate(worker func() *sthread.Sthread, nonce *[]byte) sthread.GateFunc {
-	stats := &w.Stats
-	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-		n := g.Load64(arg + sshArgStrLen)
-		if n == 0 || n > 512 {
-			return 0
-		}
-		buf := make([]byte, n)
-		g.Read(arg+sshArgStr, buf)
-		user, sig, ok := strings.Cut(string(buf), "\x00")
-		if !ok {
-			return 0
-		}
-		g.Store64(arg+sshArgAuthOK, 0)
-		entries, err := readShadow(g)
-		if err != nil {
-			return 1
-		}
-		entry, found := LookupShadow(entries, user)
-		if !found {
-			stats.Fails.Add(1)
-			return 1
-		}
-		keyData, err := g.Task.Kernel().FS.ReadFile(g.Task.Cred(), g.Task.Root,
-			entry.Home+"/.ssh/authorized_keys")
-		if err != nil {
-			stats.Fails.Add(1)
-			return 1
-		}
-		pub, err := minissl.UnmarshalPublicKey(keyData)
-		if err != nil {
-			stats.Fails.Add(1)
-			return 1
-		}
-		if VerifyHash(pub, append([]byte("pubkey:"+user+":"), *nonce...), []byte(sig)) != nil {
-			stats.Fails.Add(1)
-			return 1
-		}
-		if promote(g, worker(), entry.UID, entry.Home) {
-			g.Store64(arg+sshArgAuthOK, 1)
-			stats.Logins.Add(1)
-		}
-		return 1
-	}
-}
-
-// skeyGate serves S/Key challenges and verifications. Unknown usernames
-// receive a deterministic dummy challenge rather than an error — fixing
-// the information leak of [14] with the same mechanism as the password
-// gate's dummy passwd.
-func (w *Wedge) skeyGate(worker func() *sthread.Sthread, pending *string) sthread.GateFunc {
-	stats := &w.Stats
-	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-		switch g.Load64(arg + sshArgOp) {
-		case sshOpSKeyChal:
-			n := g.Load64(arg + sshArgStrLen)
-			if n == 0 || n > 128 {
-				return 0
-			}
-			buf := make([]byte, n)
-			g.Read(arg+sshArgStr, buf)
-			user := string(buf)
-			db, err := readSKeyDB(g)
-			if err != nil {
-				return 0
-			}
-			for i := range db {
-				if db[i].Name == user {
-					*pending = user
-					g.Store64(arg+sshArgChalN, uint64(db[i].N))
-					return 1
-				}
-			}
-			// Dummy challenge: plausible chain position derived from the
-			// username so repeated probes are consistent.
-			*pending = ""
-			g.Store64(arg+sshArgChalN, uint64(50+len(user)%50))
-			return 1
-
-		case sshOpSKeyVerify:
-			g.Store64(arg+sshArgAuthOK, 0)
-			user := *pending
-			if user == "" {
-				stats.Fails.Add(1)
-				return 1 // dummy-challenged: always fails, same shape
-			}
-			n := g.Load64(arg + sshArgStrLen)
-			if n == 0 || n > 128 {
-				return 0
-			}
-			resp := make([]byte, n)
-			g.Read(arg+sshArgStr, resp)
-			db, err := readSKeyDB(g)
-			if err != nil {
-				return 1
-			}
-			for i := range db {
-				if db[i].Name == user {
-					if VerifySKey(&db[i], resp) {
-						writeSKeyDB(g, db)
-						entries, _ := readShadow(g)
-						if entry, found := LookupShadow(entries, user); found &&
-							promote(g, worker(), entry.UID, entry.Home) {
-							g.Store64(arg+sshArgPwUID, uint64(entry.UID))
-							g.WriteString(arg+sshArgPwHome, entry.Home)
-							g.Store64(arg+sshArgAuthOK, 1)
-							stats.Logins.Add(1)
-							return 1
-						}
-					}
-					stats.Fails.Add(1)
-					return 1
-				}
-			}
-			stats.Fails.Add(1)
-			return 1
-		}
+// passwordAuth is the password gate's body: authenticate a
+// username/password pair against /etc/shadow (read with the gate's disk
+// credentials) and, on success, promote the worker. For unknown usernames
+// it fabricates a dummy passwd structure so the worker-visible reply
+// shape is identical (§5.2's first lesson).
+func passwordAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, stats *WedgeStats) vm.Addr {
+	n := g.Load64(arg + sshArgStrLen)
+	if n == 0 || n > 512 {
 		return 0
 	}
+	buf := make([]byte, n)
+	g.Read(arg+sshArgStr, buf)
+	user, pass, ok := strings.Cut(string(buf), "\x00")
+	if !ok {
+		return 0
+	}
+	entries, err := readShadow(g)
+	if err != nil {
+		return 0
+	}
+	entry, found := LookupShadow(entries, user)
+	if !found {
+		// Dummy passwd: same shape, nothing learnable.
+		g.Store64(arg+sshArgPwFound, 1)
+		g.Store64(arg+sshArgPwUID, uint64(WorkerUID))
+		writePwHome(g, arg, "/nonexistent")
+		g.Store64(arg+sshArgAuthOK, 0)
+		return 1
+	}
+	g.Store64(arg+sshArgPwFound, 1)
+	g.Store64(arg+sshArgPwUID, uint64(entry.UID))
+	writePwHome(g, arg, entry.Home)
+
+	// The PAM-style scratch lives in the gate's private heap and
+	// dies with the gate: the §5.2 second lesson.
+	passOK, _, _ := pamCheck(g, entry, pass)
+	if passOK && promote(g, worker(), entry.UID, entry.Home) {
+		g.Store64(arg+sshArgAuthOK, 1)
+		stats.Logins.Add(1)
+	} else {
+		g.Store64(arg+sshArgAuthOK, 0)
+		stats.Fails.Add(1)
+	}
+	return 1
+}
+
+// pubkeyAuth is the public-key gate's body: verify a signature over the
+// session nonce against the user's authorized key and promote on success.
+func pubkeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, nonce *[]byte, stats *WedgeStats) vm.Addr {
+	n := g.Load64(arg + sshArgStrLen)
+	if n == 0 || n > 512 {
+		return 0
+	}
+	buf := make([]byte, n)
+	g.Read(arg+sshArgStr, buf)
+	user, sig, ok := strings.Cut(string(buf), "\x00")
+	if !ok {
+		return 0
+	}
+	g.Store64(arg+sshArgAuthOK, 0)
+	entries, err := readShadow(g)
+	if err != nil {
+		return 1
+	}
+	entry, found := LookupShadow(entries, user)
+	if !found {
+		stats.Fails.Add(1)
+		return 1
+	}
+	keyData, err := g.Task.Kernel().FS.ReadFile(g.Task.Cred(), g.Task.Root,
+		entry.Home+"/.ssh/authorized_keys")
+	if err != nil {
+		stats.Fails.Add(1)
+		return 1
+	}
+	pub, err := minissl.UnmarshalPublicKey(keyData)
+	if err != nil {
+		stats.Fails.Add(1)
+		return 1
+	}
+	if VerifyHash(pub, append([]byte("pubkey:"+user+":"), *nonce...), []byte(sig)) != nil {
+		stats.Fails.Add(1)
+		return 1
+	}
+	if promote(g, worker(), entry.UID, entry.Home) {
+		g.Store64(arg+sshArgAuthOK, 1)
+		stats.Logins.Add(1)
+	}
+	return 1
+}
+
+// skeyAuth is the S/Key gate's body: serve challenges and verifications.
+// Unknown usernames receive a deterministic dummy challenge rather than
+// an error — fixing the information leak of [14] with the same mechanism
+// as the password gate's dummy passwd.
+func skeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, pending *string, stats *WedgeStats) vm.Addr {
+	switch g.Load64(arg + sshArgOp) {
+	case sshOpSKeyChal:
+		n := g.Load64(arg + sshArgStrLen)
+		if n == 0 || n > 128 {
+			return 0
+		}
+		buf := make([]byte, n)
+		g.Read(arg+sshArgStr, buf)
+		user := string(buf)
+		db, err := readSKeyDB(g)
+		if err != nil {
+			return 0
+		}
+		for i := range db {
+			if db[i].Name == user {
+				*pending = user
+				g.Store64(arg+sshArgChalN, uint64(db[i].N))
+				return 1
+			}
+		}
+		// Dummy challenge: plausible chain position derived from the
+		// username so repeated probes are consistent.
+		*pending = ""
+		g.Store64(arg+sshArgChalN, uint64(50+len(user)%50))
+		return 1
+
+	case sshOpSKeyVerify:
+		g.Store64(arg+sshArgAuthOK, 0)
+		user := *pending
+		if user == "" {
+			stats.Fails.Add(1)
+			return 1 // dummy-challenged: always fails, same shape
+		}
+		n := g.Load64(arg + sshArgStrLen)
+		if n == 0 || n > 128 {
+			return 0
+		}
+		resp := make([]byte, n)
+		g.Read(arg+sshArgStr, resp)
+		db, err := readSKeyDB(g)
+		if err != nil {
+			return 1
+		}
+		for i := range db {
+			if db[i].Name == user {
+				if VerifySKey(&db[i], resp) {
+					writeSKeyDB(g, db)
+					entries, _ := readShadow(g)
+					if entry, found := LookupShadow(entries, user); found &&
+						promote(g, worker(), entry.UID, entry.Home) {
+						g.Store64(arg+sshArgPwUID, uint64(entry.UID))
+						writePwHome(g, arg, entry.Home)
+						g.Store64(arg+sshArgAuthOK, 1)
+						stats.Logins.Add(1)
+						return 1
+					}
+				}
+				stats.Fails.Add(1)
+				return 1
+			}
+		}
+		stats.Fails.Add(1)
+		return 1
+	}
+	return 0
 }
 
 // ServeConn spawns the per-connection worker (Figure 6) and blocks until
@@ -368,6 +406,7 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 	workerRef := sync.OnceValue(func() *sthread.Sthread { return <-workerCh })
 	var nonce []byte
 	var pendingSKey string
+	stats := &w.Stats
 
 	diskSC := func() *policy.SC { return policy.New().MustMemAdd(connTag, vm.PermRW) }
 	signSC := policy.New().
@@ -381,10 +420,16 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 		FDAdd(fd, kernel.FDRW).
 		SetUID(WorkerUID).
 		SetRoot("/var/empty")
-	workerSC.GateAdd(sthread.GateFunc(w.signGate), signSC, w.hostAddr, "sign")
-	workerSC.GateAdd(w.passwordGate(workerRef), diskSC(), 0, "auth_password")
-	workerSC.GateAdd(w.pubkeyGate(workerRef, &nonce), diskSC(), 0, "auth_pubkey")
-	workerSC.GateAdd(w.skeyGate(workerRef, &pendingSKey), diskSC(), 0, "auth_skey")
+	workerSC.GateAdd(sthread.GateFunc(signGateEntry), signSC, w.hostAddr, "sign")
+	workerSC.GateAdd(sthread.GateFunc(func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+		return passwordAuth(g, arg, workerRef, stats)
+	}), diskSC(), 0, "auth_password")
+	workerSC.GateAdd(sthread.GateFunc(func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+		return pubkeyAuth(g, arg, workerRef, &nonce, stats)
+	}), diskSC(), 0, "auth_pubkey")
+	workerSC.GateAdd(sthread.GateFunc(func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+		return skeyAuth(g, arg, workerRef, &pendingSKey, stats)
+	}), diskSC(), 0, "auth_skey")
 	signSpec := workerSC.Gates[0]
 	passSpec := workerSC.Gates[1]
 	pubSpec := workerSC.Gates[2]
@@ -404,7 +449,13 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 				},
 			})
 		}
-		return w.workerBody(s, fd, arg, &nonce, signSpec, passSpec, pubSpec, skeySpec)
+		viaGate := func(spec *policy.GateSpec) authCall {
+			return func(s *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
+				return s.CallGate(spec, nil, arg)
+			}
+		}
+		return sshWorkerBody(s, fd, arg, &nonce, w.pubAddr, stats,
+			viaGate(signSpec), viaGate(passSpec), viaGate(pubSpec), viaGate(skeySpec))
 	}, argBuf)
 	if err != nil {
 		return err
@@ -415,9 +466,15 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 	return fault
 }
 
-// workerBody is the unprivileged network-facing code of Figure 6.
-func (w *Wedge) workerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
-	signSpec, passSpec, pubSpec, skeySpec *policy.GateSpec) vm.Addr {
+// authCall invokes one of the worker's privileged entry points: a
+// one-shot callgate in the Figure 6 build, a pooled recycled gate in the
+// pooled build.
+type authCall func(s *sthread.Sthread, arg vm.Addr) (vm.Addr, error)
+
+// sshWorkerBody is the unprivileged network-facing code of Figure 6,
+// parameterized over how the privileged entry points are reached.
+func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
+	pubAddr vm.Addr, stats *WedgeStats, sign, pass, pub, skey authCall) vm.Addr {
 	stream := fdStream{s, fd}
 
 	// The banner and host public key come from memory the worker may
@@ -427,7 +484,7 @@ func (w *Wedge) workerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]
 	if err := WriteFrame(stream, MsgVersion, []byte(Version)); err != nil {
 		return 0
 	}
-	if err := WriteFrame(stream, MsgHostKey, loadBlob(s, w.pubAddr)); err != nil {
+	if err := WriteFrame(stream, MsgHostKey, loadBlob(s, pubAddr)); err != nil {
 		return 0
 	}
 	clientNonce, err := ExpectFrame(stream, MsgSignReq)
@@ -440,8 +497,8 @@ func (w *Wedge) workerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]
 	s.Store64(arg+sshArgOp, sshOpSign)
 	s.Store64(arg+sshArgStrLen, uint64(len(clientNonce)))
 	s.Write(arg+sshArgStr, clientNonce)
-	w.Stats.GateCalls.Add(1)
-	if ret, err := s.CallGate(signSpec, nil, arg); err != nil || ret != 1 {
+	stats.GateCalls.Add(1)
+	if ret, err := sign(s, arg); err != nil || ret != 1 {
 		return 0
 	}
 	sigLen := s.Load64(arg + sshArgSigLen)
@@ -468,8 +525,8 @@ func (w *Wedge) workerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]
 			s.Store64(arg+sshArgOp, sshOpPassword)
 			s.Store64(arg+sshArgStrLen, uint64(len(body)))
 			s.Write(arg+sshArgStr, body)
-			w.Stats.GateCalls.Add(1)
-			if ret, err := s.CallGate(passSpec, nil, arg); err != nil || ret != 1 {
+			stats.GateCalls.Add(1)
+			if ret, err := pass(s, arg); err != nil || ret != 1 {
 				return 0
 			}
 			if s.Load64(arg+sshArgAuthOK) == 1 {
@@ -484,8 +541,8 @@ func (w *Wedge) workerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]
 			s.Store64(arg+sshArgOp, sshOpPubkey)
 			s.Store64(arg+sshArgStrLen, uint64(len(body)))
 			s.Write(arg+sshArgStr, body)
-			w.Stats.GateCalls.Add(1)
-			if ret, err := s.CallGate(pubSpec, nil, arg); err != nil || ret != 1 {
+			stats.GateCalls.Add(1)
+			if ret, err := pub(s, arg); err != nil || ret != 1 {
 				return 0
 			}
 			if s.Load64(arg+sshArgAuthOK) == 1 {
@@ -500,8 +557,8 @@ func (w *Wedge) workerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]
 			s.Store64(arg+sshArgOp, sshOpSKeyChal)
 			s.Store64(arg+sshArgStrLen, uint64(len(body)))
 			s.Write(arg+sshArgStr, body)
-			w.Stats.GateCalls.Add(1)
-			if ret, err := s.CallGate(skeySpec, nil, arg); err != nil || ret != 1 {
+			stats.GateCalls.Add(1)
+			if ret, err := skey(s, arg); err != nil || ret != 1 {
 				return 0
 			}
 			n := s.Load64(arg + sshArgChalN)
@@ -514,8 +571,8 @@ func (w *Wedge) workerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]
 			s.Store64(arg+sshArgOp, sshOpSKeyVerify)
 			s.Store64(arg+sshArgStrLen, uint64(len(resp)))
 			s.Write(arg+sshArgStr, resp)
-			w.Stats.GateCalls.Add(1)
-			if ret, err := s.CallGate(skeySpec, nil, arg); err != nil || ret != 1 {
+			stats.GateCalls.Add(1)
+			if ret, err := skey(s, arg); err != nil || ret != 1 {
 				return 0
 			}
 			if s.Load64(arg+sshArgAuthOK) == 1 {

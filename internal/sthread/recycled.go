@@ -53,6 +53,13 @@ type Recycled struct {
 // NewRecycled creates a long-lived callgate sthread running with policy
 // gateSC (plus read-write access to an internal control tag), entered at
 // fn for every invocation with the kernel-held trusted argument.
+//
+// Unlike a one-shot gate — which always runs with its creator's uid and
+// filesystem root (§3.3) — a recycled gate honours gateSC.UID and
+// gateSC.Root when set: a long-lived gate standing in for a per-connection
+// worker (the pooled servers' recycled workers) must start each life
+// confined, not with root's ambient authority. Only a root creator may
+// confine this way, per the same Unix semantics as sthread creation.
 func (s *Sthread) NewRecycled(name string, gateSC *policy.SC, fn GateFunc, trusted vm.Addr) (*Recycled, error) {
 	if gateSC == nil {
 		gateSC = policy.New()
@@ -60,26 +67,48 @@ func (s *Sthread) NewRecycled(name string, gateSC *policy.SC, fn GateFunc, trust
 	if err := gateSC.CheckSubsetOf(s.SC); err != nil {
 		return nil, fmt.Errorf("recycled %q: %w", name, err)
 	}
+	if (gateSC.UID != policy.InheritUID || gateSC.Root != "") && s.Task.UID != 0 {
+		return nil, ErrUIDEscalate
+	}
 
-	// The control page: a dedicated tag so the grant is precise.
+	// The control page: a dedicated tag so the grant is precise. Every
+	// error path below retires it — a failed gate construction must not
+	// strand a tag (or, further down, a prepared-but-never-started task).
 	ctlTag, err := s.app.Tags.TagNew(s.Task)
 	if err != nil {
 		return nil, err
 	}
 	reg, err := s.app.Tags.Lookup(ctlTag)
 	if err != nil {
+		s.app.Tags.TagDelete(ctlTag)
 		return nil, err
 	}
 	ctl := reg.Base + vm.Addr(vm.PageSize) // skip the allocator header page
 
 	eff := gateSC.Clone()
 	if err := eff.MemAdd(ctlTag, vm.PermRW); err != nil {
+		s.app.Tags.TagDelete(ctlTag)
 		return nil, err
 	}
 
 	gate, err := s.prepareGate(name, eff, s)
 	if err != nil {
+		s.app.Tags.TagDelete(ctlTag)
 		return nil, err
+	}
+	if gateSC.Root != "" {
+		if err := s.Task.ChrootOn(gate.Task, gateSC.Root); err != nil {
+			gate.Task.Exit(-1)
+			s.app.Tags.TagDelete(ctlTag)
+			return nil, err
+		}
+	}
+	if gateSC.UID != policy.InheritUID {
+		if err := s.Task.SetUIDOn(gate.Task, gateSC.UID); err != nil {
+			gate.Task.Exit(-1)
+			s.app.Tags.TagDelete(ctlTag)
+			return nil, err
+		}
 	}
 
 	r := &Recycled{
@@ -132,6 +161,12 @@ func (r *Recycled) serve(g *Sthread, fn GateFunc, trusted vm.Addr) {
 		g.Task.FutexWake(r.ctl+rcDone, 1)
 	}
 }
+
+// Sthread returns the gate's long-lived sthread. Pool schedulers use it
+// to manage the compartment between invocations — the sshd pool demotes
+// a promoted worker's uid and filesystem root before the slot can serve
+// another principal.
+func (r *Recycled) Sthread() *Sthread { return r.gate }
 
 // Alive reports whether the gate sthread is still serving invocations. A
 // recycled gate dies when its entry point faults; pool schedulers probe

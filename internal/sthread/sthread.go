@@ -402,8 +402,12 @@ func (s *Sthread) prepare(name string, sc *policy.SC) (*Sthread, error) {
 	}
 
 	// Share exactly the granted descriptors, preserving their numbers.
+	// Error paths from here on reap the never-started task: it is already
+	// registered in the kernel's task table, and without an exit it would
+	// be a task (and address-space) leak per failed creation.
 	for fd, perm := range sc.FDs {
 		if err := s.Task.ShareFDTo(task, fd, perm); err != nil {
+			task.Exit(-1)
 			return nil, fmt.Errorf("sthread: granting fd %d: %w", fd, err)
 		}
 	}
@@ -412,11 +416,13 @@ func (s *Sthread) prepare(name string, sc *policy.SC) (*Sthread, error) {
 	task.Ctx = childCtx
 	if sc.Root != "" {
 		if err := s.Task.ChrootOn(task, sc.Root); err != nil {
+			task.Exit(-1)
 			return nil, err
 		}
 	}
 	if sc.UID != policy.InheritUID {
 		if err := s.Task.SetUIDOn(task, sc.UID); err != nil {
+			task.Exit(-1)
 			return nil, err
 		}
 	}
@@ -532,6 +538,7 @@ func (s *Sthread) prepareGate(name string, eff *policy.SC, caller *Sthread) (*St
 		if err := s.Task.ShareFDTo(task, fd, perm); err != nil {
 			// Argument descriptor: fall back to the caller's table.
 			if err := caller.Task.ShareFDTo(task, fd, perm); err != nil {
+				task.Exit(-1) // reap the never-started task
 				return nil, fmt.Errorf("sthread: gate fd %d: %w", fd, err)
 			}
 		}
@@ -550,6 +557,7 @@ func (s *Sthread) prepareGate(name string, eff *policy.SC, caller *Sthread) (*St
 	for _, spec := range eff.Gates {
 		entry, ok := spec.Entry.(GateFunc)
 		if !ok {
+			task.Exit(-1) // reap the never-started task
 			return nil, fmt.Errorf("%w: %q", ErrBadGate, spec.Name)
 		}
 		gateSC := spec.SC
@@ -787,8 +795,10 @@ func (s *Sthread) CreateEmulated(name string, sc *policy.SC, body Body, arg vm.A
 		if err != nil {
 			return nil, err
 		}
-		for pn := reg.Base.PageNum(); pn < (reg.End()-1).PageNum()+1; pn++ {
-			perms[pn] = perm
+		for _, seg := range reg.Segments() {
+			for pn := seg.Base.PageNum(); pn < (seg.End()-1).PageNum()+1; pn++ {
+				perms[pn] = perm
+			}
 		}
 	}
 

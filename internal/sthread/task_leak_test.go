@@ -1,0 +1,34 @@
+package sthread
+
+import (
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/vm"
+)
+
+// TestFailedCreateReapsTask: an sthread creation that fails after the
+// kernel task exists (here: the policy grants a descriptor the creator
+// does not hold) must reap that task. Before the fix, every failed
+// creation left a never-started task in the kernel task table — a leak a
+// server hits on each connection that races a closed descriptor.
+func TestFailedCreateReapsTask(t *testing.T) {
+	k := kernel.New()
+	app := Boot(k)
+	err := app.Main(func(root *Sthread) {
+		before := k.TaskCount()
+		sc := policy.New().FDAdd(999, kernel.FDRW) // fd 999 is not open
+		if _, err := root.Create(sc, func(s *Sthread, _ vm.Addr) vm.Addr {
+			return 0
+		}, 0); err == nil {
+			t.Error("Create with an unheld fd grant should fail")
+		}
+		if got := k.TaskCount(); got != before {
+			t.Errorf("task count %d after failed Create, want %d (leaked task)", got, before)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+package tags
+
+import (
+	"errors"
+	"testing"
+
+	"wedge/internal/vm"
+)
+
+// TestArenaGrowsPastFirstSegment: the fixed-arena bottleneck the recycled
+// servers hit — a single 64 KiB segment filling up — is gone: Smalloc
+// maps further segments instead of returning ErrNoMem, every block stays
+// reachable (writable, freeable, and attributed to the tag by TagOf),
+// and freed blocks in grown segments are reused.
+func TestArenaGrowsPastFirstSegment(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill well past several segments' worth.
+	const blockSize = 1024
+	blocks := 4 * DefaultRegionSize / blockSize
+	addrs := make([]vm.Addr, 0, blocks)
+	for i := 0; i < blocks; i++ {
+		a, err := r.Smalloc(task.AS, tag, blockSize)
+		if err != nil {
+			t.Fatalf("Smalloc #%d: %v (arena should have grown)", i, err)
+		}
+		if err := task.AS.Store64(a, uint64(i)); err != nil {
+			t.Fatalf("block %d not writable: %v", i, err)
+		}
+		addrs = append(addrs, a)
+	}
+	if r.Grows == 0 {
+		t.Fatal("no segment growth recorded")
+	}
+	reg, err := r.Lookup(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(reg.Segments()); n < 4 {
+		t.Fatalf("segments = %d, want >= 4", n)
+	}
+	for i, a := range addrs {
+		if got := r.TagOf(a); got != tag {
+			t.Fatalf("TagOf(%#x) = %d, want %d", uint64(a), got, tag)
+		}
+		v, err := task.AS.Load64(a)
+		if err != nil || v != uint64(i) {
+			t.Fatalf("block %d = %d, %v", i, v, err)
+		}
+	}
+
+	// Free everything; the next allocation must reuse a freed chunk in
+	// some segment rather than growing again.
+	for _, a := range addrs {
+		if err := r.Sfree(task.AS, a); err != nil {
+			t.Fatalf("Sfree(%#x): %v", uint64(a), err)
+		}
+	}
+	grows := r.Grows
+	if _, err := r.Smalloc(task.AS, tag, blockSize); err != nil {
+		t.Fatalf("Smalloc after frees: %v", err)
+	}
+	if r.Grows != grows {
+		t.Fatalf("allocation after frees grew the arena (%d -> %d grows)", grows, r.Grows)
+	}
+}
+
+// TestArenaLargeAllocation: a request bigger than one segment maps a
+// correspondingly larger segment rather than failing.
+func TestArenaLargeAllocation(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := 3 * DefaultRegionSize / 2
+	a, err := r.Smalloc(task.AS, tag, big)
+	if err != nil {
+		t.Fatalf("Smalloc(%d): %v", big, err)
+	}
+	buf := make([]byte, big)
+	if err := task.AS.Write(a, buf); err != nil {
+		t.Fatalf("large block not fully mapped: %v", err)
+	}
+	if err := r.Sfree(task.AS, a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArenaCap: ErrNoMem surfaces only at the configured cap.
+func TestArenaCap(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	r.MaxRegionSize = 2 * DefaultRegionSize
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	allocated := 0
+	for i := 0; i < 1000; i++ {
+		if _, lastErr = r.Smalloc(task.AS, tag, 1024); lastErr != nil {
+			break
+		}
+		allocated++
+	}
+	if !errors.Is(lastErr, ErrNoMem) {
+		t.Fatalf("expected ErrNoMem at cap, got %v after %d blocks", lastErr, allocated)
+	}
+	// More than one segment's worth must have fit before the cap.
+	if allocated*1024 < DefaultRegionSize {
+		t.Fatalf("only %d bytes allocated before cap; growth never happened", allocated*1024)
+	}
+	if allocated*1024 > r.MaxRegionSize {
+		t.Fatalf("%d bytes allocated, beyond the %d cap", allocated*1024, r.MaxRegionSize)
+	}
+}
+
+// TestArenaDeleteTrimsToOneSegment: a grown region returns to the cache
+// as a single segment, and its reuse behaves like a fresh tag.
+func TestArenaDeleteTrimsToOneSegment(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*DefaultRegionSize/1024; i++ {
+		if _, err := r.Smalloc(task.AS, tag, 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.TagDelete(tag); err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheLen() != 1 {
+		t.Fatalf("cache len = %d, want 1", r.CacheLen())
+	}
+	reused, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reuses != 1 {
+		t.Fatalf("reuses = %d, want 1", r.Reuses)
+	}
+	reg, err := r.Lookup(reused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(reg.Segments()); n != 1 {
+		t.Fatalf("reused region has %d segments, want 1", n)
+	}
+	if reg.TotalSize() != r.RegionSize {
+		t.Fatalf("reused region size = %d, want %d", reg.TotalSize(), r.RegionSize)
+	}
+	if _, err := r.Smalloc(task.AS, reused, 1024); err != nil {
+		t.Fatalf("Smalloc on reused region: %v", err)
+	}
+}
+
+// TestArenaGrowthPropagatesToGrantees: an address space granted the tag
+// before growth can read and write blocks allocated from segments mapped
+// after the grant — the property the recycled servers' long-lived gates
+// depend on.
+func TestArenaGrowthPropagatesToGrantees(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grantee := vm.NewAddressSpace()
+	if err := r.Grant(grantee, tag, vm.PermRW); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exhaust the first segment so the next allocation grows.
+	var a vm.Addr
+	for i := 0; ; i++ {
+		prevGrows := r.Grows
+		a, err = r.Smalloc(task.AS, tag, 4096)
+		if err != nil {
+			t.Fatalf("Smalloc #%d: %v", i, err)
+		}
+		if r.Grows > prevGrows {
+			break
+		}
+		if i > 100 {
+			t.Fatal("arena never grew")
+		}
+	}
+
+	// The grantee sees the grown segment: a write through the grantee is
+	// visible to the owner (same frames, not a private copy).
+	if err := grantee.Store64(a, 0xC0FFEE); err != nil {
+		t.Fatalf("grantee cannot reach grown segment: %v", err)
+	}
+	v, err := task.AS.Load64(a)
+	if err != nil || v != 0xC0FFEE {
+		t.Fatalf("owner read %#x, %v; grown segment not shared", v, err)
+	}
+
+	// A released grantee is pruned rather than re-populated.
+	dead := vm.NewAddressSpace()
+	if err := r.Grant(dead, tag, vm.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	dead.Release()
+	pages := dead.Pages()
+	for i := 0; i < 2*DefaultRegionSize/4096; i++ {
+		if _, err := r.Smalloc(task.AS, tag, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dead.Pages() != pages {
+		t.Fatalf("growth repopulated a released address space (%d -> %d pages)", pages, dead.Pages())
+	}
+}
+
+// TestArenaCapRoundsUpToSegments: an intermediate cap (not a multiple of
+// the segment size) still permits the growth it implies, per the
+// documented rounding, instead of silently behaving like a fixed arena.
+func TestArenaCapRoundsUpToSegments(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	r.MaxRegionSize = DefaultRegionSize + DefaultRegionSize/2 // 96 KiB -> 2 segments
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocated := 0
+	for i := 0; i < 1000; i++ {
+		if _, err := r.Smalloc(task.AS, tag, 1024); err != nil {
+			break
+		}
+		allocated++
+	}
+	if r.Grows != 1 {
+		t.Fatalf("grows = %d, want 1 (the cap rounds up to two segments)", r.Grows)
+	}
+	if allocated*1024 < DefaultRegionSize {
+		t.Fatalf("only %d KiB allocated; rounding denied the implied growth", allocated)
+	}
+}

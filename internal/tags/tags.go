@@ -31,6 +31,15 @@ const NoTag Tag = 0
 // (16 pages) suits the per-connection tags the partitioned servers create.
 const DefaultRegionSize = 64 * 1024
 
+// DefaultMaxRegionSize is the default cap on a region's total size across
+// all of its segments (64 segments of the default size). A fixed arena
+// turned out to be the recycled paths' scaling bottleneck: one shared
+// 64 KiB argument tag backs every in-flight connection, so past ~60
+// connections Smalloc fails and the server sheds load. Growing the arena
+// segment-by-segment up to this cap removes the cliff while still
+// bounding what one tag can consume.
+const DefaultMaxRegionSize = 64 * DefaultRegionSize
+
 // Errors.
 var (
 	ErrNoMem      = errors.New("tags: segment out of memory")
@@ -65,14 +74,39 @@ const (
 	sizeMaskC = ^uint64(7)
 )
 
-// Region is the metadata for one tagged segment. The authoritative
-// allocator state lives in simulated memory; Region records where.
-type Region struct {
-	Tag  Tag
+// Segment is one contiguous mapped piece of a region. A region starts as
+// a single segment and grows by whole segments on arena exhaustion; each
+// segment carries its own allocator header, so the boundary-tag allocator
+// never has to pretend the pieces are contiguous.
+type Segment struct {
 	Base vm.Addr
 	Size int
-	// Owner is the address space the segment was created in. Grants share
-	// the same frames into other spaces at the same addresses.
+}
+
+// End returns one past the last byte of the segment.
+func (s Segment) End() vm.Addr { return s.Base + vm.Addr(s.Size) }
+
+// Contains reports whether a falls inside the segment.
+func (s Segment) Contains(a vm.Addr) bool { return a >= s.Base && a < s.End() }
+
+// grant records one address space a region was shared into, so that
+// segments mapped after the grant (arena growth) can be propagated: a
+// recycled gate granted its argument tag at creation must be able to
+// reach blocks smalloc'd from a segment that did not exist yet.
+type grant struct {
+	dst  *vm.AddressSpace
+	perm vm.Perm
+}
+
+// Region is the metadata for one tagged segment chain. The authoritative
+// allocator state lives in simulated memory; Region records where.
+type Region struct {
+	Tag Tag
+	// Base and Size describe the first (and for most tags only) segment.
+	Base vm.Addr
+	Size int
+	// Owner is the address space the segments are created in. Grants
+	// share the same frames into other spaces at the same addresses.
 	Owner *vm.AddressSpace
 	// NoHeap marks adopted regions (boundary-variable sections) that hold
 	// raw globals rather than an smalloc arena.
@@ -82,13 +116,55 @@ type Region struct {
 	// sthreads sharing this segment. It is tooling state, not simulated
 	// memory: the paper's implementation would use a futex here.
 	mu sync.Mutex
+
+	// segMu guards the segment chain and the grant list, and is held
+	// across growth propagation so a Grow and a concurrent Grant cannot
+	// each miss the other's addition. It nests inside both the registry
+	// lock and mu, and nothing is acquired under it but vm-level locks.
+	segMu  sync.Mutex
+	segs   []Segment
+	grants []grant
 }
 
-// End returns one past the last byte of the segment.
+// End returns one past the last byte of the first segment (the whole
+// region when it has never grown).
 func (r *Region) End() vm.Addr { return r.Base + vm.Addr(r.Size) }
 
-// Contains reports whether a falls inside the segment.
-func (r *Region) Contains(a vm.Addr) bool { return a >= r.Base && a < r.End() }
+// Contains reports whether a falls inside any of the region's segments.
+func (r *Region) Contains(a vm.Addr) bool {
+	_, ok := r.segmentOf(a)
+	return ok
+}
+
+// segmentOf returns the segment containing a.
+func (r *Region) segmentOf(a vm.Addr) (Segment, bool) {
+	r.segMu.Lock()
+	defer r.segMu.Unlock()
+	for _, seg := range r.segs {
+		if seg.Contains(a) {
+			return seg, true
+		}
+	}
+	return Segment{}, false
+}
+
+// Segments returns a snapshot of the region's segment chain.
+func (r *Region) Segments() []Segment {
+	r.segMu.Lock()
+	defer r.segMu.Unlock()
+	return append([]Segment(nil), r.segs...)
+}
+
+// TotalSize returns the number of bytes mapped across all segments.
+func (r *Region) TotalSize() int {
+	r.segMu.Lock()
+	defer r.segMu.Unlock()
+	total := 0
+	for _, seg := range r.segs {
+		total += seg.Size
+	}
+	return total
+}
 
 // Registry is the per-application tag namespace: the kernel-side mapping
 // from tags to segments plus the userland free list of deleted tags.
@@ -99,6 +175,11 @@ type Registry struct {
 	nextTag    Tag
 	RegionSize int
 
+	// MaxRegionSize caps a region's total bytes across all segments:
+	// Smalloc returns ErrNoMem only once growing past it would be
+	// required. Zero means DefaultMaxRegionSize.
+	MaxRegionSize int
+
 	// CacheEnabled can be switched off to measure the ablation the paper
 	// reports (+20% Apache throughput from tag reuse, §4.1/§6).
 	CacheEnabled bool
@@ -108,6 +189,7 @@ type Registry struct {
 	ColdNews uint64
 	Smallocs uint64
 	Sfrees   uint64
+	Grows    uint64
 }
 
 // NewRegistry returns an empty tag registry with the default segment size.
@@ -117,6 +199,36 @@ func NewRegistry() *Registry {
 		RegionSize:   DefaultRegionSize,
 		CacheEnabled: true,
 	}
+}
+
+// SetMaxRegionSize sets the per-region growth cap under the registry
+// lock, safe to call while the application serves (growth reads the cap
+// through the same lock).
+func (r *Registry) SetMaxRegionSize(bytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.MaxRegionSize = bytes
+}
+
+// maxRegionBytes resolves the configured per-region cap under the
+// registry lock: non-positive values mean the default, a cap below one
+// segment is raised to one, and the result is rounded up to whole
+// segments (as SetArenaCap documents) so an intermediate cap still
+// permits the growth it implies.
+func (r *Registry) maxRegionBytes() int {
+	r.mu.Lock()
+	max := r.MaxRegionSize
+	r.mu.Unlock()
+	if max <= 0 {
+		max = DefaultMaxRegionSize
+	}
+	if max < r.RegionSize {
+		max = r.RegionSize
+	}
+	if rem := max % r.RegionSize; rem != 0 {
+		max += r.RegionSize - rem
+	}
+	return max
 }
 
 // TagNew allocates a fresh tag backed by a segment in t's address space
@@ -139,6 +251,9 @@ func (r *Registry) TagNew(t *kernel.Task) (Tag, error) {
 				reg.Tag = r.nextTag
 				r.regions[reg.Tag] = reg
 				r.Reuses++
+				// Cached regions were trimmed back to one segment and had
+				// their grants dropped at TagDelete; only the first
+				// segment needs scrubbing and re-seeding.
 				// Scrub for secrecy, then re-seed the header. Fresh
 				// frames rather than RemapZero: a reused segment may be
 				// granted read-write (recycled-gate control pages,
@@ -165,7 +280,10 @@ func (r *Registry) TagNew(t *kernel.Task) (Tag, error) {
 	}
 	r.nextTag++
 	tag := r.nextTag
-	r.regions[tag] = &Region{Tag: tag, Base: base, Size: r.RegionSize, Owner: t.AS}
+	r.regions[tag] = &Region{
+		Tag: tag, Base: base, Size: r.RegionSize, Owner: t.AS,
+		segs: []Segment{{Base: base, Size: r.RegionSize}},
+	}
 	return tag, nil
 }
 
@@ -183,6 +301,18 @@ func (r *Registry) TagDelete(tag Tag) error {
 	if reg.NoHeap {
 		return nil // boundary sections stay mapped; only the tag dies
 	}
+	// Trim a grown region back to its first segment and forget its
+	// grants: the cache holds uniform single-segment regions, and a
+	// reused tag starts a new grant lifetime. Grantees keep their
+	// mappings of the old segments (as they keep the first segment's),
+	// which will be scrubbed before the region is handed out again.
+	reg.segMu.Lock()
+	for _, seg := range reg.segs[1:] {
+		reg.Owner.Unmap(seg.Base, seg.Size)
+	}
+	reg.segs = reg.segs[:1]
+	reg.grants = nil
+	reg.segMu.Unlock()
 	if r.CacheEnabled {
 		r.cache = append(r.cache, reg)
 	} else {
@@ -191,11 +321,12 @@ func (r *Registry) TagDelete(tag Tag) error {
 	return nil
 }
 
-// Grant maps tag's segment into dst with permission perm, sharing the
-// underlying frames. The registry lock is held across the lookup and the
-// page-table walk, so grants serialize against TagNew and TagDelete:
-// sthreads can be assembled concurrently while tags come and go, which is
-// what lets a server handle connections in parallel.
+// Grant maps every segment of tag into dst with permission perm, sharing
+// the underlying frames, and records dst so segments mapped later (arena
+// growth) are propagated to it. The registry lock is held across the
+// lookup and the page-table walk, so grants serialize against TagNew and
+// TagDelete: sthreads can be assembled concurrently while tags come and
+// go, which is what lets a server handle connections in parallel.
 func (r *Registry) Grant(dst *vm.AddressSpace, tag Tag, perm vm.Perm) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -203,7 +334,88 @@ func (r *Registry) Grant(dst *vm.AddressSpace, tag Tag, perm vm.Perm) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrBadTag, tag)
 	}
-	return reg.Owner.ShareInto(dst, reg.Base, reg.Size, perm)
+	if reg.NoHeap {
+		return reg.Owner.ShareInto(dst, reg.Base, reg.Size, perm)
+	}
+	// segMu is held across the whole share-and-record so a concurrent
+	// Grow can neither miss this grantee nor double-map a segment.
+	reg.segMu.Lock()
+	defer reg.segMu.Unlock()
+	for _, seg := range reg.segs {
+		if err := reg.Owner.ShareInto(dst, seg.Base, seg.Size, perm); err != nil {
+			return err
+		}
+	}
+	reg.recordGrantLocked(dst, perm)
+	return nil
+}
+
+// recordGrantLocked remembers dst for growth propagation, pruning grant
+// records whose address spaces have been released (per-connection worker
+// sthreads die by the thousand; the list must not grow with them).
+// Called with segMu held.
+func (reg *Region) recordGrantLocked(dst *vm.AddressSpace, perm vm.Perm) {
+	live := reg.grants[:0]
+	found := false
+	for _, g := range reg.grants {
+		if g.dst.Released() {
+			continue
+		}
+		if g.dst == dst {
+			g.perm |= perm
+			found = true
+		}
+		live = append(live, g)
+	}
+	reg.grants = live
+	if !found {
+		reg.grants = append(reg.grants, grant{dst: dst, perm: perm})
+	}
+}
+
+// growLocked maps one more segment for reg — at least the registry's
+// segment size, more when a single allocation needs it — seeds its
+// allocator header, and shares it into every live grantee so existing
+// compartments can reach blocks allocated from it. Called with reg.mu
+// (the allocator lock) held; takes segMu itself.
+func (r *Registry) growLocked(reg *Region, need int) (Segment, error) {
+	segSize := r.RegionSize
+	if want := need + headerSize + chunkHdr; want > segSize {
+		segSize = (want + vm.PageSize - 1) &^ (vm.PageSize - 1)
+	}
+	if reg.TotalSize()+segSize > r.maxRegionBytes() {
+		return Segment{}, fmt.Errorf("%w: region for tag %d at cap %d bytes",
+			ErrNoMem, reg.Tag, r.maxRegionBytes())
+	}
+	base, err := reg.Owner.MapAnon(segSize, vm.PermRW)
+	if err != nil {
+		return Segment{}, err
+	}
+	if err := initRegion(reg.Owner, base, segSize); err != nil {
+		return Segment{}, err
+	}
+	seg := Segment{Base: base, Size: segSize}
+	// Count before taking segMu: Grant holds the registry lock while it
+	// takes segMu, so taking the registry lock under segMu would invert
+	// that order.
+	r.mu.Lock()
+	r.Grows++
+	r.mu.Unlock()
+	reg.segMu.Lock()
+	defer reg.segMu.Unlock()
+	live := reg.grants[:0]
+	for _, g := range reg.grants {
+		if g.dst.Released() {
+			continue
+		}
+		if err := reg.Owner.ShareInto(g.dst, seg.Base, seg.Size, g.perm); err != nil {
+			return Segment{}, err
+		}
+		live = append(live, g)
+	}
+	reg.grants = live
+	reg.segs = append(reg.segs, seg)
+	return seg, nil
 }
 
 // Lookup returns the region for tag.
@@ -247,8 +459,11 @@ func (r *Registry) CacheLen() int {
 	return len(r.cache)
 }
 
-// Smalloc allocates size bytes from the segment with the given tag, using
-// the address space as (which must have read-write access to the segment).
+// Smalloc allocates size bytes from the arena with the given tag, using
+// the address space as (which must have read-write access to the arena).
+// Segments are tried in order; when every segment is exhausted the arena
+// grows by one segment, so ErrNoMem surfaces only at the registry's
+// configured per-region cap rather than at the first segment's size.
 func (r *Registry) Smalloc(as *vm.AddressSpace, tag Tag, size int) (vm.Addr, error) {
 	reg, err := r.Lookup(tag)
 	if err != nil {
@@ -262,7 +477,38 @@ func (r *Registry) Smalloc(as *vm.AddressSpace, tag Tag, size int) (vm.Addr, err
 	r.mu.Unlock()
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
-	return heapMalloc(as, reg.Base, size)
+	// Fast path: the first segment (immutable Base/Size, no snapshot
+	// allocation) — the only segment for the overwhelming majority of
+	// tags, and the per-connection hot path of the recycled servers.
+	a, err := heapMalloc(as, reg.Base, size)
+	if err == nil {
+		return a, nil
+	}
+	if !errors.Is(err, ErrNoMem) {
+		return 0, err
+	}
+	for _, seg := range reg.Segments()[1:] {
+		a, err := heapMalloc(as, seg.Base, size)
+		if err == nil {
+			return a, nil
+		}
+		if !errors.Is(err, ErrNoMem) {
+			return 0, err
+		}
+	}
+	seg, err := r.growLocked(reg, size)
+	if err != nil {
+		return 0, err
+	}
+	return heapMalloc(as, seg.Base, size)
+}
+
+// GrowCount returns the number of arena-growth events so far, read under
+// the registry lock (safe to poll while the application serves).
+func (r *Registry) GrowCount() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.Grows
 }
 
 // Sfree releases an smalloc'd block. The owning segment is located by
@@ -270,9 +516,10 @@ func (r *Registry) Smalloc(as *vm.AddressSpace, tag Tag, size int) (vm.Addr, err
 func (r *Registry) Sfree(as *vm.AddressSpace, a vm.Addr) error {
 	r.mu.Lock()
 	var reg *Region
+	var seg Segment
 	for _, candidate := range r.regions {
-		if candidate.Contains(a) {
-			reg = candidate
+		if s, ok := candidate.segmentOf(a); ok {
+			reg, seg = candidate, s
 			break
 		}
 	}
@@ -286,7 +533,7 @@ func (r *Registry) Sfree(as *vm.AddressSpace, a vm.Addr) error {
 	}
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
-	return heapFree(as, reg.Base, a)
+	return heapFree(as, seg.Base, a)
 }
 
 // Adopt registers an externally allocated, page-aligned region (a
@@ -298,7 +545,10 @@ func (r *Registry) Adopt(owner *vm.AddressSpace, base vm.Addr, size int) Tag {
 	defer r.mu.Unlock()
 	r.nextTag++
 	tag := r.nextTag
-	r.regions[tag] = &Region{Tag: tag, Base: base, Size: size, Owner: owner, NoHeap: true}
+	r.regions[tag] = &Region{
+		Tag: tag, Base: base, Size: size, Owner: owner, NoHeap: true,
+		segs: []Segment{{Base: base, Size: size}},
+	}
 	return tag
 }
 

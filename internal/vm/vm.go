@@ -189,6 +189,12 @@ type AddressSpace struct {
 
 	// Stats counted mechanically; used by the benchmarks and by tests.
 	cowFaults atomic.Uint64
+
+	// released is set when the owning task exits and the address space
+	// drops its frame references. Long-lived sharers (the tag registry
+	// propagating arena growth to grantees) consult it to prune dead
+	// address spaces instead of re-populating them.
+	released atomic.Bool
 }
 
 // NewAddressSpace returns an empty address space.
@@ -546,6 +552,13 @@ func (as *AddressSpace) ShareInto(dst *AddressSpace, base Addr, length int, perm
 	}
 	dst.mu.Lock()
 	defer dst.mu.Unlock()
+	// Checked under dst.mu, which Release also holds: a destination that
+	// released its frames must stay empty. Without this, a grant racing
+	// task exit (arena growth propagating to a just-dead grantee) would
+	// re-populate the dead space and pin the shared frames forever.
+	if dst.released.Load() {
+		return nil
+	}
 	n := roundUpPages(length) / PageSize
 	first := base.PageNum()
 	src := as.snapshot()
@@ -650,11 +663,18 @@ func (as *AddressSpace) ForEachPage(fn func(pageNum uint64, perm Perm)) {
 	}
 }
 
+// Released reports whether the owning task has exited and the address
+// space has dropped its frames. A released space must not receive new
+// shared mappings: nothing will ever read them, and the references would
+// keep the frames alive forever.
+func (as *AddressSpace) Released() bool { return as.released.Load() }
+
 // Release drops all frame references held by the address space. The kernel
 // calls it when a task exits.
 func (as *AddressSpace) Release() {
 	as.mu.Lock()
 	defer as.mu.Unlock()
+	as.released.Store(true)
 	old := *as.pages.Load()
 	empty := make(map[uint64]*PTE)
 	as.pages.Store(&empty)

@@ -147,6 +147,17 @@ const (
 // extending the paper's §7 DoS discussion.
 var ErrMemLimit = vm.ErrMemLimit
 
+// ErrNoMem is returned by Smalloc when a tag's arena cannot grow further:
+// the arena has reached the registry's per-tag cap (SetArenaCap). Below
+// the cap, exhausting a segment maps another one instead of failing —
+// which is what lets the recycled servers' shared argument tags scale
+// past the former fixed 64 KiB arena (~60 in-flight connections).
+var ErrNoMem = tags.ErrNoMem
+
+// ErrPoolDraining is returned by GatePool.Acquire and GatePool.Resize
+// while a Drain is in progress.
+var ErrPoolDraining = gatepool.ErrDraining
+
 // NewSC returns an empty security policy granting nothing.
 func NewSC() *SC { return policy.New() }
 
@@ -188,8 +199,22 @@ func (sys *System) BoundaryTag(id int) (Tag, error) { return sys.App.BoundaryTag
 func (sys *System) Main(fn func(main *Sthread)) error { return sys.App.Main(fn) }
 
 // TagNew creates a fresh memory tag backed by a new segment in s's address
-// space (tag_new).
+// space (tag_new). The segment is the first of a growable chain: smalloc
+// maps further segments on exhaustion, up to the arena cap.
 func (sys *System) TagNew(s *Sthread) (Tag, error) { return sys.App.Tags.TagNew(s.Task) }
+
+// SetArenaCap bounds how large any one tag's arena may grow, in bytes
+// (rounded up to whole segments; 0 restores the default of 4 MiB).
+// Smalloc fails with ErrNoMem only once growth past the cap would be
+// required, so the cap is the knob trading memory headroom against
+// resistance to one tag absorbing the whole simulated memory.
+func (sys *System) SetArenaCap(bytes int) { sys.App.Tags.SetMaxRegionSize(bytes) }
+
+// ArenaGrows reports how many arena segments have been mapped beyond
+// first segments — the mechanical counter behind the growable-arena
+// design note (a nonzero value means some fixed-arena build would have
+// returned ENOMEM and shed load). Safe to poll while serving.
+func (sys *System) ArenaGrows() uint64 { return sys.App.Tags.GrowCount() }
 
 // TagDelete retires a tag; its segment is scrubbed and cached for reuse
 // (tag_delete).

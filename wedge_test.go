@@ -260,3 +260,37 @@ func TestPremainAndBoundaryVars(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestArenaGrowthPublicAPI: the growable-arena surface — smalloc grows a
+// tag's arena past its first segment, ErrNoMem appears only at the
+// configured cap, and the growth counter is observable.
+func TestArenaGrowthPublicAPI(t *testing.T) {
+	sys := wedge.NewSystem()
+	sys.SetArenaCap(128 * 1024) // two default segments
+	err := sys.Main(func(main *wedge.Sthread) {
+		tag, err := sys.TagNew(main)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var allocErr error
+		allocated := 0
+		for i := 0; i < 1000; i++ {
+			if _, allocErr = main.Smalloc(tag, 1024); allocErr != nil {
+				break
+			}
+			allocated++
+		}
+		if !errors.Is(allocErr, wedge.ErrNoMem) {
+			t.Fatalf("expected ErrNoMem at the arena cap, got %v after %d KiB", allocErr, allocated)
+		}
+		if allocated*1024 < 64*1024 {
+			t.Fatalf("only %d KiB allocated: the arena never grew past its first segment", allocated)
+		}
+		if sys.ArenaGrows() == 0 {
+			t.Fatal("ArenaGrows() = 0 after growth")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
