@@ -17,7 +17,10 @@
 // exists. -conns and -scp scale the Table 2 work for quick runs;
 // -poolconns, -poolsize and -poollevels scale the gatepool experiment
 // (-poolsize 0 sizes each pool to the host parallelism; -poollevels is a
-// comma-separated concurrency ladder such as "1,8,64").
+// comma-separated concurrency ladder such as "1,8,64"). The serve-runtime
+// knobs apply to the pooled variants: -queue bounds the admission queue,
+// -autoslots makes slot counts track GOMAXPROCS at admission, and -drain
+// runs a verified drain/undrain cycle on every pooled cell.
 package main
 
 import (
@@ -67,6 +70,9 @@ func main() {
 	poolSize := flag.Int("poolsize", 0, "gatepool slots (0 = host parallelism)")
 	poolConns := flag.Int("poolconns", bench.FigPoolConns, "timed connections per FigPool cell")
 	poolLevels := flag.String("poollevels", "", "comma-separated FigPool concurrency ladder (default 1,2,4,...,64)")
+	queue := flag.Int("queue", 0, "pooled admission-queue bound (0 = unbounded, <0 = no waiting; rejected connections become client retries)")
+	autoslots := flag.Bool("autoslots", false, "pooled slot counts track GOMAXPROCS at admission (supersedes -poolsize)")
+	drain := flag.Bool("drain", false, "run a drain/undrain cycle on every pooled cell and verify quiescence")
 	all := flag.Bool("all", false, "run every experiment")
 	iters := flag.Int("iters", 0, "iterations for figures 7/8 (0 = default)")
 	conns := flag.Int("conns", bench.Table2Conns, "timed connections per Table 2 Apache cell")
@@ -164,7 +170,8 @@ func main() {
 		results = append(results, r...)
 	}
 	if *all || *pool {
-		rows, r, err := bench.FigPoolApp(*poolApp, *poolConns, levels, *poolSize)
+		opts := bench.PoolOpts{Slots: *poolSize, Queue: *queue, AutoSlots: *autoslots, Drain: *drain}
+		rows, r, err := bench.FigPoolApp(*poolApp, *poolConns, levels, opts)
 		if err != nil {
 			fail(err)
 		}

@@ -21,7 +21,7 @@ import (
 	"wedge/internal/httpd"
 	"wedge/internal/kernel"
 	"wedge/internal/minissl"
-	"wedge/internal/netsim"
+	"wedge/internal/serve"
 	"wedge/internal/sthread"
 )
 
@@ -51,46 +51,64 @@ type PoolRow struct {
 	RPS     float64
 }
 
+// PoolOpts carries the serve-runtime knobs a FigPool run applies to the
+// pooled variants (the other variants have no runtime and ignore them).
+type PoolOpts struct {
+	// Slots caps the pooled build's slot count (0 = size each cell's
+	// pool to host parallelism, never above its concurrency level).
+	Slots int
+	// Queue bounds the admission queue (serve.App.Queue semantics;
+	// 0 = unbounded). Rejected connections surface as client retries.
+	Queue int
+	// AutoSlots makes pooled slot counts track GOMAXPROCS at admission
+	// instead of the per-cell Slots computation.
+	AutoSlots bool
+	// Drain runs a drain/undrain cycle on every pooled cell at teardown
+	// and fails the cell if the runtime is not quiescent afterwards.
+	Drain bool
+}
+
 // figPoolCell measures one httpd variant at one concurrency level: total
 // connections served by a concurrently-dispatching accept loop, driven
 // by conns client goroutines, uncached (every handshake pays the RSA
 // operation, the load the pool spreads). Built on the shared
 // poolCellHarness (figpool_apps.go) like the sshd and pop3 cells.
-func figPoolCell(variant string, conns, total, poolSlots int) (float64, error) {
+func figPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (float64, error) {
 	priv, err := minissl.GenerateServerKey()
 	if err != nil {
 		return 0, err
 	}
+	var drainErr error
 	rps, err := poolCellHarness(
 		func(k *kernel.Kernel) error { return httpd.SetupDocroot(k, "/var/www", 1024) },
-		func(root *sthread.Sthread) (func(*netsim.Conn) error, func(), error) {
+		func(root *sthread.Sthread) (cellServer, error) {
 			switch variant {
 			case "mono":
 				srv, err := httpd.NewMonolithic(root, "/var/www", priv, false, httpd.Hooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, nil, nil
+				return cellServer{serve: srv.ServeConn}, nil
 			case "simple":
 				srv, err := httpd.NewSimple(root, "/var/www", priv, false, httpd.Hooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, nil, nil
+				return cellServer{serve: srv.ServeConn}, nil
 			case "recycled":
 				srv, err := httpd.NewRecycled(root, "/var/www", priv, false, httpd.Hooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, func() { srv.Close() }, nil
+				return cellServer{serve: srv.ServeConn, close: func() { srv.Close() }}, nil
 			case "pooled":
 				srv, err := httpd.NewPooled(root, "/var/www", priv, false, poolSlots, httpd.Hooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, func() { srv.Close() }, nil
+				return pooledCellServer(srv, opts, &drainErr), nil
 			}
-			return nil, nil, fmt.Errorf("unknown httpd variant %q", variant)
+			return cellServer{}, fmt.Errorf("unknown httpd variant %q", variant)
 		},
 		"apache:443",
 		func(k *kernel.Kernel) error {
@@ -110,6 +128,9 @@ func figPoolCell(variant string, conns, total, poolSlots int) (float64, error) {
 			return err
 		},
 		conns, total)
+	if err == nil {
+		err = drainErr
+	}
 	if err != nil {
 		return 0, fmt.Errorf("%s c=%d: %w", variant, conns, err)
 	}
@@ -134,16 +155,15 @@ func FigPoolVariants(app string) ([]string, error) {
 // FigPool measures every httpd variant across the concurrency ladder; see
 // FigPoolApp.
 func FigPool(conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error) {
-	return FigPoolApp("httpd", conns, levels, poolSlots)
+	return FigPoolApp("httpd", conns, levels, PoolOpts{Slots: poolSlots})
 }
 
 // FigPoolApp measures every variant of the given app ("httpd", "sshd" or
 // "pop3") across the concurrency ladder. conns is the timed connection
 // count per cell (0 = FigPoolConns; rounded up to a multiple of the
-// level), levels the ladder (nil = FigPoolLevels), and poolSlots caps the
-// pooled build's slot count (0 = size each cell's pool to host
-// parallelism, never above its concurrency level).
-func FigPoolApp(app string, conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error) {
+// level), levels the ladder (nil = FigPoolLevels), and opts the
+// serve-runtime knobs applied to the pooled variants.
+func FigPoolApp(app string, conns int, levels []int, opts PoolOpts) ([]PoolRow, []Result, error) {
 	variants, err := FigPoolVariants(app)
 	if err != nil {
 		return nil, nil, err
@@ -164,12 +184,14 @@ func FigPoolApp(app string, conns int, levels []int, poolSlots int) ([]PoolRow, 
 		if rem := total % level; rem != 0 {
 			total += level - rem
 		}
-		// Slots track available parallelism (httpd.DefaultPoolSlots), not
+		// Slots track available parallelism (serve.DefaultSlots), not
 		// the connection count, and never exceed the concurrency level —
 		// on a single-core host extra slots only add scheduling churn.
-		slots := poolSlots
+		// (With opts.AutoSlots the runtime re-applies the GOMAXPROCS
+		// target at admission, superseding this per-cell computation.)
+		slots := opts.Slots
 		if slots <= 0 {
-			slots = httpd.DefaultPoolSlots()
+			slots = serve.DefaultSlots()
 		}
 		if slots > level {
 			slots = level
@@ -181,11 +203,11 @@ func FigPoolApp(app string, conns int, levels []int, poolSlots int) ([]PoolRow, 
 				var err error
 				switch app {
 				case "httpd":
-					r, err = figPoolCell(variant, level, total, slots)
+					r, err = figPoolCell(variant, level, total, slots, opts)
 				case "sshd":
-					r, err = sshdPoolCell(variant, level, total, slots)
+					r, err = sshdPoolCell(variant, level, total, slots, opts)
 				case "pop3":
-					r, err = pop3PoolCell(variant, level, total, slots)
+					r, err = pop3PoolCell(variant, level, total, slots, opts)
 				}
 				if err != nil {
 					return nil, nil, err

@@ -17,10 +17,61 @@ import (
 	"wedge/internal/minissl"
 	"wedge/internal/netsim"
 	"wedge/internal/pop3"
+	"wedge/internal/serve"
 	"wedge/internal/sshd"
 	"wedge/internal/sthread"
 	"wedge/internal/vm"
 )
+
+// pooledRuntime is the serve-runtime surface every pooled server
+// delegates; the cells use it to apply the PoolOpts knobs uniformly.
+type pooledRuntime interface {
+	Serve(*netsim.Listener) error
+	Drain()
+	Undrain()
+	Snapshot() serve.Snapshot
+	SetQueue(int)
+	SetAutoSlots(bool)
+	Close() error
+}
+
+// pooledCellServer wires a pooled server into the harness: the runtime
+// owns the accept loop, the -queue and -autoslots knobs are applied
+// before serving, and when opts.Drain is set a drain/undrain cycle runs
+// at teardown, verified quiescent via *drainErr (the close hook cannot
+// return an error).
+func pooledCellServer(srv pooledRuntime, opts PoolOpts, drainErr *error) cellServer {
+	if opts.Queue != 0 {
+		srv.SetQueue(opts.Queue)
+	}
+	if opts.AutoSlots {
+		srv.SetAutoSlots(true)
+	}
+	return cellServer{
+		loop: func(l *netsim.Listener) { srv.Serve(l) },
+		close: func() {
+			if opts.Drain {
+				srv.Drain()
+				if s := srv.Snapshot(); s.State != serve.StateDraining || s.Inflight != 0 || s.Pool.Busy != 0 {
+					*drainErr = fmt.Errorf("drain left %s state=%v inflight=%d busy=%d",
+						s.App, s.State, s.Inflight, s.Pool.Busy)
+				}
+				srv.Undrain()
+			}
+			srv.Close()
+		},
+	}
+}
+
+// cellServer is what a cell's build function hands the harness: a
+// per-connection entry (driven by the harness's default accept loop) or
+// a loop that owns accepting itself (the pooled variants hand the
+// listener to serve.Runtime.Serve), plus optional teardown.
+type cellServer struct {
+	serve func(*netsim.Conn) error // per-connection entry (default loop)
+	loop  func(*netsim.Listener)   // optional: the server owns the accept loop
+	close func()                   // optional teardown
+}
 
 // poolCellHarness runs one concurrently-dispatching server cell: boot a
 // kernel with the realistic pre-main image, serve connections until the
@@ -31,7 +82,7 @@ import (
 // budget would strand the retry — and hang the cell — whenever any
 // accepted session failed.
 func poolCellHarness(setup func(k *kernel.Kernel) error,
-	build func(root *sthread.Sthread) (func(*netsim.Conn) error, func(), error),
+	build func(root *sthread.Sthread) (cellServer, error),
 	addr string, request func(k *kernel.Kernel) error,
 	conns, total int) (float64, error) {
 	k := kernel.New()
@@ -53,18 +104,22 @@ func poolCellHarness(setup func(k *kernel.Kernel) error,
 	done := make(chan error, 1)
 	go func() {
 		done <- app.Main(func(root *sthread.Sthread) {
-			serve, closeFn, err := build(root)
+			srv, err := build(root)
 			if err != nil {
 				panic(err)
 			}
-			if closeFn != nil {
-				defer closeFn()
+			if srv.close != nil {
+				defer srv.close()
 			}
 			l, err := root.Task.Listen(addr)
 			if err != nil {
 				panic(err)
 			}
 			ready <- l
+			if srv.loop != nil {
+				srv.loop(l) // e.g. serve.Runtime.Serve: returns at close
+				return
+			}
 			var wg sync.WaitGroup
 			for {
 				c, err := l.Accept()
@@ -74,7 +129,7 @@ func poolCellHarness(setup func(k *kernel.Kernel) error,
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					serve(c)
+					srv.serve(c)
 				}()
 			}
 			wg.Wait()
@@ -121,7 +176,7 @@ func poolCellHarness(setup func(k *kernel.Kernel) error,
 // sshdPoolCell measures one sshd variant: a session is the host-key
 // handshake (one RSA signature — the load the pool spreads), a password
 // login, and exit.
-func sshdPoolCell(variant string, conns, total, poolSlots int) (float64, error) {
+func sshdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (float64, error) {
 	hostKey, err := minissl.GenerateServerKey()
 	if err != nil {
 		return 0, err
@@ -129,26 +184,27 @@ func sshdPoolCell(variant string, conns, total, poolSlots int) (float64, error) 
 	users := []sshd.User{{Name: "alice", Password: "sesame", UID: 1000}}
 	cfg := sshd.ServerConfig{HostKey: hostKey}
 
+	var drainErr error
 	rps, err := poolCellHarness(
 		func(k *kernel.Kernel) error { return sshd.SetupUsers(k, users) },
-		func(root *sthread.Sthread) (func(*netsim.Conn) error, func(), error) {
+		func(root *sthread.Sthread) (cellServer, error) {
 			switch variant {
 			case "mono":
-				return sshd.NewMonolithic(root, cfg, sshd.MonoHooks{}).ServeConn, nil, nil
+				return cellServer{serve: sshd.NewMonolithic(root, cfg, sshd.MonoHooks{}).ServeConn}, nil
 			case "wedge":
 				srv, err := sshd.NewWedge(root, cfg, sshd.WedgeHooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, nil, nil
+				return cellServer{serve: srv.ServeConn}, nil
 			case "pooled":
 				srv, err := sshd.NewPooledWedge(root, cfg, poolSlots, sshd.WedgeHooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, func() { srv.Close() }, nil
+				return pooledCellServer(srv, opts, &drainErr), nil
 			}
-			return nil, nil, fmt.Errorf("unknown sshd variant %q", variant)
+			return cellServer{}, fmt.Errorf("unknown sshd variant %q", variant)
 		},
 		"sshd:22",
 		func(k *kernel.Kernel) error {
@@ -167,6 +223,9 @@ func sshdPoolCell(variant string, conns, total, poolSlots int) (float64, error) 
 			return c.Exit()
 		},
 		conns, total)
+	if err == nil {
+		err = drainErr
+	}
 	if err != nil {
 		return 0, fmt.Errorf("sshd %s c=%d: %w", variant, conns, err)
 	}
@@ -177,40 +236,44 @@ func sshdPoolCell(variant string, conns, total, poolSlots int) (float64, error) 
 // retrieval, and quit. No RSA is involved, so the cell isolates the pure
 // partitioning overhead (sthread and gate creations per session) that
 // the pool amortizes.
-func pop3PoolCell(variant string, conns, total, poolSlots int) (float64, error) {
+func pop3PoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (float64, error) {
 	boxes := []pop3.Mailbox{
 		{User: "alice", Password: "sesame", UID: 1000,
 			Messages: []string{"From: bench\n\nmessage one", "From: bench\n\nmessage two"}},
 	}
 
+	var drainErr error
 	rps, err := poolCellHarness(
 		func(k *kernel.Kernel) error { return nil },
-		func(root *sthread.Sthread) (func(*netsim.Conn) error, func(), error) {
+		func(root *sthread.Sthread) (cellServer, error) {
 			switch variant {
 			case "mono":
 				srv, err := pop3.NewMonolithic(root, boxes, pop3.Hooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, nil, nil
+				return cellServer{serve: srv.ServeConn}, nil
 			case "wedge":
 				srv, err := pop3.New(root, boxes, pop3.Hooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, nil, nil
+				return cellServer{serve: srv.ServeConn}, nil
 			case "pooled":
 				srv, err := pop3.NewPooled(root, boxes, poolSlots, pop3.Hooks{})
 				if err != nil {
-					return nil, nil, err
+					return cellServer{}, err
 				}
-				return srv.ServeConn, func() { srv.Close() }, nil
+				return pooledCellServer(srv, opts, &drainErr), nil
 			}
-			return nil, nil, fmt.Errorf("unknown pop3 variant %q", variant)
+			return cellServer{}, fmt.Errorf("unknown pop3 variant %q", variant)
 		},
 		"pop3:110",
 		func(k *kernel.Kernel) error { return pop3BenchSession(k) },
 		conns, total)
+	if err == nil {
+		err = drainErr
+	}
 	if err != nil {
 		return 0, fmt.Errorf("pop3 %s c=%d: %w", variant, conns, err)
 	}

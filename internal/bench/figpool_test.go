@@ -77,7 +77,7 @@ func TestFigPoolShape(t *testing.T) {
 func TestFigPoolAppsShape(t *testing.T) {
 	for _, app := range []string{"sshd", "pop3"} {
 		t.Run(app, func(t *testing.T) {
-			rows, results, err := FigPoolApp(app, 6, []int{2}, 2)
+			rows, results, err := FigPoolApp(app, 6, []int{2}, PoolOpts{Slots: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -96,7 +96,7 @@ func TestFigPoolAppsShape(t *testing.T) {
 // TestFigPoolUnknownApp: the app argument is validated, not silently
 // treated as httpd.
 func TestFigPoolUnknownApp(t *testing.T) {
-	if _, _, err := FigPoolApp("imap", 4, []int{1}, 1); err == nil {
+	if _, _, err := FigPoolApp("imap", 4, []int{1}, PoolOpts{Slots: 1}); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }

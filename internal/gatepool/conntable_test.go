@@ -1,0 +1,116 @@
+package gatepool
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConnTableBasics: Put issues usable ids, Get returns exactly what
+// was stored, Delete removes it, and the zero value is ready to use.
+func TestConnTableBasics(t *testing.T) {
+	var ct ConnTable[string]
+	if _, ok := ct.Get(0); ok {
+		t.Fatal("empty table returned a value")
+	}
+	a := ct.Put("alice")
+	b := ct.Put("bob")
+	if a == b {
+		t.Fatalf("two Puts issued the same id %d", a)
+	}
+	if v, ok := ct.Get(a); !ok || v != "alice" {
+		t.Fatalf("Get(%d) = %q/%v, want alice/true", a, v, ok)
+	}
+	if v, ok := ct.Get(b); !ok || v != "bob" {
+		t.Fatalf("Get(%d) = %q/%v, want bob/true", b, v, ok)
+	}
+	ct.Delete(a)
+	if _, ok := ct.Get(a); ok {
+		t.Fatalf("Get(%d) after Delete still resolves", a)
+	}
+	if v, ok := ct.Get(b); !ok || v != "bob" {
+		t.Fatalf("Delete(%d) disturbed id %d: %q/%v", a, b, v, ok)
+	}
+	ct.Delete(a) // deleting twice is a no-op
+	ct.Delete(b)
+}
+
+// TestConnTableNoIDReuse: ids are never reissued after removal. This is
+// the property the slot-pin isolation argument leans on: a gate holding
+// a stale conn id (a worker-supplied, untrusted value) must miss, never
+// alias a later connection that happened to recycle the id.
+func TestConnTableNoIDReuse(t *testing.T) {
+	var ct ConnTable[int]
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := ct.Put(i)
+		if seen[id] {
+			t.Fatalf("id %d reissued after removal (iteration %d)", id, i)
+		}
+		seen[id] = true
+		ct.Delete(id)
+		if _, ok := ct.Get(id); ok {
+			t.Fatalf("stale id %d still resolves", id)
+		}
+	}
+}
+
+// TestConnTableConcurrent: concurrent register/lookup/remove across
+// goroutines — every goroutine sees exactly its own values, ids stay
+// globally unique, and the table ends empty. Run under -race in CI.
+func TestConnTableConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	type entry struct {
+		worker int
+		round  int
+	}
+	var ct ConnTable[entry]
+	ids := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			live := make([]uint64, 0, rounds)
+			for r := 0; r < rounds; r++ {
+				id := ct.Put(entry{worker: w, round: r})
+				live = append(live, id)
+				// Look back at an id this goroutine still owns.
+				probe := live[r/2]
+				if v, ok := ct.Get(probe); !ok || v.worker != w {
+					t.Errorf("worker %d: Get(%d) = %+v/%v, want own entry", w, probe, v, ok)
+					return
+				}
+				// Remove every other id as we go.
+				if r%2 == 1 {
+					victim := live[len(live)-1]
+					live = live[:len(live)-1]
+					ct.Delete(victim)
+					if _, ok := ct.Get(victim); ok {
+						t.Errorf("worker %d: deleted id %d still resolves", w, victim)
+						return
+					}
+				}
+			}
+			for _, id := range live {
+				ct.Delete(id)
+			}
+			ids[w] = live
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for w, live := range ids {
+		for _, id := range live {
+			if seen[id] {
+				t.Fatalf("id %d issued to two goroutines", id)
+			}
+			seen[id] = true
+			if _, ok := ct.Get(id); ok {
+				t.Fatalf("worker %d: id %d survives final Delete", w, id)
+			}
+		}
+	}
+}

@@ -537,6 +537,17 @@ func (p *Pool) closeSlotsLocked(ss []*slot) {
 	}
 }
 
+// LiveSlots reports the number of slots eligible for dispatch — cheaper
+// than Stats for callers (admission control) that need only the count.
+func (p *Pool) LiveSlots() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.liveCountLocked()
+}
+
+// MaxSlots reports the Resize ceiling the pool was configured with.
+func (p *Pool) MaxSlots() int { return p.cfg.MaxSlots }
+
 // Drain stops new acquisitions and blocks until every lease has been
 // released: the pool is quiescent when it returns. Acquire fails with
 // ErrDraining while a drain is in progress. Undrain re-opens the pool.

@@ -3,8 +3,10 @@
 // replaced by a per-slot recycled worker, the same amortization the paper
 // applies to callgates (§3.3) applied one layer up.
 //
-// Each pool slot owns a private argument tag and two long-lived recycled
-// sthreads instantiated against it:
+// The server is a serve.App descriptor; the runtime (internal/serve) owns
+// every piece of serving machinery — pool lifecycle, accept loop, drain,
+// admission control, conn-id demux — and this file contributes only what
+// is httpd's: the two gates each slot carries and their entry points.
 //
 //   - "worker": the unprivileged network-facing compartment. One
 //     invocation serves one connection; the connection's descriptor is
@@ -29,29 +31,19 @@ package httpd
 
 import (
 	"crypto/rsa"
-	"runtime"
 	"wedge/internal/gatepool"
-	"wedge/internal/kernel"
 	"wedge/internal/minissl"
-	"wedge/internal/netsim"
 	"wedge/internal/policy"
+	"wedge/internal/serve"
 	"wedge/internal/sthread"
 	"wedge/internal/tags"
 	"wedge/internal/vm"
 )
 
-// DefaultPoolSlots sizes a PooledServer when the caller does not: twice
-// the host parallelism, floored at two. Slot count should track available
-// parallelism, not connection concurrency — slots beyond the cores that
-// can run them add scheduling churn without overlapping any work, while
-// admission control (Acquire blocking) absorbs the excess connections.
-func DefaultPoolSlots() int {
-	n := 2 * runtime.GOMAXPROCS(0)
-	if n < 2 {
-		n = 2
-	}
-	return n
-}
+// DefaultPoolSlots sizes a PooledServer when the caller does not. It is
+// the runtime's one shared policy (serve.DefaultSlots): twice the host
+// parallelism, floored at two.
+func DefaultPoolSlots() int { return serve.DefaultSlots() }
 
 // PooledServer scales the recycled-callgate design across a gate pool.
 type PooledServer struct {
@@ -65,28 +57,21 @@ type PooledServer struct {
 	pubTag   tags.Tag
 	pubAddr  vm.Addr
 
-	pool  *gatepool.Pool
 	cache *minissl.SessionCache
 	hooks Hooks
 
-	// conns demultiplexes gate-side handshake state by conn id, as in
-	// RecycledServer; each entry additionally carries the slot lease so
-	// the worker entry can reach its own slot's setup gate.
-	conns gatepool.ConnTable[*pooledConnState]
-}
-
-type pooledConnState struct {
-	setupGateState
-	lease *gatepool.Lease
-	fd    int
+	// The embedded runtime owns the pool, the accept loop
+	// (Serve), lifecycle (Drain/Undrain/Close), admission control
+	// (SetQueue), sizing (Resize/SetAutoSlots), observability
+	// (Snapshot/PoolStats), and the conn-id demux (Lookup) — all
+	// promoted onto the server. The per-connection state is the setup
+	// gate's handshake record.
+	*serve.Runtime[setupGateState]
 }
 
 // NewPooled builds the pooled server with the given number of slots
-// (DefaultPoolSlots() if slots <= 0); Resize adjusts it at runtime.
+// (serve.DefaultSlots if slots <= 0); Resize adjusts it at runtime.
 func NewPooled(root *sthread.Sthread, docroot string, priv *rsa.PrivateKey, cache bool, slots int, hooks Hooks) (*PooledServer, error) {
-	if slots <= 0 {
-		slots = DefaultPoolSlots()
-	}
 	p := &PooledServer{root: root, docroot: docroot, hooks: hooks}
 	if cache {
 		p.cache = minissl.NewSessionCache()
@@ -96,12 +81,16 @@ func NewPooled(root *sthread.Sthread, docroot string, priv *rsa.PrivateKey, cach
 		return nil, err
 	}
 	if p.pubTag, p.pubAddr, err = placeBlob(root, minissl.MarshalPublicKey(&priv.PublicKey)); err != nil {
+		root.App().Tags.TagDelete(p.privTag)
 		return nil, err
 	}
-	p.pool, err = gatepool.New(root, gatepool.Config{
-		Name:    "httpd",
-		Slots:   slots,
-		ArgSize: argSize,
+	p.Runtime, err = serve.New(root, serve.App[setupGateState]{
+		Name:      "httpd",
+		Slots:     slots,
+		ArgSize:   argSize,
+		Worker:    "worker",
+		ConnIDOff: argConnID,
+		FDOff:     argPoolFD,
 		Gates: []gatepool.GateDef{
 			{
 				Name:  "worker",
@@ -115,101 +104,66 @@ func NewPooled(root *sthread.Sthread, docroot string, priv *rsa.PrivateKey, cach
 				Trusted: p.privAddr,
 			},
 		},
+		Finish: func(_ *serve.Conn[setupGateState], ret vm.Addr, err error) error {
+			if err != nil {
+				p.Stats.Errors.Add(1)
+				return fmtErr("pooled", "worker", err)
+			}
+			if ret != 1 {
+				p.Stats.Errors.Add(1)
+				return fmtErr("pooled", "worker", ErrHandshakeFailed)
+			}
+			p.Stats.Requests.Add(1)
+			return nil
+		},
 	})
 	if err != nil {
+		// A failed runtime build must not strand the blob tags.
+		root.App().Tags.TagDelete(p.privTag)
+		root.App().Tags.TagDelete(p.pubTag)
 		return nil, err
 	}
 	return p, nil
 }
 
-// Close drains the pool and retires every slot.
-func (p *PooledServer) Close() error { return p.pool.Close() }
-
-// Resize grows or shrinks the slot pool (see gatepool.Pool.Resize).
-func (p *PooledServer) Resize(slots int) error { return p.pool.Resize(slots) }
-
-// PoolStats snapshots the scheduler counters.
-func (p *PooledServer) PoolStats() gatepool.Stats { return p.pool.Stats() }
-
-// ServeConn handles one connection, sharding by the peer's network
-// address. It blocks while every slot is leased, which is the pool's
-// admission control.
-func (p *PooledServer) ServeConn(conn *netsim.Conn) error {
-	return p.ServeConnAs(conn, conn.RemoteAddr())
-}
-
-// ServeConnAs is ServeConn with an explicit principal, for callers that
-// know a better identity than the network address (an authenticated user,
-// a TLS client identity).
-func (p *PooledServer) ServeConnAs(conn *netsim.Conn, principal string) error {
-	root := p.root
-	fd := root.Task.InstallFD(conn, kernel.FDRW)
-	defer root.Task.CloseFD(fd)
-
-	lease, err := p.pool.Acquire(principal)
-	if err != nil {
-		return fmtErr("pooled", "acquire", err)
-	}
-	defer lease.Release()
-
-	connID := p.conns.Put(&pooledConnState{lease: lease, fd: fd})
-	defer p.conns.Delete(connID)
-
-	root.Store64(lease.Arg+argConnID, connID)
-	root.Store64(lease.Arg+argPoolFD, uint64(fd))
-
-	// One recycled-worker invocation serves the whole connection; no
-	// sthread is created on this path.
-	ret, err := lease.CallFD("worker", root, lease.Arg, fd, kernel.FDRW)
-	if err != nil {
-		p.Stats.Errors.Add(1)
-		return fmtErr("pooled", "worker", err)
-	}
-	if ret != 1 {
-		p.Stats.Errors.Add(1)
-		return fmtErr("pooled", "worker", ErrHandshakeFailed)
-	}
-	p.Stats.Requests.Add(1)
-	return nil
-}
-
 // workerEntry is the per-slot recycled worker: one invocation per
 // connection, running with the slot's argument tag, the public key, and
-// the per-invocation argument descriptor — nothing else.
+// the per-invocation argument descriptor — nothing else. The runtime's
+// Lookup applies the slot pin: a forged conn id or fd word cannot reach
+// another slot's connection.
 func (p *PooledServer) workerEntry(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-	fd := int(w.Load64(arg + argPoolFD))
-	state, ok := p.conns.Get(w.Load64(arg + argConnID))
-	if !ok || state.fd != fd || state.lease.Arg != arg {
+	c := p.Lookup(w, arg)
+	if c == nil {
 		return 0
 	}
 	if p.hooks.Worker != nil {
 		p.hooks.Worker(w, &ConnContext{
-			FD:          fd,
+			FD:          c.FD,
 			PrivKeyAddr: p.privAddr,
 			ArgAddr:     arg,
 		})
 	}
-	lease := state.lease
+	lease := c.Lease
 	setup := func(w *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
 		return lease.Call("setup", w, arg)
 	}
 	p.Stats.GateCalls.Add(1) // the worker invocation itself
-	return recycledWorkerBody(w, fd, arg, setup, &p.Stats, p.pubAddr, p.docroot)
+	return recycledWorkerBody(w, c.FD, arg, setup, &p.Stats, p.pubAddr, p.docroot)
 }
 
 // setupEntry is RecycledServer.gateBody against the pooled connection
 // state: hello and key-exchange operations demultiplexed by conn id, with
 // the private key reachable through the kernel-held trusted argument.
+// The conn id is worker-supplied and untrusted; the runtime's Lookup
+// anchors the state at exactly this invocation's argument block, keeping
+// cross-slot handshake state unreachable, as the pool's isolation story
+// promises.
 func (p *PooledServer) setupEntry(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
-	// The slot pin gatepool.ConnTable requires: the conn id is
-	// worker-supplied and untrusted, but the gate can only be invoked on
-	// its own slot's argument block, so anchoring the state at exactly
-	// this block keeps cross-slot handshake state unreachable, as the
-	// pool's isolation story promises.
-	state, ok := p.conns.Get(g.Load64(arg + argConnID))
-	if !ok || state.lease.Arg != arg {
+	c := p.Lookup(g, arg)
+	if c == nil {
 		return 0
 	}
+	state := &c.State
 
 	switch g.Load64(arg + argOp) {
 	case opHello:

@@ -4,7 +4,10 @@
 // equivalents — the same amortization httpd.PooledServer and
 // sshd.PooledWedge apply.
 //
-// Each pool slot owns a private argument tag and four recycled sthreads:
+// The server is a serve.App descriptor on the shared wedge-server runtime
+// (internal/serve), which owns the pool lifecycle, accept loop, drain,
+// admission control, and conn-id demux. This file contributes the four
+// gates each slot carries:
 //
 //   - "handler": the untrusted parser compartment. One invocation serves
 //     one session; the connection's descriptor arrives as a
@@ -14,24 +17,21 @@
 //     the password tag (login) or the mail tag (stat/retr).
 //
 // The authenticated uid — the cell "only the login component" may set —
-// moves from a per-connection tagged memory cell into the connection's
-// gate-side state record, demultiplexed by the conn id in the slot's
-// argument block and pinned to the slot (state.lease.Arg must equal the
-// gate's argument base). The handler compartment holds no reference to
-// that state and no memory containing it, so the Figure 1 claim is
-// unchanged: an exploited parser can neither read mail it has not
-// authenticated for nor forge a login. Cross-principal residue in the
-// slot's argument block (retrieved mail bytes at p3Out) is scrubbed by
-// the pool between principals.
+// moves from a per-connection tagged memory cell into the runtime's
+// gate-side connection record, demultiplexed by the conn id in the slot's
+// argument block and pinned to the slot (serve.Runtime.Lookup). The
+// handler compartment holds no reference to that state and no memory
+// containing it, so the Figure 1 claim is unchanged: an exploited parser
+// can neither read mail it has not authenticated for nor forge a login.
+// Cross-principal residue in the slot's argument block (retrieved mail
+// bytes at p3Out) is scrubbed by the pool between principals.
 
 package pop3
 
 import (
-	"fmt"
 	"wedge/internal/gatepool"
-	"wedge/internal/kernel"
-	"wedge/internal/netsim"
 	"wedge/internal/policy"
+	"wedge/internal/serve"
 	"wedge/internal/sthread"
 	"wedge/internal/vm"
 )
@@ -45,22 +45,22 @@ type PooledServer struct {
 	hooks Hooks
 
 	*store
-	pool *gatepool.Pool
-
-	conns gatepool.ConnTable[*p3PoolConn]
+	// The embedded runtime owns the pool, the accept loop (Serve),
+	// lifecycle (Drain/Undrain/Close), admission control (SetQueue),
+	// sizing (Resize/SetAutoSlots), observability (Snapshot/PoolStats),
+	// and the conn-id demux (Lookup) — all promoted onto the server.
+	*serve.Runtime[p3PoolConn]
 }
 
 // p3PoolConn is one session's gate-side state. uid is what the tagged uid
 // cell held in the per-connection build: written only by the login gate,
 // read by stat/retr, never reachable from the handler compartment.
 type p3PoolConn struct {
-	lease *gatepool.Lease
-	fd    int
-	uid   int
+	uid int
 }
 
 // NewPooled provisions the store and builds the pool with the given
-// number of slots (gatepool's default of 1 when slots <= 0).
+// number of slots (serve.DefaultSlots if slots <= 0).
 func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (*PooledServer, error) {
 	st, err := newStore(root, boxes)
 	if err != nil {
@@ -68,10 +68,13 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 	}
 	p := &PooledServer{root: root, boxes: boxes, hooks: hooks, store: st}
 	stats := &p.Stats
-	p.pool, err = gatepool.New(root, gatepool.Config{
-		Name:    "pop3",
-		Slots:   slots,
-		ArgSize: p3Size,
+	p.Runtime, err = serve.New(root, serve.App[p3PoolConn]{
+		Name:      "pop3",
+		Slots:     slots,
+		ArgSize:   p3Size,
+		Worker:    "handler",
+		ConnIDOff: p3ConnID,
+		FDOff:     p3PoolFD,
 		Gates: []gatepool.GateDef{
 			{
 				Name:  "handler",
@@ -82,15 +85,15 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 				SC:      policy.New().MustMemAdd(st.pwdTag, vm.PermRead),
 				Trusted: st.pwdAddr,
 				Entry: func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
-					cs := p.stateFor(g, arg)
-					if cs == nil {
+					c := p.Lookup(g, arg)
+					if c == nil {
 						return 0
 					}
 					uid, ok := checkLogin(g, arg, trusted, stats)
 					if !ok {
 						return 0
 					}
-					cs.uid = uid
+					c.State.uid = uid
 					return 1
 				},
 			},
@@ -98,111 +101,53 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 				Name: "stat",
 				SC:   policy.New().MustMemAdd(st.mailTag, vm.PermRead),
 				Entry: func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-					cs := p.stateFor(g, arg)
-					if cs == nil {
+					c := p.Lookup(g, arg)
+					if c == nil {
 						return 0
 					}
-					return st.statFor(cs.uid)
+					return st.statFor(c.State.uid)
 				},
 			},
 			{
 				Name: "retr",
 				SC:   policy.New().MustMemAdd(st.mailTag, vm.PermRead),
 				Entry: func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-					cs := p.stateFor(g, arg)
-					if cs == nil {
+					c := p.Lookup(g, arg)
+					if c == nil {
 						return 0
 					}
-					return st.retrFor(g, arg, cs.uid, p3OutMax, stats)
+					return st.retrFor(g, arg, c.State.uid, p3OutMax, stats)
 				},
 			},
 		},
 	})
 	if err != nil {
-		st.release(root) // a failed pool build must not strand the store
+		st.release(root) // a failed runtime build must not strand the store
 		return nil, err
 	}
 	return p, nil
-}
-
-// Close drains the pool and retires every slot.
-func (p *PooledServer) Close() error { return p.pool.Close() }
-
-// Resize grows or shrinks the slot pool (see gatepool.Pool.Resize).
-func (p *PooledServer) Resize(slots int) error { return p.pool.Resize(slots) }
-
-// PoolStats snapshots the scheduler counters.
-func (p *PooledServer) PoolStats() gatepool.Stats { return p.pool.Stats() }
-
-// stateFor demultiplexes gate-side session state by the conn id in the
-// argument block, applying the slot pin gatepool.ConnTable requires: the
-// state must anchor at exactly this invocation's argument block, so a
-// forged id cannot reach another slot's session.
-func (p *PooledServer) stateFor(g *sthread.Sthread, arg vm.Addr) *p3PoolConn {
-	cs, ok := p.conns.Get(g.Load64(arg + p3ConnID))
-	if !ok || cs.lease.Arg != arg {
-		return nil
-	}
-	return cs
-}
-
-// ServeConn handles one session, sharding by the peer's network address.
-func (p *PooledServer) ServeConn(conn *netsim.Conn) error {
-	return p.ServeConnAs(conn, conn.RemoteAddr())
-}
-
-// ServeConnAs is ServeConn with an explicit principal.
-func (p *PooledServer) ServeConnAs(conn *netsim.Conn, principal string) error {
-	root := p.root
-	fd := root.Task.InstallFD(conn, kernel.FDRW)
-	defer root.Task.CloseFD(fd)
-
-	lease, err := p.pool.Acquire(principal)
-	if err != nil {
-		return fmt.Errorf("pop3 pooled: acquire: %w", err)
-	}
-	defer lease.Release()
-
-	cs := &p3PoolConn{lease: lease, fd: fd}
-	connID := p.conns.Put(cs)
-	defer p.conns.Delete(connID)
-
-	root.Store64(lease.Arg+p3ConnID, connID)
-	root.Store64(lease.Arg+p3PoolFD, uint64(fd))
-
-	// One recycled-handler invocation serves the whole session; no
-	// sthread is created on this path.
-	_, err = lease.CallFD("handler", root, lease.Arg, fd, kernel.FDRW)
-	if err != nil {
-		return fmt.Errorf("pop3 pooled: handler: %w", err)
-	}
-	return nil
 }
 
 // handlerEntry is the per-slot recycled client handler: one invocation
 // per session, running with the slot's argument tag and the
 // per-invocation connection descriptor — nothing else.
 func (p *PooledServer) handlerEntry(h *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-	cs := p.stateFor(h, arg)
-	if cs == nil {
-		return 0
-	}
-	fd := int(h.Load64(arg + p3PoolFD))
-	if cs.fd != fd {
+	c := p.Lookup(h, arg)
+	if c == nil {
 		return 0
 	}
 	if p.hooks.Handler != nil {
 		p.hooks.Handler(h, &ConnContext{
-			FD:      fd,
+			FD:      c.FD,
 			PwdAddr: p.pwdAddr, MailAddr: p.mailBase,
 			ArgAddr: arg,
 		})
 	}
-	lease := cs.lease
+	lease := c.Lease
 	viaPool := func(name string) p3Call {
 		return func(h *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
 			return lease.Call(name, h, arg)
 		}
 	}
-	return pop3HandlerBody(h, fd, arg, viaPool("login"), viaPool("stat"), viaPool("retr"))
+	return pop3HandlerBody(h, c.FD, arg, viaPool("login"), viaPool("stat"), viaPool("retr"))
 }

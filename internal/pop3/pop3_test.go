@@ -57,7 +57,7 @@ func (c *popClient) readBody(t *testing.T) string {
 }
 
 // serve boots a system running the given variant for nConns connections.
-func serve(t *testing.T, partitioned bool, nConns int, hooks Hooks) (dial func() *popClient, wait func()) {
+func startServer(t *testing.T, partitioned bool, nConns int, hooks Hooks) (dial func() *popClient, wait func()) {
 	t.Helper()
 	k := kernel.New()
 	app := sthread.Boot(k)
@@ -126,7 +126,7 @@ func TestSessionBothVariants(t *testing.T) {
 			name = "partitioned"
 		}
 		t.Run(name, func(t *testing.T) {
-			dial, wait := serve(t, partitioned, 1, Hooks{})
+			dial, wait := startServer(t, partitioned, 1, Hooks{})
 			c := dial()
 			if got := c.cmd(t, "USER alice"); !strings.HasPrefix(got, "+OK") {
 				t.Fatal(got)
@@ -155,7 +155,7 @@ func TestSessionBothVariants(t *testing.T) {
 }
 
 func TestAuthRequiredForMail(t *testing.T) {
-	dial, wait := serve(t, true, 1, Hooks{})
+	dial, wait := startServer(t, true, 1, Hooks{})
 	c := dial()
 	if got := c.cmd(t, "STAT"); !strings.HasPrefix(got, "-ERR") {
 		t.Fatalf("STAT before auth: %s", got)
@@ -186,7 +186,7 @@ func TestExploitCannotReadSecrets(t *testing.T) {
 		mailErr := s.TryRead(ctx.MailAddr, make([]byte, 8))
 		probes <- [2]error{pwdErr, mailErr}
 	}}
-	dial, wait := serve(t, true, 1, hooks)
+	dial, wait := startServer(t, true, 1, hooks)
 	c := dial()
 	c.cmd(t, "QUIT")
 	wait()
@@ -206,7 +206,7 @@ func TestExploitMonolithicReadsSecrets(t *testing.T) {
 	hooks := Hooks{Handler: func(s *sthread.Sthread, ctx *ConnContext) {
 		probe <- s.TryRead(ctx.PwdAddr, make([]byte, 8))
 	}}
-	dial, wait := serve(t, false, 1, hooks)
+	dial, wait := startServer(t, false, 1, hooks)
 	c := dial()
 	c.cmd(t, "QUIT")
 	wait()
@@ -224,7 +224,7 @@ func TestExploitCannotForgeUID(t *testing.T) {
 		err := s.TryWrite(ctx.UIDAddr, []byte{0xE8, 3, 0, 0, 0, 0, 0, 0})
 		result <- err
 	}}
-	dial, wait := serve(t, true, 1, hooks)
+	dial, wait := startServer(t, true, 1, hooks)
 	c := dial()
 	// Even after the forgery attempt, unauthenticated RETR must fail.
 	if got := c.cmd(t, "RETR 1"); !strings.HasPrefix(got, "-ERR") {
@@ -244,7 +244,7 @@ func TestExploitCannotForgeUID(t *testing.T) {
 
 // TestUsersIsolated: logging in as bob never yields alice's mail.
 func TestUsersIsolated(t *testing.T) {
-	dial, wait := serve(t, true, 1, Hooks{})
+	dial, wait := startServer(t, true, 1, Hooks{})
 	c := dial()
 	c.cmd(t, "USER bob")
 	if got := c.cmd(t, "PASS hunter2"); !strings.HasPrefix(got, "+OK") {

@@ -1,0 +1,591 @@
+// Package serve is the wedge-server runtime: one home for the serving
+// machinery the pooled application studies (httpd, sshd, pop3) used to
+// re-implement by hand.
+//
+// An application is a declarative descriptor (App): the pooled gates it
+// wants every slot to carry, which gate is the per-connection worker, a
+// per-connection state type demultiplexed through gatepool.ConnTable, and
+// optional per-connection setup/teardown hooks. The runtime owns
+// everything else:
+//
+//   - Pool lifecycle: construction from the descriptor, hot Resize, and
+//     an auto-slots mode that re-sizes the pool whenever the host
+//     parallelism (runtime.GOMAXPROCS) changes — slot count tracks the
+//     cores that can actually run slots, not the connection count.
+//   - The accept loop (Serve) and per-connection plumbing (ServeConn):
+//     descriptor installation, lease acquisition, conn-id demux record,
+//     the worker invocation via CallFD, and teardown in the right order.
+//   - A lifecycle state machine, serving → draining → closed: Drain
+//     completes in-flight connections, rejects new admissions with the
+//     typed overload error, and returns only when the pool is quiescent;
+//     Undrain re-opens; Close tears everything down.
+//   - Admission control: an optionally bounded pending queue in front of
+//     the pool's blocking Acquire. Overflow fails fast with
+//     *OverloadError (errors.Is ErrOverloaded) instead of queueing
+//     without bound.
+//   - Observability: a unified Snapshot (runtime counters + pool stats +
+//     queue depth) and NUMA-style slot→CPU pin hints.
+//
+// The runtime preserves the isolation argument the three servers share:
+// per-connection state is looked up by a worker-supplied (untrusted)
+// conn id and then pinned to the invoking slot — Lookup returns state
+// only when it anchors at exactly the invocation's argument block — so a
+// compromised worker cannot reach another slot's connection.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wedge/internal/gatepool"
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// State is a runtime's lifecycle position.
+type State int32
+
+// The lifecycle state machine: StateServing admits connections,
+// StateDraining completes in-flight ones while rejecting admissions, and
+// StateClosed is terminal.
+const (
+	StateServing State = iota
+	StateDraining
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateServing:
+		return "serving"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// ErrOverloaded is the errors.Is target for every admission-control
+// rejection (queue overflow, draining, closed).
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// OverloadError is the typed admission rejection. State says why: a
+// StateServing rejection is queue overflow (Inflight reached Limit); a
+// draining or closed runtime rejects every admission.
+type OverloadError struct {
+	App      string
+	State    State
+	Inflight int
+	Limit    int
+}
+
+func (e *OverloadError) Error() string {
+	if e.State != StateServing {
+		return fmt.Sprintf("serve: %s is %s", e.App, e.State)
+	}
+	return fmt.Sprintf("serve: %s overloaded: %d connections in flight, admission limit %d",
+		e.App, e.Inflight, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match every OverloadError.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// DefaultSlots is the one slot-count policy every pooled application
+// shares: twice the host parallelism, floored at two. Slot count should
+// track available parallelism, not connection concurrency — slots beyond
+// the cores that can run them add scheduling churn without overlapping
+// any work, while admission control absorbs the excess connections.
+func DefaultSlots() int {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Conn is one in-flight connection's record: the slot lease, the
+// installed descriptor, and the application's own state. Gate entries
+// reach it through Lookup; the App hooks receive it directly.
+type Conn[T any] struct {
+	Principal string
+	FD        int
+	Lease     *gatepool.Lease
+	State     T
+}
+
+// App declares a pooled wedge application. The runtime instantiates
+// Gates on every pool slot and serves each connection with one CallFD
+// invocation of the Worker gate, after writing the connection's demux id
+// and descriptor number into the slot's argument block at ConnIDOff and
+// FDOff.
+type App[T any] struct {
+	Name     string // pool name, sthread-name prefix, error prefix
+	Slots    int    // initial slot count (<= 0: DefaultSlots)
+	MaxSlots int    // Resize ceiling (0: gatepool's default)
+	ArgSize  int    // per-slot argument block size
+
+	Gates  []gatepool.GateDef
+	Worker string // the Gates entry invoked once per connection
+
+	ConnIDOff vm.Addr // where the runtime writes the conn id
+	FDOff     vm.Addr // where the runtime writes the descriptor number
+
+	// Queue bounds the admission queue: 0 admits without bound (the
+	// pool's blocking Acquire is the only backpressure), n > 0 admits at
+	// most n connections beyond the live slot count, n < 0 admits only
+	// up to the live slot count (no waiting). SetQueue adjusts it live.
+	Queue int
+
+	// AutoSlots makes the slot count track DefaultSlots(): each
+	// admission compares the current GOMAXPROCS-derived target against
+	// the last one applied and resizes the pool when it moved.
+	AutoSlots bool
+
+	// InitConn populates c.State after the lease is acquired (the lease
+	// and its gates are available). Optional.
+	InitConn func(c *Conn[T]) error
+	// EndConn runs after the worker invocation, before the slot is
+	// released — the place to undo per-connection changes to slot-owned
+	// resources (sshd demotes its promoted worker here). Optional.
+	EndConn func(c *Conn[T])
+	// Finish interprets the worker invocation's result; its error is
+	// ServeConn's return. When nil, a worker error is wrapped and
+	// returned as-is and the return value is not interpreted. Optional.
+	Finish func(c *Conn[T], ret vm.Addr, err error) error
+}
+
+// Runtime serves one App. All methods are safe for concurrent use.
+type Runtime[T any] struct {
+	root  *sthread.Sthread
+	app   App[T]
+	pool  *gatepool.Pool
+	conns gatepool.ConnTable[*Conn[T]]
+
+	mu         sync.Mutex
+	quiet      *sync.Cond // signaled when inflight drops to zero or state changes
+	state      State
+	queue      int
+	auto       bool
+	autoTarget int // last slot target applied by auto mode
+	inflight   int
+
+	admitted    uint64
+	served      uint64
+	failed      uint64
+	rejected    uint64
+	drains      uint64
+	autoResizes uint64
+}
+
+// New builds a runtime from the descriptor: the pool (and so every
+// slot's tag and gates) is created on root, exactly as a hand-built
+// pooled server would.
+func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
+	if app.Worker == "" {
+		return nil, errors.New("serve: App.Worker must name the per-connection gate")
+	}
+	found := false
+	for _, g := range app.Gates {
+		if g.Name == app.Worker {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("serve: worker gate %q is not in App.Gates", app.Worker)
+	}
+	// The runtime writes two 64-bit words into every slot's argument
+	// block; a descriptor that places them outside the block (or on top
+	// of each other) must fail here, not as a per-connection memory
+	// fault under root privileges.
+	argSize := app.ArgSize
+	if argSize <= 0 {
+		argSize = gatepool.DefaultArgSize
+	}
+	for _, off := range []vm.Addr{app.ConnIDOff, app.FDOff} {
+		if int(off)+8 > argSize {
+			return nil, fmt.Errorf("serve: conn-id/fd offset %d outside the %d-byte argument block", off, argSize)
+		}
+	}
+	if d := int64(app.ConnIDOff) - int64(app.FDOff); d > -8 && d < 8 {
+		return nil, fmt.Errorf("serve: ConnIDOff %d and FDOff %d overlap", app.ConnIDOff, app.FDOff)
+	}
+	slots := app.Slots
+	if slots <= 0 || app.AutoSlots {
+		slots = DefaultSlots()
+	}
+	if app.MaxSlots > 0 && slots > app.MaxSlots {
+		slots = app.MaxSlots
+	}
+	r := &Runtime[T]{
+		root:  root,
+		app:   app,
+		state: StateServing,
+		queue: app.Queue,
+		auto:  app.AutoSlots,
+	}
+	r.quiet = sync.NewCond(&r.mu)
+	if r.auto {
+		r.autoTarget = slots
+	}
+	pool, err := gatepool.New(root, gatepool.Config{
+		Name:     app.Name,
+		Slots:    slots,
+		MaxSlots: app.MaxSlots,
+		ArgSize:  app.ArgSize,
+		Gates:    app.Gates,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.pool = pool
+	return r, nil
+}
+
+// Lookup demultiplexes a gate invocation back to its connection record:
+// the conn id is read from the invocation's argument block, resolved
+// through the table, and the result pinned to the slot — the record must
+// anchor at exactly this argument block (Lease.Arg == arg) and carry the
+// descriptor number the runtime wrote (both are worker-writable, so a
+// forged id or fd fails the pin instead of reaching another slot's
+// connection). Returns nil when the pin fails.
+func (r *Runtime[T]) Lookup(g *sthread.Sthread, arg vm.Addr) *Conn[T] {
+	c, ok := r.conns.Get(g.Load64(arg + r.app.ConnIDOff))
+	if !ok || c.Lease.Arg != arg || g.Load64(arg+r.app.FDOff) != uint64(c.FD) {
+		return nil
+	}
+	return c
+}
+
+// admit applies the lifecycle gate and the bounded queue. It must be
+// paired with depart.
+func (r *Runtime[T]) admit() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateServing {
+		r.rejected++
+		return &OverloadError{App: r.app.Name, State: r.state}
+	}
+	if r.queue != 0 {
+		q := r.queue
+		if q < 0 {
+			q = 0
+		}
+		limit := r.pool.LiveSlots() + q
+		if r.inflight >= limit {
+			r.rejected++
+			return &OverloadError{App: r.app.Name, State: r.state,
+				Inflight: r.inflight, Limit: limit}
+		}
+	}
+	r.inflight++
+	r.admitted++
+	return nil
+}
+
+func (r *Runtime[T]) depart() {
+	r.mu.Lock()
+	r.inflight--
+	if r.inflight == 0 {
+		r.quiet.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runtime[T]) count(counter *uint64) {
+	r.mu.Lock()
+	*counter++
+	r.mu.Unlock()
+}
+
+// autoSync applies auto-slots mode: when the GOMAXPROCS-derived target
+// moved since the last application, resize the pool to it. Called on
+// every admission; the comparison is two loads, the Resize only happens
+// when host parallelism actually changed.
+func (r *Runtime[T]) autoSync() {
+	r.mu.Lock()
+	if !r.auto || r.state != StateServing {
+		r.mu.Unlock()
+		return
+	}
+	target := DefaultSlots()
+	if max := r.pool.MaxSlots(); target > max {
+		target = max
+	}
+	if target == r.autoTarget {
+		r.mu.Unlock()
+		return
+	}
+	r.autoTarget = target
+	r.autoResizes++
+	r.mu.Unlock()
+	// Resize runs off the runtime lock: it creates gate sthreads. A
+	// racing Drain makes it fail with ErrDraining, which is fine — the
+	// next serving-state admission will retry the moved target.
+	if err := r.pool.Resize(target); err != nil {
+		r.mu.Lock()
+		r.autoTarget = 0 // retry on the next admission
+		r.mu.Unlock()
+	}
+}
+
+// ServeConn serves one connection, sharding by the peer's network
+// address.
+func (r *Runtime[T]) ServeConn(conn *netsim.Conn) error {
+	return r.ServeConnAs(conn, conn.RemoteAddr())
+}
+
+// ServeConnAs is ServeConn with an explicit principal, for callers that
+// know a better identity than the network address. It blocks while every
+// slot is leased (unless the queue bound rejects first) and returns when
+// the worker invocation — one invocation per connection, zero sthread
+// creations — completes.
+func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
+	r.autoSync()
+	if err := r.admit(); err != nil {
+		return err
+	}
+	defer r.depart()
+
+	root := r.root
+	fd := root.Task.InstallFD(conn, kernel.FDRW)
+	defer root.Task.CloseFD(fd)
+
+	lease, err := r.pool.Acquire(principal)
+	if err != nil {
+		r.count(&r.failed)
+		return fmt.Errorf("%s: acquire: %w", r.app.Name, err)
+	}
+	defer lease.Release()
+
+	c := &Conn[T]{Principal: principal, FD: fd, Lease: lease}
+	if r.app.InitConn != nil {
+		if err := r.app.InitConn(c); err != nil {
+			r.count(&r.failed)
+			return fmt.Errorf("%s: init: %w", r.app.Name, err)
+		}
+	}
+	// EndConn unwinds before the lease release above, so per-connection
+	// changes to slot-owned resources are undone before another
+	// principal can lease the slot.
+	if r.app.EndConn != nil {
+		defer r.app.EndConn(c)
+	}
+	id := r.conns.Put(c)
+	defer r.conns.Delete(id)
+
+	root.Store64(lease.Arg+r.app.ConnIDOff, id)
+	root.Store64(lease.Arg+r.app.FDOff, uint64(fd))
+
+	ret, err := lease.CallFD(r.app.Worker, root, lease.Arg, fd, kernel.FDRW)
+	if r.app.Finish != nil {
+		err = r.app.Finish(c, ret, err)
+	} else if err != nil {
+		err = fmt.Errorf("%s: %s: %w", r.app.Name, r.app.Worker, err)
+	}
+	if err != nil {
+		r.count(&r.failed)
+		return err
+	}
+	r.count(&r.served)
+	return nil
+}
+
+// Serve accepts connections until the listener closes, dispatching each
+// to ServeConn on its own goroutine, and returns once every dispatched
+// connection has completed. Failed or rejected connections are closed
+// (the client's signal to retry elsewhere) and counted in the Snapshot.
+// A closed listener ends the loop with a nil error; any other accept
+// failure is returned.
+func (r *Runtime[T]) Serve(l *netsim.Listener) error {
+	var serveErr error
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if !errors.Is(err, netsim.ErrListenerDown) {
+				serveErr = err
+			}
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			r.ServeConn(conn)
+		}()
+	}
+	wg.Wait()
+	return serveErr
+}
+
+// Resize grows or shrinks the pool to n slots (see gatepool.Pool.Resize).
+// With auto-slots enabled the next admission may re-size again; call
+// SetAutoSlots(false) first to pin a manual size.
+func (r *Runtime[T]) Resize(n int) error { return r.pool.Resize(n) }
+
+// SetQueue adjusts the admission bound live (App.Queue semantics).
+func (r *Runtime[T]) SetQueue(n int) {
+	r.mu.Lock()
+	r.queue = n
+	r.mu.Unlock()
+}
+
+// SetAutoSlots toggles auto-slots mode live. Enabling it re-applies the
+// GOMAXPROCS-derived target on the next admission.
+func (r *Runtime[T]) SetAutoSlots(on bool) {
+	r.mu.Lock()
+	r.auto = on
+	r.autoTarget = 0
+	r.mu.Unlock()
+}
+
+// Drain moves the runtime to StateDraining: new admissions fail with the
+// typed overload error, in-flight connections run to completion, and the
+// call returns only when the pool is quiescent (every slot released). A
+// concurrent Undrain cancels the drain; Drain on a closed runtime is a
+// no-op.
+func (r *Runtime[T]) Drain() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateClosed {
+		return
+	}
+	if r.state != StateDraining {
+		r.state = StateDraining
+		r.drains++
+	}
+	for r.inflight > 0 && r.state == StateDraining {
+		r.quiet.Wait()
+	}
+	// The pool transition happens under the runtime lock, in the same
+	// critical section as the state check: a concurrent Undrain (which
+	// needs the lock to flip the state) can interleave only before —
+	// cancelling the drain — or after, never between, so the pool can
+	// not be left drained behind a serving runtime. Safe to call here:
+	// with no admissions and no in-flight connections every lease is
+	// already released, so pool.Drain is an immediate barrier (it also
+	// blocks late Acquires until Undrain) rather than a blocking wait.
+	if r.state == StateDraining {
+		r.pool.Drain()
+	}
+}
+
+// Undrain re-admits connections after a Drain.
+func (r *Runtime[T]) Undrain() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == StateDraining {
+		// Re-open the pool before the state flips: once admit can
+		// observe StateServing, Acquire must no longer fail ErrDraining.
+		r.pool.Undrain()
+		r.state = StateServing
+	}
+	r.quiet.Broadcast() // cancel a Drain still waiting on in-flight conns
+}
+
+// Close drains the runtime and tears the pool down: gates, argument
+// blocks, and tags are all released. The runtime is unusable afterwards.
+// Close only commits the draining → closed transition while the drain
+// still holds, so an Undrain racing it re-opens a fully working runtime
+// (whose connections Close then drains again) rather than leaving a
+// window where admitted connections fail untyped against a closing pool.
+func (r *Runtime[T]) Close() error {
+	for {
+		r.Drain()
+		r.mu.Lock()
+		switch r.state {
+		case StateClosed:
+			r.mu.Unlock()
+			return nil
+		case StateDraining:
+			r.state = StateClosed
+			r.quiet.Broadcast()
+			r.mu.Unlock()
+			return r.pool.Close()
+		}
+		// A concurrent Undrain re-opened the runtime between our Drain
+		// and this lock: drain again until the transition sticks.
+		r.mu.Unlock()
+	}
+}
+
+// PoolStats snapshots the pool scheduler's counters alone; Snapshot
+// includes them plus the runtime's own.
+func (r *Runtime[T]) PoolStats() gatepool.Stats { return r.pool.Stats() }
+
+// SlotPin is a NUMA-style placement hint: the CPU a slot's gate sthreads
+// should be pinned to. The simulated substrate cannot call
+// sched_setaffinity, so the hint is advisory — slot index modulo host
+// parallelism, the striping a native runtime would install — and is
+// exported so schedulers above the runtime (and the multicore scaling
+// experiment) can observe the intended placement.
+type SlotPin struct {
+	Slot int
+	CPU  int
+}
+
+// Snapshot is the unified observability surface: lifecycle state,
+// admission counters, queue configuration and depth, auto-slots
+// progress, pin hints, and the embedded pool stats.
+type Snapshot struct {
+	App      string
+	State    State
+	Inflight int // admitted connections not yet completed
+	Waiting  int // admitted but not yet holding a slot lease
+	Queue    int // configured admission bound (App.Queue semantics)
+
+	AutoSlots   bool
+	AutoTarget  int // last slot target auto mode applied (0 = none yet)
+	AutoResizes uint64
+
+	Admitted uint64
+	Served   uint64
+	Failed   uint64
+	Rejected uint64
+	Drains   uint64
+
+	Pool gatepool.Stats
+	Pins []SlotPin
+}
+
+// Snapshot returns a point-in-time view of the runtime and its pool.
+func (r *Runtime[T]) Snapshot() Snapshot {
+	ps := r.pool.Stats()
+	procs := runtime.GOMAXPROCS(0)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		App:      r.app.Name,
+		State:    r.state,
+		Inflight: r.inflight,
+		Waiting:  r.inflight - ps.Busy,
+		Queue:    r.queue,
+
+		AutoSlots:   r.auto,
+		AutoTarget:  r.autoTarget,
+		AutoResizes: r.autoResizes,
+
+		Admitted: r.admitted,
+		Served:   r.served,
+		Failed:   r.failed,
+		Rejected: r.rejected,
+		Drains:   r.drains,
+
+		Pool: ps,
+	}
+	if s.Waiting < 0 {
+		s.Waiting = 0
+	}
+	for _, g := range ps.Gates {
+		if !g.Retiring {
+			s.Pins = append(s.Pins, SlotPin{Slot: g.Slot, CPU: g.Slot % procs})
+		}
+	}
+	return s
+}

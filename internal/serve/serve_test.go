@@ -1,0 +1,538 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"wedge/internal/gatepool"
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// The toy application every test serves: one "worker" gate per slot that
+// echoes one byte from the connection — enough to hold a connection
+// in-flight (the read blocks until the client writes) and to prove the
+// response path works.
+const (
+	echoConnID  = 0
+	echoPoolFD  = 8
+	echoArgSize = 64
+)
+
+type echoState struct {
+	served bool
+}
+
+// echoRig is one booted system serving the echo app.
+type echoRig struct {
+	k    *kernel.Kernel
+	app  *sthread.App
+	rt   *Runtime[echoState]
+	l    *netsim.Listener
+	done chan error
+
+	// pre-runtime baselines for the leak checks
+	baseTasks int
+	baseTags  int
+}
+
+// startEcho boots a kernel, builds an echo Runtime inside app.Main (the
+// root sthread then parks), and runs drive on the test goroutine so it
+// may t.Fatal freely.
+func startEcho(t *testing.T, app App[echoState], drive func(rig *echoRig)) {
+	t.Helper()
+	k := kernel.New()
+	a := sthread.Boot(k)
+	ready := make(chan *echoRig, 1)
+	done := make(chan error, 1)
+	quit := make(chan struct{})
+	go func() {
+		done <- a.Main(func(root *sthread.Sthread) {
+			rig := &echoRig{k: k, app: a, done: done,
+				baseTasks: k.TaskCount(), baseTags: len(a.Tags.Tags())}
+			if app.Name == "" {
+				app.Name = "echo"
+			}
+			app.ArgSize = echoArgSize
+			app.Worker = "worker"
+			app.ConnIDOff = echoConnID
+			app.FDOff = echoPoolFD
+			var rt *Runtime[echoState]
+			app.Gates = []gatepool.GateDef{{
+				Name: "worker",
+				Entry: func(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+					c := rt.Lookup(w, arg)
+					if c == nil {
+						return 0
+					}
+					buf := make([]byte, 1)
+					if _, err := w.Task.ReadFD(c.FD, buf); err != nil {
+						return 0
+					}
+					if _, err := w.Task.WriteFD(c.FD, buf); err != nil {
+						return 0
+					}
+					c.State.served = true
+					return 1
+				},
+			}}
+			var err error
+			rt, err = New(root, app)
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			rig.rt = rt
+			l, err := root.Task.Listen("echo:7")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			rig.l = l
+			ready <- rig
+			<-quit // park the root sthread while the test drives
+		})
+	}()
+	rig := <-ready
+	if rig == nil {
+		t.FailNow()
+	}
+	drive(rig)
+	close(quit)
+	if err := <-done; err != nil {
+		t.Fatalf("main: %v", err)
+	}
+}
+
+// dialEcho opens a client connection; the returned func completes the
+// echo round-trip (write one byte, read it back).
+func dialEcho(t *testing.T, k *kernel.Kernel) (conn *netsim.Conn, finish func() error) {
+	t.Helper()
+	conn, err := k.Net.Dial("echo:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conn, func() error {
+		if _, err := conn.Write([]byte{'x'}); err != nil {
+			return err
+		}
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeAcceptLoop: the runtime-owned accept loop serves connections
+// end to end and drains its dispatched goroutines when the listener
+// closes.
+func TestServeAcceptLoop(t *testing.T) {
+	const conns = 4
+	startEcho(t, App[echoState]{Slots: 2}, func(rig *echoRig) {
+		served := make(chan struct{})
+		go func() {
+			rig.rt.Serve(rig.l)
+			close(served)
+		}()
+		var wg sync.WaitGroup
+		for i := 0; i < conns; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn, finish := dialEcho(t, rig.k)
+				defer conn.Close()
+				if err := finish(); err != nil {
+					t.Errorf("echo: %v", err)
+				}
+			}()
+		}
+		wg.Wait()
+		rig.l.Close()
+		<-served
+		s := rig.rt.Snapshot()
+		if s.Served != conns || s.Admitted != conns {
+			t.Errorf("served=%d admitted=%d, want %d/%d", s.Served, s.Admitted, conns, conns)
+		}
+		if s.Inflight != 0 {
+			t.Errorf("inflight=%d after Serve returned, want 0", s.Inflight)
+		}
+		if err := rig.rt.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+}
+
+// TestDrainCompletesInFlight is the drain regression test: a Drain
+// issued while a connection is in flight completes that connection,
+// rejects new admissions with the typed overload error, returns only at
+// quiescence, and leaks no tasks or tags across the whole lifecycle.
+func TestDrainCompletesInFlight(t *testing.T) {
+	startEcho(t, App[echoState]{Slots: 2}, func(rig *echoRig) {
+		rt, k, l := rig.rt, rig.k, rig.l
+
+		// Baselines with the runtime alive: the pool's gate sthreads and
+		// slot tags exist and must all still exist after Drain+Undrain.
+		liveTasks := k.TaskCount()
+		liveTags := len(rig.app.Tags.Tags())
+
+		// One connection in flight, held open: the worker blocks reading
+		// the byte the client has not sent yet.
+		firstConn, finishFirst := dialEcho(t, k)
+		defer firstConn.Close()
+		firstErr := make(chan error, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				firstErr <- err
+				return
+			}
+			firstErr <- rt.ServeConn(c)
+		}()
+		waitFor(t, "worker to hold the connection", func() bool { return rt.Snapshot().Pool.Busy == 1 })
+
+		// Drain in the background: it must block on the in-flight
+		// connection.
+		drained := make(chan struct{})
+		go func() {
+			rt.Drain()
+			close(drained)
+		}()
+		waitFor(t, "draining state", func() bool { return rt.Snapshot().State == StateDraining })
+		select {
+		case <-drained:
+			t.Fatal("Drain returned with a connection still in flight")
+		default:
+		}
+
+		// New admissions are rejected with the typed overload error.
+		lateConn, _ := dialEcho(t, k)
+		defer lateConn.Close()
+		lateServer, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = rt.ServeConn(lateServer)
+		if err == nil {
+			t.Fatal("admission during drain succeeded")
+		}
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("drain rejection = %v, want errors.Is ErrOverloaded", err)
+		}
+		var oe *OverloadError
+		if !errors.As(err, &oe) || oe.State != StateDraining {
+			t.Fatalf("drain rejection = %#v, want *OverloadError in draining state", err)
+		}
+
+		// The in-flight connection completes normally and Drain returns.
+		if err := finishFirst(); err != nil {
+			t.Fatalf("in-flight echo during drain: %v", err)
+		}
+		if err := <-firstErr; err != nil {
+			t.Fatalf("in-flight ServeConn during drain: %v", err)
+		}
+		<-drained
+		s := rt.Snapshot()
+		if s.State != StateDraining || s.Inflight != 0 || s.Pool.Busy != 0 {
+			t.Fatalf("post-drain snapshot: state=%v inflight=%d busy=%d", s.State, s.Inflight, s.Pool.Busy)
+		}
+		if s.Served != 1 || s.Rejected != 1 || s.Drains != 1 {
+			t.Fatalf("served=%d rejected=%d drains=%d, want 1/1/1", s.Served, s.Rejected, s.Drains)
+		}
+
+		// Nothing leaked across the drain: same tasks, same tags.
+		if got := k.TaskCount(); got != liveTasks {
+			t.Errorf("task count after drain: %d, want %d", got, liveTasks)
+		}
+		if got := len(rig.app.Tags.Tags()); got != liveTags {
+			t.Errorf("live tags after drain: %d, want %d", got, liveTags)
+		}
+
+		// Undrain re-admits and the runtime serves again.
+		rt.Undrain()
+		recoverConn, finishRecover := dialEcho(t, k)
+		defer recoverConn.Close()
+		recovered := make(chan error, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				recovered <- err
+				return
+			}
+			recovered <- rt.ServeConn(c)
+		}()
+		if err := finishRecover(); err != nil {
+			t.Fatalf("echo after undrain: %v", err)
+		}
+		if err := <-recovered; err != nil {
+			t.Fatalf("serve after undrain: %v", err)
+		}
+
+		// Close tears the pool down to the pre-runtime baselines.
+		if err := rt.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if got := k.TaskCount(); got != rig.baseTasks {
+			t.Errorf("task count after close: %d, want %d", got, rig.baseTasks)
+		}
+		if got := len(rig.app.Tags.Tags()); got != rig.baseTags {
+			t.Errorf("live tags after close: %d, want %d", got, rig.baseTags)
+		}
+	})
+}
+
+// TestDrainUndrainRace: Drain and Undrain racing each other must never
+// strand the pool drained behind a serving runtime — after a final
+// Undrain the runtime always serves. (Regression: the pool transition
+// used to happen outside the runtime lock, so an Undrain interleaved
+// between Drain's state check and its pool.Drain left every subsequent
+// Acquire failing ErrDraining.)
+func TestDrainUndrainRace(t *testing.T) {
+	startEcho(t, App[echoState]{Slots: 2}, func(rig *echoRig) {
+		rt, k, l := rig.rt, rig.k, rig.l
+		for i := 0; i < 50; i++ {
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { defer wg.Done(); rt.Drain() }()
+			go func() { defer wg.Done(); rt.Undrain() }()
+			wg.Wait()
+			rt.Undrain()
+
+			conn, finish := dialEcho(t, k)
+			served := make(chan error, 1)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					served <- err
+					return
+				}
+				served <- rt.ServeConn(c)
+			}()
+			if err := finish(); err != nil {
+				t.Fatalf("iteration %d: echo after undrain: %v", i, err)
+			}
+			if err := <-served; err != nil {
+				t.Fatalf("iteration %d: serve after undrain: %v", i, err)
+			}
+			conn.Close()
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+}
+
+// TestQueueBound: the admission queue rejects with the typed overload
+// error once the bound is hit, and SetQueue adjusts the bound live.
+func TestQueueBound(t *testing.T) {
+	startEcho(t, App[echoState]{Slots: 1, Queue: -1}, func(rig *echoRig) {
+		rt, k, l := rig.rt, rig.k, rig.l
+
+		// Fill the single slot.
+		holdConn, finishHold := dialEcho(t, k)
+		defer holdConn.Close()
+		holdErr := make(chan error, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				holdErr <- err
+				return
+			}
+			holdErr <- rt.ServeConn(c)
+		}()
+		waitFor(t, "slot to fill", func() bool { return rt.Snapshot().Pool.Busy == 1 })
+
+		// Queue -1: no waiting allowed — the next admission overflows.
+		overConn, _ := dialEcho(t, k)
+		defer overConn.Close()
+		overServer, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = rt.ServeConn(overServer)
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("queue overflow = %v, want errors.Is ErrOverloaded", err)
+		}
+		var oe *OverloadError
+		if !errors.As(err, &oe) || oe.State != StateServing || oe.Limit != 1 {
+			t.Fatalf("overflow error = %#v, want serving-state limit 1", err)
+		}
+
+		// Queue 1: one waiter is admitted (it blocks on Acquire), the
+		// next overflows.
+		rt.SetQueue(1)
+		waitConn, finishWait := dialEcho(t, k)
+		defer waitConn.Close()
+		waitErr := make(chan error, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				waitErr <- err
+				return
+			}
+			waitErr <- rt.ServeConn(c)
+		}()
+		waitFor(t, "one waiter queued", func() bool { return rt.Snapshot().Waiting == 1 })
+		thirdConn, _ := dialEcho(t, k)
+		defer thirdConn.Close()
+		thirdServer, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.ServeConn(thirdServer); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("second waiter = %v, want errors.Is ErrOverloaded", err)
+		}
+
+		// Release the slot: the queued connection is served.
+		if err := finishHold(); err != nil {
+			t.Fatalf("held echo: %v", err)
+		}
+		if err := <-holdErr; err != nil {
+			t.Fatalf("held serve: %v", err)
+		}
+		if err := finishWait(); err != nil {
+			t.Fatalf("queued echo: %v", err)
+		}
+		if err := <-waitErr; err != nil {
+			t.Fatalf("queued serve: %v", err)
+		}
+
+		s := rt.Snapshot()
+		if s.Served != 2 || s.Rejected != 2 {
+			t.Fatalf("served=%d rejected=%d, want 2/2", s.Served, s.Rejected)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+}
+
+// TestAutoSlotsTracksGOMAXPROCS: auto mode re-sizes the pool when host
+// parallelism changes — the "slot count should track host parallelism"
+// policy applied live.
+func TestAutoSlotsTracksGOMAXPROCS(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	startEcho(t, App[echoState]{AutoSlots: true}, func(rig *echoRig) {
+		rt, k, l := rig.rt, rig.k, rig.l
+		if got, want := rt.Snapshot().Pool.Slots, DefaultSlots(); got != want {
+			t.Fatalf("initial slots = %d, want %d (GOMAXPROCS=1)", got, want)
+		}
+
+		serveOne := func() {
+			conn, finish := dialEcho(t, k)
+			defer conn.Close()
+			served := make(chan error, 1)
+			go func() {
+				c, err := l.Accept()
+				if err != nil {
+					served <- err
+					return
+				}
+				served <- rt.ServeConn(c)
+			}()
+			if err := finish(); err != nil {
+				t.Fatalf("echo: %v", err)
+			}
+			if err := <-served; err != nil {
+				t.Fatalf("serve: %v", err)
+			}
+		}
+		serveOne()
+		if got := rt.Snapshot().Pool.Slots; got != 2 {
+			t.Fatalf("slots at GOMAXPROCS=1: %d, want 2", got)
+		}
+
+		// Host parallelism doubles: the next admission re-sizes the pool.
+		runtime.GOMAXPROCS(2)
+		serveOne()
+		s := rt.Snapshot()
+		if s.Pool.Slots != 4 {
+			t.Fatalf("slots after GOMAXPROCS=2: %d, want 4", s.Pool.Slots)
+		}
+		if s.AutoResizes == 0 || s.AutoTarget != 4 {
+			t.Fatalf("autoResizes=%d autoTarget=%d, want >0 and 4", s.AutoResizes, s.AutoTarget)
+		}
+
+		// Parallelism shrinks back: so does the pool.
+		runtime.GOMAXPROCS(1)
+		serveOne()
+		if got := rt.Snapshot().Pool.Slots; got != 2 {
+			t.Fatalf("slots after GOMAXPROCS back to 1: %d, want 2", got)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+}
+
+// TestPinHints: every live slot gets a CPU hint striped across host
+// parallelism — slot index modulo GOMAXPROCS.
+func TestPinHints(t *testing.T) {
+	startEcho(t, App[echoState]{Slots: 4}, func(rig *echoRig) {
+		defer rig.rt.Close()
+		s := rig.rt.Snapshot()
+		if len(s.Pins) != 4 {
+			t.Fatalf("pins = %d, want 4", len(s.Pins))
+		}
+		procs := runtime.GOMAXPROCS(0)
+		for _, pin := range s.Pins {
+			if pin.CPU != pin.Slot%procs {
+				t.Errorf("slot %d pinned to CPU %d, want %d", pin.Slot, pin.CPU, pin.Slot%procs)
+			}
+		}
+	})
+}
+
+// TestAppValidation: a descriptor whose worker gate is absent or unnamed
+// is rejected at construction.
+func TestAppValidation(t *testing.T) {
+	k := kernel.New()
+	a := sthread.Boot(k)
+	err := a.Main(func(root *sthread.Sthread) {
+		if _, err := New(root, App[echoState]{Name: "bad"}); err == nil {
+			t.Error("App without Worker accepted")
+		}
+		app := App[echoState]{Name: "bad", Worker: "worker", ArgSize: 64,
+			Gates: []gatepool.GateDef{{Name: "other",
+				Entry: func(*sthread.Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 }}}}
+		if _, err := New(root, app); err == nil {
+			t.Error("App whose Worker is not among Gates accepted")
+		}
+		good := gatepool.GateDef{Name: "worker",
+			Entry: func(*sthread.Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 }}
+		oob := App[echoState]{Name: "bad", Worker: "worker", ArgSize: 64,
+			FDOff: 64, Gates: []gatepool.GateDef{good}}
+		if _, err := New(root, oob); err == nil {
+			t.Error("FDOff outside the argument block accepted")
+		}
+		overlap := App[echoState]{Name: "bad", Worker: "worker", ArgSize: 64,
+			ConnIDOff: 8, FDOff: 12, Gates: []gatepool.GateDef{good}}
+		if _, err := New(root, overlap); err == nil {
+			t.Error("overlapping ConnIDOff/FDOff accepted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,8 +2,10 @@
 // per-connection sthread creation amortized away by a gatepool, the same
 // treatment httpd.PooledServer gives the SSL server.
 //
-// Each pool slot owns a private argument tag and five long-lived recycled
-// sthreads instantiated against it:
+// The server is a serve.App descriptor on the shared wedge-server runtime
+// (internal/serve), which owns the pool lifecycle, accept loop, drain,
+// admission control, and conn-id demux. This file contributes the five
+// gates each slot carries:
 //
 //   - "worker": the unprivileged network-facing compartment, created
 //     confined (WorkerUID, chrooted to /var/empty). One invocation serves
@@ -18,24 +20,22 @@
 //
 // Per-connection state that the one-shot build kept in per-connection Go
 // closures — the pubkey nonce, the pending S/Key user, and the worker
-// handle the auth gates promote — moves into a per-invocation connection
-// record, demultiplexed by the conn id in the slot's argument block and
-// pinned to the slot (state.lease.Arg must equal the gate's argument
-// base), so nothing carries over between principals on a reused slot.
-// Successful authentication promotes the slot's recycled worker exactly
-// as Figure 6 promotes a fresh one; the server demotes it back to
-// WorkerUID//var/empty before the slot can be released, so a recycled
-// worker never starts a connection with a previous principal's identity.
+// handle the auth gates promote — lives in the runtime's per-invocation
+// connection record, demultiplexed by the conn id in the slot's argument
+// block and pinned to the slot (serve.Runtime.Lookup), so nothing carries
+// over between principals on a reused slot. Successful authentication
+// promotes the slot's recycled worker exactly as Figure 6 promotes a
+// fresh one; the EndConn hook demotes it back to WorkerUID//var/empty
+// before the slot can be released, so a recycled worker never starts a
+// connection with a previous principal's identity.
 
 package sshd
 
 import (
-	"fmt"
 	"wedge/internal/gatepool"
-	"wedge/internal/kernel"
 	"wedge/internal/minissl"
-	"wedge/internal/netsim"
 	"wedge/internal/policy"
+	"wedge/internal/serve"
 	"wedge/internal/sthread"
 	"wedge/internal/tags"
 	"wedge/internal/vm"
@@ -55,17 +55,19 @@ type PooledWedge struct {
 	optTag   tags.Tag
 	optAddr  vm.Addr
 
-	pool  *gatepool.Pool
 	hooks WedgeHooks
 
-	conns gatepool.ConnTable[*sshPoolConn]
+	// The embedded runtime owns the pool, the accept loop (Serve),
+	// lifecycle (Drain/Undrain/Close), admission control (SetQueue),
+	// sizing (Resize/SetAutoSlots — freshly grown slots get their own
+	// confined recycled workers), observability (Snapshot/PoolStats),
+	// and the conn-id demux (Lookup) — all promoted onto the server.
+	*serve.Runtime[sshPoolConn]
 }
 
 // sshPoolConn is one connection's gate-side state: what the one-shot
 // build captured in per-connection closures.
 type sshPoolConn struct {
-	lease  *gatepool.Lease
-	fd     int
 	worker *sthread.Sthread // the slot's recycled worker, for promotion
 
 	nonce       []byte
@@ -73,9 +75,8 @@ type sshPoolConn struct {
 }
 
 // NewPooledWedge builds the pooled server with the given number of slots
-// (httpd.DefaultPoolSlots-style sizing is the caller's choice; slots <= 0
-// means one slot per host core pair is NOT assumed here — gatepool's
-// default of 1 applies). SetupUsers must have provisioned /var/empty.
+// (serve.DefaultSlots if slots <= 0). SetupUsers must have provisioned
+// /var/empty.
 func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks WedgeHooks) (*PooledWedge, error) {
 	w := &PooledWedge{root: root, cfg: cfg, hooks: hooks}
 	var err error
@@ -91,10 +92,13 @@ func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks We
 		return nil, err
 	}
 	stats := &w.Stats
-	w.pool, err = gatepool.New(root, gatepool.Config{
-		Name:    "sshd",
-		Slots:   slots,
-		ArgSize: sshArgSize,
+	w.Runtime, err = serve.New(root, serve.App[sshPoolConn]{
+		Name:      "sshd",
+		Slots:     slots,
+		ArgSize:   sshArgSize,
+		Worker:    "worker",
+		ConnIDOff: sshArgConnID,
+		FDOff:     sshArgPoolFD,
 		Gates: []gatepool.GateDef{
 			{
 				Name: "worker",
@@ -114,107 +118,53 @@ func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks We
 			{
 				Name: "auth_password",
 				Entry: func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-					st := w.stateFor(g, arg)
-					if st == nil {
+					c := w.Lookup(g, arg)
+					if c == nil {
 						return 0
 					}
-					return passwordAuth(g, arg, func() *sthread.Sthread { return st.worker }, stats)
+					return passwordAuth(g, arg, func() *sthread.Sthread { return c.State.worker }, stats)
 				},
 			},
 			{
 				Name: "auth_pubkey",
 				Entry: func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-					st := w.stateFor(g, arg)
-					if st == nil {
+					c := w.Lookup(g, arg)
+					if c == nil {
 						return 0
 					}
-					return pubkeyAuth(g, arg, func() *sthread.Sthread { return st.worker }, &st.nonce, stats)
+					return pubkeyAuth(g, arg, func() *sthread.Sthread { return c.State.worker }, &c.State.nonce, stats)
 				},
 			},
 			{
 				Name: "auth_skey",
 				Entry: func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-					st := w.stateFor(g, arg)
-					if st == nil {
+					c := w.Lookup(g, arg)
+					if c == nil {
 						return 0
 					}
-					return skeyAuth(g, arg, func() *sthread.Sthread { return st.worker }, &st.pendingSKey, stats)
+					return skeyAuth(g, arg, func() *sthread.Sthread { return c.State.worker }, &c.State.pendingSKey, stats)
 				},
 			},
 		},
+		InitConn: func(c *serve.Conn[sshPoolConn]) error {
+			c.State.worker = c.Lease.Gate("worker").Sthread()
+			return nil
+		},
+		// EndConn runs before the slot is released — and before the next
+		// connection of the *same* principal, too: whatever this
+		// connection's authentication did to the recycled worker's
+		// identity is undone here, because an authenticated uid is
+		// per-connection state, not slot affinity.
+		EndConn: func(c *serve.Conn[sshPoolConn]) { w.demote(c.State.worker) },
 	})
 	if err != nil {
-		// A failed pool build (e.g. /var/empty not provisioned, so the
-		// confined worker cannot be created) must not strand the blob
-		// tags.
+		// A failed runtime build (e.g. /var/empty not provisioned, so
+		// the confined worker cannot be created) must not strand the
+		// blob tags.
 		releaseTags(root, w.hostTag, w.pubTag, w.optTag)
 		return nil, err
 	}
 	return w, nil
-}
-
-// Close drains the pool and retires every slot.
-func (w *PooledWedge) Close() error { return w.pool.Close() }
-
-// Resize grows or shrinks the slot pool (see gatepool.Pool.Resize).
-// Freshly grown slots get their own confined recycled workers.
-func (w *PooledWedge) Resize(slots int) error { return w.pool.Resize(slots) }
-
-// PoolStats snapshots the scheduler counters.
-func (w *PooledWedge) PoolStats() gatepool.Stats { return w.pool.Stats() }
-
-// stateFor demultiplexes gate-side connection state by the conn id in
-// the argument block, applying the slot pin gatepool.ConnTable requires:
-// the state must anchor at exactly this invocation's argument block, so
-// a forged id cannot reach another slot's connection.
-func (w *PooledWedge) stateFor(g *sthread.Sthread, arg vm.Addr) *sshPoolConn {
-	st, ok := w.conns.Get(g.Load64(arg + sshArgConnID))
-	if !ok || st.lease.Arg != arg {
-		return nil
-	}
-	return st
-}
-
-// ServeConn handles one connection, sharding by the peer's network
-// address. It blocks while every slot is leased — the pool's admission
-// control.
-func (w *PooledWedge) ServeConn(conn *netsim.Conn) error {
-	return w.ServeConnAs(conn, conn.RemoteAddr())
-}
-
-// ServeConnAs is ServeConn with an explicit principal.
-func (w *PooledWedge) ServeConnAs(conn *netsim.Conn, principal string) error {
-	root := w.root
-	fd := root.Task.InstallFD(conn, kernel.FDRW)
-	defer root.Task.CloseFD(fd)
-
-	lease, err := w.pool.Acquire(principal)
-	if err != nil {
-		return fmt.Errorf("sshd pooled: acquire: %w", err)
-	}
-	defer lease.Release()
-
-	st := &sshPoolConn{lease: lease, fd: fd, worker: lease.Gate("worker").Sthread()}
-	// Demote runs before Release (deferred later, so it unwinds first):
-	// whatever this connection's authentication did to the recycled
-	// worker's identity is undone before another principal can lease the
-	// slot — and before the next connection of the *same* principal, too:
-	// an authenticated uid is per-connection state, not slot affinity.
-	defer w.demote(st.worker)
-
-	connID := w.conns.Put(st)
-	defer w.conns.Delete(connID)
-
-	root.Store64(lease.Arg+sshArgConnID, connID)
-	root.Store64(lease.Arg+sshArgPoolFD, uint64(fd))
-
-	// One recycled-worker invocation serves the whole connection; no
-	// sthread is created on this path.
-	_, err = lease.CallFD("worker", root, lease.Arg, fd, kernel.FDRW)
-	if err != nil {
-		return fmt.Errorf("sshd pooled: worker: %w", err)
-	}
-	return nil
 }
 
 // demote strips any promotion the auth gates performed on the slot's
@@ -228,27 +178,23 @@ func (w *PooledWedge) demote(worker *sthread.Sthread) {
 // connection, running with the slot's argument tag, the public key and
 // options, and the per-invocation connection descriptor — nothing else.
 func (w *PooledWedge) workerEntry(s *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-	st := w.stateFor(s, arg)
-	if st == nil {
-		return 0
-	}
-	fd := int(s.Load64(arg + sshArgPoolFD))
-	if st.fd != fd {
+	c := w.Lookup(s, arg)
+	if c == nil {
 		return 0
 	}
 	if w.hooks.Worker != nil {
 		w.hooks.Worker(s, &WedgeConnContext{
-			FD:          fd,
+			FD:          c.FD,
 			HostKeyAddr: w.hostAddr,
 			ArgAddr:     arg,
 		})
 	}
-	lease := st.lease
+	lease := c.Lease
 	viaPool := func(name string) authCall {
 		return func(s *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
 			return lease.Call(name, s, arg)
 		}
 	}
-	return sshWorkerBody(s, fd, arg, &st.nonce, w.pubAddr, &w.Stats,
+	return sshWorkerBody(s, c.FD, arg, &c.State.nonce, w.pubAddr, &w.Stats,
 		viaPool("sign"), viaPool("auth_password"), viaPool("auth_pubkey"), viaPool("auth_skey"))
 }

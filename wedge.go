@@ -54,6 +54,7 @@ import (
 	"wedge/internal/netsim"
 	"wedge/internal/policy"
 	"wedge/internal/selinux"
+	"wedge/internal/serve"
 	"wedge/internal/sthread"
 	"wedge/internal/tags"
 	"wedge/internal/vfs"
@@ -101,7 +102,54 @@ type (
 	GateLease = gatepool.Lease
 	// GatePoolStats is a snapshot of a pool's scheduling counters.
 	GatePoolStats = gatepool.Stats
+
+	// ServeApp declares a pooled wedge application for the serve runtime:
+	// the gates every slot carries, which gate is the per-connection
+	// worker, and the per-connection state type T.
+	ServeApp[T any] = serve.App[T]
+	// ServeRuntime runs a ServeApp: pool lifecycle, accept loop, graceful
+	// drain, admission control, and a unified metrics snapshot.
+	ServeRuntime[T any] = serve.Runtime[T]
+	// ServedConn is one in-flight connection's record (lease, descriptor,
+	// app state), reachable from gate entries via Runtime.Lookup.
+	ServedConn[T any] = serve.Conn[T]
+	// ServeState is a runtime's lifecycle position.
+	ServeState = serve.State
+	// ServeSnapshot is the unified runtime + pool observability surface.
+	ServeSnapshot = serve.Snapshot
+	// SlotPin is a NUMA-style slot→CPU placement hint.
+	SlotPin = serve.SlotPin
+	// OverloadError is the serve runtime's typed admission rejection.
+	OverloadError = serve.OverloadError
 )
+
+// The serve runtime's lifecycle states: serving → draining → closed.
+const (
+	StateServing  = serve.StateServing
+	StateDraining = serve.StateDraining
+	StateClosed   = serve.StateClosed
+)
+
+// ErrOverloaded is the errors.Is target for every serve-runtime
+// admission rejection (queue overflow, draining, closed).
+var ErrOverloaded = serve.ErrOverloaded
+
+// NewServeRuntime builds a serve runtime from an application descriptor
+// on the given (typically root) sthread. The runtime owns what every
+// pooled server otherwise re-implements: pool construction and teardown,
+// a Serve accept loop, graceful Drain (in-flight connections complete,
+// new admissions fail with ErrOverloaded), hot Resize with an auto mode
+// tracking GOMAXPROCS, bounded-queue admission control, slot→CPU pin
+// hints, and a unified Snapshot. httpd.PooledServer, sshd.PooledWedge,
+// and pop3.PooledServer are all thin descriptors on this runtime.
+func NewServeRuntime[T any](creator *Sthread, app ServeApp[T]) (*ServeRuntime[T], error) {
+	return serve.New(creator, app)
+}
+
+// DefaultPoolSlots is the serve runtime's shared slot-count policy:
+// twice the host parallelism, floored at two. Slot count should track
+// available parallelism, not connection concurrency.
+func DefaultPoolSlots() int { return serve.DefaultSlots() }
 
 // NewGatePool builds a sharded recycled-callgate pool on the given
 // (typically root) sthread, which creates every slot's argument tag and
