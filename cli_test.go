@@ -134,6 +134,14 @@ func TestCLIWedgebench(t *testing.T) {
 			t.Fatalf("metrics output missing %q:\n%s", want, out)
 		}
 	}
+	// The privsep ladder (fork-per-connection monitor vs pooled monitor
+	// gates) runs through the same -pool door as the other three apps.
+	out = run(t, wb, "-pool", "-app", "privsep", "-poolconns", "2", "-poollevels", "1")
+	for _, want := range []string{"app=privsep", "privsep ", "pooled "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("privsep pool output missing %q:\n%s", want, out)
+		}
+	}
 }
 
 // TestCLIWedgebenchFlagValidation: negative sizes and counts are a usage
@@ -153,6 +161,10 @@ func TestCLIWedgebenchFlagValidation(t *testing.T) {
 		{"-table", "2", "-scp", "-1"},
 		{"-pool", "-poollevels", "1,-4"},
 		{"-pool", "-app", "imap"},
+		// -app is validated before any experiment runs, with or without
+		// -pool, and "all" does not make unknown names slip through.
+		{"-app", "imap"},
+		{"-pool", "-app", "ALL"},
 	}
 	for _, args := range cases {
 		cmd := exec.Command(wb, args...)

@@ -10,7 +10,11 @@
 //	wedgebench -pool           # gatepool scaling: variant throughput as
 //	                           # concurrency grows 1..64
 //	wedgebench -pool -app sshd # same ladder for the sshd study
-//	wedgebench -pool -app pop3 # ... and the pop3 study
+//	wedgebench -pool -app pop3 # ... the pop3 study
+//	wedgebench -pool -app privsep # ... and the privsep-vs-pooled-monitor
+//	                           # contrast (§5.2)
+//	wedgebench -pool -app all  # the four-way pooled comparison
+//	                           # (httpd/sshd/pop3/privsep) in one command
 //	wedgebench -all            # everything
 //
 // Every row is printed next to the paper's reported value where one
@@ -66,7 +70,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "partitioning metrics and object census")
 	ablations := flag.Bool("ablations", false, "design-choice ablations (tag cache, ephemeral RSA)")
 	pool := flag.Bool("pool", false, "gatepool scaling experiment (FigPool)")
-	poolApp := flag.String("app", "httpd", "gatepool experiment application: httpd, sshd or pop3")
+	poolApp := flag.String("app", "httpd", "gatepool experiment application: httpd, sshd, pop3, privsep, or all")
 	poolSize := flag.Int("poolsize", 0, "gatepool slots (0 = host parallelism)")
 	poolConns := flag.Int("poolconns", bench.FigPoolConns, "timed connections per FigPool cell")
 	poolLevels := flag.String("poollevels", "", "comma-separated FigPool concurrency ladder (default 1,2,4,...,64)")
@@ -108,7 +112,12 @@ func main() {
 	if err != nil {
 		usageError("-poollevels: %v", err)
 	}
-	if _, err := bench.FigPoolVariants(*poolApp); err != nil {
+	// "all" fans the pool experiment out over every application; any
+	// other value must name one of them.
+	poolApps := []string{*poolApp}
+	if *poolApp == "all" {
+		poolApps = bench.FigPoolApps
+	} else if _, err := bench.FigPoolVariants(*poolApp); err != nil {
 		usageError("-app: %v", err)
 	}
 
@@ -171,25 +180,27 @@ func main() {
 	}
 	if *all || *pool {
 		opts := bench.PoolOpts{Slots: *poolSize, Queue: *queue, AutoSlots: *autoslots, Drain: *drain}
-		rows, r, err := bench.FigPoolApp(*poolApp, *poolConns, levels, opts)
-		if err != nil {
-			fail(err)
-		}
-		results = append(results, r...)
-		order, _ := bench.FigPoolVariants(*poolApp)
-		fmt.Printf("gatepool scaling detail, app=%s (req/s by concurrent connections):\n", *poolApp)
-		byVariant := map[string][]bench.PoolRow{}
-		for _, row := range rows {
-			byVariant[row.Variant] = append(byVariant[row.Variant], row)
-		}
-		for _, v := range order {
-			fmt.Printf("  %-9s", v)
-			for _, row := range byVariant[v] {
-				fmt.Printf(" c=%-3d %7.0f", row.Conns, row.RPS)
+		for _, app := range poolApps {
+			rows, r, err := bench.FigPoolApp(app, *poolConns, levels, opts)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r...)
+			order, _ := bench.FigPoolVariants(app)
+			fmt.Printf("gatepool scaling detail, app=%s (req/s by concurrent connections):\n", app)
+			byVariant := map[string][]bench.PoolRow{}
+			for _, row := range rows {
+				byVariant[row.Variant] = append(byVariant[row.Variant], row)
+			}
+			for _, v := range order {
+				fmt.Printf("  %-9s", v)
+				for _, row := range byVariant[v] {
+					fmt.Printf(" c=%-3d %7.0f", row.Conns, row.RPS)
+				}
+				fmt.Println()
 			}
 			fmt.Println()
 		}
-		fmt.Println()
 	}
 	if *all || *ablations {
 		on, off, err := bench.AblationTagCache(*conns)

@@ -1,0 +1,115 @@
+// The pooled privsep monitor: §5.2's "today's privilege-separated
+// OpenSSH" comparison point run as the fourth serve.App. The monitor's
+// narrow request interface (getpwnam / checkpass / sign / skeychal /
+// skeyverify) is served by pooled recycled gates, the unprivileged slave
+// is a confined recycled worker instead of a fork, and — unlike the
+// fork-based monitor — an attacker probing for valid usernames learns
+// nothing: unknown users draw the same reply shapes as real ones.
+//
+//	go run ./examples/pooledprivsep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/sshd"
+	"wedge/internal/sthread"
+)
+
+func main() {
+	k := kernel.New()
+	hostKey, err := minissl.GenerateServerKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// alice gets an S/Key chain too, so the probe below compares a real
+	// user's challenge path against a fabricated user's dummy path.
+	if err := sshd.SetupUsers(k, []sshd.User{
+		{Name: "alice", Password: "sesame", UID: 1000,
+			SKeySeed: []byte("alice-seed"), SKeyN: 80},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	app := sthread.Boot(k)
+
+	type rig struct {
+		srv *sshd.PooledPrivsep
+		l   *netsim.Listener
+	}
+	ready := make(chan rig, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := sshd.NewPooledPrivsep(root,
+				sshd.ServerConfig{HostKey: hostKey}, 2, sshd.WedgeHooks{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				log.Fatal(err)
+			}
+			ready <- rig{srv, l}
+			srv.Serve(l) // the runtime-owned accept loop; returns at close
+		})
+	}()
+	r := <-ready
+	srv := r.srv
+
+	dial := func() *sshd.Client {
+		conn, err := k.Net.Dial("sshd:22")
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := sshd.NewClient(conn, &hostKey.PublicKey)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	// A legitimate login through the pooled monitor gates.
+	c := dial()
+	if err := c.AuthPassword("alice", "sesame"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice logged in, uid=%d (monitor messages so far: %d)\n",
+		c.UID, srv.Stats.MonitorMsgs.Load())
+	c.Exit()
+
+	// The probe the fork-based monitor leaks to: ask for S/Key
+	// challenges for a real and a fabricated user. The pooled monitor
+	// answers both with a plausible challenge — usernames are not
+	// enumerable.
+	p := dial()
+	nReal, err := p.SKeyChallenge("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.SKeyRespond([]byte("wrong")) // fails, as it should
+	nFake, err := p.SKeyChallenge("mallory-probe")
+	if err != nil {
+		log.Fatalf("probe distinguished users: %v", err)
+	}
+	p.SKeyRespond([]byte("wrong"))
+	fmt.Printf("skey challenges: alice=%d, mallory-probe=%d — same shape, nothing learnable\n",
+		nReal, nFake)
+	p.Exit()
+
+	// Drain to quiescence, then inspect the runtime's ledger.
+	srv.Drain()
+	s := srv.Snapshot()
+	fmt.Printf("snapshot: app=%s state=%v served=%d failed=%d slots=%d monitor-msgs=%d logins=%d\n",
+		s.App, s.State, s.Served, s.Failed, s.Pool.Slots,
+		srv.Stats.MonitorMsgs.Load(), srv.Stats.Logins.Load())
+	srv.Undrain()
+	r.l.Close() // Serve returns, Main unwinds, the deferred Close tears down
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}

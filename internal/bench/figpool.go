@@ -137,19 +137,27 @@ func figPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (fl
 	return rps, nil
 }
 
+// FigPoolApps is every application the gatepool experiment covers, in
+// ladder order — the four-way pooled comparison `wedgebench -pool -app
+// all` runs.
+var FigPoolApps = []string{"httpd", "sshd", "pop3", "privsep"}
+
 // FigPoolVariants returns the variant ladder measured for one app: the
 // httpd experiment keeps the paper's four builds; sshd and pop3 compare
 // the unpartitioned build, the per-connection partitioned build (whose
 // gates are created per connection — the cost recycling amortizes), and
-// the pooled build.
+// the pooled build; privsep compares the fork-per-connection monitor of
+// §5.2 against the pooled monitor gates.
 func FigPoolVariants(app string) ([]string, error) {
 	switch app {
 	case "", "httpd":
 		return []string{"mono", "simple", "recycled", "pooled"}, nil
 	case "sshd", "pop3":
 		return []string{"mono", "wedge", "pooled"}, nil
+	case "privsep":
+		return []string{"privsep", "pooled"}, nil
 	}
-	return nil, fmt.Errorf("bench: unknown FigPool app %q (want httpd, sshd or pop3)", app)
+	return nil, fmt.Errorf("bench: unknown FigPool app %q (want httpd, sshd, pop3 or privsep)", app)
 }
 
 // FigPool measures every httpd variant across the concurrency ladder; see
@@ -158,8 +166,8 @@ func FigPool(conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error
 	return FigPoolApp("httpd", conns, levels, PoolOpts{Slots: poolSlots})
 }
 
-// FigPoolApp measures every variant of the given app ("httpd", "sshd" or
-// "pop3") across the concurrency ladder. conns is the timed connection
+// FigPoolApp measures every variant of the given app ("httpd", "sshd",
+// "pop3" or "privsep") across the concurrency ladder. conns is the timed connection
 // count per cell (0 = FigPoolConns; rounded up to a multiple of the
 // level), levels the ladder (nil = FigPoolLevels), and opts the
 // serve-runtime knobs applied to the pooled variants.
@@ -208,6 +216,8 @@ func FigPoolApp(app string, conns int, levels []int, opts PoolOpts) ([]PoolRow, 
 					r, err = sshdPoolCell(variant, level, total, slots, opts)
 				case "pop3":
 					r, err = pop3PoolCell(variant, level, total, slots, opts)
+				case "privsep":
+					r, err = privsepPoolCell(variant, level, total, slots, opts)
 				}
 				if err != nil {
 					return nil, nil, err

@@ -232,6 +232,67 @@ func sshdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (f
 	return rps, nil
 }
 
+// privsepPoolCell measures one privilege-separation build: a session is
+// the host-key handshake, a password login, and exit — the same work as
+// the sshd cell, so the §5.2 contrast (fork-per-connection monitor vs
+// pooled monitor gates) is directly comparable to the Wedge ladder. The
+// "privsep" variant forks one slave per connection and serves monitor
+// requests over channel IPC; "pooled" runs the monitor interface as
+// pooled recycled gates under the serve runtime.
+func privsepPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (float64, error) {
+	hostKey, err := minissl.GenerateServerKey()
+	if err != nil {
+		return 0, err
+	}
+	users := []sshd.User{{Name: "alice", Password: "sesame", UID: 1000}}
+	cfg := sshd.ServerConfig{HostKey: hostKey}
+
+	var drainErr error
+	rps, err := poolCellHarness(
+		func(k *kernel.Kernel) error { return sshd.SetupUsers(k, users) },
+		func(root *sthread.Sthread) (cellServer, error) {
+			switch variant {
+			case "privsep":
+				srv, err := sshd.NewPrivsep(root, cfg, "", sshd.PrivsepHooks{})
+				if err != nil {
+					return cellServer{}, err
+				}
+				return cellServer{serve: srv.ServeConn}, nil
+			case "pooled":
+				srv, err := sshd.NewPooledPrivsep(root, cfg, poolSlots, sshd.WedgeHooks{})
+				if err != nil {
+					return cellServer{}, err
+				}
+				return pooledCellServer(srv, opts, &drainErr), nil
+			}
+			return cellServer{}, fmt.Errorf("unknown privsep variant %q", variant)
+		},
+		"sshd:22",
+		func(k *kernel.Kernel) error {
+			conn, err := k.Net.Dial("sshd:22")
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			c, err := sshd.NewClient(conn, &hostKey.PublicKey)
+			if err != nil {
+				return err
+			}
+			if err := c.AuthPassword("alice", "sesame"); err != nil {
+				return err
+			}
+			return c.Exit()
+		},
+		conns, total)
+	if err == nil {
+		err = drainErr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("privsep %s c=%d: %w", variant, conns, err)
+	}
+	return rps, nil
+}
+
 // pop3PoolCell measures one pop3 variant: a session is login, one
 // retrieval, and quit. No RSA is involved, so the cell isolates the pure
 // partitioning overhead (sthread and gate creations per session) that

@@ -72,17 +72,21 @@ func TestFigPoolShape(t *testing.T) {
 	}
 }
 
-// TestFigPoolAppsShape: the sshd and pop3 ladders report a complete,
-// positive row set for every variant (mono, wedge, pooled).
+// TestFigPoolAppsShape: the sshd, pop3, and privsep ladders report a
+// complete, positive row set for every variant.
 func TestFigPoolAppsShape(t *testing.T) {
-	for _, app := range []string{"sshd", "pop3"} {
+	for _, app := range []string{"sshd", "pop3", "privsep"} {
 		t.Run(app, func(t *testing.T) {
+			variants, err := FigPoolVariants(app)
+			if err != nil {
+				t.Fatal(err)
+			}
 			rows, results, err := FigPoolApp(app, 6, []int{2}, PoolOpts{Slots: 2})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(rows) != 3 || len(results) != 3 {
-				t.Fatalf("rows=%d results=%d, want 3/3", len(rows), len(results))
+			if len(rows) != len(variants) || len(results) != len(variants) {
+				t.Fatalf("rows=%d results=%d, want %d/%d", len(rows), len(results), len(variants), len(variants))
 			}
 			for _, r := range rows {
 				if r.RPS <= 0 {
@@ -90,6 +94,20 @@ func TestFigPoolAppsShape(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestFigPoolAppsCoverAll: the four-way comparison list names exactly the
+// apps FigPoolVariants accepts (beyond the implicit "" default), so
+// `wedgebench -pool -app all` cannot silently drop one.
+func TestFigPoolAppsCoverAll(t *testing.T) {
+	if len(FigPoolApps) != 4 {
+		t.Fatalf("FigPoolApps = %v, want the four-way comparison", FigPoolApps)
+	}
+	for _, app := range FigPoolApps {
+		if _, err := FigPoolVariants(app); err != nil {
+			t.Fatalf("FigPoolApps entry %q rejected: %v", app, err)
+		}
 	}
 }
 

@@ -1,0 +1,92 @@
+package httpd
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/serve/servetest"
+	"wedge/internal/sthread"
+)
+
+// TestServeConformance runs the shared serve-app battery (residue scrub,
+// drain/undrain, resize under load, leak accounting, snapshot
+// consistency) against the pooled SSL server. The residue window is the
+// master secret the setup gate writes at argMaster — the §3.3 leak the
+// recycled variant reproduces (TestRecycledCrossConnectionResidue) and
+// the pool must close.
+func TestServeConformance(t *testing.T) {
+	priv := serverKey(t)
+
+	// holdHTTP completes the SSL handshake — the worker invocation is
+	// then provably in flight, parked on the request read.
+	holdHTTP := func(k *kernel.Kernel) (*netsim.Conn, *minissl.ClientConn, error) {
+		conn, err := k.Net.Dial("apache:443")
+		if err != nil {
+			return nil, nil, err
+		}
+		cc, err := minissl.ClientHandshake(conn, &minissl.ClientConfig{ServerPub: &priv.PublicKey})
+		if err != nil {
+			conn.Close()
+			return nil, nil, err
+		}
+		return conn, cc, nil
+	}
+	finishHTTP := func(conn *netsim.Conn, cc *minissl.ClientConn) error {
+		defer conn.Close()
+		if _, err := cc.Write([]byte("GET /index.html")); err != nil {
+			return err
+		}
+		resp, err := cc.ReadRecord()
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(string(resp), "200 OK\n") {
+			return fmt.Errorf("response %.30q", resp)
+		}
+		return nil
+	}
+
+	servetest.Run(t, servetest.App{
+		Name: "httpd",
+		Addr: "apache:443",
+		Setup: func(k *kernel.Kernel) error {
+			return SetupDocroot(k, "/var/www", 1024)
+		},
+		New: func(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest.Runtime, error) {
+			hooks := Hooks{}
+			if probe != nil {
+				hooks.Worker = func(s *sthread.Sthread, c *ConnContext) { probe(s, c.ArgAddr) }
+			}
+			return NewPooled(root, "/var/www", priv, false, slots, hooks)
+		},
+		Session: func(k *kernel.Kernel) ([]byte, error) {
+			conn, cc, err := holdHTTP(k)
+			if err != nil {
+				return nil, err
+			}
+			if err := finishHTTP(conn, cc); err != nil {
+				return nil, err
+			}
+			return cc.Session.Master[:], nil
+		},
+		Hold: func(k *kernel.Kernel) (*servetest.Held, error) {
+			conn, cc, err := holdHTTP(k)
+			if err != nil {
+				return nil, err
+			}
+			return &servetest.Held{
+				Finish:  func() error { return finishHTTP(conn, cc) },
+				Abandon: func() error { return conn.Close() },
+			}, nil
+		},
+		ArgSize:   argSize,
+		ConnIDOff: argConnID,
+		FDOff:     argPoolFD,
+		// The private- and public-key blob tags outlive the runtime.
+		StaticTags: 2,
+	})
+}

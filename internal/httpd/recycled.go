@@ -246,7 +246,10 @@ func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup setupCall
 	w.Store64(arg+argOp, opHello)
 	w.Write(arg+argClientRandom, clientRandom[:])
 	w.Store64(arg+argSessionIDLen, uint64(len(offeredID)))
-	if len(offeredID) > 0 {
+	// The gate ignores resume offers longer than a session id, so only a
+	// well-sized offer is ever copied — an oversized one must not let the
+	// client scribble over the block's gate-output fields.
+	if len(offeredID) > 0 && len(offeredID) <= minissl.SessionIDLen {
 		w.Write(arg+argSessionID, offeredID)
 	}
 	stats.GateCalls.Add(1)
@@ -277,6 +280,14 @@ func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup setupCall
 			return 0
 		}
 		transcript.Add(minissl.MsgClientKeyExchange, ckeBody)
+		// Bound the write to the setup gate's own input cap (256 bytes):
+		// an oversized key-exchange body must fail the handshake, not run
+		// past the block into memory the inter-principal scrub never
+		// reaches (the pooled build's slot arena).
+		if len(ckeBody) > 256 {
+			minissl.SendAlert(stream, "bad key exchange")
+			return 0
+		}
 		w.Store64(arg+argOp, opKex)
 		w.Store64(arg+argDataLen, uint64(len(ckeBody)))
 		w.Write(arg+argData, ckeBody)

@@ -1,0 +1,112 @@
+package pop3
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/serve/servetest"
+	"wedge/internal/sthread"
+)
+
+// TestServeConformance runs the shared serve-app battery against the
+// pooled POP3 server. The residue window is the RETR output area at
+// p3Out — principal A's mailbox bytes, which the pool must scrub before
+// principal B's handler invocation can observe them (what
+// TestPooledResidue used to check by hand).
+func TestServeConformance(t *testing.T) {
+	type popConn struct {
+		conn *netsim.Conn
+		r    *bufio.Reader
+	}
+	// holdPOP reads the greeting — the handler invocation is then
+	// provably in flight, parked on the first command.
+	holdPOP := func(k *kernel.Kernel) (*popConn, error) {
+		conn, err := k.Net.Dial("pop3:110")
+		if err != nil {
+			return nil, err
+		}
+		c := &popConn{conn: conn, r: bufio.NewReader(conn)}
+		greet, err := c.r.ReadString('\n')
+		if err != nil || !strings.HasPrefix(greet, "+OK") {
+			conn.Close()
+			return nil, fmt.Errorf("greeting %q: %v", greet, err)
+		}
+		return c, nil
+	}
+	cmd := func(c *popConn, line, wantPrefix string) error {
+		if _, err := c.conn.Write([]byte(line + "\r\n")); err != nil {
+			return err
+		}
+		resp, err := c.r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if !strings.HasPrefix(resp, wantPrefix) {
+			return fmt.Errorf("%s: %q, want %s...", line, resp, wantPrefix)
+		}
+		return nil
+	}
+
+	servetest.Run(t, servetest.App{
+		Name: "pop3",
+		Addr: "pop3:110",
+		New: func(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest.Runtime, error) {
+			hooks := Hooks{}
+			if probe != nil {
+				hooks.Handler = func(h *sthread.Sthread, ctx *ConnContext) { probe(h, ctx.ArgAddr) }
+			}
+			return NewPooled(root, testBoxes(), slots, hooks)
+		},
+		Session: func(k *kernel.Kernel) ([]byte, error) {
+			c, err := holdPOP(k)
+			if err != nil {
+				return nil, err
+			}
+			defer c.conn.Close()
+			if err := cmd(c, "USER alice", "+OK"); err != nil {
+				return nil, err
+			}
+			if err := cmd(c, "PASS sesame", "+OK"); err != nil {
+				return nil, err
+			}
+			if err := cmd(c, "RETR 1", "+OK"); err != nil {
+				return nil, err
+			}
+			for { // read the message body through the terminating "."
+				line, err := c.r.ReadString('\n')
+				if err != nil {
+					return nil, err
+				}
+				if strings.TrimRight(line, "\r\n") == "." {
+					break
+				}
+			}
+			if err := cmd(c, "QUIT", "+OK"); err != nil {
+				return nil, err
+			}
+			return []byte("hi alice"), nil // the retrieved mail's bytes
+		},
+		Hold: func(k *kernel.Kernel) (*servetest.Held, error) {
+			c, err := holdPOP(k)
+			if err != nil {
+				return nil, err
+			}
+			return &servetest.Held{
+				Finish: func() error {
+					defer c.conn.Close()
+					return cmd(c, "QUIT", "+OK")
+				},
+				Abandon: func() error { return c.conn.Close() },
+			}, nil
+		},
+		ArgSize:   p3Size,
+		ConnIDOff: p3ConnID,
+		FDOff:     p3PoolFD,
+		// The password-database and mail-store tags outlive the runtime.
+		StaticTags: 2,
+	})
+}

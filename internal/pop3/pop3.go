@@ -375,6 +375,14 @@ func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 			say("+OK")
 		case "PASS":
 			payload := pendingUser + "\x00" + rest
+			// Bound the write to the login gate's own input cap: an
+			// oversized credential line must fail authentication, not run
+			// past the block into memory the inter-principal scrub never
+			// reaches (the pooled build's slot arena).
+			if len(payload) > 200 {
+				say("-ERR auth failed")
+				continue
+			}
 			h.Store64(arg+p3StrLen, uint64(len(payload)))
 			h.Write(arg+p3Str, []byte(payload))
 			ret, err := login(h, arg)

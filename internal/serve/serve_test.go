@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
@@ -15,9 +16,10 @@ import (
 )
 
 // The toy application every test serves: one "worker" gate per slot that
-// echoes one byte from the connection — enough to hold a connection
-// in-flight (the read blocks until the client writes) and to prove the
-// response path works.
+// greets the client with one byte, then echoes one byte back. The
+// greeting is the tests' synchronization primitive: once a client has
+// read it, the worker invocation is provably in flight and parked on the
+// payload read — no polling needed to know a connection is held.
 const (
 	echoConnID  = 0
 	echoPoolFD  = 8
@@ -70,6 +72,9 @@ func startEcho(t *testing.T, app App[echoState], drive func(rig *echoRig)) {
 					if c == nil {
 						return 0
 					}
+					if _, err := w.Task.WriteFD(c.FD, []byte{'>'}); err != nil {
+						return 0
+					}
 					buf := make([]byte, 1)
 					if _, err := w.Task.ReadFD(c.FD, buf); err != nil {
 						return 0
@@ -111,15 +116,28 @@ func startEcho(t *testing.T, app App[echoState], drive func(rig *echoRig)) {
 	}
 }
 
-// dialEcho opens a client connection; the returned func completes the
-// echo round-trip (write one byte, read it back).
-func dialEcho(t *testing.T, k *kernel.Kernel) (conn *netsim.Conn, finish func() error) {
+// dialEcho opens a client connection. await blocks until the worker's
+// greeting arrives — the state-machine handshake proving the worker
+// invocation holds the connection (the replacement for polling the pool's
+// busy count). finish completes the echo round-trip; it must only run
+// after await. Rejected connections call neither.
+func dialEcho(t *testing.T, k *kernel.Kernel) (conn *netsim.Conn, await, finish func() error) {
 	t.Helper()
 	conn, err := k.Net.Dial("echo:7")
 	if err != nil {
 		t.Fatal(err)
 	}
-	return conn, func() error {
+	await = func() error {
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err != nil {
+			return err
+		}
+		if buf[0] != '>' {
+			return fmt.Errorf("greeting %q, want '>'", buf[0])
+		}
+		return nil
+	}
+	finish = func() error {
 		if _, err := conn.Write([]byte{'x'}); err != nil {
 			return err
 		}
@@ -129,17 +147,49 @@ func dialEcho(t *testing.T, k *kernel.Kernel) (conn *netsim.Conn, finish func() 
 		}
 		return nil
 	}
+	return conn, await, finish
 }
 
-// waitFor polls cond until it holds or the deadline passes.
+// serveEcho completes one connection end to end: dial, wait for the
+// worker's greeting, finish the round-trip, and join the server-side
+// ServeConn. Used wherever a test needs "the runtime serves" as a step.
+func serveEcho(t *testing.T, rig *echoRig) {
+	t.Helper()
+	conn, await, finish := dialEcho(t, rig.k)
+	defer conn.Close()
+	served := make(chan error, 1)
+	go func() {
+		c, err := rig.l.Accept()
+		if err != nil {
+			served <- err
+			return
+		}
+		served <- rig.rt.ServeConn(c)
+	}()
+	if err := await(); err != nil {
+		t.Fatalf("echo greeting: %v", err)
+	}
+	if err := finish(); err != nil {
+		t.Fatalf("echo: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// waitFor yields the processor until cond holds or the deadline passes.
+// It is reserved for the two conditions no protocol handshake can
+// signal — a background Drain having flipped the state, a queued Acquire
+// being counted — and never sleeps: the goroutine it waits on is already
+// runnable, so yielding is sufficient and prompt.
 func waitFor(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
+	deadline := time.Now().Add(10 * time.Second)
 	for !cond() {
 		if time.Now().After(deadline) {
 			t.Fatalf("timed out waiting for %s", what)
 		}
-		time.Sleep(time.Millisecond)
+		runtime.Gosched()
 	}
 }
 
@@ -159,8 +209,12 @@ func TestServeAcceptLoop(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				conn, finish := dialEcho(t, rig.k)
+				conn, await, finish := dialEcho(t, rig.k)
 				defer conn.Close()
+				if err := await(); err != nil {
+					t.Errorf("echo greeting: %v", err)
+					return
+				}
 				if err := finish(); err != nil {
 					t.Errorf("echo: %v", err)
 				}
@@ -196,8 +250,9 @@ func TestDrainCompletesInFlight(t *testing.T) {
 		liveTags := len(rig.app.Tags.Tags())
 
 		// One connection in flight, held open: the worker blocks reading
-		// the byte the client has not sent yet.
-		firstConn, finishFirst := dialEcho(t, k)
+		// the byte the client has not sent yet. Its greeting in hand, the
+		// invocation is provably running — no polling.
+		firstConn, awaitFirst, finishFirst := dialEcho(t, k)
 		defer firstConn.Close()
 		firstErr := make(chan error, 1)
 		go func() {
@@ -208,7 +263,12 @@ func TestDrainCompletesInFlight(t *testing.T) {
 			}
 			firstErr <- rt.ServeConn(c)
 		}()
-		waitFor(t, "worker to hold the connection", func() bool { return rt.Snapshot().Pool.Busy == 1 })
+		if err := awaitFirst(); err != nil {
+			t.Fatalf("held connection greeting: %v", err)
+		}
+		if got := rt.Snapshot().Pool.Busy; got != 1 {
+			t.Fatalf("busy = %d after the greeting, want 1", got)
+		}
 
 		// Drain in the background: it must block on the in-flight
 		// connection.
@@ -225,7 +285,7 @@ func TestDrainCompletesInFlight(t *testing.T) {
 		}
 
 		// New admissions are rejected with the typed overload error.
-		lateConn, _ := dialEcho(t, k)
+		lateConn, _, _ := dialEcho(t, k)
 		defer lateConn.Close()
 		lateServer, err := l.Accept()
 		if err != nil {
@@ -269,23 +329,7 @@ func TestDrainCompletesInFlight(t *testing.T) {
 
 		// Undrain re-admits and the runtime serves again.
 		rt.Undrain()
-		recoverConn, finishRecover := dialEcho(t, k)
-		defer recoverConn.Close()
-		recovered := make(chan error, 1)
-		go func() {
-			c, err := l.Accept()
-			if err != nil {
-				recovered <- err
-				return
-			}
-			recovered <- rt.ServeConn(c)
-		}()
-		if err := finishRecover(); err != nil {
-			t.Fatalf("echo after undrain: %v", err)
-		}
-		if err := <-recovered; err != nil {
-			t.Fatalf("serve after undrain: %v", err)
-		}
+		serveEcho(t, rig)
 
 		// Close tears the pool down to the pre-runtime baselines.
 		if err := rt.Close(); err != nil {
@@ -308,7 +352,7 @@ func TestDrainCompletesInFlight(t *testing.T) {
 // Acquire failing ErrDraining.)
 func TestDrainUndrainRace(t *testing.T) {
 	startEcho(t, App[echoState]{Slots: 2}, func(rig *echoRig) {
-		rt, k, l := rig.rt, rig.k, rig.l
+		rt := rig.rt
 		for i := 0; i < 50; i++ {
 			var wg sync.WaitGroup
 			wg.Add(2)
@@ -316,24 +360,7 @@ func TestDrainUndrainRace(t *testing.T) {
 			go func() { defer wg.Done(); rt.Undrain() }()
 			wg.Wait()
 			rt.Undrain()
-
-			conn, finish := dialEcho(t, k)
-			served := make(chan error, 1)
-			go func() {
-				c, err := l.Accept()
-				if err != nil {
-					served <- err
-					return
-				}
-				served <- rt.ServeConn(c)
-			}()
-			if err := finish(); err != nil {
-				t.Fatalf("iteration %d: echo after undrain: %v", i, err)
-			}
-			if err := <-served; err != nil {
-				t.Fatalf("iteration %d: serve after undrain: %v", i, err)
-			}
-			conn.Close()
+			serveEcho(t, rig)
 		}
 		if err := rt.Close(); err != nil {
 			t.Fatalf("close: %v", err)
@@ -347,8 +374,8 @@ func TestQueueBound(t *testing.T) {
 	startEcho(t, App[echoState]{Slots: 1, Queue: -1}, func(rig *echoRig) {
 		rt, k, l := rig.rt, rig.k, rig.l
 
-		// Fill the single slot.
-		holdConn, finishHold := dialEcho(t, k)
+		// Fill the single slot: the worker's greeting proves it is held.
+		holdConn, awaitHold, finishHold := dialEcho(t, k)
 		defer holdConn.Close()
 		holdErr := make(chan error, 1)
 		go func() {
@@ -359,10 +386,12 @@ func TestQueueBound(t *testing.T) {
 			}
 			holdErr <- rt.ServeConn(c)
 		}()
-		waitFor(t, "slot to fill", func() bool { return rt.Snapshot().Pool.Busy == 1 })
+		if err := awaitHold(); err != nil {
+			t.Fatalf("held connection greeting: %v", err)
+		}
 
 		// Queue -1: no waiting allowed — the next admission overflows.
-		overConn, _ := dialEcho(t, k)
+		overConn, _, _ := dialEcho(t, k)
 		defer overConn.Close()
 		overServer, err := l.Accept()
 		if err != nil {
@@ -380,7 +409,7 @@ func TestQueueBound(t *testing.T) {
 		// Queue 1: one waiter is admitted (it blocks on Acquire), the
 		// next overflows.
 		rt.SetQueue(1)
-		waitConn, finishWait := dialEcho(t, k)
+		waitConn, awaitWait, finishWait := dialEcho(t, k)
 		defer waitConn.Close()
 		waitErr := make(chan error, 1)
 		go func() {
@@ -392,7 +421,7 @@ func TestQueueBound(t *testing.T) {
 			waitErr <- rt.ServeConn(c)
 		}()
 		waitFor(t, "one waiter queued", func() bool { return rt.Snapshot().Waiting == 1 })
-		thirdConn, _ := dialEcho(t, k)
+		thirdConn, _, _ := dialEcho(t, k)
 		defer thirdConn.Close()
 		thirdServer, err := l.Accept()
 		if err != nil {
@@ -402,12 +431,16 @@ func TestQueueBound(t *testing.T) {
 			t.Fatalf("second waiter = %v, want errors.Is ErrOverloaded", err)
 		}
 
-		// Release the slot: the queued connection is served.
+		// Release the slot: the queued connection is served (its greeting
+		// arrives only once the freed slot picks it up).
 		if err := finishHold(); err != nil {
 			t.Fatalf("held echo: %v", err)
 		}
 		if err := <-holdErr; err != nil {
 			t.Fatalf("held serve: %v", err)
+		}
+		if err := awaitWait(); err != nil {
+			t.Fatalf("queued connection greeting: %v", err)
 		}
 		if err := finishWait(); err != nil {
 			t.Fatalf("queued echo: %v", err)
@@ -434,29 +467,13 @@ func TestAutoSlotsTracksGOMAXPROCS(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 
 	startEcho(t, App[echoState]{AutoSlots: true}, func(rig *echoRig) {
-		rt, k, l := rig.rt, rig.k, rig.l
+		rt := rig.rt
 		if got, want := rt.Snapshot().Pool.Slots, DefaultSlots(); got != want {
 			t.Fatalf("initial slots = %d, want %d (GOMAXPROCS=1)", got, want)
 		}
 
 		serveOne := func() {
-			conn, finish := dialEcho(t, k)
-			defer conn.Close()
-			served := make(chan error, 1)
-			go func() {
-				c, err := l.Accept()
-				if err != nil {
-					served <- err
-					return
-				}
-				served <- rt.ServeConn(c)
-			}()
-			if err := finish(); err != nil {
-				t.Fatalf("echo: %v", err)
-			}
-			if err := <-served; err != nil {
-				t.Fatalf("serve: %v", err)
-			}
+			serveEcho(t, rig)
 		}
 		serveOne()
 		if got := rt.Snapshot().Pool.Slots; got != 2 {

@@ -1,0 +1,140 @@
+package servetest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wedge/internal/gatepool"
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/serve"
+	"wedge/internal/serve/servetest"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// The battery's self-test: a minimal echo application — greet, read one
+// payload byte, stash it in the argument block (the planted residue),
+// echo it back — run through the full conformance suite. This is the
+// fixture that proves the harness itself is sound before the four real
+// applications rely on it.
+const (
+	echoConnID  = 0
+	echoPoolFD  = 8
+	echoResidue = 16 // the payload byte lands here: the residue window
+	echoArgSize = 64
+)
+
+type echoState struct{}
+
+// echoServer is the toy pooled application: a serve.App descriptor and
+// nothing else, like the real servers.
+type echoServer struct {
+	*serve.Runtime[echoState]
+}
+
+func newEcho(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest.Runtime, error) {
+	srv := &echoServer{}
+	var err error
+	srv.Runtime, err = serve.New(root, serve.App[echoState]{
+		Name:      "echo",
+		Slots:     slots,
+		ArgSize:   echoArgSize,
+		Worker:    "worker",
+		ConnIDOff: echoConnID,
+		FDOff:     echoPoolFD,
+		Gates: []gatepool.GateDef{{
+			Name: "worker",
+			Entry: func(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+				c := srv.Lookup(w, arg)
+				if c == nil {
+					return 0
+				}
+				if probe != nil {
+					probe(w, arg)
+				}
+				if _, err := w.Task.WriteFD(c.FD, []byte{'>'}); err != nil {
+					return 0
+				}
+				buf := make([]byte, 1)
+				if _, err := w.Task.ReadFD(c.FD, buf); err != nil {
+					return 0
+				}
+				w.Store64(arg+echoResidue, uint64(buf[0])) // plant the residue
+				if _, err := w.Task.WriteFD(c.FD, buf); err != nil {
+					return 0
+				}
+				return 1
+			},
+		}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// holdEcho dials and reads the greeting — the worker is then provably in
+// flight, parked on the payload read.
+func holdEcho(k *kernel.Kernel) (*netsim.Conn, error) {
+	conn, err := k.Net.Dial("echo:7")
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if buf[0] != '>' {
+		conn.Close()
+		return nil, fmt.Errorf("greeting = %q, want '>'", buf[0])
+	}
+	return conn, nil
+}
+
+func finishEcho(conn *netsim.Conn) error {
+	defer conn.Close()
+	if _, err := conn.Write([]byte{'S'}); err != nil {
+		return err
+	}
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != nil {
+		return err
+	}
+	if buf[0] != 'S' {
+		return fmt.Errorf("echoed %q, want 'S'", buf[0])
+	}
+	return nil
+}
+
+func TestEchoConformance(t *testing.T) {
+	servetest.Run(t, servetest.App{
+		Name: "echo",
+		Addr: "echo:7",
+		New:  newEcho,
+		Session: func(k *kernel.Kernel) ([]byte, error) {
+			conn, err := holdEcho(k)
+			if err != nil {
+				return nil, err
+			}
+			if err := finishEcho(conn); err != nil {
+				return nil, err
+			}
+			return []byte{'S'}, nil
+		},
+		Hold: func(k *kernel.Kernel) (*servetest.Held, error) {
+			conn, err := holdEcho(k)
+			if err != nil {
+				return nil, err
+			}
+			return &servetest.Held{
+				Finish:  func() error { return finishEcho(conn) },
+				Abandon: func() error { return conn.Close() },
+			}, nil
+		},
+		ArgSize:   echoArgSize,
+		ConnIDOff: echoConnID,
+		FDOff:     echoPoolFD,
+	})
+}

@@ -1,0 +1,102 @@
+package sshd
+
+import (
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/serve/servetest"
+	"wedge/internal/sthread"
+)
+
+// sshConformanceApp adapts either pooled sshd build — the Wedge
+// partitioning (PooledWedge) or the privsep monitor (PooledPrivsep) — to
+// the shared serve-app battery. Both speak MINISSH and plant the same
+// residue: the password bytes at sshArgStr. The residue window is what
+// TestPooledWedgeResidue used to probe by hand.
+func sshConformanceApp(t *testing.T, name string, staticTags int,
+	build func(root *sthread.Sthread, cfg ServerConfig, slots int, hooks WedgeHooks) (servetest.Runtime, error)) servetest.App {
+	cfg := ServerConfig{HostKey: testHostKey(t), Options: "PasswordAuthentication yes"}
+
+	// holdSSH completes the version/hostkey/signature exchange — the
+	// worker (or privsep slave) invocation is then provably in flight,
+	// parked on the first auth frame.
+	holdSSH := func(k *kernel.Kernel) (*netsim.Conn, *Client, error) {
+		conn, err := k.Net.Dial("sshd:22")
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := NewClient(conn, &testHostKey(t).PublicKey)
+		if err != nil {
+			conn.Close()
+			return nil, nil, err
+		}
+		return conn, c, nil
+	}
+
+	return servetest.App{
+		Name: name,
+		Addr: "sshd:22",
+		Setup: func(k *kernel.Kernel) error {
+			return SetupUsers(k, testUsers(t))
+		},
+		New: func(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest.Runtime, error) {
+			hooks := WedgeHooks{}
+			if probe != nil {
+				hooks.Worker = func(s *sthread.Sthread, ctx *WedgeConnContext) { probe(s, ctx.ArgAddr) }
+			}
+			return build(root, cfg, slots, hooks)
+		},
+		Session: func(k *kernel.Kernel) ([]byte, error) {
+			conn, c, err := holdSSH(k)
+			if err != nil {
+				return nil, err
+			}
+			defer conn.Close()
+			if err := c.AuthPassword("alice", "sesame"); err != nil {
+				return nil, err
+			}
+			if err := c.Exit(); err != nil {
+				return nil, err
+			}
+			return []byte("sesame"), nil
+		},
+		Hold: func(k *kernel.Kernel) (*servetest.Held, error) {
+			conn, c, err := holdSSH(k)
+			if err != nil {
+				return nil, err
+			}
+			return &servetest.Held{
+				Finish: func() error {
+					defer conn.Close()
+					return c.Exit()
+				},
+				Abandon: func() error { return conn.Close() },
+			}, nil
+		},
+		ArgSize:    sshArgSize,
+		ConnIDOff:  sshArgConnID,
+		FDOff:      sshArgPoolFD,
+		StaticTags: staticTags,
+	}
+}
+
+// TestServeConformance runs the battery against the pooled Wedge build.
+func TestServeConformance(t *testing.T) {
+	// Host-key, public-key, and options blob tags outlive the runtime.
+	servetest.Run(t, sshConformanceApp(t, "sshd", 3,
+		func(root *sthread.Sthread, cfg ServerConfig, slots int, hooks WedgeHooks) (servetest.Runtime, error) {
+			return NewPooledWedge(root, cfg, slots, hooks)
+		}))
+}
+
+// TestServeConformancePrivsep runs the same battery against the pooled
+// privsep monitor — the fourth serve.App, sharing the runtime machinery
+// (and now the test battery) with httpd, sshd, and pop3.
+func TestServeConformancePrivsep(t *testing.T) {
+	// Host-key and public-key blob tags outlive the runtime.
+	servetest.Run(t, sshConformanceApp(t, "privsep", 2,
+		func(root *sthread.Sthread, cfg ServerConfig, slots int, hooks WedgeHooks) (servetest.Runtime, error) {
+			return NewPooledPrivsep(root, cfg, slots, hooks)
+		}))
+}

@@ -1,0 +1,97 @@
+package sshd
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSSHFrame fuzzes the MINISSH packet framing — the first parsing any
+// server variant applies to untrusted bytes — plus the S/Key challenge
+// encoding layered on it. Properties: ReadFrame never panics and never
+// returns a frame larger than its cap; a frame that parses re-marshals
+// byte-identically (WriteFrame∘ReadFrame is the identity on valid
+// input); and the 4-byte S/Key challenge encoding round-trips through
+// the client's decoder for any chain position a frame can carry.
+func FuzzSSHFrame(f *testing.F) {
+	frame := func(typ byte, payload string) []byte {
+		var b bytes.Buffer
+		WriteFrame(&b, typ, []byte(payload))
+		return b.Bytes()
+	}
+	f.Add(frame(MsgVersion, Version))
+	f.Add(frame(MsgAuthPass, "alice\x00sesame"))
+	f.Add(frame(MsgAuthSKey, "alice"))
+	f.Add(frame(MsgSKeyChal, "\x00\x00\x00\x63"))
+	f.Add(frame(MsgSKeyReply, "0123456789abcdef0123456789abcdef"))
+	f.Add(frame(MsgExit, ""))
+	f.Add([]byte{MsgAuthPass, 0xff, 0xff, 0xff, 0xff}) // length overflow
+	f.Add([]byte{MsgHostKey, 0, 0, 0, 4, 'a'})         // truncated payload
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input must fail cleanly, which it did
+		}
+		if len(payload) > 32<<20 {
+			t.Fatalf("frame cap violated: %d-byte payload accepted", len(payload))
+		}
+		// Round-trip: re-marshalling the parsed frame reproduces the
+		// consumed prefix of the input exactly.
+		var out bytes.Buffer
+		if err := WriteFrame(&out, typ, payload); err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:out.Len()]) {
+			t.Fatalf("frame round-trip diverged:\n in: %q\nout: %q", data[:out.Len()], out.Bytes())
+		}
+		// ExpectFrame agrees with ReadFrame on the same bytes.
+		if p2, err := ExpectFrame(bytes.NewReader(data), typ); err != nil || !bytes.Equal(p2, payload) {
+			t.Fatalf("ExpectFrame(%d) = %q, %v; want %q", typ, p2, err, payload)
+		}
+
+		// S/Key challenge framing: any 4-byte challenge body decodes to
+		// the chain position whose big-endian encoding it is, exactly as
+		// the client decodes it.
+		if typ == MsgSKeyChal && len(payload) == 4 {
+			n := int(payload[0])<<24 | int(payload[1])<<16 | int(payload[2])<<8 | int(payload[3])
+			enc := []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+			if !bytes.Equal(enc, payload) {
+				t.Fatalf("skey challenge %d re-encodes to %v, was %v", n, enc, payload)
+			}
+		}
+	})
+}
+
+// FuzzSKeyDB fuzzes the S/Key database parser the monitor gates run with
+// full privileges against /etc/skeykeys: ParseSKey never panics, and a
+// database that parses survives a Format/Parse round-trip with every
+// field intact — the property the verify gate's step-down rewrite
+// depends on.
+func FuzzSKeyDB(f *testing.F) {
+	f.Add([]byte("alice:99:aabbcc\n"))
+	f.Add([]byte("alice:99:aabbcc\nbob:1:00\n"))
+	f.Add([]byte("alice:-1:zz\n"))
+	f.Add([]byte("alice:99\n"))
+	f.Add([]byte(":::\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ParseSKey(data)
+		if err != nil {
+			return // malformed input must fail cleanly, which it did
+		}
+		again, err := ParseSKey(FormatSKey(entries))
+		if err != nil {
+			t.Fatalf("formatted database does not re-parse: %v", err)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("round-trip changed entry count: %d -> %d", len(entries), len(again))
+		}
+		for i := range entries {
+			if again[i].Name != entries[i].Name || again[i].N != entries[i].N ||
+				!bytes.Equal(again[i].Last, entries[i].Last) {
+				t.Fatalf("entry %d diverged: %+v -> %+v", i, entries[i], again[i])
+			}
+		}
+	})
+}

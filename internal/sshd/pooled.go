@@ -155,7 +155,7 @@ func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks We
 		// connection's authentication did to the recycled worker's
 		// identity is undone here, because an authenticated uid is
 		// per-connection state, not slot affinity.
-		EndConn: func(c *serve.Conn[sshPoolConn]) { w.demote(c.State.worker) },
+		EndConn: func(c *serve.Conn[sshPoolConn]) { demoteSSHWorker(root, c.State.worker) },
 	})
 	if err != nil {
 		// A failed runtime build (e.g. /var/empty not provisioned, so
@@ -165,13 +165,6 @@ func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks We
 		return nil, err
 	}
 	return w, nil
-}
-
-// demote strips any promotion the auth gates performed on the slot's
-// recycled worker, restoring the confined identity it was created with.
-func (w *PooledWedge) demote(worker *sthread.Sthread) {
-	w.root.Task.ChrootOn(worker.Task, "/var/empty")
-	w.root.Task.SetUIDOn(worker.Task, WorkerUID)
 }
 
 // workerEntry is the per-slot recycled worker: one invocation per

@@ -2,7 +2,6 @@ package sshd
 
 import (
 	"errors"
-	"strings"
 	"sync"
 	"testing"
 
@@ -136,63 +135,126 @@ func TestPooledWedgeWrongPassword(t *testing.T) {
 	})
 }
 
-// TestPooledWedgeResidue: principal A's password bytes land in the slot's
-// argument block (user\x00pass at sshArgStr); when the slot passes to
-// principal B — dialing from a different network address — the pool must
-// have scrubbed them. Runs the B-side probe both on the original slot and
-// on a slot leased after a Resize, since a resize must not skip the
-// scrub barrier either.
-func TestPooledWedgeResidue(t *testing.T) {
+// The cross-principal residue scan of the slot's argument block —
+// principal A's password bytes at sshArgStr, gone by the time principal
+// B's worker invocation starts, including after a Resize — lives in the
+// shared conformance battery now: see TestServeConformance/Residue and
+// TestServeConformancePrivsep/Residue (conformance_test.go).
+
+// TestPooledOversizedPayloadStaysInBlock: a client payload larger than
+// the receiving gate's cap is rejected before it is written, so nothing
+// ever lands past sshArgSize in the slot's argument-tag arena — memory
+// the inter-principal scrub does not cover. (Regression: the worker used
+// to copy the frame body unchecked, so a 4 KiB "nonce" became permanent
+// cross-principal residue readable by every later lease of the slot.)
+func TestPooledOversizedPayloadStaysInBlock(t *testing.T) {
+	k := kernel.New()
+	if err := SetupUsers(k, testUsers(t)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServerConfig{HostKey: testHostKey(t)}
+	app := sthread.Boot(k)
+
 	var mu sync.Mutex
 	var probes [][]byte
 	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
-		// Runs at the top of each worker invocation, before this
-		// connection writes anything beyond the conn id and fd: whatever
-		// sits at sshArgStr is residue (or the scrub's zeroes).
+		// The worker can read its slot's whole tag region; the window
+		// just past the block is where an unbounded copy would land.
 		buf := make([]byte, 64)
-		s.Read(ctx.ArgAddr+sshArgStr, buf)
+		s.Read(ctx.ArgAddr+sshArgSize, buf)
 		mu.Lock()
 		probes = append(probes, buf)
 		mu.Unlock()
 	}}
-	runPooled(t, 1, 4, hooks, func(dial func() *Client, srv *PooledWedge, app *sthread.App) {
-		// Principal A authenticates: the secret password crosses the block.
-		a := dial()
-		if err := a.AuthPassword("alice", "sesame"); err != nil {
-			t.Fatalf("A login: %v", err)
-		}
-		a.Exit()
 
-		// Principal B (different remote address) reuses the only slot.
-		b := dial()
-		b.Exit()
-
-		// Grow the pool, then two more principals; every lease — old slot
-		// or fresh — must still see a clean block.
-		if err := srv.Resize(2); err != nil {
-			t.Fatalf("resize: %v", err)
-		}
-		for i := 0; i < 2; i++ {
-			c := dial()
-			c.Exit()
-		}
-
-		mu.Lock()
-		defer mu.Unlock()
-		if len(probes) != 4 {
-			t.Fatalf("probes = %d, want 4", len(probes))
-		}
-		for i, p := range probes[1:] {
-			if strings.Contains(string(p), "sesame") {
-				t.Fatalf("probe %d read principal A's password from the reused slot", i+1)
+	ready := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := NewPooledWedge(root, cfg, 1, hooks)
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
 			}
-			for j, bb := range p {
-				if bb != 0 {
-					t.Fatalf("probe %d: argument block not scrubbed at +%d (%#x)", i+1, j, bb)
+			defer srv.Close()
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			close(ready)
+			for i := 0; i < 2; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					return
 				}
+				srv.ServeConn(c) // the attacker connection fails; fine
+			}
+		})
+	}()
+	<-ready
+
+	// The attacker: a legit banner exchange, then a sign request four
+	// times the size of the whole argument block.
+	conn, err := k.Net.Dial("sshd:22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpectFrame(conn, MsgVersion); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExpectFrame(conn, MsgHostKey); err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, 4*sshArgSize)
+	for i := range huge {
+		huge[i] = 'A'
+	}
+	if err := WriteFrame(conn, MsgSignReq, huge); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A second principal leases the same slot; its worker probes the
+	// arena just past the block.
+	c := dial2(t, k)
+	if err := c.AuthPassword("alice", "sesame"); err != nil {
+		t.Fatalf("login after oversized-payload attack: %v", err)
+	}
+	c.Exit()
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(probes) != 2 {
+		t.Fatalf("probes = %d, want 2", len(probes))
+	}
+	for _, p := range probes {
+		for j, b := range p {
+			if b != 0 {
+				t.Fatalf("slot arena dirtied past the argument block at +%d (%#x): "+
+					"an oversized payload escaped the block", j, b)
 			}
 		}
-	})
+	}
+}
+
+// dial2 dials and completes the client handshake against sshd:22.
+func dial2(t *testing.T, k *kernel.Kernel) *Client {
+	t.Helper()
+	conn, err := k.Net.Dial("sshd:22")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(conn, &testHostKey(t).PublicKey)
+	if err != nil {
+		t.Fatalf("client setup: %v", err)
+	}
+	return c
 }
 
 // TestPooledWedgeDemotesWorkerBetweenConnections: authentication promotes

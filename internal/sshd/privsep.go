@@ -18,6 +18,7 @@ package sshd
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"wedge/internal/kernel"
@@ -60,6 +61,13 @@ type Privsep struct {
 	cfg   ServerConfig
 	hooks PrivsepHooks
 
+	// monMu serializes monitor request handling across concurrently
+	// served connections. The real monitor is a process serving one IPC
+	// request at a time; in the simulation every connection's monitor
+	// half runs on the shared root sthread, whose private heap (PAM
+	// scratch, parse buffers) is not meant for concurrent callers.
+	monMu sync.Mutex
+
 	// pamResidueAddr marks PAM scratch left in the monitor's memory
 	// before forking, inherited by every slave.
 	pamResidueAddr vm.Addr
@@ -92,8 +100,11 @@ func NewPrivsep(root *sthread.Sthread, cfg ServerConfig, warmPassword string, ho
 	return p, nil
 }
 
-// monitor answers one slave request with full privileges.
+// monitor answers one slave request with full privileges, one request
+// at a time (see monMu).
 func (p *Privsep) monitor(req monReq) monResp {
+	p.monMu.Lock()
+	defer p.monMu.Unlock()
 	p.Stats.MonitorMsgs.Add(1)
 	s := p.root
 	switch req.op {

@@ -1,0 +1,304 @@
+package sshd
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"wedge/internal/kernel"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// runPooledPrivsep boots a system with a PooledPrivsep of the given slot
+// count, serves nConns connections concurrently, and hands the test a
+// dial helper plus the live server.
+func runPooledPrivsep(t *testing.T, slots, nConns int, hooks WedgeHooks,
+	drive func(dial func() *Client, srv *PooledPrivsep, app *sthread.App)) {
+	t.Helper()
+	k := kernel.New()
+	if err := SetupUsers(k, testUsers(t)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServerConfig{HostKey: testHostKey(t), Options: "PasswordAuthentication yes"}
+	app := sthread.Boot(k)
+
+	ready := make(chan *PooledPrivsep, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := NewPooledPrivsep(root, cfg, slots, hooks)
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			defer srv.Close()
+			l, err := root.Task.Listen("sshd:22")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			ready <- srv
+			var wg sync.WaitGroup
+			for i := 0; i < nConns; i++ {
+				c, err := l.Accept()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					srv.ServeConn(c)
+				}()
+			}
+			wg.Wait()
+		})
+	}()
+	srv := <-ready
+	if srv == nil {
+		t.FailNow()
+	}
+
+	dial := func() *Client {
+		conn, err := k.Net.Dial("sshd:22")
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := NewClient(conn, &testHostKey(t).PublicKey)
+		if err != nil {
+			t.Fatalf("client setup: %v", err)
+		}
+		return c
+	}
+	drive(dial, srv, app)
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestPooledPrivsepAuthMethods: the pooled privsep monitor serves the
+// fork-based build's auth methods — password (with scp afterwards) and
+// S/Key — with zero sthread creations on the serving path, every monitor
+// request a pooled gate call.
+func TestPooledPrivsepAuthMethods(t *testing.T) {
+	runPooledPrivsep(t, 2, 2, WedgeHooks{}, func(dial func() *Client, srv *PooledPrivsep, app *sthread.App) {
+		created := app.Stats.SthreadsCreated.Load()
+
+		c := dial()
+		if err := c.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("password login: %v", err)
+		}
+		if c.UID != 1000 {
+			t.Fatalf("uid = %d, want 1000", c.UID)
+		}
+		if err := c.ScpPut("notes.txt", []byte("pooled privsep scp")); err != nil {
+			t.Fatalf("scp: %v", err)
+		}
+		c.Exit()
+
+		c2 := dial()
+		if err := c2.AuthSKey("alice", testSeed); err != nil {
+			t.Fatalf("skey login: %v", err)
+		}
+		c2.Exit()
+
+		if got := app.Stats.SthreadsCreated.Load() - created; got != 0 {
+			t.Fatalf("%d sthreads created on the pooled privsep serving path, want 0", got)
+		}
+		if got := srv.Stats.Logins.Load(); got != 2 {
+			t.Fatalf("logins = %d, want 2", got)
+		}
+		if srv.Stats.MonitorMsgs.Load() == 0 {
+			t.Fatal("no monitor messages counted; requests bypassed the gates")
+		}
+	})
+}
+
+// TestPooledPrivsepWrongPassword: a failed attempt stays failed and the
+// session can retry, exactly as against the fork-based monitor.
+func TestPooledPrivsepWrongPassword(t *testing.T) {
+	runPooledPrivsep(t, 1, 1, WedgeHooks{}, func(dial func() *Client, srv *PooledPrivsep, app *sthread.App) {
+		c := dial()
+		if err := c.AuthPassword("alice", "wrong"); err == nil {
+			t.Fatal("wrong password accepted")
+		}
+		if err := c.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("retry: %v", err)
+		}
+		c.Exit()
+		if srv.Stats.Fails.Load() != 1 {
+			t.Fatalf("fails = %d, want 1", srv.Stats.Fails.Load())
+		}
+	})
+}
+
+// TestPooledPrivsepClosesUsernameProbe: the fork-based monitor leaks
+// username existence two ways the client can observe — getpwnam's
+// NULL-vs-passwd reply makes an unknown user's password attempt
+// distinguishable, and the S/Key path answers "no such user" instead of a
+// challenge. The pooled monitor's replies are shape-identical: unknown
+// users get the same "permission denied" and a plausible S/Key challenge.
+// The probe also checks the exploited-slave view: the passwd words the
+// getpwnam gate leaves in the argument block must be identical for known
+// and unknown users on failed attempts (a real uid/home there would be a
+// user-enumeration oracle even with the wire replies uniform).
+func TestPooledPrivsepClosesUsernameProbe(t *testing.T) {
+	var mu sync.Mutex
+	var slave *sthread.Sthread
+	var argAddr vm.Addr
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		mu.Lock()
+		slave, argAddr = s, ctx.ArgAddr
+		mu.Unlock()
+	}}
+	runPooledPrivsep(t, 1, 1, hooks, func(dial func() *Client, srv *PooledPrivsep, app *sthread.App) {
+		c := dial()
+		// The auth-fail reply in hand, the gates are done writing; the
+		// slave's view of the passwd area is what an exploit would read.
+		readPw := func() (uint64, string) {
+			mu.Lock()
+			defer mu.Unlock()
+			return slave.Load64(argAddr + sshArgPwUID), slave.ReadString(argAddr+sshArgPwHome, 64)
+		}
+
+		errKnown := c.AuthPassword("alice", "wrong-guess")
+		uidKnown, homeKnown := readPw()
+		errUnknown := c.AuthPassword("nobody-here", "wrong-guess")
+		uidUnknown, homeUnknown := readPw()
+		if errKnown == nil || errUnknown == nil {
+			t.Fatal("a wrong-password attempt succeeded")
+		}
+		if errKnown.Error() != errUnknown.Error() {
+			t.Fatalf("password replies distinguish users: %q vs %q", errKnown, errUnknown)
+		}
+		if uidKnown != uidUnknown || homeKnown != homeUnknown {
+			t.Fatalf("argument-block passwd words distinguish users: uid %d/%q vs %d/%q",
+				uidKnown, homeKnown, uidUnknown, homeUnknown)
+		}
+
+		// The S/Key existence leak of the fork-based monitor ("no such
+		// user") is gone: both users draw a challenge.
+		nKnown, err := c.SKeyChallenge("alice")
+		if err != nil {
+			t.Fatalf("challenge for known user: %v", err)
+		}
+		if err := c.SKeyRespond([]byte("bogus")); err == nil {
+			t.Fatal("bogus skey response accepted")
+		}
+		nUnknown, err := c.SKeyChallenge("nobody-here")
+		if err != nil {
+			t.Fatalf("challenge for unknown user: %v (the fork-based monitor's existence leak)", err)
+		}
+		if nKnown <= 0 || nUnknown <= 0 {
+			t.Fatalf("challenges = %d/%d, want plausible chain positions", nKnown, nUnknown)
+		}
+		if err := c.SKeyRespond([]byte("bogus")); err == nil {
+			t.Fatal("bogus skey response for unknown user accepted")
+		}
+
+		// Login still works afterwards.
+		if err := c.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("login after probes: %v", err)
+		}
+		c.Exit()
+	})
+}
+
+// TestPooledPrivsepDemotesSlaveBetweenConnections: a successful login
+// promotes the slot's recycled slave (uid and home chroot) from inside
+// the monitor gate; the next connection on that slot must start back at
+// the confined identity.
+func TestPooledPrivsepDemotesSlaveBetweenConnections(t *testing.T) {
+	var mu sync.Mutex
+	var uids []int
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		mu.Lock()
+		uids = append(uids, s.Task.UID)
+		mu.Unlock()
+	}}
+	runPooledPrivsep(t, 1, 2, hooks, func(dial func() *Client, srv *PooledPrivsep, app *sthread.App) {
+		a := dial()
+		if err := a.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("A login: %v", err)
+		}
+		if err := a.ScpPut("a.txt", []byte("A")); err != nil {
+			t.Fatalf("A scp: %v", err)
+		}
+		a.Exit()
+
+		b := dial()
+		b.Exit()
+
+		mu.Lock()
+		defer mu.Unlock()
+		if len(uids) != 2 {
+			t.Fatalf("uids = %v, want 2 entries", uids)
+		}
+		for i, uid := range uids {
+			if uid != WorkerUID {
+				t.Fatalf("connection %d started with uid %d, want %d", i, uid, WorkerUID)
+			}
+		}
+	})
+}
+
+// TestPooledPrivsepSlaveCannotReachHostKey: where the fork-based slave
+// inherits a full clone of the monitor's memory, the pooled slave holds
+// only the slot's argument tag and the public key — a host-key probe
+// faults instead of leaking.
+func TestPooledPrivsepSlaveCannotReachHostKey(t *testing.T) {
+	var mu sync.Mutex
+	var readErr error
+	probed := false
+	hooks := WedgeHooks{Worker: func(s *sthread.Sthread, ctx *WedgeConnContext) {
+		mu.Lock()
+		defer mu.Unlock()
+		if probed {
+			return
+		}
+		probed = true
+		readErr = s.TryRead(ctx.HostKeyAddr, make([]byte, 8))
+	}}
+	runPooledPrivsep(t, 1, 2, hooks, func(dial func() *Client, srv *PooledPrivsep, app *sthread.App) {
+		c := dial()
+		if err := c.AuthPassword("alice", "sesame"); err != nil {
+			t.Fatalf("login after probe: %v", err)
+		}
+		c.Exit()
+		c2 := dial()
+		c2.Exit()
+		mu.Lock()
+		defer mu.Unlock()
+		var f *vm.Fault
+		if readErr == nil {
+			t.Fatal("pooled privsep slave read the host key")
+		} else if !errors.As(readErr, &f) {
+			t.Fatalf("host-key probe failed with %v, want a protection fault", readErr)
+		}
+	})
+}
+
+// TestPrivsepSKeyExistenceLeakContrast pins the fork-based behaviour the
+// pooled monitor fixes: the one-shot privsep monitor answers an S/Key
+// challenge request for an unknown user with an error, so usernames are
+// enumerable (the §5.2 probe, [14]'s existence leak).
+func TestPrivsepSKeyExistenceLeakContrast(t *testing.T) {
+	runServer(t, "privsep", 1, MonoHooks{}, PrivsepHooks{}, WedgeHooks{}, "", func(dial func() *Client) {
+		c := dial()
+		if _, err := c.SKeyChallenge("alice"); err != nil {
+			t.Fatalf("challenge for known user: %v", err)
+		}
+		if err := c.SKeyRespond([]byte("bogus")); err == nil {
+			t.Fatal("bogus response accepted")
+		}
+		if _, err := c.SKeyChallenge("nobody-here"); err == nil ||
+			!strings.Contains(err.Error(), "no such user") {
+			t.Fatalf("unknown user drew %v, want the fork-based monitor's existence leak", err)
+		}
+		c.Exit()
+	})
+}

@@ -232,6 +232,28 @@ func ParseSKey(data []byte) ([]SKeyEntry, error) {
 	return out, nil
 }
 
+// skeyDummySecret keys the dummy-challenge derivation below. A fresh
+// random per-process secret: an attacker who knows the source cannot
+// precompute any username's dummy challenge and compare it against the
+// server's answer to detect real accounts.
+var skeyDummySecret = func() []byte {
+	b := make([]byte, 16)
+	rand.Read(b)
+	return b
+}()
+
+// SKeyDummyChallenge derives the chain position served to S/Key
+// challenge requests for unknown usernames: plausible (50–99),
+// consistent across repeated probes of the same name, and — because it
+// is keyed — indistinguishable from a provisioned user's position
+// without the server's secret. (A publicly computable formula here would
+// re-open the enumeration leak the dummy exists to close.)
+func SKeyDummyChallenge(user string) uint64 {
+	mac := hmac.New(sha256.New, skeyDummySecret)
+	mac.Write([]byte(user))
+	return 50 + uint64(mac.Sum(nil)[0])%50
+}
+
 // VerifySKey checks a response against an entry: hash(resp) must equal the
 // stored value; on success the entry steps down the chain.
 func VerifySKey(e *SKeyEntry, resp []byte) bool {

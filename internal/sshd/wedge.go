@@ -29,6 +29,7 @@ package sshd
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -334,10 +335,10 @@ func skeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, p
 				return 1
 			}
 		}
-		// Dummy challenge: plausible chain position derived from the
-		// username so repeated probes are consistent.
+		// Dummy challenge: plausible chain position, keyed so repeated
+		// probes are consistent but not predictable from the source.
 		*pending = ""
-		g.Store64(arg+sshArgChalN, uint64(50+len(user)%50))
+		g.Store64(arg+sshArgChalN, SKeyDummyChallenge(user))
 		return 1
 
 	case sshOpSKeyVerify:
@@ -471,6 +472,23 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 // pooled build.
 type authCall func(s *sthread.Sthread, arg vm.Addr) (vm.Addr, error)
 
+// storeArgStr bounds a client-supplied payload before writing it into
+// the argument block's string area; max mirrors the receiving gate's own
+// input cap, so nothing a gate would accept is rejected. The bound is
+// load-bearing in the pooled builds: an oversized payload would run past
+// sshArgSize into the slot's argument-tag arena, which the
+// inter-principal scrub does not cover — a §3.3 cross-principal storage
+// channel. (The one-shot builds get a per-connection tag, but the same
+// write would still trample allocator state past the block.)
+func storeArgStr(s *sthread.Sthread, arg vm.Addr, payload []byte, max int) bool {
+	if len(payload) == 0 || len(payload) > max {
+		return false
+	}
+	s.Store64(arg+sshArgStrLen, uint64(len(payload)))
+	s.Write(arg+sshArgStr, payload)
+	return true
+}
+
 // sshWorkerBody is the unprivileged network-facing code of Figure 6,
 // parameterized over how the privileged entry points are reached.
 func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
@@ -495,8 +513,9 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 
 	// Host authentication through the sign gate.
 	s.Store64(arg+sshArgOp, sshOpSign)
-	s.Store64(arg+sshArgStrLen, uint64(len(clientNonce)))
-	s.Write(arg+sshArgStr, clientNonce)
+	if !storeArgStr(s, arg, clientNonce, 256) {
+		return 0
+	}
 	stats.GateCalls.Add(1)
 	if ret, err := sign(s, arg); err != nil || ret != 1 {
 		return 0
@@ -523,8 +542,9 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 		switch typ {
 		case MsgAuthPass:
 			s.Store64(arg+sshArgOp, sshOpPassword)
-			s.Store64(arg+sshArgStrLen, uint64(len(body)))
-			s.Write(arg+sshArgStr, body)
+			if !storeArgStr(s, arg, body, 512) {
+				return 0
+			}
 			stats.GateCalls.Add(1)
 			if ret, err := pass(s, arg); err != nil || ret != 1 {
 				return 0
@@ -539,8 +559,9 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 
 		case MsgAuthPub:
 			s.Store64(arg+sshArgOp, sshOpPubkey)
-			s.Store64(arg+sshArgStrLen, uint64(len(body)))
-			s.Write(arg+sshArgStr, body)
+			if !storeArgStr(s, arg, body, 512) {
+				return 0
+			}
 			stats.GateCalls.Add(1)
 			if ret, err := pub(s, arg); err != nil || ret != 1 {
 				return 0
@@ -555,8 +576,9 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 
 		case MsgAuthSKey:
 			s.Store64(arg+sshArgOp, sshOpSKeyChal)
-			s.Store64(arg+sshArgStrLen, uint64(len(body)))
-			s.Write(arg+sshArgStr, body)
+			if !storeArgStr(s, arg, body, 128) {
+				return 0
+			}
 			stats.GateCalls.Add(1)
 			if ret, err := skey(s, arg); err != nil || ret != 1 {
 				return 0
@@ -569,8 +591,9 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 				return 0
 			}
 			s.Store64(arg+sshArgOp, sshOpSKeyVerify)
-			s.Store64(arg+sshArgStrLen, uint64(len(resp)))
-			s.Write(arg+sshArgStr, resp)
+			if !storeArgStr(s, arg, resp, 128) {
+				return 0
+			}
 			stats.GateCalls.Add(1)
 			if ret, err := skey(s, arg); err != nil || ret != 1 {
 				return 0
@@ -590,10 +613,17 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 		}
 	}
 
-	// Post-auth session: the worker now runs as the user, chrooted to the
-	// user's home by the gate. Uploads land relative to that root with
-	// the promoted uid — no ambient authority involved.
 	_ = uid
+	return scpSessionLoop(s, stream)
+}
+
+// scpSessionLoop is the post-auth session shared by every promoted
+// worker build (the Figure 6 one-shot worker, the pooled Wedge worker,
+// and the pooled privsep slave): the compartment now runs as the user,
+// chrooted to the user's home by the promoting gate, so uploads land
+// relative to "/" with the promoted credentials — no ambient authority
+// involved.
+func scpSessionLoop(s *sthread.Sthread, stream io.ReadWriter) vm.Addr {
 	fs := s.Task.Kernel().FS
 	for {
 		typ, body, err := ReadFrame(stream)

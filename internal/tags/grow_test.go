@@ -223,6 +223,204 @@ func TestArenaGrowthPropagatesToGrantees(t *testing.T) {
 	}
 }
 
+// TestSfreeAtSegmentSeam: the first block carved from a freshly grown
+// segment starts at the segment's seam — the lowest allocatable address
+// after the per-segment allocator header. Sfree must locate the owning
+// segment by address (not assume the first segment), release the block,
+// and let the next same-size allocation reuse it without growing again.
+func TestSfreeAtSegmentSeam(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allocate until growth: the allocation that triggers it is the first
+	// block of the new segment.
+	const blockSize = 1024
+	var seamBlock vm.Addr
+	for i := 0; ; i++ {
+		prevGrows := r.Grows
+		a, err := r.Smalloc(task.AS, tag, blockSize)
+		if err != nil {
+			t.Fatalf("Smalloc #%d: %v", i, err)
+		}
+		if r.Grows > prevGrows {
+			seamBlock = a
+			break
+		}
+		if i > 100 {
+			t.Fatal("arena never grew")
+		}
+	}
+	reg, err := r.Lookup(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := reg.Segments()
+	if len(segs) != 2 {
+		t.Fatalf("segments = %d, want 2", len(segs))
+	}
+	seam := segs[1].Base + headerSize + chunkHdr
+	if seamBlock != seam {
+		t.Fatalf("first block of the grown segment at %#x, want the seam %#x",
+			uint64(seamBlock), uint64(seam))
+	}
+	if got, ok := reg.segmentOf(seamBlock); !ok || got.Base != segs[1].Base {
+		t.Fatalf("segmentOf(%#x) = %+v/%v, want the second segment", uint64(seamBlock), got, ok)
+	}
+	if err := r.Sfree(task.AS, seamBlock); err != nil {
+		t.Fatalf("Sfree at the seam: %v", err)
+	}
+	if err := r.Sfree(task.AS, seamBlock); err == nil {
+		t.Fatal("double free at the seam not detected")
+	}
+	grows := r.Grows
+	a, err := r.Smalloc(task.AS, tag, blockSize)
+	if err != nil {
+		t.Fatalf("Smalloc after seam free: %v", err)
+	}
+	if a != seamBlock {
+		t.Fatalf("freed seam block not reused: got %#x, want %#x", uint64(a), uint64(seamBlock))
+	}
+	if r.Grows != grows {
+		t.Fatalf("reallocating the freed seam block grew the arena (%d -> %d)", grows, r.Grows)
+	}
+}
+
+// TestArenaCapExactBoundary: growth stops exactly at the cap — the
+// region's total mapped bytes equal MaxRegionSize, never one segment
+// past it — and raising the cap live (SetMaxRegionSize) re-enables
+// growth for the next allocation.
+func TestArenaCapExactBoundary(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	r.SetMaxRegionSize(3 * DefaultRegionSize)
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 1000; i++ {
+		if _, lastErr = r.Smalloc(task.AS, tag, 1024); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrNoMem) {
+		t.Fatalf("expected ErrNoMem at cap, got %v", lastErr)
+	}
+	reg, err := r.Lookup(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.TotalSize(); got != 3*DefaultRegionSize {
+		t.Fatalf("total mapped bytes at cap = %d, want exactly %d", got, 3*DefaultRegionSize)
+	}
+	if r.Grows != 2 {
+		t.Fatalf("grows = %d, want 2 (three segments total)", r.Grows)
+	}
+
+	// Raising the cap re-enables growth: the cap is re-read under the
+	// registry lock on every growth attempt, not latched at TagNew.
+	r.SetMaxRegionSize(4 * DefaultRegionSize)
+	if _, err := r.Smalloc(task.AS, tag, 1024); err != nil {
+		t.Fatalf("Smalloc after raising the cap: %v", err)
+	}
+	if r.Grows != 3 {
+		t.Fatalf("grows after raised cap = %d, want 3", r.Grows)
+	}
+}
+
+// TestArenaCapBelowOneSegment: a cap smaller than the segment size is
+// raised to one segment (the region always keeps its first segment), so
+// the region behaves exactly like a fixed arena: no growth, ErrNoMem at
+// first-segment exhaustion.
+func TestArenaCapBelowOneSegment(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	r.SetMaxRegionSize(10)
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 1000; i++ {
+		if _, lastErr = r.Smalloc(task.AS, tag, 1024); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrNoMem) {
+		t.Fatalf("expected ErrNoMem, got %v", lastErr)
+	}
+	if r.Grows != 0 {
+		t.Fatalf("grows = %d, want 0 (cap below one segment must mean a fixed arena)", r.Grows)
+	}
+	reg, err := r.Lookup(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.TotalSize(); got != DefaultRegionSize {
+		t.Fatalf("total = %d, want one segment (%d)", got, DefaultRegionSize)
+	}
+}
+
+// TestTagDeleteTrimUnmapsGrownSegments: deleting a tag that grew to
+// several segments unmaps every grown segment from the owner (only the
+// cached first segment stays mapped) and drops the grant records — a
+// live grantee granted before the delete is not repopulated when the
+// reused tag grows again.
+func TestTagDeleteTrimUnmapsGrownSegments(t *testing.T) {
+	task := newTask(t)
+	r := NewRegistry()
+	tag, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grantee := vm.NewAddressSpace()
+	if err := r.Grant(grantee, tag, vm.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*DefaultRegionSize/1024; i++ {
+		if _, err := r.Smalloc(task.AS, tag, 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg, err := r.Lookup(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grownBytes := reg.TotalSize() - DefaultRegionSize
+	if grownBytes <= 0 {
+		t.Fatal("arena never grew; the trim has nothing to prove")
+	}
+	ownerPages := task.AS.Pages()
+	if err := r.TagDelete(tag); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := task.AS.Pages(), ownerPages-grownBytes/vm.PageSize; got != want {
+		t.Fatalf("owner pages after delete = %d, want %d (grown segments unmapped)", got, want)
+	}
+
+	// The reused region starts a new grant lifetime: growth after reuse
+	// must not repopulate the old grantee.
+	reused, err := r.TagNew(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granteePages := grantee.Pages()
+	for i := 0; i < 2*DefaultRegionSize/1024; i++ {
+		if _, err := r.Smalloc(task.AS, reused, 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Grows < 3 {
+		t.Fatalf("grows = %d, want the reused tag to have grown", r.Grows)
+	}
+	if got := grantee.Pages(); got != granteePages {
+		t.Fatalf("growth after reuse repopulated a stale grantee (%d -> %d pages)", granteePages, got)
+	}
+}
+
 // TestArenaCapRoundsUpToSegments: an intermediate cap (not a multiple of
 // the segment size) still permits the growth it implies, per the
 // documented rounding, instead of silently behaving like a fixed arena.

@@ -121,6 +121,14 @@ type (
 	SlotPin = serve.SlotPin
 	// OverloadError is the serve runtime's typed admission rejection.
 	OverloadError = serve.OverloadError
+
+	// ConnTable issues connection ids and demultiplexes per-connection
+	// state of type T behind a pooled gate — the mechanism every built-in
+	// ServeApp uses for gate-side session state. Gate entries resolving a
+	// worker-supplied id must additionally pin the result to the invoking
+	// slot (ServeRuntime.Lookup does both); see the package documentation
+	// of internal/gatepool for the isolation argument.
+	ConnTable[T any] = gatepool.ConnTable[T]
 )
 
 // The serve runtime's lifecycle states: serving → draining → closed.
@@ -205,6 +213,9 @@ var ErrNoMem = tags.ErrNoMem
 // ErrPoolDraining is returned by GatePool.Acquire and GatePool.Resize
 // while a Drain is in progress.
 var ErrPoolDraining = gatepool.ErrDraining
+
+// ErrPoolClosed is returned by GatePool operations after Close.
+var ErrPoolClosed = gatepool.ErrClosed
 
 // NewSC returns an empty security policy granting nothing.
 func NewSC() *SC { return policy.New() }

@@ -294,3 +294,31 @@ func TestArenaGrowthPublicAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestConnTablePublicAPI exercises the exported per-connection demux
+// type serve-app authors use for gate-side session state: ids are
+// issued monotonically, resolve until deleted, and never alias after
+// removal.
+func TestConnTablePublicAPI(t *testing.T) {
+	var table wedge.ConnTable[string]
+	a := table.Put("alice")
+	b := table.Put("bob")
+	if a == b {
+		t.Fatalf("duplicate conn ids: %d", a)
+	}
+	if v, ok := table.Get(a); !ok || v != "alice" {
+		t.Fatalf("Get(%d) = %q, %v", a, v, ok)
+	}
+	table.Delete(a)
+	if _, ok := table.Get(a); ok {
+		t.Fatalf("deleted id %d still resolves", a)
+	}
+	if c := table.Put("carol"); c == a || c == b {
+		t.Fatalf("conn id reused after removal: %d", c)
+	}
+	// ErrPoolClosed is the errors.Is target for operations on a pool
+	// after Close; it must remain distinct from the draining rejection.
+	if errors.Is(wedge.ErrPoolClosed, wedge.ErrPoolDraining) {
+		t.Fatal("ErrPoolClosed and ErrPoolDraining must be distinct")
+	}
+}
