@@ -1,6 +1,7 @@
 package wedge_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -141,6 +142,48 @@ func TestCLIWedgebench(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("privsep pool output missing %q:\n%s", want, out)
 		}
+	}
+
+	// -json writes machine-readable results with the structured identity
+	// fields (app, variant, conns, value) CI tracks trends from.
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	run(t, wb, "-pool", "-app", "pop3", "-poolconns", "2", "-poollevels", "1,2", "-json", jsonPath)
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-json wrote nothing: %v", err)
+	}
+	var rows []struct {
+		Experiment string  `json:"experiment"`
+		App        string  `json:"app"`
+		Variant    string  `json:"variant"`
+		Conns      int     `json:"conns"`
+		Value      float64 `json:"value"`
+		Unit       string  `json:"unit"`
+	}
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, raw)
+	}
+	// 3 variants x 2 levels.
+	if len(rows) != 6 {
+		t.Fatalf("-json rows = %d, want 6:\n%s", len(rows), raw)
+	}
+	seenPooled := false
+	for _, r := range rows {
+		if r.Experiment != "figpool" || r.App != "pop3" || r.Unit != "req/s" {
+			t.Fatalf("-json row %+v: wrong identity fields", r)
+		}
+		if r.Conns != 1 && r.Conns != 2 {
+			t.Fatalf("-json row %+v: conns outside the requested ladder", r)
+		}
+		if r.Variant == "pooled" {
+			seenPooled = true
+			if r.Value <= 0 {
+				t.Fatalf("-json pooled row has non-positive throughput: %+v", r)
+			}
+		}
+	}
+	if !seenPooled {
+		t.Fatalf("-json output missing the pooled variant:\n%s", raw)
 	}
 }
 

@@ -25,6 +25,10 @@
 // knobs apply to the pooled variants: -queue bounds the admission queue,
 // -autoslots makes slot counts track GOMAXPROCS at admission, and -drain
 // runs a verified drain/undrain cycle on every pooled cell.
+//
+// -json <file> additionally writes every measured result as JSON (with
+// app/variant/concurrency identity fields on the pool rows) for trend
+// tracking; "-json -" writes to stdout after the human-readable tables.
 package main
 
 import (
@@ -78,6 +82,7 @@ func main() {
 	autoslots := flag.Bool("autoslots", false, "pooled slot counts track GOMAXPROCS at admission (supersedes -poolsize)")
 	drain := flag.Bool("drain", false, "run a drain/undrain cycle on every pooled cell and verify quiescence")
 	all := flag.Bool("all", false, "run every experiment")
+	jsonOut := flag.String("json", "", "write machine-readable results (app, variant, concurrency, ops/s) to this file; \"-\" means stdout")
 	iters := flag.Int("iters", 0, "iterations for figures 7/8 (0 = default)")
 	conns := flag.Int("conns", bench.Table2Conns, "timed connections per Table 2 Apache cell")
 	scp := flag.Int("scp", bench.ScpSize, "scp upload size in bytes for Table 2")
@@ -220,4 +225,19 @@ func main() {
 	}
 
 	fmt.Print(bench.Format(results))
+
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteJSON(out, results); err != nil {
+			fail(err)
+		}
+	}
 }

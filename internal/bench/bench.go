@@ -17,7 +17,9 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"time"
@@ -25,14 +27,21 @@ import (
 
 // Result is one measured value.
 type Result struct {
-	Experiment string  // "fig7", "fig8", "fig9", "table2", "metrics"
-	Name       string  // row/bar label
-	Value      float64 // measured value
-	Unit       string  // "us", "ns", "ms", "req/s", "s", "lines", "ratio"
+	Experiment string  `json:"experiment"` // "fig7", "fig8", "fig9", "table2", "metrics", "figpool"
+	Name       string  `json:"name"`       // row/bar label
+	Value      float64 `json:"value"`      // measured value
+	Unit       string  `json:"unit"`       // "us", "ns", "ms", "req/s", "s", "lines", "ratio"
 	// PaperValue is the figure the paper reports for the same label, for
 	// side-by-side display. Zero when the paper gives no number.
-	PaperValue float64
-	PaperUnit  string
+	PaperValue float64 `json:"paper_value,omitempty"`
+	PaperUnit  string  `json:"paper_unit,omitempty"`
+
+	// Structured identity for machine consumers (the -json output CI
+	// tracks trends from). Populated by experiments with a natural
+	// app/variant/concurrency shape (FigPool); zero otherwise.
+	App     string `json:"app,omitempty"`
+	Variant string `json:"variant,omitempty"`
+	Conns   int    `json:"conns,omitempty"` // concurrent connections
 }
 
 func (r Result) String() string {
@@ -61,6 +70,17 @@ func Format(results []Result) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// WriteJSON renders a result set as machine-readable JSON — one object
+// per measured value, in measurement order (no re-sorting: consumers
+// diff runs, and a stable order keeps diffs small). This is the format
+// behind `wedgebench -json`, which CI uploads per run for trend
+// tracking.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
 }
 
 // timeOp runs op n times and returns the per-iteration duration.

@@ -234,6 +234,9 @@ func FigPoolApp(app string, conns int, levels []int, opts PoolOpts) ([]PoolRow, 
 				Name:       fmt.Sprintf("%s %s c=%d", app, variant, level),
 				Value:      best[variant],
 				Unit:       "req/s",
+				App:        app,
+				Variant:    variant,
+				Conns:      level,
 			})
 		}
 	}

@@ -35,7 +35,7 @@ import (
 // callgates, per application.
 var privilegedFuncs = map[string][]string{
 	"httpd": {
-		"makeSetupGate", "makeRecvFinished", "makeSendFinished",
+		"makeSetupGate", "setupOps", "makeRecvFinished", "makeSendFinished",
 		"makeSSLRead", "makeSSLWrite", "gateBody", "installSession",
 	},
 	"sshd": {
@@ -48,7 +48,7 @@ var privilegedFuncs = map[string][]string{
 // worker/handler sthreads.
 var unprivilegedFuncs = map[string][]string{
 	"httpd": {
-		"workerBody", "handshakeBody", "handlerBody", "recycledWorkerBody",
+		"httpdWorkerBody", "handshakeBody", "handlerBody",
 		"ServeStatic", "Stream",
 	},
 	"sshd": {

@@ -1,0 +1,127 @@
+package gateabi_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"wedge/internal/gateabi"
+	"wedge/internal/httpd"
+	"wedge/internal/kernel"
+	"wedge/internal/pop3"
+	"wedge/internal/sshd"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// fuzzRig is one booted system with an argument block per application
+// schema, shared by every fuzz execution in the process.
+type fuzzRig struct {
+	root    *sthread.Sthread
+	schemas []*gateabi.Schema
+	blocks  []vm.Addr
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzR    *fuzzRig
+)
+
+// appSchemas is every schema a wedge application serves: arbitrary block
+// contents decoded through each must never fault or read past the block.
+func appSchemas() []*gateabi.Schema {
+	return []*gateabi.Schema{httpd.GateSchema(), sshd.GateSchema(), pop3.GateSchema()}
+}
+
+func startFuzzRig(f *testing.F) *fuzzRig {
+	fuzzOnce.Do(func() {
+		app := sthread.Boot(kernel.New())
+		ready := make(chan *fuzzRig, 1)
+		go func() {
+			app.Main(func(root *sthread.Sthread) {
+				r := &fuzzRig{root: root, schemas: appSchemas()}
+				for _, s := range r.schemas {
+					tag, err := app.Tags.TagNew(root.Task)
+					if err != nil {
+						panic(err)
+					}
+					// The guard window past the block is what the decode
+					// sweep must never disturb.
+					arg, err := root.Smalloc(tag, s.Size()+64)
+					if err != nil {
+						panic(err)
+					}
+					r.blocks = append(r.blocks, arg)
+				}
+				ready <- r
+				select {} // park the root sthread for the fuzz process
+			})
+		}()
+		fuzzR = <-ready
+	})
+	return fuzzR
+}
+
+// FuzzGateABI writes arbitrary bytes into an argument block and decodes
+// every field of every application schema (httpd, sshd, pop3 — the
+// privsep monitor serves the sshd schema). The properties fuzzed for:
+// decoding never faults (no panic; a fault would kill the root sthread
+// and the whole rig), a variable-length field whose resident length word
+// exceeds its capacity yields the typed *ArgBoundsError rather than a
+// read past the field, and the decode sweep never writes anything — the
+// block contents are bit-identical before and after.
+func FuzzGateABI(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 4096))
+	all := bytes255()
+	f.Add(all)
+	// A length-word bomb: every word maximal, so every variable field
+	// decodes against a hostile length.
+	bomb := make([]byte, 4096)
+	for i := range bomb {
+		bomb[i] = 0xff
+	}
+	f.Add(bomb)
+	r := startFuzzRig(f)
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		for i, s := range r.schemas {
+			arg := r.blocks[i]
+			// Fill the block from the fuzz input (zero-padded).
+			block := make([]byte, s.Size())
+			copy(block, input)
+			r.root.Write(arg, block)
+
+			if err := s.DecodeAll(r.root, arg); err != nil {
+				var abe *gateabi.ArgBoundsError
+				if !errors.As(err, &abe) {
+					t.Fatalf("%s: decode error %v is not *ArgBoundsError", s.Name(), err)
+				}
+			}
+			// Decoding is read-only: the block is untouched...
+			after := make([]byte, s.Size())
+			r.root.Read(arg, after)
+			for j := range block {
+				if block[j] != after[j] {
+					t.Fatalf("%s: decode mutated the block at +%d", s.Name(), j)
+				}
+			}
+			// ...and the guard window past it stays zero.
+			pad := make([]byte, 64)
+			r.root.Read(arg+vm.Addr(s.Size()), pad)
+			for j, b := range pad {
+				if b != 0 {
+					t.Fatalf("%s: decode dirtied the arena at +%d", s.Name(), s.Size()+j)
+				}
+			}
+		}
+	})
+}
+
+func bytes255() []byte {
+	out := make([]byte, 2048)
+	for i := range out {
+		out[i] = byte(i)
+	}
+	return out
+}

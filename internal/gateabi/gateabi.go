@@ -1,0 +1,531 @@
+// Package gateabi is the typed gate ABI: a declarative schema for the
+// argument block a callgate (or gate pool slot) shares with its callers,
+// replacing the hand-computed byte offsets every wedge application used
+// to maintain.
+//
+// A Schema is an ordered sequence of typed fields — 64-bit words,
+// length-prefixed byte areas with a hard capacity, NUL-terminated string
+// areas, fixed-size blobs, and the two reserved demux words the serve
+// runtime writes (connection id and descriptor number). The layout is
+// computed, not declared: each field is placed at the next 8-byte-aligned
+// offset, so adding or reordering fields can never silently overlap, and
+// the block size, the inter-principal scrub footprint, and the residue
+// probe window all derive from the same declaration.
+//
+// Field declarations return typed handles whose Load/Store methods are
+// the only way application code touches the block. The handles hold the
+// resolved offset, so the hot path is exactly the Load64/Store64 the
+// hand-written offsets compiled to — the safety is in the declaration and
+// in the bounds checks of the variable-length codecs, not in per-access
+// indirection.
+//
+// Bounds are enforced at the codec, both directions: storing a payload
+// larger than the field's capacity, or decoding a block whose length word
+// exceeds it, fails with a typed *ArgBoundsError (errors.Is ErrArgBounds)
+// before any memory is touched. Nothing is ever silently truncated and
+// nothing is ever written or read past the field — the per-call-site
+// storeArgStr caps that patched the oversized-payload channel one bug at
+// a time are now structural.
+package gateabi
+
+import (
+	"errors"
+	"fmt"
+
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// ErrArgBounds is the errors.Is target for every codec bounds rejection.
+var ErrArgBounds = errors.New("gateabi: payload exceeds field capacity")
+
+// ArgBoundsError is the typed codec rejection: a payload (on Store) or a
+// block-resident length word (on Load) exceeded the field's declared
+// capacity. The codec fails before touching memory, so an oversized input
+// can neither be silently truncated nor smear past the field into memory
+// the inter-principal scrub never reaches.
+type ArgBoundsError struct {
+	Schema string // schema name
+	Field  string // field name
+	Len    int    // offending length
+	Cap    int    // the field's declared capacity
+	Decode bool   // true when the length word in the block was bad
+}
+
+func (e *ArgBoundsError) Error() string {
+	dir := "store"
+	if e.Decode {
+		dir = "decode"
+	}
+	return fmt.Sprintf("gateabi: %s %s.%s: length %d exceeds capacity %d",
+		dir, e.Schema, e.Field, e.Len, e.Cap)
+}
+
+// Is makes errors.Is(err, ErrArgBounds) match every ArgBoundsError.
+func (e *ArgBoundsError) Is(target error) bool { return target == ErrArgBounds }
+
+// Kind discriminates field layouts.
+type Kind int
+
+const (
+	// KindWord is one 64-bit little-endian word.
+	KindWord Kind = iota
+	// KindBytes is a length word followed by a fixed-capacity byte area.
+	KindBytes
+	// KindString is a NUL-terminated string area of fixed capacity.
+	KindString
+	// KindFixed is a raw byte area of exact size, no length word.
+	KindFixed
+	// KindConnID is the reserved demux word the serve runtime writes the
+	// connection id into.
+	KindConnID
+	// KindFD is the reserved demux word the serve runtime writes the
+	// connection's descriptor number into.
+	KindFD
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWord:
+		return "word"
+	case KindBytes:
+		return "bytes"
+	case KindString:
+		return "string"
+	case KindFixed:
+		return "fixed"
+	case KindConnID:
+		return "connid"
+	case KindFD:
+		return "fd"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// FieldInfo describes one placed field, for diagnostics, the fuzzing
+// harness, and schema-generic tooling. Off is the field's base offset
+// (the length word for KindBytes); Cap is the payload capacity (KindBytes,
+// KindString), the exact size (KindFixed), or 8 (words).
+type FieldInfo struct {
+	Name string
+	Kind Kind
+	Off  vm.Addr
+	Cap  int
+}
+
+// Schema is a sealed argument-block layout. Schemas are immutable after
+// Seal and safe for concurrent use.
+type Schema struct {
+	name   string
+	size   int
+	fields []FieldInfo
+
+	connID   vm.Addr
+	fd       vm.Addr
+	hasDemux bool
+}
+
+// Integer constrains the word-field element types: any integer that fits
+// a 64-bit block word.
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr
+}
+
+// Builder accumulates field declarations; Seal produces the Schema.
+// Declaration order is layout order. The zero Builder is not usable —
+// start with NewSchema.
+type Builder struct {
+	s      *Schema
+	sealed bool
+}
+
+// NewSchema starts a schema. The name appears in error messages and
+// diagnostics.
+func NewSchema(name string) *Builder {
+	return &Builder{s: &Schema{name: name}}
+}
+
+// align8 rounds n up to the next multiple of 8, keeping every field
+// word-aligned regardless of its neighbors' sizes.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// place appends a field at the next aligned offset and returns its base.
+func (b *Builder) place(name string, kind Kind, span, cap int) vm.Addr {
+	if b.sealed {
+		panic(fmt.Sprintf("gateabi: schema %q: field %q declared after Seal", b.s.name, name))
+	}
+	if name == "" {
+		panic(fmt.Sprintf("gateabi: schema %q: empty field name", b.s.name))
+	}
+	for _, f := range b.s.fields {
+		if f.Name == name {
+			panic(fmt.Sprintf("gateabi: schema %q: duplicate field %q", b.s.name, name))
+		}
+	}
+	off := vm.Addr(b.s.size)
+	b.s.fields = append(b.s.fields, FieldInfo{Name: name, Kind: kind, Off: off, Cap: cap})
+	b.s.size += align8(span)
+	return off
+}
+
+// Word declares one 64-bit word holding values of integer type T (an op
+// code, a verdict, a uid, a count). Load/Store convert through uint64, so
+// T's width bounds what round-trips faithfully.
+func Word[T Integer](b *Builder, name string) WordField[T] {
+	off := b.place(name, KindWord, 8, 8)
+	return WordField[T]{off: off}
+}
+
+// U64 is Word[uint64], the common case.
+func U64(b *Builder, name string) WordField[uint64] { return Word[uint64](b, name) }
+
+// Bytes declares a length-prefixed byte area: a 64-bit length word
+// followed by capacity payload bytes. Store and Load enforce the
+// capacity with *ArgBoundsError.
+func Bytes(b *Builder, name string, capacity int) BytesField {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("gateabi: schema %q: bytes field %q needs a positive capacity", b.s.name, name))
+	}
+	off := b.place(name, KindBytes, 8+capacity, capacity)
+	return BytesField{schema: b.s.name, name: name, off: off, data: off + 8, cap: capacity}
+}
+
+// String declares a NUL-terminated string area of the given capacity
+// (payload at most capacity-1 bytes plus the terminator).
+func String(b *Builder, name string, capacity int) StringField {
+	if capacity < 2 {
+		panic(fmt.Sprintf("gateabi: schema %q: string field %q needs capacity >= 2", b.s.name, name))
+	}
+	off := b.place(name, KindString, capacity, capacity)
+	return StringField{schema: b.s.name, name: name, off: off, cap: capacity}
+}
+
+// Fixed declares a raw byte area of exact size — key material, randoms,
+// marshalled structures whose length is fixed by the protocol.
+func Fixed(b *Builder, name string, size int) FixedField {
+	if size <= 0 {
+		panic(fmt.Sprintf("gateabi: schema %q: fixed field %q needs a positive size", b.s.name, name))
+	}
+	off := b.place(name, KindFixed, size, size)
+	return FixedField{schema: b.s.name, name: name, off: off, size: size}
+}
+
+// ConnID declares the reserved connection-id demux word. The serve
+// runtime writes it on admission and pins Lookup to it; applications
+// treat it as opaque. At most one per schema (place rejects the
+// duplicate name).
+func ConnID(b *Builder) WordField[uint64] {
+	off := b.place("__conn_id", KindConnID, 8, 8)
+	b.s.connID = off
+	return WordField[uint64]{off: off}
+}
+
+// FD declares the reserved descriptor-number demux word. At most one per
+// schema.
+func FD(b *Builder) WordField[uint64] {
+	off := b.place("__fd", KindFD, 8, 8)
+	b.s.fd = off
+	return WordField[uint64]{off: off}
+}
+
+func (b *Builder) has(kind Kind) bool {
+	for _, f := range b.s.fields {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Seal completes the schema: the block size is rounded up to a whole
+// number of words (it already is, by placement) and the layout becomes
+// immutable. Seal panics on an empty schema — schemas are package-level
+// declarations, and a malformed one should fail at init, not per
+// connection.
+func (b *Builder) Seal() *Schema {
+	if b.sealed {
+		panic(fmt.Sprintf("gateabi: schema %q sealed twice", b.s.name))
+	}
+	if len(b.s.fields) == 0 {
+		panic(fmt.Sprintf("gateabi: schema %q has no fields", b.s.name))
+	}
+	b.sealed = true
+	b.s.hasDemux = b.has(KindConnID) && b.has(KindFD)
+	return b.s
+}
+
+// Name returns the schema's diagnostic name.
+func (s *Schema) Name() string { return s.name }
+
+// Size is the argument-block size the schema requires — the pool's
+// per-slot allocation and the inter-principal scrub footprint. Every
+// field's full extent lies inside it by construction.
+func (s *Schema) Size() int { return s.size }
+
+// Fields returns the placed layout, in declaration order.
+func (s *Schema) Fields() []FieldInfo {
+	out := make([]FieldInfo, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// HasDemux reports whether the schema declares both reserved demux words
+// (ConnID and FD) — required for a schema served by the serve runtime.
+func (s *Schema) HasDemux() bool { return s.hasDemux }
+
+// ConnIDOff returns the connection-id demux word's offset. Meaningless
+// unless HasDemux.
+func (s *Schema) ConnIDOff() vm.Addr { return s.connID }
+
+// FDOff returns the descriptor-number demux word's offset. Meaningless
+// unless HasDemux.
+func (s *Schema) FDOff() vm.Addr { return s.fd }
+
+// IsDemux reports whether byte offset j of the block belongs to one of
+// the reserved demux words — the only bytes legitimately non-zero at
+// worker-invocation start on a freshly scrubbed slot.
+func (s *Schema) IsDemux(j int) bool {
+	if !s.hasDemux {
+		return false
+	}
+	off := vm.Addr(j)
+	return (off >= s.connID && off < s.connID+8) || (off >= s.fd && off < s.fd+8)
+}
+
+// minProbeWindow floors the probe window for schemas with no
+// variable-length fields: even a word-only block sits in a tag arena an
+// exploited worker can write past.
+const minProbeWindow = 64
+
+// ProbeWindow is the residue-probe footprint past the argument block,
+// derived from the schema: the capacity of the largest variable-length
+// field (floored at 64 bytes). The inter-principal scrub covers exactly
+// Size bytes, so a write escaping the block persists across principals;
+// the largest client-influenced payload the codecs accept bounds how far
+// a single overflowing copy could smear, so probing one full capacity
+// past the block catches any such escape with margin.
+func (s *Schema) ProbeWindow() int {
+	w := minProbeWindow
+	for _, f := range s.fields {
+		if (f.Kind == KindBytes || f.Kind == KindString) && f.Cap > w {
+			w = f.Cap
+		}
+	}
+	return w
+}
+
+// ---- typed field handles ---------------------------------------------------
+
+// WordField is the handle of one 64-bit block word, viewed as integer
+// type T. The handle holds the resolved offset: Load and Store are the
+// same single Load64/Store64 the hand-written offsets compiled to.
+type WordField[T Integer] struct {
+	off vm.Addr
+}
+
+// Load reads the word through s's view of the block at arg.
+func (f WordField[T]) Load(s *sthread.Sthread, arg vm.Addr) T {
+	return T(s.Load64(arg + f.off))
+}
+
+// Store writes the word through s's view of the block at arg.
+func (f WordField[T]) Store(s *sthread.Sthread, arg vm.Addr, v T) {
+	s.Store64(arg+f.off, uint64(v))
+}
+
+// Off returns the field's resolved offset inside the block.
+func (f WordField[T]) Off() vm.Addr { return f.off }
+
+// BytesField is the handle of a length-prefixed byte area.
+type BytesField struct {
+	schema, name string
+	off          vm.Addr // length word
+	data         vm.Addr // payload base
+	cap          int
+}
+
+// Cap returns the declared payload capacity.
+func (f BytesField) Cap() int { return f.cap }
+
+// Off returns the length word's offset; the payload follows it.
+func (f BytesField) Off() vm.Addr { return f.off }
+
+// Store encodes a payload: length word then bytes. A payload over the
+// field's capacity fails with *ArgBoundsError before anything is
+// written. Empty payloads are valid (length 0, no data write); gates that
+// require a non-empty argument reject them on Load.
+func (f BytesField) Store(s *sthread.Sthread, arg vm.Addr, p []byte) error {
+	return f.StoreMax(s, arg, p, f.cap)
+}
+
+// StoreMax is Store under a tighter cap — the receiving gate's own input
+// limit when it is narrower than the field (the sshd string area serves
+// ops capped at 512, 256, and 128 bytes). The effective bound is
+// min(max, capacity); exceeding it is the same typed error.
+func (f BytesField) StoreMax(s *sthread.Sthread, arg vm.Addr, p []byte, max int) error {
+	if max > f.cap {
+		max = f.cap
+	}
+	if len(p) > max {
+		return &ArgBoundsError{Schema: f.schema, Field: f.name, Len: len(p), Cap: max}
+	}
+	s.Store64(arg+f.off, uint64(len(p)))
+	if len(p) > 0 {
+		s.Write(arg+f.data, p)
+	}
+	return nil
+}
+
+// Load decodes the payload: the length word is validated against the
+// capacity before any payload byte is read, so a corrupted or hostile
+// length can never pull bytes from past the field. Returns nil for an
+// empty payload.
+func (f BytesField) Load(s *sthread.Sthread, arg vm.Addr) ([]byte, error) {
+	return f.LoadMax(s, arg, f.cap)
+}
+
+// LoadMax is Load under a tighter cap (the gate's own input limit). A
+// length word over min(max, capacity) is a typed decode error. A
+// non-positive max admits nothing (only a zero length word decodes) —
+// it must not wrap through the unsigned comparison into an unbounded
+// read.
+func (f BytesField) LoadMax(s *sthread.Sthread, arg vm.Addr, max int) ([]byte, error) {
+	if max < 0 {
+		max = 0
+	}
+	if max > f.cap {
+		max = f.cap
+	}
+	n := s.Load64(arg + f.off)
+	if n > uint64(max) {
+		return nil, &ArgBoundsError{Schema: f.schema, Field: f.name,
+			Len: clampInt(n), Cap: max, Decode: true}
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	p := make([]byte, n)
+	s.Read(arg+f.data, p)
+	return p, nil
+}
+
+// clampInt narrows a hostile uint64 length for the error message.
+func clampInt(n uint64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if n > uint64(maxInt) {
+		return maxInt
+	}
+	return int(n)
+}
+
+// StringField is the handle of a NUL-terminated string area.
+type StringField struct {
+	schema, name string
+	off          vm.Addr
+	cap          int
+}
+
+// Cap returns the declared area size (payload capacity plus terminator).
+func (f StringField) Cap() int { return f.cap }
+
+// Off returns the field's resolved offset.
+func (f StringField) Off() vm.Addr { return f.off }
+
+// Store writes str plus its terminator. A string that does not fit
+// (len > capacity-1) fails with *ArgBoundsError; use StoreTrunc where
+// truncation is the documented policy.
+func (f StringField) Store(s *sthread.Sthread, arg vm.Addr, str string) error {
+	if len(str) > f.cap-1 {
+		return &ArgBoundsError{Schema: f.schema, Field: f.name, Len: len(str), Cap: f.cap - 1}
+	}
+	s.WriteString(arg+f.off, str)
+	return nil
+}
+
+// StoreTrunc writes str truncated to the field — the explicit-policy
+// variant for informational fields (sshd's passwd home path is documented
+// as "first 63 bytes"), never a silent fallback.
+func (f StringField) StoreTrunc(s *sthread.Sthread, arg vm.Addr, str string) {
+	if len(str) > f.cap-1 {
+		str = str[:f.cap-1]
+	}
+	s.WriteString(arg+f.off, str)
+}
+
+// Load reads the string, stopping at the terminator or the field's end —
+// it can never read past the area, terminated or not.
+func (f StringField) Load(s *sthread.Sthread, arg vm.Addr) string {
+	return s.ReadString(arg+f.off, f.cap)
+}
+
+// FixedField is the handle of an exact-size byte area.
+type FixedField struct {
+	schema, name string
+	off          vm.Addr
+	size         int
+}
+
+// Size returns the declared size.
+func (f FixedField) Size() int { return f.size }
+
+// Off returns the field's resolved offset.
+func (f FixedField) Off() vm.Addr { return f.off }
+
+// Write stores exactly the field's bytes. A size mismatch is a
+// programming error (fixed fields hold protocol-fixed values), so it
+// panics like a wild pointer would, rather than burdening every gate
+// body with an error that cannot happen on any input.
+func (f FixedField) Write(s *sthread.Sthread, arg vm.Addr, p []byte) {
+	if len(p) != f.size {
+		panic(fmt.Sprintf("gateabi: write %s.%s: %d bytes into a %d-byte fixed field",
+			f.schema, f.name, len(p), f.size))
+	}
+	s.Write(arg+f.off, p)
+}
+
+// Read fills buf, which must be exactly the field's size.
+func (f FixedField) Read(s *sthread.Sthread, arg vm.Addr, buf []byte) {
+	if len(buf) != f.size {
+		panic(fmt.Sprintf("gateabi: read %s.%s: %d bytes from a %d-byte fixed field",
+			f.schema, f.name, len(buf), f.size))
+	}
+	s.Read(arg+f.off, buf)
+}
+
+// Bytes allocates and reads the field's contents.
+func (f FixedField) Bytes(s *sthread.Sthread, arg vm.Addr) []byte {
+	p := make([]byte, f.size)
+	s.Read(arg+f.off, p)
+	return p
+}
+
+// ---- schema-generic decoding ----------------------------------------------
+
+// DecodeAll decodes every field of the schema through s's view of the
+// block at arg, exercising each codec's validation: variable-length
+// fields whose length word exceeds their capacity yield their typed
+// error; everything else is read within its declared extent. It returns
+// the first decode error (nil when the whole block decodes). This is the
+// surface the FuzzGateABI harness drives: for arbitrary block contents,
+// DecodeAll must neither fault nor touch a byte outside [arg, arg+Size).
+func (s *Schema) DecodeAll(st *sthread.Sthread, arg vm.Addr) error {
+	var firstErr error
+	for _, f := range s.fields {
+		switch f.Kind {
+		case KindWord, KindConnID, KindFD:
+			_ = st.Load64(arg + f.Off)
+		case KindBytes:
+			bf := BytesField{schema: s.name, name: f.Name, off: f.Off, data: f.Off + 8, cap: f.Cap}
+			if _, err := bf.Load(st, arg); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		case KindString:
+			_ = st.ReadString(arg+f.Off, f.Cap)
+		case KindFixed:
+			buf := make([]byte, f.Cap)
+			st.Read(arg+f.Off, buf)
+		}
+	}
+	return firstErr
+}

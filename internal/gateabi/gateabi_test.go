@@ -1,0 +1,297 @@
+package gateabi_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"wedge/internal/gateabi"
+	"wedge/internal/kernel"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// withBlock boots a system, allocates an argument block of the given
+// size (plus a guard window that must stay zero), and runs fn on the
+// root sthread.
+func withBlock(t *testing.T, size int, fn func(s *sthread.Sthread, arg vm.Addr)) {
+	t.Helper()
+	app := sthread.Boot(kernel.New())
+	err := app.Main(func(root *sthread.Sthread) {
+		tag, err := app.Tags.TagNew(root.Task)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		arg, err := root.Smalloc(tag, size+guard)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fn(root, arg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// guard is how far past the schema's block the tests verify nothing was
+// written.
+const guard = 256
+
+// checkGuard asserts the guard window past the block is still zero: no
+// codec operation may ever write past Schema.Size().
+func checkGuard(t *testing.T, s *sthread.Sthread, arg vm.Addr, size int) {
+	t.Helper()
+	buf := make([]byte, guard)
+	s.Read(arg+vm.Addr(size), buf)
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("guard window dirtied at +%d (%#x): a codec wrote past the block", size+i, b)
+		}
+	}
+}
+
+// testSchema builds one schema exercising every field kind.
+func testSchema() (*gateabi.Schema, gateabi.WordField[uint64], gateabi.WordField[int],
+	gateabi.BytesField, gateabi.StringField, gateabi.FixedField) {
+	b := gateabi.NewSchema("test")
+	word := gateabi.U64(b, "word")
+	iword := gateabi.Word[int](b, "iword")
+	_ = gateabi.ConnID(b)
+	blob := gateabi.Bytes(b, "blob", 96)
+	str := gateabi.String(b, "str", 32)
+	fixed := gateabi.Fixed(b, "fixed", 24)
+	_ = gateabi.FD(b)
+	return b.Seal(), word, iword, blob, str, fixed
+}
+
+// TestSchemaLayout: placement is sequential, 8-aligned, inside Size, and
+// the demux metadata is consistent.
+func TestSchemaLayout(t *testing.T) {
+	s, word, iword, blob, str, fixed := testSchema()
+	if !s.HasDemux() {
+		t.Fatal("schema with ConnID+FD reports no demux")
+	}
+	if s.Size()%8 != 0 {
+		t.Fatalf("size %d not word-aligned", s.Size())
+	}
+	offs := []vm.Addr{word.Off(), iword.Off(), blob.Off(), str.Off(), fixed.Off()}
+	for i, off := range offs {
+		if off%8 != 0 {
+			t.Fatalf("field %d at unaligned offset %d", i, off)
+		}
+	}
+	fields := s.Fields()
+	if len(fields) != 7 {
+		t.Fatalf("fields = %d, want 7", len(fields))
+	}
+	// No two fields overlap, and every extent fits in Size.
+	type span struct{ lo, hi int }
+	var spans []span
+	for _, f := range fields {
+		ext := f.Cap
+		if f.Kind == gateabi.KindBytes {
+			ext += 8
+		}
+		sp := span{int(f.Off), int(f.Off) + ext}
+		if sp.hi > s.Size() {
+			t.Fatalf("field %s extends to %d past size %d", f.Name, sp.hi, s.Size())
+		}
+		for _, o := range spans {
+			if sp.lo < o.hi && o.lo < sp.hi {
+				t.Fatalf("field %s overlaps another field", f.Name)
+			}
+		}
+		spans = append(spans, sp)
+	}
+	// The demux words are exactly the IsDemux bytes.
+	demuxBytes := 0
+	for j := 0; j < s.Size(); j++ {
+		if s.IsDemux(j) {
+			demuxBytes++
+		}
+	}
+	if demuxBytes != 16 {
+		t.Fatalf("IsDemux covers %d bytes, want 16", demuxBytes)
+	}
+}
+
+// TestRoundTrip: random payloads under each field's capacity survive a
+// store/load cycle bit-for-bit, and nothing ever lands past the block.
+func TestRoundTrip(t *testing.T) {
+	s, word, iword, blob, str, fixed := testSchema()
+	rng := rand.New(rand.NewSource(1))
+	withBlock(t, s.Size(), func(st *sthread.Sthread, arg vm.Addr) {
+		for i := 0; i < 200; i++ {
+			w := rng.Uint64()
+			word.Store(st, arg, w)
+			if got := word.Load(st, arg); got != w {
+				t.Fatalf("word round-trip: %x != %x", got, w)
+			}
+			iv := rng.Intn(1 << 30)
+			iword.Store(st, arg, iv)
+			if got := iword.Load(st, arg); got != iv {
+				t.Fatalf("int word round-trip: %d != %d", got, iv)
+			}
+
+			p := make([]byte, rng.Intn(blob.Cap()+1))
+			rng.Read(p)
+			if err := blob.Store(st, arg, p); err != nil {
+				t.Fatalf("store %d bytes under cap %d: %v", len(p), blob.Cap(), err)
+			}
+			got, err := blob.Load(st, arg)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if !bytes.Equal(got, p) && !(len(p) == 0 && got == nil) {
+				t.Fatalf("bytes round-trip mismatch: %d vs %d bytes", len(got), len(p))
+			}
+
+			sv := randString(rng, rng.Intn(str.Cap()))
+			if err := str.Store(st, arg, sv); err != nil {
+				t.Fatalf("string store %d chars: %v", len(sv), err)
+			}
+			if got := str.Load(st, arg); got != sv {
+				t.Fatalf("string round-trip: %q != %q", got, sv)
+			}
+
+			fv := make([]byte, fixed.Size())
+			rng.Read(fv)
+			fixed.Write(st, arg, fv)
+			if got := fixed.Bytes(st, arg); !bytes.Equal(got, fv) {
+				t.Fatal("fixed round-trip mismatch")
+			}
+		}
+		checkGuard(t, st, arg, s.Size())
+	})
+}
+
+// randString produces n printable non-NUL bytes (NUL terminates a string
+// field by definition).
+func randString(rng *rand.Rand, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(' ' + rng.Intn(95))
+	}
+	return string(b)
+}
+
+// TestBoundsErrors is the regression for the PR 4 oversized-payload
+// channel: every oversized store fails with the typed *ArgBoundsError
+// (errors.Is ErrArgBounds) BEFORE touching memory — no silent cap, no
+// partial write, nothing past the field. The old storeArgStr call sites
+// enforced this per call; the codec now owns it.
+func TestBoundsErrors(t *testing.T) {
+	s, _, _, blob, str, _ := testSchema()
+	withBlock(t, s.Size(), func(st *sthread.Sthread, arg vm.Addr) {
+		// Plant a known payload, then attempt the oversized store.
+		want := []byte("resident payload")
+		if err := blob.Store(st, arg, want); err != nil {
+			t.Fatal(err)
+		}
+		huge := bytes.Repeat([]byte{'A'}, blob.Cap()+1)
+		err := blob.Store(st, arg, huge)
+		var abe *gateabi.ArgBoundsError
+		if !errors.As(err, &abe) || !errors.Is(err, gateabi.ErrArgBounds) {
+			t.Fatalf("oversized store error = %v, want *ArgBoundsError", err)
+		}
+		if abe.Field != "blob" || abe.Len != len(huge) || abe.Cap != blob.Cap() {
+			t.Fatalf("error detail = %+v", abe)
+		}
+		// The resident payload is untouched: the rejection happened
+		// before any write, not after a truncated one.
+		got, err := blob.Load(st, arg)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("resident payload after rejected store: %q (%v), want %q", got, err, want)
+		}
+
+		// StoreMax enforces the tighter per-op cap the same way.
+		err = blob.StoreMax(st, arg, bytes.Repeat([]byte{'B'}, 65), 64)
+		if !errors.As(err, &abe) || abe.Cap != 64 {
+			t.Fatalf("StoreMax error = %v, want cap-64 *ArgBoundsError", err)
+		}
+
+		// An oversized string store is rejected too; StoreTrunc is the
+		// explicit-policy alternative.
+		long := randString(rand.New(rand.NewSource(2)), str.Cap()*2)
+		if err := str.Store(st, arg, long); !errors.As(err, &abe) {
+			t.Fatalf("oversized string store error = %v", err)
+		}
+		str.StoreTrunc(st, arg, long)
+		if got := str.Load(st, arg); got != long[:str.Cap()-1] {
+			t.Fatalf("StoreTrunc kept %d chars, want %d", len(got), str.Cap()-1)
+		}
+
+		// Decode validation: a hostile length word over the capacity is a
+		// typed decode error, never a read past the field.
+		st.Store64(arg+blob.Off(), uint64(s.Size()*100))
+		if _, err := blob.Load(st, arg); !errors.As(err, &abe) || !abe.Decode {
+			t.Fatalf("hostile length decode error = %v, want decode *ArgBoundsError", err)
+		}
+		checkGuard(t, st, arg, s.Size())
+	})
+}
+
+// TestProbeWindow: the residue-probe footprint derives from the largest
+// variable-length capacity, floored at 64.
+func TestProbeWindow(t *testing.T) {
+	s, _, _, _, _, _ := testSchema()
+	if got := s.ProbeWindow(); got != 96 {
+		t.Fatalf("probe window = %d, want 96 (largest variable cap)", got)
+	}
+	b := gateabi.NewSchema("words-only")
+	gateabi.U64(b, "a")
+	if got := b.Seal().ProbeWindow(); got != 64 {
+		t.Fatalf("word-only probe window = %d, want the 64 floor", got)
+	}
+}
+
+// TestBuilderPanics: malformed declarations fail at schema-declaration
+// time (package init in real apps), not per connection.
+func TestBuilderPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"duplicate field": func() {
+			b := gateabi.NewSchema("x")
+			gateabi.U64(b, "a")
+			gateabi.U64(b, "a")
+		},
+		"empty schema":    func() { gateabi.NewSchema("x").Seal() },
+		"zero-cap bytes":  func() { gateabi.Bytes(gateabi.NewSchema("x"), "b", 0) },
+		"tiny string":     func() { gateabi.String(gateabi.NewSchema("x"), "s", 1) },
+		"declare-on-seal": func() { b := gateabi.NewSchema("x"); gateabi.U64(b, "a"); b.Seal(); gateabi.U64(b, "late") },
+		"double demux":    func() { b := gateabi.NewSchema("x"); gateabi.ConnID(b); gateabi.ConnID(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestLoadMaxNonPositiveCap: a non-positive per-op cap admits nothing —
+// it must not wrap through the unsigned length comparison into an
+// unbounded read (a hostile length word would otherwise pass a
+// negative-max check and pull bytes past the field).
+func TestLoadMaxNonPositiveCap(t *testing.T) {
+	s, _, _, blob, _, _ := testSchema()
+	withBlock(t, s.Size(), func(st *sthread.Sthread, arg vm.Addr) {
+		st.Store64(arg+blob.Off(), 1<<40) // hostile resident length
+		for _, max := range []int{0, -1, -1 << 30} {
+			var abe *gateabi.ArgBoundsError
+			if _, err := blob.LoadMax(st, arg, max); !errors.As(err, &abe) {
+				t.Fatalf("LoadMax(max=%d) with hostile length = %v, want *ArgBoundsError", max, err)
+			}
+		}
+		// A zero length word decodes as empty under a zero cap.
+		st.Store64(arg+blob.Off(), 0)
+		if p, err := blob.LoadMax(st, arg, 0); err != nil || p != nil {
+			t.Fatalf("LoadMax(max=0) on empty = %v, %v, want nil, nil", p, err)
+		}
+	})
+}

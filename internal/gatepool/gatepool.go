@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/kernel"
 	"wedge/internal/policy"
 	"wedge/internal/sthread"
@@ -54,7 +55,10 @@ const DefaultArgSize = 1024
 
 // GateDef names one recycled entry point every slot instantiates. The
 // slot's argument tag is added read-write to SC, so each gate instance can
-// reach exactly its own slot's argument block.
+// reach exactly its own slot's argument block. The block's layout is the
+// pool's Schema (every gate of a slot shares one block, so the schema
+// lives on the Config, not per gate); entries read and write it through
+// the schema's typed field handles.
 type GateDef struct {
 	Name    string
 	SC      *policy.SC // base policy; nil means no privileges beyond the arg tag
@@ -69,6 +73,12 @@ type Config struct {
 	MaxSlots int    // Resize ceiling (default max(Slots, 64))
 	ArgSize  int    // bytes of per-slot argument block (default DefaultArgSize)
 	Gates    []GateDef
+
+	// Schema, when set, is the declarative layout of every slot's
+	// argument block: the block size (and so the inter-principal scrub
+	// footprint) derives from it, superseding ArgSize. The serve runtime
+	// always populates it; raw pools may size the block by hand.
+	Schema *gateabi.Schema
 
 	// NoScrub disables inter-principal argument scrubbing, reproducing
 	// the raw §3.3 exposure. It exists for tests and ablations — the
@@ -153,6 +163,9 @@ func New(root *sthread.Sthread, cfg Config) (*Pool, error) {
 		if cfg.MaxSlots < 64 {
 			cfg.MaxSlots = 64
 		}
+	}
+	if cfg.Schema != nil {
+		cfg.ArgSize = cfg.Schema.Size()
 	}
 	if cfg.ArgSize <= 0 {
 		cfg.ArgSize = DefaultArgSize

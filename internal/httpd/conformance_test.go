@@ -15,7 +15,8 @@ import (
 // TestServeConformance runs the shared serve-app battery (residue scrub,
 // drain/undrain, resize under load, leak accounting, snapshot
 // consistency) against the pooled SSL server. The residue window is the
-// master secret the setup gate writes at argMaster — the §3.3 leak the
+// master secret the setup gate writes into the block's master field —
+// the §3.3 leak the
 // recycled variant reproduces (TestRecycledCrossConnectionResidue) and
 // the pool must close.
 func TestServeConformance(t *testing.T) {
@@ -83,9 +84,7 @@ func TestServeConformance(t *testing.T) {
 				Abandon: func() error { return conn.Close() },
 			}, nil
 		},
-		ArgSize:   argSize,
-		ConnIDOff: argConnID,
-		FDOff:     argPoolFD,
+		Schema: argSchema,
 		// The private- and public-key blob tags outlive the runtime.
 		StaticTags: 2,
 	})

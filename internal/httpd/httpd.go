@@ -29,6 +29,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/kernel"
 	"wedge/internal/minissl"
 	"wedge/internal/sthread"
@@ -141,69 +142,98 @@ func SetupDocroot(k *kernel.Kernel, docroot string, pageSize int) error {
 
 // ---- shared compartment memory layouts ----------------------------------------
 
-// Gate argument buffer layout (Simple and Recycled variants). The buffer
-// lives in a tag shared read-write between the worker and the setup gate.
+// The gate argument-block schema, shared by every variant (the buffer
+// lives in a per-connection tag for Simple/MITM, the recycled gate's
+// shared tag, or a pool slot's tag). The layout is computed from these
+// declarations — no hand-maintained offsets — and the typed handles below
+// are the only way worker and gate code touches the block. The demux
+// words serve the recycled variant's conn-id demultiplexer and the serve
+// runtime's slot pin; the kexCap bound (one RSA ciphertext) and the
+// session-id capacity are enforced by the codec with *ArgBoundsError, so
+// an oversized client payload can never smear past its field into memory
+// the pool's inter-principal scrub does not reach.
 const (
-	argOp           = 0   // 1=hello 2=kex
-	argConnID       = 8   // recycled variant: session demultiplexer
-	argClientRandom = 16  // 32 bytes, worker writes
-	argSessionIDLen = 48  // worker writes on resume offer
-	argSessionID    = 56  // 16 bytes
-	argServerRandom = 72  // 32 bytes, gate writes (public value)
-	argResumed      = 104 // gate writes 1 when resuming
-	argMaster       = 112 // 48 bytes, gate writes (Simple/Recycled only)
-	argKeys         = 160 // 96 bytes, gate writes (Simple/Recycled only)
-	argDataLen      = 264 // premaster ciphertext length
-	argData         = 272 // premaster ciphertext (<= 256 bytes)
-	argSessionIDOut = 768 // 16 bytes, gate-assigned session id
-	argPoolFD       = 984 // pooled variant: this connection's descriptor number
-	argSize         = 1024
+	kexCap      = 256 // premaster ciphertext bound (one RSA-2048 ciphertext)
+	keyBlockLen = 96  // marshalled minissl.Keys length (three 32-byte keys)
+)
 
+var (
+	argSchemaB = gateabi.NewSchema("httpd")
+
+	fOp           = gateabi.U64(argSchemaB, "op") // opHello or opKex
+	fConnID       = gateabi.ConnID(argSchemaB)
+	fClientRandom = gateabi.Fixed(argSchemaB, "client_random", minissl.RandomLen)
+	fSessionID    = gateabi.Bytes(argSchemaB, "session_id_offer", minissl.SessionIDLen)
+	fServerRandom = gateabi.Fixed(argSchemaB, "server_random", minissl.RandomLen) // gate writes (public value)
+	fResumed      = gateabi.U64(argSchemaB, "resumed")                            // gate writes 1 when resuming
+	fMaster       = gateabi.Fixed(argSchemaB, "master", minissl.MasterLen)        // Simple/Recycled/pooled only
+	fKeys         = gateabi.Fixed(argSchemaB, "key_block", keyBlockLen)           // Simple/Recycled/pooled only
+	fData         = gateabi.Bytes(argSchemaB, "kex_data", kexCap)
+	fSessionIDOut = gateabi.Fixed(argSchemaB, "session_id_out", minissl.SessionIDLen)
+	fPoolFD       = gateabi.FD(argSchemaB)
+
+	// MITM handshake-phase extensions: the transcript hash and the sealed
+	// Finished record the receive_finished gate verifies. Declared on the
+	// shared schema (the MITM block is a superset of the Simple one).
+	fMITMTranscript = gateabi.Fixed(argSchemaB, "mitm_transcript", 32)
+	fMITMRec        = gateabi.Bytes(argSchemaB, "mitm_finished_rec", 128)
+
+	argSchema = argSchemaB.Seal()
+)
+
+// GateSchema exposes the argument-block schema (for the conformance
+// battery and the cross-app FuzzGateABI harness).
+func GateSchema() *gateabi.Schema { return argSchema }
+
+const (
 	opHello = 1
 	opKex   = 2
 )
 
-// Session region layout (MITM variant): all key material and record
+// Session region schema (MITM variant): all key material and record
 // sequence state, readable only by the callgates granted the session tag.
-const (
-	sessMaster       = 0   // 48 bytes
-	sessKeys         = 48  // 96 bytes
-	sessClientRandom = 144 // 32
-	sessServerRandom = 176 // 32
-	sessReadSeq      = 208
-	sessWriteSeq     = 216
-	sessEstablished  = 224
-	sessSize         = 256
+var (
+	sessSchemaB       = gateabi.NewSchema("httpd-session")
+	fSessMaster       = gateabi.Fixed(sessSchemaB, "master", minissl.MasterLen)
+	fSessKeys         = gateabi.Fixed(sessSchemaB, "key_block", keyBlockLen)
+	fSessClientRandom = gateabi.Fixed(sessSchemaB, "client_random", minissl.RandomLen)
+	fSessServerRandom = gateabi.Fixed(sessSchemaB, "server_random", minissl.RandomLen)
+	fSessReadSeq      = gateabi.U64(sessSchemaB, "read_seq")
+	fSessWriteSeq     = gateabi.U64(sessSchemaB, "write_seq")
+	fSessEstablished  = gateabi.U64(sessSchemaB, "established")
+	sessSchema        = sessSchemaB.Seal()
 )
 
-// Finished-state region layout (MITM variant): written by
+// Finished-state region schema (MITM variant): written by
 // receive_finished, read by send_finished, invisible to the handshake
 // sthread (§5.1.2).
-const (
-	finValid   = 0
-	finPayload = 8 // 32 bytes
-	finSize    = 64
+var (
+	finSchemaB  = gateabi.NewSchema("httpd-finished")
+	fFinValid   = gateabi.U64(finSchemaB, "valid")
+	fFinPayload = gateabi.Fixed(finSchemaB, "payload", 32)
+	finSchema   = finSchemaB.Seal()
 )
 
-// User-data region layout (MITM variant phase 2).
-const (
-	userLen  = 0
-	userData = 8
-	userSize = 16 * 1024
+// User-data region schema (MITM variant phase 2): the plaintext handoff
+// between the SSL gates and the client handler.
+var (
+	userSchemaB = gateabi.NewSchema("httpd-user")
+	fUserData   = gateabi.Bytes(userSchemaB, "data", 16*1024)
+	userSchema  = userSchemaB.Seal()
 )
 
 // loadCoderState reads keys and one direction's sequence counter out of a
 // session region and builds a record coder positioned at those sequences.
 func loadCoderState(s *sthread.Sthread, sess vm.Addr) (minissl.Keys, uint64, uint64, error) {
-	kb := make([]byte, 96)
-	if err := s.TryRead(sess+sessKeys, kb); err != nil {
+	kb := make([]byte, fSessKeys.Size())
+	if err := s.TryRead(sess+fSessKeys.Off(), kb); err != nil {
 		return minissl.Keys{}, 0, 0, err
 	}
 	keys, err := minissl.UnmarshalKeys(kb)
 	if err != nil {
 		return minissl.Keys{}, 0, 0, err
 	}
-	return keys, s.Load64(sess + sessReadSeq), s.Load64(sess + sessWriteSeq), nil
+	return keys, fSessReadSeq.Load(s, sess), fSessWriteSeq.Load(s, sess), nil
 }
 
 // fmtErr wraps an error with the variant and phase for diagnosability.

@@ -377,7 +377,7 @@ func TestRecycledCrossConnectionResidue(t *testing.T) {
 			// The second worker scans the shared arg block it was
 			// handed — same chunk the first connection used.
 			buf := make([]byte, 48)
-			if err := s.TryRead(c.ArgAddr+argMaster, buf); err == nil {
+			if err := s.TryRead(c.ArgAddr+fMaster.Off(), buf); err == nil {
 				residue = buf
 			}
 		}

@@ -36,13 +36,10 @@ import (
 	"wedge/internal/vm"
 )
 
-// Handshake-phase argument buffer offsets (within the per-connection arg
-// tag, beyond the fields shared with the Simple variant).
-const (
-	mitmTranscript = 512 // 32 bytes: hash of all past handshake messages
-	mitmRecLen     = 552
-	mitmRec        = 560 // sealed Finished record (<= 128 bytes)
-)
+// The handshake-phase argument fields beyond those shared with the
+// Simple variant — the transcript hash and the sealed Finished record —
+// are the fMITMTranscript and fMITMRec fields of the shared argument
+// schema (httpd.go).
 
 // MITM is the Figures 3-5 server.
 type MITM struct {
@@ -109,16 +106,16 @@ func (m *MITM) newConnRegions() (*connRegions, error) {
 		*tag, *addr = t, a
 		return nil
 	}
-	if err := alloc(&reg.argTag, &reg.arg, argSize); err != nil {
+	if err := alloc(&reg.argTag, &reg.arg, argSchema.Size()); err != nil {
 		return nil, err
 	}
-	if err := alloc(&reg.sessTag, &reg.sess, sessSize); err != nil {
+	if err := alloc(&reg.sessTag, &reg.sess, sessSchema.Size()); err != nil {
 		return nil, err
 	}
-	if err := alloc(&reg.finTag, &reg.fin, finSize); err != nil {
+	if err := alloc(&reg.finTag, &reg.fin, finSchema.Size()); err != nil {
 		return nil, err
 	}
-	if err := alloc(&reg.userTag, &reg.user, userSize); err != nil {
+	if err := alloc(&reg.userTag, &reg.user, userSchema.Size()); err != nil {
 		return nil, err
 	}
 	return reg, nil
@@ -138,36 +135,33 @@ func (m *MITM) releaseConnRegions(r *connRegions) {
 func (m *MITM) makeSetupGate(state *setupGateState, sess vm.Addr) sthread.GateFunc {
 	cache := m.cache
 	return func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
-		switch g.Load64(arg + argOp) {
+		switch fOp.Load(g, arg) {
 		case opHello:
-			g.Read(arg+argClientRandom, state.clientRandom[:])
+			fClientRandom.Read(g, arg, state.clientRandom[:])
 			sr, err := minissl.NewRandom(cryptoRand{})
 			if err != nil {
 				return 0
 			}
 			state.serverRandom = sr
-			g.Write(arg+argServerRandom, sr[:])
-			g.Write(sess+sessClientRandom, state.clientRandom[:])
-			g.Write(sess+sessServerRandom, sr[:])
+			fServerRandom.Write(g, arg, sr[:])
+			fSessClientRandom.Write(g, sess, state.clientRandom[:])
+			fSessServerRandom.Write(g, sess, sr[:])
 
-			idLen := g.Load64(arg + argSessionIDLen)
-			if cache != nil && idLen > 0 && idLen <= minissl.SessionIDLen {
-				id := make([]byte, idLen)
-				g.Read(arg+argSessionID, id)
+			if id, err := fSessionID.Load(g, arg); cache != nil && err == nil && len(id) == minissl.SessionIDLen {
 				if master, ok := cache.Get(id); ok {
 					state.resumed = true
-					g.Store64(arg+argResumed, 1)
-					g.Write(arg+argSessionIDOut, id)
+					fResumed.Store(g, arg, 1)
+					fSessionIDOut.Write(g, arg, id)
 					m.installSession(g, sess, master, state)
 					return 1
 				}
 			}
-			g.Store64(arg+argResumed, 0)
+			fResumed.Store(g, arg, 0)
 			id, err := minissl.NewSessionID(cryptoRand{})
 			if err != nil {
 				return 0
 			}
-			g.Write(arg+argSessionIDOut, id)
+			fSessionIDOut.Write(g, arg, id)
 			return 1
 
 		case opKex:
@@ -178,12 +172,10 @@ func (m *MITM) makeSetupGate(state *setupGateState, sess vm.Addr) sthread.GateFu
 			if err != nil {
 				return 0
 			}
-			n := g.Load64(arg + argDataLen)
-			if n == 0 || n > 256 {
+			ct, err := fData.Load(g, arg)
+			if err != nil || len(ct) == 0 {
 				return 0
 			}
-			ct := make([]byte, n)
-			g.Read(arg+argData, ct)
 			premaster, err := minissl.DecryptPremaster(priv, ct)
 			if err != nil {
 				return 0
@@ -191,9 +183,7 @@ func (m *MITM) makeSetupGate(state *setupGateState, sess vm.Addr) sthread.GateFu
 			master := minissl.DeriveMaster(premaster, state.clientRandom, state.serverRandom)
 			m.installSession(g, sess, master, state)
 			if cache != nil {
-				id := make([]byte, minissl.SessionIDLen)
-				g.Read(arg+argSessionIDOut, id)
-				cache.Put(id, master)
+				cache.Put(fSessionIDOut.Bytes(g, arg), master)
 			}
 			return 1
 		}
@@ -205,11 +195,11 @@ func (m *MITM) makeSetupGate(state *setupGateState, sess vm.Addr) sthread.GateFu
 // memory the handshake sthread cannot read or write (Figure 4).
 func (m *MITM) installSession(g *sthread.Sthread, sess vm.Addr, master [minissl.MasterLen]byte, state *setupGateState) {
 	keys := minissl.KeyBlock(master, state.clientRandom, state.serverRandom)
-	g.Write(sess+sessMaster, master[:])
-	g.Write(sess+sessKeys, keys.Marshal())
-	g.Store64(sess+sessReadSeq, 0)
-	g.Store64(sess+sessWriteSeq, 0)
-	g.Store64(sess+sessEstablished, 1)
+	fSessMaster.Write(g, sess, master[:])
+	fSessKeys.Write(g, sess, keys.Marshal())
+	fSessReadSeq.Store(g, sess, 0)
+	fSessWriteSeq.Store(g, sess, 0)
+	fSessEstablished.Store(g, sess, 1)
 }
 
 // makeRecvFinished verifies the client's Finished and prepares the server
@@ -217,11 +207,11 @@ func (m *MITM) installSession(g *sthread.Sthread, sess vm.Addr, master [minissl.
 // back to the handshake sthread is the binary verdict.
 func (m *MITM) makeRecvFinished(sess, fin vm.Addr) sthread.GateFunc {
 	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-		if g.Load64(sess+sessEstablished) != 1 {
+		if fSessEstablished.Load(g, sess) != 1 {
 			return 0
 		}
 		var master [minissl.MasterLen]byte
-		g.Read(sess+sessMaster, master[:])
+		fSessMaster.Read(g, sess, master[:])
 		keys, readSeq, writeSeq, err := loadCoderState(g, sess)
 		if err != nil {
 			return 0
@@ -230,13 +220,11 @@ func (m *MITM) makeRecvFinished(sess, fin vm.Addr) sthread.GateFunc {
 		rc.SetSeqs(readSeq, writeSeq)
 
 		var transcript [32]byte
-		g.Read(arg+mitmTranscript, transcript[:])
-		n := g.Load64(arg + mitmRecLen)
-		if n == 0 || n > 128 {
+		fMITMTranscript.Read(g, arg, transcript[:])
+		sealed, err := fMITMRec.Load(g, arg)
+		if err != nil || len(sealed) == 0 {
 			return 0
 		}
-		sealed := make([]byte, n)
-		g.Read(arg+mitmRec, sealed)
 
 		payload, err := rc.Open(minissl.MsgFinished, sealed)
 		if err != nil {
@@ -251,9 +239,9 @@ func (m *MITM) makeRecvFinished(sess, fin vm.Addr) sthread.GateFunc {
 		t := minissl.ResumeTranscript(transcript)
 		t.Add(minissl.MsgFinished, payload)
 		sf := minissl.FinishedPayload(master, t.Sum(), "server finished")
-		g.Write(fin+finPayload, sf[:])
-		g.Store64(fin+finValid, 1)
-		g.Store64(sess+sessReadSeq, rc.ReadSeq())
+		fFinPayload.Write(g, fin, sf[:])
+		fFinValid.Store(g, fin, 1)
+		fSessReadSeq.Store(g, sess, rc.ReadSeq())
 		return 1
 	}
 }
@@ -264,11 +252,11 @@ func (m *MITM) makeRecvFinished(sess, fin vm.Addr) sthread.GateFunc {
 // SSL handshake").
 func (m *MITM) makeSendFinished(sess, fin vm.Addr) sthread.GateFunc {
 	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-		if g.Load64(fin+finValid) != 1 {
+		if fFinValid.Load(g, fin) != 1 {
 			return 0
 		}
 		var payload [32]byte
-		g.Read(fin+finPayload, payload[:])
+		fFinPayload.Read(g, fin, payload[:])
 		keys, readSeq, writeSeq, err := loadCoderState(g, sess)
 		if err != nil {
 			return 0
@@ -279,9 +267,10 @@ func (m *MITM) makeSendFinished(sess, fin vm.Addr) sthread.GateFunc {
 		if err != nil {
 			return 0
 		}
-		g.Store64(arg+mitmRecLen, uint64(len(sealed)))
-		g.Write(arg+mitmRec, sealed)
-		g.Store64(sess+sessWriteSeq, rc.WriteSeq())
+		if err := fMITMRec.Store(g, arg, sealed); err != nil {
+			return 0
+		}
+		fSessWriteSeq.Store(g, sess, rc.WriteSeq())
 		return 1
 	}
 }
@@ -309,12 +298,10 @@ func (m *MITM) makeSSLRead(fd int, sess, user vm.Addr) sthread.GateFunc {
 				// reaching the client handler (§5.1.2).
 				continue
 			}
-			if len(plain) > userSize-userData {
+			if err := fUserData.Store(g, user, plain); err != nil {
 				return 0
 			}
-			g.Store64(user+userLen, uint64(len(plain)))
-			g.Write(user+userData, plain)
-			g.Store64(sess+sessReadSeq, rc.ReadSeq())
+			fSessReadSeq.Store(g, sess, rc.ReadSeq())
 			return vm.Addr(len(plain))
 		}
 	}
@@ -324,12 +311,10 @@ func (m *MITM) makeSSLRead(fd int, sess, user vm.Addr) sthread.GateFunc {
 // plaintext comes from the user-data region.
 func (m *MITM) makeSSLWrite(fd int, sess, user vm.Addr) sthread.GateFunc {
 	return func(g *sthread.Sthread, _, _ vm.Addr) vm.Addr {
-		n := g.Load64(user + userLen)
-		if n == 0 || n > userSize-userData {
+		plain, err := fUserData.Load(g, user)
+		if err != nil || len(plain) == 0 {
 			return 0
 		}
-		plain := make([]byte, n)
-		g.Read(user+userData, plain)
 		keys, readSeq, writeSeq, err := loadCoderState(g, sess)
 		if err != nil {
 			return 0
@@ -343,7 +328,7 @@ func (m *MITM) makeSSLWrite(fd int, sess, user vm.Addr) sthread.GateFunc {
 		if err := minissl.WriteMsg(Stream(g, fd), minissl.MsgAppData, sealed); err != nil {
 			return 0
 		}
-		g.Store64(sess+sessWriteSeq, rc.WriteSeq())
+		fSessWriteSeq.Store(g, sess, rc.WriteSeq())
 		return 1
 	}
 }
@@ -394,7 +379,7 @@ func (m *MITM) ServeConn(conn *netsim.Conn) error {
 				FD:          fd,
 				PrivKeyAddr: m.privAddr,
 				SessionAddr: regions.sess,
-				SessionLen:  sessSize,
+				SessionLen:  sessSchema.Size(),
 				ArgAddr:     arg,
 				Gates: map[string]*GateRef{
 					"setup_session_key": {Spec: setupSpec},
@@ -440,7 +425,7 @@ func (m *MITM) ServeConn(conn *netsim.Conn) error {
 		if m.hooks.ClientHandler != nil {
 			m.hooks.ClientHandler(c, &ConnContext{
 				SessionAddr: regions.sess,
-				SessionLen:  sessSize,
+				SessionLen:  sessSchema.Size(),
 				Gates: map[string]*GateRef{
 					"SSL_read":  {Spec: readSpec},
 					"SSL_write": {Spec: writeSpec},
@@ -482,21 +467,21 @@ func (m *MITM) handshakeBody(h *sthread.Sthread, fd int, arg vm.Addr,
 		return 0
 	}
 
-	h.Store64(arg+argOp, opHello)
-	h.Write(arg+argClientRandom, clientRandom[:])
-	h.Store64(arg+argSessionIDLen, uint64(len(offeredID)))
-	if len(offeredID) > 0 {
-		h.Write(arg+argSessionID, offeredID)
+	fOp.Store(h, arg, opHello)
+	fClientRandom.Write(h, arg, clientRandom[:])
+	// An oversized resume offer cannot match the cache; the codec refuses
+	// to copy it and the handshake proceeds as a fresh session.
+	if err := fSessionID.Store(h, arg, offeredID); err != nil {
+		fSessionID.Store(h, arg, nil)
 	}
 	m.Stats.GateCalls.Add(1)
 	if ret, err := h.CallGate(setupSpec, nil, arg); err != nil || ret != 1 {
 		return 0
 	}
 	var serverRandom [minissl.RandomLen]byte
-	h.Read(arg+argServerRandom, serverRandom[:])
-	resumed := h.Load64(arg+argResumed) == 1
-	sessionID := make([]byte, minissl.SessionIDLen)
-	h.Read(arg+argSessionIDOut, sessionID)
+	fServerRandom.Read(h, arg, serverRandom[:])
+	resumed := fResumed.Load(h, arg) == 1
+	sessionID := fSessionIDOut.Bytes(h, arg)
 
 	sh := minissl.BuildServerHello(serverRandom, sessionID, resumed)
 	if err := minissl.WriteMsg(stream, minissl.MsgServerHello, sh); err != nil {
@@ -516,9 +501,11 @@ func (m *MITM) handshakeBody(h *sthread.Sthread, fd int, arg vm.Addr,
 			return 0
 		}
 		transcript.Add(minissl.MsgClientKeyExchange, ckeBody)
-		h.Store64(arg+argOp, opKex)
-		h.Store64(arg+argDataLen, uint64(len(ckeBody)))
-		h.Write(arg+argData, ckeBody)
+		fOp.Store(h, arg, opKex)
+		if err := fData.Store(h, arg, ckeBody); err != nil {
+			minissl.SendAlert(stream, "bad key exchange")
+			return 0
+		}
 		m.Stats.GateCalls.Add(1)
 		if ret, err := h.CallGate(setupSpec, nil, arg); err != nil || ret != 1 {
 			minissl.SendAlert(stream, "bad key exchange")
@@ -533,9 +520,11 @@ func (m *MITM) handshakeBody(h *sthread.Sthread, fd int, arg vm.Addr,
 		return 0
 	}
 	tsum := transcript.Sum()
-	h.Write(arg+mitmTranscript, tsum[:])
-	h.Store64(arg+mitmRecLen, uint64(len(cfBody)))
-	h.Write(arg+mitmRec, cfBody)
+	fMITMTranscript.Write(h, arg, tsum[:])
+	if err := fMITMRec.Store(h, arg, cfBody); err != nil {
+		minissl.SendAlert(stream, "bad finished")
+		return 0
+	}
 	m.Stats.GateCalls.Add(1)
 	if ret, err := h.CallGate(recvSpec, nil, arg); err != nil || ret != 1 {
 		minissl.SendAlert(stream, "bad finished")
@@ -548,12 +537,10 @@ func (m *MITM) handshakeBody(h *sthread.Sthread, fd int, arg vm.Addr,
 	if ret, err := h.CallGate(sendSpec, nil, arg); err != nil || ret != 1 {
 		return 0
 	}
-	n := h.Load64(arg + mitmRecLen)
-	if n == 0 || n > 128 {
+	sealed, err := fMITMRec.Load(h, arg)
+	if err != nil || len(sealed) == 0 {
 		return 0
 	}
-	sealed := make([]byte, n)
-	h.Read(arg+mitmRec, sealed)
 	if err := minissl.WriteMsg(stream, minissl.MsgFinished, sealed); err != nil {
 		return 0
 	}
@@ -569,12 +556,15 @@ func (m *MITM) handlerBody(c *sthread.Sthread, user vm.Addr,
 	if err != nil || n == 0 {
 		return 0
 	}
-	req := make([]byte, n)
-	c.Read(user+userData, req)
+	req, err := fUserData.Load(c, user)
+	if err != nil || len(req) == 0 {
+		return 0
+	}
 
 	resp := ServeStatic(c, m.docroot, string(req))
-	c.Store64(user+userLen, uint64(len(resp)))
-	c.Write(user+userData, resp)
+	if err := fUserData.Store(c, user, resp); err != nil {
+		return 0
+	}
 
 	m.Stats.GateCalls.Add(1)
 	if ret, err := c.CallGate(writeSpec, nil, 0); err != nil || ret != 1 {

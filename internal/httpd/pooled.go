@@ -85,12 +85,10 @@ func NewPooled(root *sthread.Sthread, docroot string, priv *rsa.PrivateKey, cach
 		return nil, err
 	}
 	p.Runtime, err = serve.New(root, serve.App[setupGateState]{
-		Name:      "httpd",
-		Slots:     slots,
-		ArgSize:   argSize,
-		Worker:    "worker",
-		ConnIDOff: argConnID,
-		FDOff:     argPoolFD,
+		Name:   "httpd",
+		Slots:  slots,
+		Schema: argSchema,
+		Worker: "worker",
 		Gates: []gatepool.GateDef{
 			{
 				Name:  "worker",
@@ -148,83 +146,19 @@ func (p *PooledServer) workerEntry(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
 		return lease.Call("setup", w, arg)
 	}
 	p.Stats.GateCalls.Add(1) // the worker invocation itself
-	return recycledWorkerBody(w, c.FD, arg, setup, &p.Stats, p.pubAddr, p.docroot)
+	return httpdWorkerBody(w, c.FD, arg, setup, &p.Stats, p.pubAddr, p.docroot)
 }
 
 // setupEntry is RecycledServer.gateBody against the pooled connection
-// state: hello and key-exchange operations demultiplexed by conn id, with
-// the private key reachable through the kernel-held trusted argument.
-// The conn id is worker-supplied and untrusted; the runtime's Lookup
-// anchors the state at exactly this invocation's argument block, keeping
-// cross-slot handshake state unreachable, as the pool's isolation story
-// promises.
+// state: the shared setupOps demultiplexed by conn id, with the private
+// key reachable through the kernel-held trusted argument. The conn id is
+// worker-supplied and untrusted; the runtime's Lookup anchors the state
+// at exactly this invocation's argument block, keeping cross-slot
+// handshake state unreachable, as the pool's isolation story promises.
 func (p *PooledServer) setupEntry(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
 	c := p.Lookup(g, arg)
 	if c == nil {
 		return 0
 	}
-	state := &c.State
-
-	switch g.Load64(arg + argOp) {
-	case opHello:
-		g.Read(arg+argClientRandom, state.clientRandom[:])
-		sr, err := minissl.NewRandom(cryptoRand{})
-		if err != nil {
-			return 0
-		}
-		state.serverRandom = sr
-		g.Write(arg+argServerRandom, sr[:])
-
-		idLen := g.Load64(arg + argSessionIDLen)
-		if p.cache != nil && idLen > 0 && idLen <= minissl.SessionIDLen {
-			id := make([]byte, idLen)
-			g.Read(arg+argSessionID, id)
-			if master, ok := p.cache.Get(id); ok {
-				state.resumed = true
-				g.Store64(arg+argResumed, 1)
-				g.Write(arg+argSessionIDOut, id)
-				keys := minissl.KeyBlock(master, state.clientRandom, sr)
-				g.Write(arg+argMaster, master[:])
-				g.Write(arg+argKeys, keys.Marshal())
-				return 1
-			}
-		}
-		g.Store64(arg+argResumed, 0)
-		id, err := minissl.NewSessionID(cryptoRand{})
-		if err != nil {
-			return 0
-		}
-		g.Write(arg+argSessionIDOut, id)
-		return 1
-
-	case opKex:
-		if state.resumed {
-			return 0
-		}
-		priv, err := minissl.UnmarshalPrivateKey(readBlob(g, trusted))
-		if err != nil {
-			return 0
-		}
-		n := g.Load64(arg + argDataLen)
-		if n == 0 || n > 256 {
-			return 0
-		}
-		ct := make([]byte, n)
-		g.Read(arg+argData, ct)
-		premaster, err := minissl.DecryptPremaster(priv, ct)
-		if err != nil {
-			return 0
-		}
-		master := minissl.DeriveMaster(premaster, state.clientRandom, state.serverRandom)
-		keys := minissl.KeyBlock(master, state.clientRandom, state.serverRandom)
-		g.Write(arg+argMaster, master[:])
-		g.Write(arg+argKeys, keys.Marshal())
-		if p.cache != nil {
-			id := make([]byte, minissl.SessionIDLen)
-			g.Read(arg+argSessionIDOut, id)
-			p.cache.Put(id, master)
-		}
-		return 1
-	}
-	return 0
+	return setupOps(g, arg, trusted, &c.State, p.cache)
 }

@@ -35,7 +35,7 @@ func TestPooledSessionCache(t *testing.T) {
 // second-connection scan of the argument block finding only the scrub's
 // zeroes — lives in the shared conformance battery now: see
 // TestServeConformance/Residue (conformance_test.go), which probes the
-// argMaster window across principals and across a Resize.
+// master-field window across principals and across a Resize.
 
 // TestPooledConcurrentConnections: the scaling property the pool exists
 // for — many connections served at once across slots, every response

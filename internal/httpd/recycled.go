@@ -87,78 +87,17 @@ func (r *RecycledServer) Close() error { return r.gate.Close() }
 
 // gateBody is the recycled gate's entry point. The per-connection state is
 // demultiplexed by the conn id in the argument block; the private key is
-// reachable through the kernel-held trusted argument.
+// reachable through the kernel-held trusted argument; the operations are
+// the shared setupOps.
 func (r *RecycledServer) gateBody(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
-	connID := g.Load64(arg + argConnID)
+	connID := fConnID.Load(g, arg)
 	r.mu.Lock()
 	state := r.connStates[connID]
 	r.mu.Unlock()
 	if state == nil {
 		return 0
 	}
-
-	switch g.Load64(arg + argOp) {
-	case opHello:
-		g.Read(arg+argClientRandom, state.clientRandom[:])
-		sr, err := minissl.NewRandom(cryptoRand{})
-		if err != nil {
-			return 0
-		}
-		state.serverRandom = sr
-		g.Write(arg+argServerRandom, sr[:])
-
-		idLen := g.Load64(arg + argSessionIDLen)
-		if r.cache != nil && idLen > 0 && idLen <= minissl.SessionIDLen {
-			id := make([]byte, idLen)
-			g.Read(arg+argSessionID, id)
-			if master, ok := r.cache.Get(id); ok {
-				state.resumed = true
-				g.Store64(arg+argResumed, 1)
-				g.Write(arg+argSessionIDOut, id)
-				keys := minissl.KeyBlock(master, state.clientRandom, sr)
-				g.Write(arg+argMaster, master[:])
-				g.Write(arg+argKeys, keys.Marshal())
-				return 1
-			}
-		}
-		g.Store64(arg+argResumed, 0)
-		id, err := minissl.NewSessionID(cryptoRand{})
-		if err != nil {
-			return 0
-		}
-		g.Write(arg+argSessionIDOut, id)
-		return 1
-
-	case opKex:
-		if state.resumed {
-			return 0
-		}
-		priv, err := minissl.UnmarshalPrivateKey(readBlob(g, trusted))
-		if err != nil {
-			return 0
-		}
-		n := g.Load64(arg + argDataLen)
-		if n == 0 || n > 256 {
-			return 0
-		}
-		ct := make([]byte, n)
-		g.Read(arg+argData, ct)
-		premaster, err := minissl.DecryptPremaster(priv, ct)
-		if err != nil {
-			return 0
-		}
-		master := minissl.DeriveMaster(premaster, state.clientRandom, state.serverRandom)
-		keys := minissl.KeyBlock(master, state.clientRandom, state.serverRandom)
-		g.Write(arg+argMaster, master[:])
-		g.Write(arg+argKeys, keys.Marshal())
-		if r.cache != nil {
-			id := make([]byte, minissl.SessionIDLen)
-			g.Read(arg+argSessionIDOut, id)
-			r.cache.Put(id, master)
-		}
-		return 1
-	}
-	return 0
+	return setupOps(g, arg, trusted, state, r.cache)
 }
 
 // ServeConn handles one connection with a per-connection worker sthread
@@ -170,7 +109,7 @@ func (r *RecycledServer) ServeConn(conn *netsim.Conn) error {
 
 	// The argument block comes from the shared tag; its contents persist
 	// until some later connection's block happens to reuse the chunk.
-	argBuf, err := root.Smalloc(r.sharedTag, argSize)
+	argBuf, err := root.Smalloc(r.sharedTag, argSchema.Size())
 	if err != nil {
 		return err
 	}
@@ -186,7 +125,7 @@ func (r *RecycledServer) ServeConn(conn *netsim.Conn) error {
 		delete(r.connStates, connID)
 		r.mu.Unlock()
 	}()
-	root.Store64(argBuf+argConnID, connID)
+	fConnID.Store(root, argBuf, connID)
 
 	workerSC := policy.New().
 		MustMemAdd(r.sharedTag, vm.PermRW).
@@ -203,7 +142,7 @@ func (r *RecycledServer) ServeConn(conn *netsim.Conn) error {
 				ArgAddr:     arg,
 			})
 		}
-		return recycledWorkerBody(w, fd, arg, gate.Call, stats, r.pubAddr, r.docroot)
+		return httpdWorkerBody(w, fd, arg, gate.Call, stats, r.pubAddr, r.docroot)
 	}, argBuf)
 	if err != nil {
 		return err
@@ -223,12 +162,18 @@ func (r *RecycledServer) ServeConn(conn *netsim.Conn) error {
 }
 
 // setupCall abstracts how a worker reaches its setup_session_key gate: a
-// recycled gate directly, or a gate-pool lease (the pooled variant).
+// one-shot callgate (Simple), a recycled gate directly, or a gate-pool
+// lease (the pooled variant).
 type setupCall func(w *sthread.Sthread, arg vm.Addr) (vm.Addr, error)
 
-// recycledWorkerBody mirrors Simple.workerBody with recycled-gate calls in
-// place of standard callgate invocations.
-func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup setupCall,
+// httpdWorkerBody is the unprivileged per-connection protocol — the bulk
+// of Apache/OpenSSL — shared by the Simple, Recycled, and pooled builds
+// and parameterized over how the setup gate is reached. All argument I/O
+// goes through the schema handles; the codec rejects an oversized
+// key-exchange body (or resume offer) with a typed bounds error before
+// anything is written, so nothing can run past the block into memory the
+// pooled build's inter-principal scrub never reaches.
+func httpdWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup setupCall,
 	stats *Stats, pubAddr vm.Addr, docroot string) vm.Addr {
 	stream := Stream(w, fd)
 	var transcript minissl.Transcript
@@ -243,24 +188,22 @@ func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup setupCall
 		return 0
 	}
 
-	w.Store64(arg+argOp, opHello)
-	w.Write(arg+argClientRandom, clientRandom[:])
-	w.Store64(arg+argSessionIDLen, uint64(len(offeredID)))
-	// The gate ignores resume offers longer than a session id, so only a
-	// well-sized offer is ever copied — an oversized one must not let the
-	// client scribble over the block's gate-output fields.
-	if len(offeredID) > 0 && len(offeredID) <= minissl.SessionIDLen {
-		w.Write(arg+argSessionID, offeredID)
+	fOp.Store(w, arg, opHello)
+	fClientRandom.Write(w, arg, clientRandom[:])
+	// A resume offer longer than a session id cannot match the cache; the
+	// gate used to ignore it, and the codec now refuses to copy it at all
+	// — the handshake proceeds as a fresh session.
+	if err := fSessionID.Store(w, arg, offeredID); err != nil {
+		fSessionID.Store(w, arg, nil)
 	}
 	stats.GateCalls.Add(1)
 	if ret, err := setup(w, arg); err != nil || ret != 1 {
 		return 0
 	}
 	var serverRandom [minissl.RandomLen]byte
-	w.Read(arg+argServerRandom, serverRandom[:])
-	resumed := w.Load64(arg+argResumed) == 1
-	sessionID := make([]byte, minissl.SessionIDLen)
-	w.Read(arg+argSessionIDOut, sessionID)
+	fServerRandom.Read(w, arg, serverRandom[:])
+	resumed := fResumed.Load(w, arg) == 1
+	sessionID := fSessionIDOut.Bytes(w, arg)
 
 	sh := minissl.BuildServerHello(serverRandom, sessionID, resumed)
 	if err := minissl.WriteMsg(stream, minissl.MsgServerHello, sh); err != nil {
@@ -280,17 +223,14 @@ func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup setupCall
 			return 0
 		}
 		transcript.Add(minissl.MsgClientKeyExchange, ckeBody)
-		// Bound the write to the setup gate's own input cap (256 bytes):
-		// an oversized key-exchange body must fail the handshake, not run
-		// past the block into memory the inter-principal scrub never
-		// reaches (the pooled build's slot arena).
-		if len(ckeBody) > 256 {
+		fOp.Store(w, arg, opKex)
+		// The codec bounds the write to the field's declared capacity
+		// (one RSA ciphertext): an oversized key-exchange body fails the
+		// handshake with a typed error instead of being written at all.
+		if err := fData.Store(w, arg, ckeBody); err != nil {
 			minissl.SendAlert(stream, "bad key exchange")
 			return 0
 		}
-		w.Store64(arg+argOp, opKex)
-		w.Store64(arg+argDataLen, uint64(len(ckeBody)))
-		w.Write(arg+argData, ckeBody)
 		stats.GateCalls.Add(1)
 		if ret, err := setup(w, arg); err != nil || ret != 1 {
 			minissl.SendAlert(stream, "bad key exchange")
@@ -299,10 +239,8 @@ func recycledWorkerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup setupCall
 	}
 
 	var master [minissl.MasterLen]byte
-	w.Read(arg+argMaster, master[:])
-	kb := make([]byte, 96)
-	w.Read(arg+argKeys, kb)
-	keys, err := minissl.UnmarshalKeys(kb)
+	fMaster.Read(w, arg, master[:])
+	keys, err := minissl.UnmarshalKeys(fKeys.Bytes(w, arg))
 	if err != nil {
 		return 0
 	}

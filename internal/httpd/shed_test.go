@@ -9,6 +9,7 @@ import (
 	"wedge/internal/kernel"
 	"wedge/internal/minissl"
 	"wedge/internal/sthread"
+	"wedge/internal/tags"
 )
 
 // TestRecycledNoSheddingPastSixtyConnections: the ROADMAP bottleneck the
@@ -19,7 +20,10 @@ import (
 // every connection must be served on the first attempt — no retry loop
 // here, deliberately.
 func TestRecycledNoSheddingPastSixtyConnections(t *testing.T) {
-	const conns = 72 // past the ~60-connection cliff of the fixed arena
+	// Enough concurrent argument blocks to overflow the first arena
+	// segment with margin — the cliff where the fixed arena shed load.
+	// Derived from the schema so the count tracks the block size.
+	conns := tags.DefaultRegionSize/argSchema.Size() + 8
 	k := kernel.New()
 	priv := serverKey(t)
 	if err := SetupDocroot(k, "/var/www", 1024); err != nil {
@@ -112,7 +116,7 @@ func TestRecycledNoSheddingPastSixtyConnections(t *testing.T) {
 	}
 	grows := app.Tags.GrowCount()
 	if grows == 0 {
-		t.Fatal("arena never grew despite 72 concurrent argument blocks")
+		t.Fatalf("arena never grew despite %d concurrent argument blocks", conns)
 	}
 	t.Logf("arena grew %d segment(s) serving %d concurrent connections", grows, conns)
 }

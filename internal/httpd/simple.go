@@ -89,80 +89,84 @@ type setupGateState struct {
 	resumed      bool
 }
 
+// setupOps implements the setup_session_key operations — hello (server
+// random generation plus resumption lookup) and kex (premaster
+// decryption, master/key derivation) — against one connection's
+// handshake state, reading and writing the argument block only through
+// the schema's typed handles. Shared verbatim by the Simple gate
+// closure, the Recycled gate's demuxed body, and the pooled build's
+// setup entry; the MITM build keeps its own variant (secrets flow to the
+// session region, never to the block).
+func setupOps(g *sthread.Sthread, arg, trusted vm.Addr, state *setupGateState, cache *minissl.SessionCache) vm.Addr {
+	switch fOp.Load(g, arg) {
+	case opHello:
+		fClientRandom.Read(g, arg, state.clientRandom[:])
+		// The server random is generated here, inside the gate:
+		// the worker may neither supply nor predict it (§5.1.1).
+		sr, err := minissl.NewRandom(cryptoRand{})
+		if err != nil {
+			return 0
+		}
+		state.serverRandom = sr
+		fServerRandom.Write(g, arg, sr[:])
+
+		// Session resumption: look the offered id up in the cache. The
+		// codec bounds the decode; only a full-length id can hit (cache
+		// keys are whole session ids).
+		if id, err := fSessionID.Load(g, arg); cache != nil && err == nil && len(id) == minissl.SessionIDLen {
+			if master, ok := cache.Get(id); ok {
+				state.resumed = true
+				fResumed.Store(g, arg, 1)
+				fSessionIDOut.Write(g, arg, id)
+				keys := minissl.KeyBlock(master, state.clientRandom, sr)
+				fMaster.Write(g, arg, master[:])
+				fKeys.Write(g, arg, keys.Marshal())
+				return 1
+			}
+		}
+		fResumed.Store(g, arg, 0)
+		id, err := minissl.NewSessionID(cryptoRand{})
+		if err != nil {
+			return 0
+		}
+		fSessionIDOut.Write(g, arg, id)
+		return 1
+
+	case opKex:
+		if state.resumed {
+			return 0 // protocol violation
+		}
+		priv, err := minissl.UnmarshalPrivateKey(readBlob(g, trusted))
+		if err != nil {
+			return 0
+		}
+		ct, err := fData.Load(g, arg)
+		if err != nil || len(ct) == 0 {
+			return 0
+		}
+		premaster, err := minissl.DecryptPremaster(priv, ct)
+		if err != nil {
+			return 0
+		}
+		master := minissl.DeriveMaster(premaster, state.clientRandom, state.serverRandom)
+		keys := minissl.KeyBlock(master, state.clientRandom, state.serverRandom)
+		fMaster.Write(g, arg, master[:])
+		fKeys.Write(g, arg, keys.Marshal())
+		if cache != nil {
+			cache.Put(fSessionIDOut.Bytes(g, arg), master)
+		}
+		return 1
+	}
+	return 0
+}
+
 // makeSetupGate builds the setup_session_key entry point for one
 // connection. The trusted argument is the private-key blob address; the
 // untrusted argument is the worker-shared buffer.
 func (s *Simple) makeSetupGate(state *setupGateState) sthread.GateFunc {
 	cache := s.cache
-	stats := &s.Stats
 	return func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
-		switch g.Load64(arg + argOp) {
-		case opHello:
-			g.Read(arg+argClientRandom, state.clientRandom[:])
-			// The server random is generated here, inside the gate:
-			// the worker may neither supply nor predict it (§5.1.1).
-			sr, err := minissl.NewRandom(cryptoRand{})
-			if err != nil {
-				return 0
-			}
-			state.serverRandom = sr
-			g.Write(arg+argServerRandom, sr[:])
-
-			// Session resumption: look the offered id up in the cache.
-			idLen := g.Load64(arg + argSessionIDLen)
-			if cache != nil && idLen > 0 && idLen <= minissl.SessionIDLen {
-				id := make([]byte, idLen)
-				g.Read(arg+argSessionID, id)
-				if master, ok := cache.Get(id); ok {
-					state.resumed = true
-					g.Store64(arg+argResumed, 1)
-					g.Write(arg+argSessionIDOut, id)
-					keys := minissl.KeyBlock(master, state.clientRandom, sr)
-					g.Write(arg+argMaster, master[:])
-					g.Write(arg+argKeys, keys.Marshal())
-					return 1
-				}
-			}
-			g.Store64(arg+argResumed, 0)
-			id, err := minissl.NewSessionID(cryptoRand{})
-			if err != nil {
-				return 0
-			}
-			g.Write(arg+argSessionIDOut, id)
-			return 1
-
-		case opKex:
-			if state.resumed {
-				return 0 // protocol violation
-			}
-			der := readBlob(g, trusted)
-			priv, err := minissl.UnmarshalPrivateKey(der)
-			if err != nil {
-				return 0
-			}
-			n := g.Load64(arg + argDataLen)
-			if n == 0 || n > 256 {
-				return 0
-			}
-			ct := make([]byte, n)
-			g.Read(arg+argData, ct)
-			premaster, err := minissl.DecryptPremaster(priv, ct)
-			if err != nil {
-				return 0
-			}
-			master := minissl.DeriveMaster(premaster, state.clientRandom, state.serverRandom)
-			keys := minissl.KeyBlock(master, state.clientRandom, state.serverRandom)
-			g.Write(arg+argMaster, master[:])
-			g.Write(arg+argKeys, keys.Marshal())
-			if cache != nil {
-				id := make([]byte, minissl.SessionIDLen)
-				g.Read(arg+argSessionIDOut, id)
-				cache.Put(id, master)
-			}
-			stats.GateCalls.Add(0) // counted by caller
-			return 1
-		}
-		return 0
+		return setupOps(g, arg, trusted, state, cache)
 	}
 }
 
@@ -178,7 +182,7 @@ func (s *Simple) ServeConn(conn *netsim.Conn) error {
 		return err
 	}
 	defer root.App().Tags.TagDelete(connTag)
-	argBuf, err := root.Smalloc(connTag, argSize)
+	argBuf, err := root.Smalloc(connTag, argSchema.Size())
 	if err != nil {
 		return err
 	}
@@ -205,7 +209,10 @@ func (s *Simple) ServeConn(conn *netsim.Conn) error {
 				Gates:       map[string]*GateRef{"setup_session_key": {Spec: setupSpec}},
 			})
 		}
-		return s.workerBody(w, fd, arg, setupSpec)
+		setup := func(w *sthread.Sthread, arg vm.Addr) (vm.Addr, error) {
+			return w.CallGate(setupSpec, nil, arg)
+		}
+		return httpdWorkerBody(w, fd, arg, setup, &s.Stats, s.pubAddr, s.docroot)
 	}, argBuf)
 	if err != nil {
 		return err
@@ -224,129 +231,11 @@ func (s *Simple) ServeConn(conn *netsim.Conn) error {
 	return nil
 }
 
-// workerBody is the unprivileged per-connection code: the bulk of
-// Apache/OpenSSL, running with access to exactly the connection fd, the
-// shared argument buffer, the public key, and the setup gate.
-func (s *Simple) workerBody(w *sthread.Sthread, fd int, arg vm.Addr, setup *policy.GateSpec) vm.Addr {
-	stream := Stream(w, fd)
-	var transcript minissl.Transcript
-
-	// ClientHello.
-	chBody, err := minissl.ExpectMsg(stream, minissl.MsgClientHello)
-	if err != nil {
-		return 0
-	}
-	transcript.Add(minissl.MsgClientHello, chBody)
-	clientRandom, offeredID, err := minissl.ParseClientHello(chBody)
-	if err != nil {
-		return 0
-	}
-
-	// Gate invocation 1: hello. The worker passes the public inputs and
-	// receives the (public) server random plus the resumption verdict.
-	w.Store64(arg+argOp, opHello)
-	w.Write(arg+argClientRandom, clientRandom[:])
-	w.Store64(arg+argSessionIDLen, uint64(len(offeredID)))
-	if len(offeredID) > 0 {
-		w.Write(arg+argSessionID, offeredID)
-	}
-	s.Stats.GateCalls.Add(1)
-	if ret, err := w.CallGate(setup, nil, arg); err != nil || ret != 1 {
-		return 0
-	}
-	var serverRandom [minissl.RandomLen]byte
-	w.Read(arg+argServerRandom, serverRandom[:])
-	resumed := w.Load64(arg+argResumed) == 1
-	sessionID := make([]byte, minissl.SessionIDLen)
-	w.Read(arg+argSessionIDOut, sessionID)
-
-	sh := minissl.BuildServerHello(serverRandom, sessionID, resumed)
-	if err := minissl.WriteMsg(stream, minissl.MsgServerHello, sh); err != nil {
-		return 0
-	}
-	transcript.Add(minissl.MsgServerHello, sh)
-
-	if !resumed {
-		cert := readBlob(w, s.pubAddr)
-		if err := minissl.WriteMsg(stream, minissl.MsgCertificate, cert); err != nil {
-			return 0
-		}
-		transcript.Add(minissl.MsgCertificate, cert)
-
-		ckeBody, err := minissl.ExpectMsg(stream, minissl.MsgClientKeyExchange)
-		if err != nil {
-			return 0
-		}
-		transcript.Add(minissl.MsgClientKeyExchange, ckeBody)
-
-		// Gate invocation 2: key exchange.
-		w.Store64(arg+argOp, opKex)
-		w.Store64(arg+argDataLen, uint64(len(ckeBody)))
-		w.Write(arg+argData, ckeBody)
-		s.Stats.GateCalls.Add(1)
-		if ret, err := w.CallGate(setup, nil, arg); err != nil || ret != 1 {
-			minissl.SendAlert(stream, "bad key exchange")
-			return 0
-		}
-	}
-
-	// Figure 2: the worker holds the established session key (and the
-	// master secret, needed to verify Finished messages).
-	var master [minissl.MasterLen]byte
-	w.Read(arg+argMaster, master[:])
-	kb := make([]byte, 96)
-	w.Read(arg+argKeys, kb)
-	keys, err := minissl.UnmarshalKeys(kb)
-	if err != nil {
-		return 0
-	}
-	rc := minissl.NewRecordCoder(keys, minissl.ServerSide)
-
-	// Finished exchange, verified by the worker itself.
-	cfBody, err := minissl.ExpectMsg(stream, minissl.MsgFinished)
-	if err != nil {
-		return 0
-	}
-	cfPayload, err := rc.Open(minissl.MsgFinished, cfBody)
-	if err != nil {
-		minissl.SendAlert(stream, "bad finished")
-		return 0
-	}
-	want := minissl.FinishedPayload(master, transcript.Sum(), "client finished")
-	if string(cfPayload) != string(want[:]) {
-		minissl.SendAlert(stream, "bad finished")
-		return 0
-	}
-	transcript.Add(minissl.MsgFinished, cfPayload)
-	sf := minissl.FinishedPayload(master, transcript.Sum(), "server finished")
-	sealed, err := rc.Seal(minissl.MsgFinished, sf[:])
-	if err != nil {
-		return 0
-	}
-	if err := minissl.WriteMsg(stream, minissl.MsgFinished, sealed); err != nil {
-		return 0
-	}
-
-	// One request, one response, then the worker exits (per-request
-	// isolation).
-	reqBody, err := minissl.ExpectMsg(stream, minissl.MsgAppData)
-	if err != nil {
-		return 0
-	}
-	req, err := rc.Open(minissl.MsgAppData, reqBody)
-	if err != nil {
-		return 0
-	}
-	resp := ServeStatic(w, s.docroot, string(req))
-	out, err := rc.Seal(minissl.MsgAppData, resp)
-	if err != nil {
-		return 0
-	}
-	if err := minissl.WriteMsg(stream, minissl.MsgAppData, out); err != nil {
-		return 0
-	}
-	return 1
-}
+// The per-connection worker protocol — ClientHello through the single
+// request/response — is httpdWorkerBody (recycled.go), shared by every
+// partitioned variant and parameterized only over how the setup gate is
+// reached (a one-shot callgate here, a recycled gate or pool lease in
+// the other builds).
 
 // cryptoRand adapts crypto/rand for the gate closures without importing it
 // in every file.

@@ -14,7 +14,8 @@ import (
 
 // TestServeConformance runs the shared serve-app battery against the
 // pooled POP3 server. The residue window is the RETR output area at
-// p3Out — principal A's mailbox bytes, which the pool must scrub before
+// the output field — principal A's mailbox bytes, which the pool must
+// scrub before
 // principal B's handler invocation can observe them (what
 // TestPooledResidue used to check by hand).
 func TestServeConformance(t *testing.T) {
@@ -103,9 +104,7 @@ func TestServeConformance(t *testing.T) {
 				Abandon: func() error { return c.conn.Close() },
 			}, nil
 		},
-		ArgSize:   p3Size,
-		ConnIDOff: p3ConnID,
-		FDOff:     p3PoolFD,
+		Schema: p3Schema,
 		// The password-database and mail-store tags outlive the runtime.
 		StaticTags: 2,
 	})

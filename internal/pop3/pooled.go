@@ -24,7 +24,8 @@
 // containing it, so the Figure 1 claim is unchanged: an exploited parser
 // can neither read mail it has not authenticated for nor forge a login.
 // Cross-principal residue in the slot's argument block (retrieved mail
-// bytes at p3Out) is scrubbed by the pool between principals.
+// bytes in the block's output field) is scrubbed by the pool between
+// principals.
 
 package pop3
 
@@ -69,12 +70,10 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 	p := &PooledServer{root: root, boxes: boxes, hooks: hooks, store: st}
 	stats := &p.Stats
 	p.Runtime, err = serve.New(root, serve.App[p3PoolConn]{
-		Name:      "pop3",
-		Slots:     slots,
-		ArgSize:   p3Size,
-		Worker:    "handler",
-		ConnIDOff: p3ConnID,
-		FDOff:     p3PoolFD,
+		Name:   "pop3",
+		Slots:  slots,
+		Schema: p3Schema,
+		Worker: "handler",
 		Gates: []gatepool.GateDef{
 			{
 				Name:  "handler",
@@ -116,7 +115,7 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 					if c == nil {
 						return 0
 					}
-					return st.retrFor(g, arg, c.State.uid, p3OutMax, stats)
+					return st.retrFor(g, arg, c.State.uid, stats)
 				},
 			},
 		},

@@ -8,6 +8,7 @@ import (
 
 	"wedge/internal/kernel"
 	"wedge/internal/sthread"
+	"wedge/internal/vm"
 )
 
 // servePooled boots a system running a PooledServer for nConns
@@ -143,7 +144,8 @@ func TestPooledAuthRequired(t *testing.T) {
 }
 
 // The cross-principal residue scan of the slot's argument block —
-// principal A's mailbox bytes at p3Out, gone by the time principal B's
+// principal A's mailbox bytes in the output field, gone by the time
+// principal B's
 // handler invocation starts, including after a Resize — lives in the
 // shared conformance battery now: see TestServeConformance/Residue
 // (conformance_test.go).
@@ -151,7 +153,8 @@ func TestPooledAuthRequired(t *testing.T) {
 // TestPooledOversizedCredentialStaysInBlock: a credential line larger
 // than the login gate's cap is rejected by the handler before anything
 // is written into the argument block, the session keeps working, and the
-// slot arena past p3Size stays clean (the inter-principal scrub never
+// slot arena past the schema's block stays clean (the inter-principal
+// scrub never
 // reaches there, so a single write would be permanent cross-principal
 // residue).
 func TestPooledOversizedCredentialStaysInBlock(t *testing.T) {
@@ -159,7 +162,7 @@ func TestPooledOversizedCredentialStaysInBlock(t *testing.T) {
 	var probes [][]byte
 	hooks := Hooks{Handler: func(h *sthread.Sthread, ctx *ConnContext) {
 		buf := make([]byte, 64)
-		h.Read(ctx.ArgAddr+p3Size, buf)
+		h.Read(ctx.ArgAddr+vm.Addr(p3Schema.Size()), buf)
 		mu.Lock()
 		probes = append(probes, buf)
 		mu.Unlock()
@@ -167,7 +170,7 @@ func TestPooledOversizedCredentialStaysInBlock(t *testing.T) {
 	servePooled(t, 1, 2, hooks, func(dial func() *popClient, srv *PooledServer, k *kernel.Kernel, app *sthread.App) {
 		a := dial()
 		a.cmd(t, "USER alice")
-		if got := a.cmd(t, "PASS "+strings.Repeat("x", 4*p3Size)); !strings.HasPrefix(got, "-ERR") {
+		if got := a.cmd(t, "PASS "+strings.Repeat("x", 4*p3Schema.Size())); !strings.HasPrefix(got, "-ERR") {
 			t.Fatalf("oversized credential accepted: %s", got)
 		}
 		// The session survives and a legitimate login still works.

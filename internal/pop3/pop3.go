@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/kernel"
 	"wedge/internal/netsim"
 	"wedge/internal/policy"
@@ -36,28 +37,33 @@ type Mailbox struct {
 	Messages []string
 }
 
-// Shared-argument-buffer offsets (client handler <-> gates).
+// The shared argument-block schema (client handler <-> gates). The
+// layout is computed from these declarations and the typed handles are
+// the only way handler and gate code touches the block. p3RetrCap keeps
+// the pre-schema wire bound: a message the partitioned server delivers
+// is never one the pooled server rejects, and the codec guarantees a
+// maximum-size message cannot overwrite the demux words mid-session.
 const (
-	p3Op     = 0 // 1=login 2=stat 3=retr
-	p3StrLen = 8
-	p3Str    = 16   // user\x00pass for login
-	p3MsgNum = 256  // RETR argument
-	p3OutLen = 264  // gate output length
-	p3Out    = 272  // gate output bytes (<= 1.5 KiB)
-	p3ConnID = 1928 // pooled variant: session demultiplexer
-	p3PoolFD = 1936 // pooled variant: this connection's descriptor number
-	p3Size   = 2048
-
-	// p3OutMax bounds RETR output in both builds: the output area stops
-	// short of the pooled demux words, so a maximum-size message cannot
-	// overwrite the conn id mid-session — and a message the partitioned
-	// server delivers is never one the pooled server rejects.
-	p3OutMax = p3ConnID - p3Out
-
-	p3OpLogin = 1
-	p3OpStat  = 2
-	p3OpRetr  = 3
+	p3StrCap  = 200  // login credential ("user\x00pass") bound
+	p3RetrCap = 1656 // RETR output bound (both builds)
 )
+
+var (
+	p3SchemaB = gateabi.NewSchema("pop3")
+
+	fStr    = gateabi.Bytes(p3SchemaB, "str", p3StrCap)  // user\x00pass for login
+	fMsgNum = gateabi.Word[int](p3SchemaB, "msg_num")    // RETR argument
+	fOut    = gateabi.Bytes(p3SchemaB, "out", p3RetrCap) // gate output
+	// The demux words register by declaration; the serve runtime reaches
+	// them through Schema.ConnIDOff/FDOff, not through handles.
+	_        = gateabi.ConnID(p3SchemaB)
+	_        = gateabi.FD(p3SchemaB)
+	p3Schema = p3SchemaB.Seal()
+)
+
+// GateSchema exposes the argument-block schema (for the conformance
+// battery and the cross-app FuzzGateABI harness).
+func GateSchema() *gateabi.Schema { return p3Schema }
 
 // Stats counts server activity.
 type Stats struct {
@@ -153,12 +159,10 @@ func newStore(root *sthread.Sthread, boxes []Mailbox) (*store, error) {
 // records the uid in the tagged uid cell) and the pooled login gate
 // (which records it in the connection's gate-side state).
 func checkLogin(g *sthread.Sthread, arg, trusted vm.Addr, stats *Stats) (int, bool) {
-	n := g.Load64(arg + p3StrLen)
-	if n == 0 || n > 200 {
+	buf, err := fStr.Load(g, arg)
+	if err != nil || len(buf) == 0 {
 		return 0, false
 	}
-	buf := make([]byte, n)
-	g.Read(arg+p3Str, buf)
 	user, pass, ok := strings.Cut(string(buf), "\x00")
 	if !ok {
 		return 0, false
@@ -189,27 +193,31 @@ func (st *store) statFor(uid int) vm.Addr {
 }
 
 // retrFor copies one message of the authenticated uid into the shared
-// output area, refusing anything that would overflow limit bytes of
-// output. The uid comes from state only the login gate can set —
-// authentication cannot be skipped.
-func (st *store) retrFor(g *sthread.Sthread, arg vm.Addr, uid, limit int, stats *Stats) vm.Addr {
+// output area, refusing anything that would overflow the output field.
+// The uid comes from state only the login gate can set — authentication
+// cannot be skipped.
+func (st *store) retrFor(g *sthread.Sthread, arg vm.Addr, uid int, stats *Stats) vm.Addr {
 	if uid == 0 {
 		return 0
 	}
-	num := int(g.Load64(arg + p3MsgNum))
+	num := fMsgNum.Load(g, arg)
 	msgs := st.mailAddrs[uid]
 	if num < 1 || num > len(msgs) {
 		return 0
 	}
 	addr := msgs[num-1]
 	n := g.Load64(addr)
-	if n > uint64(limit) {
+	// Refuse an over-capacity message before copying it — the same bound
+	// the codec enforces on Store, checked early so a rejected RETR
+	// costs no allocation or read.
+	if n > uint64(fOut.Cap()) {
 		return 0
 	}
 	body := make([]byte, n)
 	g.Read(addr+8, body)
-	g.Store64(arg+p3OutLen, n)
-	g.Write(arg+p3Out, body)
+	if fOut.Store(g, arg, body) != nil {
+		return 0
+	}
 	stats.Retrieved.Add(1)
 	return 1
 }
@@ -268,7 +276,7 @@ func (s *Server) statGate(uidCell vm.Addr) sthread.GateFunc {
 func (s *Server) retrGate(uidCell vm.Addr) sthread.GateFunc {
 	stats := &s.Stats
 	return func(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
-		return s.retrFor(g, arg, int(g.Load64(uidCell)), p3OutMax, stats)
+		return s.retrFor(g, arg, int(g.Load64(uidCell)), stats)
 	}
 }
 
@@ -283,7 +291,7 @@ func (s *Server) ServeConn(conn *netsim.Conn) error {
 		return err
 	}
 	defer root.App().Tags.TagDelete(connTag)
-	argBuf, err := root.Smalloc(connTag, p3Size)
+	argBuf, err := root.Smalloc(connTag, p3Schema.Size())
 	if err != nil {
 		return err
 	}
@@ -375,16 +383,15 @@ func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 			say("+OK")
 		case "PASS":
 			payload := pendingUser + "\x00" + rest
-			// Bound the write to the login gate's own input cap: an
-			// oversized credential line must fail authentication, not run
-			// past the block into memory the inter-principal scrub never
-			// reaches (the pooled build's slot arena).
-			if len(payload) > 200 {
+			// The codec bounds the write to the login gate's input cap:
+			// an oversized credential line fails authentication with a
+			// typed *ArgBoundsError instead of running past the block
+			// into memory the inter-principal scrub never reaches (the
+			// pooled build's slot arena).
+			if fStr.Store(h, arg, []byte(payload)) != nil {
 				say("-ERR auth failed")
 				continue
 			}
-			h.Store64(arg+p3StrLen, uint64(len(payload)))
-			h.Write(arg+p3Str, []byte(payload))
 			ret, err := login(h, arg)
 			if err == nil && ret == 1 {
 				authed = true
@@ -406,16 +413,18 @@ func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 		case "RETR":
 			var num int
 			fmt.Sscanf(rest, "%d", &num)
-			h.Store64(arg+p3MsgNum, uint64(num))
+			fMsgNum.Store(h, arg, num)
 			ret, err := retr(h, arg)
 			if err != nil || ret != 1 {
 				say("-ERR no such message")
 				continue
 			}
-			n := h.Load64(arg + p3OutLen)
-			body := make([]byte, n)
-			h.Read(arg+p3Out, body)
-			say("+OK " + fmt.Sprint(n) + " octets")
+			body, err := fOut.Load(h, arg)
+			if err != nil {
+				say("-ERR no such message")
+				continue
+			}
+			say("+OK " + fmt.Sprint(len(body)) + " octets")
 			raw.Write(body)
 			raw.Write([]byte("\r\n.\r\n"))
 		case "QUIT":

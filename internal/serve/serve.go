@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"sync"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/gatepool"
 	"wedge/internal/kernel"
 	"wedge/internal/netsim"
@@ -121,19 +122,22 @@ type Conn[T any] struct {
 // App declares a pooled wedge application. The runtime instantiates
 // Gates on every pool slot and serves each connection with one CallFD
 // invocation of the Worker gate, after writing the connection's demux id
-// and descriptor number into the slot's argument block at ConnIDOff and
-// FDOff.
+// and descriptor number into the slot's argument block at the Schema's
+// reserved demux words.
 type App[T any] struct {
 	Name     string // pool name, sthread-name prefix, error prefix
 	Slots    int    // initial slot count (<= 0: DefaultSlots)
 	MaxSlots int    // Resize ceiling (0: gatepool's default)
-	ArgSize  int    // per-slot argument block size
+
+	// Schema is the declarative layout of every slot's argument block
+	// (internal/gateabi): it sizes the block, derives the pool's scrub
+	// footprint, and must reserve both demux words (gateabi.ConnID and
+	// gateabi.FD) for the runtime. Gate bodies read and write arguments
+	// only through the schema's typed field handles.
+	Schema *gateabi.Schema
 
 	Gates  []gatepool.GateDef
 	Worker string // the Gates entry invoked once per connection
-
-	ConnIDOff vm.Addr // where the runtime writes the conn id
-	FDOff     vm.Addr // where the runtime writes the descriptor number
 
 	// Queue bounds the admission queue: 0 admits without bound (the
 	// pool's blocking Acquire is the only backpressure), n > 0 admits at
@@ -165,6 +169,10 @@ type Runtime[T any] struct {
 	app   App[T]
 	pool  *gatepool.Pool
 	conns gatepool.ConnTable[*Conn[T]]
+
+	// The schema's demux-word offsets, resolved once: Lookup and the
+	// per-connection demux writes sit on the hot path.
+	connOff, fdOff vm.Addr
 
 	mu         sync.Mutex
 	quiet      *sync.Cond // signaled when inflight drops to zero or state changes
@@ -200,20 +208,15 @@ func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
 		return nil, fmt.Errorf("serve: worker gate %q is not in App.Gates", app.Worker)
 	}
 	// The runtime writes two 64-bit words into every slot's argument
-	// block; a descriptor that places them outside the block (or on top
-	// of each other) must fail here, not as a per-connection memory
-	// fault under root privileges.
-	argSize := app.ArgSize
-	if argSize <= 0 {
-		argSize = gatepool.DefaultArgSize
+	// block; the schema must reserve them. (The schema's computed layout
+	// makes the overlap and out-of-block failure modes of the old
+	// hand-declared offsets unrepresentable.)
+	if app.Schema == nil {
+		return nil, fmt.Errorf("serve: %s: App.Schema is required", app.Name)
 	}
-	for _, off := range []vm.Addr{app.ConnIDOff, app.FDOff} {
-		if int(off)+8 > argSize {
-			return nil, fmt.Errorf("serve: conn-id/fd offset %d outside the %d-byte argument block", off, argSize)
-		}
-	}
-	if d := int64(app.ConnIDOff) - int64(app.FDOff); d > -8 && d < 8 {
-		return nil, fmt.Errorf("serve: ConnIDOff %d and FDOff %d overlap", app.ConnIDOff, app.FDOff)
+	if !app.Schema.HasDemux() {
+		return nil, fmt.Errorf("serve: %s: schema %q does not reserve the conn-id and fd demux words",
+			app.Name, app.Schema.Name())
 	}
 	slots := app.Slots
 	if slots <= 0 || app.AutoSlots {
@@ -223,11 +226,13 @@ func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
 		slots = app.MaxSlots
 	}
 	r := &Runtime[T]{
-		root:  root,
-		app:   app,
-		state: StateServing,
-		queue: app.Queue,
-		auto:  app.AutoSlots,
+		root:    root,
+		app:     app,
+		state:   StateServing,
+		queue:   app.Queue,
+		auto:    app.AutoSlots,
+		connOff: app.Schema.ConnIDOff(),
+		fdOff:   app.Schema.FDOff(),
 	}
 	r.quiet = sync.NewCond(&r.mu)
 	if r.auto {
@@ -237,7 +242,7 @@ func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
 		Name:     app.Name,
 		Slots:    slots,
 		MaxSlots: app.MaxSlots,
-		ArgSize:  app.ArgSize,
+		Schema:   app.Schema,
 		Gates:    app.Gates,
 	})
 	if err != nil {
@@ -255,8 +260,8 @@ func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
 // forged id or fd fails the pin instead of reaching another slot's
 // connection). Returns nil when the pin fails.
 func (r *Runtime[T]) Lookup(g *sthread.Sthread, arg vm.Addr) *Conn[T] {
-	c, ok := r.conns.Get(g.Load64(arg + r.app.ConnIDOff))
-	if !ok || c.Lease.Arg != arg || g.Load64(arg+r.app.FDOff) != uint64(c.FD) {
+	c, ok := r.conns.Get(g.Load64(arg + r.connOff))
+	if !ok || c.Lease.Arg != arg || g.Load64(arg+r.fdOff) != uint64(c.FD) {
 		return nil
 	}
 	return c
@@ -379,8 +384,8 @@ func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
 	id := r.conns.Put(c)
 	defer r.conns.Delete(id)
 
-	root.Store64(lease.Arg+r.app.ConnIDOff, id)
-	root.Store64(lease.Arg+r.app.FDOff, uint64(fd))
+	root.Store64(lease.Arg+r.connOff, id)
+	root.Store64(lease.Arg+r.fdOff, uint64(fd))
 
 	ret, err := lease.CallFD(r.app.Worker, root, lease.Arg, fd, kernel.FDRW)
 	if r.app.Finish != nil {
@@ -514,6 +519,10 @@ func (r *Runtime[T]) Close() error {
 		r.mu.Unlock()
 	}
 }
+
+// Schema returns the argument-block schema the runtime serves — the one
+// source for the block size, the scrub footprint, and the demux words.
+func (r *Runtime[T]) Schema() *gateabi.Schema { return r.app.Schema }
 
 // PoolStats snapshots the pool scheduler's counters alone; Snapshot
 // includes them plus the runtime's own.

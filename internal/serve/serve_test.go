@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/gatepool"
 	"wedge/internal/kernel"
 	"wedge/internal/netsim"
@@ -20,10 +21,12 @@ import (
 // greeting is the tests' synchronization primitive: once a client has
 // read it, the worker invocation is provably in flight and parked on the
 // payload read — no polling needed to know a connection is held.
-const (
-	echoConnID  = 0
-	echoPoolFD  = 8
-	echoArgSize = 64
+var (
+	echoSchemaB = gateabi.NewSchema("echo")
+	_           = gateabi.ConnID(echoSchemaB)
+	_           = gateabi.FD(echoSchemaB)
+	_           = gateabi.Fixed(echoSchemaB, "pad", 48)
+	echoSchema  = echoSchemaB.Seal()
 )
 
 type echoState struct {
@@ -60,10 +63,8 @@ func startEcho(t *testing.T, app App[echoState], drive func(rig *echoRig)) {
 			if app.Name == "" {
 				app.Name = "echo"
 			}
-			app.ArgSize = echoArgSize
+			app.Schema = echoSchema
 			app.Worker = "worker"
-			app.ConnIDOff = echoConnID
-			app.FDOff = echoPoolFD
 			var rt *Runtime[echoState]
 			app.Gates = []gatepool.GateDef{{
 				Name: "worker",
@@ -530,7 +531,7 @@ func TestAppValidation(t *testing.T) {
 		if _, err := New(root, App[echoState]{Name: "bad"}); err == nil {
 			t.Error("App without Worker accepted")
 		}
-		app := App[echoState]{Name: "bad", Worker: "worker", ArgSize: 64,
+		app := App[echoState]{Name: "bad", Worker: "worker", Schema: echoSchema,
 			Gates: []gatepool.GateDef{{Name: "other",
 				Entry: func(*sthread.Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 }}}}
 		if _, err := New(root, app); err == nil {
@@ -538,15 +539,19 @@ func TestAppValidation(t *testing.T) {
 		}
 		good := gatepool.GateDef{Name: "worker",
 			Entry: func(*sthread.Sthread, vm.Addr, vm.Addr) vm.Addr { return 0 }}
-		oob := App[echoState]{Name: "bad", Worker: "worker", ArgSize: 64,
-			FDOff: 64, Gates: []gatepool.GateDef{good}}
-		if _, err := New(root, oob); err == nil {
-			t.Error("FDOff outside the argument block accepted")
+		noSchema := App[echoState]{Name: "bad", Worker: "worker",
+			Gates: []gatepool.GateDef{good}}
+		if _, err := New(root, noSchema); err == nil {
+			t.Error("App without a Schema accepted")
 		}
-		overlap := App[echoState]{Name: "bad", Worker: "worker", ArgSize: 64,
-			ConnIDOff: 8, FDOff: 12, Gates: []gatepool.GateDef{good}}
-		if _, err := New(root, overlap); err == nil {
-			t.Error("overlapping ConnIDOff/FDOff accepted")
+		// A schema that never reserved the demux words cannot be served:
+		// the runtime would have nowhere to write the conn id and fd.
+		nb := gateabi.NewSchema("no-demux")
+		gateabi.U64(nb, "op")
+		noDemux := App[echoState]{Name: "bad", Worker: "worker", Schema: nb.Seal(),
+			Gates: []gatepool.GateDef{good}}
+		if _, err := New(root, noDemux); err == nil {
+			t.Error("schema without demux words accepted")
 		}
 	})
 	if err != nil {

@@ -31,17 +31,22 @@
 //
 // Every wait in the battery is either a channel handoff or a protocol
 // round-trip that implies the awaited state (a server response proves the
-// worker invocation is in flight); nothing sleeps.
+// worker invocation is in flight); nothing sleeps for synchronization.
+// (The separate Chaos smoke sleeps only to pace load, never to await
+// state.)
 package servetest
 
 import (
 	"bytes"
 	"errors"
+	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/gatepool"
 	"wedge/internal/kernel"
 	"wedge/internal/netsim"
@@ -103,15 +108,14 @@ type App struct {
 	// completes the session cleanly or abandons it mid-protocol.
 	Hold func(k *kernel.Kernel) (*Held, error)
 
-	// ArgSize is the descriptor's per-slot argument block size, and
-	// ConnIDOff/FDOff its demux-word offsets: the residue battery probes
-	// the whole block (skipping only the two demux words the runtime
-	// writes per connection) plus a window of the slot's tag arena just
-	// past it, so residue landing anywhere reachable by a worker fails
-	// the suite — not only residue in an app-declared window.
-	ArgSize   int
-	ConnIDOff vm.Addr
-	FDOff     vm.Addr
+	// Schema is the application's argument-block schema (the same one its
+	// serve.App descriptor carries): the residue battery probes the whole
+	// block it sizes (skipping only the two demux words the runtime
+	// writes per connection) plus the schema-derived arena window just
+	// past it (Schema.ProbeWindow — the largest variable-length capacity
+	// a codec accepts), so residue landing anywhere reachable by a worker
+	// fails the suite — not only residue in a hand-tuned window.
+	Schema *gateabi.Schema
 
 	// StaticTags is the application's declared long-lived tag footprint:
 	// tags New provisions that legitimately outlive the runtime (host-key
@@ -257,11 +261,105 @@ func Run(t *testing.T, a App) {
 	t.Run("Snapshot", a.snapshot)
 }
 
-// arenaProbeLen is how far past the argument block the residue probe
-// reads into the slot's tag arena. The scrub covers exactly ArgSize
-// bytes, so anything a worker writes past the block would persist across
-// principals — the probe catches any such write path.
-const arenaProbeLen = 64
+// Chaos is the bounded-duration chaos smoke: client goroutines drive
+// sessions continuously while a driver fires random Drain / Undrain /
+// Resize / SetQueue transitions at the runtime (fixed-seed sequence, so
+// a failure replays). Sessions may fail — a drain or a no-waiting queue
+// rejects admissions by design — but when the dust settles the runtime
+// must be quiescent, the admission ledger must balance (admitted =
+// served + failed, rejections separate), no task or tag may have leaked,
+// and Close must tear down to the pre-runtime baseline. Not part of Run:
+// it is a smoke, invoked by the echo self-test (and available to any
+// app).
+func Chaos(t *testing.T, a App, duration time.Duration) {
+	const clients = 6
+	a.start(t, 2, nil, func(r *rig) {
+		stop := serveLoop(r)
+
+		// Load: each client loops complete sessions until told to stop,
+		// tolerating failures (rejections and drains are part of the
+		// chaos) but counting successes so the run provably served.
+		var served atomic.Uint64
+		stopLoad := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stopLoad:
+						return
+					default:
+					}
+					if _, err := a.Session(r.k); err == nil {
+						served.Add(1)
+					} else {
+						// Rejected (drain, shrunken pool, no-waiting
+						// queue): back off instead of hot-spinning dials
+						// — millions of instant rejections would only
+						// measure goroutine churn.
+						time.Sleep(time.Millisecond)
+					}
+				}
+			}()
+		}
+
+		// Chaos driver: deterministic op sequence, bounded by duration.
+		rng := rand.New(rand.NewSource(7))
+		deadline := time.Now().Add(duration)
+		ops := 0
+		for time.Now().Before(deadline) {
+			ops++
+			time.Sleep(time.Millisecond) // pace transitions: chaos, not a spin loop
+			switch rng.Intn(6) {
+			case 0:
+				r.rt.Drain() // returns at quiescence; admissions now reject
+			case 1:
+				r.rt.Undrain()
+			case 2, 3:
+				r.rt.Resize(1 + rng.Intn(4)) // ErrDraining during a drain is fine
+			case 4:
+				r.rt.SetQueue(rng.Intn(3) - 1) // -1 (no waiting), 0 (unbounded), 1
+			case 5:
+				_ = r.rt.Snapshot() // observability under churn must not wedge
+			}
+		}
+
+		// Settle: re-open, restore a known size and an unbounded queue,
+		// let the load drain out.
+		r.rt.Undrain()
+		r.rt.SetQueue(0)
+		close(stopLoad)
+		wg.Wait()
+		stop()
+		if err := r.rt.Resize(2); err != nil {
+			t.Fatalf("final resize: %v", err)
+		}
+
+		if served.Load() == 0 {
+			t.Fatal("chaos run served no sessions at all")
+		}
+		s := r.rt.Snapshot()
+		if s.State != serve.StateServing {
+			t.Fatalf("final state = %v, want serving", s.State)
+		}
+		if s.Admitted != s.Served+s.Failed {
+			t.Fatalf("admission ledger: admitted=%d != served=%d + failed=%d",
+				s.Admitted, s.Served, s.Failed)
+		}
+		if s.Served < served.Load() {
+			t.Fatalf("snapshot served=%d < client-observed successes %d", s.Served, served.Load())
+		}
+		if s.Pool.Slots != 2 {
+			t.Fatalf("final slots = %d, want 2", s.Pool.Slots)
+		}
+		t.Logf("chaos: %d ops, %d sessions served, %d rejected, %d drains",
+			ops, s.Served, s.Rejected, s.Drains)
+		checkQuiescent(t, r, "after the chaos run")
+		a.checkClosed(t, r)
+	})
+}
 
 // residue: principal A's session leaves its secret in the slot's argument
 // block; principals B, C, D (each a fresh network address, C and D after
@@ -269,17 +367,18 @@ const arenaProbeLen = 64
 // §3.3 cross-principal channel, closed by the pool, verified via a probe
 // injected into the worker compartment itself. The probe reads the whole
 // argument block (every byte a worker can reach is a potential channel,
-// not just an app-declared window) plus a window of the tag arena past
-// the block, where the scrub does not reach and therefore nothing may
-// ever be written.
+// not just an app-declared window) plus the schema-derived window of the
+// tag arena past the block (Schema.ProbeWindow), where the scrub does not
+// reach and therefore nothing may ever be written.
 func (a App) residue(t *testing.T) {
+	argSize := a.Schema.Size()
 	var mu sync.Mutex
 	var probes [][]byte
 	probe := func(s *sthread.Sthread, arg vm.Addr) {
 		// Runs at the top of each worker invocation, before this
 		// connection writes anything beyond the conn id and fd: whatever
 		// sits in the window is residue (or the scrub's zeroes).
-		buf := make([]byte, a.ArgSize+arenaProbeLen)
+		buf := make([]byte, argSize+a.Schema.ProbeWindow())
 		s.Read(arg, buf)
 		mu.Lock()
 		probes = append(probes, buf)
@@ -318,12 +417,8 @@ func (a App) residue(t *testing.T) {
 		}
 		// The demux words are the only bytes legitimately non-zero at
 		// invocation start: the runtime writes this connection's id and
-		// descriptor number there.
-		demux := func(j int) bool {
-			off := vm.Addr(j)
-			return (off >= a.ConnIDOff && off < a.ConnIDOff+8) ||
-				(off >= a.FDOff && off < a.FDOff+8)
-		}
+		// descriptor number there. Which bytes those are is the schema's
+		// knowledge, not the adapter's.
 		for i, p := range probes[1:] {
 			for _, secret := range secrets[:min(i+1, len(secrets))] {
 				if len(secret) > 0 && bytes.Contains(p, secret) {
@@ -331,10 +426,10 @@ func (a App) residue(t *testing.T) {
 				}
 			}
 			for j, b := range p {
-				if b == 0 || demux(j) {
+				if b == 0 || a.Schema.IsDemux(j) {
 					continue
 				}
-				if j < a.ArgSize {
+				if j < argSize {
 					t.Fatalf("probe %d: argument block not scrubbed at +%d (%#x)", i+1, j, b)
 				}
 				t.Fatalf("probe %d: slot arena dirtied past the argument block at +%d (%#x) — "+

@@ -3,7 +3,9 @@ package servetest_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/gatepool"
 	"wedge/internal/kernel"
 	"wedge/internal/netsim"
@@ -18,11 +20,13 @@ import (
 // echo it back — run through the full conformance suite. This is the
 // fixture that proves the harness itself is sound before the four real
 // applications rely on it.
-const (
-	echoConnID  = 0
-	echoPoolFD  = 8
-	echoResidue = 16 // the payload byte lands here: the residue window
-	echoArgSize = 64
+var (
+	echoSchemaB = gateabi.NewSchema("echo")
+	_           = gateabi.ConnID(echoSchemaB)
+	_           = gateabi.FD(echoSchemaB)
+	echoResidue = gateabi.U64(echoSchemaB, "residue") // the payload byte lands here
+	_           = gateabi.Fixed(echoSchemaB, "pad", 40)
+	echoSchema  = echoSchemaB.Seal()
 )
 
 type echoState struct{}
@@ -37,12 +41,10 @@ func newEcho(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest
 	srv := &echoServer{}
 	var err error
 	srv.Runtime, err = serve.New(root, serve.App[echoState]{
-		Name:      "echo",
-		Slots:     slots,
-		ArgSize:   echoArgSize,
-		Worker:    "worker",
-		ConnIDOff: echoConnID,
-		FDOff:     echoPoolFD,
+		Name:   "echo",
+		Slots:  slots,
+		Schema: echoSchema,
+		Worker: "worker",
 		Gates: []gatepool.GateDef{{
 			Name: "worker",
 			Entry: func(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
@@ -60,7 +62,7 @@ func newEcho(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest
 				if _, err := w.Task.ReadFD(c.FD, buf); err != nil {
 					return 0
 				}
-				w.Store64(arg+echoResidue, uint64(buf[0])) // plant the residue
+				echoResidue.Store(w, arg, uint64(buf[0])) // plant the residue
 				if _, err := w.Task.WriteFD(c.FD, buf); err != nil {
 					return 0
 				}
@@ -108,8 +110,24 @@ func finishEcho(conn *netsim.Conn) error {
 	return nil
 }
 
+// TestEchoChaos: the bounded-duration chaos smoke — random Drain /
+// Undrain / Resize / SetQueue against the echo app under continuous
+// client load, asserting no task/tag leaks and a consistent final
+// Snapshot.
+func TestEchoChaos(t *testing.T) {
+	d := 2 * time.Second
+	if testing.Short() {
+		d = 200 * time.Millisecond
+	}
+	servetest.Chaos(t, echoApp(), d)
+}
+
 func TestEchoConformance(t *testing.T) {
-	servetest.Run(t, servetest.App{
+	servetest.Run(t, echoApp())
+}
+
+func echoApp() servetest.App {
+	return servetest.App{
 		Name: "echo",
 		Addr: "echo:7",
 		New:  newEcho,
@@ -133,8 +151,6 @@ func TestEchoConformance(t *testing.T) {
 				Abandon: func() error { return conn.Close() },
 			}, nil
 		},
-		ArgSize:   echoArgSize,
-		ConnIDOff: echoConnID,
-		FDOff:     echoPoolFD,
-	})
+		Schema: echoSchema,
+	}
 }

@@ -12,7 +12,8 @@ import (
 // sshConformanceApp adapts either pooled sshd build — the Wedge
 // partitioning (PooledWedge) or the privsep monitor (PooledPrivsep) — to
 // the shared serve-app battery. Both speak MINISSH and plant the same
-// residue: the password bytes at sshArgStr. The residue window is what
+// residue: the password bytes in the block's string field. The residue
+// window is what
 // TestPooledWedgeResidue used to probe by hand.
 func sshConformanceApp(t *testing.T, name string, staticTags int,
 	build func(root *sthread.Sthread, cfg ServerConfig, slots int, hooks WedgeHooks) (servetest.Runtime, error)) servetest.App {
@@ -74,9 +75,7 @@ func sshConformanceApp(t *testing.T, name string, staticTags int,
 				Abandon: func() error { return conn.Close() },
 			}, nil
 		},
-		ArgSize:    sshArgSize,
-		ConnIDOff:  sshArgConnID,
-		FDOff:      sshArgPoolFD,
+		Schema:     sshSchema,
 		StaticTags: staticTags,
 	}
 }

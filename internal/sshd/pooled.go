@@ -93,12 +93,10 @@ func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks We
 	}
 	stats := &w.Stats
 	w.Runtime, err = serve.New(root, serve.App[sshPoolConn]{
-		Name:      "sshd",
-		Slots:     slots,
-		ArgSize:   sshArgSize,
-		Worker:    "worker",
-		ConnIDOff: sshArgConnID,
-		FDOff:     sshArgPoolFD,
+		Name:   "sshd",
+		Slots:  slots,
+		Schema: sshSchema,
+		Worker: "worker",
 		Gates: []gatepool.GateDef{
 			{
 				Name: "worker",

@@ -1,10 +1,12 @@
 package sshd
 
 import (
+	"bytes"
 	"errors"
 	"sync"
 	"testing"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/kernel"
 	"wedge/internal/sthread"
 	"wedge/internal/vm"
@@ -136,14 +138,15 @@ func TestPooledWedgeWrongPassword(t *testing.T) {
 }
 
 // The cross-principal residue scan of the slot's argument block —
-// principal A's password bytes at sshArgStr, gone by the time principal
+// principal A's password bytes in the block's string field, gone by the
+// time principal
 // B's worker invocation starts, including after a Resize — lives in the
 // shared conformance battery now: see TestServeConformance/Residue and
 // TestServeConformancePrivsep/Residue (conformance_test.go).
 
 // TestPooledOversizedPayloadStaysInBlock: a client payload larger than
 // the receiving gate's cap is rejected before it is written, so nothing
-// ever lands past sshArgSize in the slot's argument-tag arena — memory
+// ever lands past the schema's block in the slot's argument-tag arena — memory
 // the inter-principal scrub does not cover. (Regression: the worker used
 // to copy the frame body unchecked, so a 4 KiB "nonce" became permanent
 // cross-principal residue readable by every later lease of the slot.)
@@ -161,7 +164,7 @@ func TestPooledOversizedPayloadStaysInBlock(t *testing.T) {
 		// The worker can read its slot's whole tag region; the window
 		// just past the block is where an unbounded copy would land.
 		buf := make([]byte, 64)
-		s.Read(ctx.ArgAddr+sshArgSize, buf)
+		s.Read(ctx.ArgAddr+vm.Addr(sshSchema.Size()), buf)
 		mu.Lock()
 		probes = append(probes, buf)
 		mu.Unlock()
@@ -208,7 +211,7 @@ func TestPooledOversizedPayloadStaysInBlock(t *testing.T) {
 	if _, err := ExpectFrame(conn, MsgHostKey); err != nil {
 		t.Fatal(err)
 	}
-	huge := make([]byte, 4*sshArgSize)
+	huge := make([]byte, 4*sshSchema.Size())
 	for i := range huge {
 		huge[i] = 'A'
 	}
@@ -364,4 +367,62 @@ func TestPooledWedgeConcurrent(t *testing.T) {
 			t.Fatalf("logins = %d, want %d", got, conns)
 		}
 	})
+}
+
+// TestArgBoundsReplacesSilentCap is the regression for PR 4's
+// per-call-site payload caps: the codec now rejects an oversized payload
+// with the typed *gateabi.ArgBoundsError (errors.Is gateabi.ErrArgBounds)
+// before anything is written — the block is bit-identical after the
+// rejection, so there is neither a silent cap nor a partial write for a
+// later principal to find.
+func TestArgBoundsReplacesSilentCap(t *testing.T) {
+	app := sthread.Boot(kernel.New())
+	err := app.Main(func(root *sthread.Sthread) {
+		tag, err := app.Tags.TagNew(root.Task)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		arg, err := root.Smalloc(tag, sshSchema.Size())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// A resident payload a sloppy codec would clobber.
+		if err := fStr.Store(root, arg, []byte("resident")); err != nil {
+			t.Error(err)
+			return
+		}
+		before := make([]byte, sshSchema.Size())
+		root.Read(arg, before)
+
+		// The old storeArgStr sites capped sign at 256 and S/Key at 128;
+		// the codec enforces the same caps with a typed error now.
+		for _, c := range []struct {
+			name string
+			max  int
+		}{
+			{"sign", sshSignCap},
+			{"skey", sshSKeyCap},
+			{"password", sshStrCap},
+		} {
+			huge := make([]byte, c.max+1)
+			err := fStr.StoreMax(root, arg, huge, c.max)
+			var abe *gateabi.ArgBoundsError
+			if !errors.As(err, &abe) || !errors.Is(err, gateabi.ErrArgBounds) {
+				t.Errorf("%s: oversized store error = %v, want *ArgBoundsError", c.name, err)
+			}
+			if abe != nil && abe.Cap != c.max {
+				t.Errorf("%s: error cap = %d, want %d", c.name, abe.Cap, c.max)
+			}
+		}
+		after := make([]byte, sshSchema.Size())
+		root.Read(arg, after)
+		if !bytes.Equal(before, after) {
+			t.Error("a rejected store modified the block — the silent-cap behavior is back")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }

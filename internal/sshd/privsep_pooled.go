@@ -106,12 +106,10 @@ func NewPooledPrivsep(root *sthread.Sthread, cfg ServerConfig, slots int, hooks 
 		return nil, err
 	}
 	p.Runtime, err = serve.New(root, serve.App[privsepPoolConn]{
-		Name:      "privsep",
-		Slots:     slots,
-		ArgSize:   sshArgSize,
-		Worker:    "slave",
-		ConnIDOff: sshArgConnID,
-		FDOff:     sshArgPoolFD,
+		Name:   "privsep",
+		Slots:  slots,
+		Schema: sshSchema,
+		Worker: "slave",
 		Gates: []gatepool.GateDef{
 			{
 				Name: "slave",
@@ -179,15 +177,13 @@ func NewPooledPrivsep(root *sthread.Sthread, cfg ServerConfig, slots int, hooks 
 	return p, nil
 }
 
-// readMonStr reads the length-prefixed string argument a monitor gate was
-// invoked with (at most max bytes).
-func readMonStr(g *sthread.Sthread, arg vm.Addr, max uint64) (string, bool) {
-	n := g.Load64(arg + sshArgStrLen)
-	if n == 0 || n > max {
+// readMonStr decodes the string argument a monitor gate was invoked
+// with, bounded to the gate's own input cap through the codec.
+func readMonStr(g *sthread.Sthread, arg vm.Addr, max int) (string, bool) {
+	buf, err := fStr.LoadMax(g, arg, max)
+	if err != nil || len(buf) == 0 {
 		return "", false
 	}
-	buf := make([]byte, n)
-	g.Read(arg+sshArgStr, buf)
 	return string(buf), true
 }
 
@@ -202,12 +198,12 @@ func readMonStr(g *sthread.Sthread, arg vm.Addr, max uint64) (string, bool) {
 // uniform. Shape preserved, content constant, nothing learnable.
 func (p *PooledPrivsep) getpwnamEntry(g *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
 	p.Stats.MonitorMsgs.Add(1)
-	if _, ok := readMonStr(g, arg, 128); !ok {
+	if _, ok := readMonStr(g, arg, sshUserCap); !ok {
 		return 0
 	}
-	g.Store64(arg+sshArgPwFound, 1)
-	g.Store64(arg+sshArgPwUID, uint64(WorkerUID))
-	writePwHome(g, arg, "/nonexistent")
+	fPwFound.Store(g, arg, 1)
+	fPwUID.Store(g, arg, WorkerUID)
+	fPwHome.StoreTrunc(g, arg, "/nonexistent")
 	return 1
 }
 
@@ -219,7 +215,7 @@ func (p *PooledPrivsep) getpwnamEntry(g *sthread.Sthread, arg, _ vm.Addr) vm.Add
 // from the slave: no fork, no inherited residue.
 func (p *PooledPrivsep) checkpassEntry(g *sthread.Sthread, arg vm.Addr, c *serve.Conn[privsepPoolConn]) vm.Addr {
 	p.Stats.MonitorMsgs.Add(1)
-	payload, ok := readMonStr(g, arg, 512)
+	payload, ok := readMonStr(g, arg, sshStrCap)
 	if !ok {
 		return 0
 	}
@@ -227,7 +223,7 @@ func (p *PooledPrivsep) checkpassEntry(g *sthread.Sthread, arg vm.Addr, c *serve
 	if !ok {
 		return 0
 	}
-	g.Store64(arg+sshArgAuthOK, 0)
+	fAuthOK.Store(g, arg, 0)
 	// Every rejection below — unreadable shadow included — looks the
 	// same to the slave (AuthOK=0) and is counted, so Logins+Fails
 	// reconciles with attempts.
@@ -243,9 +239,9 @@ func (p *PooledPrivsep) checkpassEntry(g *sthread.Sthread, arg vm.Addr, c *serve
 	}
 	passOK, _, _ := pamCheck(g, entry, pass)
 	if passOK && promote(g, c.State.worker, entry.UID, entry.Home) {
-		g.Store64(arg+sshArgPwUID, uint64(entry.UID))
-		writePwHome(g, arg, entry.Home)
-		g.Store64(arg+sshArgAuthOK, 1)
+		fPwUID.Store(g, arg, entry.UID)
+		fPwHome.StoreTrunc(g, arg, entry.Home)
+		fAuthOK.Store(g, arg, 1)
 		p.Stats.Logins.Add(1)
 	} else {
 		p.Stats.Fails.Add(1)
@@ -266,7 +262,7 @@ func (p *PooledPrivsep) signEntry(g *sthread.Sthread, arg, trusted vm.Addr) vm.A
 // a deterministic dummy challenge with the same shape.
 func (p *PooledPrivsep) skeychalEntry(g *sthread.Sthread, arg vm.Addr, c *serve.Conn[privsepPoolConn]) vm.Addr {
 	p.Stats.MonitorMsgs.Add(1)
-	user, ok := readMonStr(g, arg, 128)
+	user, ok := readMonStr(g, arg, sshSKeyCap)
 	if !ok {
 		return 0
 	}
@@ -277,12 +273,12 @@ func (p *PooledPrivsep) skeychalEntry(g *sthread.Sthread, arg vm.Addr, c *serve.
 	for i := range db {
 		if db[i].Name == user {
 			c.State.pendingSKey = user
-			g.Store64(arg+sshArgChalN, uint64(db[i].N))
+			fChalN.Store(g, arg, uint64(db[i].N))
 			return 1
 		}
 	}
 	c.State.pendingSKey = ""
-	g.Store64(arg+sshArgChalN, SKeyDummyChallenge(user))
+	fChalN.Store(g, arg, SKeyDummyChallenge(user))
 	return 1
 }
 
@@ -290,12 +286,12 @@ func (p *PooledPrivsep) skeychalEntry(g *sthread.Sthread, arg vm.Addr, c *serve.
 // stepping the chain and promoting the slave on success.
 func (p *PooledPrivsep) skeyverifyEntry(g *sthread.Sthread, arg vm.Addr, c *serve.Conn[privsepPoolConn]) vm.Addr {
 	p.Stats.MonitorMsgs.Add(1)
-	g.Store64(arg+sshArgAuthOK, 0)
+	fAuthOK.Store(g, arg, 0)
 	// Argument validation runs before the pending-user branch: a
 	// malformed response must fail identically whether the challenged
 	// name was real or dummy, or the gate's return code itself becomes
 	// the enumeration oracle for an exploited slave.
-	resp, ok := readMonStr(g, arg, 128)
+	resp, ok := readMonStr(g, arg, sshSKeyCap)
 	if !ok {
 		return 0
 	}
@@ -316,9 +312,9 @@ func (p *PooledPrivsep) skeyverifyEntry(g *sthread.Sthread, arg vm.Addr, c *serv
 				entries, _ := readShadow(g)
 				if entry, found := LookupShadow(entries, user); found &&
 					promote(g, c.State.worker, entry.UID, entry.Home) {
-					g.Store64(arg+sshArgPwUID, uint64(entry.UID))
-					writePwHome(g, arg, entry.Home)
-					g.Store64(arg+sshArgAuthOK, 1)
+					fPwUID.Store(g, arg, entry.UID)
+					fPwHome.StoreTrunc(g, arg, entry.Home)
+					fAuthOK.Store(g, arg, 1)
 					p.Stats.Logins.Add(1)
 					return 1
 				}
@@ -356,12 +352,12 @@ func (p *PooledPrivsep) slaveEntry(s *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
 		mon("sign"), mon("getpwnam"), mon("checkpass"), mon("skeychal"), mon("skeyverify"))
 }
 
-// callMonStr marshals a string argument and invokes one monitor gate.
-// max mirrors the gate's own input cap (storeArgStr): a client payload
-// that would run past the argument block is a protocol violation, not a
-// write into the slot arena.
-func callMonStr(s *sthread.Sthread, call authCall, arg vm.Addr, payload []byte, max int) bool {
-	if !storeArgStr(s, arg, payload, max) {
+// callMonStr marshals a string argument through the codec (bounded to
+// the gate's own input cap — an oversized client payload is a typed
+// protocol failure, never a write into the slot arena) and invokes one
+// monitor gate.
+func callMonStr(s *sthread.Sthread, call authCall, arg vm.Addr, op uint64, payload []byte, max int) bool {
+	if !storeArg(s, arg, op, payload, max) {
 		return false
 	}
 	ret, err := call(s, arg)
@@ -385,15 +381,13 @@ func privsepSlaveBody(s *sthread.Sthread, fd int, arg vm.Addr, pubAddr vm.Addr,
 	if err != nil {
 		return 0
 	}
-	if !callMonStr(s, sign, arg, nonce, 256) {
+	if !callMonStr(s, sign, arg, sshOpSign, nonce, sshSignCap) {
 		return 0
 	}
-	sigLen := s.Load64(arg + sshArgSigLen)
-	if sigLen == 0 || sigLen > 256 {
+	sig, err := fSig.Load(s, arg)
+	if err != nil || len(sig) == 0 {
 		return 0
 	}
-	sig := make([]byte, sigLen)
-	s.Read(arg+sshArgSig, sig)
 	if err := WriteFrame(stream, MsgSignResp, sig); err != nil {
 		return 0
 	}
@@ -414,37 +408,37 @@ func privsepSlaveBody(s *sthread.Sthread, fd int, arg vm.Addr, pubAddr vm.Addr,
 			// Two-step protocol, as in portable OpenSSH: first getpwnam,
 			// then the password check. The getpwnam reply no longer
 			// distinguishes unknown users, so the slave always proceeds.
-			if !callMonStr(s, getpwnam, arg, []byte(user), 128) {
+			if !callMonStr(s, getpwnam, arg, sshOpPassword, []byte(user), sshUserCap) {
 				return 0
 			}
-			if !callMonStr(s, checkpass, arg, body, 512) {
+			if !callMonStr(s, checkpass, arg, sshOpPassword, body, sshStrCap) {
 				return 0
 			}
-			if s.Load64(arg+sshArgAuthOK) == 1 {
+			if fAuthOK.Load(s, arg) == 1 {
 				authed = true
-				uid = int(s.Load64(arg + sshArgPwUID))
+				uid = fPwUID.Load(s, arg)
 				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", uid)))
 			} else {
 				WriteFrame(stream, MsgAuthFail, []byte("permission denied"))
 			}
 
 		case MsgAuthSKey:
-			if !callMonStr(s, skeychal, arg, body, 128) {
+			if !callMonStr(s, skeychal, arg, sshOpSKeyChal, body, sshSKeyCap) {
 				return 0
 			}
-			n := s.Load64(arg + sshArgChalN)
+			n := fChalN.Load(s, arg)
 			chal := []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
 			WriteFrame(stream, MsgSKeyChal, chal)
 			resp, err := ExpectFrame(stream, MsgSKeyReply)
 			if err != nil {
 				return 0
 			}
-			if !callMonStr(s, skeyverify, arg, resp, 128) {
+			if !callMonStr(s, skeyverify, arg, sshOpSKeyVerify, resp, sshSKeyCap) {
 				return 0
 			}
-			if s.Load64(arg+sshArgAuthOK) == 1 {
+			if fAuthOK.Load(s, arg) == 1 {
 				authed = true
-				uid = int(s.Load64(arg + sshArgPwUID))
+				uid = fPwUID.Load(s, arg)
 				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", uid)))
 			} else {
 				WriteFrame(stream, MsgAuthFail, []byte("permission denied"))

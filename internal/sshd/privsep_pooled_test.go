@@ -162,7 +162,7 @@ func TestPooledPrivsepClosesUsernameProbe(t *testing.T) {
 		readPw := func() (uint64, string) {
 			mu.Lock()
 			defer mu.Unlock()
-			return slave.Load64(argAddr + sshArgPwUID), slave.ReadString(argAddr+sshArgPwHome, 64)
+			return slave.Load64(argAddr + fPwUID.Off()), fPwHome.Load(slave, argAddr)
 		}
 
 		errKnown := c.AuthPassword("alice", "wrong-guess")

@@ -333,16 +333,18 @@ func TestWedgePasswordGateDummyPasswd(t *testing.T) {
 		// and an unknown user, comparing the reply shapes.
 		for _, user := range []string{"alice", "definitely-not-a-user"} {
 			payload := user + "\x00guess"
-			s.Store64(ctx.ArgAddr+sshArgOp, sshOpPassword)
-			s.Store64(ctx.ArgAddr+sshArgStrLen, uint64(len(payload)))
-			s.Write(ctx.ArgAddr+sshArgStr, []byte(payload))
+			fOp.Store(s, ctx.ArgAddr, sshOpPassword)
+			if err := fStr.Store(s, ctx.ArgAddr, []byte(payload)); err != nil {
+				replies <- reply{}
+				continue
+			}
 			if ret, err := s.CallGate(ctx.Gates["auth_password"], nil, ctx.ArgAddr); err != nil || ret != 1 {
 				replies <- reply{}
 				continue
 			}
-			home := s.ReadString(ctx.ArgAddr+sshArgPwHome, 64)
+			home := fPwHome.Load(s, ctx.ArgAddr)
 			replies <- reply{
-				found: s.Load64(ctx.ArgAddr + sshArgPwFound),
+				found: fPwFound.Load(s, ctx.ArgAddr),
 				okLen: len(home) > 0,
 			}
 		}

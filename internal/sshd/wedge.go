@@ -34,6 +34,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"wedge/internal/gateabi"
 	"wedge/internal/kernel"
 	"wedge/internal/minissl"
 	"wedge/internal/netsim"
@@ -46,23 +47,45 @@ import (
 // WorkerUID is the unprivileged uid workers start as.
 const WorkerUID = 99
 
-// Argument-buffer offsets for the auth gates (in the per-connection tag,
-// or the slot's argument tag in the pooled variant).
+// The auth-gate argument-block schema (in the per-connection tag, or the
+// slot's argument tag in the pooled variant). The layout is computed from
+// these declarations; the typed handles are the only way worker, slave,
+// and gate code touches the block. Per-operation input caps narrower than
+// the string field's capacity (sign 256, S/Key 128) are enforced by the
+// codec's StoreMax/LoadMax — still typed bounds, never call-site offset
+// arithmetic.
 const (
-	sshArgOp      = 0 // 1=password 2=pubkey 3=skey-chal 4=skey-verify 5=sign
-	sshArgStrLen  = 8
-	sshArgStr     = 16  // user\x00pass, or user, or data to sign
-	sshArgSigLen  = 528 // gate output: signature length
-	sshArgSig     = 536 // gate output: signature bytes
-	sshArgPwFound = 800 // gate output: passwd struct (dummy on unknown user)
-	sshArgPwUID   = 808
-	sshArgPwHome  = 816 // NUL-terminated, <= 64 bytes
-	sshArgAuthOK  = 896 // gate output: authentication verdict
-	sshArgChalN   = 904 // gate output: S/Key challenge
-	sshArgConnID  = 912 // pooled variant: session demultiplexer
-	sshArgPoolFD  = 920 // pooled variant: this connection's descriptor number
-	sshArgSize    = 1024
+	sshStrCap  = 512 // user\x00pass / user / data-to-sign bound (password, pubkey ops)
+	sshSignCap = 256 // sign-op input and signature bound
+	sshSKeyCap = 128 // S/Key username and response bound
+	sshUserCap = 128 // bare-username bound (the privsep monitor's getpwnam)
+)
 
+var (
+	sshSchemaB = gateabi.NewSchema("sshd")
+
+	fOp      = gateabi.U64(sshSchemaB, "op") // sshOpPassword..sshOpSign
+	fStr     = gateabi.Bytes(sshSchemaB, "str", sshStrCap)
+	fSig     = gateabi.Bytes(sshSchemaB, "sig", sshSignCap) // gate output: signature
+	fPwFound = gateabi.U64(sshSchemaB, "pw_found")          // gate output: passwd struct (dummy on unknown user)
+	fPwUID   = gateabi.Word[int](sshSchemaB, "pw_uid")      // gate output: uid granted on success
+	fPwHome  = gateabi.String(sshSchemaB, "pw_home", 64)    // informational; promotion uses the full path
+	fAuthOK  = gateabi.U64(sshSchemaB, "auth_ok")           // gate output: authentication verdict
+	fChalN   = gateabi.U64(sshSchemaB, "skey_chal")         // gate output: S/Key challenge
+	// The demux words register by declaration; the serve runtime reaches
+	// them through Schema.ConnIDOff/FDOff, not through handles.
+	_ = gateabi.ConnID(sshSchemaB)
+	_ = gateabi.FD(sshSchemaB)
+
+	sshSchema = sshSchemaB.Seal()
+)
+
+// GateSchema exposes the argument-block schema (for the conformance
+// battery and the cross-app FuzzGateABI harness). The pooled privsep
+// monitor serves the same block layout.
+func GateSchema() *gateabi.Schema { return sshSchema }
+
+const (
 	sshOpPassword   = 1
 	sshOpPubkey     = 2
 	sshOpSKeyChal   = 3
@@ -171,39 +194,21 @@ func signGateEntry(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
 	if err != nil {
 		return 0
 	}
-	n := g.Load64(arg + sshArgStrLen)
-	if n == 0 || n > 256 {
+	data, err := fStr.LoadMax(g, arg, sshSignCap)
+	if err != nil || len(data) == 0 {
 		return 0
 	}
-	data := make([]byte, n)
-	g.Read(arg+sshArgStr, data)
 	sig, err := SignHash(priv, data)
 	if err != nil {
 		return 0
 	}
-	// Bound the write to the signature area (the worker rejects >256
-	// bytes anyway): an oversized host key must not let the gate scribble
-	// over the passwd/verdict words — or, in the pooled build, the
-	// conn-id demux words at sshArgConnID.
-	if len(sig) > 256 {
+	// The codec bounds the signature to its field: an oversized host key
+	// cannot make the gate scribble over the passwd/verdict words — or,
+	// in the pooled build, the conn-id demux words.
+	if fSig.Store(g, arg, sig) != nil {
 		return 0
 	}
-	g.Store64(arg+sshArgSigLen, uint64(len(sig)))
-	g.Write(arg+sshArgSig, sig)
 	return 1
-}
-
-// writePwHome stores the home path into the passwd area of the argument
-// block, truncated to its documented 64-byte field (63 chars + NUL). The
-// write is informational for the worker; promotion always uses the full
-// path. Without the bound, a long provisioned home path would run past
-// sshArgAuthOK — and, in the pooled build, clobber the conn-id demux
-// words at sshArgConnID, wedging the rest of the session.
-func writePwHome(g *sthread.Sthread, arg vm.Addr, home string) {
-	if len(home) > 63 {
-		home = home[:63]
-	}
-	g.WriteString(arg+sshArgPwHome, home)
 }
 
 // promote changes the worker's uid and filesystem root from inside a gate
@@ -225,12 +230,10 @@ func promote(g *sthread.Sthread, worker *sthread.Sthread, uid int, home string) 
 // it fabricates a dummy passwd structure so the worker-visible reply
 // shape is identical (§5.2's first lesson).
 func passwordAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, stats *WedgeStats) vm.Addr {
-	n := g.Load64(arg + sshArgStrLen)
-	if n == 0 || n > 512 {
+	buf, err := fStr.Load(g, arg)
+	if err != nil || len(buf) == 0 {
 		return 0
 	}
-	buf := make([]byte, n)
-	g.Read(arg+sshArgStr, buf)
 	user, pass, ok := strings.Cut(string(buf), "\x00")
 	if !ok {
 		return 0
@@ -242,24 +245,24 @@ func passwordAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthrea
 	entry, found := LookupShadow(entries, user)
 	if !found {
 		// Dummy passwd: same shape, nothing learnable.
-		g.Store64(arg+sshArgPwFound, 1)
-		g.Store64(arg+sshArgPwUID, uint64(WorkerUID))
-		writePwHome(g, arg, "/nonexistent")
-		g.Store64(arg+sshArgAuthOK, 0)
+		fPwFound.Store(g, arg, 1)
+		fPwUID.Store(g, arg, WorkerUID)
+		fPwHome.StoreTrunc(g, arg, "/nonexistent")
+		fAuthOK.Store(g, arg, 0)
 		return 1
 	}
-	g.Store64(arg+sshArgPwFound, 1)
-	g.Store64(arg+sshArgPwUID, uint64(entry.UID))
-	writePwHome(g, arg, entry.Home)
+	fPwFound.Store(g, arg, 1)
+	fPwUID.Store(g, arg, entry.UID)
+	fPwHome.StoreTrunc(g, arg, entry.Home)
 
 	// The PAM-style scratch lives in the gate's private heap and
 	// dies with the gate: the §5.2 second lesson.
 	passOK, _, _ := pamCheck(g, entry, pass)
 	if passOK && promote(g, worker(), entry.UID, entry.Home) {
-		g.Store64(arg+sshArgAuthOK, 1)
+		fAuthOK.Store(g, arg, 1)
 		stats.Logins.Add(1)
 	} else {
-		g.Store64(arg+sshArgAuthOK, 0)
+		fAuthOK.Store(g, arg, 0)
 		stats.Fails.Add(1)
 	}
 	return 1
@@ -268,17 +271,15 @@ func passwordAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthrea
 // pubkeyAuth is the public-key gate's body: verify a signature over the
 // session nonce against the user's authorized key and promote on success.
 func pubkeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, nonce *[]byte, stats *WedgeStats) vm.Addr {
-	n := g.Load64(arg + sshArgStrLen)
-	if n == 0 || n > 512 {
+	buf, err := fStr.Load(g, arg)
+	if err != nil || len(buf) == 0 {
 		return 0
 	}
-	buf := make([]byte, n)
-	g.Read(arg+sshArgStr, buf)
 	user, sig, ok := strings.Cut(string(buf), "\x00")
 	if !ok {
 		return 0
 	}
-	g.Store64(arg+sshArgAuthOK, 0)
+	fAuthOK.Store(g, arg, 0)
 	entries, err := readShadow(g)
 	if err != nil {
 		return 1
@@ -304,7 +305,7 @@ func pubkeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread,
 		return 1
 	}
 	if promote(g, worker(), entry.UID, entry.Home) {
-		g.Store64(arg+sshArgAuthOK, 1)
+		fAuthOK.Store(g, arg, 1)
 		stats.Logins.Add(1)
 	}
 	return 1
@@ -315,14 +316,12 @@ func pubkeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread,
 // an error — fixing the information leak of [14] with the same mechanism
 // as the password gate's dummy passwd.
 func skeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, pending *string, stats *WedgeStats) vm.Addr {
-	switch g.Load64(arg + sshArgOp) {
+	switch fOp.Load(g, arg) {
 	case sshOpSKeyChal:
-		n := g.Load64(arg + sshArgStrLen)
-		if n == 0 || n > 128 {
+		buf, err := fStr.LoadMax(g, arg, sshSKeyCap)
+		if err != nil || len(buf) == 0 {
 			return 0
 		}
-		buf := make([]byte, n)
-		g.Read(arg+sshArgStr, buf)
 		user := string(buf)
 		db, err := readSKeyDB(g)
 		if err != nil {
@@ -331,29 +330,27 @@ func skeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, p
 		for i := range db {
 			if db[i].Name == user {
 				*pending = user
-				g.Store64(arg+sshArgChalN, uint64(db[i].N))
+				fChalN.Store(g, arg, uint64(db[i].N))
 				return 1
 			}
 		}
 		// Dummy challenge: plausible chain position, keyed so repeated
 		// probes are consistent but not predictable from the source.
 		*pending = ""
-		g.Store64(arg+sshArgChalN, SKeyDummyChallenge(user))
+		fChalN.Store(g, arg, SKeyDummyChallenge(user))
 		return 1
 
 	case sshOpSKeyVerify:
-		g.Store64(arg+sshArgAuthOK, 0)
+		fAuthOK.Store(g, arg, 0)
 		user := *pending
 		if user == "" {
 			stats.Fails.Add(1)
 			return 1 // dummy-challenged: always fails, same shape
 		}
-		n := g.Load64(arg + sshArgStrLen)
-		if n == 0 || n > 128 {
+		resp, err := fStr.LoadMax(g, arg, sshSKeyCap)
+		if err != nil || len(resp) == 0 {
 			return 0
 		}
-		resp := make([]byte, n)
-		g.Read(arg+sshArgStr, resp)
 		db, err := readSKeyDB(g)
 		if err != nil {
 			return 1
@@ -365,9 +362,9 @@ func skeyAuth(g *sthread.Sthread, arg vm.Addr, worker func() *sthread.Sthread, p
 					entries, _ := readShadow(g)
 					if entry, found := LookupShadow(entries, user); found &&
 						promote(g, worker(), entry.UID, entry.Home) {
-						g.Store64(arg+sshArgPwUID, uint64(entry.UID))
-						writePwHome(g, arg, entry.Home)
-						g.Store64(arg+sshArgAuthOK, 1)
+						fPwUID.Store(g, arg, entry.UID)
+						fPwHome.StoreTrunc(g, arg, entry.Home)
+						fAuthOK.Store(g, arg, 1)
 						stats.Logins.Add(1)
 						return 1
 					}
@@ -394,7 +391,7 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 		return err
 	}
 	defer root.App().Tags.TagDelete(connTag)
-	argBuf, err := root.Smalloc(connTag, sshArgSize)
+	argBuf, err := root.Smalloc(connTag, sshSchema.Size())
 	if err != nil {
 		return err
 	}
@@ -472,20 +469,21 @@ func (w *Wedge) ServeConn(conn *netsim.Conn) error {
 // pooled build.
 type authCall func(s *sthread.Sthread, arg vm.Addr) (vm.Addr, error)
 
-// storeArgStr bounds a client-supplied payload before writing it into
-// the argument block's string area; max mirrors the receiving gate's own
-// input cap, so nothing a gate would accept is rejected. The bound is
-// load-bearing in the pooled builds: an oversized payload would run past
-// sshArgSize into the slot's argument-tag arena, which the
-// inter-principal scrub does not cover — a §3.3 cross-principal storage
-// channel. (The one-shot builds get a per-connection tag, but the same
-// write would still trample allocator state past the block.)
-func storeArgStr(s *sthread.Sthread, arg vm.Addr, payload []byte, max int) bool {
-	if len(payload) == 0 || len(payload) > max {
+// storeArg marshals one operation's string payload through the codec,
+// bounded to the receiving gate's own input cap (max), so nothing a gate
+// would accept is rejected. The bound is load-bearing in the pooled
+// builds: an unbounded write would run past the block into the slot's
+// argument-tag arena, which the inter-principal scrub does not cover — a
+// §3.3 cross-principal storage channel. The codec owns that bound now
+// (typed *ArgBoundsError, never a partial write); this helper folds the
+// error into the worker protocol's pass/fail idiom and preserves the
+// codec's contract one level up: a rejected marshal (empty or oversized
+// payload) leaves the block untouched.
+func storeArg(s *sthread.Sthread, arg vm.Addr, op uint64, payload []byte, max int) bool {
+	if len(payload) == 0 || fStr.StoreMax(s, arg, payload, max) != nil {
 		return false
 	}
-	s.Store64(arg+sshArgStrLen, uint64(len(payload)))
-	s.Write(arg+sshArgStr, payload)
+	fOp.Store(s, arg, op)
 	return true
 }
 
@@ -512,20 +510,17 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 	*noncePtr = clientNonce
 
 	// Host authentication through the sign gate.
-	s.Store64(arg+sshArgOp, sshOpSign)
-	if !storeArgStr(s, arg, clientNonce, 256) {
+	if !storeArg(s, arg, sshOpSign, clientNonce, sshSignCap) {
 		return 0
 	}
 	stats.GateCalls.Add(1)
 	if ret, err := sign(s, arg); err != nil || ret != 1 {
 		return 0
 	}
-	sigLen := s.Load64(arg + sshArgSigLen)
-	if sigLen == 0 || sigLen > 256 {
+	sig, err := fSig.Load(s, arg)
+	if err != nil || len(sig) == 0 {
 		return 0
 	}
-	sig := make([]byte, sigLen)
-	s.Read(arg+sshArgSig, sig)
 	if err := WriteFrame(stream, MsgSignResp, sig); err != nil {
 		return 0
 	}
@@ -541,32 +536,30 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 		}
 		switch typ {
 		case MsgAuthPass:
-			s.Store64(arg+sshArgOp, sshOpPassword)
-			if !storeArgStr(s, arg, body, 512) {
+			if !storeArg(s, arg, sshOpPassword, body, sshStrCap) {
 				return 0
 			}
 			stats.GateCalls.Add(1)
 			if ret, err := pass(s, arg); err != nil || ret != 1 {
 				return 0
 			}
-			if s.Load64(arg+sshArgAuthOK) == 1 {
+			if fAuthOK.Load(s, arg) == 1 {
 				authed = true
-				uid = int(s.Load64(arg + sshArgPwUID))
+				uid = fPwUID.Load(s, arg)
 				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", uid)))
 			} else {
 				WriteFrame(stream, MsgAuthFail, []byte("permission denied"))
 			}
 
 		case MsgAuthPub:
-			s.Store64(arg+sshArgOp, sshOpPubkey)
-			if !storeArgStr(s, arg, body, 512) {
+			if !storeArg(s, arg, sshOpPubkey, body, sshStrCap) {
 				return 0
 			}
 			stats.GateCalls.Add(1)
 			if ret, err := pub(s, arg); err != nil || ret != 1 {
 				return 0
 			}
-			if s.Load64(arg+sshArgAuthOK) == 1 {
+			if fAuthOK.Load(s, arg) == 1 {
 				authed = true
 				uid = s.Task.UID
 				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", uid)))
@@ -575,30 +568,28 @@ func sshWorkerBody(s *sthread.Sthread, fd int, arg vm.Addr, noncePtr *[]byte,
 			}
 
 		case MsgAuthSKey:
-			s.Store64(arg+sshArgOp, sshOpSKeyChal)
-			if !storeArgStr(s, arg, body, 128) {
+			if !storeArg(s, arg, sshOpSKeyChal, body, sshSKeyCap) {
 				return 0
 			}
 			stats.GateCalls.Add(1)
 			if ret, err := skey(s, arg); err != nil || ret != 1 {
 				return 0
 			}
-			n := s.Load64(arg + sshArgChalN)
+			n := fChalN.Load(s, arg)
 			chal := []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
 			WriteFrame(stream, MsgSKeyChal, chal)
 			resp, err := ExpectFrame(stream, MsgSKeyReply)
 			if err != nil {
 				return 0
 			}
-			s.Store64(arg+sshArgOp, sshOpSKeyVerify)
-			if !storeArgStr(s, arg, resp, 128) {
+			if !storeArg(s, arg, sshOpSKeyVerify, resp, sshSKeyCap) {
 				return 0
 			}
 			stats.GateCalls.Add(1)
 			if ret, err := skey(s, arg); err != nil || ret != 1 {
 				return 0
 			}
-			if s.Load64(arg+sshArgAuthOK) == 1 {
+			if fAuthOK.Load(s, arg) == 1 {
 				authed = true
 				uid = s.Task.UID
 				WriteFrame(stream, MsgAuthOK, []byte(fmt.Sprintf("uid=%d", uid)))

@@ -49,6 +49,7 @@
 package wedge
 
 import (
+	"wedge/internal/gateabi"
 	"wedge/internal/gatepool"
 	"wedge/internal/kernel"
 	"wedge/internal/netsim"
@@ -129,7 +130,61 @@ type (
 	// slot (ServeRuntime.Lookup does both); see the package documentation
 	// of internal/gatepool for the isolation argument.
 	ConnTable[T any] = gatepool.ConnTable[T]
+
+	// GateSchema is a declarative argument-block layout: ordered typed
+	// fields with a computed layout, hard codec-enforced capacities, and
+	// schema-derived scrub/probe footprints. Every ServeApp carries one;
+	// gate bodies touch the block only through its typed field handles.
+	GateSchema = gateabi.Schema
+	// GateSchemaBuilder accumulates field declarations; Seal produces the
+	// immutable GateSchema.
+	GateSchemaBuilder = gateabi.Builder
+	// GateFieldInfo describes one placed schema field.
+	GateFieldInfo = gateabi.FieldInfo
+	// ArgBoundsError is the typed codec rejection: a payload or a
+	// block-resident length word exceeded a field's declared capacity.
+	// Nothing is silently truncated and nothing is written or read past
+	// the field.
+	ArgBoundsError = gateabi.ArgBoundsError
+	// WordField is the typed handle of one 64-bit block word.
+	WordField[T gateabi.Integer] = gateabi.WordField[T]
+	// BytesField is the typed handle of a length-prefixed byte area.
+	BytesField = gateabi.BytesField
+	// StringField is the typed handle of a NUL-terminated string area.
+	StringField = gateabi.StringField
+	// FixedField is the typed handle of an exact-size byte area.
+	FixedField = gateabi.FixedField
 )
+
+// NewGateSchema starts a gate argument-block schema; declare fields with
+// GateU64/GateWord/GateBytes/GateString/GateFixed (plus GateConnID and
+// GateFD for a schema served by the serve runtime) and finish with Seal.
+func NewGateSchema(name string) *GateSchemaBuilder { return gateabi.NewSchema(name) }
+
+// Field declaration helpers, re-exported from the gate ABI.
+var (
+	// GateU64 declares one uint64 block word.
+	GateU64 = gateabi.U64
+	// GateBytes declares a length-prefixed byte area with a hard capacity.
+	GateBytes = gateabi.Bytes
+	// GateString declares a NUL-terminated string area.
+	GateString = gateabi.String
+	// GateFixed declares an exact-size byte area.
+	GateFixed = gateabi.Fixed
+	// GateConnID reserves the serve runtime's connection-id demux word.
+	GateConnID = gateabi.ConnID
+	// GateFD reserves the serve runtime's descriptor-number demux word.
+	GateFD = gateabi.FD
+)
+
+// GateWord declares one 64-bit block word viewed as integer type T.
+func GateWord[T gateabi.Integer](b *GateSchemaBuilder, name string) WordField[T] {
+	return gateabi.Word[T](b, name)
+}
+
+// ErrArgBounds is the errors.Is target for every gate-ABI codec bounds
+// rejection (see ArgBoundsError).
+var ErrArgBounds = gateabi.ErrArgBounds
 
 // The serve runtime's lifecycle states: serving → draining → closed.
 const (

@@ -322,3 +322,72 @@ func TestConnTablePublicAPI(t *testing.T) {
 		t.Fatal("ErrPoolClosed and ErrPoolDraining must be distinct")
 	}
 }
+
+// TestGateSchemaPublicAPI: the typed gate ABI is reachable through the
+// public surface — declare a schema, bind typed field handles, and serve
+// a ServeApp whose argument I/O goes through them. Oversized payloads
+// fail with the typed *ArgBoundsError (errors.Is ErrArgBounds), never a
+// silent truncation.
+func TestGateSchemaPublicAPI(t *testing.T) {
+	b := wedge.NewGateSchema("demo")
+	op := wedge.GateU64(b, "op")
+	uid := wedge.GateWord[int](b, "uid")
+	payload := wedge.GateBytes(b, "payload", 32)
+	name := wedge.GateString(b, "name", 16)
+	digest := wedge.GateFixed(b, "digest", 8)
+	wedge.GateConnID(b)
+	wedge.GateFD(b)
+	schema := b.Seal()
+
+	if !schema.HasDemux() {
+		t.Fatal("schema with GateConnID+GateFD reports no demux")
+	}
+	if schema.Size()%8 != 0 {
+		t.Fatalf("schema size %d not word-aligned", schema.Size())
+	}
+
+	sys := wedge.NewSystem()
+	err := sys.Main(func(main *wedge.Sthread) {
+		tag, _ := sys.TagNew(main)
+		arg, err := main.Smalloc(tag, schema.Size())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		op.Store(main, arg, 7)
+		uid.Store(main, arg, 1001)
+		if err := payload.Store(main, arg, []byte("hello")); err != nil {
+			t.Errorf("payload store: %v", err)
+		}
+		if err := name.Store(main, arg, "alice"); err != nil {
+			t.Errorf("name store: %v", err)
+		}
+		digest.Write(main, arg, []byte("8bytes!!"))
+
+		if got := op.Load(main, arg); got != 7 {
+			t.Errorf("op = %d, want 7", got)
+		}
+		if got := uid.Load(main, arg); got != 1001 {
+			t.Errorf("uid = %d, want 1001", got)
+		}
+		if got, err := payload.Load(main, arg); err != nil || string(got) != "hello" {
+			t.Errorf("payload = %q, %v", got, err)
+		}
+		if got := name.Load(main, arg); got != "alice" {
+			t.Errorf("name = %q", got)
+		}
+
+		// The typed bounds rejection is part of the public contract.
+		var abe *wedge.ArgBoundsError
+		err = payload.Store(main, arg, make([]byte, 33))
+		if !errors.As(err, &abe) || !errors.Is(err, wedge.ErrArgBounds) {
+			t.Errorf("oversized store error = %v, want *wedge.ArgBoundsError", err)
+		}
+		if got, err := payload.Load(main, arg); err != nil || string(got) != "hello" {
+			t.Errorf("payload after rejected store = %q, %v (must be untouched)", got, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
