@@ -145,7 +145,7 @@ func TestCLIWedgebench(t *testing.T) {
 	}
 
 	// -json writes machine-readable results with the structured identity
-	// fields (app, variant, conns, value) CI tracks trends from.
+	// fields (app, variant, conns, metric, value) CI tracks trends from.
 	jsonPath := filepath.Join(t.TempDir(), "bench.json")
 	run(t, wb, "-pool", "-app", "pop3", "-poolconns", "2", "-poollevels", "1,2", "-json", jsonPath)
 	raw, err := os.ReadFile(jsonPath)
@@ -159,18 +159,31 @@ func TestCLIWedgebench(t *testing.T) {
 		Conns      int     `json:"conns"`
 		Value      float64 `json:"value"`
 		Unit       string  `json:"unit"`
+		Metric     string  `json:"metric"`
 	}
 	if err := json.Unmarshal(raw, &rows); err != nil {
 		t.Fatalf("-json output is not valid JSON: %v\n%s", err, raw)
 	}
-	// 3 variants x 2 levels.
-	if len(rows) != 6 {
-		t.Fatalf("-json rows = %d, want 6:\n%s", len(rows), raw)
+	// 3 variants x 2 levels x 3 metrics (rps, p50, p99).
+	if len(rows) != 18 {
+		t.Fatalf("-json rows = %d, want 18:\n%s", len(rows), raw)
 	}
 	seenPooled := false
 	for _, r := range rows {
-		if r.Experiment != "figpool" || r.App != "pop3" || r.Unit != "req/s" {
+		if r.Experiment != "figpool" || r.App != "pop3" {
 			t.Fatalf("-json row %+v: wrong identity fields", r)
+		}
+		switch r.Metric {
+		case "rps":
+			if r.Unit != "req/s" {
+				t.Fatalf("-json rps row %+v: wrong unit", r)
+			}
+		case "p50", "p99":
+			if r.Unit != "ms" {
+				t.Fatalf("-json latency row %+v: wrong unit", r)
+			}
+		default:
+			t.Fatalf("-json row %+v: unknown metric", r)
 		}
 		if r.Conns != 1 && r.Conns != 2 {
 			t.Fatalf("-json row %+v: conns outside the requested ladder", r)
@@ -178,7 +191,7 @@ func TestCLIWedgebench(t *testing.T) {
 		if r.Variant == "pooled" {
 			seenPooled = true
 			if r.Value <= 0 {
-				t.Fatalf("-json pooled row has non-positive throughput: %+v", r)
+				t.Fatalf("-json pooled row has non-positive value: %+v", r)
 			}
 		}
 	}

@@ -1,0 +1,77 @@
+// Command benchdiff compares two wedgebench -json result files and
+// exits nonzero when the new run regressed beyond a noise threshold:
+//
+//	benchdiff -old BENCH_pool.json -new bench_run.json
+//	benchdiff -old BENCH_pool.json -new bench_run.json -threshold 0.3
+//
+// Rows are matched by (experiment, name). Rates are higher-better,
+// latencies lower-better; rows the baseline has but the new run lacks
+// are flagged too (a benchmark that silently shrinks reads as a pass),
+// while rows only the new run has — a grown benchmark — are accepted
+// silently. The threshold is a worseness ratio minus one: the default
+// 0.5 flags a rate that fell or a latency that rose beyond 1.5x, and a
+// CI job on a noisy shared runner wants something wider still (the
+// repo's gate uses 3, i.e. 4x).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wedge/internal/bench"
+)
+
+func readResults(path string) ([]bench.Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []bench.Result
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline wedgebench -json file")
+	newPath := flag.String("new", "", "new-run wedgebench -json file")
+	threshold := flag.Float64("threshold", 0.5, "noise threshold: worseness ratio minus one (0.5 = flag changes beyond 1.5x)")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are both required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold < 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -threshold must be >= 0 (got %g)\n", *threshold)
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	oldRs, err := readResults(*oldPath)
+	if err != nil {
+		fail(err)
+	}
+	newRs, err := readResults(*newPath)
+	if err != nil {
+		fail(err)
+	}
+
+	regs := bench.Compare(oldRs, newRs, *threshold)
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: %d baseline rows, no regressions beyond %.0f%%\n",
+			len(oldRs), *threshold*100)
+		return
+	}
+	fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%:\n", len(regs), *threshold*100)
+	for _, r := range regs {
+		fmt.Println("  " + r.String())
+	}
+	os.Exit(1)
+}

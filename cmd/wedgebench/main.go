@@ -13,8 +13,10 @@
 //	wedgebench -pool -app pop3 # ... the pop3 study
 //	wedgebench -pool -app privsep # ... and the privsep-vs-pooled-monitor
 //	                           # contrast (§5.2)
-//	wedgebench -pool -app all  # the four-way pooled comparison
-//	                           # (httpd/sshd/pop3/privsep) in one command
+//	wedgebench -pool -app dnsd # ... and the datagram resolver wedge
+//	wedgebench -pool -app all  # the five-way pooled comparison
+//	                           # (httpd/sshd/pop3/privsep/dnsd) in one
+//	                           # command
 //	wedgebench -all            # everything
 //
 // Every row is printed next to the paper's reported value where one
@@ -27,8 +29,11 @@
 // runs a verified drain/undrain cycle on every pooled cell.
 //
 // -json <file> additionally writes every measured result as JSON (with
-// app/variant/concurrency identity fields on the pool rows) for trend
-// tracking; "-json -" writes to stdout after the human-readable tables.
+// app/variant/concurrency identity fields on the pool rows, which carry
+// three metrics each: "rps" throughput plus "p50"/"p99" session-latency
+// percentiles) for trend tracking; "-json -" writes to stdout after the
+// human-readable tables. cmd/benchdiff compares two such files and
+// flags regressions beyond a noise threshold.
 package main
 
 import (
@@ -37,6 +42,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"wedge/internal/bench"
 )
@@ -74,7 +80,7 @@ func main() {
 	metrics := flag.Bool("metrics", false, "partitioning metrics and object census")
 	ablations := flag.Bool("ablations", false, "design-choice ablations (tag cache, ephemeral RSA)")
 	pool := flag.Bool("pool", false, "gatepool scaling experiment (FigPool)")
-	poolApp := flag.String("app", "httpd", "gatepool experiment application: httpd, sshd, pop3, privsep, or all")
+	poolApp := flag.String("app", "httpd", "gatepool experiment application: httpd, sshd, pop3, privsep, dnsd, or all")
 	poolSize := flag.Int("poolsize", 0, "gatepool slots (0 = host parallelism)")
 	poolConns := flag.Int("poolconns", bench.FigPoolConns, "timed connections per FigPool cell")
 	poolLevels := flag.String("poollevels", "", "comma-separated FigPool concurrency ladder (default 1,2,4,...,64)")
@@ -192,7 +198,7 @@ func main() {
 			}
 			results = append(results, r...)
 			order, _ := bench.FigPoolVariants(app)
-			fmt.Printf("gatepool scaling detail, app=%s (req/s by concurrent connections):\n", app)
+			fmt.Printf("gatepool scaling detail, app=%s (req/s, p50/p99 session latency, by concurrent connections):\n", app)
 			byVariant := map[string][]bench.PoolRow{}
 			for _, row := range rows {
 				byVariant[row.Variant] = append(byVariant[row.Variant], row)
@@ -200,7 +206,8 @@ func main() {
 			for _, v := range order {
 				fmt.Printf("  %-9s", v)
 				for _, row := range byVariant[v] {
-					fmt.Printf(" c=%-3d %7.0f", row.Conns, row.RPS)
+					fmt.Printf(" c=%-3d %7.0f (%v/%v)", row.Conns, row.RPS,
+						row.P50.Round(time.Microsecond*10), row.P99.Round(time.Microsecond*10))
 				}
 				fmt.Println()
 			}

@@ -1,0 +1,147 @@
+// The datagram resolver wedge: the serve runtime's packet mode applied
+// to a DNS-shaped UDP protocol. The zone-signing key lives behind a
+// pooled resolve gate; the untrusted worker parses datagrams and a
+// hostile packet draws an unsigned refusal without ever reaching the
+// key. Flows — one per source address — are created on a client's
+// first packet and reaped by the timer wheel when idle, through the
+// same EndConn/scrub/teardown path a stream hangup takes.
+//
+//	go run ./examples/datagramresolver
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wedge/internal/dnsd"
+	"wedge/internal/kernel"
+	"wedge/internal/minissl"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+)
+
+func main() {
+	k := kernel.New()
+	key, err := minissl.GenerateServerKey()
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := sthread.Boot(k)
+
+	const idle = 150 * time.Millisecond
+
+	type rig struct {
+		srv *dnsd.Resolver
+		pc  *netsim.PacketConn
+	}
+	ready := make(chan rig, 1)
+	done := make(chan error, 1)
+	quit := make(chan struct{})
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := dnsd.NewPooled(root, key, []dnsd.Record{
+				{Name: "www.example", Value: "192.0.2.80"},
+				{Name: "mail.example", Value: "192.0.2.25"},
+			}, dnsd.Config{Slots: 2, IdleTimeout: idle})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer srv.Close()
+			pc, err := root.Task.ListenPacket("dns:53")
+			if err != nil {
+				log.Fatal(err)
+			}
+			go srv.ServePackets(pc) // the runtime-owned packet loop
+			ready <- rig{srv, pc}
+			<-quit
+		})
+	}()
+	r := <-ready
+	srv := r.srv
+
+	dial := func() *netsim.PacketConn {
+		pc, err := k.Net.DialPacket()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return pc
+	}
+
+	// A signed answer in one round trip. The signature covers
+	// (status, name, value), so a forged or tampered answer fails
+	// verification against the zone's public key.
+	cli := dial()
+	a, err := dnsd.Query(cli, "dns:53", "www.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.Verify(&key.PublicKey); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("www.example -> %s (signature verifies)\n", a.Value)
+
+	// Denials are signed too — an off-path attacker can no more forge
+	// "that name does not exist" than a real answer.
+	nx, err := dnsd.Query(cli, "dns:53", "nope.example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nx.Verify(&key.PublicKey); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nope.example -> NXDOMAIN (denial signature verifies)\n")
+
+	// A fragmented query shows a flow is stateful: the first half is
+	// acked, the worker stays parked in its one invocation, and the
+	// continuation completes the name. Both datagrams demux to the
+	// same flow by source address.
+	fq, err := dnsd.StartFrag(cli, "dns:53", "mail.example", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fa, err := fq.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mail.example (fragmented 4+8) -> %s\n", fa.Value)
+
+	// A hostile datagram: length byte promising more name than the
+	// packet carries. The worker's parser refuses it — FORMERR, no
+	// signature — and the resolve gate (and the key behind it) is
+	// never invoked for it.
+	mal := dial()
+	if _, err := mal.WriteTo([]byte{'Q', 0, 200, 'x'}, "dns:53"); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 2048)
+	n, _, err := mal.ReadFrom(buf)
+	if err != nil || n < 2 {
+		log.Fatalf("refusal read: n=%d err=%v", n, err)
+	}
+	fmt.Printf("malformed query -> status=%d (FORMERR, unsigned; the signing gate never saw it)\n", buf[1])
+
+	// Abandon both sockets and let the timer wheel reap the flows:
+	// expiry closes each flow's descriptor, the parked worker's read
+	// fails, and the full teardown path runs — EndConn, conn-table
+	// delete, inter-principal scrub, lease release.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := srv.Snapshot()
+		if s.Flows == 0 {
+			fmt.Printf("all flows idle-expired: packets=%d served=%d expired=%d live-flows=%d\n",
+				s.Packets, s.Served, s.Expired, s.Flows)
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("flows never expired: %+v", s)
+		}
+		time.Sleep(idle / 4)
+	}
+
+	r.pc.Close() // ServePackets returns; the deferred Close tears down
+	close(quit)
+	if err := <-done; err != nil {
+		log.Fatal(err)
+	}
+}

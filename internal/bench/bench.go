@@ -42,6 +42,11 @@ type Result struct {
 	App     string `json:"app,omitempty"`
 	Variant string `json:"variant,omitempty"`
 	Conns   int    `json:"conns,omitempty"` // concurrent connections
+	// Metric distinguishes the rows a single cell emits: "rps"
+	// (throughput), "p50", "p99" (session-latency percentiles —
+	// throughput-only numbers hide tail collapse). Empty on experiments
+	// that emit one row per label.
+	Metric string `json:"metric,omitempty"`
 }
 
 func (r Result) String() string {
@@ -91,6 +96,9 @@ func timeOp(n int, op func()) time.Duration {
 	}
 	return time.Since(start) / time.Duration(n)
 }
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // us converts a duration to float microseconds.
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

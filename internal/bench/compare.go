@@ -1,0 +1,97 @@
+// Regression detection between two wedgebench -json result sets: the
+// machinery behind cmd/benchdiff and the CI job that compares a run's
+// BENCH_pool.json against the checked-in point. The comparison is
+// deliberately coarse — a shared CI runner is noisy, so only changes
+// beyond a wide threshold count — but it is direction-aware: a rate
+// that fell and a latency that rose are both "worse".
+
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Regression is one row that got worse (or vanished) between two runs.
+type Regression struct {
+	Name string  // "experiment | name"
+	Old  float64 // baseline value
+	New  float64 // current value (0 when Missing)
+	Unit string
+	// Delta is the fractional worsening as a ratio minus one: 0.25 means
+	// 25% worse, 3 means 4x worse, in the unit's bad direction (rate
+	// fell / latency rose). Always > 0 for a reported regression; +Inf
+	// when a rate collapsed to zero.
+	Delta float64
+	// Missing: the row exists in the baseline but not in the new run. A
+	// benchmark that silently stops measuring something reads as a pass,
+	// so a vanished row is flagged like a regression.
+	Missing bool
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%-40s missing from new run (was %.3f %s)", r.Name, r.Old, r.Unit)
+	}
+	return fmt.Sprintf("%-40s %.3f -> %.3f %s (%.0f%% worse)", r.Name, r.Old, r.New, r.Unit, r.Delta*100)
+}
+
+// worseDirection classifies a unit: +1 when higher values are better
+// (rates — "req/s", "hs/s", "ops/s"), -1 when lower values are better
+// (durations), 0 when the unit carries no better/worse direction
+// (counts, ratios, lines) and the row is skipped.
+func worseDirection(unit string) int {
+	if strings.HasSuffix(unit, "/s") {
+		return +1
+	}
+	switch unit {
+	case "ns", "us", "ms", "s":
+		return -1
+	}
+	return 0
+}
+
+// Compare matches rows of two result sets by (experiment, name) and
+// returns the rows of old whose value in new is worse by more than
+// threshold, plus baseline rows missing from new. The threshold is a
+// worseness ratio minus one — 0.5 flags a rate that fell or a latency
+// that rose beyond 1.5x, 3 flags collapses beyond 4x — so a rate drop
+// is not capped at "100% worse" the way a subtractive fraction would
+// be. Rows that appear only in new — a grown benchmark — are not
+// flagged. Directionless units and zero baselines (no meaningful ratio)
+// are skipped.
+func Compare(old, new []Result, threshold float64) []Regression {
+	key := func(r Result) string { return r.Experiment + " | " + r.Name }
+	latest := make(map[string]Result, len(new))
+	for _, r := range new {
+		latest[key(r)] = r
+	}
+	var regs []Regression
+	for _, o := range old {
+		dir := worseDirection(o.Unit)
+		if dir == 0 || o.Value == 0 {
+			continue
+		}
+		n, ok := latest[key(o)]
+		if !ok {
+			regs = append(regs, Regression{Name: key(o), Old: o.Value, Unit: o.Unit, Missing: true})
+			continue
+		}
+		// Worseness ratio in the bad direction: old/new for rates,
+		// new/old for latencies.
+		var worse float64
+		switch {
+		case dir > 0 && n.Value <= 0:
+			worse = math.Inf(1) // a rate collapsed to nothing
+		case dir > 0:
+			worse = o.Value / n.Value
+		default:
+			worse = n.Value / o.Value
+		}
+		if worse > 1+threshold {
+			regs = append(regs, Regression{Name: key(o), Old: o.Value, New: n.Value, Unit: o.Unit, Delta: worse - 1})
+		}
+	}
+	return regs
+}

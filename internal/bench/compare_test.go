@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func row(name, unit string, v float64) Result {
+	return Result{Experiment: "figpool", Name: name, Unit: unit, Value: v}
+}
+
+// TestCompareDirections: a rate that fell and a latency that rose are
+// regressions; the opposite movements are improvements and pass no
+// matter how large.
+func TestCompareDirections(t *testing.T) {
+	old := []Result{
+		row("httpd pooled c=4", "req/s", 1000),
+		row("httpd pooled c=4 p99", "ms", 10),
+	}
+	worse := []Result{
+		row("httpd pooled c=4", "req/s", 400), // -60% throughput
+		row("httpd pooled c=4 p99", "ms", 25), // +150% latency
+	}
+	regs := Compare(old, worse, 0.5)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want both rows flagged", regs)
+	}
+	for _, r := range regs {
+		if r.Delta <= 0.5 {
+			t.Fatalf("%s: delta %f not beyond threshold", r.Name, r.Delta)
+		}
+	}
+
+	better := []Result{
+		row("httpd pooled c=4", "req/s", 10000), // 10x faster
+		row("httpd pooled c=4 p99", "ms", 0.1),  // 100x lower tail
+	}
+	if regs := Compare(old, better, 0.5); len(regs) != 0 {
+		t.Fatalf("improvements flagged: %v", regs)
+	}
+}
+
+// TestCompareThreshold: changes inside the noise threshold pass.
+func TestCompareThreshold(t *testing.T) {
+	old := []Result{row("pop3 mono c=1", "req/s", 1000)}
+	new := []Result{row("pop3 mono c=1", "req/s", 700)} // -30%
+	if regs := Compare(old, new, 0.5); len(regs) != 0 {
+		t.Fatalf("within-threshold change flagged: %v", regs)
+	}
+	if regs := Compare(old, new, 0.2); len(regs) != 1 {
+		t.Fatalf("beyond-threshold change not flagged: %v", regs)
+	}
+}
+
+// TestCompareMissingRow: a baseline row absent from the new run is
+// flagged — a shrunk benchmark must not read as a pass — while rows
+// only the new run has (a grown benchmark) are fine.
+func TestCompareMissingRow(t *testing.T) {
+	old := []Result{row("sshd pooled c=4", "req/s", 500)}
+	new := []Result{row("dnsd pooled c=4", "req/s", 800)}
+	regs := Compare(old, new, 0.5)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("regressions = %v, want one missing-row flag", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("missing-row rendering: %q", regs[0].String())
+	}
+}
+
+// TestCompareCollapse: a rate that fell to zero is flagged no matter
+// how wide the threshold — the subtractive "100% worse" cap must not
+// hide it.
+func TestCompareCollapse(t *testing.T) {
+	old := []Result{row("httpd pooled c=4", "req/s", 1000)}
+	new := []Result{row("httpd pooled c=4", "req/s", 0)}
+	regs := Compare(old, new, 100)
+	if len(regs) != 1 || !math.IsInf(regs[0].Delta, 1) {
+		t.Fatalf("regressions = %v, want one infinite-delta collapse", regs)
+	}
+}
+
+// TestCompareSkips: directionless units and zero baselines produce no
+// verdict.
+func TestCompareSkips(t *testing.T) {
+	old := []Result{
+		row("partitioning", "lines", 100),
+		row("dead cell", "req/s", 0),
+	}
+	new := []Result{
+		row("partitioning", "lines", 1),
+	}
+	if regs := Compare(old, new, 0.5); len(regs) != 0 {
+		t.Fatalf("skippable rows flagged: %v", regs)
+	}
+}
+
+// TestCompareKeyIncludesExperiment: same name under different
+// experiments are different rows.
+func TestCompareKeyIncludesExperiment(t *testing.T) {
+	old := []Result{{Experiment: "table2", Name: "apache", Unit: "req/s", Value: 100}}
+	new := []Result{{Experiment: "figpool", Name: "apache", Unit: "req/s", Value: 100}}
+	regs := Compare(old, new, 0.5)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("regressions = %v, want the table2 row reported missing", regs)
+	}
+}

@@ -17,6 +17,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"wedge/internal/httpd"
 	"wedge/internal/kernel"
@@ -49,6 +50,8 @@ type PoolRow struct {
 	Variant string
 	Conns   int // concurrent connections
 	RPS     float64
+	P50     time.Duration // median session latency
+	P99     time.Duration // tail session latency
 }
 
 // PoolOpts carries the serve-runtime knobs a FigPool run applies to the
@@ -73,13 +76,13 @@ type PoolOpts struct {
 // by conns client goroutines, uncached (every handshake pays the RSA
 // operation, the load the pool spreads). Built on the shared
 // poolCellHarness (figpool_apps.go) like the sshd and pop3 cells.
-func figPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (float64, error) {
+func figPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (CellStats, error) {
 	priv, err := minissl.GenerateServerKey()
 	if err != nil {
-		return 0, err
+		return CellStats{}, err
 	}
 	var drainErr error
-	rps, err := poolCellHarness(
+	stats, err := poolCellHarness(
 		func(k *kernel.Kernel) error { return httpd.SetupDocroot(k, "/var/www", 1024) },
 		func(root *sthread.Sthread) (cellServer, error) {
 			switch variant {
@@ -132,22 +135,25 @@ func figPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (fl
 		err = drainErr
 	}
 	if err != nil {
-		return 0, fmt.Errorf("%s c=%d: %w", variant, conns, err)
+		return CellStats{}, fmt.Errorf("%s c=%d: %w", variant, conns, err)
 	}
-	return rps, nil
+	return stats, nil
 }
 
 // FigPoolApps is every application the gatepool experiment covers, in
-// ladder order — the four-way pooled comparison `wedgebench -pool -app
-// all` runs.
-var FigPoolApps = []string{"httpd", "sshd", "pop3", "privsep"}
+// ladder order — the five-way pooled comparison `wedgebench -pool -app
+// all` runs (the four stream studies plus the dnsd datagram wedge).
+var FigPoolApps = []string{"httpd", "sshd", "pop3", "privsep", "dnsd"}
 
 // FigPoolVariants returns the variant ladder measured for one app: the
 // httpd experiment keeps the paper's four builds; sshd and pop3 compare
 // the unpartitioned build, the per-connection partitioned build (whose
 // gates are created per connection — the cost recycling amortizes), and
 // the pooled build; privsep compares the fork-per-connection monitor of
-// §5.2 against the pooled monitor gates.
+// §5.2 against the pooled monitor gates; dnsd compares the
+// unpartitioned datagram resolver against the pooled datagram wedge
+// (flows, wheel-driven slot recycling, and the signing gate all on the
+// serving path).
 func FigPoolVariants(app string) ([]string, error) {
 	switch app {
 	case "", "httpd":
@@ -156,8 +162,10 @@ func FigPoolVariants(app string) ([]string, error) {
 		return []string{"mono", "wedge", "pooled"}, nil
 	case "privsep":
 		return []string{"privsep", "pooled"}, nil
+	case "dnsd":
+		return []string{"mono", "pooled"}, nil
 	}
-	return nil, fmt.Errorf("bench: unknown FigPool app %q (want httpd, sshd, pop3 or privsep)", app)
+	return nil, fmt.Errorf("bench: unknown FigPool app %q (want httpd, sshd, pop3, privsep or dnsd)", app)
 }
 
 // FigPool measures every httpd variant across the concurrency ladder; see
@@ -167,10 +175,13 @@ func FigPool(conns int, levels []int, poolSlots int) ([]PoolRow, []Result, error
 }
 
 // FigPoolApp measures every variant of the given app ("httpd", "sshd",
-// "pop3" or "privsep") across the concurrency ladder. conns is the timed connection
-// count per cell (0 = FigPoolConns; rounded up to a multiple of the
-// level), levels the ladder (nil = FigPoolLevels), and opts the
-// serve-runtime knobs applied to the pooled variants.
+// "pop3", "privsep" or "dnsd") across the concurrency ladder. conns is
+// the timed connection count per cell (0 = FigPoolConns; rounded up to
+// a multiple of the level), levels the ladder (nil = FigPoolLevels),
+// and opts the serve-runtime knobs applied to the pooled variants. Each
+// cell emits three Results — throughput plus p50/p99 session latency,
+// distinguished by Metric — all taken from the cell's best-throughput
+// rep.
 func FigPoolApp(app string, conns int, levels []int, opts PoolOpts) ([]PoolRow, []Result, error) {
 	variants, err := FigPoolVariants(app)
 	if err != nil {
@@ -204,10 +215,10 @@ func FigPoolApp(app string, conns int, levels []int, opts PoolOpts) ([]PoolRow, 
 		if slots > level {
 			slots = level
 		}
-		best := make(map[string]float64, len(variants))
+		best := make(map[string]CellStats, len(variants))
 		for rep := 0; rep < figPoolReps; rep++ {
 			for _, variant := range variants {
-				var r float64
+				var r CellStats
 				var err error
 				switch app {
 				case "httpd":
@@ -218,26 +229,53 @@ func FigPoolApp(app string, conns int, levels []int, opts PoolOpts) ([]PoolRow, 
 					r, err = pop3PoolCell(variant, level, total, slots, opts)
 				case "privsep":
 					r, err = privsepPoolCell(variant, level, total, slots, opts)
+				case "dnsd":
+					r, err = dnsdPoolCell(variant, level, total, slots, opts)
 				}
 				if err != nil {
 					return nil, nil, err
 				}
-				if r > best[variant] {
+				// Best rep by throughput; the latency percentiles travel
+				// with it, so every cell's numbers come from one run.
+				if r.RPS > best[variant].RPS {
 					best[variant] = r
 				}
 			}
 		}
 		for _, variant := range variants {
-			rows = append(rows, PoolRow{Variant: variant, Conns: level, RPS: best[variant]})
-			results = append(results, Result{
-				Experiment: "figpool",
-				Name:       fmt.Sprintf("%s %s c=%d", app, variant, level),
-				Value:      best[variant],
-				Unit:       "req/s",
-				App:        app,
-				Variant:    variant,
-				Conns:      level,
-			})
+			b := best[variant]
+			rows = append(rows, PoolRow{Variant: variant, Conns: level, RPS: b.RPS, P50: b.P50, P99: b.P99})
+			results = append(results,
+				Result{
+					Experiment: "figpool",
+					Name:       fmt.Sprintf("%s %s c=%d", app, variant, level),
+					Value:      b.RPS,
+					Unit:       "req/s",
+					App:        app,
+					Variant:    variant,
+					Conns:      level,
+					Metric:     "rps",
+				},
+				Result{
+					Experiment: "figpool",
+					Name:       fmt.Sprintf("%s %s c=%d p50", app, variant, level),
+					Value:      ms(b.P50),
+					Unit:       "ms",
+					App:        app,
+					Variant:    variant,
+					Conns:      level,
+					Metric:     "p50",
+				},
+				Result{
+					Experiment: "figpool",
+					Name:       fmt.Sprintf("%s %s c=%d p99", app, variant, level),
+					Value:      ms(b.P99),
+					Unit:       "ms",
+					App:        app,
+					Variant:    variant,
+					Conns:      level,
+					Metric:     "p99",
+				})
 		}
 	}
 	return rows, results, nil

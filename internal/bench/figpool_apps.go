@@ -10,9 +10,11 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"wedge/internal/dnsd"
 	"wedge/internal/kernel"
 	"wedge/internal/minissl"
 	"wedge/internal/netsim"
@@ -22,6 +24,31 @@ import (
 	"wedge/internal/sthread"
 	"wedge/internal/vm"
 )
+
+// CellStats is one cell's measurement: throughput plus the latency
+// distribution of the sessions behind it. Throughput alone hides tail
+// collapse — a variant can hold its rate while its slowest sessions
+// degrade by an order of magnitude — so every cell reports p50/p99 too.
+type CellStats struct {
+	RPS float64
+	P50 time.Duration // median session latency
+	P99 time.Duration // tail session latency
+}
+
+// percentile is the nearest-rank percentile of a sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
 
 // pooledRuntime is the serve-runtime surface every pooled server
 // delegates; the cells use it to apply the PoolOpts knobs uniformly.
@@ -73,23 +100,9 @@ type cellServer struct {
 	close func()                   // optional teardown
 }
 
-// poolCellHarness runs one concurrently-dispatching server cell: boot a
-// kernel with the realistic pre-main image, serve connections until the
-// drivers are done, and drive total sessions with conns retrying
-// clients, returning sessions/second. The accept loop runs until the
-// listener is closed (after every client finishes) rather than counting
-// accepts: retried sessions consume extra accepts, and a fixed accept
-// budget would strand the retry — and hang the cell — whenever any
-// accepted session failed.
-func poolCellHarness(setup func(k *kernel.Kernel) error,
-	build func(root *sthread.Sthread) (cellServer, error),
-	addr string, request func(k *kernel.Kernel) error,
-	conns, total int) (float64, error) {
-	k := kernel.New()
-	if err := setup(k); err != nil {
-		return 0, err
-	}
-	app := sthread.Boot(k)
+// benchPremain installs the realistic pre-main image (figPoolImage
+// touched pages) on a booted app.
+func benchPremain(app *sthread.App) {
 	app.Premain(func(init *kernel.Task) {
 		base, err := init.Mmap(figPoolImage, vm.PermRW)
 		if err != nil {
@@ -99,6 +112,76 @@ func poolCellHarness(setup func(k *kernel.Kernel) error,
 			init.AS.Store64(base+vm.Addr(off), uint64(off))
 		}
 	})
+}
+
+// driveCell is the load phase shared by the stream and packet
+// harnesses: conns client goroutines drive total sessions, retrying
+// failures as a load generator would (so transient shedding charges the
+// variant's throughput instead of aborting the experiment), timing each
+// session end-to-end including its retries — the latency the client
+// experienced, not the latency of the attempt that happened to succeed.
+func driveCell(k *kernel.Kernel, request func(k *kernel.Kernel) error,
+	conns, total int) (CellStats, error) {
+	perClient := total / conns
+	errs := make(chan error, conns)
+	lats := make([][]time.Duration, conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		lats[c] = make([]time.Duration, 0, perClient)
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				err := request(k)
+				for retry := 0; err != nil && retry < 8; retry++ {
+					err = request(k)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				lats[c] = append(lats[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	if err := <-errs; err != nil {
+		return CellStats{}, err
+	}
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return CellStats{
+		RPS: float64(total) / elapsed.Seconds(),
+		P50: percentile(all, 0.50),
+		P99: percentile(all, 0.99),
+	}, nil
+}
+
+// poolCellHarness runs one concurrently-dispatching server cell: boot a
+// kernel with the realistic pre-main image, serve connections until the
+// drivers are done, and drive total sessions with conns retrying
+// clients, returning sessions/second and latency percentiles. The
+// accept loop runs until the listener is closed (after every client
+// finishes) rather than counting accepts: retried sessions consume
+// extra accepts, and a fixed accept budget would strand the retry — and
+// hang the cell — whenever any accepted session failed.
+func poolCellHarness(setup func(k *kernel.Kernel) error,
+	build func(root *sthread.Sthread) (cellServer, error),
+	addr string, request func(k *kernel.Kernel) error,
+	conns, total int) (CellStats, error) {
+	k := kernel.New()
+	if err := setup(k); err != nil {
+		return CellStats{}, err
+	}
+	app := sthread.Boot(k)
+	benchPremain(app)
 
 	ready := make(chan *netsim.Listener, 1)
 	done := make(chan error, 1)
@@ -137,55 +220,80 @@ func poolCellHarness(setup func(k *kernel.Kernel) error,
 	}()
 	l := <-ready
 
-	// Clients retry failed sessions, as a load generator would, so
-	// transient shedding charges the variant's throughput instead of
-	// aborting the experiment.
-	perClient := total / conns
-	errs := make(chan error, conns)
-	start := time.Now()
-	var wg sync.WaitGroup
-	for c := 0; c < conns; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < perClient; i++ {
-				err := request(k)
-				for retry := 0; err != nil && retry < 8; retry++ {
-					err = request(k)
-				}
-				if err != nil {
-					errs <- err
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	stats, derr := driveCell(k, request, conns, total)
 	l.Close()
-	close(errs)
-	if err := <-errs; err != nil {
-		return 0, err
+	if derr != nil {
+		return CellStats{}, derr
 	}
 	if err := <-done; err != nil {
-		return 0, err
+		return CellStats{}, err
 	}
-	return float64(total) / elapsed.Seconds(), nil
+	return stats, nil
+}
+
+// packetCellServer is the datagram analogue of cellServer: datagram
+// servers always own their packet loop (there is no accept to
+// dispatch), so only the loop and teardown vary.
+type packetCellServer struct {
+	loop  func(*netsim.PacketConn)
+	close func()
+}
+
+// packetPoolCellHarness is poolCellHarness for datagram cells: the
+// server binds a packet socket instead of a listener, and the loop runs
+// until the socket closes.
+func packetPoolCellHarness(build func(root *sthread.Sthread) (packetCellServer, error),
+	addr string, request func(k *kernel.Kernel) error,
+	conns, total int) (CellStats, error) {
+	k := kernel.New()
+	app := sthread.Boot(k)
+	benchPremain(app)
+
+	ready := make(chan *netsim.PacketConn, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := build(root)
+			if err != nil {
+				panic(err)
+			}
+			if srv.close != nil {
+				defer srv.close()
+			}
+			pc, err := root.Task.ListenPacket(addr)
+			if err != nil {
+				panic(err)
+			}
+			ready <- pc
+			srv.loop(pc)
+		})
+	}()
+	pc := <-ready
+
+	stats, derr := driveCell(k, request, conns, total)
+	pc.Close()
+	if derr != nil {
+		return CellStats{}, derr
+	}
+	if err := <-done; err != nil {
+		return CellStats{}, err
+	}
+	return stats, nil
 }
 
 // sshdPoolCell measures one sshd variant: a session is the host-key
 // handshake (one RSA signature — the load the pool spreads), a password
 // login, and exit.
-func sshdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (float64, error) {
+func sshdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (CellStats, error) {
 	hostKey, err := minissl.GenerateServerKey()
 	if err != nil {
-		return 0, err
+		return CellStats{}, err
 	}
 	users := []sshd.User{{Name: "alice", Password: "sesame", UID: 1000}}
 	cfg := sshd.ServerConfig{HostKey: hostKey}
 
 	var drainErr error
-	rps, err := poolCellHarness(
+	stats, err := poolCellHarness(
 		func(k *kernel.Kernel) error { return sshd.SetupUsers(k, users) },
 		func(root *sthread.Sthread) (cellServer, error) {
 			switch variant {
@@ -227,9 +335,9 @@ func sshdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (f
 		err = drainErr
 	}
 	if err != nil {
-		return 0, fmt.Errorf("sshd %s c=%d: %w", variant, conns, err)
+		return CellStats{}, fmt.Errorf("sshd %s c=%d: %w", variant, conns, err)
 	}
-	return rps, nil
+	return stats, nil
 }
 
 // privsepPoolCell measures one privilege-separation build: a session is
@@ -239,16 +347,16 @@ func sshdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (f
 // "privsep" variant forks one slave per connection and serves monitor
 // requests over channel IPC; "pooled" runs the monitor interface as
 // pooled recycled gates under the serve runtime.
-func privsepPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (float64, error) {
+func privsepPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (CellStats, error) {
 	hostKey, err := minissl.GenerateServerKey()
 	if err != nil {
-		return 0, err
+		return CellStats{}, err
 	}
 	users := []sshd.User{{Name: "alice", Password: "sesame", UID: 1000}}
 	cfg := sshd.ServerConfig{HostKey: hostKey}
 
 	var drainErr error
-	rps, err := poolCellHarness(
+	stats, err := poolCellHarness(
 		func(k *kernel.Kernel) error { return sshd.SetupUsers(k, users) },
 		func(root *sthread.Sthread) (cellServer, error) {
 			switch variant {
@@ -288,23 +396,23 @@ func privsepPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts)
 		err = drainErr
 	}
 	if err != nil {
-		return 0, fmt.Errorf("privsep %s c=%d: %w", variant, conns, err)
+		return CellStats{}, fmt.Errorf("privsep %s c=%d: %w", variant, conns, err)
 	}
-	return rps, nil
+	return stats, nil
 }
 
 // pop3PoolCell measures one pop3 variant: a session is login, one
 // retrieval, and quit. No RSA is involved, so the cell isolates the pure
 // partitioning overhead (sthread and gate creations per session) that
 // the pool amortizes.
-func pop3PoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (float64, error) {
+func pop3PoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (CellStats, error) {
 	boxes := []pop3.Mailbox{
 		{User: "alice", Password: "sesame", UID: 1000,
 			Messages: []string{"From: bench\n\nmessage one", "From: bench\n\nmessage two"}},
 	}
 
 	var drainErr error
-	rps, err := poolCellHarness(
+	stats, err := poolCellHarness(
 		func(k *kernel.Kernel) error { return nil },
 		func(root *sthread.Sthread) (cellServer, error) {
 			switch variant {
@@ -336,9 +444,118 @@ func pop3PoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (f
 		err = drainErr
 	}
 	if err != nil {
-		return 0, fmt.Errorf("pop3 %s c=%d: %w", variant, conns, err)
+		return CellStats{}, fmt.Errorf("pop3 %s c=%d: %w", variant, conns, err)
 	}
-	return rps, nil
+	return stats, nil
+}
+
+// dnsdBenchIdle is the pooled dnsd cell's flow-expiry window. Datagram
+// flows give their slots back only by idle expiry — there is no FIN —
+// so the window is short enough that slots recycle under the cell's
+// per-query principals, but long enough to be several wheel ticks.
+const dnsdBenchIdle = 10 * time.Millisecond
+
+// settlePacket waits for a packet runtime's last flows to expire:
+// quiescence lags the final client by up to the idle window, and
+// judging the drain check before the wheel has run would charge the
+// variant a spurious failure.
+func settlePacket(snap func() serve.Snapshot) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := snap()
+		if s.Flows == 0 && s.Inflight == 0 && s.Pool.Busy == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("packet cell not quiescent: flows=%d inflight=%d busy=%d",
+				s.Flows, s.Inflight, s.Pool.Busy)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// dnsdPoolCell measures one dnsd variant: a session is one fresh-source
+// signed query (every query a new principal, so the pooled build admits
+// a new flow each time) resolving a known name and verifying the
+// signature. The pooled build's flows return their slots only by idle
+// expiry, so the cell is exactly the datagram runtime's worst case —
+// admission, worker invocation, gate call, and wheel-driven slot
+// recycling all on the serving path — against the mono baseline that
+// answers from one loop.
+func dnsdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (CellStats, error) {
+	key, err := minissl.GenerateServerKey()
+	if err != nil {
+		return CellStats{}, err
+	}
+	zone := []dnsd.Record{{Name: "www.example", Value: "192.0.2.80"}}
+
+	var drainErr error
+	stats, err := packetPoolCellHarness(
+		func(root *sthread.Sthread) (packetCellServer, error) {
+			switch variant {
+			case "mono":
+				srv, err := dnsd.NewMonolithic(key, zone)
+				if err != nil {
+					return packetCellServer{}, err
+				}
+				return packetCellServer{loop: func(pc *netsim.PacketConn) { srv.ServePackets(pc) }}, nil
+			case "pooled":
+				srv, err := dnsd.NewPooled(root, key, zone, dnsd.Config{
+					Slots:       poolSlots,
+					IdleTimeout: dnsdBenchIdle,
+				})
+				if err != nil {
+					return packetCellServer{}, err
+				}
+				if opts.Queue != 0 {
+					srv.SetQueue(opts.Queue)
+				}
+				if opts.AutoSlots {
+					srv.SetAutoSlots(true)
+				}
+				return packetCellServer{
+					loop: func(pc *netsim.PacketConn) { srv.ServePackets(pc) },
+					close: func() {
+						if err := settlePacket(srv.Snapshot); err != nil {
+							drainErr = err
+						} else if opts.Drain {
+							srv.Drain()
+							if s := srv.Snapshot(); s.State != serve.StateDraining || s.Inflight != 0 || s.Pool.Busy != 0 {
+								drainErr = fmt.Errorf("drain left %s state=%v inflight=%d busy=%d",
+									s.App, s.State, s.Inflight, s.Pool.Busy)
+							}
+							srv.Undrain()
+						}
+						srv.Close()
+					},
+				}, nil
+			}
+			return packetCellServer{}, fmt.Errorf("unknown dnsd variant %q", variant)
+		},
+		"dns:53",
+		func(k *kernel.Kernel) error {
+			pc, err := k.Net.DialPacket()
+			if err != nil {
+				return err
+			}
+			defer pc.Close()
+			a, err := dnsd.Query(pc, "dns:53", "www.example")
+			if err != nil {
+				return err
+			}
+			if a.Status != dnsd.StatusNoError {
+				return fmt.Errorf("dnsd status %d, want NOERROR", a.Status)
+			}
+			return a.Verify(&key.PublicKey)
+		},
+		conns, total)
+	if err == nil {
+		err = drainErr
+	}
+	if err != nil {
+		return CellStats{}, fmt.Errorf("dnsd %s c=%d: %w", variant, conns, err)
+	}
+	return stats, nil
 }
 
 // pop3BenchSession drives one full POP3 session as a load-generator

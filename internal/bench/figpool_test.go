@@ -62,20 +62,31 @@ func TestFigPoolShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 4 || len(results) != 4 {
-		t.Fatalf("rows=%d results=%d, want 4/4", len(rows), len(results))
+	// Three Results per cell: rps plus the p50/p99 latency rows.
+	if len(rows) != 4 || len(results) != 12 {
+		t.Fatalf("rows=%d results=%d, want 4/12", len(rows), len(results))
 	}
 	for _, r := range rows {
 		if r.RPS <= 0 {
 			t.Fatalf("%s c=%d: non-positive rate %f", r.Variant, r.Conns, r.RPS)
 		}
+		if r.P50 <= 0 || r.P99 < r.P50 {
+			t.Fatalf("%s c=%d: implausible latencies p50=%v p99=%v", r.Variant, r.Conns, r.P50, r.P99)
+		}
+	}
+	for _, r := range results {
+		switch r.Metric {
+		case "rps", "p50", "p99":
+		default:
+			t.Fatalf("result %q: metric %q", r.Name, r.Metric)
+		}
 	}
 }
 
-// TestFigPoolAppsShape: the sshd, pop3, and privsep ladders report a
-// complete, positive row set for every variant.
+// TestFigPoolAppsShape: the sshd, pop3, privsep, and dnsd ladders
+// report a complete, positive row set for every variant.
 func TestFigPoolAppsShape(t *testing.T) {
-	for _, app := range []string{"sshd", "pop3", "privsep"} {
+	for _, app := range []string{"sshd", "pop3", "privsep", "dnsd"} {
 		t.Run(app, func(t *testing.T) {
 			variants, err := FigPoolVariants(app)
 			if err != nil {
@@ -85,8 +96,8 @@ func TestFigPoolAppsShape(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(rows) != len(variants) || len(results) != len(variants) {
-				t.Fatalf("rows=%d results=%d, want %d/%d", len(rows), len(results), len(variants), len(variants))
+			if len(rows) != len(variants) || len(results) != 3*len(variants) {
+				t.Fatalf("rows=%d results=%d, want %d/%d", len(rows), len(results), len(variants), 3*len(variants))
 			}
 			for _, r := range rows {
 				if r.RPS <= 0 {
@@ -97,12 +108,12 @@ func TestFigPoolAppsShape(t *testing.T) {
 	}
 }
 
-// TestFigPoolAppsCoverAll: the four-way comparison list names exactly the
+// TestFigPoolAppsCoverAll: the five-way comparison list names exactly the
 // apps FigPoolVariants accepts (beyond the implicit "" default), so
 // `wedgebench -pool -app all` cannot silently drop one.
 func TestFigPoolAppsCoverAll(t *testing.T) {
-	if len(FigPoolApps) != 4 {
-		t.Fatalf("FigPoolApps = %v, want the four-way comparison", FigPoolApps)
+	if len(FigPoolApps) != 5 {
+		t.Fatalf("FigPoolApps = %v, want the five-way comparison", FigPoolApps)
 	}
 	for _, app := range FigPoolApps {
 		if _, err := FigPoolVariants(app); err != nil {

@@ -1,0 +1,128 @@
+// Client helpers: build query datagrams, parse answers, verify the
+// zone signature.
+package dnsd
+
+import (
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"wedge/internal/netsim"
+)
+
+// Answer is one parsed answer datagram.
+type Answer struct {
+	Status byte
+	Name   []byte
+	Value  []byte
+	Sig    []byte
+}
+
+// Verify checks the zone signature over (status, name, value). Only
+// NOERROR and NXDOMAIN answers are signed — the resolve gate signs
+// answers and denials; REFUSED/FORMERR/SERVFAIL never saw the zone.
+func (a *Answer) Verify(pub *rsa.PublicKey) error {
+	if a.Status != StatusNoError && a.Status != StatusNXDomain {
+		return fmt.Errorf("dnsd: status %d carries no signature", a.Status)
+	}
+	sum := sha256.Sum256(signedMessage(a.Status, a.Name, a.Value))
+	return rsa.VerifyPKCS1v15(pub, 0, sum[:], a.Sig)
+}
+
+// Query resolves name in one round trip: one query datagram out, one
+// answer datagram back.
+func Query(pc *netsim.PacketConn, server, name string) (*Answer, error) {
+	if len(name) == 0 || len(name) > MaxName {
+		return nil, fmt.Errorf("dnsd: query name length %d outside [1,%d]", len(name), MaxName)
+	}
+	q := append([]byte{'Q', 0, byte(len(name))}, name...)
+	if _, err := pc.WriteTo(q, server); err != nil {
+		return nil, err
+	}
+	return readAnswer(pc)
+}
+
+// FragQuery is a fragmented query mid-flight: the first half sent and
+// acked, the continuation pending. The server's worker is parked inside
+// its invocation until Finish (or until the flow expires).
+type FragQuery struct {
+	pc     *netsim.PacketConn
+	server string
+	rest   []byte
+}
+
+// StartFrag sends the first split bytes of name with the FRAG flag and
+// waits for the server's ack.
+func StartFrag(pc *netsim.PacketConn, server, name string, split int) (*FragQuery, error) {
+	if len(name) == 0 || len(name) > MaxName {
+		return nil, fmt.Errorf("dnsd: query name length %d outside [1,%d]", len(name), MaxName)
+	}
+	if split <= 0 || split >= len(name) {
+		return nil, fmt.Errorf("dnsd: split %d outside (0,%d)", split, len(name))
+	}
+	q := append([]byte{'Q', flagFrag, byte(split)}, name[:split]...)
+	if _, err := pc.WriteTo(q, server); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, maxDatagram)
+	n, _, err := pc.ReadFrom(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != 1 || buf[0] != 'A' {
+		if a, err := parseAnswer(buf[:n]); err == nil {
+			return nil, fmt.Errorf("dnsd: fragmented query answered with status %d before continuation", a.Status)
+		}
+		return nil, fmt.Errorf("dnsd: bad ack %q", buf[:n])
+	}
+	return &FragQuery{pc: pc, server: server, rest: []byte(name[split:])}, nil
+}
+
+// Finish sends the continuation and reads the answer.
+func (q *FragQuery) Finish() (*Answer, error) {
+	c := append([]byte{'C', byte(len(q.rest))}, q.rest...)
+	if _, err := q.pc.WriteTo(c, q.server); err != nil {
+		return nil, err
+	}
+	return readAnswer(q.pc)
+}
+
+func readAnswer(pc *netsim.PacketConn) (*Answer, error) {
+	buf := make([]byte, maxDatagram)
+	n, _, err := pc.ReadFrom(buf)
+	if err != nil {
+		return nil, err
+	}
+	return parseAnswer(buf[:n])
+}
+
+// parseAnswer validates one answer datagram, strictly: every length
+// consistent, nothing trailing.
+func parseAnswer(pkt []byte) (*Answer, error) {
+	if len(pkt) < 3 || pkt[0] != 'R' {
+		return nil, fmt.Errorf("dnsd: not an answer datagram (%d bytes)", len(pkt))
+	}
+	a := &Answer{Status: pkt[1]}
+	nl := int(pkt[2])
+	p := pkt[3:]
+	if len(p) < nl+2 {
+		return nil, fmt.Errorf("dnsd: answer truncated in name")
+	}
+	a.Name = append([]byte(nil), p[:nl]...)
+	p = p[nl:]
+	vl := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < vl+2 {
+		return nil, fmt.Errorf("dnsd: answer truncated in value")
+	}
+	a.Value = append([]byte(nil), p[:vl]...)
+	p = p[vl:]
+	sl := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if len(p) != sl {
+		return nil, fmt.Errorf("dnsd: answer signature length %d, have %d bytes", sl, len(p))
+	}
+	a.Sig = append([]byte(nil), p...)
+	return a, nil
+}

@@ -1,0 +1,94 @@
+package dnsd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/serve/servetest"
+	"wedge/internal/sthread"
+)
+
+// TestServeConformance runs the datagram conformance battery against
+// the resolver. The residue window is the slot's value/signature area —
+// principal A's record value and signed answer, which the pool must
+// scrub before principal B's worker invocation can observe them. The
+// short IdleTimeout is what the battery requires: every flow ends by a
+// real wheel expiry.
+func TestServeConformance(t *testing.T) {
+	key := testZoneKey(t)
+	zone := append(testZone(), Record{Name: "secret.example", Value: "zone-secret-hunter2"})
+
+	dialQuery := func(k *kernel.Kernel, name string) (*netsim.PacketConn, *Answer, error) {
+		pc, err := k.Net.DialPacket()
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := Query(pc, "dns:53", name)
+		if err != nil {
+			pc.Close()
+			return nil, nil, err
+		}
+		return pc, a, nil
+	}
+
+	servetest.RunPacket(t, servetest.PacketApp{
+		Name: "dnsd",
+		Addr: "dns:53",
+		New: func(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest.PacketRuntime, error) {
+			hooks := Hooks{}
+			if probe != nil {
+				hooks.Worker = func(w *sthread.Sthread, ctx *ConnContext) { probe(w, ctx.ArgAddr) }
+			}
+			return NewPooled(root, key, zone, Config{
+				Slots:       slots,
+				IdleTimeout: 250 * time.Millisecond,
+				Hooks:       hooks,
+			})
+		},
+		Session: func(k *kernel.Kernel) ([]byte, error) {
+			pc, a, err := dialQuery(k, "secret.example")
+			if err != nil {
+				return nil, err
+			}
+			defer pc.Close()
+			if a.Status != StatusNoError {
+				return nil, fmt.Errorf("status %d, want NOERROR", a.Status)
+			}
+			if err := a.Verify(&key.PublicKey); err != nil {
+				return nil, err
+			}
+			return a.Value, nil // the record value resident in the slot
+		},
+		Hold: func(k *kernel.Kernel) (*servetest.Held, error) {
+			pc, err := k.Net.DialPacket()
+			if err != nil {
+				return nil, err
+			}
+			fq, err := StartFrag(pc, "dns:53", "www.example", 4)
+			if err != nil {
+				pc.Close()
+				return nil, err
+			}
+			return &servetest.Held{
+				Finish: func() error {
+					defer pc.Close()
+					a, err := fq.Finish()
+					if err != nil {
+						return err
+					}
+					if a.Status != StatusNoError {
+						return fmt.Errorf("held query: status %d, want NOERROR", a.Status)
+					}
+					return a.Verify(&key.PublicKey)
+				},
+				Abandon: func() error { return pc.Close() },
+			}, nil
+		},
+		Schema: GateSchema(),
+		// The zone blob's tag outlives the runtime.
+		StaticTags: 1,
+	})
+}

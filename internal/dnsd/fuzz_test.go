@@ -1,0 +1,137 @@
+package dnsd
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wedge/internal/kernel"
+	"wedge/internal/sthread"
+)
+
+// fuzzResolver boots one resolver per fuzz process; each fuzz execution
+// dials it from a fresh source address (a fresh flow) and sends the
+// input as that flow's first datagram.
+type fuzzResolver struct {
+	k        *kernel.Kernel
+	rt       *Resolver
+	resolves atomic.Uint64 // resolve-gate invocations (the signing compartment)
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzRes  *fuzzResolver
+)
+
+func startFuzzResolver(f *testing.F) *fuzzResolver {
+	fuzzOnce.Do(func() {
+		key := testZoneKey(f)
+		k := kernel.New()
+		app := sthread.Boot(k)
+		fz := &fuzzResolver{k: k}
+		ready := make(chan struct{})
+		go func() {
+			err := app.Main(func(root *sthread.Sthread) {
+				rt, err := NewPooled(root, key, testZone(), Config{
+					Slots: 4,
+					// Short window: flows parked by FRAG inputs give their
+					// slots back quickly between executions.
+					IdleTimeout: 100 * time.Millisecond,
+					Hooks:       Hooks{Resolve: func() { fz.resolves.Add(1) }},
+				})
+				if err != nil {
+					panic(err)
+				}
+				fz.rt = rt
+				pc, err := root.Task.ListenPacket("dns:53")
+				if err != nil {
+					panic(err)
+				}
+				close(ready)
+				rt.ServePackets(pc)
+			})
+			if err != nil {
+				panic(err)
+			}
+		}()
+		<-ready
+		fuzzRes = fz
+	})
+	return fuzzRes
+}
+
+// FuzzDNSQuery feeds arbitrary first datagrams to the live worker
+// compartment — the untrusted parser of §2, datagram edition. The
+// properties fuzzed for: the worker never faults (Snapshot.Failed stays
+// zero: a parser crash would be an sthread death the runtime counts as
+// a failed flow), every first datagram draws exactly one reply (an 'A'
+// ack, an 'R' answer, or an 'R' REFUSED under load — never silence, so
+// the read below can never hang), and the signing compartment is
+// unreachable on malformed input (a datagram parseQuery rejects never
+// moves the resolve-gate counter).
+func FuzzDNSQuery(f *testing.F) {
+	seeds := [][]byte{
+		append([]byte{'Q', 0, 11}, "www.example"...),  // resolves
+		append([]byte{'Q', 0, 12}, "nope.example"...), // signed denial
+		append([]byte{'Q', 1, 4}, "mail"...),          // FRAG first half
+		{},                                            // empty datagram
+		{'Q'},                                         // truncated header
+		{'Q', 0, 0},                                   // empty name
+		{'Q', 0, 255},                                 // length word past the datagram
+		{'Q', 0, 1, 'a', 'b'},                         // trailing bytes
+		{'Q', 2, 3, 'a', 'b', 'c'},                    // undefined flag bit
+		{'C', 3, 'a', 'b', 'c'},                       // continuation with no query
+		{'R', 0, 0, 0, 0, 0, 0},                       // an answer, reflected
+		{0xff, 0xfe, 0xfd},                            // binary garbage
+		append([]byte{'Q', 0, 3}, 0, 0xff, 0x80),      // name with wild bytes
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	fz := startFuzzResolver(f)
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		if len(input) > maxDatagram {
+			input = input[:maxDatagram] // the transport would truncate anyway
+		}
+		_, _, wellFormed := parseQuery(input)
+		before := fz.resolves.Load()
+
+		pc, err := fz.k.Net.DialPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pc.Close()
+		if _, err := pc.WriteTo(input, "dns:53"); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		buf := make([]byte, maxDatagram)
+		n, _, err := pc.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		switch {
+		case n == 1 && buf[0] == 'A':
+			// FRAG ack; the parked worker expires on its own.
+		case n >= 3 && buf[0] == 'R':
+			a, err := parseAnswer(buf[:n])
+			if err != nil {
+				t.Fatalf("unparseable answer to %q: %v", input, err)
+			}
+			if !wellFormed {
+				if a.Status != StatusFormErr && a.Status != StatusRefused {
+					t.Fatalf("malformed %q answered with status %d", input, a.Status)
+				}
+				if got := fz.resolves.Load(); got != before {
+					t.Fatalf("malformed %q reached the resolve gate (%d invocations)", input, got-before)
+				}
+			}
+		default:
+			t.Fatalf("reply %q to %q is neither ack nor answer", buf[:n], input)
+		}
+		if s := fz.rt.Snapshot(); s.Failed != 0 {
+			t.Fatalf("worker compartment died: %d failed flows (input %q)", s.Failed, input)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"wedge/internal/dnsd"
 	"wedge/internal/gateabi"
 	"wedge/internal/httpd"
 	"wedge/internal/kernel"
@@ -30,7 +31,7 @@ var (
 // appSchemas is every schema a wedge application serves: arbitrary block
 // contents decoded through each must never fault or read past the block.
 func appSchemas() []*gateabi.Schema {
-	return []*gateabi.Schema{httpd.GateSchema(), sshd.GateSchema(), pop3.GateSchema()}
+	return []*gateabi.Schema{httpd.GateSchema(), sshd.GateSchema(), pop3.GateSchema(), dnsd.GateSchema()}
 }
 
 func startFuzzRig(f *testing.F) *fuzzRig {
@@ -63,8 +64,8 @@ func startFuzzRig(f *testing.F) *fuzzRig {
 }
 
 // FuzzGateABI writes arbitrary bytes into an argument block and decodes
-// every field of every application schema (httpd, sshd, pop3 — the
-// privsep monitor serves the sshd schema). The properties fuzzed for:
+// every field of every application schema (httpd, sshd, pop3, dnsd —
+// the privsep monitor serves the sshd schema). The properties fuzzed for:
 // decoding never faults (no panic; a fault would kill the root sthread
 // and the whole rig), a variable-length field whose resident length word
 // exceeds its capacity yields the typed *ArgBoundsError rather than a

@@ -11,10 +11,27 @@
 // requiring the looked-up state to anchor at exactly the gate's argument
 // base (state's Lease.Arg == the invocation's arg) keeps cross-slot
 // state unreachable even under a forged id.
+//
+// For datagram serving the table additionally carries last-touch
+// timestamps: a flow is "a source address we heard from recently", so
+// idle expiry needs to ask "has id i been quiet for d?" and remove it
+// atomically with the answer (RemoveIfIdle) — a separate Get+Delete
+// would race a packet arriving between the two. Ids are monotonic and
+// never reused, so an expired flow's id can never alias a later flow:
+// a stale id written into a slot's argument block after expiry simply
+// fails the lookup.
 
 package gatepool
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
+
+type connEntry[T any] struct {
+	v     T
+	touch time.Time
+}
 
 // ConnTable issues connection ids and stores per-connection values of
 // type T. The zero value is ready to use. All methods are safe for
@@ -22,18 +39,20 @@ import "sync"
 type ConnTable[T any] struct {
 	mu   sync.Mutex
 	next uint64
-	m    map[uint64]T
+	m    map[uint64]connEntry[T]
 }
 
-// Put stores v under a fresh id and returns the id.
+// Put stores v under a fresh id (stamped as touched now) and returns the
+// id. Ids are monotonic: no id is ever issued twice, even after Delete
+// or RemoveIfIdle, so expiry cannot cause id aliasing.
 func (c *ConnTable[T]) Put(v T) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.m == nil {
-		c.m = make(map[uint64]T)
+		c.m = make(map[uint64]connEntry[T])
 	}
 	c.next++
-	c.m[c.next] = v
+	c.m[c.next] = connEntry[T]{v: v, touch: time.Now()}
 	return c.next
 }
 
@@ -42,8 +61,8 @@ func (c *ConnTable[T]) Put(v T) uint64 {
 func (c *ConnTable[T]) Get(id uint64) (T, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	v, ok := c.m[id]
-	return v, ok
+	e, ok := c.m[id]
+	return e.v, ok
 }
 
 // Delete drops the value stored under id.
@@ -51,4 +70,51 @@ func (c *ConnTable[T]) Delete(id uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.m, id)
+}
+
+// Touch refreshes id's last-activity stamp, reporting whether the id is
+// still present (false means the entry already expired or was deleted —
+// the caller is looking at a dead flow and must re-register).
+func (c *ConnTable[T]) Touch(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[id]
+	if !ok {
+		return false
+	}
+	e.touch = time.Now()
+	c.m[id] = e
+	return true
+}
+
+// LastTouch returns id's last-activity stamp.
+func (c *ConnTable[T]) LastTouch(id uint64) (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[id]
+	return e.touch, ok
+}
+
+// RemoveIfIdle removes id iff its last touch is at least idle ago,
+// returning the removed value. The check and the removal are one
+// critical section: a Touch that lands first keeps the entry alive, a
+// Touch that lands after sees the entry gone and reports false — there
+// is no window where expiry removes a flow that just spoke.
+func (c *ConnTable[T]) RemoveIfIdle(id uint64, idle time.Duration) (T, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[id]
+	if !ok || time.Since(e.touch) < idle {
+		var zero T
+		return zero, false
+	}
+	delete(c.m, id)
+	return e.v, true
+}
+
+// Len reports the number of live entries.
+func (c *ConnTable[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
 }

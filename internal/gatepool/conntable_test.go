@@ -2,7 +2,9 @@ package gatepool
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestConnTableBasics: Put issues usable ids, Get returns exactly what
@@ -112,5 +114,101 @@ func TestConnTableConcurrent(t *testing.T) {
 				t.Fatalf("worker %d: id %d survives final Delete", w, id)
 			}
 		}
+	}
+}
+
+// TestConnTableTouch: Touch refreshes the last-activity stamp on live
+// entries and reports false on dead ones.
+func TestConnTableTouch(t *testing.T) {
+	var ct ConnTable[int]
+	id := ct.Put(7)
+	t0, ok := ct.LastTouch(id)
+	if !ok {
+		t.Fatal("LastTouch missing on fresh entry")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if !ct.Touch(id) {
+		t.Fatal("Touch on live entry = false")
+	}
+	t1, _ := ct.LastTouch(id)
+	if !t1.After(t0) {
+		t.Fatalf("Touch did not advance stamp: %v -> %v", t0, t1)
+	}
+	ct.Delete(id)
+	if ct.Touch(id) {
+		t.Fatal("Touch on deleted entry = true")
+	}
+	if _, ok := ct.LastTouch(id); ok {
+		t.Fatal("LastTouch on deleted entry present")
+	}
+}
+
+// TestConnTableRemoveIfIdle: removal happens only past the idle
+// threshold, exactly once, and a Touch resets the clock.
+func TestConnTableRemoveIfIdle(t *testing.T) {
+	var ct ConnTable[string]
+	id := ct.Put("flow")
+	if _, ok := ct.RemoveIfIdle(id, time.Hour); ok {
+		t.Fatal("fresh entry removed as idle")
+	}
+	if _, ok := ct.Get(id); !ok {
+		t.Fatal("failed RemoveIfIdle deleted the entry anyway")
+	}
+	time.Sleep(3 * time.Millisecond)
+	v, ok := ct.RemoveIfIdle(id, time.Millisecond)
+	if !ok || v != "flow" {
+		t.Fatalf("RemoveIfIdle = %q/%v, want flow/true", v, ok)
+	}
+	if _, ok := ct.RemoveIfIdle(id, 0); ok {
+		t.Fatal("second RemoveIfIdle on the same id succeeded")
+	}
+
+	id2 := ct.Put("live")
+	time.Sleep(3 * time.Millisecond)
+	ct.Touch(id2)
+	if _, ok := ct.RemoveIfIdle(id2, 2*time.Millisecond); ok {
+		t.Fatal("entry removed as idle right after Touch")
+	}
+}
+
+// TestConnTableExpireTouchRace races Touch against RemoveIfIdle on the
+// same id (the register/touch/expire/re-register cycle; run under -race
+// in CI). The two outcomes must stay mutually exclusive — either the
+// toucher saw the entry alive and it survived, or the expirer took it
+// and the toucher saw it dead — and re-registering afterwards must issue
+// a fresh id, never revive the old one.
+func TestConnTableExpireTouchRace(t *testing.T) {
+	var ct ConnTable[int]
+	for round := 0; round < 200; round++ {
+		id := ct.Put(round)
+		time.Sleep(100 * time.Microsecond)
+
+		var touched, removed atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			touched.Store(ct.Touch(id))
+		}()
+		go func() {
+			defer wg.Done()
+			_, ok := ct.RemoveIfIdle(id, 50*time.Microsecond)
+			removed.Store(ok)
+		}()
+		wg.Wait()
+
+		_, alive := ct.Get(id)
+		if removed.Load() == alive {
+			t.Fatalf("round %d: removed=%v but alive=%v", round, removed.Load(), alive)
+		}
+		if !removed.Load() && !touched.Load() {
+			t.Fatalf("round %d: neither removed nor touched; entry stuck in limbo", round)
+		}
+		id2 := ct.Put(round)
+		if id2 == id {
+			t.Fatalf("round %d: id reused across the expiry race", round)
+		}
+		ct.Delete(id2)
+		ct.Delete(id)
 	}
 }

@@ -614,6 +614,18 @@ func (t *Task) Listen(addr string) (*netsim.Listener, error) {
 	return t.k.Net.Listen(addr)
 }
 
+// ListenPacket binds a datagram socket. The socket is not a descriptor:
+// the serve runtime owns the packet loop directly and hands workers a
+// per-flow FileLike view instead, so a worker sthread never holds the
+// whole socket (one flow's descriptor cannot read another principal's
+// packets).
+func (t *Task) ListenPacket(addr string) (*netsim.PacketConn, error) {
+	if err := t.checkSyscall(selinux.ClassSocket, "listen"); err != nil {
+		return nil, err
+	}
+	return t.k.Net.ListenPacket(addr)
+}
+
 // Accept takes the next connection and installs it as a descriptor.
 func (t *Task) Accept(l *netsim.Listener, perm FDPerm) (int, error) {
 	if err := t.checkSyscall(selinux.ClassSocket, "accept"); err != nil {

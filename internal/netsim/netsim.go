@@ -211,6 +211,7 @@ type Interposer func(clientLeg *Conn, dialServer func() (*Conn, error))
 type Network struct {
 	mu          sync.Mutex
 	listeners   map[string]*Listener
+	packets     map[string]*PacketConn
 	taps        map[string]TapFunc
 	interposers map[string]Interposer
 	dialSeq     int
@@ -220,6 +221,7 @@ type Network struct {
 func New() *Network {
 	return &Network{
 		listeners:   make(map[string]*Listener),
+		packets:     make(map[string]*PacketConn),
 		taps:        make(map[string]TapFunc),
 		interposers: make(map[string]Interposer),
 	}
@@ -230,6 +232,9 @@ func (n *Network) Listen(addr string) (*Listener, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
+	}
+	if _, ok := n.packets[addr]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrAddrInUse, addr)
 	}
 	l := &Listener{net: n, addr: addr, queue: make(chan *Conn, 64)}

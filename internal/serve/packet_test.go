@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wedge/internal/gateabi"
+	"wedge/internal/gatepool"
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// The packet tests serve a datagram echo: the worker reads datagrams
+// from its flow descriptor and writes each one back prefixed with '+',
+// until expiry closes the flow (read fails → return 1, a clean end).
+var (
+	pktSchemaB = gateabi.NewSchema("pktecho")
+	_          = gateabi.ConnID(pktSchemaB)
+	_          = gateabi.FD(pktSchemaB)
+	pktSchema  = pktSchemaB.Seal()
+)
+
+type pktRig struct {
+	k  *kernel.Kernel
+	rt *PacketRuntime[int]
+	pc *netsim.PacketConn
+}
+
+func startPacketEcho(t *testing.T, app PacketApp[int], drive func(r *pktRig)) {
+	t.Helper()
+	k := kernel.New()
+	a := sthread.Boot(k)
+	done := make(chan error, 1)
+	ready := make(chan *pktRig, 1)
+	quit := make(chan struct{})
+	go func() {
+		done <- a.Main(func(root *sthread.Sthread) {
+			var rt *PacketRuntime[int]
+			app.Name = "pktecho"
+			app.Schema = pktSchema
+			app.OnPacket = "worker"
+			app.Gates = []gatepool.GateDef{{
+				Name: "worker",
+				Entry: func(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+					c := rt.Lookup(w, arg)
+					if c == nil {
+						return 0
+					}
+					c.State++ // flows are per-principal state
+					buf := make([]byte, 256)
+					for {
+						n, err := w.Task.ReadFD(c.FD, buf)
+						if err != nil {
+							return 1 // flow expired: clean end
+						}
+						out := append([]byte{'+'}, buf[:n]...)
+						if _, err := w.Task.WriteFD(c.FD, out); err != nil {
+							return 0
+						}
+					}
+				},
+			}}
+			var err error
+			rt, err = NewPacket(root, app)
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			pc, err := root.Task.ListenPacket("pkt:53")
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			go rt.ServePackets(pc)
+			ready <- &pktRig{k: k, rt: rt, pc: pc}
+			<-quit
+		})
+	}()
+	rig := <-ready
+	if rig == nil {
+		t.FailNow()
+	}
+	drive(rig)
+	rig.pc.Close()
+	if err := rig.rt.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	close(quit)
+	if err := <-done; err != nil {
+		t.Fatalf("main: %v", err)
+	}
+}
+
+// echoOnce sends one datagram from cli and checks the echoed reply.
+func echoOnce(t *testing.T, cli *netsim.PacketConn, msg string) {
+	t.Helper()
+	if _, err := cli.WriteTo([]byte(msg), "pkt:53"); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	n, from, err := cli.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "pkt:53" || string(buf[:n]) != "+"+msg {
+		t.Fatalf("reply %q from %q, want %q from pkt:53", buf[:n], from, "+"+msg)
+	}
+}
+
+// waitSnap polls the runtime snapshot until cond holds.
+func waitSnap(t *testing.T, rt *PacketRuntime[int], what string, cond func(Snapshot) bool) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := rt.Snapshot()
+		if cond(s) {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s; snapshot %+v", what, s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPacketFlowLifecycle: packets from one source share a flow (one
+// admission, one worker invocation, per-flow state intact across
+// packets); a silent flow expires, runs full teardown, and a later
+// packet from the same source starts a fresh flow.
+func TestPacketFlowLifecycle(t *testing.T) {
+	startPacketEcho(t, PacketApp[int]{Slots: 2, IdleTimeout: 120 * time.Millisecond},
+		func(rig *pktRig) {
+			cli, err := rig.k.Net.DialPacket()
+			if err != nil {
+				t.Fatal(err)
+			}
+			echoOnce(t, cli, "one")
+			echoOnce(t, cli, "two")
+			echoOnce(t, cli, "three")
+
+			s := rig.rt.Snapshot()
+			if s.Admitted != 1 {
+				t.Fatalf("Admitted = %d, want 1 (three packets, one flow)", s.Admitted)
+			}
+			if s.Flows != 1 || s.Packets != 3 {
+				t.Fatalf("Flows = %d, Packets = %d, want 1, 3", s.Flows, s.Packets)
+			}
+
+			// Silence: the wheel expires the flow and the worker unwinds
+			// as served (clean end).
+			s = waitSnap(t, rig.rt, "flow expiry", func(s Snapshot) bool {
+				return s.Expired >= 1 && s.Flows == 0
+			})
+			if s.Served != 1 {
+				t.Fatalf("Served = %d, want 1 after expiry unwind", s.Served)
+			}
+			if s.Pool.Busy != 0 {
+				t.Fatalf("Pool.Busy = %d after expiry, want 0 (lease released)", s.Pool.Busy)
+			}
+
+			// Same source again: fresh flow, fresh admission.
+			echoOnce(t, cli, "back")
+			s = rig.rt.Snapshot()
+			if s.Admitted != 2 || s.Flows != 1 {
+				t.Fatalf("Admitted = %d, Flows = %d after re-contact, want 2, 1", s.Admitted, s.Flows)
+			}
+		})
+}
+
+// TestPacketPrincipals: two sources get two concurrent flows.
+func TestPacketPrincipals(t *testing.T) {
+	startPacketEcho(t, PacketApp[int]{Slots: 2, IdleTimeout: 200 * time.Millisecond},
+		func(rig *pktRig) {
+			a, _ := rig.k.Net.DialPacket()
+			b, _ := rig.k.Net.DialPacket()
+			echoOnce(t, a, "from-a")
+			echoOnce(t, b, "from-b")
+			s := rig.rt.Snapshot()
+			if s.Flows != 2 || s.Admitted != 2 {
+				t.Fatalf("Flows = %d, Admitted = %d, want 2, 2", s.Flows, s.Admitted)
+			}
+			if s.Pool.Busy != 2 {
+				t.Fatalf("Pool.Busy = %d, want 2 (one lease per live flow)", s.Pool.Busy)
+			}
+		})
+}
+
+// TestPacketRefuse: a draining runtime answers first-contact packets
+// with the app's Refuse datagram instead of silence.
+func TestPacketRefuse(t *testing.T) {
+	app := PacketApp[int]{
+		Slots:       2,
+		IdleTimeout: 100 * time.Millisecond,
+		Refuse: func(payload []byte, err error) []byte {
+			if !errors.Is(err, ErrOverloaded) {
+				return nil
+			}
+			return []byte("REFUSED")
+		},
+	}
+	startPacketEcho(t, app, func(rig *pktRig) {
+		go rig.rt.Drain()
+		waitSnap(t, rig.rt, "draining state", func(s Snapshot) bool {
+			return s.State == StateDraining
+		})
+		cli, _ := rig.k.Net.DialPacket()
+		if _, err := cli.WriteTo([]byte("hello?"), "pkt:53"); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64)
+		n, _, err := cli.ReadFrom(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(buf[:n]) != "REFUSED" {
+			t.Fatalf("reply %q, want REFUSED", buf[:n])
+		}
+		s := rig.rt.Snapshot()
+		if s.Rejected != 1 {
+			t.Fatalf("Rejected = %d, want 1", s.Rejected)
+		}
+		rig.rt.Undrain()
+		echoOnce(t, cli, "again")
+	})
+}
+
+// TestPacketDrainWaitsForExpiry: Drain does not complete while a live
+// flow exists, and completes once the wheel expires it — the datagram
+// analogue of "drain completes in-flight connections".
+func TestPacketDrainWaitsForExpiry(t *testing.T) {
+	startPacketEcho(t, PacketApp[int]{Slots: 2, IdleTimeout: 150 * time.Millisecond},
+		func(rig *pktRig) {
+			cli, _ := rig.k.Net.DialPacket()
+			echoOnce(t, cli, "hold")
+			drained := make(chan struct{})
+			go func() {
+				rig.rt.Drain()
+				close(drained)
+			}()
+			select {
+			case <-drained:
+				t.Fatal("Drain completed with a live flow")
+			case <-time.After(20 * time.Millisecond):
+			}
+			select {
+			case <-drained:
+			case <-time.After(10 * time.Second):
+				t.Fatal("Drain never completed after flow expiry")
+			}
+			s := rig.rt.Snapshot()
+			if s.Expired != 1 || s.Inflight != 0 {
+				t.Fatalf("Expired = %d, Inflight = %d after drain, want 1, 0", s.Expired, s.Inflight)
+			}
+			rig.rt.Undrain()
+		})
+}

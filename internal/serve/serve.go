@@ -38,12 +38,15 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"wedge/internal/gateabi"
 	"wedge/internal/gatepool"
 	"wedge/internal/kernel"
 	"wedge/internal/netsim"
 	"wedge/internal/sthread"
+	"wedge/internal/timerwheel"
 	"wedge/internal/vm"
 )
 
@@ -150,6 +153,16 @@ type App[T any] struct {
 	// the last one applied and resizes the pool when it moved.
 	AutoSlots bool
 
+	// IdleTimeout, when positive, arms idle-connection reaping: a
+	// connection with no read or write activity for this long is closed
+	// by the runtime's timer wheel (the worker's blocked read fails and
+	// the connection unwinds through the normal teardown path, so
+	// EndConn, scrubbing, and leak accounting all still run). One wheel
+	// serves the whole runtime — no goroutine or runtime timer per
+	// connection — which is what makes reaping viable at the conn counts
+	// where it matters. Zero disables reaping.
+	IdleTimeout time.Duration
+
 	// InitConn populates c.State after the lease is acquired (the lease
 	// and its gates are available). Optional.
 	InitConn func(c *Conn[T]) error
@@ -188,6 +201,25 @@ type Runtime[T any] struct {
 	rejected    uint64
 	drains      uint64
 	autoResizes uint64
+	idleReaped  uint64
+	idleResched uint64
+
+	// wheel drives idle reaping; nil when App.IdleTimeout is zero.
+	wheel *timerwheel.Wheel
+}
+
+// idleTick picks a wheel quantum for an idle timeout: coarse enough that
+// the wheel goroutine is near-free, fine enough that a reap lands within
+// a small fraction of the timeout past the deadline.
+func idleTick(idle time.Duration) time.Duration {
+	tick := idle / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	return tick
 }
 
 // New builds a runtime from the descriptor: the pool (and so every
@@ -249,7 +281,86 @@ func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
 		return nil, err
 	}
 	r.pool = pool
+	if app.IdleTimeout > 0 {
+		r.wheel = timerwheel.New(idleTick(app.IdleTimeout), 0)
+		r.wheel.Start()
+	}
 	return r, nil
+}
+
+// touchConn wraps a connection so the idle reaper can see activity:
+// every completed read or write stamps an atomic last-touch time.
+type touchConn struct {
+	c  *netsim.Conn
+	ts atomic.Int64 // UnixNano of last activity
+}
+
+func newTouchConn(c *netsim.Conn) *touchConn {
+	t := &touchConn{c: c}
+	t.touch()
+	return t
+}
+
+func (t *touchConn) touch()          { t.ts.Store(time.Now().UnixNano()) }
+func (t *touchConn) last() time.Time { return time.Unix(0, t.ts.Load()) }
+
+func (t *touchConn) Read(b []byte) (int, error) {
+	n, err := t.c.Read(b)
+	if n > 0 {
+		t.touch()
+	}
+	return n, err
+}
+
+func (t *touchConn) Write(b []byte) (int, error) {
+	t.touch()
+	return t.c.Write(b)
+}
+
+func (t *touchConn) Close() error { return t.c.Close() }
+
+// armIdleReaper schedules the idle check for one connection and returns
+// the disarm function the connection's teardown must call. The wheel
+// fires at the full timeout from admission; if the connection was active
+// in the meantime the timer re-arms for the remaining window (so an
+// active connection costs one cheap wheel callback per idle period, not
+// per byte), and only a genuinely quiet connection is closed — which
+// unblocks its worker's read and sends it down the normal unwind path.
+func (r *Runtime[T]) armIdleReaper(tc *touchConn) (stop func()) {
+	idle := r.app.IdleTimeout
+	var mu sync.Mutex
+	var done bool
+	var timer *timerwheel.Timer
+	var fire func()
+	fire = func() {
+		mu.Lock()
+		if done {
+			mu.Unlock()
+			return
+		}
+		elapsed := time.Since(tc.last())
+		if elapsed >= idle {
+			mu.Unlock()
+			r.count(&r.idleReaped)
+			tc.c.Close()
+			return
+		}
+		timer = r.wheel.Schedule(idle-elapsed, fire)
+		mu.Unlock()
+		r.count(&r.idleResched)
+	}
+	mu.Lock()
+	timer = r.wheel.Schedule(idle, fire)
+	mu.Unlock()
+	return func() {
+		mu.Lock()
+		done = true
+		t := timer
+		mu.Unlock()
+		if t != nil {
+			t.Cancel(r.wheel)
+		}
+	}
 }
 
 // Lookup demultiplexes a gate invocation back to its connection record:
@@ -358,7 +469,14 @@ func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
 	defer r.depart()
 
 	root := r.root
-	fd := root.Task.InstallFD(conn, kernel.FDRW)
+	var file kernel.FileLike = conn
+	if r.wheel != nil {
+		tc := newTouchConn(conn)
+		file = tc
+		stop := r.armIdleReaper(tc)
+		defer stop()
+	}
+	fd := root.Task.InstallFD(file, kernel.FDRW)
 	defer root.Task.CloseFD(fd)
 
 	lease, err := r.pool.Acquire(principal)
@@ -512,6 +630,9 @@ func (r *Runtime[T]) Close() error {
 			r.state = StateClosed
 			r.quiet.Broadcast()
 			r.mu.Unlock()
+			if r.wheel != nil {
+				r.wheel.Stop()
+			}
 			return r.pool.Close()
 		}
 		// A concurrent Undrain re-opened the runtime between our Drain
@@ -559,6 +680,19 @@ type Snapshot struct {
 	Rejected uint64
 	Drains   uint64
 
+	// Idle-expiry counters. IdleReaped counts stream connections the
+	// wheel closed for inactivity; IdleResched counts timer re-arms for
+	// connections that were active when their check fired. The datagram
+	// runtime fills the remaining three: Packets is total datagrams
+	// through the packet loop, Flows is the current live flow count, and
+	// Expired counts flows ended by idle expiry (each one ran the full
+	// EndConn/scrub/teardown path).
+	IdleReaped  uint64
+	IdleResched uint64
+	Packets     uint64
+	Flows       int
+	Expired     uint64
+
 	Pool gatepool.Stats
 	Pins []SlotPin
 }
@@ -585,6 +719,9 @@ func (r *Runtime[T]) Snapshot() Snapshot {
 		Failed:   r.failed,
 		Rejected: r.rejected,
 		Drains:   r.drains,
+
+		IdleReaped:  r.idleReaped,
+		IdleResched: r.idleResched,
 
 		Pool: ps,
 	}

@@ -1,0 +1,246 @@
+// Package timerwheel is a hashed timer wheel: O(1) schedule and cancel,
+// O(per-tick expiry) advance, and no goroutine per timer — the shape a
+// serve runtime needs when the number of pending timeouts tracks the
+// number of connections rather than the number of cores. A heap-based
+// scheme (or one goroutine per time.AfterFunc) pays O(log n) per
+// operation and a runtime timer per entry; the wheel pays a fixed array
+// of buckets and an intrusive list node per entry, which is what lets
+// idle-expiry scale to the conn-table sizes the ROADMAP's
+// million-connection soak needs.
+//
+// The design is the classic hashed wheel (mintmr-style): time is
+// quantized into coarse ticks, the buckets form a power-of-two ring, and
+// a timer due in d ticks lands in bucket (cur + d) mod N carrying
+// rotations = d / N. Each Advance steps the ring by one bucket, fires the
+// entries whose rotation count reached zero, and decrements the rest —
+// so a timer far in the future is touched only once per full rotation,
+// not once per tick.
+//
+// Precision is deliberately coarse: a timer fires no earlier than its
+// deadline, and no later than one tick past it (plus scheduling delay).
+// Idle expiry wants exactly this trade — thousands of cheap, sloppy
+// timeouts — and callers that need a sharp deadline re-check wall time in
+// the callback (which is what serve's idle reaper does: fire, compare
+// last-touch, re-arm for the remainder if the flow was active).
+//
+// The wheel can be driven two ways: Start launches one goroutine that
+// Advances on a real-time ticker (one goroutine per wheel, never per
+// timer), and Advance can be called directly, which is how the unit
+// tests make expiry deterministic.
+package timerwheel
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultBuckets is the ring size used when New is given n <= 0. 256
+// buckets at the default tick keep a timer's rotation count at zero for
+// any delay under 256 ticks — one list touch per timer, total.
+const DefaultBuckets = 256
+
+// Timer is one scheduled callback. The zero value is meaningless; Timers
+// come from Wheel.Schedule.
+type Timer struct {
+	// Intrusive doubly-linked list node: unlink on cancel is O(1) with
+	// no search, which is what keeps cancel off the scale curve (every
+	// packet that arrives in time cancels or outruns a pending expiry).
+	next, prev *Timer
+	bucket     int // owning bucket while linked, -1 when not
+	rotations  int
+	fn         func()
+	fired      bool
+}
+
+// Wheel is a hashed timer wheel. All methods are safe for concurrent
+// use; callbacks run outside the wheel lock (on the Advance caller's
+// goroutine, or the Start goroutine), so a callback may freely Schedule
+// and Cancel.
+type Wheel struct {
+	tick time.Duration
+
+	mu      sync.Mutex
+	buckets []Timer // sentinel nodes; ring list per bucket
+	mask    int
+	cur     int
+	pending int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a wheel with the given tick quantum and bucket count
+// (rounded up to a power of two; n <= 0 means DefaultBuckets). The tick
+// is the wheel's precision floor: a schedule for less than one tick
+// still waits one full tick, so it can never fire early.
+func New(tick time.Duration, n int) *Wheel {
+	if tick <= 0 {
+		tick = 10 * time.Millisecond
+	}
+	if n <= 0 {
+		n = DefaultBuckets
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	w := &Wheel{tick: tick, buckets: make([]Timer, size), mask: size - 1}
+	for i := range w.buckets {
+		s := &w.buckets[i]
+		s.next, s.prev = s, s
+		s.bucket = i
+	}
+	return w
+}
+
+// Tick returns the wheel's quantum.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Len reports the number of pending (scheduled, not yet fired or
+// cancelled) timers.
+func (w *Wheel) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.pending
+}
+
+// Schedule arms fn to run after at least d. The callback runs on the
+// advancing goroutine; long work belongs on the callback's own goroutine.
+func (w *Wheel) Schedule(d time.Duration, fn func()) *Timer {
+	ticks := int((d + w.tick - 1) / w.tick)
+	if ticks < 1 {
+		// Never fire within the current tick: the caller asked for "at
+		// least d", and the current tick is already partially elapsed.
+		ticks = 1
+	}
+	t := &Timer{fn: fn}
+	w.mu.Lock()
+	idx := (w.cur + ticks) & w.mask
+	// The bucket's first visit comes ((ticks-1) mod size)+1 ticks from
+	// now, so the rotation count is floor((ticks-1)/size) — using
+	// ticks/size would make any delay that is an exact multiple of the
+	// ring size wait one whole extra rotation.
+	t.rotations = (ticks - 1) >> w.log2()
+	w.linkLocked(t, idx)
+	w.mu.Unlock()
+	return t
+}
+
+// log2 returns log2 of the ring size. mask is size-1 with size a power
+// of two, so counting its set bits is the exponent.
+func (w *Wheel) log2() int {
+	n := 0
+	for m := w.mask; m != 0; m >>= 1 {
+		n++
+	}
+	return n
+}
+
+// linkLocked appends t to bucket idx.
+func (w *Wheel) linkLocked(t *Timer, idx int) {
+	s := &w.buckets[idx]
+	t.bucket = idx
+	t.prev = s.prev
+	t.next = s
+	s.prev.next = t
+	s.prev = t
+	w.pending++
+}
+
+// unlinkLocked removes t from its bucket.
+func (w *Wheel) unlinkLocked(t *Timer) {
+	t.prev.next = t.next
+	t.next.prev = t.prev
+	t.next, t.prev = nil, nil
+	t.bucket = -1
+	w.pending--
+}
+
+// Cancel disarms the timer. It reports whether the timer was still
+// pending: false means the callback already ran (or began running) or
+// the timer was cancelled before. Cancel never blocks on the callback.
+func (t *Timer) Cancel(w *Wheel) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if t.fired || t.bucket < 0 {
+		return false
+	}
+	w.unlinkLocked(t)
+	return true
+}
+
+// Advance steps the wheel by n ticks, firing every timer that comes due.
+// Callbacks run after the due list is collected, outside the wheel lock,
+// in bucket order.
+func (w *Wheel) Advance(n int) {
+	for i := 0; i < n; i++ {
+		w.advanceOne()
+	}
+}
+
+func (w *Wheel) advanceOne() {
+	var due []*Timer
+	w.mu.Lock()
+	w.cur = (w.cur + 1) & w.mask
+	s := &w.buckets[w.cur]
+	for t := s.next; t != s; {
+		next := t.next
+		if t.rotations > 0 {
+			t.rotations--
+		} else {
+			w.unlinkLocked(t)
+			t.fired = true
+			due = append(due, t)
+		}
+		t = next
+	}
+	w.mu.Unlock()
+	for _, t := range due {
+		t.fn()
+	}
+}
+
+// Start drives the wheel from a real-time ticker on one goroutine (for
+// the whole wheel, regardless of how many timers it carries). Calling
+// Start twice without Stop panics — two drivers would double the wheel's
+// clock rate.
+func (w *Wheel) Start() {
+	w.mu.Lock()
+	if w.stop != nil {
+		w.mu.Unlock()
+		panic("timerwheel: Start called twice")
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	w.stop, w.done = stop, done
+	w.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(w.tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				w.advanceOne()
+			}
+		}
+	}()
+}
+
+// Stop halts the Start goroutine and waits for it to exit (any callback
+// it was running completes first). Pending timers stay scheduled; a
+// later Start resumes them. Stop without Start is a no-op.
+func (w *Wheel) Stop() {
+	w.mu.Lock()
+	stop, done := w.stop, w.done
+	w.stop, w.done = nil, nil
+	w.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}

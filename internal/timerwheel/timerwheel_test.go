@@ -1,0 +1,259 @@
+package timerwheel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tick is the quantum used by the manual-Advance tests. Its absolute
+// value is irrelevant there: Advance counts ticks, not wall time.
+const tick = time.Millisecond
+
+// TestFireOrder schedules timers at staggered delays and checks each
+// fires on exactly its due tick — never early, never a tick late.
+func TestFireOrder(t *testing.T) {
+	w := New(tick, 8)
+	var fired []int
+	for _, d := range []int{3, 1, 5, 1} {
+		d := d
+		w.Schedule(time.Duration(d)*tick, func() { fired = append(fired, d) })
+	}
+	if got := w.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	w.Advance(1)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 1 {
+		t.Fatalf("after tick 1: fired = %v, want [1 1]", fired)
+	}
+	w.Advance(1)
+	if len(fired) != 2 {
+		t.Fatalf("after tick 2: fired = %v, want still [1 1]", fired)
+	}
+	w.Advance(1)
+	if len(fired) != 3 || fired[2] != 3 {
+		t.Fatalf("after tick 3: fired = %v, want [1 1 3]", fired)
+	}
+	w.Advance(2)
+	if len(fired) != 4 || fired[3] != 5 {
+		t.Fatalf("after tick 5: fired = %v, want [1 1 3 5]", fired)
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("Len after all fired = %d, want 0", got)
+	}
+}
+
+// TestSubTickDelayRoundsUp: a delay shorter than one tick (including
+// zero) still waits a full tick — the wheel never fires early.
+func TestSubTickDelayRoundsUp(t *testing.T) {
+	w := New(tick, 8)
+	n := 0
+	w.Schedule(0, func() { n++ })
+	w.Schedule(tick/2, func() { n++ })
+	if n != 0 {
+		t.Fatalf("fired at schedule time")
+	}
+	w.Advance(1)
+	if n != 2 {
+		t.Fatalf("after one tick: n = %d, want 2", n)
+	}
+}
+
+// TestRotationWrap covers delays beyond one ring rotation, including the
+// exact-multiple-of-ring-size boundary where a naive ticks/size rotation
+// count waits one whole extra rotation.
+func TestRotationWrap(t *testing.T) {
+	const size = 8
+	w := New(tick, size)
+	for _, ticks := range []int{size - 1, size, size + 1, 2 * size, 3*size + 2} {
+		ticks := ticks
+		fired := false
+		w.Schedule(time.Duration(ticks)*tick, func() { fired = true })
+		w.Advance(ticks - 1)
+		if fired {
+			t.Fatalf("d=%d ticks: fired a tick early", ticks)
+		}
+		w.Advance(1)
+		if !fired {
+			t.Fatalf("d=%d ticks: not fired on due tick", ticks)
+		}
+	}
+}
+
+// TestCancel: cancel before firing suppresses the callback and reports
+// true; cancel after firing (or double cancel) reports false.
+func TestCancel(t *testing.T) {
+	w := New(tick, 8)
+	n := 0
+	tm := w.Schedule(2*tick, func() { n++ })
+	if !tm.Cancel(w) {
+		t.Fatalf("first Cancel = false, want true")
+	}
+	if tm.Cancel(w) {
+		t.Fatalf("second Cancel = true, want false")
+	}
+	w.Advance(4)
+	if n != 0 {
+		t.Fatalf("cancelled timer fired")
+	}
+	if got := w.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+
+	tm2 := w.Schedule(tick, func() { n++ })
+	w.Advance(1)
+	if n != 1 {
+		t.Fatalf("timer did not fire")
+	}
+	if tm2.Cancel(w) {
+		t.Fatalf("Cancel after fire = true, want false")
+	}
+}
+
+// TestRescheduleFromCallback: a callback may schedule follow-up timers
+// on the same wheel (expiry re-arming relies on this), and the follow-up
+// keeps its own full delay.
+func TestRescheduleFromCallback(t *testing.T) {
+	w := New(tick, 8)
+	var seq []string
+	w.Schedule(tick, func() {
+		seq = append(seq, "first")
+		w.Schedule(2*tick, func() { seq = append(seq, "second") })
+	})
+	w.Advance(2)
+	if len(seq) != 1 || seq[0] != "first" {
+		t.Fatalf("after 2 ticks: seq = %v, want [first]", seq)
+	}
+	w.Advance(1)
+	if len(seq) != 2 || seq[1] != "second" {
+		t.Fatalf("after 3 ticks: seq = %v, want [first second]", seq)
+	}
+}
+
+// TestCancelFromCallback: one due timer's callback cancelling another
+// not-yet-due timer must take effect (the due list is collected before
+// callbacks run, but only for the current bucket).
+func TestCancelFromCallback(t *testing.T) {
+	w := New(tick, 8)
+	n := 0
+	victim := w.Schedule(3*tick, func() { n++ })
+	w.Schedule(tick, func() { victim.Cancel(w) })
+	w.Advance(5)
+	if n != 0 {
+		t.Fatalf("cancelled-from-callback timer fired")
+	}
+}
+
+// TestBucketRounding: a non-power-of-two bucket request rounds up and
+// the wheel still fires at the requested delay.
+func TestBucketRounding(t *testing.T) {
+	w := New(tick, 5) // rounds to 8
+	fired := false
+	w.Schedule(6*tick, func() { fired = true })
+	w.Advance(5)
+	if fired {
+		t.Fatalf("fired early")
+	}
+	w.Advance(1)
+	if !fired {
+		t.Fatalf("not fired at due tick")
+	}
+}
+
+// TestStartStop drives the wheel from the real-time ticker: a short
+// timer fires without any Advance call, and Stop is idempotent and
+// leaves pending timers scheduled.
+func TestStartStop(t *testing.T) {
+	w := New(2*time.Millisecond, 8)
+	var fired atomic.Int32
+	w.Schedule(4*time.Millisecond, func() { fired.Add(1) })
+	w.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for fired.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker-driven timer never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	w.Schedule(time.Hour, func() { fired.Add(1) })
+	w.Stop()
+	w.Stop() // idempotent
+	if got := w.Len(); got != 1 {
+		t.Fatalf("Len after Stop = %d, want 1 (pending timer survives)", got)
+	}
+}
+
+// TestStartTwicePanics: double Start would double the wheel's clock.
+func TestStartTwicePanics(t *testing.T) {
+	w := New(time.Hour, 8)
+	w.Start()
+	defer w.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("second Start did not panic")
+		}
+	}()
+	w.Start()
+}
+
+// TestConcurrent hammers Schedule/Cancel/Advance from many goroutines;
+// run under -race this is the wheel's race test. Every timer must either
+// fire exactly once or be cancelled exactly once, and the wheel must end
+// empty after a full drain.
+func TestConcurrent(t *testing.T) {
+	const (
+		workers    = 8
+		perWorker  = 200
+		maxDelayTk = 64
+	)
+	w := New(tick, 16)
+	var fired, cancelled atomic.Int64
+	var wg sync.WaitGroup
+	stopAdv := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stopAdv:
+				return
+			default:
+				w.Advance(1)
+			}
+		}
+	}()
+	var sched sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		i := i
+		sched.Add(1)
+		go func() {
+			defer sched.Done()
+			for j := 0; j < perWorker; j++ {
+				d := time.Duration(1+(i*perWorker+j)%maxDelayTk) * tick
+				tm := w.Schedule(d, func() { fired.Add(1) })
+				if j%3 == 0 {
+					if tm.Cancel(w) {
+						cancelled.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	sched.Wait()
+	// Drain: keep advancing until everything pending has fired.
+	deadline := time.Now().Add(10 * time.Second)
+	for w.Len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("wheel did not drain: Len = %d", w.Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stopAdv)
+	wg.Wait()
+	total := fired.Load() + cancelled.Load()
+	if want := int64(workers * perWorker); total != want {
+		t.Fatalf("fired %d + cancelled %d = %d, want %d (every timer exactly once)",
+			fired.Load(), cancelled.Load(), total, want)
+	}
+}
