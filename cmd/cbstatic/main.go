@@ -16,6 +16,11 @@
 //	cbstatic -dump-model trace...
 //	    print the lifted skeleton in model-file format, for hand editing.
 //
+// Traces are optional when -model is given: a model emitted by
+// `wedgevet model` (derived statically from source) stands on its own,
+// so `cbstatic -model derived.model -accessed-by proc` answers from the
+// static superset alone, and any traces supplied are diffed against it.
+//
 // The output demonstrates the paper's §7 trade-off: static permissions
 // never cause a protection violation, but they can include privileges for
 // sensitive data an exploit could then leak; dynamic traces grant only
@@ -42,7 +47,7 @@ func main() {
 	dumpModel := flag.Bool("dump-model", false, "print the lifted skeleton in model-file format")
 	flag.Parse()
 
-	if (*accessedBy == "") == !*dumpModel || flag.NArg() == 0 {
+	if (*accessedBy == "") == !*dumpModel || (flag.NArg() == 0 && *modelPath == "") {
 		flag.Usage()
 		os.Exit(2)
 	}

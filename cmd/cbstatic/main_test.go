@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"wedge/internal/crowbar"
+)
+
+// The -model flag feeds a hand-written (or wedgevet-emitted) model file
+// into crowbar.ParseModel on top of a lifted skeleton. These tests pin
+// the parsing contract cbstatic depends on.
+
+func TestModelEmptyFile(t *testing.T) {
+	prog := crowbar.NewStaticProgram()
+	if err := crowbar.ParseModel(prog, strings.NewReader("")); err != nil {
+		t.Fatalf("empty model rejected: %v", err)
+	}
+	if got := prog.Funcs(); len(got) != 0 {
+		t.Fatalf("empty model declared functions: %v", got)
+	}
+	// Comment- and blank-only files are equally empty.
+	if err := crowbar.ParseModel(prog, strings.NewReader("# only a comment\n\n\t\n")); err != nil {
+		t.Fatalf("comment-only model rejected: %v", err)
+	}
+	if got := prog.Funcs(); len(got) != 0 {
+		t.Fatalf("comment-only model declared functions: %v", got)
+	}
+}
+
+func TestModelDuplicateDeclarations(t *testing.T) {
+	const model = `call gate helper
+call gate helper
+read gate arg:s.op
+read gate arg:s.op
+write gate arg:s.out
+write gate arg:s.out
+`
+	prog := crowbar.NewStaticProgram()
+	if err := crowbar.ParseModel(prog, strings.NewReader(model)); err != nil {
+		t.Fatalf("duplicate declarations rejected: %v", err)
+	}
+	f := prog.Func("gate")
+	if got := f.Callees(); len(got) != 1 || got[0] != "helper" {
+		t.Fatalf("duplicate call lines not collapsed: %v", got)
+	}
+	perms := prog.StaticAccessedBy("gate")
+	if len(perms) != 2 {
+		t.Fatalf("duplicate access lines not collapsed: %v", perms)
+	}
+	if perms["arg:s.op"].Mode() != "r" || perms["arg:s.out"].Mode() != "w" {
+		t.Fatalf("modes wrong after duplicates: %v", perms)
+	}
+}
+
+func TestModelMalformedLines(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":    "read gate",
+		"too many fields":   "write gate item extra",
+		"unknown directive": "grant gate arg:s.op",
+		"late error":        "call a b\nread b arg:s.x\nbogus",
+	}
+	for name, model := range cases {
+		if err := crowbar.ParseModel(crowbar.NewStaticProgram(), strings.NewReader(model)); err == nil {
+			t.Errorf("%s: ParseModel(%q) accepted", name, model)
+		}
+	}
+}
+
+// TestModelExtendsSkeleton mirrors the -model flow: declarations layer
+// onto an existing program and the closure sees both.
+func TestModelExtendsSkeleton(t *testing.T) {
+	prog := crowbar.NewStaticProgram()
+	prog.Func("app").Call("gate")
+	prog.Func("gate").Read("arg:s.op")
+
+	const extra = "call gate audit\nread audit global:key_material\n"
+	if err := crowbar.ParseModel(prog, strings.NewReader(extra)); err != nil {
+		t.Fatal(err)
+	}
+	perms := prog.StaticAccessedBy("app")
+	if perms["arg:s.op"].Mode() != "r" {
+		t.Fatalf("skeleton access lost: %v", perms)
+	}
+	if perms["global:key_material"].Mode() != "r" {
+		t.Fatalf("model access not reachable through skeleton: %v", perms)
+	}
+}

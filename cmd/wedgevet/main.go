@@ -1,0 +1,32 @@
+// Command wedgevet is the multichecker driver for the wedgevet static
+// analysis suite (internal/wedgevet): gateargs, gatecapture,
+// scrubfootprint, and lockcallback, the compile-time counterparts of
+// the repo's runtime isolation tests.
+//
+// It speaks the go vet unit-checker protocol, so the usual invocation
+// reuses the toolchain's package graph and caching:
+//
+//	go build -o /tmp/wedgevet ./cmd/wedgevet
+//	go vet -vettool=/tmp/wedgevet ./...
+//
+// A second mode emits the statically-derived per-gate permission sets
+// in crowbar's model-file format (see cmd/cbstatic), closing the §7
+// loop: the Go source's own static skeleton can be diffed against what
+// dynamic traces justify:
+//
+//	wedgevet model -o wedgevet.model ./internal/httpd ./internal/sshd
+package main
+
+import (
+	"os"
+
+	"wedge/internal/wedgevet"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "model" {
+		wedgevet.ModelMain(os.Args[2:])
+		return
+	}
+	wedgevet.Main(wedgevet.Analyzers())
+}

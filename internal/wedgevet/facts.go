@@ -1,0 +1,147 @@
+// Fact storage and wire encoding. Facts are statements about
+// package-level objects, keyed by (analyzer, package path, object
+// name). A pass exports facts about its own package; the driver
+// serializes the pass's full fact view (own plus imported) into the
+// package's .vetx file, so a dependent package's pass sees the
+// transitive closure — the same propagation scheme the go toolchain
+// uses for export data. Cross-package lookups resolve through the
+// object's package path and name, which confines *cross-package* facts
+// to exported objects (an unexported object is not in the importer's
+// view of the package anyway); within a package, facts on unexported
+// objects work normally.
+
+package wedgevet
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"os"
+	"reflect"
+)
+
+// RegisterFact records a fact's concrete type for gob. Every Fact type
+// must be registered from an init function of the analyzer declaring it.
+func RegisterFact(f Fact) { gob.Register(f) }
+
+type factKey struct {
+	analyzer string
+	pkg      string
+	obj      string
+}
+
+type factStore struct {
+	m map[factKey][]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{m: make(map[factKey][]Fact)}
+}
+
+func (s *factStore) export(analyzer string, obj types.Object, fact Fact) {
+	key := factKey{analyzer, obj.Pkg().Path(), obj.Name()}
+	// Replace an existing fact of the same concrete type: re-running an
+	// analyzer over fresher syntax supersedes, never duplicates.
+	for i, f := range s.m[key] {
+		if reflect.TypeOf(f) == reflect.TypeOf(fact) {
+			s.m[key][i] = fact
+			return
+		}
+	}
+	s.m[key] = append(s.m[key], fact)
+}
+
+func (s *factStore) lookup(analyzer string, obj types.Object, ptr Fact) bool {
+	if obj.Pkg() == nil {
+		return false
+	}
+	key := factKey{analyzer, obj.Pkg().Path(), obj.Name()}
+	want := reflect.TypeOf(ptr)
+	for _, f := range s.m[key] {
+		if reflect.TypeOf(f) == want {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+func (s *factStore) all(analyzer string, _ *types.Package) []ObjFact {
+	var out []ObjFact
+	for key, facts := range s.m {
+		if key.analyzer != analyzer {
+			continue
+		}
+		for _, f := range facts {
+			out = append(out, ObjFact{Pkg: key.pkg, Name: key.obj, Fact: f})
+		}
+	}
+	return out
+}
+
+// wireFact is the gob-serialized form of one stored fact.
+type wireFact struct {
+	Analyzer string
+	Pkg      string
+	Obj      string
+	Fact     Fact
+}
+
+// encode serializes the store's entire contents (the transitive fact
+// closure this pass saw).
+func (s *factStore) encode() ([]byte, error) {
+	var facts []wireFact
+	for key, fs := range s.m {
+		for _, f := range fs {
+			facts = append(facts, wireFact{Analyzer: key.analyzer, Pkg: key.pkg, Obj: key.obj, Fact: f})
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(facts); err != nil {
+		return nil, fmt.Errorf("wedgevet: encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// merge decodes a wire-format fact file into the store. Unknown gob
+// types mean the vetx file was produced by a different wedgevet build;
+// the driver treats that as corrupt (the go tool's cache keys on the
+// tool's build ID, so it should not happen in practice).
+func (s *factStore) merge(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var facts []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&facts); err != nil {
+		return fmt.Errorf("wedgevet: decoding facts: %w", err)
+	}
+	for _, wf := range facts {
+		key := factKey{wf.Analyzer, wf.Pkg, wf.Obj}
+		dup := false
+		for _, f := range s.m[key] {
+			if reflect.TypeOf(f) == reflect.TypeOf(wf.Fact) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.m[key] = append(s.m[key], wf.Fact)
+		}
+	}
+	return nil
+}
+
+// mergeFile merges the facts serialized in path; a missing or empty
+// file contributes nothing (a dependency with no facts still writes an
+// empty vetx).
+func (s *factStore) mergeFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	return s.merge(data)
+}

@@ -1,0 +1,325 @@
+// gateargs: argument-block I/O in application code goes through gateabi
+// field handles, nothing else.
+//
+// The typed gate ABI (PR 5) deleted every hand-written offset constant
+// and every raw Load64/Store64 on a gate argument block; the only guard
+// against their return was a CI regex grep over identifier names. This
+// analyzer enforces the invariant with the AST and type precision the
+// grep cannot have:
+//
+//   - it knows which addresses are argument blocks (the arg parameter
+//     of a gate- or body-shaped function, and anything derived from it
+//     by local assignment), so raw sthread memory calls on trusted
+//     blob addresses stay legal while the same call on an arg block is
+//     flagged;
+//   - it flags offset arithmetic on an arg-block address itself, not
+//     just the constant names the old grep knew about;
+//   - the resurrected-constant check matches declared integer constants
+//     and variables, not comments, strings, or unrelated identifiers.
+
+package wedgevet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GateArgsPackages is the set of audited application packages, keyed by
+// import path. Tests extend it to cover golden packages.
+var GateArgsPackages = map[string]bool{
+	"wedge/internal/httpd":   true,
+	"wedge/internal/sshd":    true,
+	"wedge/internal/pop3":    true,
+	"wedge/internal/dnsd":    true,
+	"wedge/internal/minissl": true,
+}
+
+// rawMemMethods are the (*sthread.Sthread) accessors that bypass the
+// gateabi codecs.
+var rawMemMethods = map[string]bool{
+	"Read": true, "Write": true, "TryRead": true, "TryWrite": true,
+	"Load64": true, "Store64": true, "Zero": true,
+	"ReadString": true, "WriteString": true,
+}
+
+// offsetConstName matches the retired offset-constant families the old
+// CI grep guarded against (PR 5 deleted them; nothing may redeclare
+// them). The alternation is the grep's, verbatim.
+var offsetConstName = regexp.MustCompile(`^(sshArg(Op|StrLen|Str|SigLen|Sig|PwFound|PwUID|PwHome|AuthOK|ChalN|ConnID|PoolFD|Size)|p3(Op|StrLen|Str|MsgNum|OutLen|Out|OutMax|ConnID|PoolFD|Size)|arg(Op|ConnID|ClientRandom|SessionIDLen|SessionID|ServerRandom|Resumed|Master|Keys|DataLen|Data|SessionIDOut|PoolFD|Size))$`)
+
+// GateArgsAnalyzer is the gateargs suite entry.
+var GateArgsAnalyzer = &Analyzer{
+	Name: "gateargs",
+	Doc: "argument-block I/O in application code must go through gateabi field handles;" +
+		" raw sthread memory calls on arg-block addresses, offset arithmetic on them," +
+		" and resurrected offset-constant names are violations",
+	Run: runGateArgs,
+}
+
+func runGateArgs(pass *Pass) error {
+	if !GateArgsPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			// The runtime tests deliberately poke blocks raw — they
+			// simulate exploited workers; the invariant binds servers.
+			continue
+		}
+		checkOffsetConstants(pass, file)
+		forEachFunc(file, func(fn funcNode) {
+			checkGateArgsFunc(pass, fn)
+		})
+	}
+	return nil
+}
+
+// isTestFile reports whether file is a _test.go file.
+func isTestFile(pass *Pass, file *ast.File) bool {
+	name := pass.Fset.Position(file.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// checkOffsetConstants flags const/var declarations of integer kind
+// whose names match the retired offset families.
+func checkOffsetConstants(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for _, id := range spec.Names {
+			if !offsetConstName.MatchString(id.Name) {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil || !isIntegerish(obj.Type()) {
+				continue
+			}
+			pass.Reportf(id.Pos(), "resurrected argument-block offset constant %s; the gateabi schema owns the block layout", id.Name)
+		}
+		return true
+	})
+}
+
+func isIntegerish(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsInteger|types.IsUntyped) != 0
+}
+
+// checkGateArgsFunc runs the arg-block taint scan over one function
+// (declaration or literal) in an audited package.
+func checkGateArgsFunc(pass *Pass, fn funcNode) {
+	tainted := argBlockParams(pass, fn)
+	if len(tainted) == 0 {
+		return
+	}
+	// Nested closures are scanned too: a closure capturing the outer
+	// arg address must obey the same rule (it is scanned again as its
+	// own funcNode for its own parameters; the taint sets differ, so
+	// nothing double-reports).
+	propagateTaint(pass, fn, tainted)
+
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !arithOp(n.Op) {
+				return true
+			}
+			if mentionsTainted(pass, n.X, tainted) || mentionsTainted(pass, n.Y, tainted) {
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isVMAddr(tv.Type) {
+					pass.Reportf(n.Pos(), "offset arithmetic on an argument-block address; the block layout belongs to the gateabi schema's field handles")
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !rawMemMethods[sel.Sel.Name] {
+				return true
+			}
+			recv := pass.TypesInfo.Selections[sel]
+			if recv == nil || !isSthreadPtr(recv.Recv()) {
+				return true
+			}
+			if len(n.Args) > 0 && mentionsTainted(pass, n.Args[0], tainted) {
+				pass.Reportf(n.Pos(), "raw %s on an argument-block address bypasses the gateabi field handles", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// propagateTaint grows the tainted set through simple local
+// assignments (`x := <tainted expr>` where x is a vm.Addr), to a
+// fixpoint. Two rounds suffice for straight-line aliasing; the bound
+// keeps pathological code from spinning.
+func propagateTaint(pass *Pass, fn funcNode, tainted map[*types.Var]bool) {
+	for range 4 {
+		grew := false
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !mentionsTainted(pass, rhs, tainted) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if v, ok := obj.(*types.Var); ok && isVMAddr(v.Type()) && !tainted[v] {
+						tainted[v] = true
+						grew = true
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+}
+
+func arithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT:
+		return true
+	}
+	return false
+}
+
+// funcNode is one function body with its declaring node (FuncDecl or
+// FuncLit) and signature parameters.
+type funcNode struct {
+	node   ast.Node
+	ftype  *ast.FuncType
+	body   *ast.BlockStmt
+	isDecl bool
+}
+
+// forEachFunc visits every function declaration and literal in file.
+func forEachFunc(file *ast.File, visit func(funcNode)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(funcNode{node: n, ftype: n.Type, body: n.Body, isDecl: true})
+			}
+		case *ast.FuncLit:
+			visit(funcNode{node: n, ftype: n.Type, body: n.Body})
+		}
+		return true
+	})
+}
+
+// argBlockParams returns the function's parameters that hold an
+// argument-block base address: the second parameter of an exact
+// gate-shaped signature (GateFunc: (s, arg, trusted) -> ret, all
+// addresses), or any vm.Addr parameter named "arg" (worker-body helpers
+// pass the block base on under that name). Address parameters under
+// other names — trusted blob bases, session regions, scratch cells —
+// stay untainted; that is the precision the old grep could not have.
+func argBlockParams(pass *Pass, fn funcNode) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	params := flatParams(pass, fn.ftype)
+	gateShaped := len(params) == 3 &&
+		isSthreadPtr(params[0].Type()) &&
+		isVMAddr(params[1].Type()) &&
+		isVMAddr(params[2].Type()) &&
+		singleAddrResult(pass, fn.ftype)
+	for i, p := range params {
+		if !isVMAddr(p.Type()) {
+			continue
+		}
+		if p.Name() == "arg" || (gateShaped && i == 1) {
+			out[p] = true
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// singleAddrResult reports whether the function returns exactly one
+// vm.Addr.
+func singleAddrResult(pass *Pass, ftype *ast.FuncType) bool {
+	if ftype.Results == nil || len(ftype.Results.List) != 1 {
+		return false
+	}
+	res := ftype.Results.List[0]
+	if len(res.Names) > 1 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[res.Type]
+	return ok && isVMAddr(tv.Type)
+}
+
+// flatParams resolves the declared parameter objects in order.
+func flatParams(pass *Pass, ftype *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// mentionsTainted reports whether expr references any tainted variable.
+func mentionsTainted(pass *Pass, expr ast.Expr, tainted map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && tainted[v] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ---- shared type tests ------------------------------------------------------
+
+// isVMAddr reports whether t is wedge's vm.Addr.
+func isVMAddr(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Addr" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/vm")
+}
+
+// isSthreadPtr reports whether t is *sthread.Sthread.
+func isSthreadPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Sthread" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/sthread")
+}

@@ -1,0 +1,254 @@
+// lockcallback: no escaping callback runs while the owning mutex is
+// held.
+//
+// timerwheel documents "callbacks run outside the wheel lock"; gatepool
+// and serve invoke application hooks (gate entries, InitConn/EndConn/
+// Finish, drain notifications) that may themselves call back into the
+// pool or the wheel. Invoking any of them with the owning mutex held is
+// a deadlock one re-entrant call away — an invariant the runtime tests
+// exercise only on the schedules they happen to produce. This analyzer
+// proves the rule for the shapes that matter: within the three
+// lock-owning packages, a call through a dynamic function value (a
+// struct field, a parameter, a collection element — anything the
+// package does not statically control) is flagged if a sync.Mutex or
+// sync.RWMutex is held at the call site.
+//
+// The scan is source-order within each function body: Lock() adds the
+// receiver to the held set, Unlock() removes it, a deferred Unlock
+// holds to function end, and nested function literals are scanned as
+// their own bodies (they execute later, under their own locking
+// discipline). Calls to locally-defined closures — function values the
+// package does control — stay legal.
+
+package wedgevet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCallbackPackages is the set of lock-owning packages the invariant
+// binds. Tests extend it to cover golden packages.
+var LockCallbackPackages = map[string]bool{
+	"wedge/internal/timerwheel": true,
+	"wedge/internal/gatepool":   true,
+	"wedge/internal/serve":      true,
+}
+
+// LockCallbackAnalyzer is the lockcallback suite entry.
+var LockCallbackAnalyzer = &Analyzer{
+	Name: "lockcallback",
+	Doc: "callbacks (dynamic function values) must not be invoked while the owning" +
+		" mutex is held in timerwheel, gatepool, and serve",
+	Run: runLockCallback,
+}
+
+func runLockCallback(pass *Pass) error {
+	if !LockCallbackPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		forEachFunc(file, func(fn funcNode) {
+			checkLockCallback(pass, fn)
+		})
+	}
+	return nil
+}
+
+// checkLockCallback runs the held-set scan over one function body.
+func checkLockCallback(pass *Pass, fn funcNode) {
+	held := make(map[string]bool) // mutex expr string -> held
+	closures := localClosures(pass, fn)
+
+	var scan func(n ast.Node) bool
+	scan = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != fn.node {
+				return false // runs later; scanned as its own funcNode
+			}
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the lock held for the rest of the
+			// body; a deferred anything-else runs at return, outside
+			// this scan's order. Either way, don't mutate the held set.
+			return false
+		case *ast.CallExpr:
+			if mutex, op := lockOp(pass, n); mutex != "" {
+				switch op {
+				case "Lock", "RLock":
+					held[mutex] = true
+				case "Unlock", "RUnlock":
+					delete(held, mutex)
+				}
+				return true
+			}
+			if len(held) > 0 {
+				if label := dynamicCallee(pass, n, closures); label != "" {
+					pass.Reportf(n.Pos(), "callback %s invoked while %s is held; callbacks must run outside the lock",
+						label, heldNames(held))
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.body, scan)
+}
+
+// lockOp recognizes X.Lock/Unlock/RLock/RUnlock where X is a
+// sync.Mutex or sync.RWMutex (directly or via pointer), returning the
+// receiver's expression text and the operation.
+func lockOp(pass *Pass, call *ast.CallExpr) (mutex, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", ""
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok || !isSyncMutex(tv.Type) {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// dynamicCallee classifies a call's function expression; it returns a
+// diagnostic label when the callee is a dynamic function value the
+// package does not statically control, and "" for static functions,
+// methods, conversions, builtins, and locally-defined closures.
+func dynamicCallee(pass *Pass, call *ast.CallExpr, closures map[*types.Var]bool) string {
+	fun := ast.Unparen(call.Fun)
+	tv, ok := pass.TypesInfo.Types[fun]
+	if !ok || tv.IsType() {
+		return "" // conversion
+	}
+	if _, ok := tv.Type.Underlying().(*types.Signature); !ok {
+		return "" // builtin or non-call shapes
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := pass.TypesInfo.Uses[fun].(type) {
+		case *types.Func:
+			return "" // static function
+		case *types.Var:
+			if closures[obj] {
+				return "" // local closure, package-controlled
+			}
+			return fun.Name
+		case *types.Builtin, *types.TypeName, nil:
+			return ""
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[fun]; sel != nil {
+			if _, ok := sel.Obj().(*types.Func); ok {
+				return "" // method call (incl. interface methods)
+			}
+			// Field of function type.
+			return types.ExprString(fun)
+		}
+		// Package-qualified identifier.
+		if _, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return ""
+		}
+		return types.ExprString(fun)
+	case *ast.IndexExpr, *ast.IndexListExpr:
+		// Indexing a collection of callbacks — unless this is a generic
+		// function instantiation, which types as a value of the
+		// instantiated signature with a static object underneath.
+		if id, ok := ast.Unparen(fun.(ast.Expr)).(*ast.IndexExpr); ok {
+			if base, ok := ast.Unparen(id.X).(*ast.Ident); ok {
+				if _, isFunc := pass.TypesInfo.Uses[base].(*types.Func); isFunc {
+					return ""
+				}
+			}
+		}
+		return types.ExprString(fun.(ast.Expr))
+	case *ast.CallExpr:
+		return types.ExprString(fun)
+	}
+	return ""
+}
+
+// localClosures returns the function's local variables whose every
+// assignment in this body is a function literal — callbacks the package
+// itself authored, safe to run under its own lock.
+func localClosures(pass *Pass, fn funcNode) map[*types.Var]bool {
+	candidates := make(map[*types.Var]bool)
+	disqualified := make(map[*types.Var]bool)
+	note := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isLit := ast.Unparen(rhs).(*ast.FuncLit); isLit {
+			candidates[v] = true
+		} else {
+			disqualified[v] = true
+		}
+	}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Lhs) == len(as.Rhs) {
+			for i := range as.Lhs {
+				note(as.Lhs[i], as.Rhs[i])
+			}
+		}
+		return true
+	})
+	out := make(map[*types.Var]bool)
+	for v := range candidates {
+		if !disqualified[v] {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// heldNames renders the held mutexes for a diagnostic.
+func heldNames(held map[string]bool) string {
+	var names []string
+	for n := range held {
+		names = append(names, n)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	// Deterministic order for multi-lock messages.
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return strings.Join(names, ", ")
+}

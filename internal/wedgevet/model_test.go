@@ -1,0 +1,56 @@
+package wedgevet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wedge/internal/crowbar"
+)
+
+// TestModelRoundTrip derives the dnsd model from source, serializes it,
+// re-parses it with crowbar, and re-serializes: the emitter's output
+// must survive crowbar's model format byte-for-byte, and carry the
+// permission split the dnsd compartment design promises.
+func TestModelRoundTrip(t *testing.T) {
+	prog, err := BuildModel([]string{"wedge/internal/dnsd"})
+	if err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	var first bytes.Buffer
+	if err := crowbar.WriteModel(prog, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Len() == 0 {
+		t.Fatal("BuildModel produced an empty model for wedge/internal/dnsd")
+	}
+
+	reparsed := crowbar.NewStaticProgram()
+	if err := crowbar.ParseModel(reparsed, bytes.NewReader(first.Bytes())); err != nil {
+		t.Fatalf("ParseModel on emitted model: %v", err)
+	}
+	var second bytes.Buffer
+	if err := crowbar.WriteModel(reparsed, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("model does not round-trip:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+
+	// The derived permissions must reflect the dnsd split: only the
+	// resolve gate reads the query name; the worker only writes it.
+	model := first.String()
+	for _, want := range []string{
+		"call dnsd dnsd/worker\n",
+		"call dnsd dnsd/resolve\n",
+		"read dnsd/resolve arg:dnsd.qname\n",
+		"write dnsd/worker arg:dnsd.qname\n",
+	} {
+		if !strings.Contains(model, want) {
+			t.Errorf("model missing %q:\n%s", want, model)
+		}
+	}
+	if strings.Contains(model, "read dnsd/worker arg:dnsd.qname") {
+		t.Errorf("worker gate should not read the query name it writes:\n%s", model)
+	}
+}

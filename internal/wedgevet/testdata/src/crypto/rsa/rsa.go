@@ -1,0 +1,7 @@
+// Stub of crypto/rsa for wedgevet golden tests: gatecapture's
+// private-key test keys on this package path and type name.
+package rsa
+
+type PrivateKey struct {
+	D int
+}

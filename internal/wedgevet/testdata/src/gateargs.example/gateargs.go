@@ -1,0 +1,76 @@
+// Golden tests for the gateargs analyzer.
+package gateargs
+
+import (
+	"wedge/internal/gateabi"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+var (
+	schemaB = gateabi.NewSchema("example")
+	fOp     = gateabi.U64(schemaB, "op")
+	fData   = gateabi.Bytes(schemaB, "data", 64)
+	schema  = schemaB.Seal()
+)
+
+// Resurrected offset-constant families are flagged by name and type.
+const p3Op = 0 // want `resurrected argument-block offset constant p3Op`
+
+var sshArgSize = 128 // want `resurrected argument-block offset constant sshArgSize`
+
+// A string by the same name is not an offset constant.
+const argOpName = "op"
+
+// entry is gate-shaped: its second parameter is an argument block.
+func entry(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	// The legal path: typed field handles.
+	op := fOp.Load(s, arg)
+	fOp.Store(s, arg, op+1)
+	if b, err := fData.Load(s, arg); err == nil {
+		_ = b
+	}
+
+	// Raw accessors on the argument block are violations.
+	v := s.Load64(arg)          // want `raw Load64 on an argument-block address`
+	s.Store64(arg+8, v)         // want `offset arithmetic on an argument-block address` `raw Store64 on an argument-block address`
+	_ = s.TryRead(arg, nil)     // want `raw TryRead on an argument-block address`
+	s.Zero(arg, 16)             // want `raw Zero on an argument-block address`
+	_, _ = s.ReadString(arg)    // want `raw ReadString on an argument-block address`
+	_ = s.WriteString(arg, "x") // want `raw WriteString on an argument-block address`
+
+	// Taint flows through local aliases.
+	p := arg
+	q := p + 16            // want `offset arithmetic on an argument-block address`
+	_ = s.TryWrite(q, nil) // want `raw TryWrite on an argument-block address`
+
+	// The trusted address is not an argument block: raw access is the
+	// only way to read a monitor-placed blob, and stays legal.
+	_ = s.Load64(trusted)
+	blob := trusted + 8
+	_ = s.Load64(blob)
+	return 0
+}
+
+// helper receives the block base under the conventional name; the taint
+// follows it.
+func helper(s *sthread.Sthread, arg vm.Addr) {
+	s.Store64(arg, 1) // want `raw Store64 on an argument-block address`
+}
+
+// regionIO takes an address that is not an argument block (a session
+// region); raw access is legal here.
+func regionIO(s *sthread.Sthread, sess vm.Addr) uint64 {
+	return s.Load64(sess)
+}
+
+// closures capturing the block inherit the obligation.
+func entryWithClosure(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	poke := func() {
+		s.Store64(arg, 7) // want `raw Store64 on an argument-block address`
+	}
+	poke()
+	return fOp.Load(s, arg)
+}
+
+var _ = schema

@@ -1,0 +1,102 @@
+// Golden tests for the gatecapture analyzer.
+package gatecapture
+
+import (
+	"crypto/rsa"
+	"wedge/internal/gatepool"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// Loop variables captured by a compartment body couple the compartment
+// to the monitor's iteration.
+func loopCapture(root *sthread.Sthread, scs []*policy.SC) {
+	for i, sc := range scs {
+		root.CreateNamed("w", sc, func(s *sthread.Sthread, arg vm.Addr) vm.Addr {
+			return vm.Addr(i) // want `captures loop variable i`
+		}, 0)
+	}
+	for n := 0; n < 4; n++ {
+		root.Create(scs[0], func(s *sthread.Sthread, arg vm.Addr) vm.Addr {
+			return vm.Addr(n) // want `captures loop variable n`
+		}, 0)
+	}
+}
+
+// Hoisting the iteration value into a per-iteration copy is the fix.
+func loopCaptureFixed(root *sthread.Sthread, scs []*policy.SC) {
+	for i := range scs {
+		index := vm.Addr(i)
+		root.Create(scs[i], func(s *sthread.Sthread, arg vm.Addr) vm.Addr {
+			return index
+		}, 0)
+	}
+}
+
+// The creation call's own result, captured by the closure it creates:
+// the PR 1 sshd race shape.
+func resultCapture(root *sthread.Sthread, sc *policy.SC) {
+	var worker *sthread.Sthread
+	worker, _ = root.CreateNamed("w", sc, func(s *sthread.Sthread, arg vm.Addr) vm.Addr {
+		_ = worker // want `captures worker, which the monitor writes after the handoff`
+		return 0
+	}, 0)
+}
+
+// A write after the handoff races the running compartment.
+func lateWrite(root *sthread.Sthread, sc *policy.SC) {
+	state := 0
+	root.Create(sc, func(s *sthread.Sthread, arg vm.Addr) vm.Addr {
+		return vm.Addr(state) // want `captures state, which the monitor writes after the handoff`
+	}, 0)
+	state = 1
+}
+
+// Captures the monitor finished writing are legal.
+func settledCapture(root *sthread.Sthread, sc *policy.SC) {
+	limit := 32
+	root.Create(sc, func(s *sthread.Sthread, arg vm.Addr) vm.Addr {
+		return vm.Addr(limit)
+	}, 0)
+}
+
+// Private keys never travel into a gate via the Go heap; the kernel-held
+// trusted address is the only sanctioned path.
+func keyCapture(sc *policy.SC, key *rsa.PrivateKey) {
+	sc.GateAdd(sthread.GateFunc(func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+		_ = key // want `captures private key key`
+		return 0
+	}), policy.New(), 0, "sign")
+}
+
+// GateSpec and GateDef literals are creation sites too.
+func specCapture(key *rsa.PrivateKey) policy.GateSpec {
+	return policy.GateSpec{Entry: sthread.GateFunc(func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+		_ = key // want `captures private key key`
+		return 0
+	})}
+}
+
+func defCapture(keys []*rsa.PrivateKey) []gatepool.GateDef {
+	var defs []gatepool.GateDef
+	for _, k := range keys {
+		defs = append(defs, gatepool.GateDef{
+			Name: "sign",
+			Entry: func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+				_ = k // want `captures loop variable k`
+				return 0
+			},
+		})
+	}
+	return defs
+}
+
+// Recycled workers follow the same rules as sthread bodies.
+func recycledCapture(root *sthread.Sthread, sc *policy.SC) {
+	var rec *sthread.Recycled
+	rec, _ = root.NewRecycled("w", sc, func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+		_ = rec // want `captures rec, which the monitor writes after the handoff`
+		return 0
+	}, 0)
+}

@@ -1,0 +1,82 @@
+// Golden tests for the lockcallback analyzer.
+package lockcb
+
+import "sync"
+
+type Wheel struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	fn     func()
+	onIdle func(int)
+}
+
+// The violation: a stored callback invoked under the owning mutex.
+func (w *Wheel) fireLocked() {
+	w.mu.Lock()
+	w.fn() // want `callback w.fn invoked while w.mu is held`
+	w.mu.Unlock()
+}
+
+// Deferred unlocks hold to the end of the function.
+func (w *Wheel) fireDeferred(cb func()) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cb() // want `callback cb invoked while w.mu is held`
+}
+
+// Read locks count too.
+func (w *Wheel) fireRLocked() {
+	w.rw.RLock()
+	w.onIdle(1) // want `callback w.onIdle invoked while w.rw is held`
+	w.rw.RUnlock()
+}
+
+// The sanctioned shape: collect under the lock, fire outside it.
+func (w *Wheel) fireOutside() {
+	var due []func()
+	w.mu.Lock()
+	due = append(due, w.fn)
+	w.mu.Unlock()
+	for _, f := range due {
+		f()
+	}
+}
+
+// Copying the callback out and unlocking first is also legal.
+func (w *Wheel) copyOut() {
+	w.mu.Lock()
+	f := w.fn
+	w.mu.Unlock()
+	f()
+}
+
+// Static calls and locally-authored closures stay legal under the lock.
+func (w *Wheel) statics() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance()
+	helper()
+	tidy := func() {}
+	tidy()
+}
+
+func (w *Wheel) advance() {}
+
+func helper() {}
+
+// A nested literal runs later, under its own discipline: registering it
+// while locked is fine, and its own body is scanned separately.
+func (w *Wheel) registers() {
+	w.mu.Lock()
+	w.fn = func() {
+		w.onIdle(2)
+	}
+	w.mu.Unlock()
+}
+
+// Indexed callback tables are dynamic values.
+func (w *Wheel) table(cbs []func()) {
+	w.mu.Lock()
+	cbs[0]() // want `callback cbs\[0\] invoked while w.mu is held`
+	w.mu.Unlock()
+}

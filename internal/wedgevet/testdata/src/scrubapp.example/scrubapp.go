@@ -1,0 +1,38 @@
+// Cross-package half of the scrubfootprint golden tests: registers
+// schemas and entries defined in scrubdef.example, resolved via facts.
+package scrubapp
+
+import (
+	"scrubdef.example"
+	"wedge/internal/gatepool"
+	"wedge/internal/serve"
+)
+
+// The clean registration: entry and schema agree.
+var ok = serve.App[int]{
+	Name:   "ok",
+	Schema: scrubdef.GammaSchema(),
+	Gates: []gatepool.GateDef{
+		{Name: "w", Entry: scrubdef.Entry},
+	},
+}
+
+// Registering the wrong schema for an imported entry.
+var wrongSchema = serve.App[int]{
+	Name:   "wrong-schema",
+	Schema: scrubdef.DeltaSchema(),
+	Gates: []gatepool.GateDef{
+		{Name: "w", Entry: scrubdef.Entry}, // want `uses fields of schema "gamma" but the pool registers schema "delta"`
+	},
+}
+
+// An imported entry whose footprint spans two schemas.
+var mixed = serve.App[int]{
+	Name:   "mixed",
+	Schema: scrubdef.GammaSchema(),
+	Gates: []gatepool.GateDef{
+		{Name: "w", Entry: scrubdef.MixedEntry}, // want `uses fields of schema "delta" but the pool registers schema "gamma"`
+	},
+}
+
+var _, _, _ = ok, wrongSchema, mixed

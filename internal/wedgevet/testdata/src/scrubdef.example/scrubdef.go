@@ -1,0 +1,39 @@
+// Cross-package half of the scrubfootprint golden tests: this package
+// defines schemas and gate entries; scrubapp.example registers them.
+// Schema identities and entry footprints travel as facts.
+package scrubdef
+
+import (
+	"wedge/internal/gateabi"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+var (
+	gammaB = gateabi.NewSchema("gamma")
+	FOp    = gateabi.U64(gammaB, "op")
+	gamma  = gammaB.Seal()
+
+	deltaB = gateabi.NewSchema("delta")
+	FAux   = gateabi.U64(deltaB, "aux")
+	delta  = deltaB.Seal()
+)
+
+// GammaSchema is the accessor apps register.
+func GammaSchema() *gateabi.Schema { return gamma }
+
+// DeltaSchema is a different layout entirely.
+func DeltaSchema() *gateabi.Schema { return delta }
+
+// Entry uses only gamma fields.
+func Entry(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	FOp.Store(s, arg, 1)
+	return 0
+}
+
+// MixedEntry also reaches through a delta handle.
+func MixedEntry(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	FAux.Store(s, arg, 2)
+	FOp.Store(s, arg, FOp.Load(s, arg))
+	return 0
+}

@@ -1,0 +1,88 @@
+// Golden tests for the scrubfootprint analyzer, single-package case.
+package scrubfoot
+
+import (
+	"wedge/internal/gateabi"
+	"wedge/internal/gatepool"
+	"wedge/internal/serve"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+var (
+	alphaB = gateabi.NewSchema("alpha")
+	fOp    = gateabi.U64(alphaB, "op")
+	fData  = gateabi.Bytes(alphaB, "data", 64)
+	alpha  = alphaB.Seal()
+
+	betaB = gateabi.NewSchema("beta")
+	fOut  = gateabi.U64(betaB, "out")
+	beta  = betaB.Seal()
+)
+
+// goodEntry touches only alpha fields on the block.
+func goodEntry(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	fOp.Store(s, arg, 1)
+	return 0
+}
+
+// badEntry reaches through a beta handle: bytes outside alpha's scrub
+// footprint.
+func badEntry(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	fOut.Store(s, arg, 2)
+	return fOp.Load(s, arg)
+}
+
+// deepEntry hides the stray use one call deep.
+func deepEntry(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	stray(s, arg)
+	return 0
+}
+
+func stray(s *sthread.Sthread, arg vm.Addr) {
+	fOut.Store(s, arg, 3)
+}
+
+// sessionEntry applies beta handles to a non-block region; that region
+// is not scrubbed by the pool, so the schema mix is legal.
+func sessionEntry(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	sess := trusted
+	fOut.Store(s, sess, 4)
+	return fOp.Load(s, arg)
+}
+
+var apps = []serve.App[int]{
+	{
+		Name:   "clean",
+		Schema: alpha,
+		Gates: []gatepool.GateDef{
+			{Name: "good", Entry: goodEntry},
+			{Name: "session", Entry: sessionEntry},
+		},
+	},
+	{
+		Name:   "dirty",
+		Schema: alpha,
+		Gates: []gatepool.GateDef{
+			{Name: "bad", Entry: badEntry},   // want `uses fields of schema "beta" but the pool registers schema "alpha"`
+			{Name: "deep", Entry: deepEntry}, // want `uses fields of schema "beta" but the pool registers schema "alpha"`
+		},
+	},
+}
+
+// Inline literal entries and gatepool.Config sites are checked too.
+var cfg = gatepool.Config{
+	Name:   "raw",
+	Schema: beta,
+	Gates: []gatepool.GateDef{
+		{Name: "inline", Entry: func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr { // want `uses fields of schema "alpha" but the pool registers schema "beta"`
+			fData.Store(g, arg, nil)
+			return fOut.Load(g, arg)
+		}},
+	},
+}
+
+// A handle the builder did not mint is invisible to every schema.
+var forged = gateabi.BytesField{Offset: 16} // want `hand-rolled gateabi.BytesField literal`
+
+var _, _ = apps, cfg

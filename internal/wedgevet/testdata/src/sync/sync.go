@@ -1,0 +1,15 @@
+// Stub of the standard sync package for wedgevet golden tests: just
+// enough surface for the lockcallback analyzer's type tests.
+package sync
+
+type Mutex struct{}
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

@@ -1,0 +1,66 @@
+// Stub of wedge/internal/gateabi for wedgevet golden tests: builders,
+// schemas, and the handle types with the method names the analyzers
+// classify.
+package gateabi
+
+import (
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+type Builder struct{}
+
+type Schema struct{}
+
+func NewSchema(name string) *Builder { return &Builder{} }
+
+func (b *Builder) Seal() *Schema { return &Schema{} }
+
+func (s *Schema) Size() int { return 0 }
+
+type Integer interface {
+	~uint8 | ~uint16 | ~uint32 | ~uint64
+}
+
+type WordField[T Integer] struct {
+	Offset int
+}
+
+func Word[T Integer](b *Builder, name string) WordField[T] { return WordField[T]{} }
+
+func U64(b *Builder, name string) WordField[uint64] { return Word[uint64](b, name) }
+
+func ConnID(b *Builder) WordField[uint64] { return WordField[uint64]{} }
+
+func FD(b *Builder) WordField[uint64] { return WordField[uint64]{} }
+
+func (f WordField[T]) Load(s *sthread.Sthread, base vm.Addr) T     { var z T; return z }
+func (f WordField[T]) Store(s *sthread.Sthread, base vm.Addr, v T) {}
+
+type BytesField struct {
+	Offset int
+}
+
+func Bytes(b *Builder, name string, capacity int) BytesField { return BytesField{} }
+
+func (f BytesField) Load(s *sthread.Sthread, base vm.Addr) ([]byte, error)  { return nil, nil }
+func (f BytesField) Store(s *sthread.Sthread, base vm.Addr, p []byte) error { return nil }
+func (f BytesField) Bytes(s *sthread.Sthread, base vm.Addr) []byte          { return nil }
+
+type StringField struct {
+	Offset int
+}
+
+func String(b *Builder, name string, capacity int) StringField { return StringField{} }
+
+func (f StringField) Load(s *sthread.Sthread, base vm.Addr) (string, error)  { return "", nil }
+func (f StringField) Store(s *sthread.Sthread, base vm.Addr, v string) error { return nil }
+
+type FixedField struct {
+	Offset int
+}
+
+func Fixed(b *Builder, name string, size int) FixedField { return FixedField{} }
+
+func (f FixedField) Read(s *sthread.Sthread, base vm.Addr, p []byte)  {}
+func (f FixedField) Write(s *sthread.Sthread, base vm.Addr, p []byte) {}

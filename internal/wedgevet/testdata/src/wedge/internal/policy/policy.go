@@ -1,0 +1,20 @@
+// Stub of wedge/internal/policy for wedgevet golden tests.
+package policy
+
+import "wedge/internal/vm"
+
+type SC struct {
+	Gates []GateSpec
+}
+
+type GateSpec struct {
+	Entry any
+	Arg   vm.Addr
+	Name  string
+}
+
+func New() *SC { return &SC{} }
+
+func (sc *SC) GateAdd(entry any, gateSC *SC, arg vm.Addr, name string) {
+	sc.Gates = append(sc.Gates, GateSpec{Entry: entry, Arg: arg, Name: name})
+}

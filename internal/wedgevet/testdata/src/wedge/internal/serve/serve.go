@@ -1,0 +1,25 @@
+// Stub of wedge/internal/serve for wedgevet golden tests: the two
+// registration structs scrubfootprint anchors on.
+package serve
+
+import (
+	"wedge/internal/gateabi"
+	"wedge/internal/gatepool"
+)
+
+type App[T any] struct {
+	Name     string
+	Slots    int
+	MaxSlots int
+	Schema   *gateabi.Schema
+	Gates    []gatepool.GateDef
+	Worker   string
+}
+
+type PacketApp[T any] struct {
+	Name     string
+	Slots    int
+	Schema   *gateabi.Schema
+	OnPacket string
+	Gates    []gatepool.GateDef
+}

@@ -1,0 +1,43 @@
+// Stub of wedge/internal/sthread for wedgevet golden tests: the raw
+// memory accessors gateargs audits and the creation methods gatecapture
+// watches, with the real signatures.
+package sthread
+
+import (
+	"wedge/internal/policy"
+	"wedge/internal/vm"
+)
+
+type Sthread struct{}
+
+type Body func(s *Sthread, arg vm.Addr) vm.Addr
+
+type GateFunc func(g *Sthread, arg, trusted vm.Addr) vm.Addr
+
+type Recycled struct{}
+
+func (s *Sthread) Read(a vm.Addr, p []byte) error        { return nil }
+func (s *Sthread) Write(a vm.Addr, p []byte) error       { return nil }
+func (s *Sthread) TryRead(a vm.Addr, p []byte) error     { return nil }
+func (s *Sthread) TryWrite(a vm.Addr, p []byte) error    { return nil }
+func (s *Sthread) Load64(a vm.Addr) uint64               { return 0 }
+func (s *Sthread) Store64(a vm.Addr, v uint64)           {}
+func (s *Sthread) Zero(a vm.Addr, n int)                 {}
+func (s *Sthread) ReadString(a vm.Addr) (string, error)  { return "", nil }
+func (s *Sthread) WriteString(a vm.Addr, v string) error { return nil }
+
+func (s *Sthread) Create(sc *policy.SC, body Body, arg vm.Addr) (*Sthread, error) {
+	return nil, nil
+}
+
+func (s *Sthread) CreateNamed(name string, sc *policy.SC, body Body, arg vm.Addr) (*Sthread, error) {
+	return nil, nil
+}
+
+func (s *Sthread) CreateEmulated(name string, sc *policy.SC, body Body, arg vm.Addr) (*Sthread, error) {
+	return nil, nil
+}
+
+func (s *Sthread) NewRecycled(name string, gateSC *policy.SC, fn GateFunc, trusted vm.Addr) (*Recycled, error) {
+	return nil, nil
+}

@@ -1,0 +1,4 @@
+// Stub of wedge/internal/vm for wedgevet golden tests.
+package vm
+
+type Addr uint64

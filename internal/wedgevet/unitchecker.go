@@ -1,0 +1,322 @@
+// The `go vet -vettool=` unit-checker protocol, reimplemented on the
+// standard library (this repo carries no module dependencies, so
+// golang.org/x/tools/go/analysis/unitchecker is off the table).
+//
+// The protocol: the go command invokes the tool once with -V=full to
+// obtain a version stamp for its cache key, then once per package with
+// a single argument, a JSON "cfg" file naming the package's sources,
+// the export-data file of every dependency, and the fact (.vetx) files
+// previous invocations produced for those dependencies. The tool
+// type-checks the package against the dependency export data, runs its
+// analyzers, writes the package's own fact file, and reports
+// diagnostics on stderr with a non-zero exit. The go command supplies
+// scheduling, caching, and the package graph — exactly the machinery a
+// from-scratch driver gets wrong first.
+
+package wedgevet
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// vetConfig mirrors the JSON the go command writes for a vettool; field
+// names are fixed by the protocol (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the cmd/wedgevet entry point for the vettool protocol. It
+// never returns.
+func Main(analyzers []*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		// The version handshake: the go command hashes this line into
+		// its action cache key, so it must change when the tool does.
+		// Hash the executable itself, as unitchecker does.
+		fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, toolHash())
+		os.Exit(0)
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		// The go command asks which flags the tool supports, as a JSON
+		// array; it then forwards only matching `go vet` flags. One
+		// boolean per analyzer supports `go vet -vettool=… -gateargs`
+		// style selection.
+		printFlagDefs(analyzers)
+		os.Exit(0)
+	}
+	args, enabled := parseEnableFlags(os.Args[1:], analyzers)
+	analyzers = enabled
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, `%[1]s: static analysis of wedge compartment boundaries
+
+Usage of %[1]s:
+	%[1]s unit.cfg	# execute analysis specified by config file (go vet -vettool=%[1]s ./...)
+	%[1]s model -o FILE [packages]	# emit static per-gate permission sets in crowbar model format
+`, progname)
+		os.Exit(1)
+	}
+	diags, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// printFlagDefs emits the -flags JSON the go command expects
+// (cmd/go/internal/vet/vetflag.go): a list of {Name, Bool, Usage}.
+func printFlagDefs(analyzers []*Analyzer) {
+	type flagDef struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	defs := make([]flagDef, 0, len(analyzers))
+	for _, a := range analyzers {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(defs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wedgevet:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// parseEnableFlags consumes leading -<analyzer>[=bool] arguments, as the
+// go command forwards them, and returns the remaining arguments and the
+// selected analyzer set: if any analyzer is explicitly enabled, only the
+// enabled ones run; otherwise all run minus the explicitly disabled.
+func parseEnableFlags(args []string, analyzers []*Analyzer) ([]string, []*Analyzer) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	set := make(map[string]bool)
+	var rest []string
+	for _, arg := range args {
+		name, val, found := strings.Cut(strings.TrimPrefix(arg, "-"), "=")
+		if !strings.HasPrefix(arg, "-") || byName[name] == nil {
+			rest = append(rest, arg)
+			continue
+		}
+		set[name] = !found || val == "true" || val == "1"
+	}
+	anyOn := false
+	for _, on := range set {
+		anyOn = anyOn || on
+	}
+	if len(set) == 0 {
+		return rest, analyzers
+	}
+	var out []*Analyzer
+	for _, a := range analyzers {
+		on, mentioned := set[a.Name]
+		if (anyOn && mentioned && on) || (!anyOn && !mentioned) {
+			out = append(out, a)
+		}
+	}
+	return rest, out
+}
+
+func toolHash() []byte {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		return []byte{0}
+	}
+	defer f.Close()
+	h := sha256.New()
+	io.Copy(h, f)
+	return h.Sum(nil)[:16]
+}
+
+// runUnit executes one cfg-file invocation and returns rendered
+// diagnostics. Fact output is written even when the package is clean —
+// the go command caches the .vetx for dependent packages.
+func runUnit(cfgPath string, analyzers []*Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	if cfg.ImportPath == "" {
+		return nil, fmt.Errorf("%s: no ImportPath", cfgPath)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeEmptyVetx(&cfg)
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	store := newFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if err := store.mergeFile(vetx); err != nil {
+			return nil, err
+		}
+	}
+
+	tc := &types.Config{
+		Importer:  newExportDataImporter(&cfg, fset),
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect via the returned error
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeEmptyVetx(&cfg)
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	diags, err := runAnalyzers(analyzers, fset, files, pkg, info, store)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.VetxOutput != "" {
+		enc, err := store.encode()
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.VetxOutput, enc, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return diags, nil
+}
+
+func writeEmptyVetx(cfg *vetConfig) ([]string, error) {
+	if cfg.VetxOutput == "" {
+		return nil, nil
+	}
+	return nil, os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}
+
+// newTypesInfo allocates every map the analyzers read.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// runAnalyzers executes the suite over one type-checked package,
+// sharing the fact store, and renders diagnostics sorted by position.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, store *factStore) ([]string, error) {
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			facts:     store,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return out, nil
+}
+
+// exportDataImporter resolves imports through the dependency export
+// data the go command lists in the cfg, via the compiler-aware importer
+// in the standard library. One underlying importer instance serves the
+// whole type-check, so packages shared between dependencies keep one
+// identity.
+type exportDataImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func newExportDataImporter(cfg *vetConfig, fset *token.FileSet) *exportDataImporter {
+	m := &exportDataImporter{cfg: cfg}
+	m.gc = importer.ForCompiler(fset, cfg.Compiler, func(p string) (io.ReadCloser, error) {
+		c := p
+		if mapped, ok := cfg.ImportMap[p]; ok && mapped != "" {
+			c = mapped
+		}
+		file, ok := cfg.PackageFile[c]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	})
+	return m
+}
+
+func (m *exportDataImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	canon := path
+	if c, ok := m.cfg.ImportMap[path]; ok && c != "" {
+		canon = c
+	}
+	return m.gc.Import(canon)
+}

@@ -1,0 +1,253 @@
+// An analysistest-style golden harness for the wedgevet suite, on the
+// standard library only. Test packages live under testdata/src by
+// import path — including stub versions of the wedge packages the
+// analyzers' type tests anchor on (path-suffix matched) and of sync and
+// crypto/rsa (path matched) — so the whole dependency graph loads from
+// testdata and no export data is needed. Expectations are `// want`
+// comments carrying backquoted regular expressions, one per expected
+// diagnostic on that line; loading a package runs the full suite over
+// its dependencies first, so facts propagate exactly as under go vet.
+
+package wedgevet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// vetTest loads root (and, transitively, its testdata dependencies),
+// runs the full suite, and compares the named analyzer's diagnostics in
+// the listed packages against their `// want` comments.
+func vetTest(t *testing.T, analyzer string, roots ...string) {
+	t.Helper()
+	ld := newTestLoader(t)
+	for _, root := range roots {
+		ld.load(root)
+	}
+	for _, root := range roots {
+		ld.check(t, analyzer, root)
+	}
+}
+
+type testLoader struct {
+	t     *testing.T
+	fset  *token.FileSet
+	dir   string
+	pkgs  map[string]*types.Package
+	files map[string][]*ast.File
+	store *factStore
+	diags map[string][]Diagnostic
+}
+
+func newTestLoader(t *testing.T) *testLoader {
+	return &testLoader{
+		t:     t,
+		fset:  token.NewFileSet(),
+		dir:   filepath.Join("testdata", "src"),
+		pkgs:  make(map[string]*types.Package),
+		files: make(map[string][]*ast.File),
+		store: newFactStore(),
+		diags: make(map[string][]Diagnostic),
+	}
+}
+
+// Import implements types.Importer over the testdata tree, running the
+// analyzer suite on every package as it loads (dependencies first, so
+// fact export precedes import).
+func (ld *testLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return ld.load(path)
+}
+
+func (ld *testLoader) load(path string) (*types.Package, error) {
+	dir := filepath.Join(ld.dir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("testdata package %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("testdata package %q: no Go files", path)
+	}
+	tc := &types.Config{Importer: ld}
+	info := newTypesInfo()
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %q: %w", path, err)
+	}
+	ld.pkgs[path] = pkg
+	ld.files[path] = files
+	for _, a := range Analyzers() {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			facts:     ld.store,
+			report: func(d Diagnostic) {
+				ld.diags[path] = append(ld.diags[path], d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %q: %w", a.Name, path, err)
+		}
+	}
+	return pkg, nil
+}
+
+// wantRx extracts the backquoted expectations from a `// want` comment.
+var wantRx = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// check compares one analyzer's diagnostics in pkg against the
+// package's want comments.
+func (ld *testLoader) check(t *testing.T, analyzer, pkg string) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	want := make(map[key][]*expectation)
+	for _, f := range ld.files[pkg] {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := ld.fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRx.FindAllStringSubmatch(text, -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					want[k] = append(want[k], &expectation{rx: rx})
+				}
+			}
+		}
+	}
+
+	var got []Diagnostic
+	for _, d := range ld.diags[pkg] {
+		if d.Analyzer == analyzer {
+			got = append(got, d)
+		}
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+
+	for _, d := range got {
+		pos := ld.fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		found := false
+		for _, exp := range want[k] {
+			if !exp.matched && exp.rx.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for k, exps := range want {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, exp.rx)
+			}
+		}
+	}
+}
+
+func TestGateArgsGolden(t *testing.T) {
+	GateArgsPackages["gateargs.example"] = true
+	defer delete(GateArgsPackages, "gateargs.example")
+	vetTest(t, "gateargs", "gateargs.example")
+}
+
+func TestGateCaptureGolden(t *testing.T) {
+	vetTest(t, "gatecapture", "gatecapture.example")
+}
+
+func TestScrubFootprintGolden(t *testing.T) {
+	vetTest(t, "scrubfootprint", "scrubfoot.example")
+}
+
+func TestScrubFootprintCrossPackageFacts(t *testing.T) {
+	vetTest(t, "scrubfootprint", "scrubapp.example")
+}
+
+func TestLockCallbackGolden(t *testing.T) {
+	LockCallbackPackages["lockcb.example"] = true
+	defer delete(LockCallbackPackages, "lockcb.example")
+	vetTest(t, "lockcallback", "lockcb.example")
+}
+
+// TestFactRoundTrip proves facts survive the vetx wire encoding: the
+// scrubdef facts exported during one load merge into a fresh store and
+// resolve by (package, object) key.
+func TestFactRoundTrip(t *testing.T) {
+	ld := newTestLoader(t)
+	if _, err := ld.load("scrubdef.example"); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := ld.store.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := newFactStore()
+	if err := fresh.merge(enc); err != nil {
+		t.Fatal(err)
+	}
+	pkg := ld.pkgs["scrubdef.example"]
+	var sf SchemaFact
+	if !fresh.lookup("scrubfootprint", pkg.Scope().Lookup("GammaSchema"), &sf) || sf.Builder != "gamma" {
+		t.Fatalf("GammaSchema fact = %+v, want builder gamma", sf)
+	}
+	var uf SchemaUseFact
+	if !fresh.lookup("scrubfootprint", pkg.Scope().Lookup("MixedEntry"), &uf) {
+		t.Fatal("MixedEntry: no SchemaUseFact after round trip")
+	}
+	if want := []string{"delta", "gamma"}; !equalStrings(uf.Builders, want) {
+		t.Fatalf("MixedEntry builders = %v, want %v", uf.Builders, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+// Package wedgevet is a static-analysis suite that enforces wedge's
+// compartment boundaries at compile time — the §7 counterpart to
+// Crowbar's dynamic traces. Static permissions never cause a protection
+// violation; wedgevet makes the same move one level up, proving the
+// isolation invariants the runtime tests only witness:
+//
+//   - gateargs: application code touches gate argument blocks only
+//     through gateabi field handles — raw word I/O on an arg-block
+//     address, arg-offset arithmetic, and resurrected offset-constant
+//     families are compile errors, not grep matches.
+//   - gatecapture: closures handed to compartment creation (sthread
+//     bodies, gate entries, recycled workers) must not capture loop
+//     variables, variables the monitor still mutates after the handoff,
+//     or privileged monitor state (private keys) — the PR 1 race class
+//     and the Go-heap bypass of the simulated isolation, caught before
+//     the scheduler gets a vote.
+//   - scrubfootprint: every gateabi field handle an app's gates use must
+//     belong to the schema the app registered with the pool — the
+//     schema whose Size() is the inter-principal scrub footprint. A
+//     handle from a different builder is memory the scrub never
+//     reaches; cross-package facts carry schema layouts to the
+//     registration site.
+//   - lockcallback: timerwheel, gatepool, and serve document that user
+//     callbacks run outside their locks; this proves it — no dynamic
+//     function value escaping the package may be invoked while the
+//     owning mutex is held.
+//
+// The suite is built on a self-contained miniature of the go/analysis
+// vocabulary (this repo carries no module dependencies): an Analyzer
+// runs once per package over parsed, type-checked syntax, reports
+// position-tagged diagnostics, and exchanges facts about package-level
+// objects with the passes of dependency packages. cmd/wedgevet drives
+// the suite through the `go vet -vettool=` unit-checker protocol, so
+// the toolchain's package graph, caching, and fact plumbing are reused
+// rather than reimplemented.
+package wedgevet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker. It is the self-contained
+// analogue of golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	Name string // command-line and diagnostic prefix
+	Doc  string // one-paragraph description
+
+	// Run performs the check on one package. Diagnostics and exported
+	// facts go through the Pass.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Fact is a serializable statement about a package-level object,
+// exported by the pass that analyzes the object's package and visible
+// to every pass that imports it. Facts must be gob-encodable pointers;
+// the AFact method marks the type (and pins its dynamic identity for
+// decoding).
+type Fact interface {
+	AFact()
+}
+
+// ObjFact names an object — by package path and object name, so facts
+// about objects outside the importer's view still list — with one of
+// its facts, for AllObjectFacts.
+type ObjFact struct {
+	Pkg  string
+	Name string
+	Fact Fact
+}
+
+// A Pass carries one analyzer's view of one package: syntax, types, a
+// diagnostic sink, and the fact store.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+	facts  *factStore
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportObjectFact attaches fact to obj, a package-level object of the
+// package under analysis. Facts on other packages' objects are a
+// programming error: each package's facts are sealed when its pass
+// completes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("wedgevet: %s: ExportObjectFact on foreign object %v", p.Analyzer.Name, obj))
+	}
+	p.facts.export(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies obj's fact of ptr's concrete type into ptr,
+// reporting whether one was found. obj may belong to this package or to
+// any (transitive) import whose facts were propagated to this pass.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if obj == nil {
+		return false
+	}
+	return p.facts.lookup(p.Analyzer.Name, obj, ptr)
+}
+
+// AllObjectFacts returns every fact of this analyzer visible to the
+// pass (own package and imports), in a stable order.
+func (p *Pass) AllObjectFacts() []ObjFact {
+	out := p.facts.all(p.Analyzer.Name, p.Pkg)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Analyzers returns the full wedgevet suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		GateArgsAnalyzer,
+		GateCaptureAnalyzer,
+		ScrubFootprintAnalyzer,
+		LockCallbackAnalyzer,
+	}
+}
