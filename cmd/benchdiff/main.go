@@ -3,6 +3,7 @@
 //
 //	benchdiff -old BENCH_pool.json -new bench_run.json
 //	benchdiff -old BENCH_pool.json -new bench_run.json -threshold 0.3
+//	benchdiff -old BENCH_pool.json -new bench_run.json -write
 //
 // Rows are matched by (experiment, name). Rates are higher-better,
 // latencies lower-better; rows the baseline has but the new run lacks
@@ -12,6 +13,16 @@
 // 0.5 flags a rate that fell or a latency that rose beyond 1.5x, and a
 // CI job on a noisy shared runner wants something wider still (the
 // repo's gate uses 3, i.e. 4x).
+//
+// Improvements beyond the same threshold are reported as informational
+// "better by Nx" lines — a deliberate optimization should land visibly,
+// not as a silent pass.
+//
+// -write re-baselines: after a comparison with no regressions, the -old
+// file is rewritten from the run (matched rows take the run's values,
+// run-only rows are appended, and rows carrying a "note" — recorded
+// historical trajectory points, which the comparison also ignores — are
+// preserved verbatim). A regressing comparison refuses to write.
 package main
 
 import (
@@ -39,6 +50,7 @@ func main() {
 	oldPath := flag.String("old", "", "baseline wedgebench -json file")
 	newPath := flag.String("new", "", "new-run wedgebench -json file")
 	threshold := flag.Float64("threshold", 0.5, "noise threshold: worseness ratio minus one (0.5 = flag changes beyond 1.5x)")
+	write := flag.Bool("write", false, "re-baseline: rewrite -old from the new run when no regressions are found (noted rows preserved)")
 	flag.Parse()
 
 	if *oldPath == "" || *newPath == "" {
@@ -64,14 +76,37 @@ func main() {
 	}
 
 	regs := bench.Compare(oldRs, newRs, *threshold)
-	if len(regs) == 0 {
-		fmt.Printf("benchdiff: %d baseline rows, no regressions beyond %.0f%%\n",
-			len(oldRs), *threshold*100)
-		return
+	if imps := bench.Improvements(oldRs, newRs, *threshold); len(imps) > 0 {
+		fmt.Printf("benchdiff: %d improvement(s) beyond %.0f%%:\n", len(imps), *threshold*100)
+		for _, i := range imps {
+			fmt.Println("  " + i.String())
+		}
 	}
-	fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%:\n", len(regs), *threshold*100)
-	for _, r := range regs {
-		fmt.Println("  " + r.String())
+	if len(regs) > 0 {
+		fmt.Printf("benchdiff: %d regression(s) beyond %.0f%%:\n", len(regs), *threshold*100)
+		for _, r := range regs {
+			fmt.Println("  " + r.String())
+		}
+		if *write {
+			fmt.Fprintln(os.Stderr, "benchdiff: refusing to re-baseline onto a regressing run")
+		}
+		os.Exit(1)
 	}
-	os.Exit(1)
+	fmt.Printf("benchdiff: %d baseline rows, no regressions beyond %.0f%%\n",
+		len(oldRs), *threshold*100)
+	if *write {
+		rebased := bench.Rebaseline(oldRs, newRs)
+		f, err := os.Create(*oldPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := bench.WriteJSON(f, rebased); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("benchdiff: re-baselined %s (%d rows)\n", *oldPath, len(rebased))
+	}
 }

@@ -40,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -84,6 +85,7 @@ func main() {
 	poolSize := flag.Int("poolsize", 0, "gatepool slots (0 = host parallelism)")
 	poolConns := flag.Int("poolconns", bench.FigPoolConns, "timed connections per FigPool cell")
 	poolLevels := flag.String("poollevels", "", "comma-separated FigPool concurrency ladder (default 1,2,4,...,64)")
+	poolVariants := flag.String("variants", "", "comma-separated FigPool variant filter (default: the app's full ladder)")
 	queue := flag.Int("queue", 0, "pooled admission-queue bound (0 = unbounded, <0 = no waiting; rejected connections become client retries)")
 	autoslots := flag.Bool("autoslots", false, "pooled slot counts track GOMAXPROCS at admission (supersedes -poolsize)")
 	drain := flag.Bool("drain", false, "run a drain/undrain cycle on every pooled cell and verify quiescence")
@@ -92,6 +94,7 @@ func main() {
 	iters := flag.Int("iters", 0, "iterations for figures 7/8 (0 = default)")
 	conns := flag.Int("conns", bench.Table2Conns, "timed connections per Table 2 Apache cell")
 	scp := flag.Int("scp", bench.ScpSize, "scp upload size in bytes for Table 2")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	flag.Parse()
 
 	// Validate before any experiment runs: negative sizes and counts used
@@ -143,6 +146,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if *all || *fig == 7 {
 		r, err := bench.Fig7(*iters)
 		if err != nil {
@@ -191,6 +205,9 @@ func main() {
 	}
 	if *all || *pool {
 		opts := bench.PoolOpts{Slots: *poolSize, Queue: *queue, AutoSlots: *autoslots, Drain: *drain}
+		if *poolVariants != "" {
+			opts.Variants = strings.Split(*poolVariants, ",")
+		}
 		for _, app := range poolApps {
 			rows, r, err := bench.FigPoolApp(app, *poolConns, levels, opts)
 			if err != nil {

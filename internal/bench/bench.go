@@ -47,6 +47,13 @@ type Result struct {
 	// throughput-only numbers hide tail collapse). Empty on experiments
 	// that emit one row per label.
 	Metric string `json:"metric,omitempty"`
+	// Note marks a row as a recorded trajectory point rather than a live
+	// benchmark: Compare ignores noted rows entirely (no ratio check, no
+	// vanished-row flag) and Rebaseline preserves them verbatim. This is
+	// how historical before/after pairs stay checked into BENCH_pool.json
+	// without shaping the CI regression gate, whose runs use different
+	// ladder shapes than the one-off measurements the notes record.
+	Note string `json:"note,omitempty"`
 }
 
 func (r Result) String() string {

@@ -62,20 +62,19 @@ func worseDirection(unit string) int {
 // flagged. Directionless units and zero baselines (no meaningful ratio)
 // are skipped.
 func Compare(old, new []Result, threshold float64) []Regression {
-	key := func(r Result) string { return r.Experiment + " | " + r.Name }
 	latest := make(map[string]Result, len(new))
 	for _, r := range new {
-		latest[key(r)] = r
+		latest[resultKey(r)] = r
 	}
 	var regs []Regression
 	for _, o := range old {
 		dir := worseDirection(o.Unit)
-		if dir == 0 || o.Value == 0 {
+		if dir == 0 || o.Value == 0 || o.Note != "" {
 			continue
 		}
-		n, ok := latest[key(o)]
+		n, ok := latest[resultKey(o)]
 		if !ok {
-			regs = append(regs, Regression{Name: key(o), Old: o.Value, Unit: o.Unit, Missing: true})
+			regs = append(regs, Regression{Name: resultKey(o), Old: o.Value, Unit: o.Unit, Missing: true})
 			continue
 		}
 		// Worseness ratio in the bad direction: old/new for rates,
@@ -90,8 +89,98 @@ func Compare(old, new []Result, threshold float64) []Regression {
 			worse = n.Value / o.Value
 		}
 		if worse > 1+threshold {
-			regs = append(regs, Regression{Name: key(o), Old: o.Value, New: n.Value, Unit: o.Unit, Delta: worse - 1})
+			regs = append(regs, Regression{Name: resultKey(o), Old: o.Value, New: n.Value, Unit: o.Unit, Delta: worse - 1})
 		}
 	}
 	return regs
+}
+
+// resultKey is the row-matching identity: same experiment, same name.
+func resultKey(r Result) string { return r.Experiment + " | " + r.Name }
+
+// Improvement is one row that got better between two runs — the
+// direction-aware mirror of Regression. Improvements never fail a
+// comparison; they are reported so a deliberate optimization lands as
+// a visible "better by Nx" line instead of a silent pass.
+type Improvement struct {
+	Name string  // "experiment | name"
+	Old  float64 // baseline value
+	New  float64 // current value
+	Unit string
+	// Factor is the betterness ratio in the unit's good direction: 2
+	// means a rate doubled or a latency halved. Always > 1.
+	Factor float64
+}
+
+func (i Improvement) String() string {
+	return fmt.Sprintf("%-40s %.3f -> %.3f %s (better by %.2fx)", i.Name, i.Old, i.New, i.Unit, i.Factor)
+}
+
+// Improvements matches rows like Compare and returns the baseline rows
+// whose value in new is better by more than threshold (the same
+// ratio-minus-one scale: 0.5 reports rates up or latencies down beyond
+// 1.5x). Noted rows, directionless units, zero baselines, and rows
+// missing from new are skipped — Compare owns the failure verdicts.
+func Improvements(old, new []Result, threshold float64) []Improvement {
+	latest := make(map[string]Result, len(new))
+	for _, r := range new {
+		latest[resultKey(r)] = r
+	}
+	var imps []Improvement
+	for _, o := range old {
+		dir := worseDirection(o.Unit)
+		if dir == 0 || o.Value == 0 || o.Note != "" {
+			continue
+		}
+		n, ok := latest[resultKey(o)]
+		if !ok {
+			continue
+		}
+		var better float64
+		switch {
+		case dir < 0 && n.Value <= 0:
+			better = math.Inf(1) // a latency fell to nothing
+		case dir > 0:
+			better = n.Value / o.Value
+		default:
+			better = o.Value / n.Value
+		}
+		if better > 1+threshold {
+			imps = append(imps, Improvement{Name: resultKey(o), Old: o.Value, New: n.Value, Unit: o.Unit, Factor: better})
+		}
+	}
+	return imps
+}
+
+// Rebaseline produces a refreshed baseline from a run: rows the run
+// re-measured take the run's values in the baseline's file order,
+// noted trajectory rows are preserved verbatim, and rows only the run
+// has are appended at the end (a grown benchmark enters the baseline).
+// Baseline rows the run no longer produces are dropped — the caller is
+// expected to have run Compare first and refused to re-baseline onto a
+// regressing or shrunken run.
+func Rebaseline(old, new []Result) []Result {
+	latest := make(map[string]Result, len(new))
+	for _, r := range new {
+		latest[resultKey(r)] = r
+	}
+	used := make(map[string]bool, len(new))
+	out := make([]Result, 0, len(old)+len(new))
+	for _, o := range old {
+		if o.Note != "" {
+			out = append(out, o)
+			continue
+		}
+		if n, ok := latest[resultKey(o)]; ok {
+			out = append(out, n)
+			used[resultKey(o)] = true
+		}
+	}
+	for _, n := range new {
+		if !used[resultKey(n)] {
+			out = append(out, n)
+			used[resultKey(n)] = true
+		}
+	}
+	return out
 }

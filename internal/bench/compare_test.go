@@ -95,6 +95,86 @@ func TestCompareSkips(t *testing.T) {
 	}
 }
 
+// TestCompareSkipsNotedRows: a noted row is a recorded trajectory
+// point, not a live benchmark — it is never ratio-checked and never
+// flagged as vanished, no matter how the run moved.
+func TestCompareSkipsNotedRows(t *testing.T) {
+	noted := row("pop3 pooled c=64", "req/s", 52038)
+	noted.Note = "pre-batching trajectory point"
+	old := []Result{noted, row("pop3 pooled c=1", "req/s", 1000)}
+	new := []Result{row("pop3 pooled c=1", "req/s", 900)} // no c=64 row at all
+	if regs := Compare(old, new, 0.5); len(regs) != 0 {
+		t.Fatalf("noted row flagged: %v", regs)
+	}
+	if imps := Improvements(old, new, 0.5); len(imps) != 0 {
+		t.Fatalf("noted row reported as improvement: %v", imps)
+	}
+}
+
+// TestImprovements: direction-aware betterness beyond the threshold is
+// reported (rate up, latency down); within-threshold moves, regressions,
+// and rows missing from the run are not.
+func TestImprovements(t *testing.T) {
+	old := []Result{
+		row("pop3 pooled c=64", "req/s", 52038),
+		row("pop3 pooled c=64 p99", "ms", 1.873),
+		row("pop3 mono c=64", "req/s", 100000),   // barely moves
+		row("pop3 wedge c=64", "req/s", 5400),    // regresses
+		row("pop3 wedge c=64 p50", "ms", 11.320), // missing from run
+	}
+	new := []Result{
+		row("pop3 pooled c=64", "req/s", 101179), // 1.94x up
+		row("pop3 pooled c=64 p99", "ms", 1.179), // 1.59x down
+		row("pop3 mono c=64", "req/s", 101000),   // noise
+		row("pop3 wedge c=64", "req/s", 2000),    // worse, not better
+	}
+	imps := Improvements(old, new, 0.5)
+	if len(imps) != 2 {
+		t.Fatalf("improvements = %v, want the pooled rps and p99 rows", imps)
+	}
+	for _, i := range imps {
+		if i.Factor <= 1.5 {
+			t.Fatalf("%s: factor %f not beyond threshold", i.Name, i.Factor)
+		}
+		if !strings.Contains(i.String(), "better by") {
+			t.Fatalf("improvement rendering: %q", i.String())
+		}
+	}
+	if regs := Compare(old, new, 0.5); len(regs) != 2 {
+		t.Fatalf("regressions = %v, want the wedge collapse and the vanished p50", regs)
+	}
+}
+
+// TestRebaseline: matched rows take the run's values in baseline order,
+// noted rows survive verbatim, run-only rows are appended, and rows the
+// run dropped disappear.
+func TestRebaseline(t *testing.T) {
+	noted := row("pop3 pooled c=64", "req/s", 52038)
+	noted.Note = "pre-batching trajectory point"
+	old := []Result{
+		row("pop3 pooled c=1", "req/s", 15603),
+		noted,
+		row("pop3 pooled c=4", "req/s", 38582), // dropped by the run
+	}
+	new := []Result{
+		row("pop3 pooled c=1", "req/s", 48000),
+		row("pop3 pooled c=8", "req/s", 70000), // grown benchmark
+	}
+	got := Rebaseline(old, new)
+	if len(got) != 3 {
+		t.Fatalf("rebaseline = %v, want 3 rows", got)
+	}
+	if got[0].Value != 48000 {
+		t.Fatalf("matched row not refreshed: %v", got[0])
+	}
+	if got[1].Note == "" || got[1].Value != 52038 {
+		t.Fatalf("noted row not preserved: %v", got[1])
+	}
+	if got[2].Name != "pop3 pooled c=8" {
+		t.Fatalf("run-only row not appended: %v", got[2])
+	}
+}
+
 // TestCompareKeyIncludesExperiment: same name under different
 // experiments are different rows.
 func TestCompareKeyIncludesExperiment(t *testing.T) {

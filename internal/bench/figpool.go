@@ -69,6 +69,10 @@ type PoolOpts struct {
 	// Drain runs a drain/undrain cycle on every pooled cell at teardown
 	// and fails the cell if the runtime is not quiescent afterwards.
 	Drain bool
+	// Variants restricts the run to the named variants (nil = the app's
+	// full ladder). Unknown names are ignored; useful for profiling one
+	// variant without the others polluting the samples.
+	Variants []string
 }
 
 // figPoolCell measures one httpd variant at one concurrency level: total
@@ -152,8 +156,10 @@ var FigPoolApps = []string{"httpd", "sshd", "pop3", "privsep", "dnsd"}
 // the pooled build; privsep compares the fork-per-connection monitor of
 // §5.2 against the pooled monitor gates; dnsd compares the
 // unpartitioned datagram resolver against the pooled datagram wedge
-// (flows, wheel-driven slot recycling, and the signing gate all on the
-// serving path).
+// under fresh principals (flows, wheel-driven slot recycling, and the
+// signing gate all on the serving path) and under returning principals
+// ("pooled-reuse": every query after a client's first rides a live flow
+// lease, the path principal-switch scrub elision serves).
 func FigPoolVariants(app string) ([]string, error) {
 	switch app {
 	case "", "httpd":
@@ -163,7 +169,7 @@ func FigPoolVariants(app string) ([]string, error) {
 	case "privsep":
 		return []string{"privsep", "pooled"}, nil
 	case "dnsd":
-		return []string{"mono", "pooled"}, nil
+		return []string{"mono", "pooled", "pooled-reuse"}, nil
 	}
 	return nil, fmt.Errorf("bench: unknown FigPool app %q (want httpd, sshd, pop3, privsep or dnsd)", app)
 }
@@ -186,6 +192,18 @@ func FigPoolApp(app string, conns int, levels []int, opts PoolOpts) ([]PoolRow, 
 	variants, err := FigPoolVariants(app)
 	if err != nil {
 		return nil, nil, err
+	}
+	if len(opts.Variants) > 0 {
+		keep := variants[:0]
+		for _, v := range variants {
+			for _, want := range opts.Variants {
+				if v == want {
+					keep = append(keep, v)
+					break
+				}
+			}
+		}
+		variants = keep
 	}
 	if app == "" {
 		app = "httpd"

@@ -9,6 +9,8 @@
 package bench
 
 import (
+	"bytes"
+	"crypto/rsa"
 	"fmt"
 	"sort"
 	"sync"
@@ -474,14 +476,18 @@ func settlePacket(snap func() serve.Snapshot) error {
 	}
 }
 
-// dnsdPoolCell measures one dnsd variant: a session is one fresh-source
-// signed query (every query a new principal, so the pooled build admits
-// a new flow each time) resolving a known name and verifying the
-// signature. The pooled build's flows return their slots only by idle
-// expiry, so the cell is exactly the datagram runtime's worst case —
-// admission, worker invocation, gate call, and wheel-driven slot
-// recycling all on the serving path — against the mono baseline that
-// answers from one loop.
+// dnsdPoolCell measures one dnsd variant: a session is one signed query
+// resolving a known name and verifying the signature. The "pooled"
+// cell's sessions are fresh-source (every query a new principal, so the
+// pooled build admits a new flow each time): its flows return their
+// slots only by idle expiry, so that cell is exactly the datagram
+// runtime's worst case — admission, worker invocation, gate call, and
+// wheel-driven slot recycling all on the serving path — against the
+// mono baseline that answers from one loop. The "pooled-reuse" cell is
+// the complement: each client keeps one packet socket — one returning
+// principal — for its whole run, so after the first query every session
+// lands on a live flow lease (no admission, no scrub, no recycling) and
+// consecutive same-principal ring entries take the scrub-skip path.
 func dnsdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (CellStats, error) {
 	key, err := minissl.GenerateServerKey()
 	if err != nil {
@@ -499,9 +505,20 @@ func dnsdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (C
 					return packetCellServer{}, err
 				}
 				return packetCellServer{loop: func(pc *netsim.PacketConn) { srv.ServePackets(pc) }}, nil
-			case "pooled":
+			case "pooled", "pooled-reuse":
+				slots := poolSlots
+				autoSlots := opts.AutoSlots
+				if variant == "pooled-reuse" {
+					// A flow pins its slot for its lifetime, and a reuse
+					// client's flow never idles: fewer slots than persistent
+					// principals would park the surplus flows in Acquire
+					// behind leases that never release. One slot per client,
+					// and no AutoSlots resync to shrink it underneath them.
+					slots = conns
+					autoSlots = false
+				}
 				srv, err := dnsd.NewPooled(root, key, zone, dnsd.Config{
-					Slots:       poolSlots,
+					Slots:       slots,
 					IdleTimeout: dnsdBenchIdle,
 				})
 				if err != nil {
@@ -510,7 +527,7 @@ func dnsdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (C
 				if opts.Queue != 0 {
 					srv.SetQueue(opts.Queue)
 				}
-				if opts.AutoSlots {
+				if autoSlots {
 					srv.SetAutoSlots(true)
 				}
 				return packetCellServer{
@@ -533,21 +550,7 @@ func dnsdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (C
 			return packetCellServer{}, fmt.Errorf("unknown dnsd variant %q", variant)
 		},
 		"dns:53",
-		func(k *kernel.Kernel) error {
-			pc, err := k.Net.DialPacket()
-			if err != nil {
-				return err
-			}
-			defer pc.Close()
-			a, err := dnsd.Query(pc, "dns:53", "www.example")
-			if err != nil {
-				return err
-			}
-			if a.Status != dnsd.StatusNoError {
-				return fmt.Errorf("dnsd status %d, want NOERROR", a.Status)
-			}
-			return a.Verify(&key.PublicKey)
-		},
+		dnsdBenchQuery(variant == "pooled-reuse", conns, &key.PublicKey),
 		conns, total)
 	if err == nil {
 		err = drainErr
@@ -556,6 +559,48 @@ func dnsdPoolCell(variant string, conns, total, poolSlots int, opts PoolOpts) (C
 		return CellStats{}, fmt.Errorf("dnsd %s c=%d: %w", variant, conns, err)
 	}
 	return stats, nil
+}
+
+// dnsdBenchQuery builds the per-session request for the dnsd cells: one
+// signed query, answer verified. Fresh-principal cells dial a new packet
+// socket per session; the reuse cell circulates up to conns sockets
+// through a handoff channel, so every session after a socket's first
+// arrives from a principal the server already holds a live flow for. A
+// failed session's socket is closed, not recirculated — a datagram lost
+// mid-exchange would desync the next session on that socket.
+func dnsdBenchQuery(reuse bool, conns int, pub *rsa.PublicKey) func(k *kernel.Kernel) error {
+	var idle chan *netsim.PacketConn
+	if reuse {
+		idle = make(chan *netsim.PacketConn, conns)
+	}
+	return func(k *kernel.Kernel) error {
+		var pc *netsim.PacketConn
+		if reuse {
+			select {
+			case pc = <-idle:
+			default:
+			}
+		}
+		if pc == nil {
+			var err error
+			if pc, err = k.Net.DialPacket(); err != nil {
+				return err
+			}
+		}
+		a, err := dnsd.Query(pc, "dns:53", "www.example")
+		if err == nil && a.Status != dnsd.StatusNoError {
+			err = fmt.Errorf("dnsd status %d, want NOERROR", a.Status)
+		}
+		if err == nil {
+			err = a.Verify(pub)
+		}
+		if err != nil || !reuse {
+			pc.Close()
+			return err
+		}
+		idle <- pc
+		return nil
+	}
 }
 
 // pop3BenchSession drives one full POP3 session as a load-generator
@@ -619,30 +664,42 @@ func pop3BenchSession(k *kernel.Kernel) error {
 }
 
 // lineReader is a minimal CRLF line reader over a netsim connection.
+// Unconsumed bytes live in buf[off:]; reads land in the buffer's spare
+// capacity, so a steady request/response exchange costs one buffer for
+// the life of the connection instead of an allocation per read.
 type lineReader struct {
 	conn *netsim.Conn
 	buf  []byte
+	off  int
 }
 
-func newLineReader(conn *netsim.Conn) *lineReader { return &lineReader{conn: conn} }
+func newLineReader(conn *netsim.Conn) *lineReader {
+	return &lineReader{conn: conn, buf: make([]byte, 0, 512)}
+}
 
 func (l *lineReader) line() (string, error) {
 	for {
-		for i := 0; i < len(l.buf); i++ {
-			if l.buf[i] == '\n' {
-				line := string(l.buf[:i])
-				l.buf = l.buf[i+1:]
-				if n := len(line); n > 0 && line[n-1] == '\r' {
-					line = line[:n-1]
-				}
-				return line, nil
+		if i := bytes.IndexByte(l.buf[l.off:], '\n'); i >= 0 {
+			line := l.buf[l.off : l.off+i]
+			l.off += i + 1
+			if n := len(line); n > 0 && line[n-1] == '\r' {
+				line = line[:n-1]
 			}
+			return string(line), nil
 		}
-		chunk := make([]byte, 512)
-		n, err := l.conn.Read(chunk)
+		if l.off > 0 {
+			l.buf = l.buf[:copy(l.buf, l.buf[l.off:])]
+			l.off = 0
+		}
+		if len(l.buf) == cap(l.buf) {
+			grown := make([]byte, len(l.buf), 2*cap(l.buf))
+			copy(grown, l.buf)
+			l.buf = grown
+		}
+		n, err := l.conn.Read(l.buf[len(l.buf):cap(l.buf)])
 		if err != nil {
 			return "", err
 		}
-		l.buf = append(l.buf, chunk[:n]...)
+		l.buf = l.buf[:len(l.buf)+n]
 	}
 }

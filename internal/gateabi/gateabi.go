@@ -410,6 +410,22 @@ func (f BytesField) LoadMax(s *sthread.Sthread, arg vm.Addr, max int) ([]byte, e
 	return p, nil
 }
 
+// LoadInto is Load decoding into caller-owned scratch: the payload lands
+// in dst (which must hold Cap() bytes) and the decoded length is
+// returned. The same hostile-length validation as Load applies. Batched
+// worker bodies use it to reuse one buffer across a ring sweep.
+func (f BytesField) LoadInto(s *sthread.Sthread, arg vm.Addr, dst []byte) (int, error) {
+	n := s.Load64(arg + f.off)
+	if n > uint64(f.cap) || n > uint64(len(dst)) {
+		return 0, &ArgBoundsError{Schema: f.schema, Field: f.name,
+			Len: clampInt(n), Cap: f.cap, Decode: true}
+	}
+	if n > 0 {
+		s.Read(arg+f.data, dst[:n])
+	}
+	return int(n), nil
+}
+
 // clampInt narrows a hostile uint64 length for the error message.
 func clampInt(n uint64) int {
 	const maxInt = int(^uint(0) >> 1)

@@ -1,0 +1,696 @@
+// Batched dataplane mode (Config.BatchDepth > 0): every slot's argument
+// arena holds a ring of schema-sized entry blocks, producers reserve and
+// commit entries instead of holding the slot exclusively, and one
+// long-lived worker gate per slot drains the ring run-to-completion
+// (sthread.NewRecycledBatch). The classic per-call costs this removes:
+// the per-invocation futex round trip (one doorbell covers a whole
+// batch), the per-call scrub (scrubbing happens per principal switch),
+// and the slot-exclusive lease (a slot pipelines up to BatchDepth
+// entries).
+//
+// Residue rules. With multiple principals' entries resident in one ring
+// at once, the arena is shared in a way a classic slot never is: the
+// worker invocation for principal P can reach the argument bytes of
+// *pending* entries reserved by other principals. That concurrent-window
+// exposure is inherent to batching and is documented, not defended. What
+// the pool does defend — the batched analogue of the §3.3 scrub — is
+// residue of *finished* work: before the worker runs an entry for P,
+// every ring position whose resident bytes belong to a different
+// principal's completed (or freed) entry is zeroed. Consecutive entries
+// for the same principal skip that zeroing entirely (ScrubsSkipped),
+// which is the warm-slot affinity win the scheduler aims dispatch at.
+//
+// Liveness. A producer's entry may sit queued behind a worker stuck in a
+// long invocation. To keep the pool work-conserving — and to keep one
+// blocked session from wedging others, which the serve runtime's drain
+// and resize semantics depend on — a worker that drains its own ring
+// steals the oldest undispatched entry from the most backlogged other
+// slot: the victim entry is cancelled in place, its metadata and
+// argument bytes move to the thief's ring, and the producer's lease is
+// re-pointed before it is released from Await.
+package gatepool
+
+import (
+	"errors"
+	"fmt"
+
+	"wedge/internal/kernel"
+	"wedge/internal/policy"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// ErrNotBatched rejects batch-protocol calls on a classic pool (and vice
+// versa).
+var ErrNotBatched = errors.New("gatepool: pool is not in batched mode")
+
+var errCancelled = errors.New("gatepool: ring entry cancelled before dispatch")
+
+// slotRing is one slot's batched-mode state. All fields are guarded by
+// the pool lock except the ring itself, which has its own discipline.
+type slotRing struct {
+	ring     *sthread.BatchRing
+	gateName string
+
+	nextSeq  uint64 // next sequence number to reserve
+	pubSeq   uint64 // contiguous committed watermark given to PublishTo
+	hookSeq  uint64 // next sequence the dispatch hook will observe
+	recycled uint64 // entries fully retired (consumed and released), in order
+
+	inBody bool // the worker is inside an entry body right now
+
+	// owner[pos] names the principal whose bytes sit in ring position pos
+	// (argument block + header), or "" when the position is clean. Set at
+	// reserve, cleared by scrubbing.
+	owner   []string
+	entries []ringEntry
+
+	lastPrincipal string // most recently dispatched principal, for stats
+}
+
+// ringEntry is the host-side record of one reservation. The struct is
+// overwritten wholesale when its position is reserved again.
+type ringEntry struct {
+	seq       uint64
+	lease     *Lease
+	principal string
+
+	active    bool // reserved and not yet consumed
+	committed bool // published (or eligible for publishing)
+	cancelled bool // dispatch must skip it (early release or migration)
+	consumed  bool // the worker (or a dead-gate fast path) retired it
+	released  bool // the producer released the lease
+
+	connID uint64
+	fd     int
+	fdPerm kernel.FDPerm
+	caller *kernel.Task
+}
+
+func (br *slotRing) inflightLocked() int { return int(br.nextSeq - br.recycled) }
+
+// entryFor returns the ring entry currently occupying seq's position,
+// valid only while seq is unrecycled.
+func (br *slotRing) entryFor(seq uint64) *ringEntry {
+	return &br.entries[seq%uint64(len(br.entries))]
+}
+
+// advancePubLocked moves the publish watermark over the contiguous
+// committed prefix and returns it.
+func (br *slotRing) advancePubLocked() uint64 {
+	for br.pubSeq < br.nextSeq {
+		e := br.entryFor(br.pubSeq)
+		if e.seq != br.pubSeq || !e.committed {
+			break
+		}
+		br.pubSeq++
+	}
+	return br.pubSeq
+}
+
+// recycleLocked returns fully retired positions (consumed and released,
+// in sequence order) to the free pool.
+func (br *slotRing) recycleLocked() {
+	for br.recycled < br.nextSeq {
+		e := br.entryFor(br.recycled)
+		if e.seq != br.recycled || !e.consumed || !e.released {
+			break
+		}
+		br.recycled++
+	}
+}
+
+// Batched reports whether the pool runs the ring protocol.
+func (p *Pool) Batched() bool { return p.cfg.BatchDepth > 0 }
+
+// BatchDepth reports the per-slot ring depth (0 for a classic pool).
+func (p *Pool) BatchDepth() int { return p.cfg.BatchDepth }
+
+// newBatchGate builds the slot's ring worker: the ring lives at the
+// slot's arena base, and the dispatch/complete hooks give the pool its
+// per-entry control points (scrub, demux, fd grant/revoke, recycling).
+func (p *Pool) newBatchGate(s *slot, def GateDef) (*sthread.Recycled, error) {
+	sc := def.SC
+	if sc == nil {
+		sc = policy.New()
+	}
+	eff := sc.Clone()
+	if err := eff.MemAdd(s.argTag, vm.PermRW); err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("%s/%s-%d", p.cfg.Name, def.Name, s.index)
+	gate, ring, err := p.root.NewRecycledBatch(name, eff, def.Batch, sthread.BatchConfig{
+		Base:      s.argBase,
+		Depth:     p.cfg.BatchDepth,
+		EntrySize: p.entrySize,
+		Trusted:   def.Trusted,
+		Hooks: sthread.BatchHooks{
+			Dispatch: func(seq uint64) error { return p.batchDispatch(s, seq) },
+			Complete: func(seq uint64, ret vm.Addr) { p.batchComplete(s, seq) },
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.br = &slotRing{
+		ring:     ring,
+		gateName: def.Name,
+		owner:    make([]string, p.cfg.BatchDepth),
+		entries:  make([]ringEntry, p.cfg.BatchDepth),
+	}
+	return gate, nil
+}
+
+// selectBatchLocked picks a slot with ring space for principal, or nil
+// when every usable ring is full. Preference order: an idle slot still
+// warm with this principal's bytes, then any idle slot (starting from
+// the principal's home shard), then the least-loaded slot — queueing
+// behind an active worker is allowed because work stealing guarantees a
+// queued entry outlives a stuck one.
+func (p *Pool) selectBatchLocked(principal string) (*slot, bool) {
+	n := p.liveCountLocked()
+	if n == 0 {
+		return nil, false
+	}
+	home := p.liveSlotLocked(homeFor(principal, n))
+	var idleWarm, idleAny, least *slot
+	for _, s := range p.slots {
+		if s.retiring || s.br == nil {
+			continue
+		}
+		br := s.br
+		if br.inflightLocked() >= p.cfg.BatchDepth {
+			continue
+		}
+		if g := s.gates[br.gateName]; g == nil || !g.Alive() {
+			// A dead worker is selectable only once its ring has drained —
+			// leaseBatchLocked respawns it on arrival.
+			if br.inflightLocked() > 0 {
+				continue
+			}
+		}
+		if br.hookSeq == br.pubSeq && !br.inBody {
+			if br.lastPrincipal == principal && idleWarm == nil {
+				idleWarm = s
+			}
+			if idleAny == nil || s == home {
+				idleAny = s
+			}
+		}
+		if least == nil || br.inflightLocked() < least.br.inflightLocked() {
+			least = s
+		}
+	}
+	pick := idleWarm
+	if pick == nil {
+		pick = idleAny
+	}
+	if pick == nil {
+		pick = least
+	}
+	if pick == nil {
+		return nil, false
+	}
+	return pick, pick != home
+}
+
+// scrubPosLocked zeroes one ring position's argument block and header
+// and clears its owner.
+func (p *Pool) scrubPosLocked(s *slot, pos int) error {
+	br := s.br
+	if err := p.root.Zero(br.ring.EntryAddr(uint64(pos)), p.entrySize); err != nil {
+		return err
+	}
+	hdr := br.ring.HdrAddr(uint64(pos))
+	p.root.Task.AtomicStore64(hdr, 0)
+	p.root.Task.AtomicStore64(hdr+8, 0)
+	br.owner[pos] = ""
+	return nil
+}
+
+// leaseBatchLocked reserves the next ring entry on s for principal. The
+// position is scrubbed here if it still holds another principal's bytes,
+// so the producer gets a clean block to marshal into; dead gates (the
+// worker and the slot's classic nested gates alike) are replaced first.
+func (p *Pool) leaseBatchLocked(s *slot, principal string, stolen bool) (*Lease, error) {
+	br := s.br
+	// Respawn a dead worker — selection only routed us here if the ring
+	// is fully drained, so the whole arena (stale residue included) can
+	// be reset wholesale.
+	if g := s.gates[br.gateName]; g == nil || !g.Alive() {
+		if g != nil {
+			g.Close()
+		}
+		size := sthread.BatchRingBytes(p.cfg.BatchDepth, p.entrySize)
+		if err := p.root.Zero(s.argBase, size); err != nil {
+			return nil, fmt.Errorf("gatepool: resetting slot %d ring: %w", s.index, err)
+		}
+		gate, err := p.newBatchGate(s, p.batchDef)
+		if err != nil {
+			return nil, fmt.Errorf("gatepool: replacing dead batch gate %q: %w", p.batchDef.Name, err)
+		}
+		s.gates[p.batchDef.Name] = gate
+		br = s.br
+		s.replaced++
+		p.replaced++
+	}
+	// Liveness-probe the classic nested gates, as leaseLocked does.
+	for _, def := range p.cfg.Gates {
+		if def.Batch != nil {
+			continue
+		}
+		if g := s.gates[def.Name]; g != nil {
+			if g.Alive() {
+				continue
+			}
+			g.Close()
+		}
+		gate, err := p.newGate(s, def)
+		if err != nil {
+			return nil, fmt.Errorf("gatepool: replacing dead gate %q: %w", def.Name, err)
+		}
+		s.gates[def.Name] = gate
+		s.replaced++
+		p.replaced++
+	}
+
+	seq := br.nextSeq
+	pos := int(seq % uint64(p.cfg.BatchDepth))
+	scrubbed := false
+	switch owner := br.owner[pos]; {
+	case owner == "" || p.cfg.NoScrub:
+	case owner != principal:
+		if err := p.scrubPosLocked(s, pos); err != nil {
+			return nil, fmt.Errorf("gatepool: scrubbing slot %d pos %d: %w", s.index, pos, err)
+		}
+		scrubbed = true
+		s.scrubs++
+		p.scrubs++
+	default:
+		// Reusing a position warm with our own bytes: the affinity win.
+		p.affinityHits++
+	}
+	br.owner[pos] = principal
+	br.nextSeq++
+	lease := &Lease{
+		Principal: principal,
+		Slot:      s.index,
+		ArgTag:    s.argTag,
+		Arg:       br.ring.EntryAddr(seq),
+		Scrubbed:  scrubbed,
+		Stolen:    stolen,
+		pool:      p,
+		s:         s,
+		batch:     true,
+		seq:       seq,
+	}
+	br.entries[pos] = ringEntry{
+		seq:       seq,
+		lease:     lease,
+		principal: principal,
+		active:    true,
+		fd:        -1,
+	}
+	if stolen {
+		s.steals++
+		p.steals++
+	}
+	s.principal = principal
+	p.acquires++
+	return lease, nil
+}
+
+// CallBatch commits the lease's ring entry and blocks until the slot
+// worker completes it, returning the worker's return word. connID is
+// stored into the schema's demux words at dispatch (along with fd, when
+// the schema declares them); fd, when non-negative, is granted to the
+// worker for the duration of the entry and revoked at completion. The
+// one-publish-per-commit doorbell is amortized by the ring: if the
+// worker is mid-batch the publish costs no wake at all.
+func (l *Lease) CallBatch(caller *sthread.Sthread, connID uint64, fd int, perm kernel.FDPerm) (vm.Addr, error) {
+	p := l.pool
+	if !l.batch {
+		return 0, ErrNotBatched
+	}
+	p.mu.Lock()
+	if l.done {
+		p.mu.Unlock()
+		return 0, errors.New("gatepool: CallBatch on a released lease")
+	}
+	br := l.s.br
+	e := br.entryFor(l.seq)
+	if e.seq != l.seq || e.committed {
+		p.mu.Unlock()
+		return 0, errors.New("gatepool: CallBatch entry already committed")
+	}
+	e.connID = connID
+	e.fd = fd
+	e.fdPerm = perm
+	if caller != nil {
+		e.caller = caller.Task
+	}
+	e.committed = true
+	target := br.advancePubLocked()
+	ring := br.ring
+	p.mu.Unlock()
+	if err := ring.PublishTo(target); err != nil {
+		return 0, err
+	}
+	return l.batchAwait()
+}
+
+// batchAwait blocks on the lease's current ring binding, chasing it
+// across migrations: a steal aborts the producer out of the old ring and
+// sets rebound, and the loop re-reads the binding and waits again.
+func (l *Lease) batchAwait() (vm.Addr, error) {
+	p := l.pool
+	for {
+		p.mu.Lock()
+		ring, seq := l.s.br.ring, l.seq
+		p.mu.Unlock()
+		ret, err := ring.Await(seq)
+		if err != nil {
+			p.mu.Lock()
+			if l.rebound {
+				l.rebound = false
+				p.mu.Unlock()
+				continue
+			}
+			p.mu.Unlock()
+		}
+		return ret, err
+	}
+}
+
+// Dispatched reports whether service of this lease's work has begun: a
+// classic lease dispatches the moment it calls, so it is always true; a
+// batched lease's ring entry may still be queued behind a busy worker.
+// Expiry policies use it — a connection whose worker has not yet read a
+// byte is waiting, not idle, and reaping it would silently drop its
+// queued input.
+func (l *Lease) Dispatched() bool {
+	if !l.batch {
+		return true
+	}
+	p := l.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if l.done || l.s == nil || l.s.br == nil {
+		return true
+	}
+	return l.s.br.hookSeq > l.seq
+}
+
+// batchDispatch is the worker-side gate into an entry: it runs on the
+// worker goroutine just before the body sees the entry. Cancelled
+// entries are consumed here without running; live ones get the
+// principal-switch scrub, their demux words, and their fd grant.
+func (p *Pool) batchDispatch(s *slot, seq uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	br := s.br
+	br.hookSeq = seq + 1
+	// An entry may not dispatch until every earlier entry on this ring is
+	// fully retired — consumed by the worker AND released by its producer.
+	// The release half is the point: after CallBatch returns, the producer
+	// is still reading its result bytes and running its per-connection
+	// unwind (EndConn), and the classic exclusive lease guaranteed both
+	// finished before the next connection could touch the slot. Waiting
+	// here preserves that invariant — a later entry's scrub cannot destroy
+	// results a producer has not read, and slot-owned cleanup (e.g. sshd's
+	// worker demotion) lands before the next principal's service begins.
+	// The wait is producer-unwind-short, so the run-to-completion sweep
+	// keeps its amortized doorbell; it does not park the worker's futex.
+	for br.recycled < seq {
+		p.retired.Wait()
+	}
+	e := br.entryFor(seq)
+	if e.seq != seq || e.cancelled {
+		p.consumeLocked(s, e)
+		return errCancelled
+	}
+
+	// Principal-switch scrub: zero every position whose resident bytes
+	// belong to a different principal's finished entry. Positions holding
+	// other principals' *pending* entries are left alone — that window is
+	// the documented batching exposure, and zeroing them would destroy
+	// their producers' arguments.
+	if !p.cfg.NoScrub {
+		zeroed, dirtySkipped := false, false
+		for pos := range br.owner {
+			owner := br.owner[pos]
+			if owner == "" {
+				continue
+			}
+			if owner == e.principal {
+				if uint64(pos) != seq%uint64(len(br.entries)) {
+					dirtySkipped = true
+				}
+				continue
+			}
+			if pe := &br.entries[pos]; pe.active && !pe.consumed {
+				continue
+			}
+			if err := p.scrubPosLocked(s, pos); err != nil {
+				p.consumeLocked(s, e)
+				return err
+			}
+			zeroed = true
+		}
+		if zeroed {
+			s.scrubs++
+			p.scrubs++
+		} else if dirtySkipped {
+			s.scrubsSkipped++
+			p.scrubsSkipped++
+		}
+	}
+	br.lastPrincipal = e.principal
+	s.principal = e.principal
+
+	// Demux words go in after the scrub pass, straight into the entry
+	// block the worker is about to read.
+	if sch := p.cfg.Schema; sch != nil && sch.HasDemux() {
+		arg := br.ring.EntryAddr(seq)
+		p.root.Store64(arg+sch.ConnIDOff(), e.connID)
+		fdw := uint64(0)
+		if e.fd >= 0 {
+			fdw = uint64(e.fd)
+		}
+		p.root.Store64(arg+sch.FDOff(), fdw)
+	}
+
+	if e.fd >= 0 && e.caller != nil {
+		g := s.gates[br.gateName]
+		if g == nil {
+			p.consumeLocked(s, e)
+			return errCancelled
+		}
+		if err := e.caller.ShareFDTo(g.Sthread().Task, e.fd, e.fdPerm); err != nil {
+			p.consumeLocked(s, e)
+			return fmt.Errorf("gatepool: granting fd %d: %w", e.fd, err)
+		}
+	}
+	br.inBody = true
+	return nil
+}
+
+// batchComplete retires an entry the worker finished: revoke its fd,
+// recycle its position, and — if this drained the slot's ring — steal
+// queued work from the most backlogged sibling so the worker keeps
+// running to completion instead of parking.
+func (p *Pool) batchComplete(s *slot, seq uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	br := s.br
+	br.inBody = false
+	e := br.entryFor(seq)
+	if e.seq == seq {
+		if e.fd >= 0 {
+			if g := s.gates[br.gateName]; g != nil {
+				g.Sthread().Task.CloseFD(e.fd)
+			}
+		}
+		s.invocations.Add(1)
+		p.consumeLocked(s, e)
+	}
+	if br.hookSeq == br.pubSeq && !p.closed {
+		p.stealIntoLocked(s)
+	}
+}
+
+// consumeLocked marks an entry consumed and drives the recycle cursor,
+// waking waiters and reaping a retiring slot that just went quiet. Safe
+// from both producer and worker contexts; the worker context defers the
+// actual removal to a fresh goroutine because closing the slot's gates
+// joins the worker itself.
+func (p *Pool) consumeLocked(s *slot, e *ringEntry) {
+	e.consumed = true
+	e.active = false
+	e.lease = nil
+	s.br.recycleLocked()
+	p.retired.Broadcast()
+	p.freed.Signal()
+	if p.draining {
+		p.freed.Broadcast()
+	}
+	if s.retiring && s.br.inflightLocked() == 0 {
+		go p.reapRetiring(s)
+	}
+}
+
+// reapRetiring removes a retiring slot once its ring has drained,
+// re-checking everything under the lock: the slot may already be gone,
+// or new work may never arrive (retiring slots take no reservations).
+func (p *Pool) reapRetiring(s *slot) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || !s.retiring || s.br == nil || s.br.inflightLocked() != 0 {
+		return
+	}
+	for _, live := range p.slots {
+		if live == s {
+			p.removeSlotLocked(s)
+			p.freed.Broadcast()
+			return
+		}
+	}
+}
+
+// stealIntoLocked migrates the oldest undispatched entry from the most
+// backlogged stuck sibling onto dst's ring. Only victims whose worker is
+// parked inside an entry body are robbed: a worker that is sweeping will
+// reach its queue on its own, and a dead gate's producers have already
+// been failed by Await.
+func (p *Pool) stealIntoLocked(dst *slot) {
+	dbr := dst.br
+	if dst.retiring || dbr.inflightLocked() >= p.cfg.BatchDepth {
+		return
+	}
+	if g := dst.gates[dbr.gateName]; g == nil || !g.Alive() {
+		return
+	}
+	var victim *slot
+	var backlog uint64
+	for _, v := range p.slots {
+		if v == dst || v.br == nil || !v.br.inBody {
+			continue
+		}
+		if g := v.gates[v.br.gateName]; g == nil || !g.Alive() {
+			continue
+		}
+		if q := v.br.pubSeq - v.br.hookSeq; q > backlog {
+			victim, backlog = v, q
+		}
+	}
+	if victim == nil {
+		return
+	}
+	vbr := victim.br
+	var src *ringEntry
+	for seq := vbr.hookSeq; seq < vbr.pubSeq; seq++ {
+		e := vbr.entryFor(seq)
+		if e.seq == seq && e.committed && !e.cancelled && !e.consumed && e.lease != nil {
+			src = e
+			break
+		}
+	}
+	if src == nil {
+		return
+	}
+
+	l := src.lease
+	oldSeq := src.seq
+	nseq := dbr.nextSeq
+	npos := int(nseq % uint64(p.cfg.BatchDepth))
+	if owner := dbr.owner[npos]; owner != "" && owner != src.principal && !p.cfg.NoScrub {
+		if p.scrubPosLocked(dst, npos) != nil {
+			return
+		}
+		dst.scrubs++
+		p.scrubs++
+	}
+	dbr.owner[npos] = src.principal
+	// Move the argument bytes the producer marshalled before committing.
+	as := p.root.Task.AS
+	from := vbr.ring.EntryAddr(oldSeq)
+	to := dbr.ring.EntryAddr(nseq)
+	for off := vm.Addr(0); off < vm.Addr(p.entrySize); off += 8 {
+		w, err := as.Load64(from + off)
+		if err != nil {
+			return
+		}
+		if as.Store64(to+off, w) != nil {
+			return
+		}
+	}
+	dbr.entries[npos] = ringEntry{
+		seq:       nseq,
+		lease:     l,
+		principal: src.principal,
+		active:    true,
+		committed: true,
+		connID:    src.connID,
+		fd:        src.fd,
+		fdPerm:    src.fdPerm,
+		caller:    src.caller,
+	}
+	dbr.nextSeq++
+	// Cancel the original in place: the victim worker will consume it
+	// when it finally sweeps past, and the producer will never Release
+	// it, so retire the released half here.
+	src.cancelled = true
+	src.released = true
+	src.lease = nil
+	// Re-point the lease, then kick its producer out of the old Await.
+	l.s = dst
+	l.seq = nseq
+	l.Slot = dst.index
+	l.Arg = to
+	l.ArgTag = dst.argTag
+	l.Stolen = true
+	l.rebound = true
+	dst.steals++
+	p.steals++
+	p.migrations++
+	target := dbr.advancePubLocked()
+	dbr.ring.PublishTo(target)
+	vbr.ring.AbortPending(oldSeq)
+}
+
+// releaseBatchLocked is the batched arm of Lease.Release: an uncommitted
+// entry is cancelled and published so the worker retires it; a committed
+// one just sheds its released flag. Entries stranded by a dead worker
+// are consumed here so the ring can drain and the gate respawn.
+func (p *Pool) releaseBatchLocked(l *Lease) {
+	s := l.s
+	br := s.br
+	e := br.entryFor(l.seq)
+	if e.seq != l.seq || e.lease != l && e.lease != nil {
+		return
+	}
+	e.released = true
+	if !e.committed {
+		e.cancelled = true
+		e.committed = true
+		target := br.advancePubLocked()
+		br.ring.PublishTo(target)
+	}
+	if !e.consumed {
+		if g := s.gates[br.gateName]; g == nil || !g.Alive() {
+			e.consumed = true
+			e.active = false
+			e.lease = nil
+		}
+	}
+	br.recycleLocked()
+	p.retired.Broadcast()
+	if s.retiring && br.inflightLocked() == 0 {
+		for _, live := range p.slots {
+			if live == s {
+				p.removeSlotLocked(s)
+				break
+			}
+		}
+	}
+}

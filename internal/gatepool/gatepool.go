@@ -64,6 +64,13 @@ type GateDef struct {
 	SC      *policy.SC // base policy; nil means no privileges beyond the arg tag
 	Entry   sthread.GateFunc
 	Trusted vm.Addr
+
+	// Batch, when set, makes this def the slot's ring-draining worker in a
+	// batched pool (Config.BatchDepth > 0): the gate loops run-to-completion
+	// over published ring entries instead of serving one Call at a time.
+	// Exactly one def of a batched pool sets it; Entry is ignored for that
+	// def. See batch.go.
+	Batch sthread.BatchFunc
 }
 
 // Config sizes and populates a pool.
@@ -85,6 +92,14 @@ type Config struct {
 	// residue tests prove scrubbing is what closes the leak — and should
 	// never be set in servers handling multiple principals.
 	NoScrub bool
+
+	// BatchDepth, when positive, puts the pool in batched dataplane mode:
+	// each slot's argument arena becomes a ring of BatchDepth schema-sized
+	// entry blocks drained run-to-completion by the def with Batch set,
+	// and scrubbing moves from per-call to per-principal-switch. Capped at
+	// 64 (the dirty-position bitmask). Zero keeps the classic one-call-
+	// per-wakeup protocol.
+	BatchDepth int
 }
 
 // slot is one shard: an argument tag, its preallocated block, and a
@@ -100,13 +115,17 @@ type slot struct {
 	principal string // last principal leased; "" before first lease
 	waiters   int    // callers blocked with this slot as their home
 
+	// br is the slot's ring state in batched mode, nil in classic mode.
+	br *slotRing
+
 	// invocations is atomic so Lease.Call stays off the pool lock — it
 	// sits on the per-request hot path.
 	invocations atomic.Uint64
 	// Counters below are read and written under the pool lock.
-	scrubs   uint64
-	steals   uint64 // leases granted here to principals homed elsewhere
-	replaced uint64 // dead gates replaced by the liveness probe
+	scrubs        uint64
+	scrubsSkipped uint64 // same-principal consecutive entries that skipped the scrub
+	steals        uint64 // leases granted here to principals homed elsewhere
+	replaced      uint64 // dead gates replaced by the liveness probe
 }
 
 // Pool is a sharded recycled-callgate scheduler. All methods are safe for
@@ -117,19 +136,26 @@ type Pool struct {
 
 	mu       sync.Mutex
 	freed    *sync.Cond // signaled whenever a lease is released
+	retired  *sync.Cond // broadcast whenever a ring's recycle cursor advances
 	slots    []*slot
 	draining bool
 	closed   bool
 
+	// Batched mode plumbing, fixed at New.
+	batchDef  GateDef // the def with Batch set
+	entrySize int     // ArgSize rounded up to 8
+
 	// Pool-wide counters.
-	acquires     uint64
-	affinityHits uint64
-	steals       uint64
-	waits        uint64 // Acquire calls that had to block
-	scrubs       uint64
-	replaced     uint64
-	grown        uint64
-	shrunk       uint64
+	acquires      uint64
+	affinityHits  uint64
+	steals        uint64
+	waits         uint64 // Acquire calls that had to block
+	scrubs        uint64
+	scrubsSkipped uint64
+	replaced      uint64
+	grown         uint64
+	shrunk        uint64
+	migrations    uint64 // queued entries moved to an idle slot's ring
 }
 
 // Lease is exclusive use of one slot, from Acquire until Release. The
@@ -146,6 +172,14 @@ type Lease struct {
 	pool *Pool
 	s    *slot
 	done bool
+
+	// Batched-mode binding. seq identifies the lease's ring entry on s;
+	// migration (work stealing of undispatched entries) may re-point the
+	// whole binding — s, seq, Slot, Arg, ArgTag — at another slot under
+	// the pool lock, setting rebound so the awaiting producer re-reads it.
+	batch   bool
+	seq     uint64
+	rebound bool
 }
 
 // New builds a pool on root: root creates every slot's tag and gates, so
@@ -174,7 +208,24 @@ func New(root *sthread.Sthread, cfg Config) (*Pool, error) {
 		cfg.Name = "gatepool"
 	}
 	p := &Pool{root: root, cfg: cfg}
+	p.entrySize = (cfg.ArgSize + 7) &^ 7
+	if cfg.BatchDepth > 0 {
+		if cfg.BatchDepth > 64 {
+			return nil, fmt.Errorf("gatepool: BatchDepth %d exceeds 64", cfg.BatchDepth)
+		}
+		var workers int
+		for _, def := range cfg.Gates {
+			if def.Batch != nil {
+				p.batchDef = def
+				workers++
+			}
+		}
+		if workers != 1 {
+			return nil, fmt.Errorf("gatepool: batched pool needs exactly one GateDef with Batch set, got %d", workers)
+		}
+	}
 	p.freed = sync.NewCond(&p.mu)
+	p.retired = sync.NewCond(&p.mu)
 	for i := 0; i < cfg.Slots; i++ {
 		s, err := p.newSlot(i)
 		if err != nil {
@@ -197,7 +248,13 @@ func (p *Pool) newSlot(index int) (*slot, error) {
 	if err != nil {
 		return nil, err
 	}
-	argBase, err := root.Smalloc(argTag, p.cfg.ArgSize)
+	size := p.cfg.ArgSize
+	if p.cfg.BatchDepth > 0 {
+		// The arena is the whole ring: control words, per-entry headers,
+		// and BatchDepth schema-sized entry blocks.
+		size = sthread.BatchRingBytes(p.cfg.BatchDepth, p.entrySize)
+	}
+	argBase, err := root.Smalloc(argTag, size)
 	if err != nil {
 		root.App().Tags.TagDelete(argTag)
 		return nil, err
@@ -205,7 +262,13 @@ func (p *Pool) newSlot(index int) (*slot, error) {
 	s := &slot{index: index, argTag: argTag, argBase: argBase,
 		gates: make(map[string]*sthread.Recycled, len(p.cfg.Gates))}
 	for _, def := range p.cfg.Gates {
-		gate, err := p.newGate(s, def)
+		var gate *sthread.Recycled
+		var err error
+		if p.cfg.BatchDepth > 0 && def.Batch != nil {
+			gate, err = p.newBatchGate(s, def)
+		} else {
+			gate, err = p.newGate(s, def)
+		}
 		if err != nil {
 			for _, g := range s.gates {
 				g.Close()
@@ -228,7 +291,18 @@ func (p *Pool) newGate(s *slot, def GateDef) (*sthread.Recycled, error) {
 		return nil, err
 	}
 	name := fmt.Sprintf("%s/%s-%d", p.cfg.Name, def.Name, s.index)
-	return p.root.NewRecycled(name, eff, def.Entry, def.Trusted)
+	gate, err := p.root.NewRecycled(name, eff, def.Entry, def.Trusted)
+	if err != nil {
+		return nil, err
+	}
+	if p.cfg.BatchDepth > 0 {
+		// A batched pool's nested classic gates run-to-completion on the
+		// caller's goroutine: a classic Call is synchronous either way,
+		// so the inline mode observes identical semantics while skipping
+		// the two futex handoffs per invocation.
+		gate.SetInlineCalls(true)
+	}
+	return gate, nil
 }
 
 // homeFor shards a principal: FNV-1a over the principal name, modulo the
@@ -259,10 +333,22 @@ func (p *Pool) Acquire(principal string) (*Lease, error) {
 			p.mu.Unlock()
 			return nil, ErrDraining
 		}
-		s, stolen := p.selectLocked(principal)
+		var s *slot
+		var stolen bool
+		if p.cfg.BatchDepth > 0 {
+			s, stolen = p.selectBatchLocked(principal)
+		} else {
+			s, stolen = p.selectLocked(principal)
+		}
 		if s != nil {
 			p.unchargeWait(waitingOn)
-			lease, err := p.leaseLocked(s, principal, stolen)
+			var lease *Lease
+			var err error
+			if p.cfg.BatchDepth > 0 {
+				lease, err = p.leaseBatchLocked(s, principal, stolen)
+			} else {
+				lease, err = p.leaseLocked(s, principal, stolen)
+			}
 			p.mu.Unlock()
 			return lease, err
 		}
@@ -439,9 +525,13 @@ func (l *Lease) Release() {
 		return
 	}
 	l.done = true
-	l.s.busy = false
-	if l.s.retiring {
-		p.removeSlotLocked(l.s)
+	if l.batch {
+		p.releaseBatchLocked(l)
+	} else {
+		l.s.busy = false
+		if l.s.retiring {
+			p.removeSlotLocked(l.s)
+		}
 	}
 	// One slot freed: one waiter can proceed. Drain also waits on freed,
 	// so wake it too once the pool falls idle.
@@ -505,7 +595,7 @@ func (p *Pool) Resize(n int) error {
 		}
 		victim.retiring = true
 		p.shrunk++
-		if !victim.busy {
+		if !p.slotBusyLocked(victim) {
 			p.removeSlotLocked(victim)
 		}
 	}
@@ -571,7 +661,7 @@ func (p *Pool) Drain() {
 	for {
 		busy := 0
 		for _, s := range p.slots {
-			if s.busy {
+			if p.slotBusyLocked(s) {
 				busy++
 			}
 		}
@@ -581,6 +671,15 @@ func (p *Pool) Drain() {
 		p.freed.Wait()
 	}
 	p.mu.Unlock()
+}
+
+// slotBusyLocked reports whether a slot still has work in flight: a held
+// lease in classic mode, any unrecycled ring entry in batched mode.
+func (p *Pool) slotBusyLocked(s *slot) bool {
+	if s.br != nil {
+		return s.br.inflightLocked() > 0
+	}
+	return s.busy
 }
 
 // Undrain re-admits acquisitions after a Drain.
@@ -614,12 +713,19 @@ type GateStats struct {
 	Slot        int
 	Busy        bool
 	Retiring    bool
-	Principal   string // last principal leased
+	Principal   string // last principal leased (classic) / ring residue owner (batched)
 	QueueDepth  int    // callers currently blocked with this home slot
 	Invocations uint64
 	Scrubs      uint64
-	Steals      uint64
-	Replaced    uint64
+	// ScrubsSkipped counts consecutive same-principal entries that were
+	// dispatched without a scrub — the batched mode's principal-switch
+	// elision. Always zero in classic mode, where every switch scrubs and
+	// same-principal reuse never dirties in between.
+	ScrubsSkipped uint64
+	Steals        uint64
+	Replaced      uint64
+	// Inflight is the batched slot's unrecycled entry count (0 classic).
+	Inflight int
 }
 
 // Stats is a point-in-time snapshot of the pool's scheduling counters.
@@ -633,10 +739,30 @@ type Stats struct {
 	AffinityHits uint64
 	Steals       uint64
 	Waits        uint64
-	Scrubs       uint64
-	Replaced     uint64
-	Grown        uint64
-	Shrunk       uint64
+	// Scrubs counts blocks actually zeroed between principals;
+	// ScrubsSkipped counts the dispatches that proved a scrub unnecessary
+	// (same principal back to back on one slot's ring).
+	Scrubs        uint64
+	ScrubsSkipped uint64
+	Replaced      uint64
+	Grown         uint64
+	Shrunk        uint64
+
+	// Batched dataplane counters (zero in classic mode): the configured
+	// ring depth, the number of run-to-completion sweeps the workers made,
+	// and the entries those sweeps drained — Batches < BatchEntries is the
+	// amortization working.
+	RingDepth    int
+	Batches      uint64
+	BatchEntries uint64
+	// Migrations counts committed-but-undispatched entries a draining
+	// worker stole from a stuck sibling's ring — the liveness escape
+	// hatch that keeps one blocked invocation from wedging queued work.
+	Migrations uint64
+	// Backlog is the instantaneous count of committed entries no worker
+	// has dispatched yet — the batched analogue of callers blocked in
+	// Acquire, which ring admission mostly eliminates.
+	Backlog int
 
 	Gates []GateStats
 }
@@ -650,30 +776,43 @@ func (p *Pool) Stats() Stats {
 		Draining: p.draining,
 		Closed:   p.closed,
 
-		Acquires:     p.acquires,
-		AffinityHits: p.affinityHits,
-		Steals:       p.steals,
-		Waits:        p.waits,
-		Scrubs:       p.scrubs,
-		Replaced:     p.replaced,
-		Grown:        p.grown,
-		Shrunk:       p.shrunk,
+		Acquires:      p.acquires,
+		AffinityHits:  p.affinityHits,
+		Steals:        p.steals,
+		Waits:         p.waits,
+		Scrubs:        p.scrubs,
+		ScrubsSkipped: p.scrubsSkipped,
+		Replaced:      p.replaced,
+		Grown:         p.grown,
+		Shrunk:        p.shrunk,
+		RingDepth:     p.cfg.BatchDepth,
+		Migrations:    p.migrations,
 	}
 	for _, s := range p.slots {
-		if s.busy {
+		busy := p.slotBusyLocked(s)
+		if busy {
 			st.Busy++
 		}
-		st.Gates = append(st.Gates, GateStats{
-			Slot:        s.index,
-			Busy:        s.busy,
-			Retiring:    s.retiring,
-			Principal:   s.principal,
-			QueueDepth:  s.waiters,
-			Invocations: s.invocations.Load(),
-			Scrubs:      s.scrubs,
-			Steals:      s.steals,
-			Replaced:    s.replaced,
-		})
+		gs := GateStats{
+			Slot:          s.index,
+			Busy:          busy,
+			Retiring:      s.retiring,
+			Principal:     s.principal,
+			QueueDepth:    s.waiters,
+			Invocations:   s.invocations.Load(),
+			Scrubs:        s.scrubs,
+			ScrubsSkipped: s.scrubsSkipped,
+			Steals:        s.steals,
+			Replaced:      s.replaced,
+		}
+		if s.br != nil {
+			gs.Principal = s.br.lastPrincipal
+			gs.Inflight = s.br.inflightLocked()
+			st.Batches += s.br.ring.Batches()
+			st.BatchEntries += s.br.ring.Entries()
+			st.Backlog += int(s.br.pubSeq - s.br.hookSeq)
+		}
+		st.Gates = append(st.Gates, gs)
 	}
 	return st
 }

@@ -256,6 +256,15 @@ func (t *Task) Exit(status int) {
 	t.exitWith(status, nil)
 }
 
+// ExitFault terminates the task as a protection fault would — the same
+// status and fault record the Start wrapper produces when the task's
+// function panics with a *vm.Fault. It exists for callers that run a
+// task's code on a foreign goroutine (the batched pool's inline gate
+// invocations) and must reproduce the fault-death contract themselves.
+func (t *Task) ExitFault(fault error) {
+	t.exitWith(139, fault) // 128+SIGSEGV, as the shell reports it
+}
+
 func (t *Task) exitWith(status int, fault error) {
 	t.exitOnce.Do(func() {
 		t.mu.Lock()

@@ -38,11 +38,15 @@ func (d Direction) String() string {
 	return "s->c"
 }
 
-// pipe is one unidirectional buffered byte stream.
+// pipe is one unidirectional buffered byte stream. Unread bytes live in
+// buf[off:]; when a read drains the pipe the buffer rewinds to its base
+// so steady-state request/response traffic reuses one allocation instead
+// of crawling append's capacity forward on every exchange.
 type pipe struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	buf    []byte
+	off    int
 	wclose bool // writer closed: drain then EOF
 	rclose bool // reader closed: writes fail
 }
@@ -56,7 +60,7 @@ func newPipe() *pipe {
 func (p *pipe) Read(b []byte) (int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.buf) == 0 {
+	for p.off == len(p.buf) {
 		if p.rclose {
 			return 0, ErrClosed
 		}
@@ -65,8 +69,12 @@ func (p *pipe) Read(b []byte) (int, error) {
 		}
 		p.cond.Wait()
 	}
-	n := copy(b, p.buf)
-	p.buf = p.buf[n:]
+	n := copy(b, p.buf[p.off:])
+	p.off += n
+	if p.off == len(p.buf) {
+		p.buf = p.buf[:0]
+		p.off = 0
+	}
 	return n, nil
 }
 
@@ -77,7 +85,10 @@ func (p *pipe) Write(b []byte) (int, error) {
 		return 0, ErrClosed
 	}
 	p.buf = append(p.buf, b...)
-	p.cond.Broadcast()
+	// One waiter is enough: whoever wakes drains the buffer, and every
+	// later write signals again. Close paths still broadcast so every
+	// blocked reader observes EOF.
+	p.cond.Signal()
 	return len(b), nil
 }
 

@@ -30,6 +30,8 @@
 package pop3
 
 import (
+	"sync"
+
 	"wedge/internal/gatepool"
 	"wedge/internal/policy"
 	"wedge/internal/serve"
@@ -41,9 +43,11 @@ import (
 type PooledServer struct {
 	Stats Stats
 
-	root  *sthread.Sthread
-	boxes []Mailbox
-	hooks Hooks
+	root     *sthread.Sthread
+	boxes    []Mailbox
+	hooks    Hooks
+	pwd      pwdCache
+	sessions sync.Pool
 
 	*store
 	// The embedded runtime owns the pool, the accept loop (Serve),
@@ -68,6 +72,7 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 		return nil, err
 	}
 	p := &PooledServer{root: root, boxes: boxes, hooks: hooks, store: st}
+	p.sessions.New = func() any { return newP3Session() }
 	stats := &p.Stats
 	p.Runtime, err = serve.New(root, serve.App[p3PoolConn]{
 		Name:   "pop3",
@@ -78,17 +83,36 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 			{
 				Name:  "handler",
 				Entry: p.handlerEntry,
+				// The batched dataplane's explicit worker body: drain the
+				// slot ring run-to-completion, one session per entry,
+				// reusing the command reader across the whole batch
+				// instead of allocating one per connection.
+				Batch: func(h *sthread.Sthread, b *sthread.Batch, _ vm.Addr) {
+					// Session scratch is pooled across sweeps, not
+					// allocated per sweep: a lightly loaded ring drains
+					// one entry per doorbell, which would make per-sweep
+					// scratch per-connection scratch.
+					sess := p.sessions.Get().(*p3Session)
+					for b.More() {
+						b.Complete(p.handlerServe(h, b.Arg(), sess))
+					}
+					p.sessions.Put(sess)
+				},
 			},
 			{
 				Name:    "login",
 				SC:      policy.New().MustMemAdd(st.pwdTag, vm.PermRead),
 				Trusted: st.pwdAddr,
+				// The recycled gate parses the password database once
+				// through its own tagged view and serves every later
+				// login from that private parse (pwdCache); the
+				// per-connection build's gate re-reads it each life.
 				Entry: func(g *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
 					c := p.Lookup(g, arg)
 					if c == nil {
 						return 0
 					}
-					uid, ok := checkLogin(g, arg, trusted, stats)
+					uid, ok := p.pwd.checkLogin(g, arg, trusted, stats)
 					if !ok {
 						return 0
 					}
@@ -131,6 +155,12 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 // per session, running with the slot's argument tag and the
 // per-invocation connection descriptor — nothing else.
 func (p *PooledServer) handlerEntry(h *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+	return p.handlerServe(h, arg, newP3Session())
+}
+
+// handlerServe is one session against caller-owned scratch; the batched
+// body shares one p3Session across every entry in a sweep.
+func (p *PooledServer) handlerServe(h *sthread.Sthread, arg vm.Addr, sess *p3Session) vm.Addr {
 	c := p.Lookup(h, arg)
 	if c == nil {
 		return 0
@@ -148,5 +178,5 @@ func (p *PooledServer) handlerEntry(h *sthread.Sthread, arg, _ vm.Addr) vm.Addr 
 			return lease.Call(name, h, arg)
 		}
 	}
-	return pop3HandlerBody(h, c.FD, arg, viaPool("login"), viaPool("stat"), viaPool("retr"))
+	return pop3HandlerSession(h, c.FD, arg, sess, viaPool("login"), viaPool("stat"), viaPool("retr"))
 }

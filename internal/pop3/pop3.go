@@ -16,8 +16,11 @@ package pop3
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"wedge/internal/gateabi"
@@ -182,6 +185,57 @@ func checkLogin(g *sthread.Sthread, arg, trusted vm.Addr, stats *Stats) (int, bo
 	}
 	stats.Fails.Add(1)
 	return 0, false
+}
+
+// pwdCache is a recycled login gate's parse of the password database:
+// read once through the gate's own (tagged, PermRead) view and kept in
+// the gate's private memory, exactly as a long-lived gate process would
+// hold its parsed config. A per-connection gate gains nothing from it —
+// it dies after one invocation — so only the pooled build uses one.
+type pwdCache struct {
+	once  sync.Once
+	creds map[string]pwdEntry
+}
+
+type pwdEntry struct {
+	pass string
+	uid  int
+}
+
+// checkLoginCached is checkLogin against the gate-held parse.
+func (pc *pwdCache) checkLogin(g *sthread.Sthread, arg, trusted vm.Addr, stats *Stats) (int, bool) {
+	pc.once.Do(func() {
+		pc.creds = make(map[string]pwdEntry)
+		dbLen := g.Load64(trusted)
+		db := make([]byte, dbLen)
+		g.Read(trusted+8, db)
+		for _, line := range strings.Split(strings.TrimSpace(string(db)), "\n") {
+			f := strings.Split(line, ":")
+			if len(f) != 3 {
+				continue
+			}
+			uid, err := strconv.Atoi(f[2])
+			if err != nil {
+				continue
+			}
+			pc.creds[f[0]] = pwdEntry{pass: f[1], uid: uid}
+		}
+	})
+	buf, err := fStr.Load(g, arg)
+	if err != nil || len(buf) == 0 {
+		return 0, false
+	}
+	user, pass, ok := bytes.Cut(buf, []byte{0})
+	if !ok {
+		return 0, false
+	}
+	e, ok := pc.creds[string(user)]
+	if !ok || e.pass != string(pass) {
+		stats.Fails.Add(1)
+		return 0, false
+	}
+	stats.Logins.Add(1)
+	return e.uid, true
 }
 
 // statFor returns the message count for the authenticated uid.
@@ -357,11 +411,81 @@ type p3Call func(h *sthread.Sthread, arg vm.Addr) (vm.Addr, error)
 // mediates every privileged operation through the gates.
 func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 	login, stat, retr p3Call) vm.Addr {
-	raw := fdRW{h, fd}
-	r := bufio.NewReader(raw)
+	return pop3HandlerSession(h, fd, arg, newP3Session(), login, stat, retr)
+}
 
+// p3Session is the per-connection scratch a handler invocation needs: the
+// buffered command reader, a response compose buffer, and RETR payload
+// space. The batched worker allocates one and loops every session in its
+// ring sweep through it.
+type p3Session struct {
+	r   *bufio.Reader
+	buf []byte // response compose scratch
+	out []byte // RETR payload scratch (fOut.Cap bytes)
+}
+
+func newP3Session() *p3Session {
+	return &p3Session{
+		r:   bufio.NewReader(nil),
+		buf: make([]byte, 0, p3RetrCap+64), // holds a full RETR response
+		out: make([]byte, p3RetrCap),
+	}
+}
+
+// p3CmdIs reports an ASCII case-insensitive match against an upper-case
+// command word, without the allocation strings.ToUpper costs per line.
+func p3CmdIs(b []byte, want string) bool {
+	if len(b) != len(want) {
+		return false
+	}
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if c != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// p3ReadLine reads one command line, falling back to collecting
+// fragments only for lines longer than the reader's buffer (which no
+// legitimate client sends). The returned slice aliases the reader's
+// buffer and is valid until the next read.
+func p3ReadLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		full := append([]byte(nil), line...)
+		for err == bufio.ErrBufferFull {
+			line, err = r.ReadSlice('\n')
+			full = append(full, line...)
+		}
+		line = full
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+// pop3HandlerSession is pop3HandlerBody with caller-owned scratch: the
+// batched worker loops sessions through one p3Session instead of
+// allocating reader and buffers per connection.
+func pop3HandlerSession(h *sthread.Sthread, fd int, arg vm.Addr, sess *p3Session,
+	login, stat, retr p3Call) vm.Addr {
+	raw := fdRW{h, fd}
+	r := sess.r
+	r.Reset(raw)
+
+	// Responses are composed in the session scratch and sent as one
+	// write: every WriteFD is a simulated-kernel crossing plus a reader
+	// wakeup, so "+OK", payload and terminator must not be three of them.
 	say := func(line string) bool {
-		_, err := raw.Write([]byte(line + "\r\n"))
+		b := append(sess.buf[:0], line...)
+		b = append(b, '\r', '\n')
+		_, err := raw.Write(b)
 		return err == nil
 	}
 	if !say("+OK minipop3 ready") {
@@ -371,24 +495,25 @@ func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 	var pendingUser string
 	authed := false
 	for {
-		line, err := r.ReadString('\n')
+		line, err := p3ReadLine(r)
 		if err != nil {
 			return 1 // client went away
 		}
-		line = strings.TrimRight(line, "\r\n")
-		cmd, rest, _ := strings.Cut(line, " ")
-		switch strings.ToUpper(cmd) {
-		case "USER":
-			pendingUser = rest
+		cmd, rest, _ := bytes.Cut(line, []byte(" "))
+		switch {
+		case p3CmdIs(cmd, "USER"):
+			pendingUser = string(rest)
 			say("+OK")
-		case "PASS":
-			payload := pendingUser + "\x00" + rest
+		case p3CmdIs(cmd, "PASS"):
+			payload := append(sess.buf[:0], pendingUser...)
+			payload = append(payload, 0)
+			payload = append(payload, rest...)
 			// The codec bounds the write to the login gate's input cap:
 			// an oversized credential line fails authentication with a
 			// typed *ArgBoundsError instead of running past the block
 			// into memory the inter-principal scrub never reaches (the
 			// pooled build's slot arena).
-			if fStr.Store(h, arg, []byte(payload)) != nil {
+			if fStr.Store(h, arg, payload) != nil {
 				say("-ERR auth failed")
 				continue
 			}
@@ -399,7 +524,7 @@ func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 			} else {
 				say("-ERR auth failed")
 			}
-		case "STAT":
+		case p3CmdIs(cmd, "STAT"):
 			if !authed {
 				say("-ERR not authenticated")
 				continue
@@ -409,25 +534,40 @@ func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 				say("-ERR")
 				continue
 			}
-			say(fmt.Sprintf("+OK %d messages", n))
-		case "RETR":
-			var num int
-			fmt.Sscanf(rest, "%d", &num)
+			b := append(sess.buf[:0], "+OK "...)
+			b = strconv.AppendUint(b, uint64(n), 10)
+			b = append(b, " messages\r\n"...)
+			raw.Write(b)
+		case p3CmdIs(cmd, "RETR"):
+			num, numOK := 0, len(rest) > 0
+			for _, c := range rest {
+				if c < '0' || c > '9' {
+					numOK = false
+					break
+				}
+				num = num*10 + int(c-'0')
+			}
+			if !numOK {
+				num = 0 // same rejection path a garbled argument took before
+			}
 			fMsgNum.Store(h, arg, num)
 			ret, err := retr(h, arg)
 			if err != nil || ret != 1 {
 				say("-ERR no such message")
 				continue
 			}
-			body, err := fOut.Load(h, arg)
+			n, err := fOut.LoadInto(h, arg, sess.out)
 			if err != nil {
 				say("-ERR no such message")
 				continue
 			}
-			say("+OK " + fmt.Sprint(len(body)) + " octets")
-			raw.Write(body)
-			raw.Write([]byte("\r\n.\r\n"))
-		case "QUIT":
+			b := append(sess.buf[:0], "+OK "...)
+			b = strconv.AppendInt(b, int64(n), 10)
+			b = append(b, " octets\r\n"...)
+			b = append(b, sess.out[:n]...)
+			b = append(b, "\r\n.\r\n"...)
+			raw.Write(b)
+		case p3CmdIs(cmd, "QUIT"):
 			say("+OK bye")
 			return 1
 		default:

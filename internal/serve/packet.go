@@ -66,6 +66,9 @@ type PacketApp[T any] struct {
 	Gates    []gatepool.GateDef
 	OnPacket string // the Gates entry invoked once per flow
 
+	// BatchDepth selects the batched dataplane, exactly as on App.
+	BatchDepth int
+
 	Queue     int
 	AutoSlots bool
 
@@ -178,17 +181,18 @@ type PacketRuntime[T any] struct {
 // schema checks, and the slot policy are exactly New's.
 func NewPacket[T any](root *sthread.Sthread, app PacketApp[T]) (*PacketRuntime[T], error) {
 	r, err := New(root, App[T]{
-		Name:      app.Name,
-		Slots:     app.Slots,
-		MaxSlots:  app.MaxSlots,
-		Schema:    app.Schema,
-		Gates:     app.Gates,
-		Worker:    app.OnPacket,
-		Queue:     app.Queue,
-		AutoSlots: app.AutoSlots,
-		InitConn:  app.InitConn,
-		EndConn:   app.EndConn,
-		Finish:    app.Finish,
+		Name:       app.Name,
+		Slots:      app.Slots,
+		MaxSlots:   app.MaxSlots,
+		Schema:     app.Schema,
+		Gates:      app.Gates,
+		Worker:     app.OnPacket,
+		BatchDepth: app.BatchDepth,
+		Queue:      app.Queue,
+		AutoSlots:  app.AutoSlots,
+		InitConn:   app.InitConn,
+		EndConn:    app.EndConn,
+		Finish:     app.Finish,
 	})
 	if err != nil {
 		return nil, err
@@ -311,13 +315,17 @@ func (p *PacketRuntime[T]) serveFlow(f *flow[T]) {
 
 	p.fmu.Lock()
 	f.id = id
-	f.timer = p.wheel.Schedule(p.idle, p.expiry(f))
+	f.timer = p.wheel.Schedule(p.idle, p.expiry(f, lease))
 	p.fmu.Unlock()
 
-	root.Store64(lease.Arg+p.connOff, id)
-	root.Store64(lease.Arg+p.fdOff, uint64(fd))
-
-	ret, err := lease.CallFD(p.app.Worker, root, lease.Arg, fd, kernel.FDRW)
+	var ret vm.Addr
+	if p.pool.Batched() {
+		ret, err = lease.CallBatch(root, id, fd, kernel.FDRW)
+	} else {
+		root.Store64(lease.Arg+p.connOff, id)
+		root.Store64(lease.Arg+p.fdOff, uint64(fd))
+		ret, err = lease.CallFD(p.app.Worker, root, lease.Arg, fd, kernel.FDRW)
+	}
 	if p.app.Finish != nil {
 		err = p.app.Finish(c, ret, err)
 	} else if err != nil {
@@ -335,9 +343,25 @@ func (p *PacketRuntime[T]) serveFlow(f *flow[T]) {
 // on expiry the only action is closing the flow's file — the worker's
 // unwind does every piece of real teardown. A flow that was active
 // re-arms for its remaining window.
-func (p *PacketRuntime[T]) expiry(f *flow[T]) func() {
+func (p *PacketRuntime[T]) expiry(f *flow[T], lease *gatepool.Lease) func() {
 	var fire func()
 	fire = func() {
+		// A flow whose ring entry is still queued behind a busy worker
+		// (batched mode) has not been served a single byte: it is
+		// waiting, not idle. Reaping it would drop its queued datagrams,
+		// so hold the full window open until service begins. Classic
+		// leases dispatch at call time and never take this branch —
+		// there, the timer was armed only after Acquire returned.
+		if !lease.Dispatched() {
+			p.fmu.Lock()
+			defer p.fmu.Unlock()
+			if p.flows[f.peer] != f {
+				return
+			}
+			p.resched++
+			f.timer = p.wheel.Schedule(p.idle, fire)
+			return
+		}
 		if _, ok := p.conns.RemoveIfIdle(f.id, p.idle); ok {
 			p.fmu.Lock()
 			p.expired++

@@ -112,6 +112,11 @@ func DefaultSlots() int {
 	return n
 }
 
+// DefaultBatchDepth is the per-slot ring depth when App.BatchDepth is
+// zero: deep enough that a busy worker amortizes its wakeup over many
+// entries, shallow enough that a slot's arena stays a few schema blocks.
+const DefaultBatchDepth = 16
+
 // Conn is one in-flight connection's record: the slot lease, the
 // installed descriptor, and the application's own state. Gate entries
 // reach it through Lookup; the App hooks receive it directly.
@@ -141,6 +146,14 @@ type App[T any] struct {
 
 	Gates  []gatepool.GateDef
 	Worker string // the Gates entry invoked once per connection
+
+	// BatchDepth selects the batched dataplane (gatepool ring mode): 0
+	// batches at DefaultBatchDepth, > 0 batches at that ring depth, and
+	// < 0 falls back to the classic one-CallFD-per-connection protocol.
+	// When batching, the Worker def should provide a Batch body looping
+	// over its entries; a def with only a classic Entry is wrapped in the
+	// canonical drain loop automatically.
+	BatchDepth int
 
 	// Queue bounds the admission queue: 0 admits without bound (the
 	// pool's blocking Acquire is the only backpressure), n > 0 admits at
@@ -270,12 +283,41 @@ func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
 	if r.auto {
 		r.autoTarget = slots
 	}
+	depth := app.BatchDepth
+	if depth == 0 {
+		depth = DefaultBatchDepth
+	}
+	if depth < 0 {
+		depth = 0 // classic protocol requested
+	}
+	gates := app.Gates
+	if depth > 0 {
+		// Batched mode needs the worker def to drain a ring. An app that
+		// ships only a classic Entry gets the canonical loop: dispatch
+		// every entry through the same gateabi handles, one Complete per
+		// entry. The slice is copied so the caller's App value is not
+		// mutated behind its back.
+		gates = append([]gatepool.GateDef(nil), app.Gates...)
+		for i := range gates {
+			if gates[i].Name != app.Worker || gates[i].Batch != nil {
+				continue
+			}
+			entry := gates[i].Entry
+			trusted := gates[i].Trusted
+			gates[i].Batch = func(g *sthread.Sthread, b *sthread.Batch, _ vm.Addr) {
+				for b.More() {
+					b.Complete(entry(g, b.Arg(), trusted))
+				}
+			}
+		}
+	}
 	pool, err := gatepool.New(root, gatepool.Config{
-		Name:     app.Name,
-		Slots:    slots,
-		MaxSlots: app.MaxSlots,
-		Schema:   app.Schema,
-		Gates:    app.Gates,
+		Name:       app.Name,
+		Slots:      slots,
+		MaxSlots:   app.MaxSlots,
+		Schema:     app.Schema,
+		Gates:      gates,
+		BatchDepth: depth,
 	})
 	if err != nil {
 		return nil, err
@@ -502,10 +544,17 @@ func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
 	id := r.conns.Put(c)
 	defer r.conns.Delete(id)
 
-	root.Store64(lease.Arg+r.connOff, id)
-	root.Store64(lease.Arg+r.fdOff, uint64(fd))
-
-	ret, err := lease.CallFD(r.app.Worker, root, lease.Arg, fd, kernel.FDRW)
+	var ret vm.Addr
+	if r.pool.Batched() {
+		// Batched dataplane: commit the ring entry and await completion.
+		// The pool writes the demux words at dispatch, after the
+		// principal-switch scrub pass, so nothing is stored here.
+		ret, err = lease.CallBatch(root, id, fd, kernel.FDRW)
+	} else {
+		root.Store64(lease.Arg+r.connOff, id)
+		root.Store64(lease.Arg+r.fdOff, uint64(fd))
+		ret, err = lease.CallFD(r.app.Worker, root, lease.Arg, fd, kernel.FDRW)
+	}
 	if r.app.Finish != nil {
 		err = r.app.Finish(c, ret, err)
 	} else if err != nil {
@@ -703,11 +752,28 @@ func (r *Runtime[T]) Snapshot() Snapshot {
 	procs := runtime.GOMAXPROCS(0)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Waiting is connections admitted but not yet being serviced. Classic
+	// mode: blocked in Acquire (inflight minus leased slots). Batched
+	// mode: ring admission rarely blocks, so the waiters are the pool's
+	// committed-but-undispatched backlog plus any producer that holds no
+	// ring entry yet.
+	waiting := r.inflight - ps.Busy
+	if ps.RingDepth > 0 {
+		entries := 0
+		for _, g := range ps.Gates {
+			entries += g.Inflight
+		}
+		waiting = r.inflight - entries
+		if waiting < 0 {
+			waiting = 0
+		}
+		waiting += ps.Backlog
+	}
 	s := Snapshot{
 		App:      r.app.Name,
 		State:    r.state,
 		Inflight: r.inflight,
-		Waiting:  r.inflight - ps.Busy,
+		Waiting:  waiting,
 		Queue:    r.queue,
 
 		AutoSlots:   r.auto,

@@ -21,7 +21,9 @@ package servetest
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -184,6 +186,8 @@ func (a PacketApp) checkClosedP(t *testing.T, r *prig) {
 // IdleExpiry case.
 func RunPacket(t *testing.T, a PacketApp) {
 	t.Run("Residue", a.residueP)
+	t.Run("BatchRingResidue", a.batchRingResidueP)
+	t.Run("BatchAbandonedEntries", a.batchAbandonedEntriesP)
 	t.Run("DrainUndrain", a.drainUndrainP)
 	t.Run("ResizeUnderLoad", a.resizeUnderLoadP)
 	t.Run("Leaks", a.leaksP)
@@ -479,6 +483,162 @@ func (a PacketApp) snapshotP(t *testing.T) {
 			t.Errorf("post-close snapshot: state=%v pool.closed=%v, want closed/true", s.State, s.Pool.Closed)
 		}
 	})
+}
+
+// batchRingResidueP mirrors the stream battery's batchRingResidue over
+// flows: each sequential flow — settled between sessions, so each retires
+// by expiry before the next admission — occupies the next ring position,
+// and every invocation after the first must find the previous principal's
+// ring position scrubbed to zero before its own body runs. All flows dial
+// fresh sockets (distinct principals), so the run must record scrubs and
+// zero same-principal skips.
+func (a PacketApp) batchRingResidueP(t *testing.T) {
+	argSize := a.Schema.Size()
+	stride := vm.Addr((argSize + 7) &^ 7) // the ring's entry stride (gatepool entry size)
+	var depth atomic.Int64
+	var mu sync.Mutex
+	var own, prev [][]byte
+	probe := func(s *sthread.Sthread, arg vm.Addr) {
+		o := make([]byte, argSize)
+		s.Read(arg, o)
+		mu.Lock()
+		idx := len(own)
+		mu.Unlock()
+		var pr []byte
+		// Position 0's lower neighbour is the header array, not an entry.
+		if d := depth.Load(); d > 0 && int64(idx)%d != 0 {
+			pr = make([]byte, stride)
+			s.Read(arg-stride, pr)
+		}
+		mu.Lock()
+		own = append(own, o)
+		prev = append(prev, pr)
+		mu.Unlock()
+	}
+	skipped := false
+	a.start(t, 1, probe, func(r *prig) {
+		st := r.rt.PoolStats()
+		if st.RingDepth == 0 {
+			skipped = true
+			a.checkClosedP(t, r)
+			return
+		}
+		depth.Store(int64(st.RingDepth))
+		stop := servePacketLoop(r)
+		sessions := 4
+		if st.RingDepth < sessions {
+			sessions = st.RingDepth // keep every flow at a distinct position
+		}
+		var secrets [][]byte
+		for i := 0; i < sessions; i++ {
+			secret, err := a.Session(r.k)
+			if err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			if len(secret) > 0 {
+				secrets = append(secrets, secret)
+			}
+			settle(t, r, fmt.Sprintf("after session %d", i))
+		}
+		stop()
+
+		mu.Lock()
+		defer mu.Unlock()
+		if len(own) != sessions {
+			t.Fatalf("probes = %d, want %d (one worker invocation per flow)", len(own), sessions)
+		}
+		for i := 1; i < len(own); i++ {
+			for _, secret := range secrets[:min(i, len(secrets))] {
+				if len(secret) > 0 && bytes.Contains(own[i], secret) {
+					t.Fatalf("probe %d read an earlier principal's secret from its ring entry", i)
+				}
+			}
+			for j, b := range own[i] {
+				if b != 0 && !a.Schema.IsDemux(j) {
+					t.Fatalf("probe %d: ring entry not scrubbed at +%d (%#x)", i, j, b)
+				}
+			}
+			if prev[i] == nil {
+				t.Fatalf("probe %d took no lower-neighbour window", i)
+			}
+			for j, b := range prev[i] {
+				if b != 0 {
+					t.Fatalf("probe %d: the previous principal's ring position still holds %#x at +%d — "+
+						"its entry was not scrubbed before this principal's body ran", i, b, j)
+				}
+			}
+		}
+		ps := r.rt.PoolStats()
+		if ps.Scrubs == 0 {
+			t.Errorf("no principal-switch scrubs recorded across %d distinct principals: %+v", sessions, ps)
+		}
+		if ps.ScrubsSkipped != 0 {
+			t.Errorf("scrub skips = %d with all-distinct principals, want 0 — "+
+				"skips may only occur on consecutive same-principal entries", ps.ScrubsSkipped)
+		}
+		checkQuiescentP(t, r, "after the ring residue sessions")
+		a.checkClosedP(t, r)
+	})
+	if skipped {
+		t.Skip("pool runs the classic protocol: no ring to probe")
+	}
+}
+
+// batchAbandonedEntriesP: leak accounting for abandoned ring entries on
+// the datagram path. A held flow parks the worker inside its entry's body
+// while a new principal's first datagram admits a flow whose entry queues
+// behind it (visible as pool backlog). Both clients vanish; the wheel
+// must expire both flows, the backlog must drain to zero, the admission
+// ledger must balance, and teardown must reach both baselines.
+func (a PacketApp) batchAbandonedEntriesP(t *testing.T) {
+	skipped := false
+	a.start(t, 1, nil, func(r *prig) {
+		if r.rt.PoolStats().RingDepth == 0 {
+			skipped = true
+			a.checkClosedP(t, r)
+			return
+		}
+		stop := servePacketLoop(r)
+		held, err := a.Hold(r.k)
+		if err != nil {
+			t.Fatalf("hold: %v", err)
+		}
+		ghost, err := r.k.Net.DialPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ghost.WriteTo([]byte{0xff, 0xfe, 0xfd}, a.Addr); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "a committed ring entry queued behind the held worker", func() bool {
+			return r.rt.PoolStats().Backlog >= 1
+		})
+		// The queued client vanishes while its entry is still undispatched,
+		// then the held client abandons mid-invocation.
+		ghost.Close()
+		if err := held.Abandon(); err != nil {
+			t.Fatalf("abandon: %v", err)
+		}
+		settle(t, r, "after the abandonments")
+		stop()
+
+		if ps := r.rt.PoolStats(); ps.Backlog != 0 {
+			t.Errorf("ring backlog = %d after the abandonments, want 0", ps.Backlog)
+		}
+		s := r.rt.Snapshot()
+		if s.Admitted != s.Served+s.Failed {
+			t.Errorf("admission ledger: admitted=%d != served=%d + failed=%d",
+				s.Admitted, s.Served, s.Failed)
+		}
+		if s.Admitted != 2 {
+			t.Errorf("admitted = %d, want 2 (the held and the queued flow)", s.Admitted)
+		}
+		checkQuiescentP(t, r, "after the abandoned entries")
+		a.checkClosedP(t, r)
+	})
+	if skipped {
+		t.Skip("pool runs the classic protocol: no ring to probe")
+	}
 }
 
 // idleExpiry is the datagram-specific case the ISSUE names: a flow

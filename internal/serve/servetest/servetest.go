@@ -255,6 +255,8 @@ func (a App) checkClosed(t *testing.T, r *rig) {
 // Run executes the conformance battery against one application.
 func Run(t *testing.T, a App) {
 	t.Run("Residue", a.residue)
+	t.Run("BatchRingResidue", a.batchRingResidue)
+	t.Run("BatchAbandonedEntries", a.batchAbandonedEntries)
 	t.Run("DrainUndrain", a.drainUndrain)
 	t.Run("ResizeUnderLoad", a.resizeUnderLoad)
 	t.Run("Leaks", a.leaks)
@@ -640,6 +642,169 @@ func (a App) leaks(t *testing.T) {
 		checkQuiescent(t, r, "after the leak sessions")
 		a.checkClosed(t, r)
 	})
+}
+
+// batchRingResidue is the batched-dataplane extension of residue: with
+// one slot, strictly sequential sessions occupy consecutive ring
+// positions, so principal i's worker invocation runs one entry stride
+// above the position principal i-1's entry occupied. The probe therefore
+// reads two windows: its own argument block (scrubbed but for the demux
+// words, as in residue) and the previous ring position in full — which
+// must be all zeroes, because the dispatch-side principal-switch scrub
+// zeroes every finished foreign entry before the body runs. The battery's
+// principals are all distinct (every session dials from a fresh client
+// address), so the run must record principal-switch scrubs and zero
+// same-principal skips: a skip here would mean warm-entry state crossed
+// a principal switch.
+func (a App) batchRingResidue(t *testing.T) {
+	argSize := a.Schema.Size()
+	stride := vm.Addr((argSize + 7) &^ 7) // the ring's entry stride (gatepool entry size)
+	var depth atomic.Int64
+	var mu sync.Mutex
+	var own, prev [][]byte
+	probe := func(s *sthread.Sthread, arg vm.Addr) {
+		o := make([]byte, argSize)
+		s.Read(arg, o)
+		mu.Lock()
+		idx := len(own)
+		mu.Unlock()
+		var pr []byte
+		// Ring position idx%depth; position 0's lower neighbour is the
+		// header array, not an entry, so only later positions probe below.
+		if d := depth.Load(); d > 0 && int64(idx)%d != 0 {
+			pr = make([]byte, stride)
+			s.Read(arg-stride, pr)
+		}
+		mu.Lock()
+		own = append(own, o)
+		prev = append(prev, pr)
+		mu.Unlock()
+	}
+	skipped := false
+	a.start(t, 1, probe, func(r *rig) {
+		st := r.rt.PoolStats()
+		if st.RingDepth == 0 {
+			skipped = true
+			a.checkClosed(t, r)
+			return
+		}
+		depth.Store(int64(st.RingDepth))
+		stop := serveLoop(r)
+		sessions := 4
+		if st.RingDepth < sessions {
+			sessions = st.RingDepth // keep every session at a distinct position
+		}
+		var secrets [][]byte
+		for i := 0; i < sessions; i++ {
+			secret, err := a.Session(r.k)
+			if err != nil {
+				t.Fatalf("session %d: %v", i, err)
+			}
+			if len(secret) > 0 {
+				secrets = append(secrets, secret)
+			}
+		}
+		stop()
+
+		mu.Lock()
+		defer mu.Unlock()
+		if len(own) != sessions {
+			t.Fatalf("probes = %d, want %d", len(own), sessions)
+		}
+		for i := 1; i < len(own); i++ {
+			for _, secret := range secrets[:min(i, len(secrets))] {
+				if len(secret) > 0 && bytes.Contains(own[i], secret) {
+					t.Fatalf("probe %d read an earlier principal's secret from its ring entry", i)
+				}
+			}
+			for j, b := range own[i] {
+				if b != 0 && !a.Schema.IsDemux(j) {
+					t.Fatalf("probe %d: ring entry not scrubbed at +%d (%#x)", i, j, b)
+				}
+			}
+			if prev[i] == nil {
+				t.Fatalf("probe %d took no lower-neighbour window", i)
+			}
+			for j, b := range prev[i] {
+				if b != 0 {
+					t.Fatalf("probe %d: the previous principal's ring position still holds %#x at +%d — "+
+						"its entry was not scrubbed before this principal's body ran", i, b, j)
+				}
+			}
+		}
+		ps := r.rt.PoolStats()
+		if ps.Scrubs == 0 {
+			t.Errorf("no principal-switch scrubs recorded across %d distinct principals: %+v", sessions, ps)
+		}
+		if ps.ScrubsSkipped != 0 {
+			t.Errorf("scrub skips = %d with all-distinct principals, want 0 — "+
+				"skips may only occur on consecutive same-principal entries", ps.ScrubsSkipped)
+		}
+		checkQuiescent(t, r, "after the ring residue sessions")
+		a.checkClosed(t, r)
+	})
+	if skipped {
+		t.Skip("pool runs the classic protocol: no ring to probe")
+	}
+}
+
+// batchAbandonedEntries: leak accounting for ring entries abandoned at
+// every stage. With one slot, a held session parks the worker inside its
+// entry's body while a second admission commits the next entry behind it
+// (visible as pool backlog). Both clients then vanish — the queued one
+// before its entry ever dispatched, the held one mid-invocation. The
+// runtime must retire both entries, balance its admission ledger, drain
+// the backlog to zero, and return task and tag accounting to the serving
+// baseline; Close must reach the pre-runtime baseline.
+func (a App) batchAbandonedEntries(t *testing.T) {
+	skipped := false
+	a.start(t, 1, nil, func(r *rig) {
+		if r.rt.PoolStats().RingDepth == 0 {
+			skipped = true
+			a.checkClosed(t, r)
+			return
+		}
+		stop := serveLoop(r)
+		held, err := a.Hold(r.k)
+		if err != nil {
+			t.Fatalf("hold: %v", err)
+		}
+		queued, err := r.k.Net.Dial(a.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "a committed ring entry queued behind the held worker", func() bool {
+			return r.rt.PoolStats().Backlog >= 1
+		})
+		// The queued client vanishes while its entry is still undispatched,
+		// then the held client abandons mid-invocation.
+		queued.Close()
+		if err := held.Abandon(); err != nil {
+			t.Fatalf("abandon: %v", err)
+		}
+		waitFor(t, "both abandoned entries to retire", func() bool {
+			s := r.rt.Snapshot()
+			return s.Inflight == 0 && s.Pool.Busy == 0
+		})
+		stop()
+
+		if ps := r.rt.PoolStats(); ps.Backlog != 0 {
+			t.Errorf("ring backlog = %d after the abandonments, want 0", ps.Backlog)
+		}
+		s := r.rt.Snapshot()
+		if s.Admitted != s.Served+s.Failed {
+			t.Errorf("admission ledger: admitted=%d != served=%d + failed=%d",
+				s.Admitted, s.Served, s.Failed)
+		}
+		if s.Admitted != 2 {
+			t.Errorf("admitted = %d, want 2 (the held and the queued session)", s.Admitted)
+		}
+		checkQuiescent(t, r, "after the abandoned entries")
+		a.checkClosed(t, r)
+	})
+	if skipped {
+		t.Skip("pool runs the classic protocol: no ring to probe")
+	}
 }
 
 // snapshot: the unified observability surface agrees with what the

@@ -68,10 +68,16 @@ type PooledWedge struct {
 // sshPoolConn is one connection's gate-side state: what the one-shot
 // build captured in per-connection closures.
 type sshPoolConn struct {
-	worker *sthread.Sthread // the slot's recycled worker, for promotion
-
 	nonce       []byte
 	pendingSKey string
+}
+
+// poolWorker resolves a slot's recycled worker sthread through the lease
+// at call time. Never cache the result across gate invocations: a
+// batched pool can migrate a connection's undispatched ring entry to a
+// different slot, and the lease is re-pointed when it does.
+func poolWorker(l *gatepool.Lease, name string) func() *sthread.Sthread {
+	return func() *sthread.Sthread { return l.Gate(name).Sthread() }
 }
 
 // NewPooledWedge builds the pooled server with the given number of slots
@@ -120,7 +126,7 @@ func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks We
 					if c == nil {
 						return 0
 					}
-					return passwordAuth(g, arg, func() *sthread.Sthread { return c.State.worker }, stats)
+					return passwordAuth(g, arg, poolWorker(c.Lease, "worker"), stats)
 				},
 			},
 			{
@@ -130,7 +136,7 @@ func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks We
 					if c == nil {
 						return 0
 					}
-					return pubkeyAuth(g, arg, func() *sthread.Sthread { return c.State.worker }, &c.State.nonce, stats)
+					return pubkeyAuth(g, arg, poolWorker(c.Lease, "worker"), &c.State.nonce, stats)
 				},
 			},
 			{
@@ -140,20 +146,20 @@ func NewPooledWedge(root *sthread.Sthread, cfg ServerConfig, slots int, hooks We
 					if c == nil {
 						return 0
 					}
-					return skeyAuth(g, arg, func() *sthread.Sthread { return c.State.worker }, &c.State.pendingSKey, stats)
+					return skeyAuth(g, arg, poolWorker(c.Lease, "worker"), &c.State.pendingSKey, stats)
 				},
 			},
-		},
-		InitConn: func(c *serve.Conn[sshPoolConn]) error {
-			c.State.worker = c.Lease.Gate("worker").Sthread()
-			return nil
 		},
 		// EndConn runs before the slot is released — and before the next
 		// connection of the *same* principal, too: whatever this
 		// connection's authentication did to the recycled worker's
 		// identity is undone here, because an authenticated uid is
-		// per-connection state, not slot affinity.
-		EndConn: func(c *serve.Conn[sshPoolConn]) { demoteSSHWorker(root, c.State.worker) },
+		// per-connection state, not slot affinity. The worker sthread is
+		// resolved through the lease at every use (not cached at
+		// InitConn): a batched pool may migrate the connection's ring
+		// entry to another slot before dispatch, and only the lease
+		// tracks the slot that actually served it.
+		EndConn: func(c *serve.Conn[sshPoolConn]) { demoteSSHWorker(root, poolWorker(c.Lease, "worker")()) },
 	})
 	if err != nil {
 		// A failed runtime build (e.g. /var/empty not provisioned, so

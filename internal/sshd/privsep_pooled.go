@@ -78,8 +78,6 @@ type PooledPrivsep struct {
 // privsepPoolConn is one connection's gate-side monitor state: what the
 // fork-based build kept implicitly in the forked slave's lifetime.
 type privsepPoolConn struct {
-	worker *sthread.Sthread // the slot's recycled slave, for promotion
-
 	pendingSKey string
 }
 
@@ -160,15 +158,13 @@ func NewPooledPrivsep(root *sthread.Sthread, cfg ServerConfig, slots int, hooks 
 				},
 			},
 		},
-		InitConn: func(c *serve.Conn[privsepPoolConn]) error {
-			c.State.worker = c.Lease.Gate("slave").Sthread()
-			return nil
-		},
 		// EndConn runs before the slot is released: whatever this
 		// connection's authentication did to the recycled slave's identity
 		// is undone before another principal (or another connection of the
-		// same one) can lease the slot.
-		EndConn: func(c *serve.Conn[privsepPoolConn]) { demoteSSHWorker(root, c.State.worker) },
+		// same one) can lease the slot. The slave is resolved through the
+		// lease at use time, never cached — migration in the batched pool
+		// can re-point the lease at another slot before dispatch.
+		EndConn: func(c *serve.Conn[privsepPoolConn]) { demoteSSHWorker(root, poolWorker(c.Lease, "slave")()) },
 	})
 	if err != nil {
 		releaseTags(root, p.hostTag, p.pubTag)
@@ -238,7 +234,7 @@ func (p *PooledPrivsep) checkpassEntry(g *sthread.Sthread, arg vm.Addr, c *serve
 		return 1
 	}
 	passOK, _, _ := pamCheck(g, entry, pass)
-	if passOK && promote(g, c.State.worker, entry.UID, entry.Home) {
+	if passOK && promote(g, poolWorker(c.Lease, "slave")(), entry.UID, entry.Home) {
 		fPwUID.Store(g, arg, entry.UID)
 		fPwHome.StoreTrunc(g, arg, entry.Home)
 		fAuthOK.Store(g, arg, 1)
@@ -311,7 +307,7 @@ func (p *PooledPrivsep) skeyverifyEntry(g *sthread.Sthread, arg vm.Addr, c *serv
 				writeSKeyDB(g, db)
 				entries, _ := readShadow(g)
 				if entry, found := LookupShadow(entries, user); found &&
-					promote(g, c.State.worker, entry.UID, entry.Home) {
+					promote(g, poolWorker(c.Lease, "slave")(), entry.UID, entry.Home) {
 					fPwUID.Store(g, arg, entry.UID)
 					fPwHome.StoreTrunc(g, arg, entry.Home)
 					fAuthOK.Store(g, arg, 1)

@@ -1,0 +1,136 @@
+// FuzzBatchRing: a hostile worker owns every simulated word of its ring
+// — tail, head, per-entry status and return words — and none of them
+// may steer the host. The fuzzer interleaves producer traffic with
+// arbitrary scribbles over the protocol words and checks the trust
+// model's claims: host-computed entry/header addresses derive only from
+// creation-time geometry (in-segment for any sequence number, hostile
+// or not), producers are released exactly by the trusted shadows with
+// the return words the body actually passed to Complete, and no host
+// write lands past the ring segment (a guard window stays zero). The
+// stop word is excluded from the scribbles: it is the host's own
+// shutdown request, and writing it is self-termination, not evasion.
+
+package sthread
+
+import (
+	"testing"
+
+	"wedge/internal/policy"
+	"wedge/internal/vm"
+)
+
+func FuzzBatchRing(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint64(0), []byte{})
+	f.Add(uint8(3), uint8(2), ^uint64(0), []byte{1, 0, 2, 0, 1, 7, 2, 0})
+	// Scribble the tail and a header, then run traffic through them.
+	f.Add(uint8(7), uint8(6), uint64(1)<<63, []byte{0, 0, 0, 3, 1, 1, 0, 4, 2, 0, 1, 2, 1, 3, 2, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, depthByte, sizeByte uint8, seqProbe uint64, script []byte) {
+		if len(script) > 128 {
+			script = script[:128]
+		}
+		depth := 1 + int(depthByte%8)
+		entrySize := 8 * (2 + int(sizeByte%7)) // two words: value in, doubled value out
+		boot(t, func(root *Sthread) {
+			app := root.App()
+			tag, err := app.Tags.TagNew(root.Task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ringBytes := BatchRingBytes(depth, entrySize)
+			base, err := root.Smalloc(tag, ringBytes+64) // 64-byte guard window past the segment
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := policy.New().MustMemAdd(tag, vm.PermRW)
+			body := func(g *Sthread, b *Batch, _ vm.Addr) {
+				for b.More() {
+					v := g.Load64(b.Arg())
+					g.Store64(b.Arg()+8, 2*v)
+					b.Complete(vm.Addr(v))
+				}
+			}
+			gate, ring, err := root.NewRecycledBatch("fuzz", sc, body, BatchConfig{
+				Base: base, Depth: depth, EntrySize: entrySize,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer gate.Close()
+
+			// Geometry: any sequence number — including ones no protocol
+			// run ever produced — resolves to addresses inside the ring.
+			end := base + vm.Addr(ringBytes)
+			for _, seq := range []uint64{0, seqProbe, seqProbe + 1, ^uint64(0)} {
+				if a := ring.EntryAddr(seq); a < base || a+vm.Addr(entrySize) > end {
+					t.Fatalf("EntryAddr(%d) = %#x: outside ring [%#x, %#x)", seq, uint64(a), uint64(base), uint64(end))
+				}
+				if h := ring.HdrAddr(seq); h < base || h+HdrSize > end {
+					t.Fatalf("HdrAddr(%d) = %#x: outside ring [%#x, %#x)", seq, uint64(h), uint64(base), uint64(end))
+				}
+			}
+
+			// The scribble range: control words plus per-entry headers —
+			// everything the protocol stores, nothing the producer owns
+			// (argument blocks stay clean so return words are predictable).
+			hdrRegion := uint64(brHdrs + depth*batchHdrSize)
+
+			var vals []uint64
+			next, awaited := uint64(0), uint64(0)
+			await := func() {
+				ret, err := ring.Await(awaited)
+				if err != nil {
+					t.Fatalf("await %d: %v", awaited, err)
+				}
+				if uint64(ret) != vals[awaited] {
+					t.Fatalf("await %d: ret = %d, want %d", awaited, ret, vals[awaited])
+				}
+				// The position cannot have been reused yet (producers never
+				// run more than depth ahead), so the body's in-ring result
+				// is still resident.
+				if got := root.Load64(ring.EntryAddr(awaited) + 8); got != 2*vals[awaited] {
+					t.Fatalf("entry %d result word = %d, want %d", awaited, got, 2*vals[awaited])
+				}
+				awaited++
+			}
+			for i := 0; i+1 < len(script); i += 2 {
+				op, operand := script[i], uint64(script[i+1])
+				switch op % 3 {
+				case 0: // hostile scribble over a protocol word
+					off := vm.Addr((operand * 8) % hdrRegion)
+					if off == brStop {
+						off = brHead
+					}
+					if err := root.Task.AtomicStore64(base+off, operand*0x9e3779b97f4a7c15+1); err != nil {
+						t.Fatal(err)
+					}
+				case 1: // publish the next entry
+					if next-awaited == uint64(depth) {
+						continue // a real producer leases positions; never exceed depth outstanding
+					}
+					v := operand + 100
+					root.Store64(ring.EntryAddr(next), v)
+					vals = append(vals, v)
+					if err := ring.PublishTo(next + 1); err != nil {
+						t.Fatal(err)
+					}
+					next++
+				case 2: // await the oldest outstanding entry
+					if awaited < next {
+						await()
+					}
+				}
+			}
+			for awaited < next {
+				await()
+			}
+
+			// No host write escaped the segment: the guard window past the
+			// ring is untouched whatever the scribbled words said.
+			for off := vm.Addr(0); off < 64; off += 8 {
+				if got := root.Load64(end + off); got != 0 {
+					t.Fatalf("guard word at ring end +%d = %#x", off, got)
+				}
+			}
+		})
+	})
+}

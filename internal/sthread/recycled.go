@@ -43,9 +43,24 @@ type Recycled struct {
 	ctl     vm.Addr
 	creator *Sthread
 
+	// ring is non-nil for a batch-mode gate (NewRecycledBatch): the gate
+	// drains a ring of argument blocks instead of serving one generation
+	// word, and its control words live in the ring, not a private tag.
+	ring *BatchRing
+
+	// fn and trusted are the gate's entry point and kernel-held trusted
+	// argument, retained for inline invocation (SetInlineCalls).
+	fn      GateFunc
+	trusted vm.Addr
+
 	// mu serializes invocations: a recycled gate is one sthread and can
 	// serve one caller at a time, as in the paper's futex protocol.
 	mu sync.Mutex
+
+	// inlineCalls runs Call bodies on the caller's goroutine (still in
+	// the gate's task context) instead of through the futex handoff; see
+	// SetInlineCalls.
+	inlineCalls bool
 
 	closed bool
 }
@@ -64,11 +79,8 @@ func (s *Sthread) NewRecycled(name string, gateSC *policy.SC, fn GateFunc, trust
 	if gateSC == nil {
 		gateSC = policy.New()
 	}
-	if err := gateSC.CheckSubsetOf(s.SC); err != nil {
-		return nil, fmt.Errorf("recycled %q: %w", name, err)
-	}
-	if (gateSC.UID != policy.InheritUID || gateSC.Root != "") && s.Task.UID != 0 {
-		return nil, ErrUIDEscalate
+	if err := s.checkRecycledSC(name, gateSC); err != nil {
+		return nil, err
 	}
 
 	// The control page: a dedicated tag so the grant is precise. Every
@@ -91,24 +103,10 @@ func (s *Sthread) NewRecycled(name string, gateSC *policy.SC, fn GateFunc, trust
 		return nil, err
 	}
 
-	gate, err := s.prepareGate(name, eff, s)
+	gate, err := s.prepareConfinedGate(name, gateSC, eff)
 	if err != nil {
 		s.app.Tags.TagDelete(ctlTag)
 		return nil, err
-	}
-	if gateSC.Root != "" {
-		if err := s.Task.ChrootOn(gate.Task, gateSC.Root); err != nil {
-			gate.Task.Exit(-1)
-			s.app.Tags.TagDelete(ctlTag)
-			return nil, err
-		}
-	}
-	if gateSC.UID != policy.InheritUID {
-		if err := s.Task.SetUIDOn(gate.Task, gateSC.UID); err != nil {
-			gate.Task.Exit(-1)
-			s.app.Tags.TagDelete(ctlTag)
-			return nil, err
-		}
 	}
 
 	r := &Recycled{
@@ -118,12 +116,51 @@ func (s *Sthread) NewRecycled(name string, gateSC *policy.SC, fn GateFunc, trust
 		ctlTag:  ctlTag,
 		ctl:     ctl,
 		creator: s,
+		fn:      fn,
+		trusted: trusted,
 	}
 
 	gate.Task.Start(func(*kernel.Task) {
 		r.serve(gate, fn, trusted)
 	})
 	return r, nil
+}
+
+// checkRecycledSC validates a recycled gate's requested policy against its
+// creator: the policy must be a subset, and only a root creator may ask
+// for uid/root confinement.
+func (s *Sthread) checkRecycledSC(name string, gateSC *policy.SC) error {
+	if err := gateSC.CheckSubsetOf(s.SC); err != nil {
+		return fmt.Errorf("recycled %q: %w", name, err)
+	}
+	if (gateSC.UID != policy.InheritUID || gateSC.Root != "") && s.Task.UID != 0 {
+		return ErrUIDEscalate
+	}
+	return nil
+}
+
+// prepareConfinedGate prepares a gate task running with the effective
+// policy eff and applies gateSC's uid/root confinement before the task
+// starts. On error the prepared task is retired — a failed construction
+// must not strand it.
+func (s *Sthread) prepareConfinedGate(name string, gateSC, eff *policy.SC) (*Sthread, error) {
+	gate, err := s.prepareGate(name, eff, s)
+	if err != nil {
+		return nil, err
+	}
+	if gateSC.Root != "" {
+		if err := s.Task.ChrootOn(gate.Task, gateSC.Root); err != nil {
+			gate.Task.Exit(-1)
+			return nil, err
+		}
+	}
+	if gateSC.UID != policy.InheritUID {
+		if err := s.Task.SetUIDOn(gate.Task, gateSC.UID); err != nil {
+			gate.Task.Exit(-1)
+			return nil, err
+		}
+	}
+	return gate, nil
 }
 
 // serve is the gate sthread's loop: wait for a request generation, run the
@@ -160,6 +197,49 @@ func (r *Recycled) serve(g *Sthread, fn GateFunc, trusted vm.Addr) {
 		g.Task.AtomicStore64(r.ctl+rcDone, lastGen)
 		g.Task.FutexWake(r.ctl+rcDone, 1)
 	}
+}
+
+// SetInlineCalls switches Call/CallFD between the futex handoff and
+// inline invocation. A classic Call is fully synchronous — the caller
+// parks until the gate publishes its return value — so running the gate
+// body directly on the caller's goroutine observes the same blocking
+// semantics while skipping two context switches per invocation; the body
+// still executes in the gate's task context (address space, credentials,
+// descriptors), so protection is unchanged. This is the run-to-completion
+// discipline of the batched dataplane extended to its nested gates; the
+// futex protocol remains the default, as §4.1 specifies it.
+//
+// A body that faults kills the gate task exactly as the futex path does:
+// the caller gets ErrGateExited and Alive turns false, so pool respawn
+// logic is oblivious to the mode.
+func (r *Recycled) SetInlineCalls(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inlineCalls = on
+}
+
+// invokeInline runs the gate body on the caller's goroutine; r.mu is
+// held. A *vm.Fault panic reproduces the gate-death contract: the task
+// exits with the fault recorded, the parked serve goroutine is told to
+// stop, and the caller sees ErrGateExited — indistinguishable from a
+// fault under the futex protocol.
+func (r *Recycled) invokeInline(arg vm.Addr) (ret vm.Addr, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			f, ok := p.(*vm.Fault)
+			if !ok {
+				panic(p)
+			}
+			r.gate.Task.ExitFault(f)
+			// Reap the parked serve goroutine through its stop word, the
+			// same mechanism Close uses. The task is already dead, so
+			// Close can still run afterwards to retire the control tag.
+			r.creator.Task.AtomicStore64(r.ctl+rcStop, 1)
+			r.creator.Task.FutexWake(r.ctl+rcGen, 1)
+			ret, err = 0, ErrGateExited
+		}
+	}()
+	return r.fn(r.gate, arg, r.trusted), nil
 }
 
 // Sthread returns the gate's long-lived sthread. Pool schedulers use it
@@ -205,6 +285,9 @@ func (r *Recycled) CallFD(caller *Sthread, arg vm.Addr, fd int, perm kernel.FDPe
 }
 
 func (r *Recycled) call(caller *Sthread, arg vm.Addr, fd int, perm kernel.FDPerm) (vm.Addr, error) {
+	if r.ring != nil {
+		return 0, fmt.Errorf("recycled %q: batch-mode gate is invoked through its ring, not Call", r.Name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -224,6 +307,10 @@ func (r *Recycled) call(caller *Sthread, arg vm.Addr, fd int, perm kernel.FDPerm
 		defer r.gate.Task.CloseFD(fd)
 	}
 	r.app.Stats.RecycledCalls.Add(1)
+
+	if r.inlineCalls {
+		return r.invokeInline(arg)
+	}
 
 	// The control page is mapped in the creator; only callers (serialized
 	// by r.mu) write the generation word, so its read stays plain, while
@@ -267,7 +354,9 @@ func (r *Recycled) call(caller *Sthread, arg vm.Addr, fd int, perm kernel.FDPerm
 	return vm.Addr(ret), nil
 }
 
-// Close shuts the gate sthread down and retires its control tag.
+// Close shuts the gate sthread down and retires its control tag. A
+// batch-mode gate has no private control tag — its stop word lives in
+// the ring, and the ring's arena belongs to the caller.
 func (r *Recycled) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -275,6 +364,18 @@ func (r *Recycled) Close() error {
 		return nil
 	}
 	r.closed = true
+	if r.ring != nil {
+		if err := r.creator.Task.AtomicStore64(r.ring.base+brStop, 1); err != nil {
+			return err
+		}
+		// The channel, not the wake, is what ends a park reliably: the
+		// stop word is not the futex word, so a worker between its stop
+		// check and its sleep would miss a bare FutexWake forever.
+		close(r.ring.stopped)
+		r.creator.Task.FutexWake(r.ring.base+brTail, 1)
+		<-r.gate.Task.Done()
+		return nil
+	}
 	if err := r.creator.Task.AtomicStore64(r.ctl+rcStop, 1); err != nil {
 		return err
 	}

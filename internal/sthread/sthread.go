@@ -624,6 +624,16 @@ func (s *Sthread) TryWrite(a vm.Addr, buf []byte) error {
 
 // Load64 reads a little-endian 64-bit word.
 func (s *Sthread) Load64(a vm.Addr) uint64 {
+	if s.emul == nil {
+		// Direct address-space access: the stack buffer inside
+		// vm.AddressSpace.Load64 does not escape, unlike one threaded
+		// through Read's emulation-capable path.
+		v, err := s.Task.AS.Load64(a)
+		if err != nil {
+			panicFault(err)
+		}
+		return v
+	}
 	var b [8]byte
 	s.Read(a, b[:])
 	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
@@ -632,6 +642,12 @@ func (s *Sthread) Load64(a vm.Addr) uint64 {
 
 // Store64 writes a little-endian 64-bit word.
 func (s *Sthread) Store64(a vm.Addr, v uint64) {
+	if s.emul == nil {
+		if err := s.Task.AS.Store64(a, v); err != nil {
+			panicFault(err)
+		}
+		return
+	}
 	var b [8]byte
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (8 * i))
@@ -645,13 +661,15 @@ func (s *Sthread) Store64(a vm.Addr, v uint64) {
 // zeroes a recycled gate's argument memory before handing the gate to a
 // different principal, closing the §3.3 residue channel.
 func (s *Sthread) Zero(a vm.Addr, n int) error {
-	var zeros [vm.PageSize]byte
+	// The zero source is shared and never written: TryWrite only reads
+	// from it, and a per-call page-sized array would escape to the heap
+	// on every scrub.
 	for n > 0 {
 		chunk := n
-		if chunk > len(zeros) {
-			chunk = len(zeros)
+		if chunk > len(zeroPage) {
+			chunk = len(zeroPage)
 		}
-		if err := s.TryWrite(a, zeros[:chunk]); err != nil {
+		if err := s.TryWrite(a, zeroPage[:chunk]); err != nil {
 			return err
 		}
 		a += vm.Addr(chunk)
@@ -660,16 +678,29 @@ func (s *Sthread) Zero(a vm.Addr, n int) error {
 	return nil
 }
 
-// ReadString reads a NUL-terminated string of at most max bytes.
+// zeroPage is the shared all-zeros scrub source; it must never be
+// written.
+var zeroPage [vm.PageSize]byte
+
+// ReadString reads a NUL-terminated string of at most max bytes. The
+// read proceeds in chunks, so [a, a+max) must be readable even past the
+// terminator — true for every schema field, whose capacity lies inside
+// the argument block.
 func (s *Sthread) ReadString(a vm.Addr, max int) string {
 	buf := make([]byte, 0, 64)
-	var one [1]byte
-	for i := 0; i < max; i++ {
-		s.Read(a+vm.Addr(i), one[:])
-		if one[0] == 0 {
-			break
+	var chunk [64]byte
+	for len(buf) < max {
+		n := max - len(buf)
+		if n > len(chunk) {
+			n = len(chunk)
 		}
-		buf = append(buf, one[0])
+		s.Read(a+vm.Addr(len(buf)), chunk[:n])
+		for i := 0; i < n; i++ {
+			if chunk[i] == 0 {
+				return string(append(buf, chunk[:i]...))
+			}
+		}
+		buf = append(buf, chunk[:n]...)
 	}
 	return string(buf)
 }

@@ -22,16 +22,26 @@
 //     schema defined elsewhere is checked at the registration site;
 //   - a hand-rolled handle composite literal (gateabi.WordField{…} and
 //     kin) outside gateabi itself is flagged unconditionally: a handle
-//     the builder did not mint has no schema, so no scrub covers it.
+//     the builder did not mint has no schema, so no scrub covers it;
+//   - the batched dataplane extends the layout one dimension: a ring
+//     entry's footprint is the schema footprint at index×Size. An
+//     argument-block address combined with a scaled (multiplication-
+//     containing) offset is a hand-stepped ring address — geometry that
+//     belongs to sthread.BatchRing (EntryAddr/HdrAddr) and the gateabi
+//     handles, so the expression is flagged outside internal/sthread.
 //
 // Handle uses on non-arg addresses (session regions, trusted blobs) are
 // deliberately out of scope: those regions are not scrubbed by the pool
-// and their layout is the owning code's business.
+// and their layout is the owning code's business. Constant-stride
+// arithmetic without a multiplication (the residue probes' neighbour
+// reads) is likewise left to gateargs where audited: only scaled
+// stepping marks ring-geometry knowledge.
 
 package wedgevet
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"sort"
 	"strconv"
@@ -68,7 +78,8 @@ func init() {
 var ScrubFootprintAnalyzer = &Analyzer{
 	Name: "scrubfootprint",
 	Doc: "every gateabi field handle a pool's gates apply to the argument block must" +
-		" belong to the schema the pool registered (the scrub footprint)",
+		" belong to the schema the pool registered (the scrub footprint);" +
+		" hand-stepped ring-entry addresses (arg ± index×size) outside sthread are flagged",
 	Run: runScrubFootprint,
 }
 
@@ -148,11 +159,71 @@ func runScrubFootprint(pass *Pass) error {
 		}
 	}
 	w.collect(files)
+	ringOwner := strings.HasSuffix(pass.Pkg.Path(), "internal/sthread")
 	for _, f := range files {
 		w.flagHandRolledHandles(f)
 		w.checkRegistrations(f)
+		if !ringOwner {
+			w.flagRingOffsets(f)
+		}
 	}
 	return nil
+}
+
+// flagRingOffsets reports hand-stepped ring-entry addresses: an
+// argument-block address combined (±) with an offset whose expression
+// contains a multiplication. The batched ring places entry i of a slot
+// at base + i×entrySize; code outside internal/sthread that rebuilds
+// that product from an arg address has duplicated the ring geometry,
+// and a drift between its copy and BatchRing's (header growth, stride
+// rounding) silently lands reads or scrubs on a neighbouring
+// principal's entry. Constant-stride arithmetic without a
+// multiplication stays legal here — the servetest residue probes step
+// one fixed stride on purpose — so only scaled stepping flags.
+func (w *schemaWorld) flagRingOffsets(file *ast.File) {
+	forEachFunc(file, func(fn funcNode) {
+		tainted := argBlockParams(w.pass, fn)
+		if len(tainted) == 0 {
+			return
+		}
+		propagateTaint(w.pass, fn, tainted)
+		ast.Inspect(fn.body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+				return true
+			}
+			tv, ok := w.pass.TypesInfo.Types[be]
+			if !ok || !isVMAddr(tv.Type) {
+				return true
+			}
+			var off ast.Expr
+			switch {
+			case mentionsTainted(w.pass, be.X, tainted):
+				off = be.Y
+			case mentionsTainted(w.pass, be.Y, tainted):
+				off = be.X
+			default:
+				return true
+			}
+			if containsMul(off) {
+				w.pass.Reportf(be.Pos(), "hand-computed ring entry address (argument-block address plus a scaled offset); ring geometry belongs to sthread.BatchRing and the gateabi handles")
+				return false // the inner product is the same finding
+			}
+			return true
+		})
+	})
+}
+
+// containsMul reports whether e's subtree contains a multiplication.
+func containsMul(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.MUL {
+			found = true
+		}
+		return !found
+	})
+	return found
 }
 
 // eachInit visits every name = value binding in the file, at package

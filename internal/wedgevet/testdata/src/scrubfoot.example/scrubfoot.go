@@ -85,4 +85,30 @@ var cfg = gatepool.Config{
 // A handle the builder did not mint is invisible to every schema.
 var forged = gateabi.BytesField{Offset: 16} // want `hand-rolled gateabi.BytesField literal`
 
+// ringEntry rebuilds the ring geometry by hand: entry i of the slot at
+// arg + i×stride. Only BatchRing may compute that product.
+func ringEntry(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	idx := uint64(3)
+	entry := arg + vm.Addr(idx*64) // want `hand-computed ring entry address`
+	fOp.Store(s, entry, 5)
+	return 0
+}
+
+// ringEntryDerived steps from a locally aliased block address; the
+// taint follows the assignment.
+func ringEntryDerived(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	block := arg
+	stride := vm.Addr(64)
+	return fOp.Load(s, block-3*stride) // want `hand-computed ring entry address`
+}
+
+// fixedStride steps one constant stride without a multiplication — the
+// residue probes' neighbour read; scaled stepping alone flags.
+func fixedStride(s *sthread.Sthread, arg, trusted vm.Addr) vm.Addr {
+	stride := vm.Addr(64)
+	return fOp.Load(s, arg-stride)
+}
+
+var _, _, _ = ringEntry, ringEntryDerived, fixedStride
+
 var _, _ = apps, cfg
