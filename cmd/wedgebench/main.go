@@ -17,7 +17,12 @@
 //	wedgebench -pool -app all  # the five-way pooled comparison
 //	                           # (httpd/sshd/pop3/privsep/dnsd) in one
 //	                           # command
-//	wedgebench -all            # everything
+//	wedgebench -soak           # principal-churn soak: 100k fresh
+//	                           # principals per app through the pooled
+//	                           # pop3 (stream) and dnsd (datagram)
+//	                           # builds, with task/tag/conn-table leak
+//	                           # accounting — any residue is a failure
+//	wedgebench -all            # everything (the soak stays opt-in)
 //
 // Every row is printed next to the paper's reported value where one
 // exists. -conns and -scp scale the Table 2 work for quick runs;
@@ -27,6 +32,10 @@
 // knobs apply to the pooled variants: -queue bounds the admission queue,
 // -autoslots makes slot counts track GOMAXPROCS at admission, and -drain
 // runs a verified drain/undrain cycle on every pooled cell.
+// -soakapp, -soakprincipals, -soakconc, -soakidle and -soaksilent scale
+// the soak (bounded CI smokes pass a small -soakprincipals; the row
+// names carry only the concurrency, so small and full runs compare
+// against the same baseline).
 //
 // -json <file> additionally writes every measured result as JSON (with
 // app/variant/concurrency identity fields on the pool rows, which carry
@@ -86,6 +95,12 @@ func main() {
 	poolConns := flag.Int("poolconns", bench.FigPoolConns, "timed connections per FigPool cell")
 	poolLevels := flag.String("poollevels", "", "comma-separated FigPool concurrency ladder (default 1,2,4,...,64)")
 	poolVariants := flag.String("variants", "", "comma-separated FigPool variant filter (default: the app's full ladder)")
+	soak := flag.Bool("soak", false, "principal-churn soak: fresh-principal sessions through the pooled apps with leak accounting")
+	soakApp := flag.String("soakapp", "all", "soak workload: pop3, dnsd, or all")
+	soakPrincipals := flag.Int("soakprincipals", 0, "simulated principal churns per soak app (0 = 100000)")
+	soakConc := flag.Int("soakconc", 0, "concurrent soak drivers (0 = 32)")
+	soakIdle := flag.Duration("soakidle", 0, "stream idle-reap window for the soak (0 = 25ms)")
+	soakSilent := flag.Int("soaksilent", 0, "park every Nth pop3 soak session for the reaper (0 = 16, <0 disables)")
 	queue := flag.Int("queue", 0, "pooled admission-queue bound (0 = unbounded, <0 = no waiting; rejected connections become client retries)")
 	autoslots := flag.Bool("autoslots", false, "pooled slot counts track GOMAXPROCS at admission (supersedes -poolsize)")
 	drain := flag.Bool("drain", false, "run a drain/undrain cycle on every pooled cell and verify quiescence")
@@ -135,7 +150,14 @@ func main() {
 		usageError("-app: %v", err)
 	}
 
-	if !*all && *fig == 0 && *table == 0 && !*metrics && !*ablations && !*pool {
+	if *soakPrincipals < 0 {
+		usageError("-soakprincipals must be >= 0 (got %d)", *soakPrincipals)
+	}
+	if *soakConc < 0 {
+		usageError("-soakconc must be >= 0 (got %d)", *soakConc)
+	}
+
+	if !*all && *fig == 0 && *table == 0 && !*metrics && !*ablations && !*pool && !*soak {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -230,6 +252,27 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+	if *soak {
+		rows, r, err := bench.Soak(bench.SoakOpts{
+			App:         *soakApp,
+			Principals:  *soakPrincipals,
+			Conc:        *soakConc,
+			Idle:        *soakIdle,
+			SilentEvery: *soakSilent,
+		})
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+		fmt.Println("principal-churn soak (fresh principal per session; zero leaks verified):")
+		for _, row := range rows {
+			fmt.Printf("  %-5s %8d churns c=%-3d %9.0f req/s (p50 %v / p99 %v)  reaped=%d  peak conns=%d deepest shard=%d of %d\n",
+				row.App, row.Principals, row.Conc, row.Stats.RPS,
+				row.Stats.P50.Round(10*time.Microsecond), row.Stats.P99.Round(10*time.Microsecond),
+				row.Reaped, row.PeakConns, row.PeakShard, row.Shards)
+		}
+		fmt.Println()
 	}
 	if *all || *ablations {
 		on, off, err := bench.AblationTagCache(*conns)

@@ -1,0 +1,49 @@
+package bench
+
+import "testing"
+
+// TestSoakBounded runs a small version of both soak workloads — enough
+// churn to cross the conn-table's bucket-growth and reaper paths, small
+// enough for the unit-test budget. The harness's own leak accounting is
+// the assertion: Soak errors on any task/tag residue, a non-empty conn
+// table, a silent session the reaper missed, or a flow that never
+// expired.
+func TestSoakBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is a multi-second run")
+	}
+	rows, results, err := Soak(SoakOpts{
+		Principals: 2000,
+		Conc:       16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (pop3 + dnsd)", len(rows))
+	}
+	for _, row := range rows {
+		if row.Stats.RPS <= 0 {
+			t.Errorf("%s: nonpositive throughput %v", row.App, row.Stats.RPS)
+		}
+		if row.Stats.P99 < row.Stats.P50 {
+			t.Errorf("%s: p99 %v < p50 %v", row.App, row.Stats.P99, row.Stats.P50)
+		}
+		if row.Reaped == 0 {
+			t.Errorf("%s: zero reaped/expired sessions", row.App)
+		}
+		if row.PeakConns == 0 || row.Shards == 0 {
+			t.Errorf("%s: sampler saw no occupancy (peak=%d shards=%d)", row.App, row.PeakConns, row.Shards)
+		}
+	}
+	// Three rows per app (rps, p50, p99), keyed by concurrency only —
+	// bounded CI runs must produce the same row names as full runs.
+	if len(results) != 6 {
+		t.Fatalf("got %d result rows, want 6", len(results))
+	}
+	for _, r := range results {
+		if r.Experiment != "soak" {
+			t.Errorf("result %q: experiment %q, want soak", r.Name, r.Experiment)
+		}
+	}
+}

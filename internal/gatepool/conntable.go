@@ -1,8 +1,8 @@
 // ConnTable: the conn-id demultiplexer shared by the pool-serving
-// servers (httpd, sshd, pop3). A pooled server stores each connection's
-// gate-side state here, writes the issued id into the slot's argument
-// block, and a gate invocation looks the state back up by the id it
-// reads from the block.
+// servers (httpd, sshd, pop3, privsep, dnsd). A pooled server stores
+// each connection's gate-side state here, writes the issued id into the
+// slot's argument block, and a gate invocation looks the state back up
+// by the id it reads from the block.
 //
 // The id is worker-supplied and therefore untrusted: a compromised
 // worker can name any connection's id. The isolation argument — shared
@@ -16,105 +16,629 @@
 // timestamps: a flow is "a source address we heard from recently", so
 // idle expiry needs to ask "has id i been quiet for d?" and remove it
 // atomically with the answer (RemoveIfIdle) — a separate Get+Delete
-// would race a packet arriving between the two. Ids are monotonic and
-// never reused, so an expired flow's id can never alias a later flow:
-// a stale id written into a slot's argument block after expiry simply
-// fails the lookup.
+// would race a packet arriving between the two. Ids are monotonic per
+// shard and never reused, so an expired flow's id can never alias a
+// later flow: a stale id written into a slot's argument block after
+// expiry simply fails the lookup.
+//
+// # Sharded layout
+//
+// The table was first built as one Go map behind one mutex — fine for
+// dozens of connections, a serial bottleneck at the million-principal
+// scale the runtime now targets. The current layout is sharded and
+// fixed-probe:
+//
+//   - A power-of-two shard count sized from GOMAXPROCS at first use
+//     (Reshard changes it live). Every entry's owning shard is encoded
+//     in the low connShardBits of its id, so a lookup takes exactly one
+//     shard lock — no search, no global ordering.
+//   - Put balances load with two-choice shard selection: sample two
+//     shards, insert into the less occupied (an atomic read each; the
+//     classic power-of-two-choices bound keeps the deepest shard within
+//     a constant factor of the mean without any global coordination).
+//   - Within a shard, entries live in fixed-width buckets addressed by
+//     two-choice hashing on the id: an id has exactly two candidate
+//     buckets (two independent multiplicative hashes), insertion takes
+//     a free slot in the emptier one, and a lookup probes at most
+//     2×connBucketWidth slots — a hard bound, never a chain walk. When
+//     both candidates are full the shard doubles its bucket array and
+//     rehashes (cuckoo-style placement without the kick sequence: at
+//     our load factors growth is cheaper than displacement and keeps
+//     deletion trivially correct — clearing a slot can never break
+//     another id's probe path).
+//   - Each shard carries its own generation counter; an id is
+//     (generation << connShardBits) | shard index. Generations only
+//     grow, and Reshard seeds every new shard at the global maximum, so
+//     no id is ever issued twice — the property the stale-id-fails-
+//     lookup isolation argument rests on — while id allocation stays a
+//     per-shard increment with no cross-shard contention.
+//
+// Idle timestamps are monotonic (Monotime: immune to wall-clock steps —
+// an NTP step must move neither a live flow into the reaper's window
+// nor a dead one out of it) and lazily tracked: a table that never
+// expires (a stream app with no IdleTimeout) skips the clock read and
+// the stamp store entirely until TrackIdle arms them. Touch is a single
+// bounded probe and an in-place stamp — no rehash, no entry copy.
 
 package gatepool
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-type connEntry[T any] struct {
-	v     T
-	touch time.Time
+// connShardBits is the width of the shard-index field in an id; the
+// shard count can never exceed 1<<connShardBits. Fixed (rather than
+// derived from the live shard count) so ids issued under one shard
+// count still decode to their owning shard after a Reshard.
+const connShardBits = 8
+
+// connMaxShards bounds Reshard.
+const connMaxShards = 1 << connShardBits
+
+// connBucketWidth is the slot count of one probe bucket. Two candidate
+// buckets per id makes every lookup at most 2×connBucketWidth probes.
+const connBucketWidth = 8
+
+// connClockBase anchors Monotime. time.Since reads the runtime's
+// monotonic clock, so stamps derived from it are immune to wall-clock
+// steps (the failure mode of the old time.Now().UnixNano() stamps).
+var connClockBase = time.Now()
+
+// Monotime is the table's clock: nanoseconds of monotonic time since
+// process start, never zero (zero marks an unstamped slot) and never
+// affected by NTP steps. The serve runtime shares it for its stream
+// idle stamps.
+func Monotime() int64 { return int64(time.Since(connClockBase)) + 1 }
+
+// ConnTableStats is a point-in-time occupancy census, surfaced through
+// serve.Snapshot so soak runs can watch table health (a skewed MaxShard
+// or a runaway Grows means the hashing is misbehaving under the load).
+type ConnTableStats struct {
+	Shards   int    // live shard count
+	Entries  int    // live entries across all shards
+	MaxShard int    // deepest shard's live-entry count
+	Capacity int    // total bucket slots across all shards
+	Grows    uint64 // bucket-array doublings since creation
+}
+
+// connBucket is one fixed-width probe unit: parallel arrays so a probe
+// walks 64 bytes of ids before touching values at all.
+type connBucket[T any] struct {
+	ids   [connBucketWidth]uint64 // 0 = empty slot
+	touch [connBucketWidth]int64  // Monotime stamp; 0 = unstamped
+	vals  [connBucketWidth]T
+}
+
+// connShard is one lock domain: a generation counter and a growable
+// two-choice bucket array.
+type connShard[T any] struct {
+	mu    sync.Mutex
+	moved bool // a Reshard migrated this shard; callers must reload state
+	gen   uint64
+	mask  uint32 // bucket count - 1 (bucket count is a power of two)
+	grows uint64
+	bkts  []connBucket[T]
+	n     atomic.Int64 // live entries (read lock-free by Len and Put)
+}
+
+// connState is the published shard array; immutable once stored, so
+// readers take no global lock — they load the pointer, pick a shard,
+// and lock only that.
+type connState[T any] struct {
+	mask   uint64 // len(shards) - 1
+	shards []*connShard[T]
 }
 
 // ConnTable issues connection ids and stores per-connection values of
 // type T. The zero value is ready to use. All methods are safe for
 // concurrent use.
 type ConnTable[T any] struct {
-	mu   sync.Mutex
-	next uint64
-	m    map[uint64]connEntry[T]
+	state atomic.Pointer[connState[T]]
+	mu    sync.Mutex // serializes lazy init and Reshard
+	rr    atomic.Uint64
+	track atomic.Bool
+	clock atomic.Pointer[func() int64]
 }
 
-// Put stores v under a fresh id (stamped as touched now) and returns the
-// id. Ids are monotonic: no id is ever issued twice, even after Delete
-// or RemoveIfIdle, so expiry cannot cause id aliasing.
-func (c *ConnTable[T]) Put(v T) uint64 {
+// now reads the table's clock. Called only outside shard locks: the
+// injected clock is a dynamic function value, and the lockcallback
+// discipline (no dynamic calls under a gatepool mutex) applies to the
+// table like everything else in the package.
+func (c *ConnTable[T]) now() int64 {
+	if f := c.clock.Load(); f != nil {
+		return (*f)()
+	}
+	return Monotime()
+}
+
+// SetClock injects a clock for tests (nanosecond readings; must never
+// return zero or go backwards). Production tables use Monotime.
+func (c *ConnTable[T]) SetClock(now func() int64) {
+	if now == nil {
+		c.clock.Store(nil)
+		return
+	}
+	c.clock.Store(&now)
+}
+
+// TrackIdle arms touch tracking: from now on Put stamps new entries,
+// Touch refreshes stamps, and RemoveIfIdle can expire. Existing entries
+// are stamped as touched now (an entry that predates arming must not
+// read as idle-forever). Untracked tables never expire anything and
+// never read the clock — the lazy default for apps with no IdleTimeout.
+func (c *ConnTable[T]) TrackIdle() {
+	if c.track.Swap(true) {
+		return
+	}
+	stamp := c.now()
+	// Stamp every pre-existing entry, restarting over the fresh state if
+	// a Reshard migrates shards mid-pass (migration preserves stamps, so
+	// the restart converges).
+	for {
+		st := c.state.Load()
+		if st == nil {
+			return
+		}
+		retry := false
+		for _, s := range st.shards {
+			s.mu.Lock()
+			if s.moved {
+				s.mu.Unlock()
+				retry = true
+				break
+			}
+			for b := range s.bkts {
+				bkt := &s.bkts[b]
+				for j := 0; j < connBucketWidth; j++ {
+					if bkt.ids[j] != 0 && bkt.touch[j] == 0 {
+						bkt.touch[j] = stamp
+					}
+				}
+			}
+			s.mu.Unlock()
+		}
+		if !retry {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// defaultConnShards sizes the initial shard array: a power of two at
+// least four times the host parallelism (writers outnumber cores under
+// churn; headroom keeps two Put choices from colliding), floored for
+// small hosts, capped at the id encoding's limit.
+func defaultConnShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > connMaxShards {
+		n = connMaxShards
+	}
+	return ceilPow2(n)
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newConnState builds a shard array; gen seeds every shard's generation
+// counter (0 for a fresh table, the global maximum for a Reshard).
+func newConnState[T any](shards int, gen uint64) *connState[T] {
+	st := &connState[T]{mask: uint64(shards - 1), shards: make([]*connShard[T], shards)}
+	for i := range st.shards {
+		st.shards[i] = &connShard[T]{gen: gen, mask: 3, bkts: make([]connBucket[T], 4)}
+	}
+	return st
+}
+
+// load returns the published state, lazily creating it on first use.
+func (c *ConnTable[T]) load() *connState[T] {
+	if st := c.state.Load(); st != nil {
+		return st
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.m == nil {
-		c.m = make(map[uint64]connEntry[T])
+	if st := c.state.Load(); st != nil {
+		return st
 	}
-	c.next++
-	c.m[c.next] = connEntry[T]{v: v, touch: time.Now()}
-	return c.next
+	st := newConnState[T](defaultConnShards(), 0)
+	c.state.Store(st)
+	return st
+}
+
+// lockShardAt locks the shard an id (or raw index) routes to under the
+// current state, retrying across a concurrent Reshard: a shard marked
+// moved has been migrated into a newer state, so the caller must
+// reload and re-route. ok is false only when the table has never been
+// written.
+func (c *ConnTable[T]) lockShardAt(id uint64) (*connShard[T], bool) {
+	for {
+		st := c.state.Load()
+		if st == nil {
+			return nil, false
+		}
+		s := st.shards[id&st.mask]
+		s.mu.Lock()
+		if !s.moved {
+			return s, true
+		}
+		s.mu.Unlock()
+		runtime.Gosched() // migration in progress; the new state is about to publish
+	}
+}
+
+// hash1/hash2 are two independent multiplicative mixes of the id; the
+// high bits (best mixed) pick the candidate buckets.
+func connHash1(id uint64) uint64 {
+	id *= 0x9e3779b97f4a7c15
+	return id >> 32
+}
+
+func connHash2(id uint64) uint64 {
+	id ^= id >> 33
+	id *= 0xbf58476d1ce4e5b9
+	return id >> 32
+}
+
+// findSlot locates id in the shard's two candidate buckets. Caller
+// holds the shard lock.
+func (s *connShard[T]) findSlot(id uint64) (*connBucket[T], int) {
+	b1 := &s.bkts[connHash1(id)&uint64(s.mask)]
+	for j := 0; j < connBucketWidth; j++ {
+		if b1.ids[j] == id {
+			return b1, j
+		}
+	}
+	b2 := &s.bkts[connHash2(id)&uint64(s.mask)]
+	for j := 0; j < connBucketWidth; j++ {
+		if b2.ids[j] == id {
+			return b2, j
+		}
+	}
+	return nil, 0
+}
+
+// place inserts an id into its emptier candidate bucket, growing the
+// bucket array until a free slot exists. Caller holds the shard lock.
+func (s *connShard[T]) place(id uint64, touch int64, v T) {
+	for {
+		b1 := &s.bkts[connHash1(id)&uint64(s.mask)]
+		b2 := &s.bkts[connHash2(id)&uint64(s.mask)]
+		if freeSlots(b2) > freeSlots(b1) {
+			b1 = b2
+		}
+		for j := 0; j < connBucketWidth; j++ {
+			if b1.ids[j] == 0 {
+				b1.ids[j] = id
+				b1.touch[j] = touch
+				b1.vals[j] = v
+				return
+			}
+		}
+		s.grow()
+	}
+}
+
+func freeSlots[T any](b *connBucket[T]) int {
+	free := 0
+	for j := 0; j < connBucketWidth; j++ {
+		if b.ids[j] == 0 {
+			free++
+		}
+	}
+	return free
+}
+
+// grow doubles the bucket array and rehashes every entry under the new
+// mask. Rehashing is two-choice placement again; if the doubled array
+// still cannot place an entry (pathological clustering) the loop in
+// place doubles once more.
+func (s *connShard[T]) grow() {
+	old := s.bkts
+	s.mask = s.mask*2 + 1
+	s.bkts = make([]connBucket[T], s.mask+1)
+	s.grows++
+	for b := range old {
+		bkt := &old[b]
+		for j := 0; j < connBucketWidth; j++ {
+			if bkt.ids[j] != 0 {
+				s.rehome(bkt.ids[j], bkt.touch[j], bkt.vals[j])
+			}
+		}
+	}
+}
+
+// rehome is place without the growth loop, used during grow itself; on
+// the rare double-collision it grows again and restarts (grow calls
+// rehome on a fresh, larger array, so this terminates).
+func (s *connShard[T]) rehome(id uint64, touch int64, v T) {
+	b1 := &s.bkts[connHash1(id)&uint64(s.mask)]
+	b2 := &s.bkts[connHash2(id)&uint64(s.mask)]
+	if freeSlots(b2) > freeSlots(b1) {
+		b1 = b2
+	}
+	for j := 0; j < connBucketWidth; j++ {
+		if b1.ids[j] == 0 {
+			b1.ids[j] = id
+			b1.touch[j] = touch
+			b1.vals[j] = v
+			return
+		}
+	}
+	s.grow()
+}
+
+// Put stores v under a fresh id and returns the id. Ids encode their
+// owning shard and only ever grow within it: no id is ever issued
+// twice, even after Delete, RemoveIfIdle, or Reshard, so expiry cannot
+// cause id aliasing. The entry is stamped as touched now only when the
+// table tracks idleness (TrackIdle); untracked tables skip the clock
+// entirely.
+func (c *ConnTable[T]) Put(v T) uint64 {
+	var stamp int64
+	if c.track.Load() {
+		stamp = c.now()
+	}
+	for {
+		st := c.load()
+		// Two-choice shard selection: two samples driven by a mixed
+		// rotating counter, insert into the less occupied.
+		r := c.rr.Add(1)
+		i1 := connHash1(r) & st.mask
+		i2 := connHash2(r) & st.mask
+		if st.shards[i2].n.Load() < st.shards[i1].n.Load() {
+			i1 = i2
+		}
+		s := st.shards[i1]
+		s.mu.Lock()
+		if s.moved {
+			s.mu.Unlock()
+			runtime.Gosched()
+			continue // a Reshard replaced the state; pick again
+		}
+		s.gen++
+		id := s.gen<<connShardBits | i1
+		s.place(id, stamp, v)
+		s.n.Add(1)
+		s.mu.Unlock()
+		return id
+	}
 }
 
 // Get returns the value stored under id. Callers must additionally pin
 // the result to the invoking slot (see the package comment above).
 func (c *ConnTable[T]) Get(id uint64) (T, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[id]
-	return e.v, ok
+	var zero T
+	if id == 0 {
+		return zero, false
+	}
+	s, ok := c.lockShardAt(id)
+	if !ok {
+		return zero, false
+	}
+	b, j := s.findSlot(id)
+	if b == nil {
+		s.mu.Unlock()
+		return zero, false
+	}
+	v := b.vals[j]
+	s.mu.Unlock()
+	return v, true
 }
 
 // Delete drops the value stored under id.
 func (c *ConnTable[T]) Delete(id uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.m, id)
+	if id == 0 {
+		return
+	}
+	s, ok := c.lockShardAt(id)
+	if !ok {
+		return
+	}
+	if b, j := s.findSlot(id); b != nil {
+		var zero T
+		b.ids[j] = 0
+		b.touch[j] = 0
+		b.vals[j] = zero
+		s.n.Add(-1)
+	}
+	s.mu.Unlock()
 }
 
 // Touch refreshes id's last-activity stamp, reporting whether the id is
 // still present (false means the entry already expired or was deleted —
-// the caller is looking at a dead flow and must re-register).
+// the caller is looking at a dead flow and must re-register). This is
+// the hottest packet-mode operation: one bounded probe, one in-place
+// store — no rehash, no entry copy, and no clock read on untracked
+// tables.
 func (c *ConnTable[T]) Touch(id uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[id]
+	if id == 0 {
+		return false
+	}
+	var stamp int64
+	if c.track.Load() {
+		stamp = c.now()
+	}
+	s, ok := c.lockShardAt(id)
 	if !ok {
 		return false
 	}
-	e.touch = time.Now()
-	c.m[id] = e
+	b, j := s.findSlot(id)
+	if b == nil {
+		s.mu.Unlock()
+		return false
+	}
+	if stamp != 0 {
+		b.touch[j] = stamp
+	}
+	s.mu.Unlock()
 	return true
 }
 
-// LastTouch returns id's last-activity stamp.
-func (c *ConnTable[T]) LastTouch(id uint64) (time.Time, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[id]
-	return e.touch, ok
+// IdleFor reports how long id has been without activity (zero on a
+// table not tracking idleness) and whether the id is still present.
+func (c *ConnTable[T]) IdleFor(id uint64) (time.Duration, bool) {
+	if id == 0 {
+		return 0, false
+	}
+	var now int64
+	if c.track.Load() {
+		now = c.now()
+	}
+	s, ok := c.lockShardAt(id)
+	if !ok {
+		return 0, false
+	}
+	b, j := s.findSlot(id)
+	if b == nil {
+		s.mu.Unlock()
+		return 0, false
+	}
+	var idle time.Duration
+	if t := b.touch[j]; t != 0 && now > t {
+		idle = time.Duration(now - t)
+	}
+	s.mu.Unlock()
+	return idle, true
 }
 
 // RemoveIfIdle removes id iff its last touch is at least idle ago,
 // returning the removed value. The check and the removal are one
 // critical section: a Touch that lands first keeps the entry alive, a
 // Touch that lands after sees the entry gone and reports false — there
-// is no window where expiry removes a flow that just spoke.
+// is no window where expiry removes a flow that just spoke. On a table
+// not tracking idleness nothing is ever idle and nothing is removed.
 func (c *ConnTable[T]) RemoveIfIdle(id uint64, idle time.Duration) (T, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[id]
-	if !ok || time.Since(e.touch) < idle {
-		var zero T
+	var zero T
+	if id == 0 || !c.track.Load() {
 		return zero, false
 	}
-	delete(c.m, id)
-	return e.v, true
+	now := c.now()
+	s, ok := c.lockShardAt(id)
+	if !ok {
+		return zero, false
+	}
+	b, j := s.findSlot(id)
+	if b == nil || b.touch[j] == 0 || time.Duration(now-b.touch[j]) < idle {
+		s.mu.Unlock()
+		return zero, false
+	}
+	v := b.vals[j]
+	b.ids[j] = 0
+	b.touch[j] = 0
+	b.vals[j] = zero
+	s.n.Add(-1)
+	s.mu.Unlock()
+	return v, true
 }
 
-// Len reports the number of live entries.
+// Len reports the number of live entries. Lock-free: a sum of per-shard
+// atomic counters.
 func (c *ConnTable[T]) Len() int {
+	st := c.state.Load()
+	if st == nil {
+		return 0
+	}
+	total := int64(0)
+	for _, s := range st.shards {
+		total += s.n.Load()
+	}
+	return int(total)
+}
+
+// Stats returns the occupancy census. Takes each shard lock briefly
+// (restarting if a Reshard migrates shards mid-census); intended for
+// snapshots and soak accounting, not hot paths.
+func (c *ConnTable[T]) Stats() ConnTableStats {
+	for {
+		st := c.state.Load()
+		if st == nil {
+			return ConnTableStats{}
+		}
+		stats := ConnTableStats{Shards: len(st.shards)}
+		retry := false
+		for _, s := range st.shards {
+			s.mu.Lock()
+			if s.moved {
+				s.mu.Unlock()
+				retry = true
+				break
+			}
+			n := int(s.n.Load())
+			stats.Entries += n
+			if n > stats.MaxShard {
+				stats.MaxShard = n
+			}
+			stats.Capacity += len(s.bkts) * connBucketWidth
+			stats.Grows += s.grows
+			s.mu.Unlock()
+		}
+		if !retry {
+			return stats
+		}
+		runtime.Gosched()
+	}
+}
+
+// Reshard changes the shard count to the next power of two at or above
+// n (clamped to [1, 256]), migrating every live entry. Ids survive: an
+// entry's encoded shard index re-routes under the new mask, and every
+// new shard's generation counter starts at the old global maximum, so
+// the no-id-reuse guarantee holds across the migration. Safe to call
+// concurrently with every other method.
+func (c *ConnTable[T]) Reshard(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > connMaxShards {
+		n = connMaxShards
+	}
+	n = ceilPow2(n)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	old := c.state.Load()
+	if old == nil {
+		c.state.Store(newConnState[T](n, 0))
+		return
+	}
+	if len(old.shards) == n {
+		return
+	}
+	// First pass: freeze each old shard (migrate + mark moved) while
+	// collecting the global maximum generation. Operations that raced
+	// onto a frozen shard spin briefly in lockShardAt until the new
+	// state publishes.
+	var maxGen uint64
+	fresh := newConnState[T](n, 0)
+	for _, s := range old.shards {
+		s.mu.Lock()
+		if s.gen > maxGen {
+			maxGen = s.gen
+		}
+		for b := range s.bkts {
+			bkt := &s.bkts[b]
+			for j := 0; j < connBucketWidth; j++ {
+				if id := bkt.ids[j]; id != 0 {
+					dst := fresh.shards[id&fresh.mask]
+					dst.place(id, bkt.touch[j], bkt.vals[j])
+					dst.n.Add(1)
+				}
+			}
+		}
+		s.moved = true
+		s.mu.Unlock()
+	}
+	for _, s := range fresh.shards {
+		s.gen = maxGen
+	}
+	c.state.Store(fresh)
 }

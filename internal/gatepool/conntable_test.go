@@ -1,6 +1,8 @@
 package gatepool
 
 import (
+	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -34,6 +36,9 @@ func TestConnTableBasics(t *testing.T) {
 	}
 	ct.Delete(a) // deleting twice is a no-op
 	ct.Delete(b)
+	if n := ct.Len(); n != 0 {
+		t.Fatalf("Len after deleting everything = %d, want 0", n)
+	}
 }
 
 // TestConnTableNoIDReuse: ids are never reissued after removal. This is
@@ -53,6 +58,75 @@ func TestConnTableNoIDReuse(t *testing.T) {
 		if _, ok := ct.Get(id); ok {
 			t.Fatalf("stale id %d still resolves", id)
 		}
+	}
+}
+
+// TestConnTableNoIDReuseAcrossReshard: the no-reuse guarantee must
+// survive shard-count changes in both directions — the migrated
+// generation counters seed every new shard at the global maximum.
+func TestConnTableNoIDReuseAcrossReshard(t *testing.T) {
+	var ct ConnTable[int]
+	seen := make(map[uint64]int)
+	issue := func(round, n int) {
+		for i := 0; i < n; i++ {
+			id := ct.Put(round*1000 + i)
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("round %d: id %d reissued (first issued as %d)", round, id, prev)
+			}
+			seen[id] = round*1000 + i
+			if i%2 == 0 {
+				ct.Delete(id)
+			}
+		}
+	}
+	issue(0, 500)
+	ct.Reshard(64)
+	issue(1, 500)
+	ct.Reshard(2)
+	issue(2, 500)
+	ct.Reshard(16)
+	issue(3, 500)
+	// Every undeleted id still resolves to exactly its own value.
+	for id, v := range seen {
+		got, ok := ct.Get(id)
+		if ok && got != v {
+			t.Fatalf("id %d resolves to %d, want %d — cross-entry aliasing", id, got, v)
+		}
+	}
+}
+
+// TestConnTableReshardMigrates: live entries and their touch stamps
+// survive a reshard; stats reflect the new layout.
+func TestConnTableReshardMigrates(t *testing.T) {
+	var ct ConnTable[int]
+	ct.TrackIdle()
+	var fake atomic.Int64
+	fake.Store(1)
+	ct.SetClock(fake.Load)
+	ids := make([]uint64, 0, 300)
+	for i := 0; i < 300; i++ {
+		ids = append(ids, ct.Put(i))
+	}
+	fake.Store(1000)
+	ct.Reshard(4)
+	if s := ct.Stats(); s.Shards != 4 || s.Entries != 300 {
+		t.Fatalf("after Reshard(4): stats %+v, want 4 shards / 300 entries", s)
+	}
+	for i, id := range ids {
+		v, ok := ct.Get(id)
+		if !ok || v != i {
+			t.Fatalf("entry %d lost in migration: %d/%v", i, v, ok)
+		}
+		// The stamp migrated: entries put at t=1 read as idle for 999ns.
+		if idle, ok := ct.IdleFor(id); !ok || idle != 999 {
+			t.Fatalf("entry %d idle=%v/%v after migration, want 999ns", i, idle, ok)
+		}
+	}
+	for _, id := range ids {
+		ct.Delete(id)
+	}
+	if n := ct.Len(); n != 0 {
+		t.Fatalf("Len after migration churn = %d, want 0", n)
 	}
 }
 
@@ -117,36 +191,211 @@ func TestConnTableConcurrent(t *testing.T) {
 	}
 }
 
-// TestConnTableTouch: Touch refreshes the last-activity stamp on live
-// entries and reports false on dead ones.
-func TestConnTableTouch(t *testing.T) {
-	var ct ConnTable[int]
-	id := ct.Put(7)
-	t0, ok := ct.LastTouch(id)
-	if !ok {
-		t.Fatal("LastTouch missing on fresh entry")
+// TestConnTableShardedProperty is the sharded table's concurrency
+// property test: workers churn Put/Get/Touch/Delete/RemoveIfIdle while
+// a driver fires Reshard calls across the run. Asserted properties:
+// no id is ever issued twice (across workers and reshards), a Get never
+// returns another entry's value (no cross-shard aliasing under
+// migration), and after every worker deletes its survivors the table's
+// Len converges to zero. Run under -race -cpu 1,4 in CI.
+func TestConnTableShardedProperty(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 400
+	)
+	type entry struct {
+		worker, seq int
 	}
-	time.Sleep(2 * time.Millisecond)
+	var ct ConnTable[entry]
+	ct.TrackIdle()
+
+	stop := make(chan struct{})
+	var reshards sync.WaitGroup
+	reshards.Add(1)
+	go func() {
+		defer reshards.Done()
+		sizes := []int{2, 64, 8, 1, 32, 16}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ct.Reshard(sizes[i%len(sizes)])
+			runtime.Gosched()
+		}
+	}()
+
+	issued := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			all := make([]uint64, 0, rounds)
+			live := make([]uint64, 0, rounds)
+			for r := 0; r < rounds; r++ {
+				id := ct.Put(entry{worker: w, seq: r})
+				all = append(all, id)
+				live = append(live, id)
+				probe := live[rng.Intn(len(live))]
+				if v, ok := ct.Get(probe); ok && v.worker != w {
+					t.Errorf("worker %d: Get(%d) aliased worker %d's entry", w, probe, v.worker)
+					return
+				}
+				switch rng.Intn(4) {
+				case 0:
+					victim := live[len(live)-1]
+					live = live[:len(live)-1]
+					ct.Delete(victim)
+				case 1:
+					ct.Touch(live[rng.Intn(len(live))])
+				case 2:
+					// A fresh entry is never idle for an hour: RemoveIfIdle
+					// must refuse, and the entry must survive.
+					id := live[rng.Intn(len(live))]
+					if _, ok := ct.RemoveIfIdle(id, time.Hour); ok {
+						t.Errorf("worker %d: fresh id %d removed as hour-idle", w, id)
+						return
+					}
+				}
+			}
+			for _, id := range live {
+				ct.Delete(id)
+			}
+			issued[w] = all
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reshards.Wait()
+
+	seen := make(map[uint64]int)
+	for w, all := range issued {
+		for _, id := range all {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("id %d issued to both worker %d and worker %d", id, prev, w)
+			}
+			seen[id] = w
+		}
+	}
+	if n := ct.Len(); n != 0 {
+		t.Fatalf("Len after churn = %d, want 0 (stats: %+v)", n, ct.Stats())
+	}
+	if s := ct.Stats(); s.Entries != 0 {
+		t.Fatalf("stats report %d residual entries after churn: %+v", s.Entries, s)
+	}
+}
+
+// TestConnTableScale drives the table past the bucket-growth path:
+// enough live entries that every shard doubles several times, then
+// verifies integrity and full drain-back-to-zero.
+func TestConnTableScale(t *testing.T) {
+	var ct ConnTable[int]
+	const n = 200_000
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = ct.Put(i)
+	}
+	s := ct.Stats()
+	if s.Entries != n {
+		t.Fatalf("stats entries %d, want %d", s.Entries, n)
+	}
+	if s.Grows == 0 {
+		t.Fatalf("no bucket growth at %d entries: %+v", n, s)
+	}
+	// Two-choice shard selection keeps the deepest shard near the mean.
+	mean := n / s.Shards
+	if s.MaxShard > 2*mean {
+		t.Fatalf("shard skew: max %d vs mean %d (%+v)", s.MaxShard, mean, s)
+	}
+	for i := 0; i < n; i += 9973 {
+		if v, ok := ct.Get(ids[i]); !ok || v != i {
+			t.Fatalf("Get(%d) = %d/%v, want %d", ids[i], v, ok, i)
+		}
+	}
+	for _, id := range ids {
+		ct.Delete(id)
+	}
+	if got := ct.Len(); got != 0 {
+		t.Fatalf("Len after draining %d entries = %d, want 0", n, got)
+	}
+}
+
+// TestConnTableLazyTouch: an untracked table must never read the clock
+// (Put/Touch are stamp-free) and must never expire anything; arming
+// TrackIdle stamps pre-existing entries so they do not read as
+// idle-forever.
+func TestConnTableLazyTouch(t *testing.T) {
+	var ct ConnTable[int]
+	var reads atomic.Int64
+	ct.SetClock(func() int64 { return reads.Add(1) })
+
+	id := ct.Put(1)
 	if !ct.Touch(id) {
 		t.Fatal("Touch on live entry = false")
 	}
-	t1, _ := ct.LastTouch(id)
-	if !t1.After(t0) {
-		t.Fatalf("Touch did not advance stamp: %v -> %v", t0, t1)
+	if _, ok := ct.RemoveIfIdle(id, 0); ok {
+		t.Fatal("untracked table expired an entry")
+	}
+	if idle, ok := ct.IdleFor(id); !ok || idle != 0 {
+		t.Fatalf("untracked IdleFor = %v/%v, want 0/true", idle, ok)
+	}
+	if n := reads.Load(); n != 0 {
+		t.Fatalf("untracked table read the clock %d times", n)
+	}
+
+	ct.TrackIdle()
+	if reads.Load() == 0 {
+		t.Fatal("TrackIdle did not stamp existing entries")
+	}
+	if _, ok := ct.RemoveIfIdle(id, time.Hour); ok {
+		t.Fatal("freshly-stamped entry removed as hour-idle")
+	}
+	ct.Delete(id)
+}
+
+// TestConnTableTouch: Touch refreshes the last-activity stamp on live
+// entries and reports false on dead ones. Driven by an injected clock,
+// so the assertion is exact.
+func TestConnTableTouch(t *testing.T) {
+	var ct ConnTable[int]
+	ct.TrackIdle()
+	var fake atomic.Int64
+	fake.Store(1)
+	ct.SetClock(fake.Load)
+
+	id := ct.Put(7)
+	fake.Store(500)
+	if idle, ok := ct.IdleFor(id); !ok || idle != 499 {
+		t.Fatalf("IdleFor = %v/%v, want 499ns/true", idle, ok)
+	}
+	if !ct.Touch(id) {
+		t.Fatal("Touch on live entry = false")
+	}
+	if idle, ok := ct.IdleFor(id); !ok || idle != 0 {
+		t.Fatalf("IdleFor after Touch = %v/%v, want 0/true", idle, ok)
 	}
 	ct.Delete(id)
 	if ct.Touch(id) {
 		t.Fatal("Touch on deleted entry = true")
 	}
-	if _, ok := ct.LastTouch(id); ok {
-		t.Fatal("LastTouch on deleted entry present")
+	if _, ok := ct.IdleFor(id); ok {
+		t.Fatal("IdleFor on deleted entry present")
 	}
 }
 
 // TestConnTableRemoveIfIdle: removal happens only past the idle
-// threshold, exactly once, and a Touch resets the clock.
+// threshold, exactly once, and a Touch resets the clock. The injected
+// clock makes the thresholds exact — no sleeps.
 func TestConnTableRemoveIfIdle(t *testing.T) {
 	var ct ConnTable[string]
+	ct.TrackIdle()
+	var fake atomic.Int64
+	fake.Store(1)
+	ct.SetClock(fake.Load)
+
 	id := ct.Put("flow")
 	if _, ok := ct.RemoveIfIdle(id, time.Hour); ok {
 		t.Fatal("fresh entry removed as idle")
@@ -154,7 +403,7 @@ func TestConnTableRemoveIfIdle(t *testing.T) {
 	if _, ok := ct.Get(id); !ok {
 		t.Fatal("failed RemoveIfIdle deleted the entry anyway")
 	}
-	time.Sleep(3 * time.Millisecond)
+	fake.Add(int64(3 * time.Millisecond))
 	v, ok := ct.RemoveIfIdle(id, time.Millisecond)
 	if !ok || v != "flow" {
 		t.Fatalf("RemoveIfIdle = %q/%v, want flow/true", v, ok)
@@ -164,11 +413,12 @@ func TestConnTableRemoveIfIdle(t *testing.T) {
 	}
 
 	id2 := ct.Put("live")
-	time.Sleep(3 * time.Millisecond)
+	fake.Add(int64(3 * time.Millisecond))
 	ct.Touch(id2)
 	if _, ok := ct.RemoveIfIdle(id2, 2*time.Millisecond); ok {
 		t.Fatal("entry removed as idle right after Touch")
 	}
+	ct.Delete(id2)
 }
 
 // TestConnTableExpireTouchRace races Touch against RemoveIfIdle on the
@@ -179,6 +429,7 @@ func TestConnTableRemoveIfIdle(t *testing.T) {
 // a fresh id, never revive the old one.
 func TestConnTableExpireTouchRace(t *testing.T) {
 	var ct ConnTable[int]
+	ct.TrackIdle()
 	for round := 0; round < 200; round++ {
 		id := ct.Put(round)
 		time.Sleep(100 * time.Microsecond)
@@ -211,4 +462,69 @@ func TestConnTableExpireTouchRace(t *testing.T) {
 		ct.Delete(id2)
 		ct.Delete(id)
 	}
+}
+
+// BenchmarkConnTableTouch measures the hot packet-mode path: one
+// bounded probe and one in-place stamp per datagram. The old global
+// table paid two map hashes plus a full-entry copy under one global
+// mutex here.
+func BenchmarkConnTableTouch(b *testing.B) {
+	var ct ConnTable[int]
+	ct.TrackIdle()
+	ids := make([]uint64, 1024)
+	for i := range ids {
+		ids[i] = ct.Put(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct.Touch(ids[i&1023])
+	}
+}
+
+// BenchmarkConnTableTouchParallel is the same path under contention —
+// where the sharding pays: the old table serialized every toucher on
+// one mutex.
+func BenchmarkConnTableTouchParallel(b *testing.B) {
+	var ct ConnTable[int]
+	ct.TrackIdle()
+	ids := make([]uint64, 8192)
+	for i := range ids {
+		ids[i] = ct.Put(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := rand.Intn(len(ids))
+		for pb.Next() {
+			ct.Touch(ids[i&8191])
+			i++
+		}
+	})
+}
+
+// BenchmarkConnTableUntrackedPut measures the lazy-touch win: a table
+// with no idle expiry never reads the clock on Put.
+func BenchmarkConnTableUntrackedPut(b *testing.B) {
+	var ct ConnTable[int]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ct.Delete(ct.Put(i))
+	}
+}
+
+// BenchmarkConnTableChurnParallel is the soak shape in miniature:
+// concurrent register/lookup/deregister across shards.
+func BenchmarkConnTableChurnParallel(b *testing.B) {
+	var ct ConnTable[int]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := ct.Put(1)
+			ct.Get(id)
+			ct.Delete(id)
+		}
+	})
 }

@@ -31,6 +31,7 @@ package pop3
 
 import (
 	"sync"
+	"time"
 
 	"wedge/internal/gatepool"
 	"wedge/internal/policy"
@@ -64,9 +65,26 @@ type p3PoolConn struct {
 	uid int
 }
 
+// PoolConfig tunes the pooled server. The zero value means
+// serve.DefaultSlots and no idle reaping.
+type PoolConfig struct {
+	// Slots is the gatepool size (serve.DefaultSlots if <= 0).
+	Slots int
+	// IdleTimeout, when nonzero, reaps sessions silent for at least this
+	// long — the knob a public-facing deployment needs so parked clients
+	// cannot pin slots indefinitely.
+	IdleTimeout time.Duration
+}
+
 // NewPooled provisions the store and builds the pool with the given
-// number of slots (serve.DefaultSlots if slots <= 0).
+// number of slots (serve.DefaultSlots if slots <= 0) and no idle
+// reaping.
 func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (*PooledServer, error) {
+	return NewPooledConfig(root, boxes, PoolConfig{Slots: slots}, hooks)
+}
+
+// NewPooledConfig is NewPooled with the full tuning surface.
+func NewPooledConfig(root *sthread.Sthread, boxes []Mailbox, cfg PoolConfig, hooks Hooks) (*PooledServer, error) {
 	st, err := newStore(root, boxes)
 	if err != nil {
 		return nil, err
@@ -75,10 +93,11 @@ func NewPooled(root *sthread.Sthread, boxes []Mailbox, slots int, hooks Hooks) (
 	p.sessions.New = func() any { return newP3Session() }
 	stats := &p.Stats
 	p.Runtime, err = serve.New(root, serve.App[p3PoolConn]{
-		Name:   "pop3",
-		Slots:  slots,
-		Schema: p3Schema,
-		Worker: "handler",
+		Name:        "pop3",
+		Slots:       cfg.Slots,
+		IdleTimeout: cfg.IdleTimeout,
+		Schema:      p3Schema,
+		Worker:      "handler",
 		Gates: []gatepool.GateDef{
 			{
 				Name:  "handler",

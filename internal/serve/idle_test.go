@@ -258,6 +258,211 @@ func TestIdleTimeoutRearmsActiveConn(t *testing.T) {
 	}
 }
 
+// TestIdleReapUsesInjectedMonotonicClock is the wall-clock regression
+// test: the reap decision must come from the runtime's injected clock
+// source, not time.Now. A frozen clock keeps a silent connection alive
+// through several real-time idle windows (the wall-clock bug reaped it;
+// a backward NTP step deferred reaping forever); advancing the injected
+// clock past the timeout then reaps it promptly.
+func TestIdleReapUsesInjectedMonotonicClock(t *testing.T) {
+	const idle = 40 * time.Millisecond
+	k := kernel.New()
+	a := sthread.Boot(k)
+	done := make(chan error, 1)
+	ready := make(chan *Runtime[struct{}], 1)
+	quit := make(chan struct{})
+	go func() {
+		done <- a.Main(func(root *sthread.Sthread) {
+			var rt *Runtime[struct{}]
+			var err error
+			rt, err = New(root, App[struct{}]{
+				Name:        "loopecho",
+				Slots:       2,
+				Schema:      loopSchema,
+				Worker:      "worker",
+				IdleTimeout: idle,
+				Gates: []gatepool.GateDef{{
+					Name: "worker",
+					Entry: func(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+						c := rt.Lookup(w, arg)
+						if c == nil {
+							return 0
+						}
+						w.Task.WriteFD(c.FD, []byte{'>'})
+						buf := make([]byte, 1)
+						for {
+							if _, err := w.Task.ReadFD(c.FD, buf); err != nil {
+								return 1 // reaped: normal unwind
+							}
+							if buf[0] == 'Q' {
+								return 1
+							}
+							w.Task.WriteFD(c.FD, buf)
+						}
+					},
+				}},
+			})
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			ready <- rt
+			<-quit
+		})
+	}()
+	rt := <-ready
+	if rt == nil {
+		t.FailNow()
+	}
+	defer func() {
+		close(quit)
+		if err := <-done; err != nil {
+			t.Fatalf("main: %v", err)
+		}
+	}()
+	defer rt.Close()
+
+	// The fake clock starts at 1 (the table treats 0 as "unstamped") and
+	// advances only when the test says so.
+	var fake atomic.Int64
+	fake.Store(1)
+	rt.setClock(fake.Load)
+
+	c1, c2 := pairThrough(t, k)
+	errc := make(chan error, 1)
+	go func() { errc <- rt.ServeConn(c2) }()
+	buf := make([]byte, 1)
+	if _, err := c1.Read(buf); err != nil || buf[0] != '>' {
+		t.Fatalf("greeting: %q, %v", buf, err)
+	}
+
+	// Frozen clock: the connection sits silent for ~4 real idle windows,
+	// but on the injected clock zero time has passed — every reaper fire
+	// must re-arm, never reap.
+	time.Sleep(4 * idle)
+	select {
+	case err := <-errc:
+		t.Fatalf("connection reaped under a frozen clock: %v", err)
+	default:
+	}
+	s := rt.Snapshot()
+	if s.IdleReaped != 0 {
+		t.Fatalf("IdleReaped = %d under frozen clock, want 0", s.IdleReaped)
+	}
+	if s.IdleResched < 1 {
+		t.Fatalf("IdleResched = %d, want >= 1 (reaper fired and re-armed)", s.IdleResched)
+	}
+
+	// Advance the injected clock past the timeout: the next fire reaps.
+	// The client never sent 'Q', so ServeConn returning at all means the
+	// reaper closed the connection (the gate treats the failed read as a
+	// normal unwind, so the error is nil).
+	fake.Add(int64(2 * idle))
+	select {
+	case <-errc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("connection never reaped after clock advance")
+	}
+	if s := rt.Snapshot(); s.IdleReaped != 1 {
+		t.Fatalf("IdleReaped = %d, want 1", s.IdleReaped)
+	}
+	if s := rt.Snapshot(); s.Conns.Entries != 0 {
+		t.Fatalf("conn-table entries = %d after reap, want 0", s.Conns.Entries)
+	}
+}
+
+// TestNoIdleTimeoutSkipsClock: an app without IdleTimeout must never
+// read the time source — the conn table stays untracked, so Put is a
+// stamp-free registration (the lazy-touch fix). The injected clock
+// counts its invocations; a full session must leave it at zero.
+func TestNoIdleTimeoutSkipsClock(t *testing.T) {
+	k := kernel.New()
+	a := sthread.Boot(k)
+	done := make(chan error, 1)
+	ready := make(chan *Runtime[struct{}], 1)
+	quit := make(chan struct{})
+	go func() {
+		done <- a.Main(func(root *sthread.Sthread) {
+			var rt *Runtime[struct{}]
+			var err error
+			rt, err = New(root, App[struct{}]{
+				Name:   "loopecho",
+				Slots:  2,
+				Schema: loopSchema,
+				Worker: "worker",
+				Gates: []gatepool.GateDef{{
+					Name: "worker",
+					Entry: func(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
+						c := rt.Lookup(w, arg)
+						if c == nil {
+							return 0
+						}
+						w.Task.WriteFD(c.FD, []byte{'>'})
+						buf := make([]byte, 1)
+						for {
+							if _, err := w.Task.ReadFD(c.FD, buf); err != nil {
+								return 0
+							}
+							if buf[0] == 'Q' {
+								return 1
+							}
+							w.Task.WriteFD(c.FD, buf)
+						}
+					},
+				}},
+			})
+			if err != nil {
+				t.Error(err)
+				close(ready)
+				return
+			}
+			ready <- rt
+			<-quit
+		})
+	}()
+	rt := <-ready
+	if rt == nil {
+		t.FailNow()
+	}
+	defer func() {
+		close(quit)
+		if err := <-done; err != nil {
+			t.Fatalf("main: %v", err)
+		}
+	}()
+	defer rt.Close()
+
+	var reads atomic.Int64
+	rt.setClock(func() int64 { return reads.Add(1) })
+
+	c1, c2 := pairThrough(t, k)
+	errc := make(chan error, 1)
+	go func() { errc <- rt.ServeConn(c2) }()
+	buf := make([]byte, 1)
+	if _, err := c1.Read(buf); err != nil || buf[0] != '>' {
+		t.Fatalf("greeting: %q, %v", buf, err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c1.Write([]byte{'a'}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c1.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1.Write([]byte{'Q'})
+	if err := <-errc; err != nil {
+		t.Fatalf("ServeConn: %v", err)
+	}
+	if n := reads.Load(); n != 0 {
+		t.Fatalf("no-IdleTimeout app read the clock %d times, want 0", n)
+	}
+	if s := rt.Snapshot(); s.Conns.Entries != 0 {
+		t.Fatalf("conn-table entries = %d after session, want 0", s.Conns.Entries)
+	}
+}
+
 var pairSeq atomic.Int64
 
 // pairThrough builds a connected client/server pair over the simulated

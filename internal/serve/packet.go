@@ -207,6 +207,10 @@ func NewPacket[T any](root *sthread.Sthread, app PacketApp[T]) (*PacketRuntime[T
 		refuse:  app.Refuse,
 		flows:   make(map[string]*flow[T]),
 	}
+	// Datagram flows always expire (there is no FIN), so the conn table
+	// always tracks touch stamps — the stream runtime's lazy opt-in is
+	// mandatory here.
+	p.conns.TrackIdle()
 	p.wheel = timerwheel.New(idleTick(idle), 0)
 	p.wheel.Start()
 	return p, nil
@@ -369,16 +373,16 @@ func (p *PacketRuntime[T]) expiry(f *flow[T], lease *gatepool.Lease) func() {
 			f.file.Close()
 			return
 		}
+		idleFor, ok := p.conns.IdleFor(f.id)
 		p.fmu.Lock()
 		defer p.fmu.Unlock()
 		if p.flows[f.peer] != f {
 			return // flow already ended on its own
 		}
-		last, ok := p.conns.LastTouch(f.id)
 		if !ok {
 			return // worker is mid-unwind; its teardown owns the flow
 		}
-		remain := p.idle - time.Since(last)
+		remain := p.idle - idleFor
 		if remain < p.wheel.Tick() {
 			remain = p.wheel.Tick()
 		}

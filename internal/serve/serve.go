@@ -200,6 +200,12 @@ type Runtime[T any] struct {
 	// per-connection demux writes sit on the hot path.
 	connOff, fdOff vm.Addr
 
+	// clock is the idle machinery's time source: monotonic nanoseconds
+	// (gatepool.Monotime), so an NTP wall-clock step can neither defer
+	// reaping indefinitely (step backward) nor reap live connections
+	// early (step forward). Tests inject a fake via setClock.
+	clock func() int64
+
 	mu         sync.Mutex
 	quiet      *sync.Cond // signaled when inflight drops to zero or state changes
 	state      State
@@ -278,6 +284,12 @@ func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
 		auto:    app.AutoSlots,
 		connOff: app.Schema.ConnIDOff(),
 		fdOff:   app.Schema.FDOff(),
+		clock:   gatepool.Monotime,
+	}
+	if app.IdleTimeout > 0 {
+		// Touch tracking is opt-in: a runtime that never reaps skips the
+		// clock read and stamp store on every conn-table Put.
+		r.conns.TrackIdle()
 	}
 	r.quiet = sync.NewCond(&r.mu)
 	if r.auto {
@@ -330,21 +342,39 @@ func New[T any](root *sthread.Sthread, app App[T]) (*Runtime[T], error) {
 	return r, nil
 }
 
-// touchConn wraps a connection so the idle reaper can see activity:
-// every completed read or write stamps an atomic last-touch time.
-type touchConn struct {
-	c  *netsim.Conn
-	ts atomic.Int64 // UnixNano of last activity
+// setClock injects a monotonic time source (nanosecond readings, never
+// zero, never backwards) into the idle machinery — the reaper's elapsed
+// computation and the conn-table's touch stamps both follow it. Test
+// hook; call before serving.
+func (r *Runtime[T]) setClock(now func() int64) {
+	r.clock = now
+	r.conns.SetClock(now)
 }
 
-func newTouchConn(c *netsim.Conn) *touchConn {
-	t := &touchConn{c: c}
+// touchConn wraps a connection so the idle reaper can see activity:
+// every completed read or write stamps an atomic last-touch reading of
+// the runtime's monotonic clock. The stamp is monotonic nanoseconds,
+// never wall time: the old time.Now().UnixNano() stamp meant an NTP
+// step backward deferred reaping indefinitely and a step forward reaped
+// live connections early.
+type touchConn struct {
+	c   *netsim.Conn
+	now func() int64 // the runtime's monotonic clock
+	ts  atomic.Int64 // monotonic nanos of last activity
+}
+
+func newTouchConn(c *netsim.Conn, now func() int64) *touchConn {
+	t := &touchConn{c: c, now: now}
 	t.touch()
 	return t
 }
 
-func (t *touchConn) touch()          { t.ts.Store(time.Now().UnixNano()) }
-func (t *touchConn) last() time.Time { return time.Unix(0, t.ts.Load()) }
+func (t *touchConn) touch() { t.ts.Store(t.now()) }
+
+// idleFor is the connection's current silence, on the monotonic clock.
+func (t *touchConn) idleFor() time.Duration {
+	return time.Duration(t.now() - t.ts.Load())
+}
 
 func (t *touchConn) Read(b []byte) (int, error) {
 	n, err := t.c.Read(b)
@@ -375,12 +405,18 @@ func (r *Runtime[T]) armIdleReaper(tc *touchConn) (stop func()) {
 	var timer *timerwheel.Timer
 	var fire func()
 	fire = func() {
+		// The clock is a dynamic function value (tests inject one), so it
+		// is read before the lock — the lockcallback discipline, and a
+		// shorter critical section. A stamp landing between the read and
+		// the lock only makes the elapsed figure conservative: the timer
+		// re-arms and the connection survives, exactly as if the activity
+		// had been observed.
+		elapsed := tc.idleFor()
 		mu.Lock()
 		if done {
 			mu.Unlock()
 			return
 		}
-		elapsed := time.Since(tc.last())
 		if elapsed >= idle {
 			mu.Unlock()
 			r.count(&r.idleReaped)
@@ -513,7 +549,7 @@ func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
 	root := r.root
 	var file kernel.FileLike = conn
 	if r.wheel != nil {
-		tc := newTouchConn(conn)
+		tc := newTouchConn(conn, r.clock)
 		file = tc
 		stop := r.armIdleReaper(tc)
 		defer stop()
@@ -742,6 +778,13 @@ type Snapshot struct {
 	Flows       int
 	Expired     uint64
 
+	// Conns is the conn-table occupancy census: live entries, shard
+	// count, deepest shard, slot capacity, and bucket-array growths.
+	// Entries must read zero at quiescence — a nonzero figure after the
+	// runtime settles is a demux-record leak (the soak harness and the
+	// servetest battery both assert on it).
+	Conns gatepool.ConnTableStats
+
 	Pool gatepool.Stats
 	Pins []SlotPin
 }
@@ -749,6 +792,7 @@ type Snapshot struct {
 // Snapshot returns a point-in-time view of the runtime and its pool.
 func (r *Runtime[T]) Snapshot() Snapshot {
 	ps := r.pool.Stats()
+	cs := r.conns.Stats()
 	procs := runtime.GOMAXPROCS(0)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -789,7 +833,8 @@ func (r *Runtime[T]) Snapshot() Snapshot {
 		IdleReaped:  r.idleReaped,
 		IdleResched: r.idleResched,
 
-		Pool: ps,
+		Conns: cs,
+		Pool:  ps,
 	}
 	if s.Waiting < 0 {
 		s.Waiting = 0

@@ -159,6 +159,9 @@ func checkQuiescentP(t *testing.T, r *prig, when string) {
 	if s := r.rt.Snapshot(); s.Inflight != 0 || s.Pool.Busy != 0 || s.Flows != 0 {
 		t.Errorf("%s: inflight=%d busy=%d flows=%d, want 0/0/0", when, s.Inflight, s.Pool.Busy, s.Flows)
 	}
+	if s := r.rt.Snapshot(); s.Conns.Entries != 0 {
+		t.Errorf("%s: conn-table entries = %d, want 0 (leaked flow registrations)", when, s.Conns.Entries)
+	}
 	if got := r.k.TaskCount(); got != r.liveTasks {
 		t.Errorf("%s: task count %d, want the serving baseline %d", when, got, r.liveTasks)
 	}

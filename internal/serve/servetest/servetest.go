@@ -220,12 +220,16 @@ func serveLoop(r *rig) (stop func()) {
 }
 
 // checkQuiescent verifies the serving-state baselines: no in-flight
-// connections, no busy slots, and the task table and live tag set exactly
-// as they were when the runtime finished construction.
+// connections, no busy slots, an empty conn table (a non-zero entry
+// count here is a demux-registration leak), and the task table and live
+// tag set exactly as they were when the runtime finished construction.
 func checkQuiescent(t *testing.T, r *rig, when string) {
 	t.Helper()
 	if s := r.rt.Snapshot(); s.Inflight != 0 || s.Pool.Busy != 0 {
 		t.Errorf("%s: inflight=%d busy=%d, want 0/0", when, s.Inflight, s.Pool.Busy)
+	}
+	if s := r.rt.Snapshot(); s.Conns.Entries != 0 {
+		t.Errorf("%s: conn-table entries = %d, want 0 (leaked demux registrations)", when, s.Conns.Entries)
 	}
 	if got := r.k.TaskCount(); got != r.liveTasks {
 		t.Errorf("%s: task count %d, want the serving baseline %d", when, got, r.liveTasks)

@@ -273,10 +273,25 @@ func (r *BatchRing) PublishTo(seq uint64) error {
 // of the same seq is then idempotent.
 func (r *BatchRing) AbortPending(seq uint64) {
 	pos := seq % r.depth
-	r.abortSeq[pos].Store(seq + 1)
+	storeMax(&r.abortSeq[pos], seq+1)
 	select {
 	case r.waitCh[pos] <- struct{}{}:
 	default:
+	}
+}
+
+// storeMax ratchets a shadow word forward. The abort shadow is shared by
+// every seq that ever occupies its ring position, and its writers (the
+// migration hook under the pool lock, the worker's finish) can be
+// preempted between deciding to abort and storing — a plain store could
+// drag the word backwards over a successor's abort, stranding that
+// successor's producer.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
 	}
 }
 
@@ -285,6 +300,18 @@ func (r *BatchRing) AbortPending(seq uint64) {
 // dispatch, ErrGateExited if the gate died first. Completion is judged
 // by the trusted host-side shadows — the simulated status word plays no
 // part — so the Complete hook is strictly ordered before Await returns.
+//
+// The abort check is >=, not ==. A position's shadows are shared by
+// every seq that serves there, and a position normally cannot be reused
+// until its producer returns from Await and releases — except when the
+// entry was migrated to another ring, which retires it on the producer's
+// behalf. A producer slow to its first check can then find abortSeq
+// already advanced past its own seq by a successor's abort; that state
+// is only reachable through its entry's cancellation, so any value >=
+// seq+1 means "your tenancy here ended aborted". The done check stays
+// exact: a completed entry's position cannot recycle until this very
+// producer releases it, so doneSeq beyond seq+1 is unreachable while we
+// wait.
 func (r *BatchRing) Await(seq uint64) (vm.Addr, error) {
 	pos := seq % r.depth
 	gdone := r.gate.gate.Task.Done()
@@ -292,7 +319,7 @@ func (r *BatchRing) Await(seq uint64) (vm.Addr, error) {
 		if r.doneSeq[pos].Load() == seq+1 {
 			return vm.Addr(r.retVal[pos].Load()), nil
 		}
-		if r.abortSeq[pos].Load() == seq+1 {
+		if r.abortSeq[pos].Load() >= seq+1 {
 			return 0, ErrBatchAborted
 		}
 		select {
@@ -304,7 +331,7 @@ func (r *BatchRing) Await(seq uint64) (vm.Addr, error) {
 			// The gate died. A completion racing with death published its
 			// shadow before we got here, so one re-check distinguishes
 			// "finished then died" from "died with the entry pending".
-			if r.doneSeq[pos].Load() != seq+1 && r.abortSeq[pos].Load() != seq+1 {
+			if r.doneSeq[pos].Load() != seq+1 && r.abortSeq[pos].Load() < seq+1 {
 				return 0, ErrGateExited
 			}
 		}
@@ -385,7 +412,7 @@ func (b *Batch) finish(seq uint64, ret vm.Addr, status uint64) {
 		r.retVal[pos].Store(uint64(ret))
 		r.doneSeq[pos].Store(seq + 1)
 	} else {
-		r.abortSeq[pos].Store(seq + 1)
+		storeMax(&r.abortSeq[pos], seq+1)
 	}
 	select {
 	case r.waitCh[pos] <- struct{}{}:

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"wedge/internal/policy"
 	"wedge/internal/vm"
@@ -128,6 +129,71 @@ func TestBatchDispatchAbort(t *testing.T) {
 		}
 		if _, err := ring.Await(2); err != nil {
 			t.Fatalf("await 2: %v", err)
+		}
+	})
+}
+
+// TestBatchLateAwaitSeesOverwrittenAbort pins the wedge the dnsd soak
+// found: an aborted entry's position recycles (possible when migration
+// retires the entry on the producer's behalf) and a successor at the
+// same position is aborted too, overwriting the shared abort shadow —
+// all before the first entry's producer makes its first Await check. A
+// late Await must still report the abort instead of parking forever on
+// a shadow value that can never again equal seq+1.
+func TestBatchLateAwaitSeesOverwrittenAbort(t *testing.T) {
+	boot(t, func(root *Sthread) {
+		bad := errors.New("rejected")
+		gate, ring := batchRig(t, root, 4, 64, BatchHooks{
+			Dispatch: func(seq uint64) error {
+				if seq == 1 || seq == 5 {
+					return bad
+				}
+				return nil
+			},
+		})
+		defer gate.Close()
+		// First window: seqs 0-3, seq 1 rejected at dispatch. Only the
+		// live entries are awaited — seq 1's producer is the laggard.
+		for seq := uint64(0); seq < 4; seq++ {
+			root.Store64(ring.EntryAddr(seq), seq)
+		}
+		if err := ring.PublishTo(4); err != nil {
+			t.Fatal(err)
+		}
+		for _, seq := range []uint64{0, 2, 3} {
+			if _, err := ring.Await(seq); err != nil {
+				t.Fatalf("await %d: %v", seq, err)
+			}
+		}
+		// Second window: seqs 4-5 reuse positions 0-1 (the migration
+		// path is what recycles an unreleased aborted entry's position
+		// in a real pool). Seq 5's abort overwrites seq 1's shadow.
+		for seq := uint64(4); seq < 6; seq++ {
+			root.Store64(ring.EntryAddr(seq), seq)
+		}
+		if err := ring.PublishTo(6); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ring.Await(4); err != nil {
+			t.Fatalf("await 4: %v", err)
+		}
+		if _, err := ring.Await(5); !errors.Is(err, ErrBatchAborted) {
+			t.Fatalf("await 5: %v", err)
+		}
+		// The late first look at seq 1. On the broken protocol this
+		// parks forever; fail fast instead of timing the test out.
+		done := make(chan error, 1)
+		go func() {
+			_, err := ring.Await(1)
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrBatchAborted) {
+				t.Fatalf("late await 1: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("late Await(1) wedged on the overwritten abort shadow")
 		}
 	})
 }

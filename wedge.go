@@ -125,10 +125,14 @@ type (
 
 	// ConnTable issues connection ids and demultiplexes per-connection
 	// state of type T behind a pooled gate — the mechanism every built-in
-	// ServeApp uses for gate-side session state. Gate entries resolving a
-	// worker-supplied id must additionally pin the result to the invoking
-	// slot (ServeRuntime.Lookup does both); see the package documentation
-	// of internal/gatepool for the isolation argument.
+	// ServeApp uses for gate-side session state. The table is sharded
+	// (power-of-two shard count sized from GOMAXPROCS, two-choice
+	// hashing) so million-principal churn does not serialize on one
+	// lock; ids stay globally monotonic and are never reused. Gate
+	// entries resolving a worker-supplied id must additionally pin the
+	// result to the invoking slot (ServeRuntime.Lookup does both); see
+	// the package documentation of internal/gatepool for the isolation
+	// argument.
 	ConnTable[T any] = gatepool.ConnTable[T]
 
 	// GateSchema is a declarative argument-block layout: ordered typed
