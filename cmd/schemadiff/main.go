@@ -1,0 +1,182 @@
+// Command schemadiff emits and compares the gate argument-block schemas
+// of a wedge build. Two builds may exchange live sessions (cluster
+// handoff) only when their schemas agree byte-for-byte; the runtime
+// enforces that at admission with the schema hash, and this tool makes
+// the same question answerable at review time, field by field:
+//
+//	schemadiff -emit schemas.json          # write this build's descriptors
+//	schemadiff -old head~1.json -new head.json
+//	schemadiff -old head~1.json -new head.json -strict
+//
+// The comparison reports every field-level change per app schema —
+// removed, moved, or re-kinded fields and shrunk capacities are
+// BREAKING (a handoff between the two builds would be refused, or
+// worse, would reinterpret block bytes); added fields and grown
+// capacities are compatible. Two failure classes:
+//
+//   - A stale hash — the layout changed but the hash did not — always
+//     exits nonzero. That is the one lie the runtime's admission check
+//     cannot catch, so the tool hard-fails it unconditionally.
+//   - Breaking changes exit nonzero only under -strict. A breaking
+//     change with a changed hash is safe (handoffs are refused, rolling
+//     drains fall back to fresh sessions) but deserves a visible line
+//     in CI output.
+//
+// An app present in -old but missing from -new is reported as removed
+// (breaking); an app only -new has is listed as added.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wedge/internal/dnsd"
+	"wedge/internal/gateabi"
+	"wedge/internal/httpd"
+	"wedge/internal/pop3"
+	"wedge/internal/sshd"
+)
+
+// schemas is the registry of every serve-app gate schema in this build.
+// A new pooled application adds one line here and is covered by the CI
+// compat gate from its first commit.
+func schemas() []gateabi.Desc {
+	all := []*gateabi.Schema{
+		httpd.GateSchema(),
+		sshd.GateSchema(),
+		pop3.GateSchema(),
+		dnsd.GateSchema(),
+	}
+	ds := make([]gateabi.Desc, 0, len(all))
+	for _, s := range all {
+		ds = append(ds, s.Desc())
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	return ds
+}
+
+func readDescs(path string) (map[string]gateabi.Desc, []string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ds []gateabi.Desc
+	if err := json.Unmarshal(b, &ds); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	by := make(map[string]gateabi.Desc, len(ds))
+	var names []string
+	for _, d := range ds {
+		if _, dup := by[d.Name]; dup {
+			return nil, nil, fmt.Errorf("%s: duplicate schema %q", path, d.Name)
+		}
+		by[d.Name] = d
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return by, names, nil
+}
+
+func emit(path string) error {
+	b, err := json.MarshalIndent(schemas(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func main() {
+	emitPath := flag.String("emit", "", "write this build's schema descriptors as JSON and exit")
+	oldPath := flag.String("old", "", "baseline descriptors (a previous build's -emit output)")
+	newPath := flag.String("new", "", "new-build descriptors; defaults to this build's own schemas")
+	strict := flag.Bool("strict", false, "exit nonzero on breaking changes, not only on stale hashes")
+	flag.Parse()
+
+	if *emitPath != "" {
+		if err := emit(*emitPath); err != nil {
+			fmt.Fprintln(os.Stderr, "schemadiff:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "schemadiff: -emit or -old is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	olds, oldNames, err := readDescs(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schemadiff:", err)
+		os.Exit(1)
+	}
+	var news map[string]gateabi.Desc
+	if *newPath != "" {
+		news, _, err = readDescs(*newPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schemadiff:", err)
+			os.Exit(1)
+		}
+	} else {
+		news = make(map[string]gateabi.Desc)
+		for _, d := range schemas() {
+			news[d.Name] = d
+		}
+	}
+
+	breaking, stale := 0, 0
+	for _, name := range oldNames {
+		o := olds[name]
+		n, ok := news[name]
+		if !ok {
+			fmt.Printf("%s: BREAKING: schema removed\n", name)
+			breaking++
+			continue
+		}
+		if err := gateabi.VerifyDesc(o, n); err != nil {
+			fmt.Printf("%s: STALE HASH: %v\n", name, err)
+			stale++
+			continue
+		}
+		changes := gateabi.CompareDesc(o, n)
+		if len(changes) == 0 {
+			fmt.Printf("%s: unchanged (hash %#x)\n", name, n.Hash)
+			continue
+		}
+		verb := "compatible"
+		if o.Hash != n.Hash {
+			verb = "hash changed — handoffs between these builds will be refused"
+		}
+		fmt.Printf("%s: %d changes, %s\n", name, len(changes), verb)
+		for _, c := range changes {
+			tag := "  "
+			if c.Breaking {
+				tag = "  BREAKING: "
+				breaking++
+			}
+			fmt.Printf("%s%s: %s\n", tag, c.Field, c.What)
+		}
+	}
+	var added []string
+	for name := range news {
+		if _, ok := olds[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("%s: added (hash %#x)\n", name, news[name].Hash)
+	}
+
+	if stale > 0 {
+		fmt.Fprintf(os.Stderr, "schemadiff: %d stale hash(es): a layout change reused its old hash\n", stale)
+		os.Exit(1)
+	}
+	if breaking > 0 && *strict {
+		fmt.Fprintf(os.Stderr, "schemadiff: %d breaking change(s)\n", breaking)
+		os.Exit(1)
+	}
+}

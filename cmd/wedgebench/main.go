@@ -95,6 +95,9 @@ func main() {
 	poolConns := flag.Int("poolconns", bench.FigPoolConns, "timed connections per FigPool cell")
 	poolLevels := flag.String("poollevels", "", "comma-separated FigPool concurrency ladder (default 1,2,4,...,64)")
 	poolVariants := flag.String("variants", "", "comma-separated FigPool variant filter (default: the app's full ladder)")
+	clusterFlag := flag.Bool("cluster", false, "cluster cells: pop3+dnsd through a multi-runtime director, plus a rolling-drain cell; with -soak, additionally runs the cluster soak")
+	runtimes := flag.Int("runtimes", 3, "cluster member count for -cluster (minimum 2)")
+	clusterConns := flag.Int("clusterconns", 0, "timed sessions per cluster cell (0 = 3000)")
 	soak := flag.Bool("soak", false, "principal-churn soak: fresh-principal sessions through the pooled apps with leak accounting")
 	soakApp := flag.String("soakapp", "all", "soak workload: pop3, dnsd, or all")
 	soakPrincipals := flag.Int("soakprincipals", 0, "simulated principal churns per soak app (0 = 100000)")
@@ -156,8 +159,14 @@ func main() {
 	if *soakConc < 0 {
 		usageError("-soakconc must be >= 0 (got %d)", *soakConc)
 	}
+	if *runtimes < 2 {
+		usageError("-runtimes must be >= 2 (got %d)", *runtimes)
+	}
+	if *clusterConns < 0 {
+		usageError("-clusterconns must be >= 0 (got %d)", *clusterConns)
+	}
 
-	if !*all && *fig == 0 && *table == 0 && !*metrics && !*ablations && !*pool && !*soak {
+	if !*all && *fig == 0 && *table == 0 && !*metrics && !*ablations && !*pool && !*soak && !*clusterFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -253,6 +262,27 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if *all || *clusterFlag {
+		rows, r, err := bench.Cluster(bench.ClusterOpts{
+			Runtimes: *runtimes,
+			Sessions: *clusterConns,
+		})
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r...)
+		fmt.Printf("cluster cells, n=%d runtimes (req/s, p50/p99 session latency):\n", *runtimes)
+		for _, row := range rows {
+			fmt.Printf("  %-13s c=%-3d %9.0f req/s (p50 %v / p99 %v)",
+				row.Cell, row.Conc, row.Stats.RPS,
+				row.Stats.P50.Round(10*time.Microsecond), row.Stats.P99.Round(10*time.Microsecond))
+			if row.Cell == "rolling-drain" {
+				fmt.Printf("  removes=%d handoffs=%d, zero client-visible errors", row.Removes, row.Handoffs)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
 	if *soak {
 		rows, r, err := bench.Soak(bench.SoakOpts{
 			App:         *soakApp,
@@ -273,6 +303,24 @@ func main() {
 				row.Reaped, row.PeakConns, row.PeakShard, row.Shards)
 		}
 		fmt.Println()
+		if *clusterFlag {
+			crows, cr, err := bench.ClusterSoak(bench.SoakOpts{
+				Principals: *soakPrincipals,
+				Conc:       *soakConc,
+			}, *runtimes)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, cr...)
+			fmt.Printf("cluster soak, n=%d runtimes (rolling drain mid-churn; zero leaks on every member verified):\n", *runtimes)
+			for _, row := range crows {
+				fmt.Printf("  %8d churns c=%-3d %9.0f req/s (p50 %v / p99 %v)  handoffs=%d\n",
+					row.Principals, row.Conc, row.Stats.RPS,
+					row.Stats.P50.Round(10*time.Microsecond), row.Stats.P99.Round(10*time.Microsecond),
+					row.Reaped)
+			}
+			fmt.Println()
+		}
 	}
 	if *all || *ablations {
 		on, off, err := bench.AblationTagCache(*conns)

@@ -1,0 +1,130 @@
+// The Wedge cluster: three pop3 runtimes behind a principal-sharded
+// director, with a live session handed between them. A client
+// authenticates once, then every member is removed from rotation in
+// turn — a rolling drain. Whichever runtime holds the client's session
+// exports it (block image plus app state, never key material), the
+// next owner re-validates the record as hostile input and resumes the
+// parked worker, and the client's next command answers as if nothing
+// happened. The client never reconnects and never sees an error.
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"strings"
+
+	"wedge/internal/cluster"
+	"wedge/internal/kernel"
+	"wedge/internal/netsim"
+	"wedge/internal/pop3"
+	"wedge/internal/sthread"
+)
+
+// member is one cluster member: a pooled pop3 runtime in its own
+// kernel — one process-worth of compartments.
+type member struct {
+	name string
+	srv  *pop3.PooledServer
+	quit chan struct{}
+	done chan error
+}
+
+func startMember(name string) *member {
+	m := &member{name: name, quit: make(chan struct{}), done: make(chan error, 1)}
+	boxes := []pop3.Mailbox{
+		{User: "alice", Password: "sesame", UID: 1000,
+			Messages: []string{"From: bob\nSubject: hi\n\nlunch tomorrow?"}},
+	}
+	ready := make(chan *pop3.PooledServer, 1)
+	app := sthread.Boot(kernel.New())
+	go func() {
+		m.done <- app.Main(func(root *sthread.Sthread) {
+			srv, err := pop3.NewPooled(root, boxes, 2, pop3.Hooks{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ready <- srv
+			<-m.quit
+			srv.Close()
+		})
+	}()
+	m.srv = <-ready
+	return m
+}
+
+func main() {
+	// Three members, a director, and a front-door network whose
+	// listener the director serves. Members must agree on the gate
+	// schema hash to join — a build whose argument-block layout
+	// changed is refused at Add, not corrupted at handoff.
+	var members []*member
+	d := cluster.New()
+	for i := 0; i < 3; i++ {
+		m := startMember(fmt.Sprintf("m%d", i))
+		members = append(members, m)
+		if err := d.Add(cluster.Member{Name: m.name, Stream: m.srv}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	front := netsim.New()
+	fl, err := front.Listen("pop3:110")
+	if err != nil {
+		log.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() { d.Serve(fl); close(served) }()
+
+	// One client, one session, authenticated once.
+	conn, err := front.Dial("pop3:110")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	cmd := func(line string) string {
+		if line != "" {
+			conn.Write([]byte(line + "\r\n"))
+		}
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			log.Fatalf("client saw an error (%s %v) — the drain was not invisible", line, err)
+		}
+		return strings.TrimRight(resp, "\r\n")
+	}
+	fmt.Println("greeting:", cmd(""))
+	cmd("USER alice")
+	fmt.Println("auth:    ", cmd("PASS sesame"))
+
+	// The rolling drain: remove every member in turn. One of them owns
+	// the session; Remove waits for the worker to park, exports the
+	// session, and resumes it at the new owner. The same STAT keeps
+	// answering on the same connection throughout.
+	for _, m := range members {
+		if err := d.Remove(m.name); err != nil {
+			log.Fatal(err)
+		}
+		snap := m.srv.Snapshot()
+		fmt.Printf("drained %s: inflight=%d handed=%d -> STAT %s\n",
+			m.name, snap.Inflight, snap.Handed, cmd("STAT"))
+		if err := d.Add(cluster.Member{Name: m.name, Stream: m.srv}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("quit:    ", cmd("QUIT"))
+	conn.Close()
+
+	st := d.Stats()
+	fmt.Printf("director: %d admitted, %d live handoffs, %d failed, %d refused\n",
+		st.Admitted, st.Handoffs, st.HandoffFailed, st.Refused)
+
+	fl.Close()
+	<-served
+	for _, m := range members {
+		close(m.quit)
+		if err := <-m.done; err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -610,6 +610,13 @@ func pop3BenchSession(k *kernel.Kernel) error {
 	if err != nil {
 		return err
 	}
+	return pop3SessionConn(conn)
+}
+
+// pop3SessionConn drives the same full session over an established
+// connection (the cluster cells dial a front network rather than a
+// kernel's own), closing it.
+func pop3SessionConn(conn *netsim.Conn) error {
 	defer conn.Close()
 	r := newLineReader(conn)
 	expect := func(prefix string) error {

@@ -258,7 +258,17 @@ func (sm *soakSampler) finish() { close(sm.stop); <-sm.done }
 
 // soakDrive fans opts.Conc drivers over n sessions of run, timing each
 // clean session end-to-end and collecting the latency distribution.
+// Failed sessions retry a few times — a load generator's behavior —
+// before aborting the run.
 func soakDrive(n, conc int, run func(seq int) (timed bool, err error)) (CellStats, error) {
+	return churnDrive(n, conc, 8, run)
+}
+
+// churnDrive is soakDrive with the retry budget explicit. The cluster
+// rolling-drain cells run it with zero retries: there, any stream
+// error is a client-visible failure the drain was supposed to prevent,
+// and a retry would hide exactly the defect being measured.
+func churnDrive(n, conc, retries int, run func(seq int) (timed bool, err error)) (CellStats, error) {
 	per := n / conc
 	if per == 0 {
 		per = 1
@@ -277,7 +287,7 @@ func soakDrive(n, conc int, run func(seq int) (timed bool, err error)) (CellStat
 				s := int(seq.Add(1))
 				t0 := time.Now()
 				timed, err := run(s)
-				for retry := 0; err != nil && retry < 8; retry++ {
+				for retry := 0; err != nil && retry < retries; retry++ {
 					timed, err = run(s)
 				}
 				if err != nil {

@@ -1,0 +1,616 @@
+// Package cluster is the Wedge fleet layer: a front-end director that
+// shards principals across N serve runtimes and moves live sessions
+// between them. One runtime is one process-worth of compartments; the
+// director lifts the gatepool's principal-affinity idea one level up —
+// a principal consistently lands on one member runtime — and adds the
+// operation a fleet needs that a single runtime cannot express: taking
+// a member out of rotation with zero client-visible downtime.
+//
+// The pieces:
+//
+//   - A generation-numbered routing ring (ring.go): virtual-node
+//     consistent hashing, two-choice by runtime load from Snapshot,
+//     rebuilt immutably at g+1 on every membership change.
+//   - Session relay: the director terminates the client leg and splices
+//     a backend leg (netsim.Pipe) to the owning member, counting
+//     outstanding request chunks so it always knows whether a worker is
+//     mid-request or parked.
+//   - Live handoff (the rolling drain): pause the client leg, wait for
+//     the outstanding count to reach zero — the worker is then provably
+//     parked on its blocked read — export the session through
+//     serve.HandoffPrincipal, recover any pipelined client bytes the old
+//     worker never read (DrainPending on the dead leg), resume at the
+//     new owner, splice, unpause. The client sees at most a pause.
+//
+// Trust: the director is control plane, but the records it moves are
+// payload. Every importing runtime re-validates a HandoffRecord as
+// hostile input (schema hash, block bounds, app payload), and the
+// director itself refuses to mix members whose schema hashes disagree —
+// an upgraded build joins an old cluster as a schema mismatch error, not
+// as silent block corruption.
+//
+// Protocol contract: the quiescence gate assumes request/response
+// traffic — at most one request in flight per session, one response
+// write per request. Both wedge apps wired through the director (pop3
+// streams, dnsd datagrams) satisfy it; a pipelining client is safe only
+// up to the bytes the director can recover from the pipes (worker-side
+// reader scratch does not survive a handoff).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wedge/internal/netsim"
+	"wedge/internal/serve"
+)
+
+// ErrNoMembers is returned or counted when a routing decision finds no
+// live member to own a principal.
+var ErrNoMembers = errors.New("cluster: no live members")
+
+// StreamBackend is the slice of a serve.Runtime the director drives for
+// stream sessions. *serve.Runtime[T] satisfies it, as does any app that
+// embeds one (pop3.PooledServer).
+type StreamBackend interface {
+	ServeConnAs(conn *netsim.Conn, principal string) error
+	ResumeConnAs(conn *netsim.Conn, principal string, rec *serve.HandoffRecord) error
+	HandoffPrincipal(principal string) (*serve.HandoffRecord, error)
+	SchemaHash() uint64
+	Snapshot() serve.Snapshot
+	Drain()
+	Undrain()
+}
+
+// PacketBackend is the datagram counterpart: the slice of a
+// serve.PacketRuntime the director drives for flows. dnsd.Resolver
+// satisfies it via its embedded runtime.
+type PacketBackend interface {
+	DeliverPacket(pc *netsim.PacketConn, payload []byte, from string)
+	ResumeFlow(pc *netsim.PacketConn, peer string, rec *serve.HandoffRecord) error
+	HandoffPrincipal(principal string) (*serve.HandoffRecord, error)
+	SchemaHash() uint64
+	Snapshot() serve.Snapshot
+	Drain()
+	Undrain()
+}
+
+// Member declares one runtime joining the cluster. A member may serve
+// streams, packets, or both, but every member must serve the same modes
+// as the first one added. Host is the member's own network segment —
+// packet handoff binds reply mirrors there; it is required only for
+// packet members.
+type Member struct {
+	Name   string
+	Stream StreamBackend
+	Packet PacketBackend
+	Host   *netsim.Network
+}
+
+// member is the director's record of one runtime.
+type member struct {
+	name     string
+	stream   StreamBackend
+	packet   PacketBackend
+	host     *netsim.Network
+	draining bool
+}
+
+// Stats is the director's own ledger. Per-runtime admission ledgers
+// (Admitted == Served + Failed + Handed) live in each member's
+// serve.Snapshot; these counters cover what only the director sees.
+type Stats struct {
+	Gen           uint64 // current routing-ring generation
+	Members       int    // live (non-draining) members
+	Sessions      int    // live stream sessions
+	Flows         int    // live packet flows
+	Admitted      uint64 // stream sessions + packet flows accepted
+	Handoffs      uint64 // sessions/flows moved live to a new member
+	HandoffFailed uint64 // handoffs that found no importable home
+	Refused       uint64 // clients turned away (no member, duplicate principal)
+}
+
+// Director owns the routing ring and the relay state. All methods are
+// safe for concurrent use; Remove (the rolling drain) serializes against
+// itself so a handoff target can never itself be mid-drain.
+type Director struct {
+	// PacketIdle bounds a director-side packet flow's silence before its
+	// relay state (mirror socket, reply loop) is swept. Set before
+	// serving; zero means defaultPacketIdle.
+	PacketIdle int64
+
+	drainMu sync.Mutex // serializes rolling drains
+
+	mu       sync.Mutex
+	members  map[string]*member
+	ring     *ring
+	gen      uint64
+	sessions map[string]*session
+	flows    map[string]*pktFlow
+
+	hasStream, hasPacket bool
+	streamHash           uint64
+	packetHash           uint64
+
+	admitted      uint64
+	handoffs      uint64
+	handoffFailed uint64
+	refused       uint64
+}
+
+// New returns an empty director.
+func New() *Director {
+	return &Director{
+		members:  make(map[string]*member),
+		sessions: make(map[string]*session),
+		flows:    make(map[string]*pktFlow),
+	}
+}
+
+// Add joins a runtime to the cluster at generation g+1. The first
+// member fixes the cluster's shape (which modes it serves) and its
+// schema hashes; a later member whose hash disagrees is refused with a
+// typed *serve.SchemaMismatchError — two builds that would disagree
+// about block bytes must never exchange sessions. Re-adding a
+// previously drained member re-opens it (Undrain).
+func (d *Director) Add(m Member) error {
+	if m.Name == "" {
+		return errors.New("cluster: member needs a name")
+	}
+	if m.Stream == nil && m.Packet == nil {
+		return fmt.Errorf("cluster: member %q has no backend", m.Name)
+	}
+	if m.Packet != nil && m.Host == nil {
+		return fmt.Errorf("cluster: packet member %q needs a host network", m.Name)
+	}
+	// Interface calls happen outside d.mu.
+	var sh, ph uint64
+	if m.Stream != nil {
+		sh = m.Stream.SchemaHash()
+		m.Stream.Undrain()
+	}
+	if m.Packet != nil {
+		ph = m.Packet.SchemaHash()
+		m.Packet.Undrain()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.members[m.Name]; ok {
+		return fmt.Errorf("cluster: member %q already present", m.Name)
+	}
+	if len(d.members) == 0 {
+		d.hasStream, d.hasPacket = m.Stream != nil, m.Packet != nil
+		d.streamHash, d.packetHash = sh, ph
+	} else {
+		if d.hasStream != (m.Stream != nil) || d.hasPacket != (m.Packet != nil) {
+			return fmt.Errorf("cluster: member %q does not serve the cluster's modes", m.Name)
+		}
+		if d.hasStream && sh != d.streamHash {
+			return &serve.SchemaMismatchError{App: m.Name, From: m.Name,
+				Want: d.streamHash, Got: sh}
+		}
+		if d.hasPacket && ph != d.packetHash {
+			return &serve.SchemaMismatchError{App: m.Name, From: m.Name,
+				Want: d.packetHash, Got: ph}
+		}
+	}
+	d.members[m.Name] = &member{name: m.Name, stream: m.Stream, packet: m.Packet, host: m.Host}
+	d.rebuildLocked()
+	return nil
+}
+
+// rebuildLocked publishes generation g+1 over the live members. Caller
+// holds d.mu.
+func (d *Director) rebuildLocked() {
+	d.gen++
+	var live []*member
+	for _, m := range d.members {
+		if !m.draining {
+			live = append(live, m)
+		}
+	}
+	d.ring = buildRing(d.gen, live)
+}
+
+// Generation returns the current routing-ring generation.
+func (d *Director) Generation() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
+}
+
+// Remove takes the named member out of rotation with a rolling drain:
+// generation g+1 excludes it immediately (no new admissions route
+// there), every in-flight session it owns is handed to its new owner
+// live, and only then is the runtime drained to quiescence and dropped.
+// Rolling drains serialize against each other, so a handoff's target is
+// never itself draining. The member's runtime is left drained but
+// intact — Add re-opens it.
+func (d *Director) Remove(name string) error {
+	d.drainMu.Lock()
+	defer d.drainMu.Unlock()
+
+	d.mu.Lock()
+	m, ok := d.members[name]
+	if !ok || m.draining {
+		d.mu.Unlock()
+		return fmt.Errorf("cluster: no live member %q", name)
+	}
+	m.draining = true
+	d.rebuildLocked()
+	var owned []*session
+	for _, s := range d.sessions {
+		if s.ownedBy(m) {
+			owned = append(owned, s)
+		}
+	}
+	var ownedFlows []*pktFlow
+	for _, f := range d.flows {
+		if f.ownedBy(m) {
+			ownedFlows = append(ownedFlows, f)
+		}
+	}
+	d.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, s := range owned {
+		wg.Add(1)
+		go func(s *session) { defer wg.Done(); d.handoffSession(s, m) }(s)
+	}
+	for _, f := range ownedFlows {
+		wg.Add(1)
+		go func(f *pktFlow) { defer wg.Done(); d.handoffFlow(f, m) }(f)
+	}
+	wg.Wait()
+
+	// Every owned session completed or moved; Drain is now a barrier, not
+	// a wait — and it pins the runtime closed against stragglers.
+	if m.stream != nil {
+		m.stream.Drain()
+	}
+	if m.packet != nil {
+		m.packet.Drain()
+	}
+	d.mu.Lock()
+	delete(d.members, name)
+	d.mu.Unlock()
+	return nil
+}
+
+// pick routes a principal on the current generation: primary owner and
+// next distinct member by consistent hash, two-choice between them by
+// in-flight load. Snapshot reads happen outside the director lock.
+func (d *Director) pick(principal string) *member {
+	d.mu.Lock()
+	r := d.ring
+	d.mu.Unlock()
+	if r == nil {
+		return nil
+	}
+	p, s := r.owners(principal)
+	if p == nil || s == nil {
+		return p
+	}
+	if memberLoad(s) < memberLoad(p) {
+		return s
+	}
+	return p
+}
+
+func memberLoad(m *member) int {
+	n := 0
+	if m.stream != nil {
+		n += m.stream.Snapshot().Inflight
+	}
+	if m.packet != nil {
+		n += m.packet.Snapshot().Inflight
+	}
+	return n
+}
+
+func (d *Director) count(c *uint64) {
+	d.mu.Lock()
+	*c++
+	d.mu.Unlock()
+}
+
+// Stats returns the director's ledger and relay census.
+func (d *Director) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	live := 0
+	for _, m := range d.members {
+		if !m.draining {
+			live++
+		}
+	}
+	return Stats{
+		Gen:           d.gen,
+		Members:       live,
+		Sessions:      len(d.sessions),
+		Flows:         len(d.flows),
+		Admitted:      d.admitted,
+		Handoffs:      d.handoffs,
+		HandoffFailed: d.handoffFailed,
+		Refused:       d.refused,
+	}
+}
+
+// ---- stream sessions -------------------------------------------------------
+
+// session is one relayed stream connection: the client leg the director
+// owns, and a backend leg (a netsim.Pipe) to the current owning member.
+// legGen counts splices; outstanding counts forwarded-but-unanswered
+// client chunks — zero means the backend worker is parked on a read.
+type session struct {
+	d         *Director
+	principal string
+	client    *netsim.Conn
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	member      *member
+	backendCl   *netsim.Conn // director-side end of the backend pipe
+	serverLeg   *netsim.Conn // backend-side end, retained for DrainPending
+	legGen      int
+	outstanding int
+	paused      bool // client->backend forwarding held (handoff in progress)
+	handing     bool
+	legDead     bool // current backend leg saw EOF/close
+	clientGone  bool
+}
+
+func (s *session) ownedBy(m *member) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.member == m && !s.clientGone
+}
+
+// Serve accepts clients until the listener closes, relaying each
+// connection to its owning member, and returns once every relay ends.
+func (d *Director) Serve(l *netsim.Listener) error {
+	var serveErr error
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if !errors.Is(err, netsim.ErrListenerDown) {
+				serveErr = err
+			}
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.ServeConn(conn)
+		}()
+	}
+	wg.Wait()
+	return serveErr
+}
+
+// ServeConn relays one client connection, sharding by its network
+// address.
+func (d *Director) ServeConn(client *netsim.Conn) {
+	d.ServeConnAs(client, client.RemoteAddr())
+}
+
+// ServeConnAs relays one client connection under an explicit principal.
+// It returns when the session ends; the client leg is closed on return.
+// One live session per principal: a second concurrent session for the
+// same principal is refused (closed), keeping "the principal's session"
+// well-defined for handoff.
+func (d *Director) ServeConnAs(client *netsim.Conn, principal string) {
+	defer client.Close()
+	m := d.pick(principal)
+	if m == nil || m.stream == nil {
+		d.count(&d.refused)
+		return
+	}
+	s := &session{d: d, principal: principal, client: client}
+	s.cond = sync.NewCond(&s.mu)
+	d.mu.Lock()
+	if _, dup := d.sessions[principal]; dup {
+		d.refused++
+		d.mu.Unlock()
+		return
+	}
+	d.sessions[principal] = s
+	d.admitted++
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		if d.sessions[principal] == s {
+			delete(d.sessions, principal)
+		}
+		d.mu.Unlock()
+	}()
+	s.connect(m, nil, nil)
+	go s.clientLoop()
+	s.backendLoop()
+}
+
+// connect splices a backend leg to m, dispatching the serve (or resume)
+// call on its own goroutine. pending, when non-empty, is client bytes
+// the previous leg never consumed: they are written to the new leg
+// first, before any post-handoff client traffic can follow, and counted
+// as an outstanding request chunk.
+func (s *session) connect(m *member, rec *serve.HandoffRecord, pending []byte) {
+	cl, sv := netsim.Pipe("cluster:"+s.principal, m.name)
+	s.mu.Lock()
+	s.member = m
+	s.backendCl = cl
+	s.serverLeg = sv
+	s.legGen++
+	s.legDead = false
+	if len(pending) > 0 {
+		cl.Write(pending)
+		s.outstanding++
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	go func() {
+		if rec == nil {
+			m.stream.ServeConnAs(sv, s.principal)
+		} else {
+			m.stream.ResumeConnAs(sv, s.principal, rec)
+		}
+		// The runtime does not own the conn; close it so the relay
+		// observes the session's end (or a refused resume) as leg EOF.
+		sv.Close()
+	}()
+}
+
+// clientLoop forwards client bytes to the current backend leg, holding
+// at the pause gate during a handoff. Forwarding happens under s.mu —
+// netsim pipe writes never block — so a quiesced pause means no chunk
+// is mid-flight.
+func (s *session) clientLoop() {
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := s.client.Read(buf)
+		if n > 0 {
+			s.mu.Lock()
+			for s.paused {
+				s.cond.Wait()
+			}
+			s.outstanding++
+			s.backendCl.Write(buf[:n])
+			s.mu.Unlock()
+		}
+		if err != nil {
+			s.mu.Lock()
+			s.clientGone = true
+			cl := s.backendCl
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			// Half-close toward the worker: it reads EOF and completes.
+			cl.CloseWrite()
+			return
+		}
+	}
+}
+
+// backendLoop forwards backend bytes to the client, resetting the
+// outstanding count after each forwarded response. On leg EOF it either
+// ends the session or — when a handoff is splicing — waits for the new
+// leg and continues. EOF semantics drain buffered response bytes first,
+// so nothing a worker wrote before its interrupt is lost.
+func (s *session) backendLoop() {
+	buf := make([]byte, 32*1024)
+	for {
+		s.mu.Lock()
+		for s.legDead && s.handing {
+			s.cond.Wait()
+		}
+		if s.legDead {
+			s.mu.Unlock()
+			return
+		}
+		cl := s.backendCl
+		gen := s.legGen
+		s.mu.Unlock()
+
+		n, err := cl.Read(buf)
+		if n > 0 {
+			if _, werr := s.client.Write(buf[:n]); werr != nil {
+				s.mu.Lock()
+				s.clientGone = true
+				s.cond.Broadcast()
+				s.mu.Unlock()
+				return
+			}
+			s.mu.Lock()
+			s.outstanding = 0
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+		if err != nil {
+			s.mu.Lock()
+			if s.legGen != gen {
+				s.mu.Unlock()
+				continue // spliced under us: read the new leg
+			}
+			s.legDead = true
+			s.cond.Broadcast()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// handoffSession moves one session off a draining member. The sequence
+// is the package comment's: pause, quiesce, export, recover pipelined
+// bytes, resume at the new owner, splice, unpause. A session that
+// completes during any step is left to finish normally.
+func (d *Director) handoffSession(s *session, from *member) {
+	s.mu.Lock()
+	if s.member != from || s.clientGone || s.legDead {
+		s.mu.Unlock()
+		return
+	}
+	s.paused = true
+	s.handing = true
+	for s.outstanding != 0 && !s.legDead && !s.clientGone {
+		s.cond.Wait()
+	}
+	if s.legDead || s.clientGone {
+		// Completing on its own; let it.
+		s.paused = false
+		s.handing = false
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return
+	}
+	sv := s.serverLeg
+	s.mu.Unlock()
+
+	// ErrNoSession is ambiguous: the session may have completed — or the
+	// director admitted it so recently that the runtime has not yet
+	// registered the conn. Retry while the leg is live; a completing
+	// session's leg EOF resolves the ambiguity within a few hops.
+	var rec *serve.HandoffRecord
+	var err error
+	for i := 0; ; i++ {
+		rec, err = from.stream.HandoffPrincipal(s.principal)
+		if err == nil {
+			break
+		}
+		s.mu.Lock()
+		over := s.legDead || s.clientGone
+		s.mu.Unlock()
+		if over || i >= 2000 {
+			// Completed (or wedged beyond hope): let it end normally.
+			s.mu.Lock()
+			s.paused = false
+			s.handing = false
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Client bytes the old worker never read (pipelined past the last
+	// response) survive in the dead leg's pipe; they re-play at the new
+	// home ahead of anything the unpause lets through.
+	pending := sv.DrainPending()
+	to := d.pick(s.principal)
+	if to == nil || to.stream == nil {
+		d.count(&d.handoffFailed)
+		s.mu.Lock()
+		s.paused = false
+		s.handing = false
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		s.client.Close()
+		return
+	}
+	s.connect(to, rec, pending)
+	s.mu.Lock()
+	s.paused = false
+	s.handing = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	d.count(&d.handoffs)
+}

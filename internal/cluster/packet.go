@@ -1,0 +1,321 @@
+// The packet half of the director: datagram flows sharded by client
+// address, forwarded to the owning member through a per-flow mirror
+// socket, with live flow handoff.
+//
+// Datagrams have no leg to splice, so the relay works by address
+// mirroring: for each client flow the director binds a PacketConn at
+// the *client's* address on the owning member's own network segment and
+// forwards payloads via the runtime's DeliverPacket entry. The backend
+// worker replies to what it believes is the client's address; on the
+// member's segment that address is the mirror, so the reply lands back
+// in the director, which relays it out the front socket. The member
+// never holds a route to the real client — its segment cannot even
+// name the front network (netsim.Topology) — which keeps the "all
+// client bytes cross the director" invariant honest rather than
+// aspirational.
+//
+// Handoff is the stream discipline minus the byte recovery: pause
+// forwarding (queueing, not dropping — a datagram that arrives during
+// the pause replays at the new home in order), quiesce on the
+// outstanding count, export the flow record (which carries
+// app-level reassembly state, e.g. dnsd's in-progress FRAG), bind a
+// fresh mirror on the new member's segment, resume, flush the queue,
+// unpause. In-network datagrams need no draining: a reply a worker
+// wrote before its interrupt is already sitting in the mirror's queue,
+// and the reply loop keeps reading a dead generation's mirror until its
+// close, so nothing buffered is lost.
+
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"wedge/internal/gatepool"
+	"wedge/internal/netsim"
+	"wedge/internal/serve"
+)
+
+// defaultPacketIdle bounds a director-side flow's silence before its
+// relay state is swept, in gatepool.Monotime (nanosecond) units.
+const defaultPacketIdle = int64(30e9)
+
+// pendingCap bounds the datagrams queued per flow during a handoff
+// pause; beyond it the director sheds like any congested datagram hop.
+const pendingCap = 64
+
+// pktFlow is the director's relay state for one client address: the
+// owning member, the mirror socket bound at the client's address on
+// that member's segment, and the pause/quiesce machinery.
+type pktFlow struct {
+	d    *Director
+	peer string // client address on the front network
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	member      *member
+	mirror      *netsim.PacketConn
+	legGen      int
+	outstanding int
+	paused      bool
+	handing     bool
+	dead        bool
+	pending     [][]byte // datagrams queued while paused
+	lastTouch   int64    // gatepool.Monotime of the last forwarded datagram
+}
+
+func (f *pktFlow) ownedBy(m *member) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.member == m && !f.dead
+}
+
+// ServePackets reads the front socket until it closes, forwarding each
+// datagram to its flow's owning member. The front socket is the
+// cluster's single client-facing address for packet service.
+func (d *Director) ServePackets(front *netsim.PacketConn) error {
+	buf := make([]byte, 64*1024)
+	n := 0
+	for {
+		nb, from, err := front.ReadFrom(buf)
+		if err != nil {
+			return nil
+		}
+		payload := append([]byte(nil), buf[:nb]...)
+		d.deliverPacket(front, payload, from)
+		if n++; n%256 == 0 {
+			d.sweepFlows()
+		}
+	}
+}
+
+// deliverPacket routes one datagram: find or admit the flow, then
+// forward — or queue, if the flow is mid-handoff.
+func (d *Director) deliverPacket(front *netsim.PacketConn, payload []byte, from string) {
+	d.mu.Lock()
+	f := d.flows[from]
+	d.mu.Unlock()
+	if f == nil {
+		f = d.admitFlow(front, from)
+		if f == nil {
+			return
+		}
+	}
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return
+	}
+	if f.paused {
+		if len(f.pending) < pendingCap {
+			f.pending = append(f.pending, payload)
+		}
+		f.mu.Unlock()
+		return
+	}
+	f.outstanding++
+	f.lastTouch = gatepool.Monotime()
+	m, mirror := f.member, f.mirror
+	f.mu.Unlock()
+	m.packet.DeliverPacket(mirror, payload, from)
+}
+
+// admitFlow routes a new client address and binds its mirror. The
+// mirror carries the client's address on the member's segment, so
+// worker replies self-deliver back to the director.
+func (d *Director) admitFlow(front *netsim.PacketConn, from string) *pktFlow {
+	m := d.pick(from)
+	if m == nil || m.packet == nil {
+		d.count(&d.refused)
+		return nil
+	}
+	mirror, err := m.host.ListenPacket(from)
+	if err != nil {
+		d.count(&d.refused)
+		return nil
+	}
+	f := &pktFlow{d: d, peer: from, member: m, mirror: mirror,
+		lastTouch: gatepool.Monotime()}
+	f.cond = sync.NewCond(&f.mu)
+	d.mu.Lock()
+	if exist := d.flows[from]; exist != nil {
+		d.mu.Unlock()
+		mirror.Close()
+		return exist
+	}
+	d.flows[from] = f
+	d.admitted++
+	d.mu.Unlock()
+	go f.replyLoop(front)
+	return f
+}
+
+// replyLoop relays worker replies from the current mirror out the front
+// socket, resetting the flow's outstanding count — the quiescence
+// signal handoff waits on. A mirror close from a stale generation spins
+// the loop onto the new mirror; a close with no new generation ends the
+// flow.
+func (f *pktFlow) replyLoop(front *netsim.PacketConn) {
+	buf := make([]byte, 64*1024)
+	for {
+		f.mu.Lock()
+		mirror := f.mirror
+		gen := f.legGen
+		f.mu.Unlock()
+		n, _, err := mirror.ReadFrom(buf)
+		if err != nil {
+			f.mu.Lock()
+			if f.legGen != gen {
+				f.mu.Unlock()
+				continue // handed off: read the new mirror
+			}
+			f.dead = true
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			f.d.dropFlow(f)
+			return
+		}
+		front.WriteTo(buf[:n], f.peer)
+		f.mu.Lock()
+		f.outstanding = 0
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+func (d *Director) dropFlow(f *pktFlow) {
+	d.mu.Lock()
+	if d.flows[f.peer] == f {
+		delete(d.flows, f.peer)
+	}
+	d.mu.Unlock()
+}
+
+// killFlow ends a flow's relay state: mark dead, close the mirror (the
+// reply loop exits through the dead-generation check), drop the map
+// entry.
+func (f *pktFlow) kill() {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return
+	}
+	f.dead = true
+	f.paused = false
+	f.handing = false
+	mirror := f.mirror
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	mirror.Close()
+	f.d.dropFlow(f)
+}
+
+// sweepFlows reaps relay state for flows idle past PacketIdle. The
+// backend runtimes reap their own flow state on their own idle clocks;
+// this sweep only frees the director's mirrors and reply loops.
+func (d *Director) sweepFlows() {
+	idle := d.PacketIdle
+	if idle <= 0 {
+		idle = defaultPacketIdle
+	}
+	now := gatepool.Monotime()
+	var stale []*pktFlow
+	d.mu.Lock()
+	for _, f := range d.flows {
+		f.mu.Lock()
+		if !f.handing && !f.dead && now-f.lastTouch > idle {
+			stale = append(stale, f)
+		}
+		f.mu.Unlock()
+	}
+	d.mu.Unlock()
+	for _, f := range stale {
+		f.kill()
+	}
+}
+
+// handoffFlow moves one flow off a draining member: pause (queue),
+// quiesce, export, re-bind the mirror on the new member's segment,
+// resume the flow there, flush the queue in order, unpause.
+func (d *Director) handoffFlow(f *pktFlow, from *member) {
+	f.mu.Lock()
+	if f.member != from || f.dead {
+		f.mu.Unlock()
+		return
+	}
+	f.paused = true
+	f.handing = true
+	for f.outstanding != 0 && !f.dead {
+		f.cond.Wait()
+	}
+	if f.dead {
+		f.paused = false
+		f.handing = false
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		return
+	}
+	f.mu.Unlock()
+
+	// ErrNoSession either means the backend flow expired (idle reap) or
+	// the flow is so new its conn record is not registered yet; a bounded
+	// retry separates the two.
+	var rec *serve.HandoffRecord
+	var err error
+	for i := 0; ; i++ {
+		rec, err = from.packet.HandoffPrincipal(f.peer)
+		if err == nil {
+			break
+		}
+		if i >= 100 {
+			// Expired at the backend; the relay state follows it.
+			f.kill()
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	to := d.pick(f.peer)
+	if to == nil || to.packet == nil {
+		d.count(&d.handoffFailed)
+		f.kill()
+		return
+	}
+	mirror2, err := to.host.ListenPacket(f.peer)
+	if err != nil {
+		d.count(&d.handoffFailed)
+		f.kill()
+		return
+	}
+	f.mu.Lock()
+	old := f.mirror
+	f.mirror = mirror2
+	f.member = to
+	f.legGen++
+	f.cond.Broadcast() // reply loop chases the new mirror once old closes
+	f.mu.Unlock()
+	old.Close()
+	if err := to.packet.ResumeFlow(mirror2, f.peer, rec); err != nil {
+		d.count(&d.handoffFailed)
+		f.kill()
+		return
+	}
+	// Flush datagrams queued during the pause, in arrival order, before
+	// any post-handoff traffic can interleave.
+	for {
+		f.mu.Lock()
+		if len(f.pending) == 0 {
+			f.paused = false
+			f.handing = false
+			f.cond.Broadcast()
+			f.mu.Unlock()
+			break
+		}
+		p := f.pending[0]
+		f.pending = f.pending[1:]
+		f.outstanding++
+		f.lastTouch = gatepool.Monotime()
+		f.mu.Unlock()
+		to.packet.DeliverPacket(mirror2, p, f.peer)
+	}
+	d.count(&d.handoffs)
+}

@@ -1,0 +1,101 @@
+// The routing ring: consistent hashing of principals across members,
+// with explicit generations. Every membership change — add, drain mark,
+// remove — builds a new immutable ring at generation g+1 and publishes
+// it atomically, the view-change discipline rather than in-place
+// rebalancing: a routing decision is always made against exactly one
+// generation, and a drain is "draining as of generation g+1", never a
+// mutable flag racing the router.
+//
+// Placement is classic consistent hashing with virtual nodes (a power
+// of two per member) plus two-choice load: a principal's hash selects
+// its primary owner (first vnode clockwise) and the next distinct
+// member, and admission picks whichever reports less in-flight load.
+// The vnode count keeps per-member arcs even; the two-choice read keeps
+// a hot shard from pinning its arc's principals behind a deep queue.
+
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// vnodesPerMember is the virtual-node count each member contributes —
+// a power of two, enough that member arcs stay within a few percent of
+// even at small cluster sizes.
+const vnodesPerMember = 64
+
+type vnode struct {
+	hash uint64
+	m    *member
+}
+
+// ring is one immutable routing generation. Draining members are simply
+// absent: the build excludes them, so no router can select one.
+type ring struct {
+	gen    uint64
+	vnodes []vnode // sorted by hash
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv1a(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// mix finishes a vnode hash: FNV of "name" alone clusters lexically
+// close names; a final avalanche spreads them.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// buildRing constructs generation gen over the given live members.
+func buildRing(gen uint64, live []*member) *ring {
+	r := &ring{gen: gen}
+	for _, m := range live {
+		for i := 0; i < vnodesPerMember; i++ {
+			r.vnodes = append(r.vnodes, vnode{
+				hash: mix(fnv1a(fmt.Sprintf("%s#%d", m.name, i))),
+				m:    m,
+			})
+		}
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+	return r
+}
+
+// owners returns the principal's primary owner and the next distinct
+// member clockwise (nil when the ring has fewer than two members). The
+// caller applies the two-choice load read — the ring itself is pure
+// placement.
+func (r *ring) owners(principal string) (primary, secondary *member) {
+	n := len(r.vnodes)
+	if n == 0 {
+		return nil, nil
+	}
+	h := mix(fnv1a(principal))
+	i := sort.Search(n, func(i int) bool { return r.vnodes[i].hash >= h })
+	if i == n {
+		i = 0
+	}
+	primary = r.vnodes[i].m
+	for j := 1; j < n; j++ {
+		if m := r.vnodes[(i+j)%n].m; m != primary {
+			return primary, m
+		}
+	}
+	return primary, nil
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testMembers(names ...string) []*member {
+	ms := make([]*member, len(names))
+	for i, n := range names {
+		ms[i] = &member{name: n}
+	}
+	return ms
+}
+
+// TestRingBalance: with virtual nodes, three members split principals
+// within sane bounds of even — no member owns a degenerate share.
+func TestRingBalance(t *testing.T) {
+	r := buildRing(1, testMembers("a", "b", "c"))
+	counts := map[string]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		p, _ := r.owners(fmt.Sprintf("client-%d", i))
+		counts[p.name]++
+	}
+	for name, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("member %s owns %.1f%% of principals", name, 100*frac)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("placements hit %d members, want 3", len(counts))
+	}
+}
+
+// TestRingStability: removing one member must move only its principals —
+// everyone else keeps their owner. This is the property that makes a
+// rolling drain cheap: one member's worth of handoffs, not a reshuffle.
+func TestRingStability(t *testing.T) {
+	full := buildRing(1, testMembers("a", "b", "c"))
+	// Rebuild with the same member pointers minus "b", as rebuildLocked does.
+	var rest []*member
+	for _, v := range full.vnodes {
+		seen := false
+		for _, m := range rest {
+			if m == v.m {
+				seen = true
+			}
+		}
+		if !seen {
+			rest = append(rest, v.m)
+		}
+	}
+	var live []*member
+	for _, m := range rest {
+		if m.name != "b" {
+			live = append(live, m)
+		}
+	}
+	smaller := buildRing(2, live)
+	moved, kept := 0, 0
+	for i := 0; i < 10000; i++ {
+		p := fmt.Sprintf("client-%d", i)
+		before, _ := full.owners(p)
+		after, _ := smaller.owners(p)
+		if before.name == "b" {
+			if after.name == "b" {
+				t.Fatalf("principal %s still routed to removed member", p)
+			}
+			continue
+		}
+		if before == after {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d principals not owned by the removed member moved anyway (%d kept)", moved, kept)
+	}
+}
+
+// TestRingSecondary: the secondary owner is always a distinct member,
+// and a single-member ring reports none.
+func TestRingSecondary(t *testing.T) {
+	r := buildRing(1, testMembers("a", "b"))
+	for i := 0; i < 1000; i++ {
+		p, s := r.owners(fmt.Sprintf("x%d", i))
+		if p == nil || s == nil || p == s {
+			t.Fatalf("owners(%d) = %v, %v", i, p, s)
+		}
+	}
+	solo := buildRing(1, testMembers("only"))
+	p, s := solo.owners("anyone")
+	if p == nil || p.name != "only" || s != nil {
+		t.Fatalf("solo ring owners = %v, %v", p, s)
+	}
+	empty := buildRing(1, nil)
+	if p, s := empty.owners("anyone"); p != nil || s != nil {
+		t.Fatalf("empty ring owners = %v, %v", p, s)
+	}
+}

@@ -140,9 +140,15 @@ type Resolver struct {
 	*serve.PacketRuntime[dnsConn]
 }
 
-// dnsConn is one flow's gate-side state.
+// dnsConn is one flow's gate-side state. The FRAG reassembly position
+// lives here rather than on the worker's stack so a live cluster handoff
+// can move a half-reassembled query to the flow's new home: fragging
+// marks a flow that acked a FRAG query and owes its client a
+// continuation read, frag holds the first half.
 type dnsConn struct {
-	queries int // datagram queries answered on this flow
+	queries  int    // datagram queries answered on this flow
+	fragging bool   // a FRAG query's ack was sent; next datagram is its continuation
+	frag     []byte // the FRAG query's first half
 }
 
 // NewPooled places the zone — records and signing key, one blob, one
@@ -165,6 +171,8 @@ func NewPooled(root *sthread.Sthread, key *rsa.PrivateKey, zone []Record, cfg Co
 		Schema:      dnsSchema,
 		OnPacket:    "worker",
 		IdleTimeout: cfg.IdleTimeout,
+		Export:      exportDNS,
+		Import:      importDNS,
 		Gates: []gatepool.GateDef{
 			{
 				Name:  "worker",
@@ -205,6 +213,56 @@ func NewPooled(root *sthread.Sthread, key *rsa.PrivateKey, zone []Record, cfg Co
 	return r, nil
 }
 
+// dnsExportVersion versions the dnsd handoff payload.
+const dnsExportVersion = 1
+
+// exportDNS serializes a flow for cluster handoff: the query count and
+// the FRAG reassembly position. The zone blob — records and the signing
+// key — never rides a record: it lives behind the resolve gate's tag at
+// every runtime, and the new home's gate signs with its own copy.
+func exportDNS(c *serve.Conn[dnsConn], _ []byte) []byte {
+	st := &c.State
+	var flags byte
+	if st.fragging {
+		flags |= 1
+	}
+	out := make([]byte, 0, 7+len(st.frag))
+	out = append(out, dnsExportVersion, flags)
+	out = binary.LittleEndian.AppendUint32(out, uint32(st.queries))
+	frag := st.frag
+	if len(frag) > MaxName {
+		frag = frag[:MaxName] // unreachable: reassembly enforces MaxName
+	}
+	out = append(out, byte(len(frag)))
+	return append(out, frag...)
+}
+
+// importDNS restores a handed-off flow, validating the payload as
+// hostile input: version, exact framing, and the first-half length
+// against MaxName — an oversized fragment must be refused here, not
+// discovered at reassembly.
+func importDNS(c *serve.Conn[dnsConn], rec *serve.HandoffRecord) error {
+	b := rec.State
+	if len(b) < 7 {
+		return errors.New("dnsd: import: truncated payload")
+	}
+	if b[0] != dnsExportVersion {
+		return errors.New("dnsd: import: unknown payload version")
+	}
+	flags := b[1]
+	queries := int(binary.LittleEndian.Uint32(b[2:]))
+	flen := int(b[6])
+	if flen > MaxName || len(b) != 7+flen {
+		return errors.New("dnsd: import: malformed fragment")
+	}
+	c.State.queries = queries
+	c.State.fragging = flags&1 != 0
+	if flen > 0 {
+		c.State.frag = append([]byte(nil), b[7:]...)
+	}
+	return nil
+}
+
 // workerEntry is the per-slot recycled query parser: one invocation per
 // flow, reading whole query datagrams from the flow descriptor until
 // the wheel expires the flow (the read fails — a clean end). Malformed
@@ -230,22 +288,33 @@ func (r *Resolver) workerServe(w *sthread.Sthread, arg vm.Addr, buf []byte) vm.A
 		if err != nil {
 			return 1 // flow expired (or runtime closing): clean end
 		}
-		name, frag, ok := parseQuery(buf[:n])
-		if ok && frag {
-			// Ack the first half, wait for the one continuation.
-			if _, err := w.Task.WriteFD(c.FD, []byte{'A'}); err != nil {
-				return 0
+		var name []byte
+		ok := true
+		if c.State.fragging {
+			// The flow owes a continuation read — possibly from before a
+			// handoff, with the first half restored by Import. Anything
+			// but a valid continuation ends the reassembly as FORMERR.
+			name = c.State.frag
+			c.State.fragging, c.State.frag = false, nil
+			part, pok := parseCont(buf[:n])
+			if !pok || len(name)+len(part) > MaxName {
+				ok = false
+			} else {
+				name = append(name, part...)
 			}
-			if n, err = w.Task.ReadFD(c.FD, buf); err != nil {
-				return 1
-			}
-			var part []byte
-			if part, ok = parseCont(buf[:n]); ok {
-				if len(name)+len(part) > MaxName {
-					ok = false
-				} else {
-					name = append(name, part...)
+		} else {
+			var frag bool
+			name, frag, ok = parseQuery(buf[:n])
+			if ok && frag {
+				// Ack the first half; the next datagram is its
+				// continuation. The position is recorded on the conn
+				// state before the ack, so a handoff interrupting the
+				// wait finds it there.
+				c.State.fragging, c.State.frag = true, name
+				if _, err := w.Task.WriteFD(c.FD, []byte{'A'}); err != nil {
+					return 0
 				}
+				continue
 			}
 		}
 		if !ok || len(name) == 0 {

@@ -107,10 +107,10 @@ func (k Kind) String() string {
 // (the length word for KindBytes); Cap is the payload capacity (KindBytes,
 // KindString), the exact size (KindFixed), or 8 (words).
 type FieldInfo struct {
-	Name string
-	Kind Kind
-	Off  vm.Addr
-	Cap  int
+	Name string  `json:"name"`
+	Kind Kind    `json:"kind"`
+	Off  vm.Addr `json:"off"`
+	Cap  int     `json:"cap"`
 }
 
 // Schema is a sealed argument-block layout. Schemas are immutable after

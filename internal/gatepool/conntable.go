@@ -541,6 +541,53 @@ func (c *ConnTable[T]) RemoveIfIdle(id uint64, idle time.Duration) (T, bool) {
 	return v, true
 }
 
+// Range calls f for every live entry until f returns false. Each shard
+// is visited under its own lock with f called outside it (f may call
+// back into the table — Delete, Touch — without deadlock; the
+// lockcallback discipline forbids dynamic calls under a gatepool mutex
+// anyway). The iteration is a point-in-time census per shard: entries
+// added or removed concurrently may or may not be seen, which is the
+// right contract for its one caller — the serve runtime's handoff scan,
+// which re-checks each id under the runtime lock before acting on it.
+func (c *ConnTable[T]) Range(f func(id uint64, v T) bool) {
+	for {
+		st := c.state.Load()
+		if st == nil {
+			return
+		}
+		retry := false
+		for _, s := range st.shards {
+			var ids []uint64
+			var vals []T
+			s.mu.Lock()
+			if s.moved {
+				s.mu.Unlock()
+				retry = true
+				break
+			}
+			for b := range s.bkts {
+				bkt := &s.bkts[b]
+				for j := 0; j < connBucketWidth; j++ {
+					if bkt.ids[j] != 0 {
+						ids = append(ids, bkt.ids[j])
+						vals = append(vals, bkt.vals[j])
+					}
+				}
+			}
+			s.mu.Unlock()
+			for i, id := range ids {
+				if !f(id, vals[i]) {
+					return
+				}
+			}
+		}
+		if !retry {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
 // Len reports the number of live entries. Lock-free: a sum of per-shard
 // atomic counters.
 func (c *ConnTable[T]) Len() int {

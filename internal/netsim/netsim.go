@@ -149,6 +149,26 @@ func (c *Conn) Close() error {
 // CloseWrite half-closes the sending direction (like shutdown(SHUT_WR)).
 func (c *Conn) CloseWrite() { c.w.closeWrite() }
 
+// DrainPending returns (and consumes) any bytes already buffered in the
+// receive direction, without blocking. After Close, Read reports
+// ErrClosed even when buffered bytes remain — the right semantics for a
+// dead peer, but a session-handoff relay needs those pipelined bytes:
+// they were sent by the client before the pause and belong to the
+// session at its new home. Safe concurrently with the peer's writes;
+// callers serialize with their own reads.
+func (c *Conn) DrainPending() []byte {
+	p := c.r
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.off == len(p.buf) {
+		return nil
+	}
+	out := append([]byte(nil), p.buf[p.off:]...)
+	p.buf = p.buf[:0]
+	p.off = 0
+	return out
+}
+
 // LocalAddr returns the endpoint's own address label.
 func (c *Conn) LocalAddr() string { return c.local }
 
@@ -162,6 +182,13 @@ func connPair(clientAddr, serverAddr string, tap TapFunc) (client, server *Conn)
 	client = &Conn{r: s2c, w: c2s, local: clientAddr, remote: serverAddr, tap: tap, dir: ClientToServer}
 	server = &Conn{r: c2s, w: s2c, local: serverAddr, remote: clientAddr, tap: tap, dir: ServerToClient}
 	return client, server
+}
+
+// Pipe builds a connected pair outside any Network — the cluster
+// director's tool for splicing a fresh backend leg to a runtime it
+// reaches directly rather than through a listener.
+func Pipe(clientAddr, serverAddr string) (client, server *Conn) {
+	return connPair(clientAddr, serverAddr, nil)
 }
 
 // Listener accepts inbound connections for a bound address.

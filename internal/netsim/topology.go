@@ -1,0 +1,52 @@
+// Multi-host topology: named network segments for cluster tests. A
+// single Network models one segment's address space; a cluster test
+// needs several — each backend runtime listens on its own host, and the
+// director is the only component that spans them (it dials backends on
+// their hosts while serving clients on the front host). Keeping the
+// segments separate is what makes the test honest: a client on the front
+// host cannot name a backend address at all, so any byte that reaches a
+// backend provably went through the director.
+
+package netsim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Topology is a set of named hosts, each an isolated Network segment.
+// The zero value is not ready; use NewTopology. All methods are safe for
+// concurrent use.
+type Topology struct {
+	mu    sync.Mutex
+	hosts map[string]*Network
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{hosts: make(map[string]*Network)}
+}
+
+// Host returns the named host's network segment, creating it on first
+// use.
+func (t *Topology) Host(name string) *Network {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, ok := t.hosts[name]
+	if !ok {
+		n = New()
+		t.hosts[name] = n
+	}
+	return n
+}
+
+// Dial connects to addr on the named host.
+func (t *Topology) Dial(host, addr string) (*Conn, error) {
+	t.mu.Lock()
+	n, ok := t.hosts[host]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: no host %q", ErrConnRefused, host)
+	}
+	return n.Dial(addr)
+}

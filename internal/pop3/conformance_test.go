@@ -19,40 +19,56 @@ import (
 // principal B's handler invocation can observe them (what
 // TestPooledResidue used to check by hand).
 func TestServeConformance(t *testing.T) {
-	type popConn struct {
-		conn *netsim.Conn
-		r    *bufio.Reader
-	}
-	// holdPOP reads the greeting — the handler invocation is then
-	// provably in flight, parked on the first command.
-	holdPOP := func(k *kernel.Kernel) (*popConn, error) {
-		conn, err := k.Net.Dial("pop3:110")
-		if err != nil {
-			return nil, err
-		}
-		c := &popConn{conn: conn, r: bufio.NewReader(conn)}
-		greet, err := c.r.ReadString('\n')
-		if err != nil || !strings.HasPrefix(greet, "+OK") {
-			conn.Close()
-			return nil, fmt.Errorf("greeting %q: %v", greet, err)
-		}
-		return c, nil
-	}
-	cmd := func(c *popConn, line, wantPrefix string) error {
-		if _, err := c.conn.Write([]byte(line + "\r\n")); err != nil {
-			return err
-		}
-		resp, err := c.r.ReadString('\n')
-		if err != nil {
-			return err
-		}
-		if !strings.HasPrefix(resp, wantPrefix) {
-			return fmt.Errorf("%s: %q, want %s...", line, resp, wantPrefix)
-		}
-		return nil
-	}
+	servetest.Run(t, conformanceApp())
+}
 
-	servetest.Run(t, servetest.App{
+// TestClusterConformance runs the cluster battery: two pooled POP3
+// runtimes behind a director, one killed while it holds a greeted
+// session mid-protocol. The session's protocol position (greeted, and
+// for authed sessions the uid) crosses in the handoff record, so the
+// client's transcript stays seamless.
+func TestClusterConformance(t *testing.T) {
+	servetest.Cluster(t, conformanceApp())
+}
+
+type popConn struct {
+	conn *netsim.Conn
+	r    *bufio.Reader
+}
+
+// holdPOP reads the greeting — the handler invocation is then
+// provably in flight, parked on the first command.
+func holdPOP(k *kernel.Kernel) (*popConn, error) {
+	conn, err := k.Net.Dial("pop3:110")
+	if err != nil {
+		return nil, err
+	}
+	c := &popConn{conn: conn, r: bufio.NewReader(conn)}
+	greet, err := c.r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(greet, "+OK") {
+		conn.Close()
+		return nil, fmt.Errorf("greeting %q: %v", greet, err)
+	}
+	return c, nil
+}
+
+func popCmd(c *popConn, line, wantPrefix string) error {
+	if _, err := c.conn.Write([]byte(line + "\r\n")); err != nil {
+		return err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(resp, wantPrefix) {
+		return fmt.Errorf("%s: %q, want %s...", line, resp, wantPrefix)
+	}
+	return nil
+}
+
+func conformanceApp() servetest.App {
+	cmd := popCmd
+	return servetest.App{
 		Name: "pop3",
 		Addr: "pop3:110",
 		New: func(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest.Runtime, error) {
@@ -107,5 +123,5 @@ func TestServeConformance(t *testing.T) {
 		Schema: p3Schema,
 		// The password-database and mail-store tags outlive the runtime.
 		StaticTags: 2,
-	})
+	}
 }

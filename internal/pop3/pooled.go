@@ -30,6 +30,8 @@
 package pop3
 
 import (
+	"encoding/binary"
+	"fmt"
 	"sync"
 	"time"
 
@@ -60,9 +62,12 @@ type PooledServer struct {
 
 // p3PoolConn is one session's gate-side state. uid is what the tagged uid
 // cell held in the per-connection build: written only by the login gate,
-// read by stat/retr, never reachable from the handler compartment.
+// read by stat/retr, never reachable from the handler compartment. pos
+// is the session's protocol position, kept on the record (rather than on
+// the worker's stack) so a live cluster handoff can export it.
 type p3PoolConn struct {
 	uid int
+	pos p3Pos
 }
 
 // PoolConfig tunes the pooled server. The zero value means
@@ -98,6 +103,8 @@ func NewPooledConfig(root *sthread.Sthread, boxes []Mailbox, cfg PoolConfig, hoo
 		IdleTimeout: cfg.IdleTimeout,
 		Schema:      p3Schema,
 		Worker:      "handler",
+		Export:      exportP3,
+		Import:      p.importP3,
 		Gates: []gatepool.GateDef{
 			{
 				Name:  "handler",
@@ -170,6 +177,78 @@ func NewPooledConfig(root *sthread.Sthread, boxes []Mailbox, cfg PoolConfig, hoo
 	return p, nil
 }
 
+// p3ExportVersion versions the pop3 handoff payload.
+const p3ExportVersion = 1
+
+// exportP3 serializes a session for cluster handoff: the authenticated
+// uid and the protocol position — and nothing else. The password
+// database and the mail store never ride a record: the importing runtime
+// reaches both through its own gates, and the wire sees only what the
+// handler compartment could already name.
+func exportP3(c *serve.Conn[p3PoolConn], _ []byte) []byte {
+	st := &c.State
+	var flags byte
+	if st.pos.Greeted {
+		flags |= 1
+	}
+	if st.pos.Authed {
+		flags |= 2
+	}
+	out := make([]byte, 0, 7+len(st.pos.User))
+	out = append(out, p3ExportVersion, flags)
+	out = binary.LittleEndian.AppendUint32(out, uint32(st.uid))
+	u := st.pos.User
+	if len(u) > 255 {
+		u = u[:255] // a pending USER longer than this cannot authenticate anyway
+	}
+	out = append(out, byte(len(u)))
+	out = append(out, u...)
+	return out
+}
+
+// importP3 restores a handed-off session. The payload crossed the trust
+// boundary, so every field is validated before use — most importantly
+// the uid, which is an index into the mailbox store: a forged or stale
+// uid must be refused here, not discovered by the stat gate.
+func (p *PooledServer) importP3(c *serve.Conn[p3PoolConn], rec *serve.HandoffRecord) error {
+	b := rec.State
+	if len(b) < 7 {
+		return fmt.Errorf("pop3: import: truncated payload (%d bytes)", len(b))
+	}
+	if b[0] != p3ExportVersion {
+		return fmt.Errorf("pop3: import: version %d", b[0])
+	}
+	flags := b[1]
+	uid := int(binary.LittleEndian.Uint32(b[2:]))
+	ulen := int(b[6])
+	if len(b) != 7+ulen {
+		return fmt.Errorf("pop3: import: payload length %d, want %d", len(b), 7+ulen)
+	}
+	authed := flags&2 != 0
+	if authed {
+		known := false
+		for i := range p.boxes {
+			if p.boxes[i].UID == uid && uid != 0 {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("pop3: import: uid %d not in this store", uid)
+		}
+	}
+	if !authed {
+		uid = 0
+	}
+	c.State.uid = uid
+	c.State.pos = p3Pos{
+		Greeted: flags&1 != 0,
+		Authed:  authed,
+		User:    string(b[7:]),
+	}
+	return nil
+}
+
 // handlerEntry is the per-slot recycled client handler: one invocation
 // per session, running with the slot's argument tag and the
 // per-invocation connection descriptor — nothing else.
@@ -197,5 +276,5 @@ func (p *PooledServer) handlerServe(h *sthread.Sthread, arg vm.Addr, sess *p3Ses
 			return lease.Call(name, h, arg)
 		}
 	}
-	return pop3HandlerSession(h, c.FD, arg, sess, viaPool("login"), viaPool("stat"), viaPool("retr"))
+	return pop3HandlerSession(h, c.FD, arg, sess, &c.State.pos, viaPool("login"), viaPool("stat"), viaPool("retr"))
 }

@@ -411,7 +411,18 @@ type p3Call func(h *sthread.Sthread, arg vm.Addr) (vm.Addr, error)
 // mediates every privileged operation through the gates.
 func pop3HandlerBody(h *sthread.Sthread, fd int, arg vm.Addr,
 	login, stat, retr p3Call) vm.Addr {
-	return pop3HandlerSession(h, fd, arg, newP3Session(), login, stat, retr)
+	return pop3HandlerSession(h, fd, arg, newP3Session(), &p3Pos{}, login, stat, retr)
+}
+
+// p3Pos is a session's protocol position: which one-time steps already
+// ran (greeting, authentication) and the pending USER argument. It is
+// exactly the state a live cluster handoff must carry to the session's
+// new home — everything else the handler touches is either per-command
+// scratch or reachable again through the gates.
+type p3Pos struct {
+	Greeted bool
+	Authed  bool
+	User    string // pending USER argument, not yet confirmed by PASS
 }
 
 // p3Session is the per-connection scratch a handler invocation needs: the
@@ -472,9 +483,13 @@ func p3ReadLine(r *bufio.Reader) ([]byte, error) {
 
 // pop3HandlerSession is pop3HandlerBody with caller-owned scratch: the
 // batched worker loops sessions through one p3Session instead of
-// allocating reader and buffers per connection.
+// allocating reader and buffers per connection. pos is the session's
+// protocol position — the pooled build passes the connection record's
+// own (so a handoff exports the live position), one-shot builds pass a
+// throwaway. A resumed session arrives with pos.Greeted already set and
+// must not greet again: the client saw the banner at the old home.
 func pop3HandlerSession(h *sthread.Sthread, fd int, arg vm.Addr, sess *p3Session,
-	login, stat, retr p3Call) vm.Addr {
+	pos *p3Pos, login, stat, retr p3Call) vm.Addr {
 	raw := fdRW{h, fd}
 	r := sess.r
 	r.Reset(raw)
@@ -488,12 +503,13 @@ func pop3HandlerSession(h *sthread.Sthread, fd int, arg vm.Addr, sess *p3Session
 		_, err := raw.Write(b)
 		return err == nil
 	}
-	if !say("+OK minipop3 ready") {
-		return 0
+	if !pos.Greeted {
+		if !say("+OK minipop3 ready") {
+			return 0
+		}
+		pos.Greeted = true
 	}
 
-	var pendingUser string
-	authed := false
 	for {
 		line, err := p3ReadLine(r)
 		if err != nil {
@@ -502,10 +518,10 @@ func pop3HandlerSession(h *sthread.Sthread, fd int, arg vm.Addr, sess *p3Session
 		cmd, rest, _ := bytes.Cut(line, []byte(" "))
 		switch {
 		case p3CmdIs(cmd, "USER"):
-			pendingUser = string(rest)
+			pos.User = string(rest)
 			say("+OK")
 		case p3CmdIs(cmd, "PASS"):
-			payload := append(sess.buf[:0], pendingUser...)
+			payload := append(sess.buf[:0], pos.User...)
 			payload = append(payload, 0)
 			payload = append(payload, rest...)
 			// The codec bounds the write to the login gate's input cap:
@@ -519,13 +535,13 @@ func pop3HandlerSession(h *sthread.Sthread, fd int, arg vm.Addr, sess *p3Session
 			}
 			ret, err := login(h, arg)
 			if err == nil && ret == 1 {
-				authed = true
+				pos.Authed = true
 				say("+OK logged in")
 			} else {
 				say("-ERR auth failed")
 			}
 		case p3CmdIs(cmd, "STAT"):
-			if !authed {
+			if !pos.Authed {
 				say("-ERR not authenticated")
 				continue
 			}

@@ -79,6 +79,12 @@ type PacketApp[T any] struct {
 	EndConn  func(c *Conn[T])
 	Finish   func(c *Conn[T], ret vm.Addr, err error) error
 
+	// Export and Import are the session-handoff hooks, exactly as on App:
+	// Export serializes the flow's app state (never secrets), Import
+	// restores it at the new home after validating it as hostile input.
+	Export func(c *Conn[T], block []byte) []byte
+	Import func(c *Conn[T], rec *HandoffRecord) error
+
 	// Refuse builds the datagram sent back when a first packet is
 	// rejected by admission control (queue overflow, draining, closed).
 	// nil, or a nil return, drops the packet silently.
@@ -193,6 +199,8 @@ func NewPacket[T any](root *sthread.Sthread, app PacketApp[T]) (*PacketRuntime[T
 		InitConn:   app.InitConn,
 		EndConn:    app.EndConn,
 		Finish:     app.Finish,
+		Export:     app.Export,
+		Import:     app.Import,
 	})
 	if err != nil {
 		return nil, err
@@ -266,7 +274,43 @@ func (p *PacketRuntime[T]) deliver(pc *netsim.PacketConn, payload []byte, from s
 	f.file.push(payload)
 	p.flows[from] = f
 	p.fmu.Unlock()
-	go p.serveFlow(f)
+	go p.serveFlow(f, nil)
+}
+
+// DeliverPacket injects one datagram into the flow demux exactly as if
+// the packet loop had read it from pc: source address from, flow created
+// on first contact, admission control applied. It is the cluster
+// director's forwarding entry — the director owns the front socket and
+// relays each client datagram to the owning runtime's backend socket.
+func (p *PacketRuntime[T]) DeliverPacket(pc *netsim.PacketConn, payload []byte, from string) {
+	p.autoSync()
+	p.deliver(pc, append([]byte(nil), payload...), from)
+}
+
+// ResumeFlow re-admits a handed-off datagram flow: the record is
+// validated as hostile input, the flow is registered under its peer
+// address, and its worker starts with c.Resumed set and the app payload
+// imported — mid-protocol state (a half-reassembled query) survives the
+// move. Replies go out through pc to peer, exactly like a first-contact
+// flow's.
+func (p *PacketRuntime[T]) ResumeFlow(pc *netsim.PacketConn, peer string, rec *HandoffRecord) error {
+	if err := p.checkRecord(rec); err != nil {
+		return err
+	}
+	p.fmu.Lock()
+	if _, ok := p.flows[peer]; ok {
+		p.fmu.Unlock()
+		return fmt.Errorf("serve: %s: flow %q is already live here", p.app.Name, peer)
+	}
+	if err := p.admitResume(); err != nil {
+		p.fmu.Unlock()
+		return err
+	}
+	f := &flow[T]{peer: peer, file: newFlowFile(pc, peer)}
+	p.flows[peer] = f
+	p.fmu.Unlock()
+	go p.serveFlow(f, rec)
+	return nil
 }
 
 // serveFlow is the datagram counterpart of ServeConnAs: one admission,
@@ -274,8 +318,9 @@ func (p *PacketRuntime[T]) deliver(pc *netsim.PacketConn, payload []byte, from s
 // packet. It unwinds in the same order the stream path does (conn-table
 // delete, EndConn, lease release, descriptor close), whether the worker
 // returned on its own or expiry closed the flow under it.
-func (p *PacketRuntime[T]) serveFlow(f *flow[T]) {
-	defer p.depart()
+func (p *PacketRuntime[T]) serveFlow(f *flow[T], rec *HandoffRecord) {
+	outcome := &p.failed
+	defer func() { p.departAs(outcome) }()
 	defer func() {
 		p.fmu.Lock()
 		if p.flows[f.peer] == f {
@@ -295,20 +340,24 @@ func (p *PacketRuntime[T]) serveFlow(f *flow[T]) {
 
 	lease, err := p.pool.Acquire(f.peer)
 	if err != nil {
-		p.count(&p.failed)
 		return
 	}
 	defer lease.Release()
 
-	c := &Conn[T]{Principal: f.peer, FD: fd, Lease: lease}
+	c := &Conn[T]{Principal: f.peer, FD: fd, Lease: lease,
+		Resumed: rec != nil, interrupt: func() { f.file.Close() }}
 	if p.app.InitConn != nil {
 		if err := p.app.InitConn(c); err != nil {
-			p.count(&p.failed)
 			return
 		}
 	}
 	if p.app.EndConn != nil {
 		defer p.app.EndConn(c)
+	}
+	if rec != nil && p.app.Import != nil {
+		if err := p.app.Import(c, rec); err != nil {
+			return
+		}
 	}
 	id := p.conns.Put(c)
 	defer p.conns.Delete(id)
@@ -330,16 +379,27 @@ func (p *PacketRuntime[T]) serveFlow(f *flow[T]) {
 		root.Store64(lease.Arg+p.fdOff, uint64(fd))
 		ret, err = lease.CallFD(p.app.Worker, root, lease.Arg, fd, kernel.FDRW)
 	}
+	// Completion/handoff rendezvous, mirroring serveConn: a flow marked
+	// for handoff while its worker ran unwinds as handed, with the export
+	// finished here.
+	c.hmu.Lock()
+	c.completing = true
+	h := c.hand
+	c.hmu.Unlock()
+	if h != nil {
+		p.finishExport(c, h)
+		outcome = &p.handed
+		return
+	}
 	if p.app.Finish != nil {
 		err = p.app.Finish(c, ret, err)
 	} else if err != nil {
 		err = fmt.Errorf("%s: %s: %w", p.app.Name, p.app.Worker, err)
 	}
 	if err != nil {
-		p.count(&p.failed)
 		return
 	}
-	p.count(&p.served)
+	outcome = &p.served
 }
 
 // expiry builds the wheel callback for one flow. RemoveIfIdle makes the

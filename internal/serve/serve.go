@@ -125,6 +125,21 @@ type Conn[T any] struct {
 	FD        int
 	Lease     *gatepool.Lease
 	State     T
+
+	// Resumed is true when this connection was re-admitted from a
+	// HandoffRecord (ResumeConnAs) rather than freshly accepted — the
+	// app's worker should skip protocol steps the exporting runtime
+	// already performed (greetings, auth it re-imported, ...).
+	Resumed bool
+
+	// Handoff rendezvous. hmu orders the one race that matters: a
+	// HandoffPrincipal marking the session against its normal completion.
+	// Exactly one side wins — a marked session unwinds as handed, a
+	// completing session refuses the mark.
+	hmu        sync.Mutex
+	completing bool
+	hand       *handoff
+	interrupt  func() // fails the worker's blocked read (conn close)
 }
 
 // App declares a pooled wedge application. The runtime instantiates
@@ -187,6 +202,19 @@ type App[T any] struct {
 	// ServeConn's return. When nil, a worker error is wrapped and
 	// returned as-is and the return value is not interpreted. Optional.
 	Finish func(c *Conn[T], ret vm.Addr, err error) error
+
+	// Export serializes the app-level state a handed-off session needs at
+	// its new home, given the captured argument-block image. It must
+	// never include secrets the importing side does not already hold
+	// (private keys, passwords): the record crosses the cluster's trust
+	// boundary in the clear, and the new runtime re-derives secret
+	// material from its own store. Optional; nil exports no app state.
+	Export func(c *Conn[T], block []byte) []byte
+	// Import restores Export's payload into a resumed connection before
+	// its worker runs. The payload arrived from another runtime and must
+	// be treated as hostile input — length- and bounds-checked like any
+	// gate argument; an error refuses the resume. Optional.
+	Import func(c *Conn[T], rec *HandoffRecord) error
 }
 
 // Runtime serves one App. All methods are safe for concurrent use.
@@ -217,6 +245,7 @@ type Runtime[T any] struct {
 	admitted    uint64
 	served      uint64
 	failed      uint64
+	handed      uint64
 	rejected    uint64
 	drains      uint64
 	autoResizes uint64
@@ -482,8 +511,17 @@ func (r *Runtime[T]) admit() error {
 	return nil
 }
 
-func (r *Runtime[T]) depart() {
+// departAs retires an admission under its outcome counter (served,
+// failed, or handed) in one critical section, so the ledger invariant
+//
+//	admitted == served + failed + handed + inflight
+//
+// holds at every instant a Snapshot can observe — the cluster director's
+// two-choice load reads depend on never seeing a torn pair (inflight
+// decremented, outcome not yet counted, or vice versa).
+func (r *Runtime[T]) departAs(counter *uint64) {
 	r.mu.Lock()
+	*counter++
 	r.inflight--
 	if r.inflight == 0 {
 		r.quiet.Broadcast()
@@ -544,7 +582,18 @@ func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
 	if err := r.admit(); err != nil {
 		return err
 	}
-	defer r.depart()
+	return r.serveConn(conn, principal, nil)
+}
+
+// serveConn runs one admitted connection to its outcome. rec, when
+// non-nil, resumes a handed-off session: the connection is marked
+// Resumed and the record's app payload is imported (as hostile input)
+// before the worker runs. The admission is already counted; exactly one
+// outcome counter is incremented on the way out, in the same critical
+// section as the inflight decrement (departAs).
+func (r *Runtime[T]) serveConn(conn *netsim.Conn, principal string, rec *HandoffRecord) (reterr error) {
+	outcome := &r.failed
+	defer func() { r.departAs(outcome) }()
 
 	root := r.root
 	var file kernel.FileLike = conn
@@ -559,15 +608,14 @@ func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
 
 	lease, err := r.pool.Acquire(principal)
 	if err != nil {
-		r.count(&r.failed)
 		return fmt.Errorf("%s: acquire: %w", r.app.Name, err)
 	}
 	defer lease.Release()
 
-	c := &Conn[T]{Principal: principal, FD: fd, Lease: lease}
+	c := &Conn[T]{Principal: principal, FD: fd, Lease: lease,
+		Resumed: rec != nil, interrupt: func() { conn.Close() }}
 	if r.app.InitConn != nil {
 		if err := r.app.InitConn(c); err != nil {
-			r.count(&r.failed)
 			return fmt.Errorf("%s: init: %w", r.app.Name, err)
 		}
 	}
@@ -576,6 +624,11 @@ func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
 	// principal can lease the slot.
 	if r.app.EndConn != nil {
 		defer r.app.EndConn(c)
+	}
+	if rec != nil && r.app.Import != nil {
+		if err := r.app.Import(c, rec); err != nil {
+			return fmt.Errorf("%s: import: %w", r.app.Name, err)
+		}
 	}
 	id := r.conns.Put(c)
 	defer r.conns.Delete(id)
@@ -591,16 +644,29 @@ func (r *Runtime[T]) ServeConnAs(conn *netsim.Conn, principal string) error {
 		root.Store64(lease.Arg+r.fdOff, uint64(fd))
 		ret, err = lease.CallFD(r.app.Worker, root, lease.Arg, fd, kernel.FDRW)
 	}
+	// Completion/handoff rendezvous: from here the session can no longer
+	// be marked for handoff. If a mark already landed, the interrupted
+	// invocation is the handoff mechanism at work, not a failure — finish
+	// the export (the block image was captured while the worker was still
+	// parked) and unwind as handed.
+	c.hmu.Lock()
+	c.completing = true
+	h := c.hand
+	c.hmu.Unlock()
+	if h != nil {
+		r.finishExport(c, h)
+		outcome = &r.handed
+		return ErrHandedOff
+	}
 	if r.app.Finish != nil {
 		err = r.app.Finish(c, ret, err)
 	} else if err != nil {
 		err = fmt.Errorf("%s: %s: %w", r.app.Name, r.app.Worker, err)
 	}
 	if err != nil {
-		r.count(&r.failed)
 		return err
 	}
-	r.count(&r.served)
+	outcome = &r.served
 	return nil
 }
 
@@ -759,9 +825,15 @@ type Snapshot struct {
 	AutoTarget  int // last slot target auto mode applied (0 = none yet)
 	AutoResizes uint64
 
+	// The admission ledger. These are taken in one critical section with
+	// Inflight, so Admitted == Served + Failed + Handed + Inflight holds
+	// in every snapshot — the property the cluster director's two-choice
+	// load reads and the servetest batteries assert on. Handed counts
+	// sessions exported to a peer runtime via HandoffPrincipal.
 	Admitted uint64
 	Served   uint64
 	Failed   uint64
+	Handed   uint64
 	Rejected uint64
 	Drains   uint64
 
@@ -790,12 +862,18 @@ type Snapshot struct {
 }
 
 // Snapshot returns a point-in-time view of the runtime and its pool.
+// The whole view — ledger, pool stats, conn-table census — is assembled
+// under the runtime lock, so it is one consistent point in time: a
+// reader can never observe a torn Admitted/Served pair or a pool census
+// from a different instant than the ledger it sits next to. (Safe lock
+// order: neither the pool nor the conn table ever calls back into the
+// runtime, so taking their internal locks under r.mu cannot invert.)
 func (r *Runtime[T]) Snapshot() Snapshot {
-	ps := r.pool.Stats()
-	cs := r.conns.Stats()
 	procs := runtime.GOMAXPROCS(0)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	ps := r.pool.Stats()
+	cs := r.conns.Stats()
 	// Waiting is connections admitted but not yet being serviced. Classic
 	// mode: blocked in Acquire (inflight minus leased slots). Batched
 	// mode: ring admission rarely blocks, so the waiters are the pool's
@@ -827,6 +905,7 @@ func (r *Runtime[T]) Snapshot() Snapshot {
 		Admitted: r.admitted,
 		Served:   r.served,
 		Failed:   r.failed,
+		Handed:   r.handed,
 		Rejected: r.rejected,
 		Drains:   r.drains,
 

@@ -1,0 +1,248 @@
+// The cluster battery: the conformance suite for live session handoff.
+// Two runtimes of the application sit behind a cluster.Director; the
+// battery kills (removes and drains) the one that owns a session parked
+// mid-protocol and requires that the client finishes the session at its
+// new home without ever seeing an error. The same App adapter the
+// single-runtime battery uses drives it — an application opts in with
+// one extra test line.
+package servetest
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"wedge/internal/cluster"
+	"wedge/internal/kernel"
+	"wedge/internal/serve"
+	"wedge/internal/sthread"
+	"wedge/internal/vm"
+)
+
+// Cluster runs the cluster battery against one application:
+//
+//   - HandoffMidProtocol: a runtime is removed while it owns a held
+//     session. The session completes at the surviving runtime, the dead
+//     runtime retires it as Handed and leaks neither tasks nor tags, no
+//     worker invocation anywhere ever observes an earlier principal's
+//     secret (the imported block image must be as contained as any
+//     other session's), and Admitted == Served + Failed + Handed
+//     balances on both runtimes.
+//   - SchemaMismatchRefused: a member whose schema hash disagrees with
+//     the cluster's is refused with the typed *serve.SchemaMismatchError
+//     before it can ever exchange a session.
+//
+// The application's runtime must expose the handoff surface
+// (cluster.StreamBackend — satisfied by embedding *serve.Runtime[T]).
+func Cluster(t *testing.T, a App) {
+	t.Run("HandoffMidProtocol", a.clusterHandoff)
+	t.Run("SchemaMismatchRefused", a.clusterSchemaMismatch)
+}
+
+// start2 boots two independent systems serving the same application —
+// two kernels, two runtimes, one probe wired into both.
+func (a App) start2(t *testing.T, slots int, probe Probe, drive func(r0, r1 *rig)) {
+	a.start(t, slots, probe, func(r0 *rig) {
+		a.start(t, slots, probe, func(r1 *rig) {
+			drive(r0, r1)
+		})
+	})
+}
+
+// clusterBackend asserts the rig's runtime exposes the handoff surface
+// the director drives.
+func clusterBackend(t *testing.T, r *rig) cluster.StreamBackend {
+	t.Helper()
+	sb, ok := r.rt.(cluster.StreamBackend)
+	if !ok {
+		t.Fatalf("%T does not expose the handoff surface (cluster.StreamBackend); "+
+			"embed *serve.Runtime[T] or do not opt into the cluster battery", r.rt)
+	}
+	return sb
+}
+
+func (a App) clusterHandoff(t *testing.T) {
+	// The probe watches every worker invocation on both runtimes. Unlike
+	// the single-runtime residue battery it cannot demand an all-zero
+	// block — a resumed session legitimately starts from its imported
+	// image — so the invariant is containment: no invocation may ever
+	// start with bytes an *earlier, different* principal pushed through
+	// a block. Each observation records how many secrets existed when it
+	// was taken, so a session can never be accused of leaking its own.
+	argSize := a.Schema.Size()
+	type observation struct {
+		buf      []byte
+		nsecrets int
+	}
+	var mu sync.Mutex
+	var secrets [][]byte
+	var probes []observation
+	probe := func(s *sthread.Sthread, arg vm.Addr) {
+		buf := make([]byte, argSize+a.Schema.ProbeWindow())
+		s.Read(arg, buf)
+		mu.Lock()
+		probes = append(probes, observation{buf, len(secrets)})
+		mu.Unlock()
+	}
+
+	a.start2(t, 2, probe, func(r0, r1 *rig) {
+		sb0, sb1 := clusterBackend(t, r0), clusterBackend(t, r1)
+		d := cluster.New()
+		if err := d.Add(cluster.Member{Name: "m0", Stream: sb0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Add(cluster.Member{Name: "m1", Stream: sb1}); err != nil {
+			t.Fatal(err)
+		}
+
+		// The front door: a bare kernel whose network hosts the
+		// director's listener. Clients dial it exactly as they would a
+		// single runtime — the cluster is invisible from outside.
+		front := kernel.New()
+		fl, err := front.Net.Listen(a.Addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		served := make(chan struct{})
+		go func() {
+			d.Serve(fl)
+			close(served)
+		}()
+
+		session := func(what string) {
+			t.Helper()
+			secret, err := a.Session(front)
+			if err != nil {
+				t.Fatalf("%s: %v", what, err)
+			}
+			if len(secret) > 0 {
+				mu.Lock()
+				secrets = append(secrets, secret)
+				mu.Unlock()
+			}
+		}
+		session("first session before the kill") // plants a secret somewhere
+		session("second session before the kill")
+
+		// Park a session mid-protocol, find the runtime that owns it,
+		// and kill that runtime. Hold returns with a server response in
+		// hand, so the worker invocation is provably in flight.
+		held, err := a.Hold(front)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rigs := map[string]*rig{"m0": r0, "m1": r1}
+		var deadName string
+		waitFor(t, "the held session to dispatch", func() bool {
+			for name, r := range rigs {
+				if r.rt.Snapshot().Inflight > 0 {
+					deadName = name
+					return true
+				}
+			}
+			return false
+		})
+		dead := rigs[deadName]
+		var home *rig
+		for name, r := range rigs {
+			if name != deadName {
+				home = r
+			}
+		}
+		if err := d.Remove(deadName); err != nil {
+			t.Fatalf("remove %s: %v", deadName, err)
+		}
+
+		// Remove has returned: the held session was exported, re-admitted
+		// at the survivor, and the dead runtime has drained. The client
+		// finishes its protocol none the wiser.
+		if err := held.Finish(); err != nil {
+			t.Fatalf("finishing the handed-off session: %v", err)
+		}
+
+		session("session after the kill") // admits at the survivor
+
+		fl.Close()
+		<-served
+
+		st := d.Stats()
+		if st.Handoffs < 1 || st.HandoffFailed != 0 || st.Refused != 0 {
+			t.Errorf("director stats %+v: want >=1 handoff, 0 failed, 0 refused", st)
+		}
+		if s := dead.rt.Snapshot(); s.Handed < 1 {
+			t.Errorf("dead runtime Handed = %d, want >= 1", s.Handed)
+		}
+
+		// Quiescence and leak baselines on both sides: the dead runtime
+		// must hold them the moment Remove returns; the survivor once its
+		// last session completes.
+		waitFor(t, "the survivor to quiesce", func() bool {
+			s := home.rt.Snapshot()
+			return s.Inflight == 0 && s.Conns.Entries == 0
+		})
+		checkQuiescent(t, dead, "on the killed runtime after the drain")
+		checkQuiescent(t, home, "on the survivor at quiescence")
+
+		for name, r := range rigs {
+			if s := r.rt.Snapshot(); s.Admitted != s.Served+s.Failed+s.Handed {
+				t.Errorf("%s ledger: admitted=%d != served=%d + failed=%d + handed=%d",
+					name, s.Admitted, s.Served, s.Failed, s.Handed)
+			}
+		}
+
+		mu.Lock()
+		for i, p := range probes {
+			for _, secret := range secrets[:p.nsecrets] {
+				if len(secret) > 0 && bytes.Contains(p.buf, secret) {
+					t.Errorf("probe %d observed an earlier principal's secret "+
+						"in a worker invocation after the handoff", i)
+				}
+			}
+		}
+		mu.Unlock()
+
+		a.checkClosed(t, dead)
+		a.checkClosed(t, home)
+	})
+}
+
+// skewedHash wraps a backend, reporting a schema hash the rest of the
+// cluster does not share — the stand-in for a member built from a
+// different schema revision.
+type skewedHash struct{ cluster.StreamBackend }
+
+func (s skewedHash) SchemaHash() uint64 { return s.StreamBackend.SchemaHash() ^ 1 }
+
+func (a App) clusterSchemaMismatch(t *testing.T) {
+	a.start2(t, 1, nil, func(r0, r1 *rig) {
+		sb0, sb1 := clusterBackend(t, r0), clusterBackend(t, r1)
+		d := cluster.New()
+		if err := d.Add(cluster.Member{Name: "m0", Stream: sb0}); err != nil {
+			t.Fatal(err)
+		}
+
+		err := d.Add(cluster.Member{Name: "m1", Stream: skewedHash{sb1}})
+		var sm *serve.SchemaMismatchError
+		if !errors.As(err, &sm) {
+			t.Fatalf("skewed member admitted: err = %v, want *serve.SchemaMismatchError", err)
+		}
+		if sm.Want == sm.Got {
+			t.Errorf("mismatch error carries equal hashes: %+v", sm)
+		}
+		if n := d.Stats().Members; n != 1 {
+			t.Errorf("members after the refusal = %d, want 1", n)
+		}
+
+		// The honest twin — same build, same hash — joins fine.
+		if err := d.Add(cluster.Member{Name: "m1", Stream: sb1}); err != nil {
+			t.Fatalf("honest twin refused: %v", err)
+		}
+		if n := d.Stats().Members; n != 2 {
+			t.Errorf("members = %d, want 2", n)
+		}
+
+		a.checkClosed(t, r0)
+		a.checkClosed(t, r1)
+	})
+}

@@ -29,7 +29,13 @@ var (
 	echoSchema  = echoSchemaB.Seal()
 )
 
-type echoState struct{}
+// echoState is the per-connection app state. greeted must survive a
+// cluster handoff — a resumed worker re-enters its invocation from the
+// top, and greeting the client a second time would corrupt the
+// transcript the director is relaying — so it rides in the handoff
+// record via the Export/Import hooks, the same way the real servers
+// carry their protocol position.
+type echoState struct{ greeted bool }
 
 // echoServer is the toy pooled application: a serve.App descriptor and
 // nothing else, like the real servers.
@@ -45,6 +51,19 @@ func newEcho(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest
 		Slots:  slots,
 		Schema: echoSchema,
 		Worker: "worker",
+		Export: func(c *serve.Conn[echoState], _ []byte) []byte {
+			if c.State.greeted {
+				return []byte{1}
+			}
+			return nil
+		},
+		Import: func(c *serve.Conn[echoState], rec *serve.HandoffRecord) error {
+			if len(rec.State) > 1 {
+				return fmt.Errorf("echo: oversized handoff state (%d bytes)", len(rec.State))
+			}
+			c.State.greeted = len(rec.State) == 1 && rec.State[0] == 1
+			return nil
+		},
 		Gates: []gatepool.GateDef{{
 			Name: "worker",
 			Entry: func(w *sthread.Sthread, arg, _ vm.Addr) vm.Addr {
@@ -55,8 +74,11 @@ func newEcho(root *sthread.Sthread, slots int, probe servetest.Probe) (servetest
 				if probe != nil {
 					probe(w, arg)
 				}
-				if _, err := w.Task.WriteFD(c.FD, []byte{'>'}); err != nil {
-					return 0
+				if !c.State.greeted {
+					if _, err := w.Task.WriteFD(c.FD, []byte{'>'}); err != nil {
+						return 0
+					}
+					c.State.greeted = true
 				}
 				buf := make([]byte, 1)
 				if _, err := w.Task.ReadFD(c.FD, buf); err != nil {
@@ -124,6 +146,12 @@ func TestEchoChaos(t *testing.T) {
 
 func TestEchoConformance(t *testing.T) {
 	servetest.Run(t, echoApp())
+}
+
+// TestEchoCluster: the cluster battery's self-test — two echo runtimes
+// behind a director, one killed while it holds a session mid-protocol.
+func TestEchoCluster(t *testing.T) {
+	servetest.Cluster(t, echoApp())
 }
 
 func echoApp() servetest.App {
